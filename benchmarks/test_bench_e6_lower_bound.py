@@ -1,0 +1,126 @@
+"""E6 — SRV against the Ω(|Δ|+γ) lower bound (Theorem 5.1 / Corollary 5.2).
+
+For a population of random legal histories, every SYNCS session is checked
+against the theorem on both axes:
+
+* γ (skips honored) never exceeds |Π_a ∩ Π_b| — the CRG cap — evaluated on
+  the Figure 1 example where the analytic CRG is exact; and
+* measured traffic is sandwiched between the Ω(|Δ|+γ) information lower
+  bound and the O(|Δ|+γ) claim, i.e. bits per (Δ element + skip) stay
+  within a constant factor of the element width across workloads.
+"""
+
+import random
+
+from repro.analysis.bounds import analyze_pair, lower_bound_bits
+from repro.analysis.report import format_table
+from repro.core.skip import SkipRotatingVector
+from repro.graphs.crg import coalesce
+from repro.net.wire import Encoding
+from repro.protocols.syncs import sync_srv
+from repro.workload.scenarios import figure1_graph, figure1_vectors
+from tests.helpers import build_history
+
+ENC = Encoding(site_bits=8, value_bits=16)
+
+
+def random_commands(rng, length=60, sites=5):
+    commands = []
+    for _ in range(length):
+        if rng.random() < 0.45:
+            commands.append(("update", rng.randrange(sites)))
+        else:
+            commands.append(("sync", rng.randrange(sites),
+                             rng.randrange(sites)))
+    return commands
+
+
+def test_e6_traffic_sandwiched_by_delta_gamma(benchmark, report_writer):
+    rows = []
+    ratios = []
+    for seed in range(12):
+        rng = random.Random(seed)
+        vectors = build_history(SkipRotatingVector,
+                                random_commands(rng), 5)
+        a = vectors[seed % 5].copy()
+        b = vectors[(seed + 2) % 5]
+        pair = analyze_pair(a, b)
+        session = sync_srv(a, b, encoding=ENC)
+        delta = len(pair.delta)
+        receiver = session.receiver_result
+        # γ counts every known segment consumed at O(1) cost: honored
+        # skips plus the singleton segments whose first received element
+        # was already the terminator.
+        gamma = (session.sender_result.skips_honored
+                 + receiver.inline_segments)
+        lower = lower_bound_bits(ENC, delta, gamma)
+        measured = session.stats.total_bits
+        assert measured >= lower, f"seed {seed}"
+        # O(|Δ|+γ): Δ elements, ≤2 elements + 1 SKIP per known segment,
+        # plus the O(1) session tail (halting element + HALT).
+        budget = ((delta + 2) * ENC.srv_element_bits
+                  + gamma * (2 * ENC.srv_element_bits + ENC.skip_bits) + 2)
+        assert measured <= budget, f"seed {seed}: {measured} > {budget}"
+        ratios.append(measured / max(lower, 1))
+        rows.append([seed, delta, gamma, lower, measured, budget])
+    body = format_table(
+        ["seed", "|Δ|", "γ", "Ω(|Δ|+γ) bits", "measured bits",
+         "O(|Δ|+γ) budget"], rows)
+    report_writer("e6_lower_bound",
+                  "E6 — SYNCS traffic vs Theorem 5.1's bounds "
+                  "(random histories)", body)
+    rng = random.Random(0)
+    commands = random_commands(rng)
+    benchmark(build_history, SkipRotatingVector, commands, 5)
+
+
+def test_e6_gamma_capped_by_pi_intersection(benchmark, report_writer):
+    """On the analytic Figure 1 example: γ ≤ |Π_a ∩ Π_b| exactly."""
+    crg = coalesce(figure1_graph())
+    cap = crg.gamma_upper_bound(7, 9)
+    thetas = figure1_vectors(SkipRotatingVector)
+    session = sync_srv(thetas[7], thetas[9], encoding=ENC)
+    gamma = session.sender_result.skips_honored
+    assert gamma <= cap
+    body = format_table(
+        ["quantity", "value"],
+        [["|Π_θ7 ∩ Π_θ9|", cap],
+         ["measured γ for SYNCS_θ9(θ7)", gamma],
+         ["Λ_b (segments not reached)", "⟨B⟩, ⟨A⟩ — session halts at B"],
+         ["Φ_b (vanished)", "none"]])
+    report_writer("e6_gamma_cap",
+                  "E6b — measured γ vs the Π-set cap (Figure 1 example)",
+                  body)
+    benchmark(crg.gamma_upper_bound, 7, 9)
+
+
+def test_e6_skip_messages_constant_size(benchmark, report_writer):
+    """Each skipped segment costs O(1): one SKIP + one terminator element."""
+    rows = []
+    for segment_len in (2, 8, 32, 128):
+        segment = [(f"K{i}", 1) for i in range(segment_len)]
+        b = SkipRotatingVector.from_segments(
+            [[("N", 1)], segment, [("Z", 1)]])
+        for element in b.order:
+            element.conflict = element.site.startswith("K")
+        a = SkipRotatingVector.from_segments([segment, [("Z", 1)]])
+        session = sync_srv(a, b, encoding=ENC, reconcile=True)
+        sent = session.sender_result.elements_sent
+        rows.append([segment_len, sent,
+                     session.sender_result.elements_suppressed,
+                     session.stats.backward.by_type.get("Skip", 0)])
+        # N + skip trigger + terminator + halting element: constant.
+        assert sent <= 4
+    body = format_table(
+        ["skipped segment length", "elements sent", "suppressed",
+         "SKIP msgs"], rows)
+    report_writer("e6_skip_cost",
+                  "E6c — per-skip cost is O(1) regardless of segment size",
+                  body)
+    segment = [(f"K{i}", 1) for i in range(64)]
+    b = SkipRotatingVector.from_segments([[("N", 1)], segment, [("Z", 1)]])
+    for element in b.order:
+        element.conflict = element.site.startswith("K")
+    benchmark(lambda: sync_srv(
+        SkipRotatingVector.from_segments([segment, [("Z", 1)]]), b,
+        encoding=ENC, reconcile=True))

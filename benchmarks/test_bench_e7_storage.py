@@ -1,0 +1,154 @@
+"""E7 — per-replica metadata storage across schemes (Observation 2.1).
+
+The paper argues version vectors (and the rotating variants, which add two
+bits and two pointers per element) have minimal storage among accurate
+schemes: predecessor sets hold one identifier per *executed operation* and
+hash histories one hash per *version*, both unbounded in the update count,
+while vectors are bounded by the number of active sites.  This experiment
+grows one object's history and tracks each scheme's stored bits, plus the
+Singhal–Kshemkalyani auxiliary state for context.
+"""
+
+from repro.analysis.bounds import vector_storage_bits
+from repro.analysis.report import format_table
+from repro.baselines.hashhistory import HashHistory
+from repro.baselines.predecessor import PredecessorSet
+from repro.baselines.singhal import SKProcess
+from repro.core.skip import SkipRotatingVector
+from repro.core.versionvector import VersionVector
+from repro.net.wire import Encoding
+
+N_SITES = 16
+ENC = Encoding(site_bits=8, value_bits=16)
+
+
+def grow(updates_per_site: int):
+    """One replica experiencing every site's updates (fully synced view)."""
+    vector = SkipRotatingVector()
+    plain = VersionVector()
+    predecessors = PredecessorSet()
+    history = HashHistory.create("S000")
+    for round_no in range(updates_per_site):
+        for index in range(N_SITES):
+            site = f"S{index:03d}"
+            vector.record_update(site)
+            plain.record_update(site)
+            predecessors.record_update(site)
+            history.record_update(site)
+    vv_bits = len(plain) * (ENC.site_bits + ENC.value_bits)
+    return {
+        "VV": vv_bits,
+        "SRV": vector_storage_bits(vector, ENC),
+        "predecessor set": predecessors.storage_bits(ENC),
+        "hash history": history.storage_bits(),
+    }
+
+
+def test_e7_storage_growth(benchmark, report_writer):
+    rows = []
+    checkpoints = (1, 4, 16, 64)
+    series = {}
+    for updates in checkpoints:
+        sizes = grow(updates)
+        for scheme, bits in sizes.items():
+            series.setdefault(scheme, []).append(bits)
+        rows.append([updates * N_SITES] + [sizes[s] for s in
+                                           ("VV", "SRV", "predecessor set",
+                                            "hash history")])
+
+    # Vectors are flat in the update count; the set/hash schemes grow
+    # linearly and overtake them immediately.
+    assert series["VV"][0] == series["VV"][-1]
+    assert series["SRV"][0] == series["SRV"][-1]
+    assert series["predecessor set"][-1] > 16 * series["predecessor set"][0] / 2
+    assert series["hash history"][-1] > series["SRV"][-1]
+    assert series["predecessor set"][-1] > series["VV"][-1]
+
+    body = format_table(
+        ["total updates", "VV bits", "SRV bits", "predecessor-set bits",
+         "hash-history bits"], rows)
+    report_writer("e7_storage",
+                  f"E7 — per-replica metadata storage, {N_SITES} sites",
+                  body)
+    benchmark(grow, 4)
+
+
+def test_e7_rotating_overhead_is_constant_factor(benchmark, report_writer):
+    """BRV/CRV/SRV cost a fixed per-element overhead over plain vectors."""
+    from repro.core.conflict import ConflictRotatingVector
+    from repro.core.rotating import BasicRotatingVector
+    rows = []
+    for n in (8, 64, 512):
+        plain_bits = n * (ENC.site_bits + ENC.value_bits)
+        per_scheme = {}
+        for cls in (BasicRotatingVector, ConflictRotatingVector,
+                    SkipRotatingVector):
+            vector = cls()
+            for index in range(n):
+                vector.record_update(f"S{index}")
+            per_scheme[cls.kind] = vector_storage_bits(vector, ENC)
+        rows.append([n, plain_bits, per_scheme["brv"], per_scheme["crv"],
+                     per_scheme["srv"],
+                     f"{per_scheme['srv'] / plain_bits:.2f}x"])
+        assert per_scheme["brv"] < per_scheme["crv"] < per_scheme["srv"]
+        assert per_scheme["srv"] < 3 * plain_bits
+    body = format_table(
+        ["elements", "plain VV", "BRV", "CRV", "SRV", "SRV/VV"], rows)
+    report_writer("e7_rotating_overhead",
+                  "E7b — storage of the rotating representations "
+                  "(order pointers + flag bits)", body)
+    benchmark(grow, 1)
+
+
+def test_e7_hash_history_traffic_vs_srv(benchmark, report_writer):
+    """Traffic, not just storage: hash-history exchange pays the whole
+    version-set announcement per sync while SRV pays the difference."""
+    from repro.baselines.hashhistory import (HashHistory,
+                                             exchange_hash_histories)
+    from repro.protocols.syncs import sync_srv
+
+    rows = []
+    for history_len in (10, 100, 1000):
+        history = HashHistory.create("S000")
+        vector = SkipRotatingVector()
+        vector.record_update("S000")
+        for index in range(history_len):
+            site = f"S{index % N_SITES:03d}"
+            history.record_update(site)
+            vector.record_update(site)
+        stale_history = history.copy()
+        stale_vector = vector.copy()
+        history.record_update("S001")
+        vector.record_update("S001")
+
+        _, hash_bits = exchange_hash_histories(stale_history, history,
+                                               site="S000")
+        srv_bits = sync_srv(stale_vector, vector,
+                            encoding=ENC).stats.total_bits
+        rows.append([history_len, hash_bits, srv_bits,
+                     f"{hash_bits / srv_bits:.0f}x"])
+    assert int(rows[-1][1]) > 100 * int(rows[-1][2])
+    body = format_table(
+        ["history length", "hash-history sync bits", "SRV sync bits",
+         "ratio"], rows)
+    report_writer("e7_hash_traffic",
+                  "E7d — one-update sync traffic: hash histories vs SRV",
+                  body)
+    benchmark(lambda: exchange_hash_histories(
+        HashHistory.create("A"), HashHistory.create("A"), site="A"))
+
+
+def test_e7_sk_auxiliary_state(benchmark, report_writer):
+    """Singhal–Kshemkalyani needs O(peers) auxiliary entries per process."""
+    rows = []
+    for n in (4, 32, 256):
+        peers = [f"P{i:03d}" for i in range(n)]
+        process = SKProcess("P000", peers)
+        rows.append([n, len(process.clock), process.storage_entries()])
+        assert process.storage_entries() >= n
+    body = format_table(
+        ["processes", "vector entries", "auxiliary LS+LU entries"], rows)
+    report_writer("e7_sk_auxiliary",
+                  "E7c — SK differential technique: auxiliary state grows "
+                  "with the peer set", body)
+    benchmark(SKProcess, "P000", [f"P{i}" for i in range(64)])

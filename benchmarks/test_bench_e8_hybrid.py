@@ -1,0 +1,104 @@
+"""E8 (extension) — hybrid transfer economics (§6's hybrid model).
+
+The paper defines hybrid transfer — keep a short operation history, ship
+the whole object when a replica is too old — as a degeneration of
+operation transfer.  This experiment measures the crossover it exists for:
+payload bits to bring a stale replica current, as a function of how far
+behind it is, for pure operation replay vs the snapshot path, and the
+storage the truncation reclaims.
+"""
+
+from repro.analysis.report import format_table
+from repro.net.wire import Encoding
+from repro.replication.hybrid import HybridOpSystem
+from repro.replication.opreplica import kv_applier
+
+ENC = Encoding(site_bits=4, value_bits=8, node_id_bits=16)
+
+HISTORY = 200
+KEYS = 8  # small key space: state stays small while the log grows
+
+
+def build(keep_payloads):
+    """A two-site KV object with HISTORY updates, optionally truncated."""
+    system = HybridOpSystem(applier=kv_applier, initial_state={},
+                            encoding=ENC)
+    system.create_object("A", "kv")
+    system.clone_replica("A", "B", "kv")
+    for index in range(HISTORY):
+        system.update("A", "kv", (f"k{index % KEYS}", f"v{index}"))
+        system.pull("B", "A", "kv")
+    if keep_payloads is not None:
+        system.truncate_history("A", "kv", keep_payloads=keep_payloads)
+        system.truncate_history("B", "kv", keep_payloads=keep_payloads)
+    return system
+
+
+def join_cost(system):
+    """Payload bits for a brand-new site to bootstrap from A."""
+    joiner = f"J{len(system.registry)}"
+    system.registry.add(joiner)
+    before = system.traffic.total_bits
+    system.clone_replica("A", joiner, "kv")
+    outcome = system.outcomes[-1]
+    del before
+    return outcome
+
+
+def test_e8_snapshot_vs_replay_bootstrap(benchmark, report_writer):
+    replay = join_cost(build(keep_payloads=None))
+    snapshot = join_cost(build(keep_payloads=10))
+    assert replay.action == "pull"
+    assert snapshot.action == "snapshot"
+    # A small-state KV object: replaying 200 bodies costs far more payload
+    # than one snapshot of 8 keys plus 10 live bodies.
+    assert snapshot.payload_bits < replay.payload_bits / 3
+    rows = [
+        ["full log replay", replay.action, replay.payload_bits,
+         replay.metadata_bits],
+        ["truncated + snapshot", snapshot.action, snapshot.payload_bits,
+         snapshot.metadata_bits],
+        ["payload saving", "",
+         f"{replay.payload_bits / snapshot.payload_bits:.1f}x", ""],
+    ]
+    body = format_table(
+        ["bootstrap path", "action", "payload bits", "graph metadata bits"],
+        rows)
+    report_writer("e8_hybrid_bootstrap",
+                  f"E8 — late-joiner bootstrap, {HISTORY}-update KV history",
+                  body)
+    benchmark(lambda: build(keep_payloads=10))
+
+
+def test_e8_log_storage_reclaimed(benchmark, report_writer):
+    rows = []
+    for keep in (None, 50, 10, 0):
+        system = build(keep_payloads=keep)
+        retained = system.log_length("A", "kv")
+        label = "no truncation" if keep is None else f"keep {keep}"
+        rows.append([label, retained])
+        if keep is not None:
+            assert retained <= keep + 1  # +1: the unstable latest op
+    body = format_table(["policy", "operation bodies retained at A"], rows)
+    report_writer("e8_hybrid_storage",
+                  "E8b — log bodies retained under truncation policies",
+                  body)
+    benchmark(lambda: build(keep_payloads=0))
+
+
+def test_e8_in_horizon_pulls_stay_incremental(benchmark, report_writer):
+    """Truncation must not tax the steady state: recent pulls unchanged."""
+    system = build(keep_payloads=10)
+    system.update("A", "kv", ("k0", "fresh"))
+    outcome = system.pull("B", "A", "kv")
+    assert outcome.action == "pull"
+    assert outcome.ops_transferred == 1
+    body = format_table(
+        ["quantity", "value"],
+        [["action", outcome.action],
+         ["ops transferred", outcome.ops_transferred],
+         ["metadata bits", outcome.metadata_bits],
+         ["payload bits", outcome.payload_bits]])
+    report_writer("e8_hybrid_steady_state",
+                  "E8c — steady-state pull on a truncated log", body)
+    benchmark(lambda: system.compare("A", "B", "kv"))

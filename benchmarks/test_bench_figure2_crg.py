@@ -1,0 +1,76 @@
+"""Figure 2 — the coalesced replication graph and its boxed segments.
+
+Coalesces Figure 1's graph and checks the exact CRG of the paper: seven
+nodes (4–6 merged), the five boxed prefixing segments, and the Π sets used
+by the γ analysis of §4.1.
+"""
+
+from repro.analysis.report import format_table
+from repro.graphs.crg import coalesce
+from repro.workload.scenarios import figure1_graph
+
+EXPECTED_SEGMENTS = {
+    1: [("A", 1)],
+    2: [("B", 1)],
+    3: [("C", 1)],
+    6: [("G", 1), ("F", 1), ("E", 1)],
+    8: [("H", 1)],
+}
+
+
+def test_figure2_crg_matches_paper(benchmark, report_writer):
+    graph = figure1_graph()
+    crg = coalesce(graph)
+
+    members = sorted(node.members for node in crg.nodes())
+    assert members == [(1,), (2,), (3,), (4, 5, 6), (7,), (8,), (9,)]
+
+    rows = []
+    for node in crg.nodes():
+        if node.is_merge:
+            segment = "(merge — no segment)"
+        else:
+            actual = crg.prefixing_segment(node.node_id)
+            assert actual == EXPECTED_SEGMENTS[node.node_id], node.node_id
+            segment = "⟨" + ", ".join(f"{s}:{v}" for s, v in actual) + "⟩"
+        rows.append([
+            "+".join(map(str, node.members)),
+            "+".join(map(str, node.parents)) or "(source)",
+            segment,
+        ])
+    body = format_table(["CRG node (members)", "parents",
+                         "prefixing segment"], rows)
+
+    pi_rows = [
+        ["Π_θ7", sorted(crg.pi_set(7))],
+        ["Π_θ9", sorted(crg.pi_set(9))],
+        ["Π_θ7 ∩ Π_θ9", sorted(crg.pi_set(7) & crg.pi_set(9))],
+    ]
+    assert crg.pi_set(7) == {1, 2, 6}
+    assert crg.pi_set(9) == {1, 2, 3, 6, 8}
+    body += "\n\n" + format_table(["Π set", "canonical node ids"], pi_rows)
+
+    report_writer("figure2_crg",
+                  "Figure 2 — coalesced replication graph (CRG)", body)
+    benchmark(coalesce, graph)
+
+
+def test_figure2_segment_bijection(benchmark, report_writer):
+    """§4.1: the segments of θ9 map bijectively onto Π_θ9."""
+    crg = coalesce(figure1_graph())
+    pi = crg.pi_set(9)
+    paper_segments = [[("C", 1)], [("H", 1)],
+                      [("G", 1), ("F", 1), ("E", 1)], [("B", 1)], [("A", 1)]]
+    assert len(paper_segments) == len(pi)
+    # Each paper segment is exactly one CRG node's prefixing segment.
+    crg_segments = {tuple(crg.prefixing_segment(n)) for n in pi}
+    assert crg_segments == {tuple(s) for s in paper_segments}
+    body = format_table(
+        ["θ9 segment", "CRG node"],
+        [["⟨" + ", ".join(f"{s}:{v}" for s, v in seg) + "⟩",
+          next(n for n in pi
+               if crg.prefixing_segment(n) == seg)]
+         for seg in paper_segments])
+    report_writer("figure2_segment_bijection",
+                  "Figure 2 — θ9 segments ↔ Π_θ9 bijection", body)
+    benchmark(crg.pi_set, 9)

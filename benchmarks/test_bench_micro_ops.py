@@ -1,0 +1,59 @@
+"""Microbenchmarks — the per-operation O(1) claims as CPU time.
+
+§3.3's assumptions and claims at the level pytest-benchmark actually
+measures: local updates (increment + rotate), COMPARE, element lookups,
+and codec encode/decode, each on large vectors so an accidental O(n)
+would be unmissable.
+"""
+
+from repro.core.skip import SkipRotatingVector
+from repro.net.codec import Codec
+from repro.net.wire import Encoding
+from repro.protocols.messages import ElementSMsg
+from repro.replication.membership import SiteRegistry
+
+N = 4096
+ENC = Encoding(site_bits=16, value_bits=16)
+
+
+def big_vector():
+    vector = SkipRotatingVector()
+    for index in range(N):
+        vector.record_update(f"S{index:05d}")
+    return vector
+
+
+def test_micro_record_update(benchmark):
+    vector = big_vector()
+    benchmark(vector.record_update, "S00000")
+
+
+def test_micro_rotate_middle_element(benchmark):
+    vector = big_vector()
+    benchmark(vector.order.rotate_front, f"S{N // 2:05d}")
+
+
+def test_micro_compare_large_vectors(benchmark):
+    a = big_vector()
+    b = a.copy()
+    b.record_update("X")
+    benchmark(a.compare, b)
+
+
+def test_micro_element_lookup(benchmark):
+    vector = big_vector()
+    benchmark(vector.__getitem__, f"S{N - 1:05d}")
+
+
+def test_micro_codec_element_roundtrip(benchmark):
+    registry = SiteRegistry([f"S{i:05d}" for i in range(N)])
+    codec = Codec(ENC, registry)
+    message = ElementSMsg("S00042", 7, True, False)
+    benchmark(codec.roundtrip, message, "srv_fwd")
+
+
+def test_micro_segments_parse_is_linear_not_quadratic(benchmark):
+    vector = big_vector()
+    # One pass over 4096 elements; anything quadratic would show as ms.
+    result = benchmark(vector.segments)
+    assert sum(len(segment) for segment in result) == N

@@ -1,0 +1,95 @@
+#!/usr/bin/env python3
+"""Dynamo-style replicated shopping carts at growing cluster sizes (§1).
+
+Cloud stores replicate small objects across many loosely coupled machines;
+the per-sync metadata grows with the number of *writer* sites, so at data-
+center scale the vector exchange itself becomes the overhead.  This example
+replays the same cart workload over clusters of increasing size and shows
+how whole-vector exchange scales with n while SRV's incremental exchange
+tracks the (constant-sized) difference instead.
+
+Run:  python examples/cloud_kv_store.py
+"""
+
+import random
+
+from repro.analysis.report import format_table
+from repro.replication.membership import SiteRegistry
+from repro.replication.resolver import AutomaticResolution, union_merge
+from repro.replication.statesystem import StateTransferSystem
+
+CARTS = 2
+ROUNDS = 150
+SEED = 7
+
+
+def run_cluster(n_nodes: int, metadata: str) -> float:
+    """Average metadata bits per synchronization for one configuration.
+
+    Round-based workload: one write lands somewhere in the cluster, then a
+    handful of gossip exchanges propagate it.  Random gossip spreads news
+    in O(log n) rounds, so partner *divergence stays small* while every
+    node keeps writing — the regime the paper targets: full vectors carry
+    one entry per writer (→ grows with n) although only a few entries
+    changed since the partners last met.
+    """
+    rng = random.Random(SEED)
+    registry = SiteRegistry(f"node{i:03d}" for i in range(n_nodes))
+    system = StateTransferSystem(
+        metadata=metadata,
+        resolution=AutomaticResolution(union_merge),  # cart union, Dynamo-style
+        registry=registry,
+        encoding=registry.encoding(max_updates_per_site=1 << 10),
+        track_graph=False,
+    )
+    nodes = registry.names()
+    for cart_no in range(CARTS):
+        cart = f"cart{cart_no}"
+        system.create_object(nodes[0], cart, frozenset())
+        for node in nodes[1:]:
+            system.clone_replica(nodes[0], node, cart)
+    warmup = len(system.outcomes)  # exclude the initial full clones
+
+    # Seed a full-length vector: every node has written every cart once.
+    for cart_no in range(CARTS):
+        cart = f"cart{cart_no}"
+        for node in nodes:
+            replica = system.replica(node, cart)
+            system.update(node, cart, replica.value | {f"init-{node}"})
+        for index in range(1, n_nodes):  # one ring sweep to spread it
+            system.pull(nodes[index], nodes[index - 1], cart)
+        for index in range(n_nodes - 2, -1, -1):
+            system.pull(nodes[index], nodes[index + 1], cart)
+    warmup = len(system.outcomes)
+
+    for round_no in range(ROUNDS):
+        cart = f"cart{rng.randrange(CARTS)}"
+        node = rng.choice(nodes)
+        replica = system.replica(node, cart)
+        system.update(node, cart, replica.value | {f"item{round_no}"})
+        for _ in range(4):
+            left, right = rng.sample(nodes, 2)
+            system.sync_bidirectional(left, right, cart)
+
+    outcomes = system.outcomes[warmup:]
+    bits = sum(o.metadata_bits for o in outcomes)
+    return bits / len(outcomes) if outcomes else 0.0
+
+
+def main() -> None:
+    sizes = (4, 8, 16, 32, 64)
+    rows = []
+    for n_nodes in sizes:
+        vv = run_cluster(n_nodes, "vv")
+        srv = run_cluster(n_nodes, "srv")
+        rows.append([n_nodes, f"{vv:.0f}", f"{srv:.0f}", f"{vv / srv:.2f}x"])
+    print(f"{CARTS} carts, {ROUNDS} write+gossip rounds, union-merge "
+          f"reconciliation (seed {SEED})\n")
+    print(format_table(
+        ["nodes", "VV bits/sync", "SRV bits/sync", "SRV saving"], rows))
+    print("\nWhole-vector traffic grows with cluster size; incremental "
+          "traffic tracks the actual divergence between gossip partners.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,90 @@
+#!/usr/bin/env python3
+"""Mobile / DTN file synchronization — the paper's §1 motivation.
+
+A participatory data store spreads many small objects over battery-powered
+mobile devices that meet opportunistically (compare Du & Brewer's DTWiki).
+Power constraints make every transmitted byte count, and the per-object
+*metadata* — not the file contents — dominates when objects are small and
+meetings are frequent.
+
+This example runs the same opportunistic-encounter workload over a fleet
+of devices three times — with traditional whole-vector exchange (VV), with
+CRV, and with SRV — and reports the metadata bits each scheme spent.
+
+Run:  python examples/mobile_file_sync.py
+"""
+
+import random
+
+from repro.analysis.report import format_table
+from repro.replication.membership import SiteRegistry
+from repro.replication.resolver import AutomaticResolution, union_merge
+from repro.replication.statesystem import StateTransferSystem
+
+N_DEVICES = 24
+N_FILES = 6
+N_ENCOUNTERS = 400
+SEED = 2009
+
+
+def run_fleet(metadata: str) -> StateTransferSystem:
+    """One full simulation with the given metadata scheme."""
+    rng = random.Random(SEED)
+    registry = SiteRegistry(f"dev{i:02d}" for i in range(N_DEVICES))
+    system = StateTransferSystem(
+        metadata=metadata,
+        resolution=AutomaticResolution(union_merge),
+        registry=registry,
+        encoding=registry.encoding(max_updates_per_site=1 << 12),
+        track_graph=False,
+    )
+    devices = registry.names()
+
+    # Every device carries a replica of every file (notes, maps, wiki pages).
+    for file_no in range(N_FILES):
+        name = f"file{file_no}"
+        system.create_object(devices[0], name, frozenset({f"{name}:v0"}))
+        for device in devices[1:]:
+            system.clone_replica(devices[0], device, name)
+
+    # Opportunistic life: devices edit locally and sync when they meet.
+    for encounter in range(N_ENCOUNTERS):
+        file_name = f"file{rng.randrange(N_FILES)}"
+        if rng.random() < 0.4:  # a local edit
+            device = rng.choice(devices)
+            replica = system.replica(device, file_name)
+            system.update(device, file_name,
+                          replica.value | {f"{file_name}:e{encounter}"})
+        else:                   # two devices in radio range anti-entropy
+            left, right = rng.sample(devices, 2)
+            system.sync_bidirectional(left, right, file_name)
+    return system
+
+
+def main() -> None:
+    rows = []
+    baseline_bits = None
+    for metadata in ("vv", "crv", "srv"):
+        system = run_fleet(metadata)
+        meta_bits = system.total_metadata_bits()
+        if baseline_bits is None:
+            baseline_bits = meta_bits
+        reconciles = sum(1 for o in system.outcomes if o.action == "reconcile")
+        rows.append([
+            metadata.upper(),
+            len(system.outcomes),
+            reconciles,
+            f"{meta_bits / 8 / 1024:.1f} KiB",
+            f"{baseline_bits / meta_bits:.2f}x" if meta_bits else "—",
+        ])
+    print(f"{N_DEVICES} devices, {N_FILES} files, {N_ENCOUNTERS} encounters "
+          f"(seed {SEED})\n")
+    print(format_table(
+        ["scheme", "syncs", "reconciles", "metadata traffic",
+         "saving vs VV"], rows))
+    print("\nIdentical workload and final state for every scheme; only the "
+          "concurrency-control traffic differs.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,78 @@
+#!/usr/bin/env python3
+"""Network pipelining on simulated links (§3.1).
+
+All the paper's algorithms stream speculatively instead of stopping and
+waiting per item, saving (k−1)·rtt of running time at the cost of at most
+β = bandwidth·rtt bits of in-flight excess.  This demo synchronizes the
+same vectors over links of increasing latency, with and without
+pipelining, on the discrete-event simulator — and measures both effects.
+
+Run:  python examples/pipelining_demo.py
+"""
+
+from repro.analysis.report import format_table
+from repro.core.rotating import BasicRotatingVector
+from repro.net.channel import ChannelSpec
+from repro.net.runner import run_timed_session
+from repro.net.wire import Encoding
+from repro.protocols.syncb import syncb_receiver, syncb_sender
+
+ENC = Encoding(site_bits=8, value_bits=16)
+K_ELEMENTS = 40
+
+
+def fresh_pair():
+    sender = BasicRotatingVector.from_pairs(
+        [(f"S{i:02d}", 1) for i in range(K_ELEMENTS)])
+    return BasicRotatingVector(), sender
+
+
+def main() -> None:
+    print(f"SYNCB of {K_ELEMENTS} elements, 1 Mbit/s link\n")
+    rows = []
+    for latency_ms in (1, 10, 50, 200):
+        channel = ChannelSpec(latency=latency_ms / 1000, bandwidth=1e6)
+        a1, b = fresh_pair()
+        pipelined = run_timed_session(syncb_sender(b), syncb_receiver(a1),
+                                      channel=channel, encoding=ENC)
+        a2, _ = fresh_pair()
+        blocking = run_timed_session(syncb_sender(b), syncb_receiver(a2),
+                                     channel=channel, encoding=ENC,
+                                     stop_and_wait=True)
+        saving = blocking.completion_time - pipelined.completion_time
+        rows.append([
+            f"{latency_ms} ms",
+            f"{pipelined.completion_time * 1000:8.1f} ms",
+            f"{blocking.completion_time * 1000:8.1f} ms",
+            f"{saving * 1000:8.1f} ms",
+            f"{(K_ELEMENTS + 1) * channel.rtt * 1000:8.1f} ms",
+        ])
+    print(format_table(
+        ["one-way latency", "pipelined", "stop-and-wait", "measured saving",
+         "~(k+1)·rtt"], rows))
+
+    # The price of pipelining: in-flight excess when the receiver halts early.
+    print("\nexcess transmission when the receiver already knows almost "
+          "everything (halts after 1 element):")
+    rows = []
+    for latency_ms in (1, 10, 50):
+        channel = ChannelSpec(latency=latency_ms / 1000, bandwidth=1e6)
+        stale = BasicRotatingVector.from_pairs(
+            [(f"S{i:02d}", 1) for i in range(K_ELEMENTS)])
+        current = stale.copy()
+        current.record_update("X")
+        result = run_timed_session(syncb_sender(current),
+                                   syncb_receiver(stale),
+                                   channel=channel, encoding=ENC)
+        ideal = 2 * ENC.brv_element_bits  # the new element + the halting one
+        excess = result.stats.forward.bits - ideal
+        rows.append([f"{latency_ms} ms", result.stats.forward.bits, ideal,
+                     excess, f"{channel.beta_bits:.0f}"])
+    print(format_table(
+        ["one-way latency", "sent bits", "ideal bits", "excess",
+         "β bound"], rows))
+    print("\nExcess stays under β = bandwidth·rtt, exactly as §3.1 predicts.")
+
+
+if __name__ == "__main__":
+    main()

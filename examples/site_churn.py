@@ -1,0 +1,104 @@
+#!/usr/bin/env python3
+"""Membership churn: pruning retired sites and truncating old history.
+
+Long-lived replicated systems accumulate two kinds of dead weight the
+paper's §7 points at orthogonal work for:
+
+* vector elements of *retired* sites — handled by the membership manager's
+  retirement log plus :func:`repro.extensions.pruning.prune`;
+* operation bodies of *ancient, fully propagated* updates — handled by
+  hybrid transfer's log truncation with snapshot fallback
+  (:class:`repro.replication.hybrid.HybridOpSystem`).
+
+This example retires half a fleet, prunes their elements everywhere, and
+shows the vector traffic shrinking back to the live-site population; then
+it truncates an operation log and shows a late joiner bootstrapping from
+the snapshot instead of replaying years of history.
+
+Run:  python examples/site_churn.py
+"""
+
+from repro.analysis.report import format_table
+from repro.core.skip import SkipRotatingVector
+from repro.extensions.pruning import RetirementLog, prune_all
+from repro.net.wire import Encoding
+from repro.protocols.syncs import sync_srv
+from repro.replication.hybrid import HybridOpSystem
+from repro.replication.opreplica import log_applier
+
+ENC = Encoding(site_bits=8, value_bits=16)
+
+
+def vector_pruning_demo() -> None:
+    print("— vector pruning after site retirement —\n")
+    # A decade of history: 20 early sites wrote and left; 4 are active.
+    veterans = [f"old{i:02d}" for i in range(20)]
+    actives = ["n0", "n1", "n2", "n3"]
+    replica = SkipRotatingVector()
+    for site in veterans + actives:
+        replica.record_update(site)
+    fleet = [replica.copy() for _ in actives]
+
+    def sync_cost(target, source):
+        return sync_srv(target.copy(), source,
+                        encoding=ENC).stats.total_bits
+
+    fresh_cost = sync_cost(SkipRotatingVector(), fleet[0])
+
+    log = RetirementLog()
+    for site in veterans:
+        log.retire(site, 1)
+    for vector in fleet:
+        prune_all(vector, log)
+    pruned_cost = sync_cost(SkipRotatingVector(), fleet[0])
+
+    print(format_table(
+        ["state", "elements", "bootstrap sync bits"],
+        [["before pruning", 24, fresh_cost],
+         ["after pruning", len(fleet[0]), pruned_cost],
+         ["saving", "", f"{fresh_cost / pruned_cost:.1f}x"]]))
+
+
+def hybrid_truncation_demo() -> None:
+    print("\n— hybrid transfer: log truncation + snapshot bootstrap —\n")
+    system = HybridOpSystem(applier=log_applier, initial_state=())
+    system.create_object("n0", "journal")
+    system.clone_replica("n0", "n1", "journal")
+    # Years of journal entries, fully replicated.
+    for index in range(300):
+        system.update("n0", "journal", f"entry {index}")
+        system.pull("n1", "n0", "journal")
+    before = system.log_length("n0", "journal")
+    dropped = system.truncate_history("n0", "journal", keep_payloads=20)
+    system.truncate_history("n1", "journal", keep_payloads=20)
+
+    # A new site joins: it gets the snapshot plus the short live log.
+    traffic_before = system.traffic.total_bits
+    system.clone_replica("n0", "n2", "journal")
+    join_outcome = system.outcomes[-1]
+    assert join_outcome.action == "snapshot"
+    states = {site: len(system.state(site, "journal"))
+              for site in ("n0", "n1", "n2")}
+    assert len(set(states.values())) == 1
+
+    print(format_table(
+        ["quantity", "value"],
+        [["entries in the journal", 301],
+         ["bodies retained before truncation", before],
+         ["bodies archived", dropped],
+         ["bodies retained after truncation",
+          system.log_length("n0", "journal")],
+         ["late join path", join_outcome.action],
+         ["late join metadata bits", join_outcome.metadata_bits],
+         ["late join payload bits", join_outcome.payload_bits],
+         ["all three states equal", True]]))
+    del traffic_before
+
+
+def main() -> None:
+    vector_pruning_demo()
+    hybrid_truncation_demo()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,12 @@
+"""Shim for environments without the ``wheel`` package.
+
+``pip install -e .`` normally builds an editable wheel (PEP 660); in fully
+offline environments lacking ``wheel`` this shim lets
+``python setup.py develop`` (or ``pip install -e . --no-build-isolation``)
+fall back to the classic setuptools path.  All metadata lives in
+``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,78 @@
+"""repro — reproduction of "On Optimal Concurrency Control for Optimistic
+Replication" (Wang & Amza, ICDCS 2009).
+
+The package implements the paper's three rotating version vector
+implementations (BRV, CRV, SRV) with their incremental synchronization
+protocols (SYNCB, SYNCC, SYNCS), the O(1) COMPARE, the incremental causal
+graph exchange for operation transfer (SYNCG), the traditional
+full-transfer baselines, and a simulated network substrate that prices
+every message in bits and measures running time with and without network
+pipelining.  On top of those sit complete state-transfer and
+operation-transfer replication systems and workload generators used by the
+benchmark harness to regenerate every table and figure of the paper.
+
+Quickstart::
+
+    from repro import SkipRotatingVector, sync_srv
+
+    a = SkipRotatingVector()
+    b = SkipRotatingVector()
+    a.record_update("A")          # site A writes its replica
+    b.record_update("B")          # site B writes concurrently
+    result = sync_srv(a, b)       # a becomes the elementwise max
+    a.record_update("A")          # reconciliation increment (§2.2)
+
+See README.md for the architecture overview and DESIGN.md for the paper →
+module map.
+"""
+
+from repro.core.conflict import ConflictRotatingVector
+from repro.core.order import Ordering
+from repro.core.rotating import BasicRotatingVector
+from repro.core.skip import SkipRotatingVector
+from repro.core.versionvector import VersionVector
+from repro.errors import (ConcurrentVectorsError, ConflictDetected,
+                          GraphError, ProtocolError, ReproError,
+                          SessionError, SimulationError, UnknownSiteError)
+from repro.graphs.causalgraph import CausalGraph, GraphNode, build_graph
+from repro.net.wire import DEFAULT_ENCODING, Encoding
+from repro.protocols.comparep import compare_remote, relationship
+from repro.protocols.fullsync import sync_full_graph, sync_full_vector
+from repro.protocols.session import SessionResult
+from repro.protocols.syncb import sync_brv
+from repro.protocols.syncc import sync_crv
+from repro.protocols.syncg import sync_graph
+from repro.protocols.syncs import sync_srv
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "BasicRotatingVector",
+    "CausalGraph",
+    "ConcurrentVectorsError",
+    "ConflictDetected",
+    "ConflictRotatingVector",
+    "DEFAULT_ENCODING",
+    "Encoding",
+    "GraphError",
+    "GraphNode",
+    "Ordering",
+    "ProtocolError",
+    "ReproError",
+    "SessionError",
+    "SessionResult",
+    "SimulationError",
+    "SkipRotatingVector",
+    "UnknownSiteError",
+    "VersionVector",
+    "build_graph",
+    "compare_remote",
+    "relationship",
+    "sync_brv",
+    "sync_crv",
+    "sync_full_graph",
+    "sync_full_vector",
+    "sync_graph",
+    "sync_srv",
+    "__version__",
+]

@@ -1,0 +1,97 @@
+"""Aggregation helpers for experiment harnesses.
+
+Benchmarks sweep a parameter (number of sites, conflict rate, rtt …) and
+need per-scheme aggregates of many synchronization outcomes; this module
+provides the accumulator they share.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional
+
+from repro.replication.statesystem import StateTransferSystem, SyncOutcome
+
+
+@dataclass
+class SchemeAggregate:
+    """Traffic and protocol counters accumulated over many syncs."""
+
+    scheme: str
+    syncs: int = 0
+    metadata_bits: int = 0
+    payload_bits: int = 0
+    new_elements: int = 0
+    redundant_elements: int = 0
+    skips: int = 0
+    reconciliations: int = 0
+    conflicts: int = 0
+
+    @property
+    def metadata_bits_per_sync(self) -> float:
+        return self.metadata_bits / self.syncs if self.syncs else 0.0
+
+    def add_outcome(self, outcome: SyncOutcome) -> None:
+        """Fold one synchronization outcome into the aggregate."""
+        self.syncs += 1
+        self.metadata_bits += outcome.metadata_bits
+        self.payload_bits += outcome.payload_bits
+        if outcome.action == "reconcile":
+            self.reconciliations += 1
+        elif outcome.action == "conflict":
+            self.conflicts += 1
+        receiver = outcome.receiver_report
+        if receiver is not None:
+            self.new_elements += receiver.new_elements
+            self.redundant_elements += receiver.redundant_elements
+            self.skips += receiver.skips_issued
+
+
+def aggregate_system(scheme: str,
+                     system: StateTransferSystem) -> SchemeAggregate:
+    """Fold every outcome a system recorded into one aggregate."""
+    aggregate = SchemeAggregate(scheme)
+    for outcome in system.outcomes:
+        aggregate.add_outcome(outcome)
+    return aggregate
+
+
+def aggregate_outcomes(scheme: str,
+                       outcomes: Iterable[SyncOutcome]) -> SchemeAggregate:
+    """Fold an outcome iterable into one aggregate."""
+    aggregate = SchemeAggregate(scheme)
+    for outcome in outcomes:
+        aggregate.add_outcome(outcome)
+    return aggregate
+
+
+@dataclass
+class Sweep:
+    """A labelled series of per-scheme aggregates, one per x-value."""
+
+    parameter: str
+    points: Dict[str, List[SchemeAggregate]] = field(default_factory=dict)
+    x_values: List[float] = field(default_factory=list)
+
+    def add_point(self, x: float,
+                  aggregates: Dict[str, SchemeAggregate]) -> None:
+        """Record one x-value's per-scheme aggregates."""
+        self.x_values.append(x)
+        for scheme, aggregate in aggregates.items():
+            self.points.setdefault(scheme, []).append(aggregate)
+
+    def series(self, scheme: str,
+               attribute: str = "metadata_bits_per_sync") -> List[float]:
+        """One scheme's y-series for the chosen attribute."""
+        return [getattr(a, attribute) for a in self.points[scheme]]
+
+    def crossover(self, scheme_a: str, scheme_b: str,
+                  attribute: str = "metadata_bits_per_sync"
+                  ) -> Optional[float]:
+        """First x where ``scheme_a`` becomes cheaper than ``scheme_b``."""
+        series_a = self.series(scheme_a, attribute)
+        series_b = self.series(scheme_b, attribute)
+        for x, value_a, value_b in zip(self.x_values, series_a, series_b):
+            if value_a < value_b:
+                return x
+        return None

@@ -1,0 +1,41 @@
+"""Plain-text tables for benchmark reports.
+
+Benchmarks print the same rows/series the paper reports; these helpers
+render aligned ASCII tables so EXPERIMENTS.md and the bench output match.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, List, Sequence
+
+
+def format_table(headers: Sequence[str],
+                 rows: Iterable[Sequence[Any]]) -> str:
+    """An aligned, boxless table with a header rule."""
+    materialized: List[List[str]] = [[str(cell) for cell in row]
+                                     for row in rows]
+    widths = [len(header) for header in headers]
+    for row in materialized:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+
+    def render(cells: Sequence[str]) -> str:
+        return "  ".join(cell.ljust(widths[i]) for i, cell in enumerate(cells)).rstrip()
+
+    lines = [render(list(headers)),
+             render(["-" * width for width in widths])]
+    lines.extend(render(row) for row in materialized)
+    return "\n".join(lines)
+
+
+def format_ratio(numerator: float, denominator: float) -> str:
+    """A compact ``x.yz×`` ratio (``∞`` when the denominator is zero)."""
+    if denominator == 0:
+        return "inf"
+    return f"{numerator / denominator:.2f}x"
+
+
+def print_report(title: str, body: str) -> None:
+    """Emit one benchmark report block with a recognizable banner."""
+    bar = "=" * max(len(title), 8)
+    print(f"\n{bar}\n{title}\n{bar}\n{body}\n")

@@ -1,0 +1,80 @@
+"""Predecessor sets — the set-based scheme of §2.2's optimality argument.
+
+A predecessor-set replica carries the identifiers of *all* previously
+executed update operations; dominance is subset inclusion.  The paper's
+Observation 2.1 argument: although the size looks site-count independent,
+every active site contributes at least one identifier, so the set is
+strictly larger than the version vector that compactly encodes it — and
+truncating it below the vector's information content causes false
+conflicts.  Experiment E7 measures exactly that growth.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Set, Tuple
+
+from repro.core.order import Ordering
+from repro.core.versionvector import VersionVector
+from repro.net.wire import Encoding
+
+#: One operation identifier: (site, per-site sequence number).
+OpId = Tuple[str, int]
+
+
+class PredecessorSet:
+    """A replica's set of executed-operation identifiers."""
+
+    __slots__ = ("_ops", "_seq")
+
+    def __init__(self) -> None:
+        self._ops: Set[OpId] = set()
+        self._seq: Dict[str, int] = {}
+
+    def copy(self) -> "PredecessorSet":
+        """An independent deep copy."""
+        clone = PredecessorSet()
+        clone._ops = set(self._ops)
+        clone._seq = dict(self._seq)
+        return clone
+
+    def record_update(self, site: str) -> OpId:
+        """Execute one local update; returns its identifier."""
+        self._seq[site] = self._seq.get(site, 0) + 1
+        op = (site, self._seq[site])
+        self._ops.add(op)
+        return op
+
+    def merge(self, other: "PredecessorSet") -> None:
+        """Union the executed-operation sets (reconciliation)."""
+        self._ops |= other._ops
+        for site, seq in other._seq.items():
+            self._seq[site] = max(self._seq.get(site, 0), seq)
+
+    def compare(self, other: "PredecessorSet") -> Ordering:
+        """Dominance by subset inclusion."""
+        if self._ops == other._ops:
+            return Ordering.EQUAL
+        if self._ops < other._ops:
+            return Ordering.BEFORE
+        if self._ops > other._ops:
+            return Ordering.AFTER
+        return Ordering.CONCURRENT
+
+    def __len__(self) -> int:
+        return len(self._ops)
+
+    def ops(self) -> FrozenSet[OpId]:
+        """The executed-operation identifiers (immutable view)."""
+        return frozenset(self._ops)
+
+    def to_version_vector(self) -> VersionVector:
+        """The compact encoding the paper says dominates this scheme.
+
+        Valid because a replica's history is *prefix-closed* per site: it
+        has executed operations 1..k of each site it knows about.
+        """
+        return VersionVector(self._seq)
+
+    def storage_bits(self, encoding: Encoding) -> int:
+        """Stored identifiers: (site, seq) per executed operation."""
+        return len(self._ops) * (encoding.site_bits + encoding.value_bits)

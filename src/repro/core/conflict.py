@@ -1,0 +1,72 @@
+"""Conflict rotating vectors (CRV) — §3.2 of the paper.
+
+SYNCB cannot be reused after synchronizing *concurrent* vectors: the merge
+rotates elements to the front without changing their values, which hides the
+elements behind them from later incremental syncs (the paper's θ₁/θ₃
+example).  CRV fixes this with one *conflict bit* per element:
+
+* every element modified during a reconciliation gets its bit set, and
+* ``SYNCC`` (:mod:`repro.protocols.syncc`) skips over set bits instead of
+  halting, so tagged elements can never hide unmodified ones.
+
+The bit is cleared whenever the element's value is incremented by a genuine
+local update.  The cost is Γ — elements the receiver already knows but that
+are retransmitted because their bit is set — making SYNCC O(|Δ|+|Γ|).
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from repro.core.rotating import BasicRotatingVector
+
+
+class ConflictRotatingVector(BasicRotatingVector):
+    """A BRV with one conflict bit per element.
+
+    The bit bookkeeping itself happens inside ``SYNCC``/``SYNCS`` (the bits
+    are protocol state); this class adds inspection helpers and a
+    constructor that sets bits explicitly.
+
+    >>> v = ConflictRotatingVector.from_pairs_with_bits(
+    ...     [("A", 2, True), ("B", 2, False)])
+    >>> v.conflict_bit("A"), v.conflict_bit("B")
+    (True, False)
+    """
+
+    kind = "crv"
+
+    __slots__ = ()
+
+    @classmethod
+    def from_pairs_with_bits(
+        cls, rows: List[Tuple[str, int, bool]]
+    ) -> "ConflictRotatingVector":
+        """Build a CRV from ``(site, value, conflict_bit)`` rows in ≺ order."""
+        vector = cls.from_pairs([(site, value) for site, value, _ in rows])
+        for site, _, bit in rows:
+            element = vector.order.get(site)
+            assert element is not None
+            element.conflict = bit
+        return vector
+
+    def conflict_bit(self, site: str) -> bool:
+        """``v.c[site]``; absent elements read as unset."""
+        element = self.order.get(site)
+        return element.conflict if element is not None else False
+
+    def set_conflict_bit(self, site: str, flag: bool = True) -> None:
+        """Set or clear ``v.c[site]``; the element must exist."""
+        element = self.order.get(site)
+        if element is None:
+            raise KeyError(f"no element for site {site!r}")
+        element.conflict = flag
+
+    def conflict_sites(self) -> List[str]:
+        """Sites whose conflict bit is set, in ≺ order."""
+        return [e.site for e in self.order if e.conflict]
+
+    def clear_conflict_bits(self) -> None:
+        """Clear every conflict bit (useful for tests and baselines)."""
+        for element in self.order:
+            element.conflict = False

@@ -1,0 +1,52 @@
+"""Causal ordering verdicts shared by every concurrency-control scheme.
+
+The paper compares replicas (and their metadata) into one of four causal
+relationships: equal, causally-precedes (``a ≺ b``), causally-follows
+(``b ≺ a``), and concurrent (``a ∥ b``).  Every metadata implementation in
+this package — plain version vectors, BRV, CRV, SRV, and causal graphs —
+reports comparisons using the same :class:`Ordering` enum so the replication
+layer can be metadata-agnostic.
+"""
+
+from __future__ import annotations
+
+import enum
+
+
+class Ordering(enum.Enum):
+    """Causal relationship between two replicas or their metadata."""
+
+    EQUAL = "equal"
+    #: ``a ≺ b`` — the left operand causally precedes the right one.
+    BEFORE = "before"
+    #: ``b ≺ a`` — the left operand causally follows the right one.
+    AFTER = "after"
+    #: ``a ∥ b`` — neither dominates; a syntactic conflict.
+    CONCURRENT = "concurrent"
+
+    @property
+    def is_concurrent(self) -> bool:
+        """True iff the operands are concurrent (``a ∥ b``)."""
+        return self is Ordering.CONCURRENT
+
+    @property
+    def is_comparable(self) -> bool:
+        """True iff the operands are *not* concurrent (``a ∦ b``)."""
+        return self is not Ordering.CONCURRENT
+
+    def flipped(self) -> "Ordering":
+        """The verdict with operands swapped: ``compare(b, a)``."""
+        if self is Ordering.BEFORE:
+            return Ordering.AFTER
+        if self is Ordering.AFTER:
+            return Ordering.BEFORE
+        return self
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        symbols = {
+            Ordering.EQUAL: "=",
+            Ordering.BEFORE: "≺",       # ≺
+            Ordering.AFTER: "≻",        # ≻
+            Ordering.CONCURRENT: "∥",   # ∥
+        }
+        return symbols[self]

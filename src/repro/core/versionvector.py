@@ -1,0 +1,150 @@
+"""Plain version vectors (Parker et al. 1986), the baseline scheme.
+
+A version vector is a map from site name to the number of updates made on
+that site.  Sites absent from the map implicitly have value 0; zero-valued
+elements are never stored or transmitted (this matches the paper's Figure 1
+caption, "zero valued elements have been removed from vectors").
+
+This module provides the *traditional* implementation against which the
+rotating variants are measured: comparison walks all elements and
+synchronization ships the entire vector.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Iterator, Mapping, Tuple
+
+from repro.core.order import Ordering
+
+
+class VersionVector:
+    """A mutable version vector: ``{site name: update count}``.
+
+    >>> v = VersionVector({"A": 2, "B": 1})
+    >>> v["A"], v["C"]
+    (2, 0)
+    >>> v.record_update("C")
+    >>> v["C"]
+    1
+    """
+
+    __slots__ = ("_counts",)
+
+    def __init__(self, counts: Mapping[str, int] | None = None) -> None:
+        self._counts: Dict[str, int] = {}
+        if counts:
+            for site, value in counts.items():
+                self._set(site, value)
+
+    # -- element access ----------------------------------------------------
+
+    def _set(self, site: str, value: int) -> None:
+        if value < 0:
+            raise ValueError(f"vector value for {site!r} must be >= 0, got {value}")
+        if value == 0:
+            self._counts.pop(site, None)
+        else:
+            self._counts[site] = value
+
+    def __getitem__(self, site: str) -> int:
+        """The value of ``site``'s element; 0 for absent sites."""
+        return self._counts.get(site, 0)
+
+    def __setitem__(self, site: str, value: int) -> None:
+        self._set(site, value)
+
+    def __contains__(self, site: str) -> bool:
+        return site in self._counts
+
+    def __len__(self) -> int:
+        """The number of non-zero elements."""
+        return len(self._counts)
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._counts)
+
+    def items(self) -> Iterable[Tuple[str, int]]:
+        """``(site, value)`` pairs for every non-zero element."""
+        return self._counts.items()
+
+    def sites(self) -> Iterable[str]:
+        """Site names with non-zero values."""
+        return self._counts.keys()
+
+    def total_updates(self) -> int:
+        """Sum of all element values (total updates this vector reflects)."""
+        return sum(self._counts.values())
+
+    # -- updates and merging -----------------------------------------------
+
+    def record_update(self, site: str) -> int:
+        """Record one local update on ``site``; returns the new value."""
+        value = self._counts.get(site, 0) + 1
+        self._counts[site] = value
+        return value
+
+    def merge(self, other: "VersionVector") -> None:
+        """Elementwise-max merge ``other`` into this vector (in place).
+
+        This is the semantics every SYNC* algorithm must reproduce: after
+        synchronization the ith value equals ``max(a[i], b[i])`` for all i.
+        """
+        for site, value in other.items():
+            if value > self._counts.get(site, 0):
+                self._counts[site] = value
+
+    def merged(self, other: "VersionVector") -> "VersionVector":
+        """A new vector equal to the elementwise max of the two operands."""
+        result = self.copy()
+        result.merge(other)
+        return result
+
+    def copy(self) -> "VersionVector":
+        """An independent copy."""
+        return VersionVector(self._counts)
+
+    # -- comparison ----------------------------------------------------------
+
+    def compare(self, other: "VersionVector") -> Ordering:
+        """Full elementwise comparison (the traditional O(n) algorithm).
+
+        ``a ≺ b`` iff ``a[i] <= b[i]`` for all i and ``a[j] < b[j]`` for
+        some j; concurrency is the absence of dominance either way.
+        """
+        less = False    # some element strictly smaller in self
+        greater = False  # some element strictly greater in self
+        for site in set(self._counts) | set(other._counts):
+            mine, theirs = self[site], other[site]
+            if mine < theirs:
+                less = True
+            elif mine > theirs:
+                greater = True
+            if less and greater:
+                return Ordering.CONCURRENT
+        if less:
+            return Ordering.BEFORE
+        if greater:
+            return Ordering.AFTER
+        return Ordering.EQUAL
+
+    def dominates(self, other: "VersionVector") -> bool:
+        """True iff this vector is equal to or causally follows ``other``."""
+        return self.compare(other) in (Ordering.EQUAL, Ordering.AFTER)
+
+    # -- dunder conveniences --------------------------------------------------
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, VersionVector):
+            return NotImplemented
+        return self._counts == other._counts
+
+    def __hash__(self) -> int:
+        return hash(frozenset(self._counts.items()))
+
+    def as_dict(self) -> Dict[str, int]:
+        """A plain-dict snapshot of the non-zero elements."""
+        return dict(self._counts)
+
+    def __repr__(self) -> str:
+        inner = ", ".join(f"{s}:{v}" for s, v in sorted(self._counts.items()))
+        return f"<{inner}>"

@@ -1,0 +1,57 @@
+"""Exception hierarchy for the ``repro`` library.
+
+Every error raised by this package derives from :class:`ReproError` so that
+callers can catch library failures with a single ``except`` clause while
+still distinguishing the interesting sub-cases.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the ``repro`` package."""
+
+
+class ConcurrentVectorsError(ReproError):
+    """A protocol that requires non-concurrent inputs received concurrent ones.
+
+    Raised by :func:`repro.protocols.syncb.sync_brv` when the two vectors are
+    concurrent: Algorithm 2 (SYNCB) carries the explicit precondition
+    ``a`` is not concurrent with ``b`` and BRV provides no conflict
+    reconciliation.
+    """
+
+
+class ConflictDetected(ReproError):
+    """Two replicas were found to be concurrent under a *manual* policy.
+
+    Manual conflict resolution excludes conflicting replicas from the system
+    until a human merges them; the replication layer signals that situation
+    with this exception (or records it, depending on configuration).
+    """
+
+    def __init__(self, message: str, *, site_a: str | None = None,
+                 site_b: str | None = None) -> None:
+        super().__init__(message)
+        self.site_a = site_a
+        self.site_b = site_b
+
+
+class ProtocolError(ReproError):
+    """A protocol state machine received a message it cannot handle."""
+
+
+class SessionError(ReproError):
+    """A protocol session driver failed to run its coroutines to completion."""
+
+
+class SimulationError(ReproError):
+    """The discrete-event simulator was asked to do something impossible."""
+
+
+class UnknownSiteError(ReproError, KeyError):
+    """A site name was used that the membership registry does not know."""
+
+
+class GraphError(ReproError):
+    """A causal/replication graph operation violated a structural invariant."""

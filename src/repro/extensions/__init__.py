@@ -1,0 +1,25 @@
+"""Orthogonal extensions the paper points at (§7).
+
+* :mod:`repro.extensions.pruning` — inactive-site removal for rotating
+  vectors, with the membership-manager retirement log.
+* :mod:`repro.extensions.varint` — adaptive (Elias-γ) value fields on the
+  wire, the simplest answer to unbounded counter growth.
+
+Hybrid transfer — bounded op logs with snapshot fallback (§6) — lives with
+the replication systems in :mod:`repro.replication.hybrid`.
+"""
+
+from repro.extensions.pruning import (Retirement, RetirementLog, is_prunable,
+                                      live_elements, prune, prune_all)
+from repro.extensions.varint import AdaptiveEncoding, elias_gamma_bits
+
+__all__ = [
+    "AdaptiveEncoding",
+    "Retirement",
+    "RetirementLog",
+    "elias_gamma_bits",
+    "is_prunable",
+    "live_elements",
+    "prune",
+    "prune_all",
+]

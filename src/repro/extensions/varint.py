@@ -1,0 +1,49 @@
+"""Adaptive (variable-length) value encoding — the §7 space note.
+
+The paper treats element values as fixed ``log m``-bit integers and points
+at lightweight/resettable counter schemes [25, 26] as orthogonal fixes for
+their unbounded growth.  This extension provides the simplest such fix on
+the *wire*: Elias-γ-style self-delimiting value fields, which price an
+element by the magnitude of its value instead of by a worst-case ``m``.
+
+It plugs in as an :class:`~repro.net.wire.Encoding` subclass — the message
+classes already route their value fields through
+:meth:`Encoding.value_field_bits` — so every protocol and benchmark can
+switch pricing with one constructor argument.  Table 2's fixed-width
+bounds are stated for the base encoding; the ablation benchmark
+``benchmarks/test_bench_ablation_encoding.py`` measures what the adaptive
+fields save on realistic value distributions (most counters are small).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.net.wire import Encoding
+
+
+def elias_gamma_bits(value: int) -> int:
+    """Size of Elias-γ(value+1): self-delimiting, 1 bit for value 0.
+
+    γ encodes a positive integer x in ``2·⌊log₂ x⌋ + 1`` bits; shifting by
+    one admits zero.
+    """
+    if value < 0:
+        raise ValueError(f"value must be >= 0, got {value}")
+    return 2 * int(math.floor(math.log2(value + 1))) + 1
+
+
+@dataclass(frozen=True)
+class AdaptiveEncoding(Encoding):
+    """Fixed-width site fields, Elias-γ value fields.
+
+    ``value_bits`` is retained as the *worst-case* width (used by the
+    Table 2 bound formulas, which stay valid upper bounds as long as
+    γ(value) ≤ value_bits for every value the system produces — i.e.
+    values stay under ``2^((value_bits−1)/2)``).
+    """
+
+    def value_field_bits(self, value: int) -> int:
+        """Price the value field by magnitude (Elias-γ)."""
+        return elias_gamma_bits(value)

@@ -1,0 +1,30 @@
+"""Graph substrates: causal graphs, replication graphs, and CRGs.
+
+* :mod:`repro.graphs.causalgraph` — per-replica operation dags (§6).
+* :mod:`repro.graphs.replicationgraph` — the system-wide replication graph
+  whose nodes are identical-replica classes (§4).
+* :mod:`repro.graphs.crg` — coalesced replication graphs, prefixing
+  segments, Π sets, and the analytic γ used by Theorem 5.1.
+"""
+
+from repro.graphs.causalgraph import CausalGraph, GraphNode, build_graph
+from repro.graphs.crg import CoalescedGraph, CRGNode, coalesce
+from repro.graphs.render import (render_causal_graph, render_segments,
+                                 render_replication_graph,
+                                 vector_orders_table)
+from repro.graphs.replicationgraph import ReplicationGraph, VersionNode
+
+__all__ = [
+    "CRGNode",
+    "CausalGraph",
+    "CoalescedGraph",
+    "GraphNode",
+    "ReplicationGraph",
+    "VersionNode",
+    "build_graph",
+    "coalesce",
+    "render_causal_graph",
+    "render_replication_graph",
+    "render_segments",
+    "vector_orders_table",
+]

@@ -1,0 +1,316 @@
+"""Causal graphs for operation-transfer systems (§6 of the paper).
+
+A causal graph is a dag in which each node represents one *operation*
+executed against a replicated object.  Nodes have at most two parents:
+single-parent nodes are ordinary updates; double-parent nodes are conflict
+reconciliations (merges).  The graph of a replica has a single *source*
+(the object-creation operation, shared by all replicas of the object) and —
+between synchronizations — a single *sink*, the latest operation executed
+on the replica.
+
+Replica comparison (§6) is O(1) given the peers' sink identifiers: if the
+sink of one replica exists in the other's graph but not vice versa, the
+former causally precedes the latter; neither ⇒ concurrent; both ⇒ equal.
+Node lookup is a hash-table access (the paper's stated assumption).
+
+The class supports two mutation styles:
+
+* the validated, append-only API used by the operation-transfer layer
+  (:meth:`append`, :meth:`merge_sinks`), which maintains the single-sink
+  discipline and requires parents to exist; and
+* the out-of-order :meth:`install` used by ``SYNCG``'s receiver, which adds
+  nodes children-first as the sender's reverse DFS delivers them.  Between
+  a synchronization and the subsequent reconciliation a graph legitimately
+  has two sinks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Hashable, Iterable, Iterator, List, Optional, Set, Tuple
+
+from repro.core.order import Ordering
+from repro.errors import GraphError
+
+NodeId = Hashable
+
+
+@dataclass(frozen=True)
+class GraphNode:
+    """One operation node: identifier and up to two parent identifiers.
+
+    The paper arbitrarily calls either parent of a merge node "left"; a
+    single-parent node has only a left parent, and the source has none.
+    """
+
+    node_id: NodeId
+    left_parent: Optional[NodeId] = None
+    right_parent: Optional[NodeId] = None
+
+    @property
+    def parents(self) -> Tuple[NodeId, ...]:
+        return tuple(p for p in (self.left_parent, self.right_parent)
+                     if p is not None)
+
+    @property
+    def is_merge(self) -> bool:
+        return self.left_parent is not None and self.right_parent is not None
+
+    @property
+    def is_source(self) -> bool:
+        return self.left_parent is None and self.right_parent is None
+
+
+class CausalGraph:
+    """A replica's causal graph with O(1) node lookup and sink tracking."""
+
+    __slots__ = ("_nodes", "_children")
+
+    def __init__(self) -> None:
+        self._nodes: Dict[NodeId, GraphNode] = {}
+        # Children sets may hold entries for parents that have not arrived
+        # yet (out-of-order install during SYNCG); such ids are not nodes.
+        self._children: Dict[NodeId, Set[NodeId]] = {}
+
+    # -- construction (validated, append-only) ----------------------------------
+
+    @classmethod
+    def with_source(cls, node_id: NodeId) -> "CausalGraph":
+        """A fresh graph containing only the object-creation operation."""
+        graph = cls()
+        graph.install(GraphNode(node_id))
+        return graph
+
+    def append(self, node_id: NodeId, parent: NodeId) -> GraphNode:
+        """Record an ordinary update on top of ``parent`` (usually the sink)."""
+        if parent not in self._nodes:
+            raise GraphError(f"parent {parent!r} not in graph")
+        if node_id in self._nodes:
+            raise GraphError(f"node {node_id!r} already in graph")
+        return self.install(GraphNode(node_id, parent))
+
+    def merge_sinks(self, node_id: NodeId, left: NodeId,
+                    right: NodeId) -> GraphNode:
+        """Record a reconciliation joining two concurrent lineages."""
+        for parent in (left, right):
+            if parent not in self._nodes:
+                raise GraphError(f"parent {parent!r} not in graph")
+        if node_id in self._nodes:
+            raise GraphError(f"node {node_id!r} already in graph")
+        if left == right:
+            raise GraphError("merge parents must differ")
+        return self.install(GraphNode(node_id, left, right))
+
+    def install(self, node: GraphNode) -> GraphNode:
+        """Low-level insert that tolerates not-yet-present parents.
+
+        Used by the SYNCG receiver, whose reverse-DFS stream delivers
+        children before parents; by session end the graph is ancestor-closed
+        again.  Re-installing an identical node is a no-op; conflicting
+        parent data raises :class:`GraphError`.
+        """
+        existing = self._nodes.get(node.node_id)
+        if existing is not None:
+            if existing != node:
+                raise GraphError(
+                    f"node {node.node_id!r} already present with different "
+                    f"parents: {existing} vs {node}")
+            return existing
+        self._nodes[node.node_id] = node
+        self._children.setdefault(node.node_id, set())
+        for parent in node.parents:
+            self._children.setdefault(parent, set()).add(node.node_id)
+        return node
+
+    # -- lookups ----------------------------------------------------------------
+
+    def __contains__(self, node_id: NodeId) -> bool:
+        return node_id in self._nodes
+
+    def __len__(self) -> int:
+        return len(self._nodes)
+
+    def node(self, node_id: NodeId) -> GraphNode:
+        """The node record for ``node_id``; raises GraphError if absent."""
+        try:
+            return self._nodes[node_id]
+        except KeyError:
+            raise GraphError(f"no node {node_id!r}") from None
+
+    def nodes(self) -> Iterator[GraphNode]:
+        """All node records, in insertion order."""
+        return iter(self._nodes.values())
+
+    def node_ids(self) -> Set[NodeId]:
+        """The set of node identifiers (``V`` in the paper)."""
+        return set(self._nodes)
+
+    def arcs(self) -> Set[Tuple[NodeId, NodeId]]:
+        """All ``(parent, child)`` arcs."""
+        result: Set[Tuple[NodeId, NodeId]] = set()
+        for node in self._nodes.values():
+            for parent in node.parents:
+                result.add((parent, node.node_id))
+        return result
+
+    def children(self, node_id: NodeId) -> Set[NodeId]:
+        """Present children of ``node_id`` (ids not installed don't count)."""
+        return {c for c in self._children.get(node_id, ())
+                if c in self._nodes}
+
+    def sinks(self) -> List[NodeId]:
+        """Nodes with no (present) children, in deterministic order."""
+        found = [node_id for node_id in self._nodes
+                 if not self.children(node_id)]
+        return sorted(found, key=repr)
+
+    @property
+    def sink(self) -> NodeId:
+        """The unique sink; raises if the graph is mid-reconciliation."""
+        sinks = self.sinks()
+        if len(sinks) != 1:
+            raise GraphError(f"graph has {len(sinks)} sinks: {sinks}")
+        return sinks[0]
+
+    def sources(self) -> List[NodeId]:
+        """Parentless nodes (object creations), deterministic order."""
+        return sorted((node_id for node_id, node in self._nodes.items()
+                       if node.is_source), key=repr)
+
+    # -- traversal ----------------------------------------------------------------
+
+    def ancestors(self, node_id: NodeId) -> Set[NodeId]:
+        """All proper ancestors of ``node_id`` (present in the graph)."""
+        result: Set[NodeId] = set()
+        stack = list(self.node(node_id).parents)
+        while stack:
+            current = stack.pop()
+            if current in result or current not in self._nodes:
+                continue
+            result.add(current)
+            stack.extend(self._nodes[current].parents)
+        return result
+
+    def common_ancestors(self, left: NodeId, right: NodeId) -> Set[NodeId]:
+        """Nodes in the causal past of both ``left`` and ``right``.
+
+        Each argument counts as its own ancestor, so a fast-forward pair
+        reports the older node among the result.
+        """
+        left_past = self.ancestors(left) | {left}
+        right_past = self.ancestors(right) | {right}
+        return left_past & right_past
+
+    def merge_bases(self, left: NodeId, right: NodeId) -> List[NodeId]:
+        """The *maximal* common ancestors — three-way merge bases (§6).
+
+        "Distributed revision control systems use the causal hierarchy for
+        versioning control and efficient three-way merging": the merge base
+        of two heads is a common ancestor no other common ancestor
+        descends from.  Criss-cross histories have several; the list is
+        deterministic and callers pick (or recursively merge) per policy.
+        """
+        common = self.common_ancestors(left, right)
+        dominated: Set[NodeId] = set()
+        for node_id in common:
+            dominated |= self.ancestors(node_id) & common
+        return sorted((n for n in common if n not in dominated), key=repr)
+
+    def merge_base(self, left: NodeId, right: NodeId) -> NodeId:
+        """One deterministic merge base (the first of :meth:`merge_bases`)."""
+        bases = self.merge_bases(left, right)
+        if not bases:
+            raise GraphError(f"{left!r} and {right!r} share no ancestor")
+        return bases[0]
+
+    def is_ancestor_closed(self) -> bool:
+        """True iff every referenced parent is present (steady-state invariant)."""
+        return all(parent in self._nodes
+                   for node in self._nodes.values()
+                   for parent in node.parents)
+
+    def topological_order(self) -> List[NodeId]:
+        """Parents-before-children order with deterministic tie-breaking."""
+        indegree = {node_id: len([p for p in node.parents if p in self._nodes])
+                    for node_id, node in self._nodes.items()}
+        ready = sorted((n for n, d in indegree.items() if d == 0), key=repr)
+        order: List[NodeId] = []
+        while ready:
+            current = ready.pop(0)
+            order.append(current)
+            added = sorted(self.children(current), key=repr)
+            for child in added:
+                indegree[child] -= 1
+                if indegree[child] == 0:
+                    ready.append(child)
+            ready.sort(key=repr)
+        if len(order) != len(self._nodes):
+            raise GraphError("graph contains a cycle")
+        return order
+
+    # -- comparison and set views ----------------------------------------------
+
+    def compare(self, other: "CausalGraph") -> Ordering:
+        """§6 replica comparison via mutual sink membership; O(1)."""
+        mine, theirs = self.sink, other.sink
+        i_know_theirs = theirs in self
+        they_know_mine = mine in other
+        if i_know_theirs and they_know_mine:
+            return Ordering.EQUAL
+        if they_know_mine:
+            return Ordering.BEFORE
+        if i_know_theirs:
+            return Ordering.AFTER
+        return Ordering.CONCURRENT
+
+    def union_with(self, other: "CausalGraph") -> "CausalGraph":
+        """A new graph containing both node sets (the SYNCG postcondition)."""
+        result = self.copy()
+        for node in other.nodes():
+            result.install(node)
+        return result
+
+    def copy(self) -> "CausalGraph":
+        """An independent copy of the graph."""
+        clone = CausalGraph()
+        for node in self._nodes.values():
+            clone.install(node)
+        return clone
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, CausalGraph):
+            return NotImplemented
+        return self._nodes == other._nodes
+
+    def __hash__(self) -> int:  # pragma: no cover - graphs are mutable
+        raise TypeError("causal graphs are mutable and unhashable")
+
+    def __repr__(self) -> str:
+        return f"CausalGraph({len(self._nodes)} nodes, sinks={self.sinks()})"
+
+
+def build_graph(arcs: Iterable[Tuple[Optional[NodeId], NodeId]]) -> CausalGraph:
+    """Build a graph from ``(parent, child)`` pairs; ``(None, root)`` adds roots.
+
+    Multiple pairs with the same child accumulate its (≤2) parents in left,
+    right order.  Convenient for tests and scripted scenarios.
+    """
+    parents: Dict[NodeId, List[NodeId]] = {}
+    seen: List[NodeId] = []
+    for parent, child in arcs:
+        if child not in parents:
+            parents[child] = []
+            seen.append(child)
+        if parent is not None:
+            if len(parents[child]) == 2:
+                raise GraphError(f"node {child!r} would have >2 parents")
+            parents[child].append(parent)
+    graph = CausalGraph()
+    for child in seen:
+        plist = parents[child]
+        left = plist[0] if plist else None
+        right = plist[1] if len(plist) > 1 else None
+        graph.install(GraphNode(child, left, right))
+    if not graph.is_ancestor_closed():
+        raise GraphError("arc list references parents that never appear")
+    return graph

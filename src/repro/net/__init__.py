@@ -1,0 +1,29 @@
+"""Simulated network substrate: wire pricing, statistics, and timing.
+
+* :mod:`repro.net.wire` — bit-exact message pricing matching Table 2.
+* :mod:`repro.net.stats` — per-session traffic counters.
+* :mod:`repro.net.simulator` — a small discrete-event simulation kernel.
+* :mod:`repro.net.channel` — duplex channels with latency and bandwidth.
+* :mod:`repro.net.runner` — runs protocol coroutines on simulated time to
+  measure completion time (pipelined vs stop-and-wait) and the β excess.
+* :mod:`repro.net.codec` — real bit-level serialization of every message;
+  the serialized session driver proves priced bits == wire bits.
+"""
+
+from repro.net.codec import (BitReader, BitWriter, Codec, NodeInterner,
+                             run_session_serialized)
+from repro.net.stats import DirectionStats, TransferStats
+from repro.net.wire import DEFAULT_ENCODING, Encoding, bits_for
+
+__all__ = [
+    "BitReader",
+    "BitWriter",
+    "Codec",
+    "DEFAULT_ENCODING",
+    "DirectionStats",
+    "NodeInterner",
+    "Encoding",
+    "TransferStats",
+    "run_session_serialized",
+    "bits_for",
+]

@@ -1,0 +1,65 @@
+"""Simulated network links: latency, bandwidth, and the β product.
+
+The paper's pipelining analysis (§3.1) is parameterized by the network
+round-trip time and the bandwidth–delay product ``β = bandwidth · rtt``:
+pipelining shaves ``(k−1)·rtt`` off a k-item exchange and wastes at most
+``β`` bytes of in-flight excess once the receiver has answered.  This
+module defines the link model those quantities come from; the timed runner
+(:mod:`repro.net.runner`) interprets protocol effects against it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class ChannelSpec:
+    """A symmetric duplex link.
+
+    Attributes:
+        latency: one-way propagation delay in seconds.
+        bandwidth: link rate in bits per second (serialization delay of a
+            message is ``bits / bandwidth``).
+        ack_bits: size of the per-item acknowledgment used by the
+            stop-and-wait baseline (pipelining "suppresses (k−1) reply
+            messages as they now become implicit", §3.1).
+    """
+
+    latency: float = 0.05
+    bandwidth: float = 1_000_000.0
+    ack_bits: int = 8
+
+    def __post_init__(self) -> None:
+        if self.latency < 0:
+            raise ValueError(f"latency must be >= 0, got {self.latency}")
+        if self.bandwidth <= 0:
+            raise ValueError(f"bandwidth must be > 0, got {self.bandwidth}")
+        if self.ack_bits < 1:
+            raise ValueError(f"ack_bits must be >= 1, got {self.ack_bits}")
+
+    @property
+    def rtt(self) -> float:
+        """Round-trip propagation time in seconds."""
+        return 2 * self.latency
+
+    @property
+    def beta_bits(self) -> float:
+        """The bandwidth–delay product β in bits (§3.1's excess bound)."""
+        return self.bandwidth * self.rtt
+
+    def serialization_delay(self, bits: int) -> float:
+        """Time the link is occupied transmitting ``bits``."""
+        return bits / self.bandwidth
+
+    def one_way_delay(self, bits: int) -> float:
+        """Serialization plus propagation for a ``bits``-sized message."""
+        return self.serialization_delay(bits) + self.latency
+
+    def stop_and_wait_overhead(self) -> float:
+        """Extra time per item paid by the stop-and-wait baseline.
+
+        The sender idles for the propagation out, the ack serialization,
+        and the propagation back before the next item may start.
+        """
+        return self.rtt + self.serialization_delay(self.ack_bits)

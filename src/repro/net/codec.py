@@ -1,0 +1,423 @@
+"""Bit-exact serialization of protocol messages.
+
+Everywhere else in the library, messages are Python objects *priced* in
+bits; this module makes the pricing honest by actually encoding every
+message into Table 2's layouts and decoding it back.  The serialized
+session driver (:func:`run_session_serialized`) routes every transmission
+through encode→bits→decode and asserts the measured bit length equals the
+priced one, so the communication numbers reported by the benchmarks are
+realizable wire formats, not estimates.
+
+Layouts (first bit = frame tag; widths from the session's
+:class:`~repro.net.wire.Encoding`):
+
+====================== =============================================
+BRV forward            ``0 site value`` · HALT ``1 0``
+CRV forward            ``0 site value c`` · HALT ``1 0``
+SRV forward            ``0 site value c s`` · HALT ``1``
+SRV backward           ``0 segs`` (SKIP) · HALT ``1``
+graph forward          ``0 node lp rp`` · HALT ``1``
+graph backward         ``0 node`` (skip-to) · ABORT ``1``
+COMPARE                ``site value`` then ``bit`` (verdict)
+full vector            ``count (site value)×count``
+full graph             ``count (node lp rp)×count``
+====================== =============================================
+
+Sites ride as registry ids; graph node ids must be integers (real systems
+use integer or hash identifiers — the tuple ids of the simulation layer
+are a convenience above this layer).  Value fields honor the encoding's
+:meth:`~repro.net.wire.Encoding.value_field_bits` hook, so the adaptive
+Elias-γ extension serializes too.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Generator, List, Optional, Tuple
+
+from repro.errors import ProtocolError
+from repro.extensions.varint import AdaptiveEncoding
+from repro.net.wire import Encoding
+from repro.protocols.effects import Send
+from repro.protocols.messages import (AbortMsg, CompareLeast, ElementCMsg,
+                                      ElementMsg, ElementSMsg, FullGraphMsg,
+                                      FullVectorMsg, GraphNodeMsg, Halt,
+                                      Message, Skip, SkipToMsg, VerdictBit)
+from repro.protocols.session import (ProtocolCoroutine, SessionResult,
+                                     run_session)
+from repro.replication.membership import SiteRegistry
+
+
+class BitWriter:
+    """Append-only big-endian bit buffer."""
+
+    def __init__(self) -> None:
+        self._bits: List[int] = []
+
+    def write(self, value: int, width: int) -> None:
+        """Append ``value`` as a fixed ``width``-bit big-endian field."""
+        if value < 0 or (width < 64 and value >= (1 << width)):
+            raise ProtocolError(f"value {value} does not fit in {width} bits")
+        for position in range(width - 1, -1, -1):
+            self._bits.append((value >> position) & 1)
+
+    def write_gamma(self, value: int) -> None:
+        """Append Elias-γ(value + 1): self-delimiting, 1 bit for zero."""
+        shifted = value + 1
+        length = shifted.bit_length() - 1
+        for _ in range(length):
+            self._bits.append(0)
+        self.write(shifted, length + 1)
+
+    @property
+    def bit_length(self) -> int:
+        """Bits written so far."""
+        return len(self._bits)
+
+    def getvalue(self) -> bytes:
+        """The buffer as bytes, zero-padded to a byte boundary."""
+        padded = self._bits + [0] * (-len(self._bits) % 8)
+        out = bytearray()
+        for index in range(0, len(padded), 8):
+            byte = 0
+            for bit in padded[index:index + 8]:
+                byte = (byte << 1) | bit
+            out.append(byte)
+        return bytes(out)
+
+
+class BitReader:
+    """Sequential reader over a :class:`BitWriter`'s output."""
+
+    def __init__(self, data: bytes, bit_length: int) -> None:
+        self._data = data
+        self._bit_length = bit_length
+        self._position = 0
+
+    def read(self, width: int) -> int:
+        """Read a fixed ``width``-bit big-endian field."""
+        if self._position + width > self._bit_length:
+            raise ProtocolError("bitstream underrun")
+        value = 0
+        for _ in range(width):
+            byte = self._data[self._position // 8]
+            bit = (byte >> (7 - self._position % 8)) & 1
+            value = (value << 1) | bit
+            self._position += 1
+        return value
+
+    def read_gamma(self) -> int:
+        """Read an Elias-γ field written by :meth:`BitWriter.write_gamma`."""
+        length = 0
+        while self.read(1) == 0:
+            length += 1
+        value = 1
+        for _ in range(length):
+            value = (value << 1) | self.read(1)
+        return value - 1
+
+    @property
+    def remaining(self) -> int:
+        """Unread bits."""
+        return self._bit_length - self._position
+
+
+#: Channel identifiers: (protocol kind, direction).
+CHANNELS = ("brv_fwd", "brv_bwd", "crv_fwd", "crv_bwd", "srv_fwd",
+            "srv_bwd", "graph_fwd", "graph_bwd", "compare",
+            "full_vector", "full_graph")
+
+#: Reserved graph-id code for "no parent" (ids are shifted by one).
+_NIL = 0
+
+
+class NodeInterner:
+    """Bijective mapping between arbitrary graph node ids and wire ints.
+
+    Operation identifiers in the simulation layer are ``(site, seq)``
+    tuples; on a real wire they would be integers or content hashes that
+    both parties compute identically.  The interner stands in for that:
+    one instance is shared by both endpoints of a session (like the site
+    registry), assigning dense integer codes on first sight.
+    """
+
+    def __init__(self) -> None:
+        self._codes: dict = {}
+        self._nodes: list = []
+
+    def encode(self, node: Any) -> int:
+        """The wire integer for ``node``, assigned on first use."""
+        code = self._codes.get(node)
+        if code is None:
+            code = len(self._nodes)
+            self._codes[node] = code
+            self._nodes.append(node)
+        return code
+
+    def decode(self, code: int) -> Any:
+        """The node id behind a wire integer."""
+        try:
+            return self._nodes[code]
+        except IndexError:
+            raise ProtocolError(f"unknown node code {code}") from None
+
+    def __len__(self) -> int:
+        return len(self._nodes)
+
+
+class _IdentityInterner:
+    """Default interner: node ids are already integers."""
+
+    def encode(self, node: Any) -> int:
+        """Pass an int through, rejecting anything else."""
+        if not isinstance(node, int) or node < 0:
+            raise ProtocolError(
+                f"graph node id {node!r} is not a non-negative int; "
+                f"pass a NodeInterner to the codec")
+        return node
+
+    def decode(self, code: int) -> Any:
+        """Pass the wire int through unchanged."""
+        return code
+
+
+class Codec:
+    """Encode/decode every protocol message under one system's encoding.
+
+    Args:
+        encoding: field widths (and value-field pricing policy).
+        registry: site-name ↔ id mapping shared by both parties (the
+            membership manager's responsibility in a deployment).  Site id
+            0 is reserved to announce an empty vector in COMPARE, so the
+            wire id of site *k* is *k + 1* — which is why
+            :func:`~repro.net.wire.bits_for` sizes fields for ``count + 1``.
+    """
+
+    def __init__(self, encoding: Encoding, registry: SiteRegistry,
+                 interner: Any = None) -> None:
+        self.encoding = encoding
+        self.registry = registry
+        self.interner = interner if interner is not None else _IdentityInterner()
+        self._adaptive = isinstance(encoding, AdaptiveEncoding)
+
+    # -- field helpers -----------------------------------------------------------
+
+    def _write_site(self, writer: BitWriter, site: Optional[str]) -> None:
+        code = 0 if site is None else self.registry.id_of(site) + 1
+        writer.write(code, self.encoding.site_bits)
+
+    def _read_site(self, reader: BitReader) -> Optional[str]:
+        code = reader.read(self.encoding.site_bits)
+        return None if code == 0 else self.registry.name_of(code - 1)
+
+    def _write_value(self, writer: BitWriter, value: int) -> None:
+        if self._adaptive:
+            writer.write_gamma(value)
+        else:
+            writer.write(value, self.encoding.value_bits)
+
+    def _read_value(self, reader: BitReader) -> int:
+        if self._adaptive:
+            return reader.read_gamma()
+        return reader.read(self.encoding.value_bits)
+
+    def _write_node(self, writer: BitWriter, node: Optional[Any]) -> None:
+        code = _NIL if node is None else self.interner.encode(node) + 1
+        writer.write(code, self.encoding.node_id_bits)
+
+    def _read_node(self, reader: BitReader) -> Optional[Any]:
+        code = reader.read(self.encoding.node_id_bits)
+        return None if code == _NIL else self.interner.decode(code - 1)
+
+    # -- encoding -------------------------------------------------------------------
+
+    def encode(self, message: Message, channel: str) -> Tuple[bytes, int]:
+        """Serialize ``message`` for ``channel``; returns (bytes, bit length)."""
+        writer = BitWriter()
+        if channel in ("brv_fwd", "crv_fwd", "srv_fwd"):
+            self._encode_forward_element(writer, message, channel)
+        elif channel in ("brv_bwd", "crv_bwd"):
+            if not isinstance(message, Halt):
+                raise ProtocolError(f"{channel} carries HALT only")
+            writer.write(0b10, 2)
+        elif channel == "srv_bwd":
+            if isinstance(message, Halt):
+                writer.write(1, 1)
+            elif isinstance(message, Skip):
+                writer.write(0, 1)
+                writer.write(message.segs, self.encoding.site_bits)
+            else:
+                raise ProtocolError(f"srv_bwd cannot carry {message!r}")
+        elif channel == "graph_fwd":
+            if isinstance(message, Halt):
+                writer.write(1, 1)
+            elif isinstance(message, GraphNodeMsg):
+                writer.write(0, 1)
+                self._write_node(writer, message.node)
+                self._write_node(writer, message.left_parent)
+                self._write_node(writer, message.right_parent)
+            else:
+                raise ProtocolError(f"graph_fwd cannot carry {message!r}")
+        elif channel == "graph_bwd":
+            if isinstance(message, AbortMsg):
+                writer.write(1, 1)
+            elif isinstance(message, SkipToMsg):
+                writer.write(0, 1)
+                self._write_node(writer, message.node)
+            else:
+                raise ProtocolError(f"graph_bwd cannot carry {message!r}")
+        elif channel == "compare":
+            if isinstance(message, CompareLeast):
+                self._write_site(writer, message.site)
+                self._write_value(writer, message.value)
+            elif isinstance(message, VerdictBit):
+                writer.write(1 if message.dominated else 0, 1)
+            else:
+                raise ProtocolError(f"compare cannot carry {message!r}")
+        elif channel == "full_vector":
+            if not isinstance(message, FullVectorMsg):
+                raise ProtocolError(f"full_vector cannot carry {message!r}")
+            writer.write(len(message.pairs), self.encoding.site_bits)
+            for site, value in message.pairs:
+                self._write_site(writer, site)
+                self._write_value(writer, value)
+        elif channel == "full_graph":
+            if not isinstance(message, FullGraphMsg):
+                raise ProtocolError(f"full_graph cannot carry {message!r}")
+            writer.write(len(message.nodes), self.encoding.node_id_bits)
+            for node, left, right in message.nodes:
+                self._write_node(writer, node)
+                self._write_node(writer, left)
+                self._write_node(writer, right)
+        else:
+            raise ProtocolError(f"unknown channel {channel!r}")
+        return writer.getvalue(), writer.bit_length
+
+    def _encode_forward_element(self, writer: BitWriter, message: Message,
+                                channel: str) -> None:
+        if isinstance(message, Halt):
+            if channel == "srv_fwd":
+                writer.write(1, 1)
+            else:
+                writer.write(0b10, 2)
+            return
+        writer.write(0, 1)
+        if channel == "brv_fwd":
+            assert isinstance(message, ElementMsg)
+            self._write_site(writer, message.site)
+            self._write_value(writer, message.value)
+        elif channel == "crv_fwd":
+            assert isinstance(message, ElementCMsg)
+            self._write_site(writer, message.site)
+            self._write_value(writer, message.value)
+            writer.write(1 if message.conflict else 0, 1)
+        else:
+            assert isinstance(message, ElementSMsg)
+            self._write_site(writer, message.site)
+            self._write_value(writer, message.value)
+            writer.write(1 if message.conflict else 0, 1)
+            writer.write(1 if message.segment else 0, 1)
+
+    # -- decoding --------------------------------------------------------------------
+
+    def decode(self, data: bytes, bit_length: int, channel: str) -> Message:
+        """Reconstruct the message serialized by :meth:`encode`."""
+        reader = BitReader(data, bit_length)
+        if channel in ("brv_fwd", "crv_fwd", "srv_fwd"):
+            if reader.read(1) == 1:
+                if channel != "srv_fwd":
+                    reader.read(1)
+                    return Halt(2)
+                return Halt(1)
+            site = self._read_site(reader)
+            assert site is not None
+            value = self._read_value(reader)
+            if channel == "brv_fwd":
+                return ElementMsg(site, value)
+            if channel == "crv_fwd":
+                return ElementCMsg(site, value, bool(reader.read(1)))
+            return ElementSMsg(site, value, bool(reader.read(1)),
+                               bool(reader.read(1)))
+        if channel in ("brv_bwd", "crv_bwd"):
+            reader.read(2)
+            return Halt(2)
+        if channel == "srv_bwd":
+            if reader.read(1) == 1:
+                return Halt(1)
+            return Skip(reader.read(self.encoding.site_bits))
+        if channel == "graph_fwd":
+            if reader.read(1) == 1:
+                return Halt(1)
+            node = self._read_node(reader)
+            assert node is not None
+            return GraphNodeMsg(node, self._read_node(reader),
+                                self._read_node(reader))
+        if channel == "graph_bwd":
+            if reader.read(1) == 1:
+                return AbortMsg()
+            node = self._read_node(reader)
+            assert node is not None
+            return SkipToMsg(node)
+        if channel == "compare":
+            if bit_length == 1:
+                return VerdictBit(bool(reader.read(1)))
+            site = self._read_site(reader)
+            return CompareLeast(site, self._read_value(reader))
+        if channel == "full_vector":
+            count = reader.read(self.encoding.site_bits)
+            pairs = []
+            for _ in range(count):
+                site = self._read_site(reader)
+                assert site is not None
+                pairs.append((site, self._read_value(reader)))
+            return FullVectorMsg(tuple(pairs))
+        if channel == "full_graph":
+            count = reader.read(self.encoding.node_id_bits)
+            rows = []
+            for _ in range(count):
+                node = self._read_node(reader)
+                assert node is not None
+                rows.append((node, self._read_node(reader),
+                             self._read_node(reader)))
+            return FullGraphMsg(tuple(rows))
+        raise ProtocolError(f"unknown channel {channel!r}")
+
+    def roundtrip(self, message: Message, channel: str) -> Tuple[Message, int]:
+        """Encode then decode; returns (reconstructed message, bit length)."""
+        data, bit_length = self.encode(message, channel)
+        return self.decode(data, bit_length, channel), bit_length
+
+
+def _serializing(gen: ProtocolCoroutine, codec: Codec,
+                 channel: str) -> Generator[Any, Any, Any]:
+    """Route every outgoing message of ``gen`` through encode→decode.
+
+    Also asserts the serialized bit length equals the message's priced
+    ``bits()`` — the property that keeps every benchmark honest.
+    """
+    try:
+        effect = next(gen)
+        while True:
+            if isinstance(effect, Send):
+                decoded, bit_length = codec.roundtrip(effect.message, channel)
+                priced = effect.message.bits(codec.encoding)
+                if bit_length != priced:
+                    raise ProtocolError(
+                        f"pricing mismatch on {channel}: serialized "
+                        f"{bit_length} bits, priced {priced} for "
+                        f"{effect.message!r}")
+                effect = Send(decoded)
+            value = yield effect
+            effect = gen.send(value)
+    except StopIteration as stop:
+        return stop.value
+
+
+def run_session_serialized(sender: ProtocolCoroutine,
+                           receiver: ProtocolCoroutine, *,
+                           codec: Codec, forward_channel: str,
+                           backward_channel: str) -> SessionResult:
+    """Run a session with every message physically serialized both ways."""
+    return run_session(
+        _serializing(sender, codec, forward_channel),
+        _serializing(receiver, codec, backward_channel),
+        encoding=codec.encoding)

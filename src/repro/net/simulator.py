@@ -1,0 +1,152 @@
+"""A small discrete-event simulation kernel.
+
+The paper's running-time claims (pipelining saves ``(k−1)·rtt``; costs at
+most ``β = bandwidth·rtt`` bytes of excess transmission) are about time,
+which the instant session driver deliberately abstracts away.  This kernel
+provides the simulated clock: an event queue plus generator-based
+*processes* that yield either a delay (``float`` seconds) or a
+:class:`Signal` to wait on.
+
+The kernel is deliberately tiny — deterministic, single-clock, no real
+concurrency — because the paper's experiments need nothing more, and a
+small kernel is easy to test exhaustively.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Any, Callable, Generator, List, Optional, Tuple, Union
+
+from repro.errors import SimulationError
+
+ProcessGen = Generator[Union[float, int, "Signal"], Any, Any]
+
+
+class Signal:
+    """A broadcast condition processes can wait on.
+
+    ``yield signal`` parks the process until someone calls :meth:`fire`;
+    every waiter resumes at the firing instant.
+    """
+
+    __slots__ = ("_sim", "_waiters", "name")
+
+    def __init__(self, sim: "Simulator", name: str = "") -> None:
+        self._sim = sim
+        self._waiters: List[Callable[[], None]] = []
+        self.name = name
+
+    def fire(self) -> None:
+        """Wake every waiter at the current simulation time."""
+        waiters, self._waiters = self._waiters, []
+        for resume in waiters:
+            self._sim.call_at(self._sim.now, resume)
+
+    def _add_waiter(self, resume: Callable[[], None]) -> None:
+        self._waiters.append(resume)
+
+    @property
+    def waiter_count(self) -> int:
+        return len(self._waiters)
+
+
+class Simulator:
+    """Deterministic event queue with a floating-point clock."""
+
+    def __init__(self) -> None:
+        self.now = 0.0
+        self._queue: List[Tuple[float, int, Callable[[], None]]] = []
+        self._sequence = itertools.count()
+        self._active_processes = 0
+        self._blocked_processes = 0
+
+    # -- event scheduling ---------------------------------------------------------
+
+    def call_at(self, time: float, fn: Callable[[], None]) -> None:
+        """Run ``fn`` at absolute simulated ``time`` (FIFO within a tick)."""
+        if time < self.now:
+            raise SimulationError(
+                f"cannot schedule at {time} before now={self.now}")
+        heapq.heappush(self._queue, (time, next(self._sequence), fn))
+
+    def call_after(self, delay: float, fn: Callable[[], None]) -> None:
+        """Run ``fn`` after ``delay`` simulated seconds."""
+        if delay < 0:
+            raise SimulationError(f"negative delay {delay}")
+        self.call_at(self.now + delay, fn)
+
+    def signal(self, name: str = "") -> Signal:
+        """A fresh condition bound to this simulator's clock."""
+        return Signal(self, name)
+
+    # -- processes ------------------------------------------------------------------
+
+    def spawn(self, process: ProcessGen,
+              on_exit: Optional[Callable[[Any], None]] = None) -> None:
+        """Start a generator-based process.
+
+        The process yields a non-negative number to sleep that many
+        simulated seconds, or a :class:`Signal` to park until it fires.
+        ``on_exit`` receives the generator's return value.
+        """
+        self._active_processes += 1
+
+        def step(send_value: Any = None) -> None:
+            try:
+                yielded = process.send(send_value)
+            except StopIteration as stop:
+                self._active_processes -= 1
+                if on_exit is not None:
+                    on_exit(stop.value)
+                return
+            if isinstance(yielded, Signal):
+                self._blocked_processes += 1
+
+                def resume() -> None:
+                    self._blocked_processes -= 1
+                    step(None)
+
+                yielded._add_waiter(resume)
+            elif isinstance(yielded, (int, float)):
+                if yielded < 0:
+                    raise SimulationError(f"process slept {yielded} < 0")
+                self.call_after(float(yielded), step)
+            else:
+                raise SimulationError(
+                    f"process yielded unsupported value {yielded!r}")
+
+        self.call_at(self.now, step)
+
+    # -- execution ---------------------------------------------------------------------
+
+    def step(self) -> bool:
+        """Run the next event; returns False when the queue is empty."""
+        if not self._queue:
+            return False
+        time, _, fn = heapq.heappop(self._queue)
+        self.now = time
+        fn()
+        return True
+
+    def run(self, until: Optional[float] = None) -> float:
+        """Run events until the queue drains (or past ``until``).
+
+        Raises :class:`SimulationError` if processes remain parked on
+        signals when the queue drains — a deadlock.
+        Returns the final clock value.
+        """
+        while self._queue:
+            if until is not None and self._queue[0][0] > until:
+                self.now = until
+                return self.now
+            self.step()
+        if self._blocked_processes:
+            raise SimulationError(
+                f"simulation deadlocked with {self._blocked_processes} "
+                f"process(es) waiting on signals at t={self.now}")
+        return self.now
+
+    @property
+    def pending_events(self) -> int:
+        return len(self._queue)

@@ -1,0 +1,82 @@
+"""Transfer statistics collected by protocol session drivers.
+
+Every synchronization session yields one :class:`TransferStats` describing
+exactly what crossed the (simulated) wire, in both directions, priced by the
+session's :class:`~repro.net.wire.Encoding`.  The paper's quantities Δ, Γ,
+and γ are reported by the protocol coroutines themselves (they are semantic,
+not syntactic) and surface in each protocol's result object; this class
+covers the syntactic layer: bits, messages, and message-type histograms.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Dict
+
+
+@dataclass
+class DirectionStats:
+    """Traffic counters for one direction of a session."""
+
+    bits: int = 0
+    messages: int = 0
+    by_type: Counter = field(default_factory=Counter)
+
+    def record(self, type_name: str, bits: int) -> None:
+        """Account one message of ``bits`` size."""
+        self.bits += bits
+        self.messages += 1
+        self.by_type[type_name] += 1
+
+    @property
+    def bytes(self) -> float:
+        return self.bits / 8
+
+
+@dataclass
+class TransferStats:
+    """Bidirectional traffic counters for one protocol session.
+
+    ``forward`` is the direction that carries the bulk data (sender → receiver
+    in the paper's ``SYNC*b(a)`` notation, i.e. *b*'s site to *a*'s site);
+    ``backward`` carries control messages (HALT, SKIP, skip-to).
+    """
+
+    forward: DirectionStats = field(default_factory=DirectionStats)
+    backward: DirectionStats = field(default_factory=DirectionStats)
+
+    @property
+    def total_bits(self) -> int:
+        return self.forward.bits + self.backward.bits
+
+    @property
+    def total_messages(self) -> int:
+        return self.forward.messages + self.backward.messages
+
+    @property
+    def total_bytes(self) -> float:
+        return self.total_bits / 8
+
+    def merge(self, other: "TransferStats") -> None:
+        """Accumulate another session's counters into this one."""
+        for mine, theirs in ((self.forward, other.forward),
+                             (self.backward, other.backward)):
+            mine.bits += theirs.bits
+            mine.messages += theirs.messages
+            mine.by_type.update(theirs.by_type)
+
+    def as_dict(self) -> Dict[str, int]:
+        """A flat summary convenient for tables and asserts."""
+        return {
+            "forward_bits": self.forward.bits,
+            "backward_bits": self.backward.bits,
+            "total_bits": self.total_bits,
+            "forward_messages": self.forward.messages,
+            "backward_messages": self.backward.messages,
+        }
+
+    def __repr__(self) -> str:
+        return (f"TransferStats(fwd={self.forward.bits}b/"
+                f"{self.forward.messages}msg, "
+                f"bwd={self.backward.bits}b/{self.backward.messages}msg)")

@@ -1,0 +1,44 @@
+"""Wire protocols: the paper's SYNC* algorithms plus baselines.
+
+Every protocol is a pair of driver-agnostic coroutines (see
+:mod:`repro.protocols.effects`) with a convenience wrapper that runs them
+under the deterministic instant driver:
+
+* :func:`~repro.protocols.syncb.sync_brv` — SYNCB, Algorithm 2.
+* :func:`~repro.protocols.syncc.sync_crv` — SYNCC, Algorithm 3.
+* :func:`~repro.protocols.syncs.sync_srv` — SYNCS, Algorithm 4.
+* :func:`~repro.protocols.syncg.sync_graph` — SYNCG, Algorithm 5.
+* :func:`~repro.protocols.comparep.compare_remote` — distributed COMPARE.
+* :mod:`~repro.protocols.fullsync` — the traditional full-transfer baselines.
+"""
+
+from repro.protocols.comparep import compare_remote, relationship
+from repro.protocols.fullsync import sync_full_graph, sync_full_vector
+from repro.protocols.session import (SessionResult, run_session,
+                                     run_session_randomized)
+from repro.protocols.syncb import sync_brv, syncb_receiver, syncb_sender
+from repro.protocols.syncc import sync_crv, syncc_receiver, syncc_sender
+from repro.protocols.syncg import sync_graph, syncg_receiver, syncg_sender
+from repro.protocols.syncs import sync_srv, syncs_receiver, syncs_sender
+
+__all__ = [
+    "SessionResult",
+    "compare_remote",
+    "relationship",
+    "run_session",
+    "run_session_randomized",
+    "sync_brv",
+    "sync_crv",
+    "sync_srv",
+    "sync_graph",
+    "sync_full_graph",
+    "sync_full_vector",
+    "syncb_sender",
+    "syncb_receiver",
+    "syncc_sender",
+    "syncc_receiver",
+    "syncs_sender",
+    "syncs_receiver",
+    "syncg_sender",
+    "syncg_receiver",
+]

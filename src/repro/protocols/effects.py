@@ -1,0 +1,65 @@
+"""Effects yielded by protocol coroutines.
+
+Every synchronization algorithm in this package is written once, as a pair
+of plain generator functions (*sender* and *receiver*) that never touch a
+socket, a queue, or a clock.  Instead they ``yield`` one of three effect
+objects and receive the result through ``generator.send()``:
+
+* ``yield Send(message)`` — transmit ``message`` to the peer; resumes with
+  ``None``.
+* ``yield Recv()`` — block until a message is available; resumes with the
+  message.
+* ``yield Poll()`` — check for a pending message without blocking; resumes
+  with a message or ``None``.  This is the paper's *network pipelining*
+  primitive: a sender streams speculatively and polls for asynchronous
+  control messages (HALT, SKIP, skip-to) instead of stopping and waiting.
+  Under the instant driver an empty Poll *parks* the party for one turn,
+  modeling the instant of useful work between consecutive sends.
+* ``yield Drain()`` — like Poll but never parks: it reports only what has
+  *already* been delivered, immediately.  Receivers use it right before
+  emitting their own ``HALT`` to notice a sender-side ``HALT`` that is
+  already queued behind the data (the ``⌈b⌉`` race), without soliciting
+  further traffic.
+
+Drivers interpret the effects: the instant driver
+(:func:`repro.protocols.session.run_session`) delivers immediately and is
+deterministic; the randomized driver delays deliveries arbitrarily to
+exercise pipelining overshoot; the discrete-event driver
+(:mod:`repro.net.runner`) adds latency and bandwidth to measure running
+time.  Correctness of every protocol is independent of the driver — a
+property the test suite checks explicitly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.protocols.messages import Message
+
+
+class Effect:
+    """Base class for protocol effects."""
+
+    __slots__ = ()
+
+
+@dataclass(frozen=True)
+class Send(Effect):
+    """Transmit ``message`` to the peer."""
+
+    message: Message
+
+
+@dataclass(frozen=True)
+class Recv(Effect):
+    """Block until the next message from the peer arrives."""
+
+
+@dataclass(frozen=True)
+class Poll(Effect):
+    """Non-blocking check for a pending message; resolves to ``None`` if idle."""
+
+
+@dataclass(frozen=True)
+class Drain(Effect):
+    """Instantly report an already-delivered message, or ``None``; never parks."""

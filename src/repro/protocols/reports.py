@@ -1,0 +1,71 @@
+"""Per-party semantic reports returned by protocol coroutines.
+
+The session driver measures *syntactic* traffic (bits, messages); the
+coroutines themselves report the *semantic* quantities the paper reasons
+about — measured |Δ|, Γ, and γ — through these dataclasses, returned as the
+coroutine's value and surfaced in
+:class:`~repro.protocols.session.SessionResult`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass
+class VectorSenderReport:
+    """What the sending side of a SYNC* session did."""
+
+    #: Element records actually transmitted.
+    elements_sent: int = 0
+    #: Elements iterated over but suppressed because a SKIP was honored (SRV).
+    elements_suppressed: int = 0
+    #: SKIP requests honored — the measured γ of the session.
+    skips_honored: int = 0
+    #: The peer's HALT stopped us before we exhausted the vector.
+    halted_by_peer: bool = False
+    #: We reached ``⌈b⌉`` and sent our own HALT.
+    reached_end: bool = False
+
+
+@dataclass
+class VectorReceiverReport:
+    """What the receiving side of a SYNC* session did."""
+
+    #: Elements written into the local vector — the measured |Δ|.
+    new_elements: int = 0
+    #: Known elements examined while not skipping — the measured |Γ|.
+    redundant_elements: int = 0
+    #: Known elements discarded while a skip was pending (pipeline overshoot).
+    ignored_elements: int = 0
+    #: SKIP requests issued.
+    skips_issued: int = 0
+    #: Known tagged segments consumed without a SKIP because their first
+    #: received element was already the terminator (SRV): they count toward
+    #: the paper's γ — each costs O(1) — but need no message.
+    inline_segments: int = 0
+    #: We terminated the session with our own HALT.
+    sent_halt: bool = False
+    #: The sender exhausted its vector and HALTed first.
+    received_halt: bool = False
+
+
+@dataclass
+class GraphSenderReport:
+    """What the SYNCG sending side did."""
+
+    nodes_sent: int = 0
+    nodes_skipped: int = 0
+    rewinds: int = 0
+    aborted_by_peer: bool = False
+
+
+@dataclass
+class GraphReceiverReport:
+    """What the SYNCG receiving side did."""
+
+    nodes_added: int = 0
+    arcs_added: int = 0
+    overlap_nodes: int = 0
+    skiptos_sent: int = 0
+    sent_abort: bool = False

@@ -1,0 +1,247 @@
+"""Drivers that run a (sender, receiver) pair of protocol coroutines.
+
+Two drivers live here:
+
+* :func:`run_session` — the *instant* driver: deterministic, alternating
+  scheduler with immediate message delivery.  It realizes the paper's
+  idealized accounting (a control message becomes visible to the sender at
+  the earliest possible yield point), so measured traffic matches the
+  analytical counts and Table 2's bounds can be asserted exactly.
+* :func:`run_session_randomized` — a fuzzing driver that delays deliveries
+  by random amounts while preserving per-direction FIFO order.  It models
+  arbitrary pipelining overshoot; protocol correctness must not depend on
+  timing, and the property-based tests drive the same coroutines through
+  this driver to prove it.
+
+A third driver with real (simulated) time lives in :mod:`repro.net.runner`.
+
+Instant-driver slice semantics
+------------------------------
+
+The scheduler alternates *slices* between the two parties.  Within a slice
+a party:
+
+1. resolves its pending effect — a ``Recv`` (which requires a delivered
+   message to start the slice), a ``Poll`` (delivered message or ``None``),
+   or a ``Drain``;
+2. keeps running while its next effects are ``Send`` (delivered to the peer
+   immediately), ``Drain`` (resolved immediately from the delivered inbox),
+   or ``Poll`` **with** a delivered message;
+3. parks when it reaches a ``Poll`` or ``Recv`` and nothing has been
+   delivered — ending the slice.
+
+Flushing consecutive sends within one slice means a control message (HALT,
+SKIP, skip-to) is always queued before the peer's next poll — so, e.g.,
+SYNCB transmits exactly |Δ|+1 elements and the Figure 3 SYNCG example
+transmits exactly the missing nodes plus one overlap node per branch, with
+no pipelining overshoot.  ``Poll``-on-empty parking models the one send's
+worth of useful work a pipelined sender performs between checks.
+"""
+
+from __future__ import annotations
+
+import random
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Any, Deque, Dict, Generator, List, Optional, Tuple
+
+from repro.errors import SessionError
+from repro.net.stats import TransferStats
+from repro.net.wire import DEFAULT_ENCODING, Encoding
+from repro.protocols.effects import Drain, Effect, Poll, Recv, Send
+from repro.protocols.messages import Message
+
+ProtocolCoroutine = Generator[Effect, Any, Any]
+
+
+@dataclass
+class SessionResult:
+    """Outcome of one protocol session.
+
+    Attributes:
+        stats: what crossed the wire, priced in bits.
+        sender_result: the sender coroutine's return value.
+        receiver_result: the receiver coroutine's return value.
+        transcript: when tracing was requested, the full message sequence
+            as ``("->" | "<-", message)`` pairs — ``->`` is sender→receiver.
+    """
+
+    stats: TransferStats
+    sender_result: Any = None
+    receiver_result: Any = None
+    transcript: Optional[List[Tuple[str, Message]]] = None
+
+
+@dataclass
+class _Party:
+    """Bookkeeping for one side of a session."""
+
+    name: str
+    gen: ProtocolCoroutine
+    inbox: Deque[Message] = field(default_factory=deque)
+    pending: Optional[Effect] = None
+    done: bool = False
+    result: Any = None
+
+    def prime(self) -> None:
+        """Advance to the first yield (or completion)."""
+        try:
+            self.pending = next(self.gen)
+        except StopIteration as stop:
+            self.done, self.result = True, stop.value
+
+    def advance(self, value: Any) -> None:
+        """Resolve the pending effect with ``value`` and run to the next one."""
+        try:
+            self.pending = self.gen.send(value)
+        except StopIteration as stop:
+            self.done, self.result = True, stop.value
+            self.pending = None
+
+
+def run_session(sender: ProtocolCoroutine, receiver: ProtocolCoroutine, *,
+                encoding: Encoding = DEFAULT_ENCODING,
+                max_steps: int = 10_000_000,
+                trace: bool = False) -> SessionResult:
+    """Run a session deterministically with immediate delivery.
+
+    See the module docstring for the slice semantics.  Raises
+    :class:`SessionError` on deadlock or when ``max_steps`` is exceeded
+    (which indicates a protocol bug, not a workload property).  With
+    ``trace=True`` the result carries the full message transcript — handy
+    for debugging protocols and for documentation examples.
+    """
+    stats = TransferStats()
+    transcript: Optional[List[Tuple[str, Message]]] = [] if trace else None
+    party_s = _Party("sender", sender)
+    party_r = _Party("receiver", receiver)
+    parties = (party_s, party_r)
+    party_s.prime()
+    party_r.prime()
+    steps = 0
+
+    def run_slice_tail(index: int) -> None:
+        """Step 2 of a slice: flush Sends, resolve Drains and hot Polls."""
+        nonlocal steps
+        party, peer = parties[index], parties[1 - index]
+        while not party.done and steps < max_steps:
+            effect = party.pending
+            if isinstance(effect, Send):
+                direction = stats.forward if party is party_s else stats.backward
+                direction.record(effect.message.type_name,
+                                 effect.message.bits(encoding))
+                if transcript is not None:
+                    arrow = "->" if party is party_s else "<-"
+                    transcript.append((arrow, effect.message))
+                peer.inbox.append(effect.message)
+                party.advance(None)
+            elif isinstance(effect, Drain):
+                party.advance(party.inbox.popleft() if party.inbox else None)
+            elif isinstance(effect, Poll) and party.inbox:
+                party.advance(party.inbox.popleft())
+            else:
+                return  # parked on Poll-empty or Recv
+            steps += 1
+
+    run_slice_tail(0)
+    run_slice_tail(1)
+    turn = 0
+
+    def pick_party() -> int:
+        """Choose who runs next.
+
+        A party with a *delivered* message ready (Recv/Poll/Drain with a
+        non-empty inbox) takes priority over a party whose Poll would come
+        up empty: processing delivered traffic first is what lets a control
+        reply reach the sender's very next poll — the paper's idealized,
+        zero-overshoot accounting.  Ties alternate.
+        """
+        for offset in range(2):
+            index = (turn + offset) % 2
+            party = parties[index]
+            if (not party.done and party.inbox
+                    and isinstance(party.pending, (Recv, Poll, Drain))):
+                return index
+        for offset in range(2):
+            index = (turn + offset) % 2
+            party = parties[index]
+            if not party.done and isinstance(party.pending, (Poll, Drain)):
+                return index
+        return -1
+
+    while steps < max_steps:
+        if party_s.done and party_r.done:
+            return SessionResult(stats, party_s.result, party_r.result,
+                                 transcript)
+        index = pick_party()
+        if index < 0:
+            blocked = [p.name for p in parties if not p.done]
+            raise SessionError(f"session deadlocked; blocked parties: {blocked}")
+        party = parties[index]
+        party.advance(party.inbox.popleft() if party.inbox else None)
+        steps += 1
+        run_slice_tail(index)
+        turn = 1 - index
+    raise SessionError(f"session exceeded {max_steps} steps")
+
+
+def run_session_randomized(sender: ProtocolCoroutine,
+                           receiver: ProtocolCoroutine, *,
+                           rng: random.Random,
+                           encoding: Encoding = DEFAULT_ENCODING,
+                           max_steps: int = 10_000_000) -> SessionResult:
+    """Run a session under adversarial (random) delivery delays.
+
+    Sent messages enter an in-flight queue and are delivered at random later
+    points, preserving FIFO order per direction.  ``Poll`` and ``Drain`` see
+    only delivered messages, so the sender can overshoot arbitrarily —
+    exactly the pipelining regime the paper's algorithms must survive.
+    """
+    stats = TransferStats()
+    party_s = _Party("sender", sender)
+    party_r = _Party("receiver", receiver)
+    parties = (party_s, party_r)
+    in_flight: Dict[int, Deque[Message]] = {0: deque(), 1: deque()}
+    party_s.prime()
+    party_r.prime()
+
+    for _ in range(max_steps):
+        if party_s.done and party_r.done:
+            return SessionResult(stats, party_s.result, party_r.result)
+
+        # Enumerate every enabled action, then pick one at random.
+        actions = []
+        for index, party in enumerate(parties):
+            if party.done:
+                continue
+            effect = party.pending
+            if isinstance(effect, (Send, Poll, Drain)):
+                actions.append(("step", index))
+            elif isinstance(effect, Recv) and party.inbox:
+                actions.append(("step", index))
+        for index in (0, 1):
+            if in_flight[index]:
+                actions.append(("deliver", index))
+
+        if not actions:
+            blocked = [p.name for p in parties if not p.done]
+            raise SessionError(
+                f"randomized session deadlocked; blocked parties: {blocked}")
+
+        kind, index = rng.choice(actions)
+        if kind == "deliver":
+            parties[index].inbox.append(in_flight[index].popleft())
+            continue
+        party = parties[index]
+        effect = party.pending
+        if isinstance(effect, Send):
+            direction = stats.forward if party is party_s else stats.backward
+            direction.record(effect.message.type_name,
+                             effect.message.bits(encoding))
+            in_flight[1 - index].append(effect.message)
+            party.advance(None)
+        elif isinstance(effect, (Poll, Drain)):
+            party.advance(party.inbox.popleft() if party.inbox else None)
+        else:
+            party.advance(party.inbox.popleft())
+    raise SessionError(f"randomized session exceeded {max_steps} steps")

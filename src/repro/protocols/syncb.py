@@ -1,0 +1,117 @@
+"""SYNCB (Algorithm 2): incremental synchronization of basic rotating vectors.
+
+``SYNCB_b(a)`` makes vector *a* (on the receiving site) equal to the
+elementwise max of *a* and *b* while transmitting only the elements of *b*
+modified since the two vectors last met.  The sender streams elements in
+ascending ``≺_b`` order — most recently modified first — and the receiver
+overwrites until it sees a value it already knows, at which point everything
+behind it in the order is older still and a single ``HALT`` ends the
+session: O(|Δ|) communication.
+
+**Precondition** (Algorithm 2's ``Require``): ``a ∦ b``.  BRV offers no
+conflict reconciliation, so the convenience wrapper :func:`sync_brv` raises
+:class:`~repro.errors.ConcurrentVectorsError` on concurrent inputs; the raw
+coroutines do not check (the check belongs to the caller, who has already
+run COMPARE) — see §3.2 for what silently goes wrong on reuse after a
+concurrent merge.
+
+Network pipelining (§3.1): the sender never stops-and-waits; it polls for
+the asynchronous ``HALT`` between element sends.  Before the receiver emits
+its own ``HALT`` it drains already-delivered messages so that a sender-side
+``HALT`` (the ``⌈b⌉`` case) is not answered redundantly.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Generator
+
+from repro.core.order import Ordering
+from repro.core.rotating import BasicRotatingVector
+from repro.errors import ConcurrentVectorsError
+from repro.net.wire import DEFAULT_ENCODING, Encoding
+from repro.protocols.effects import Drain, Poll, Recv, Send
+from repro.protocols.messages import ElementMsg, Halt, Message
+from repro.protocols.reports import VectorReceiverReport, VectorSenderReport
+from repro.protocols.session import SessionResult, run_session
+
+_HALT_BITS = 2  # Table 2: the BRV bound is n·log(2mn) + 2.
+
+
+def syncb_sender(b: BasicRotatingVector) -> Generator[Any, Any, VectorSenderReport]:
+    """The sending side (*b*'s hosting site) of ``SYNCB_b(a)``."""
+    report = VectorSenderReport()
+    element = b.first()
+    if element is None:
+        # An empty vector precedes everything; announce completion.
+        yield Send(Halt(_HALT_BITS))
+        report.reached_end = True
+        return report
+    while True:
+        yield Send(ElementMsg(element.site, element.value))
+        report.elements_sent += 1
+        if element.next is None:  # cur = ⌈b⌉
+            yield Send(Halt(_HALT_BITS))
+            report.reached_end = True
+            return report
+        element = element.next
+        incoming = yield Poll()
+        if isinstance(incoming, Halt):
+            report.halted_by_peer = True
+            return report
+
+
+def syncb_receiver(a: BasicRotatingVector) -> Generator[Any, Any, VectorReceiverReport]:
+    """The receiving side (*a*'s hosting site) of ``SYNCB_b(a)``.
+
+    Mutates ``a`` in place.  On termination the least *k* elements of
+    ``≺_a`` have the same order and values as the least *k* of ``≺_b``.
+    """
+    report = VectorReceiverReport()
+    prev: str | None = None
+    while True:
+        message: Message = yield Recv()
+        if isinstance(message, Halt):
+            report.received_halt = True
+            return report
+        assert isinstance(message, ElementMsg)
+        if message.value <= a[message.site]:
+            report.redundant_elements += 1
+            # Drain delivered traffic: if the sender already HALTed (it hit
+            # ⌈b⌉ right behind this element) our own HALT would be wasted.
+            while True:
+                extra = yield Drain()
+                if extra is None:
+                    break
+                if isinstance(extra, Halt):
+                    report.received_halt = True
+                    return report
+                report.ignored_elements += 1
+            yield Send(Halt(_HALT_BITS))
+            report.sent_halt = True
+            return report
+        element = a.order.rotate_after(prev, message.site)
+        element.value = message.value
+        prev = message.site
+        report.new_elements += 1
+
+
+def sync_brv(a: BasicRotatingVector, b: BasicRotatingVector, *,
+             encoding: Encoding = DEFAULT_ENCODING,
+             check: bool = True) -> SessionResult:
+    """Run ``SYNCB_b(a)`` under the instant driver, mutating ``a``.
+
+    Args:
+        a: the vector to bring up to date (receiver side).
+        b: the up-to-date vector (sender side); never modified.
+        encoding: field widths used to price the traffic.
+        check: verify ``a ∦ b`` first (via Algorithm 1) and raise
+            :class:`ConcurrentVectorsError` otherwise.
+
+    Returns:
+        The session result; ``a`` now equals ``max(a, b)`` elementwise —
+        which by Theorem 3.1 is ``b`` if ``a ≺ b`` and ``a`` otherwise.
+    """
+    if check and a.compare(b) is Ordering.CONCURRENT:
+        raise ConcurrentVectorsError(
+            "SYNCB requires a ∦ b; use CRV/SRV for conflict reconciliation")
+    return run_session(syncb_sender(b), syncb_receiver(a), encoding=encoding)

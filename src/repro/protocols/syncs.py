@@ -1,0 +1,177 @@
+"""SYNCS (Algorithm 4): synchronization of skip rotating vectors.
+
+SYNCC retransmits Γ — conflict-tagged elements the receiver already knows.
+SRV's segment bits recover the structure CRV lost: a vector is a series of
+*segments* (the prefixing segments of its CRG ancestry), and knowing any one
+element of a segment means knowing the whole segment.  So when the receiver
+sees a known, tagged element it answers ``(SKIP, segs)`` naming the segment,
+and the sender fast-forwards to that segment's end instead of streaming the
+rest of it: O(|Δ|+γ) communication, optimal by Theorem 5.1.
+
+Pipelining subtleties handled here (§4 and DESIGN.md):
+
+* Both parties count segment boundaries (``segs``); the sender honors a
+  ``SKIP`` only when its argument matches its own count, so stale skips that
+  raced past a boundary are ignored.
+* The sender transmits the **terminator element** (segment bit = 1) of a
+  skipped segment.  The paper omits the receiver's ``segs`` maintenance "for
+  brevity"; delivering every boundary marker is the one-element-per-skip
+  device that keeps the two counters synchronized under arbitrary pipelining
+  overshoot, and it preserves O(|Δ|+γ) since it is O(1) per skip.
+* The receiver's ``skipping`` flag suppresses duplicate SKIPs and discards
+  the overshoot elements of a segment already skipped; it clears at the next
+  boundary or at the next genuinely new element.
+* A known tagged element that *is* a terminator needs no SKIP at all — the
+  segment ends with it — so none is sent.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Generator
+
+from repro.core.skip import SkipRotatingVector
+from repro.net.wire import DEFAULT_ENCODING, Encoding
+from repro.protocols.effects import Drain, Poll, Recv, Send
+from repro.protocols.messages import ElementSMsg, Halt, Message, Skip
+from repro.protocols.reports import VectorReceiverReport, VectorSenderReport
+from repro.protocols.session import SessionResult, run_session
+
+_HALT_BITS = 1  # Table 2: the SRV bound is n·log(8mn) + n·log(2n) + 1.
+
+
+def syncs_sender(b: SkipRotatingVector, *,
+                 forward_terminators: bool = True
+                 ) -> Generator[Any, Any, VectorSenderReport]:
+    """The sending side of ``SYNCS_b(a)``.
+
+    ``forward_terminators=False`` disables the terminator-forwarding
+    clarification (see the module docstring) and follows Algorithm 4 to
+    the letter: a skipped segment's boundary element is suppressed too.
+    The result stays *correct* but the receiver's ``segs`` counter falls
+    behind after every honored skip, so later SKIPs arrive stale and
+    whole known segments stream redundantly — the ablation benchmark
+    measures exactly that cost.
+    """
+    report = VectorSenderReport()
+    element = b.first()
+    if element is None:
+        yield Send(Halt(_HALT_BITS))
+        report.reached_end = True
+        return report
+    segs = 0
+    skipping = False
+    while True:
+        # Drain asynchronous control traffic before touching the next element.
+        while True:
+            incoming = yield Poll()
+            if incoming is None:
+                break
+            if isinstance(incoming, Halt):
+                report.halted_by_peer = True
+                return report
+            if (isinstance(incoming, Skip) and incoming.segs == segs
+                    and not skipping):
+                skipping = True
+                report.skips_honored += 1
+            # Anything else is a stale SKIP whose segment already streamed.
+        if not skipping or (element.segment and forward_terminators):
+            # Terminators are sent even inside a skip so the receiver sees
+            # every boundary and the two segs counters stay in lock-step.
+            yield Send(ElementSMsg(element.site, element.value,
+                                   element.conflict, element.segment))
+            report.elements_sent += 1
+        else:
+            report.elements_suppressed += 1
+        if element.segment:
+            segs += 1
+            skipping = False
+        if element.next is None:
+            yield Send(Halt(_HALT_BITS))
+            report.reached_end = True
+            return report
+        element = element.next
+
+
+def syncs_receiver(a: SkipRotatingVector, *,
+                   reconcile: bool) -> Generator[Any, Any, VectorReceiverReport]:
+    """The receiving side of ``SYNCS_b(a)``; mutates ``a`` in place."""
+    report = VectorReceiverReport()
+    prev: str | None = None
+    segs = 0
+    skipping = False
+    while True:
+        message: Message = yield Recv()
+        if isinstance(message, Halt):
+            # The sender exhausted ⌈b⌉.  During a reconciliation the run of
+            # freshly written elements still needs its terminator: what
+            # follows them in ≺_a is causally unrelated, and without the
+            # boundary a later local update would fuse the two runs into
+            # one (unskippable-safe but also *unsafe*) segment.
+            if reconcile and prev is not None:
+                boundary = a.order.get(prev)
+                assert boundary is not None
+                boundary.segment = True
+            report.received_halt = True
+            return report
+        assert isinstance(message, ElementSMsg)
+        site, value = message.site, message.value
+        if value <= a[site]:
+            if skipping:
+                report.ignored_elements += 1
+            else:
+                report.redundant_elements += 1
+                # A skip (or halt) cuts the run of freshly written elements:
+                # the last one written now ends a segment of ≺_a (§4).
+                if reconcile and prev is not None:
+                    boundary = a.order.get(prev)
+                    assert boundary is not None
+                    boundary.segment = True
+                if message.conflict:
+                    reconcile = True
+                    if not message.segment:
+                        yield Send(Skip(segs))
+                        report.skips_issued += 1
+                        skipping = True
+                    else:
+                        # This element terminates its segment — nothing
+                        # left to skip, keep reading.  Still one known
+                        # segment consumed at O(1) cost (γ accounting).
+                        report.inline_segments += 1
+                else:
+                    while True:
+                        extra = yield Drain()
+                        if extra is None:
+                            break
+                        if isinstance(extra, Halt):
+                            report.received_halt = True
+                            return report
+                        report.ignored_elements += 1
+                    yield Send(Halt(_HALT_BITS))
+                    report.sent_halt = True
+                    return report
+        else:
+            skipping = False
+            element = a.order.rotate_after(prev, site)
+            prev = site
+            element.value = value
+            element.conflict = True if reconcile else message.conflict
+            element.segment = message.segment
+            report.new_elements += 1
+        if message.segment:
+            segs += 1
+            skipping = False
+
+
+def sync_srv(a: SkipRotatingVector, b: SkipRotatingVector, *,
+             encoding: Encoding = DEFAULT_ENCODING,
+             reconcile: bool | None = None) -> SessionResult:
+    """Run ``SYNCS_b(a)`` under the instant driver, mutating ``a``.
+
+    ``reconcile`` defaults to the Algorithm 1 verdict ``a ∥ b``.  As with
+    SYNCC, the post-reconciliation self-increment is the replication
+    layer's job.
+    """
+    if reconcile is None:
+        reconcile = a.compare(b).is_concurrent
+    return run_session(syncs_sender(b), syncs_receiver(a, reconcile=reconcile),
+                       encoding=encoding)

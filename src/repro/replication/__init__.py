@@ -1,0 +1,63 @@
+"""Replication systems built on the paper's concurrency-control schemes.
+
+* :class:`~repro.replication.statesystem.StateTransferSystem` — whole-object
+  synchronization with pluggable vector metadata (VV / BRV / CRV / SRV).
+* :class:`~repro.replication.opsystem.OpTransferSystem` — operation logs
+  with causal graphs and incremental SYNCG exchange.
+* :mod:`~repro.replication.resolver` — manual and automatic conflict
+  resolution policies.
+* :class:`~repro.replication.membership.SiteRegistry` — the membership
+  manager that fixes wire field widths.
+"""
+
+from repro.replication.antientropy import (AntiEntropyConfig,
+                                           AntiEntropyResult,
+                                           AntiEntropySimulation,
+                                           OpAntiEntropySimulation,
+                                           compare_schemes)
+from repro.replication.hybrid import HybridOpSystem
+from repro.replication.membership import SiteRegistry
+from repro.replication.opreplica import (Operation, OpReplica, counter_applier,
+                                         kv_applier, log_applier)
+from repro.replication.opsystem import OpSyncOutcome, OpTransferSystem
+from repro.replication.replica import METADATA_KINDS, StateReplica, make_metadata
+from repro.replication.resolver import (AutomaticResolution, ManualResolution,
+                                        deterministic_pick, log_merge,
+                                        max_merge, union_merge)
+from repro.replication.statesystem import (StateTransferSystem, SyncOutcome,
+                                           default_payload_size)
+from repro.replication.threeway import (MergeResult, merge3, merge_heads,
+                                        snapshot_applier)
+
+__all__ = [
+    "AntiEntropyConfig",
+    "AntiEntropyResult",
+    "AntiEntropySimulation",
+    "AutomaticResolution",
+    "HybridOpSystem",
+    "METADATA_KINDS",
+    "ManualResolution",
+    "MergeResult",
+    "OpAntiEntropySimulation",
+    "OpReplica",
+    "OpSyncOutcome",
+    "OpTransferSystem",
+    "Operation",
+    "SiteRegistry",
+    "StateReplica",
+    "StateTransferSystem",
+    "SyncOutcome",
+    "compare_schemes",
+    "counter_applier",
+    "default_payload_size",
+    "deterministic_pick",
+    "kv_applier",
+    "log_applier",
+    "log_merge",
+    "make_metadata",
+    "max_merge",
+    "merge3",
+    "merge_heads",
+    "snapshot_applier",
+    "union_merge",
+]

@@ -1,0 +1,303 @@
+"""Anti-entropy on simulated time: eventual consistency "in finite time".
+
+§2.1 defines the system's goal: "all replicas of an object become
+consistent in finite time after the last update on the object."  This
+module closes the loop between the replication layer and the discrete-
+event simulator: sites run periodic anti-entropy exchanges (with jitter,
+over a pluggable topology) while updates arrive on a schedule, and the
+simulation measures *when* consistency is actually reached after the last
+update — alongside the metadata traffic each scheme spent getting there.
+
+The synchronization protocols themselves still run under the instant
+driver (their internal message timing is negligible against gossip
+periods); the DES schedules the *sessions*.  Experiment E9 sweeps gossip
+period and scheme on identical schedules.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Any, Callable, List, Optional, Tuple
+
+from repro.errors import ReproError
+from repro.net.simulator import Simulator
+from repro.replication.resolver import AutomaticResolution, union_merge
+from repro.replication.statesystem import StateTransferSystem
+from repro.workload.topology import RandomPairTopology, Topology
+
+
+@dataclass
+class AntiEntropyConfig:
+    """Parameters of one anti-entropy simulation.
+
+    Attributes:
+        n_sites: fleet size.
+        gossip_period: mean seconds between one site's exchanges.
+        gossip_jitter: uniform ±fraction applied to each period.
+        update_interval: mean seconds between updates (exponential).
+        n_updates: total updates injected; the clock of interest starts at
+            the last one.
+        metadata: vector scheme for the underlying system.
+        topology: partner selection; the *initiating* site is the pair's
+            destination (it pulls, then pushes back).
+        seed: RNG seed; the schedule is identical across schemes.
+        object_id: the single replicated object under observation.
+    """
+
+    n_sites: int = 8
+    gossip_period: float = 1.0
+    gossip_jitter: float = 0.2
+    update_interval: float = 0.7
+    n_updates: int = 20
+    metadata: str = "srv"
+    topology: Topology = field(default_factory=RandomPairTopology)
+    seed: int = 0
+    object_id: str = "obj"
+    max_time: float = 10_000.0
+    #: "full" requires identical values *and* vectors; "values" requires
+    #: identical values only (§2.1's semantic equivalence).  Perfectly
+    #: symmetric deterministic schedules (e.g. a strict ring) can keep
+    #: increment-on-merge waves circulating so that vectors never settle
+    #: although values have long converged — a reproduction finding
+    #: documented in EXPERIMENTS.md.
+    convergence: str = "full"
+    #: Network partitions as ``(start, end, left_sites)`` windows: while
+    #: active, gossip pairs crossing the cut are dropped (the encounter
+    #: simply doesn't happen).  Updates keep landing on both sides — the
+    #: §1 availability story — and reconciliation absorbs the divergence
+    #: once the partition heals.
+    partitions: Tuple[Tuple[float, float, frozenset], ...] = ()
+
+
+@dataclass
+class AntiEntropyResult:
+    """What one simulation measured."""
+
+    last_update_time: float
+    convergence_time: float
+    syncs_performed: int
+    updates_applied: int
+    metadata_bits: int
+    payload_bits: int
+
+    @property
+    def convergence_latency(self) -> float:
+        """Seconds from the last update to system-wide consistency."""
+        return self.convergence_time - self.last_update_time
+
+
+class AntiEntropySimulation:
+    """Periodic gossip + scheduled updates over a state-transfer system."""
+
+    def __init__(self, config: AntiEntropyConfig,
+                 value_factory: Optional[Callable[[str, int], Any]] = None
+                 ) -> None:
+        self.config = config
+        self.value_factory = value_factory or (
+            lambda site, seq: frozenset({f"{site}#{seq}"}))
+        self.system = StateTransferSystem(
+            metadata=config.metadata,
+            resolution=AutomaticResolution(union_merge),
+            track_graph=False)
+        self._sites = [f"S{i:03d}" for i in range(config.n_sites)]
+
+    def run(self) -> AntiEntropyResult:
+        """Execute the schedule; returns the measured result.
+
+        Raises :class:`ReproError` if the fleet fails to converge before
+        ``max_time`` — which would falsify eventual consistency for the
+        configured scheme and is therefore a hard error, not a statistic.
+        """
+        config = self.config
+        system = self.system
+        sim = Simulator()
+        rng = random.Random(config.seed)
+        sites = self._sites
+        object_id = config.object_id
+
+        system.create_object(sites[0], object_id,
+                             self.value_factory(sites[0], 0))
+        for site in sites[1:]:
+            system.clone_replica(sites[0], site, object_id)
+
+        state = {
+            "updates_left": config.n_updates,
+            "last_update_time": 0.0,
+            "converged_at": None,
+            "syncs": 0,
+            "seq": 0,
+        }
+
+        def schedule_update() -> None:
+            delay = rng.expovariate(1.0 / config.update_interval)
+            sim.call_after(delay, apply_update)
+
+        def apply_update() -> None:
+            if state["updates_left"] <= 0:
+                return
+            site = rng.choice(sites)
+            state["seq"] += 1
+            replica = system.replica(site, object_id)
+            value = replica.value | self.value_factory(site, state["seq"])
+            system.update(site, object_id, value)
+            state["updates_left"] -= 1
+            state["last_update_time"] = sim.now
+            state["converged_at"] = None  # consistency must be re-reached
+            if state["updates_left"] > 0:
+                schedule_update()
+
+        def schedule_gossip(site_index: int) -> None:
+            jitter = 1 + config.gossip_jitter * (2 * rng.random() - 1)
+            sim.call_after(config.gossip_period * jitter,
+                           lambda: gossip(site_index))
+
+        def crosses_partition(src: str, dst: str) -> bool:
+            for start, end, left in config.partitions:
+                if start <= sim.now < end and ((src in left) != (dst in left)):
+                    return True
+            return False
+
+        def gossip(site_index: int) -> None:
+            if state["converged_at"] is not None and state["updates_left"] == 0:
+                return  # done: let the event queue drain
+            src, dst = config.topology.pair(rng, state["syncs"], sites)
+            if crosses_partition(src, dst):
+                schedule_gossip(site_index)  # encounter suppressed
+                return
+            system.sync_bidirectional(dst, src, object_id)
+            state["syncs"] += 2
+            check = (system.is_consistent if config.convergence == "full"
+                     else system.values_consistent)
+            if (state["updates_left"] == 0
+                    and state["converged_at"] is None
+                    and check(object_id)):
+                state["converged_at"] = sim.now
+            schedule_gossip(site_index)
+
+        for index in range(len(sites)):
+            schedule_gossip(index)
+        schedule_update()
+
+        sim.run(until=config.max_time)
+        if state["converged_at"] is None:
+            raise ReproError(
+                f"no convergence within {config.max_time}s "
+                f"(scheme {config.metadata}, period {config.gossip_period})")
+        return AntiEntropyResult(
+            last_update_time=state["last_update_time"],
+            convergence_time=state["converged_at"],
+            syncs_performed=state["syncs"],
+            updates_applied=config.n_updates,
+            metadata_bits=system.total_metadata_bits(),
+            payload_bits=system.total_payload_bits(),
+        )
+
+
+class OpAntiEntropySimulation:
+    """The operation-transfer counterpart: gossip over causal graphs.
+
+    Same schedule semantics as :class:`AntiEntropySimulation` but the
+    underlying system logs operations and synchronizes with SYNCG (or the
+    whole-graph baseline via ``use_syncg=False``).  Convergence means all
+    replicas hold identical graphs.
+    """
+
+    def __init__(self, config: AntiEntropyConfig, *,
+                 use_syncg: bool = True) -> None:
+        from repro.replication.opsystem import OpTransferSystem
+        self.config = config
+        self.system = OpTransferSystem(use_syncg=use_syncg)
+        self._sites = [f"S{i:03d}" for i in range(config.n_sites)]
+
+    def run(self) -> AntiEntropyResult:
+        """Execute the schedule; returns the measured result."""
+        config = self.config
+        system = self.system
+        sim = Simulator()
+        rng = random.Random(config.seed)
+        sites = self._sites
+        object_id = config.object_id
+
+        system.create_object(sites[0], object_id)
+        for site in sites[1:]:
+            system.clone_replica(sites[0], site, object_id)
+
+        state = {"updates_left": config.n_updates, "last_update_time": 0.0,
+                 "converged_at": None, "syncs": 0, "seq": 0}
+
+        def schedule_update() -> None:
+            sim.call_after(rng.expovariate(1.0 / config.update_interval),
+                           apply_update)
+
+        def apply_update() -> None:
+            if state["updates_left"] <= 0:
+                return
+            site = rng.choice(sites)
+            state["seq"] += 1
+            system.update(site, object_id, f"{site}#{state['seq']}")
+            state["updates_left"] -= 1
+            state["last_update_time"] = sim.now
+            state["converged_at"] = None
+            if state["updates_left"] > 0:
+                schedule_update()
+
+        def schedule_gossip(site_index: int) -> None:
+            jitter = 1 + config.gossip_jitter * (2 * rng.random() - 1)
+            sim.call_after(config.gossip_period * jitter,
+                           lambda: gossip(site_index))
+
+        def gossip(site_index: int) -> None:
+            if (state["converged_at"] is not None
+                    and state["updates_left"] == 0):
+                return
+            src, dst = config.topology.pair(rng, state["syncs"], sites)
+            system.sync_bidirectional(dst, src, object_id)
+            state["syncs"] += 2
+            if (state["updates_left"] == 0
+                    and state["converged_at"] is None
+                    and system.is_consistent(object_id)):
+                state["converged_at"] = sim.now
+            schedule_gossip(site_index)
+
+        for index in range(len(sites)):
+            schedule_gossip(index)
+        schedule_update()
+        sim.run(until=config.max_time)
+        if state["converged_at"] is None:
+            raise ReproError(
+                f"no convergence within {config.max_time}s (op transfer)")
+        payload = sum(o.payload_bits for o in system.outcomes)
+        metadata = sum(o.metadata_bits for o in system.outcomes)
+        return AntiEntropyResult(
+            last_update_time=state["last_update_time"],
+            convergence_time=state["converged_at"],
+            syncs_performed=state["syncs"],
+            updates_applied=config.n_updates,
+            metadata_bits=metadata,
+            payload_bits=payload,
+        )
+
+
+def compare_schemes(config: AntiEntropyConfig,
+                    schemes: Tuple[str, ...] = ("vv", "crv", "srv")
+                    ) -> List[Tuple[str, AntiEntropyResult]]:
+    """Run the identical schedule under several metadata schemes."""
+    results = []
+    for scheme in schemes:
+        run_config = AntiEntropyConfig(
+            n_sites=config.n_sites,
+            gossip_period=config.gossip_period,
+            gossip_jitter=config.gossip_jitter,
+            update_interval=config.update_interval,
+            n_updates=config.n_updates,
+            metadata=scheme,
+            topology=config.topology,
+            seed=config.seed,
+            object_id=config.object_id,
+            max_time=config.max_time,
+            convergence=config.convergence,
+            partitions=config.partitions,
+        )
+        results.append((scheme, AntiEntropySimulation(run_config).run()))
+    return results

@@ -1,0 +1,185 @@
+"""Hybrid transfer (§6): bounded operation logs with state-snapshot fallback.
+
+The paper: "Hybrid transfer intermingles state and operation transfer.
+For example, a system may preserve a short history of operations and when
+a replica is too old, the entire object is transmitted.  As hybrid
+transfer is a degeneration of operation transfer, we do not distinguish
+the two models" — the SYNCG machinery is unchanged; only payload delivery
+degrades to a snapshot when the log was truncated past what the puller
+needs.
+
+Truncation safety
+-----------------
+
+Dropping an operation's body is only convergence-safe when the operation
+is *stable*: causally dominated by every replica's current sink, so every
+future operation descends from it and every deterministic topological
+order keeps the archived prefix in a fixed relative position.  (Bayou
+establishes stability with a primary-commit protocol; this simulation
+computes the stable frontier omnisciently from all replicas' sinks, a
+documented stand-in — the point under study is the transfer economics,
+not the commit protocol.)
+
+On a pull whose difference includes archived bodies the system falls back
+to shipping the sender's materialized baseline — the "entire object" path.
+That is only meaningful when the puller is strictly behind; reconciling
+*concurrent* lineages across a truncation horizon is impossible without
+the bodies, and the system surfaces that as an error (the real failure
+mode the paper's §2.2 alludes to: "excessive truncation is equivalent to
+removing active sites").
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Set
+
+from repro.core.order import Ordering
+from repro.errors import ReproError
+from repro.graphs.causalgraph import NodeId
+from repro.protocols.messages import PayloadMsg
+from repro.replication.opreplica import OpReplica
+from repro.replication.opsystem import OpSyncOutcome, OpTransferSystem
+
+
+class HybridOpSystem(OpTransferSystem):
+    """An operation-transfer system whose logs can be truncated.
+
+    Use :meth:`truncate_history` to fold stable operations into a per-
+    replica baseline snapshot; pulls transparently fall back to snapshot
+    ("whole object") transfer when the difference crosses a truncation
+    horizon.  Everything else — SYNCG, comparison, merge operations —
+    behaves exactly as in :class:`OpTransferSystem`.
+    """
+
+    # -- stability ---------------------------------------------------------------
+
+    def stable_frontier(self, object_id: str) -> Set[NodeId]:
+        """Operations causally dominated by *every* replica's sink.
+
+        These are safe to archive anywhere: all future operations descend
+        from some current sink and therefore from every stable node.
+        """
+        replicas = self.replicas_of(object_id)
+        if not replicas:
+            return set()
+        common: Optional[Set[NodeId]] = None
+        for replica in replicas:
+            covered: Set[NodeId] = set()
+            for sink in replica.graph.sinks():
+                covered |= replica.graph.ancestors(sink)
+                covered.add(sink)
+            common = covered if common is None else common & covered
+        return common or set()
+
+    # -- truncation ----------------------------------------------------------------
+
+    def truncate_history(self, site: str, object_id: str, *,
+                         keep_payloads: int = 0) -> int:
+        """Archive this replica's stable prefix, keeping the newest
+        ``keep_payloads`` stable bodies unarchived.  Returns how many
+        operation bodies were dropped.
+        """
+        replica = self.replica(site, object_id)
+        stable = self.stable_frontier(object_id)
+        # Archive the longest stable *prefix of the canonical topological
+        # order of the global union graph*.  Prefix-ness matters on both
+        # sides of the fold: a concurrent op — already existing at another
+        # replica but not here, or created in the future — must never sort
+        # before an archived node.  The union prefix guarantees it:
+        # in-flight ops are in the union and cut the prefix short if they
+        # tie-break early, future ops descend from some current sink and
+        # hence from every stable node, and the relative canonical order of
+        # existing nodes never changes as graphs grow.  (A deployment gets
+        # the same guarantee from a commit protocol that finalizes the
+        # order of stable operations, à la Bayou; the union graph is this
+        # simulation's omniscient stand-in, like ``stable_frontier``.)
+        union = None
+        for peer in self.replicas_of(object_id):
+            union = (peer.graph.copy() if union is None
+                     else union.union_with(peer.graph))
+        assert union is not None
+        ordered: List[NodeId] = []
+        for node_id in union.topological_order():
+            if node_id not in stable:
+                break
+            ordered.append(node_id)
+        if keep_payloads:
+            ordered = ordered[:max(0, len(ordered) - keep_payloads)]
+        to_archive = [n for n in ordered if n not in replica.archived]
+        if not to_archive:
+            return 0
+        # Fold in canonical order on top of the existing baseline.
+        state = (replica.baseline_state if replica.archived
+                 else self.initial_state)
+        for node_id in ordered:
+            if node_id in replica.archived:
+                continue  # already inside the baseline
+            state = self.applier(state, replica.ops[node_id])
+        replica.baseline_state = state
+        replica.archived = frozenset(set(replica.archived) | set(ordered))
+        dropped = 0
+        for node_id in to_archive:
+            if node_id in replica.ops:
+                del replica.ops[node_id]
+                dropped += 1
+        return dropped
+
+    def log_length(self, site: str, object_id: str) -> int:
+        """Operation bodies currently retained at this replica."""
+        return len(self.replica(site, object_id).ops)
+
+    # -- pull with snapshot fallback ----------------------------------------------
+
+    def pull(self, dst_site: str, src_site: str,
+             object_id: str) -> OpSyncOutcome:
+        """Pull with snapshot fallback when the diff crosses a truncation
+        horizon; otherwise exactly :meth:`OpTransferSystem.pull`."""
+        dst = self.replica(dst_site, object_id)
+        src = self.replica(src_site, object_id)
+        verdict = dst.graph.compare(src.graph)
+        needs_fallback = False
+        if verdict in (Ordering.BEFORE, Ordering.CONCURRENT):
+            missing = src.graph.node_ids() - dst.graph.node_ids()
+            needs_fallback = any(node_id in src.archived
+                                 for node_id in missing)
+        if not needs_fallback:
+            return super().pull(dst_site, src_site, object_id)
+        if verdict is Ordering.CONCURRENT:
+            raise ReproError(
+                f"cannot reconcile {object_id!r}: {src_site}'s log is "
+                f"truncated past the common ancestor of the concurrent "
+                f"lineages (excessive truncation, §2.2)")
+        return self._pull_snapshot(dst, src)
+
+    def _pull_snapshot(self, dst: OpReplica,
+                       src: OpReplica) -> OpSyncOutcome:
+        """The whole-object path: the puller becomes a copy of the sender.
+
+        Graph metadata still travels via the configured graph protocol, so
+        concurrency control stays exact; *payload* delivery switches to the
+        sender's baseline snapshot plus its retained live bodies.  The
+        puller's own archive bookkeeping is replaced wholesale — mixing two
+        baselines folded over different prefixes is not meaningful.
+        """
+        outcome = super().pull(dst.site, src.site, dst.object_id)
+        # super().pull unioned the graphs and copied the bodies src still
+        # retains for *new* nodes.  Adopt the baseline, then backfill any
+        # retained body the puller lacks (e.g. it had archived deeper).
+        dst.baseline_state = src.baseline_state
+        dst.archived = src.archived
+        for node_id, operation in src.ops.items():
+            if node_id not in dst.ops:
+                dst.ops[node_id] = operation
+                bits = PayloadMsg(
+                    self.payload_size(operation.payload)).bits(self.encoding)
+                outcome.payload_bits += bits
+                self.traffic.forward.record("PayloadMsg", bits)
+        for node_id in list(dst.ops):
+            if node_id in dst.archived:
+                del dst.ops[node_id]
+        snapshot_bits = PayloadMsg(
+            self.payload_size(src.baseline_state)).bits(self.encoding)
+        outcome.payload_bits += snapshot_bits
+        outcome.action = "snapshot"
+        self.traffic.forward.record("PayloadMsg", snapshot_bits)
+        return outcome

@@ -1,0 +1,73 @@
+"""Site membership registry.
+
+The paper's complexity analysis fixes the length of site-name and value
+fields (§3.3 assumption ii): ``log n`` and ``log m`` are constants of the
+system.  The registry is the component that makes *n* a known quantity — a
+minimal stand-in for the "distributed membership manager" the paper notes
+dynamic-vector schemes [19, 20] are equivalent to — and derives the
+:class:`~repro.net.wire.Encoding` all sessions of one system share.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Iterator, List
+
+from repro.errors import UnknownSiteError
+from repro.net.wire import Encoding, bits_for
+
+
+class SiteRegistry:
+    """An ordered set of site names with stable integer ids."""
+
+    def __init__(self, names: Iterable[str] = ()) -> None:
+        self._ids: Dict[str, int] = {}
+        self._names: List[str] = []
+        for name in names:
+            self.add(name)
+
+    def add(self, name: str) -> int:
+        """Register ``name`` (idempotent); returns its id."""
+        if name in self._ids:
+            return self._ids[name]
+        if not name:
+            raise ValueError("site name must be non-empty")
+        site_id = len(self._names)
+        self._ids[name] = site_id
+        self._names.append(name)
+        return site_id
+
+    def id_of(self, name: str) -> int:
+        """The stable integer id of a registered site."""
+        try:
+            return self._ids[name]
+        except KeyError:
+            raise UnknownSiteError(name) from None
+
+    def name_of(self, site_id: int) -> str:
+        """The site name registered under ``site_id``."""
+        try:
+            return self._names[site_id]
+        except IndexError:
+            raise UnknownSiteError(f"id {site_id}") from None
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._ids
+
+    def __len__(self) -> int:
+        return len(self._names)
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._names)
+
+    def names(self) -> List[str]:
+        """All site names in registration order."""
+        return list(self._names)
+
+    def encoding(self, max_updates_per_site: int = 2 ** 16,
+                 n_graph_nodes: int = 0) -> Encoding:
+        """The fixed field widths for this membership (n = len(self))."""
+        return Encoding(
+            site_bits=bits_for(max(len(self), 1)),
+            value_bits=bits_for(max_updates_per_site),
+            node_id_bits=bits_for(n_graph_nodes) if n_graph_nodes else 32,
+        )

@@ -1,0 +1,181 @@
+"""Three-way merging on top of causal graphs (§6's DVCS motivation).
+
+The paper motivates operation transfer with distributed revision control:
+"distributed revision control systems use the causal hierarchy for
+versioning control and efficient three-way merging."  This module supplies
+that last mile:
+
+* :func:`merge3` — a diff3-style line merge of (base, left, right) with
+  conflict markers, built on :mod:`difflib`;
+* :func:`snapshot_applier` — the applier for snapshot-style operations
+  (each op carries the whole content, like a commit's tree);
+* :func:`merge_heads` — the DVCS workflow glue: find the merge base via
+  :meth:`~repro.graphs.causalgraph.CausalGraph.merge_base`, three-way
+  merge the two heads' contents, and commit the result as the merge
+  operation of a conflicted :class:`~repro.replication.opsystem.OpTransferSystem`
+  replica.
+"""
+
+from __future__ import annotations
+
+import difflib
+from dataclasses import dataclass
+from typing import Any, List, Sequence, Tuple
+
+from repro.errors import ReproError
+from repro.replication.opreplica import Operation
+from repro.replication.opsystem import OpTransferSystem
+
+#: Conflict markers, git-style.
+MARKER_LEFT = "<<<<<<< left"
+MARKER_MID = "======="
+MARKER_RIGHT = ">>>>>>> right"
+
+
+@dataclass(frozen=True)
+class MergeResult:
+    """Outcome of a three-way merge."""
+
+    lines: Tuple[str, ...]
+    conflicts: int
+
+    @property
+    def clean(self) -> bool:
+        """True iff no conflict markers were emitted."""
+        return self.conflicts == 0
+
+    @property
+    def text(self) -> str:
+        return "\n".join(self.lines)
+
+
+def _hunks(base: Sequence[str],
+           side: Sequence[str]) -> List[Tuple[int, int, Tuple[str, ...]]]:
+    """Non-equal diff hunks as ``(base_lo, base_hi, replacement lines)``."""
+    matcher = difflib.SequenceMatcher(a=list(base), b=list(side),
+                                      autojunk=False)
+    return [(lo, hi, tuple(side[side_lo:side_hi]))
+            for tag, lo, hi, side_lo, side_hi in matcher.get_opcodes()
+            if tag != "equal"]
+
+
+def _render(base: Sequence[str],
+            hunks: List[Tuple[int, int, Tuple[str, ...]]],
+            lo: int, hi: int) -> Tuple[str, ...]:
+    """One side's text for the base window [lo, hi): hunks + kept lines."""
+    out: List[str] = []
+    position = lo
+    for hunk_lo, hunk_hi, text in hunks:
+        out.extend(base[position:hunk_lo])
+        out.extend(text)
+        position = hunk_hi
+    out.extend(base[position:hi])
+    return tuple(out)
+
+
+def merge3(base: Sequence[str], left: Sequence[str],
+           right: Sequence[str]) -> MergeResult:
+    """Merge two line sequences that diverged from a common base.
+
+    Classic three-way semantics: a region changed on one side only takes
+    that side's text; identical changes collapse; different changes to
+    overlapping (or touching) base regions emit a conflict block with
+    git-style markers.
+    """
+    left_hunks = _hunks(base, left)
+    right_hunks = _hunks(base, right)
+
+    merged: List[str] = []
+    conflicts = 0
+    li = ri = 0
+    cursor = 0
+    while li < len(left_hunks) or ri < len(right_hunks):
+        next_left = left_hunks[li][0] if li < len(left_hunks) else len(base)
+        next_right = (right_hunks[ri][0] if ri < len(right_hunks)
+                      else len(base))
+        window_lo = min(next_left, next_right)
+        merged.extend(base[cursor:window_lo])
+
+        # Grow the window until no pending hunk on either side touches it.
+        window_hi = window_lo
+        left_start, right_start = li, ri
+        changed = True
+        while changed:
+            changed = False
+            while li < len(left_hunks) and left_hunks[li][0] <= window_hi:
+                window_hi = max(window_hi, left_hunks[li][1])
+                li += 1
+                changed = True
+            while ri < len(right_hunks) and right_hunks[ri][0] <= window_hi:
+                window_hi = max(window_hi, right_hunks[ri][1])
+                ri += 1
+                changed = True
+
+        left_piece = _render(base, left_hunks[left_start:li],
+                             window_lo, window_hi)
+        right_piece = _render(base, right_hunks[right_start:ri],
+                              window_lo, window_hi)
+        base_piece = tuple(base[window_lo:window_hi])
+
+        if left_piece == right_piece:
+            merged.extend(left_piece)
+        elif left_piece == base_piece:
+            merged.extend(right_piece)
+        elif right_piece == base_piece:
+            merged.extend(left_piece)
+        else:
+            merged.append(MARKER_LEFT)
+            merged.extend(left_piece)
+            merged.append(MARKER_MID)
+            merged.extend(right_piece)
+            merged.append(MARKER_RIGHT)
+            conflicts += 1
+        cursor = window_hi
+    merged.extend(base[cursor:])
+    return MergeResult(tuple(merged), conflicts)
+
+
+def snapshot_applier(state: Any, op: Operation) -> Any:
+    """Applier for snapshot operations: the payload *is* the content.
+
+    Merge operations carry the three-way merged content; ordinary commits
+    carry their full text (git-style trees, not deltas).  ``None`` payloads
+    leave the state alone.
+    """
+    return state if op.payload is None else op.payload
+
+
+def merge_heads(system: OpTransferSystem, site: str,
+                object_id: str) -> Tuple[Operation, MergeResult]:
+    """Resolve a two-head replica with a causal-graph three-way merge.
+
+    Finds the merge base of the two sinks, materializes all three versions
+    (base, left, right) by folding snapshots up to each node, runs
+    :func:`merge3`, and commits the result via
+    :meth:`OpTransferSystem.resolve_manually`.  Returns the merge
+    operation and the merge result (whose ``conflicts`` count tells the
+    caller whether human attention is still needed — markers and all, the
+    content is committed either way, exactly like a VCS working tree).
+    """
+    replica = system.replica(site, object_id)
+    sinks = replica.graph.sinks()
+    if len(sinks) != 2:
+        raise ReproError(f"expected 2 heads at {site}, found {len(sinks)}")
+    left_head, right_head = sinks
+    base_node = replica.graph.merge_base(left_head, right_head)
+
+    def content_at(head) -> Tuple[str, ...]:
+        covered = replica.graph.ancestors(head) | {head}
+        state: Any = system.initial_state
+        for node_id in replica.graph.topological_order():
+            if node_id in covered:
+                state = snapshot_applier(state, replica.ops[node_id])
+        return tuple(state)
+
+    base = content_at(base_node)
+    left = content_at(left_head)
+    right = content_at(right_head)
+    result = merge3(base, left, right)
+    operation = system.resolve_manually(site, object_id,
+                                        payload=result.lines)
+    return operation, result

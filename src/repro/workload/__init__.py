@@ -1,0 +1,44 @@
+"""Workload generation, topologies, scripted scenarios, and trace replay."""
+
+from repro.workload.events import (CloneEvent, CreateEvent, SyncEvent,
+                                   TraceEvent, UpdateEvent)
+from repro.workload.generator import (WorkloadConfig, default_value_factory,
+                                      generate_trace, high_conflict_config,
+                                      low_conflict_config,
+                                      medium_conflict_config)
+from repro.workload.replay import ReplaySummary, replay_ops, replay_state
+from repro.workload.scenarios import (FIGURE1_ORDERS, FIGURE1_VECTORS,
+                                      all_write_then_gossip_trace,
+                                      chain_trace, figure1_graph,
+                                      figure1_vectors, figure3_graphs)
+from repro.workload.topology import (ClusteredTopology, RandomPairTopology,
+                                     RingTopology, StarTopology, Topology)
+
+__all__ = [
+    "CloneEvent",
+    "ClusteredTopology",
+    "CreateEvent",
+    "FIGURE1_ORDERS",
+    "FIGURE1_VECTORS",
+    "RandomPairTopology",
+    "ReplaySummary",
+    "RingTopology",
+    "StarTopology",
+    "SyncEvent",
+    "Topology",
+    "TraceEvent",
+    "UpdateEvent",
+    "WorkloadConfig",
+    "all_write_then_gossip_trace",
+    "chain_trace",
+    "default_value_factory",
+    "figure1_graph",
+    "figure1_vectors",
+    "figure3_graphs",
+    "generate_trace",
+    "high_conflict_config",
+    "low_conflict_config",
+    "medium_conflict_config",
+    "replay_ops",
+    "replay_state",
+]

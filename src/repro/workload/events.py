@@ -1,0 +1,51 @@
+"""Trace events consumed by the workload runners.
+
+A workload is a deterministic sequence of events; the same trace can be
+replayed against any metadata kind or transfer model, which is how the
+benchmarks compare schemes on identical histories.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Union
+
+
+@dataclass(frozen=True)
+class CreateEvent:
+    """Create ``object_id`` on ``site`` with an initial value/payload."""
+
+    site: str
+    object_id: str
+    value: Any = None
+
+
+@dataclass(frozen=True)
+class CloneEvent:
+    """First-time replication of ``object_id`` from ``src`` onto ``dst``."""
+
+    src: str
+    dst: str
+    object_id: str
+
+
+@dataclass(frozen=True)
+class UpdateEvent:
+    """A local update of ``object_id`` on ``site``."""
+
+    site: str
+    object_id: str
+    value: Any = None
+
+
+@dataclass(frozen=True)
+class SyncEvent:
+    """A directional pull of ``object_id``: ``dst`` synchronizes from ``src``."""
+
+    src: str
+    dst: str
+    object_id: str
+    bidirectional: bool = False
+
+
+TraceEvent = Union[CreateEvent, CloneEvent, UpdateEvent, SyncEvent]

@@ -1,0 +1,115 @@
+"""Replaying traces against replication systems.
+
+The same trace drives any metadata kind or transfer model, which is how
+benchmarks hold the *history* fixed while varying the *scheme*.  Replays
+return a small summary of what happened so harnesses can report conflict
+rates alongside traffic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+from repro.replication.opsystem import OpTransferSystem
+from repro.replication.statesystem import StateTransferSystem
+from repro.workload.events import (CloneEvent, CreateEvent, SyncEvent,
+                                   TraceEvent, UpdateEvent)
+
+
+@dataclass
+class ReplaySummary:
+    """Counters accumulated over one trace replay."""
+
+    updates: int = 0
+    syncs: int = 0
+    pulls: int = 0
+    reconciliations: int = 0
+    conflicts: int = 0
+    noops: int = 0
+    actions: Dict[str, int] = field(default_factory=dict)
+
+    @property
+    def conflict_rate(self) -> float:
+        """Fraction of sync pulls that found concurrent replicas."""
+        if self.syncs == 0:
+            return 0.0
+        return (self.reconciliations + self.conflicts) / self.syncs
+
+    def _count(self, action: str) -> None:
+        self.actions[action] = self.actions.get(action, 0) + 1
+        if action == "pull":
+            self.pulls += 1
+        elif action in ("reconcile", "merge"):
+            self.reconciliations += 1
+        elif action == "conflict":
+            self.conflicts += 1
+        elif action == "none":
+            self.noops += 1
+
+
+def replay_state(trace: List[TraceEvent],
+                 system: StateTransferSystem) -> ReplaySummary:
+    """Drive a state-transfer system through a trace."""
+    summary = ReplaySummary()
+    for event in trace:
+        if isinstance(event, CreateEvent):
+            system.create_object(event.site, event.object_id, event.value)
+        elif isinstance(event, CloneEvent):
+            system.clone_replica(event.src, event.dst, event.object_id)
+            summary.syncs += 1
+            summary._count(system.outcomes[-1].action)
+        elif isinstance(event, UpdateEvent):
+            replica = system.replica(event.site, event.object_id)
+            if replica.conflicted:
+                continue  # excluded pending manual resolution
+            system.update(event.site, event.object_id, event.value)
+            summary.updates += 1
+        elif isinstance(event, SyncEvent):
+            dst = system.replica(event.dst, event.object_id)
+            src = system.replica(event.src, event.object_id)
+            if dst.conflicted or src.conflicted:
+                continue
+            outcome = system.pull(event.dst, event.src, event.object_id)
+            summary.syncs += 1
+            summary._count(outcome.action)
+            if event.bidirectional:
+                second = system.pull(event.src, event.dst, event.object_id)
+                summary.syncs += 1
+                summary._count(second.action)
+        else:  # pragma: no cover - defensive
+            raise TypeError(f"unknown trace event {event!r}")
+    return summary
+
+
+def replay_ops(trace: List[TraceEvent],
+               system: OpTransferSystem) -> ReplaySummary:
+    """Drive an operation-transfer system through the same trace shape."""
+    summary = ReplaySummary()
+    for event in trace:
+        if isinstance(event, CreateEvent):
+            system.create_object(event.site, event.object_id, event.value)
+        elif isinstance(event, CloneEvent):
+            system.clone_replica(event.src, event.dst, event.object_id)
+            summary.syncs += 1
+            summary._count(system.outcomes[-1].action)
+        elif isinstance(event, UpdateEvent):
+            if system.replica(event.site, event.object_id).conflicted:
+                continue
+            system.update(event.site, event.object_id, event.value)
+            summary.updates += 1
+        elif isinstance(event, SyncEvent):
+            if system.replica(event.dst, event.object_id).conflicted:
+                continue
+            outcome = system.pull(event.dst, event.src, event.object_id)
+            summary.syncs += 1
+            summary._count(outcome.action)
+            if (event.bidirectional
+                    and not system.replica(event.src,
+                                           event.object_id).conflicted):
+                second = system.pull(event.src, event.dst, event.object_id)
+                summary.syncs += 1
+                summary._count(second.action)
+        else:  # pragma: no cover - defensive
+            raise TypeError(f"unknown trace event {event!r}")
+    return summary

@@ -1,0 +1,161 @@
+"""Tests for the hash-history baseline (Kang et al. 2003)."""
+
+import pytest
+
+from repro.baselines.hashhistory import HASH_BITS, HashHistory
+from repro.core.order import Ordering
+
+
+class TestBasics:
+    def test_create_has_one_version(self):
+        history = HashHistory.create("A")
+        assert len(history) == 1
+        assert history.head in history
+
+    def test_update_advances_head(self):
+        history = HashHistory.create("A")
+        old_head = history.head
+        new_head = history.record_update("A")
+        assert history.head == new_head != old_head
+        assert old_head in history
+
+    def test_hashes_are_deterministic(self):
+        one = HashHistory.create("A")
+        two = HashHistory.create("A")
+        one.record_update("B")
+        two.record_update("B")
+        assert one.head == two.head
+
+    def test_divergent_histories_differ(self):
+        base = HashHistory.create("A")
+        left, right = base.copy(), base.copy()
+        left.record_update("L")
+        right.record_update("R")
+        assert left.head != right.head
+
+
+class TestComparison:
+    def test_linear_dominance(self):
+        old = HashHistory.create("A")
+        new = old.copy()
+        new.record_update("A")
+        assert old.compare(new) is Ordering.BEFORE
+        assert new.compare(old) is Ordering.AFTER
+        assert old.compare(old.copy()) is Ordering.EQUAL
+
+    def test_concurrent(self):
+        base = HashHistory.create("A")
+        left, right = base.copy(), base.copy()
+        left.record_update("L")
+        right.record_update("R")
+        assert left.compare(right) is Ordering.CONCURRENT
+
+
+class TestMergeAndSync:
+    def test_merge_dominates_both(self):
+        base = HashHistory.create("A")
+        left, right = base.copy(), base.copy()
+        left.record_update("L")
+        right.record_update("R")
+        left.merge(right, "L")
+        assert right.compare(left) is Ordering.BEFORE
+
+    def test_merge_is_symmetric_in_hash(self):
+        base = HashHistory.create("A")
+        left, right = base.copy(), base.copy()
+        left.record_update("L")
+        right.record_update("R")
+        one = left.copy()
+        one.merge(right, "S")
+        two = right.copy()
+        two.merge(left, "S")
+        assert one.head == two.head
+
+    def test_fast_forward(self):
+        old = HashHistory.create("A")
+        new = old.copy()
+        new.record_update("A")
+        old.fast_forward(new)
+        assert old.compare(new) is Ordering.EQUAL
+
+    def test_fast_forward_requires_dominance(self):
+        base = HashHistory.create("A")
+        left, right = base.copy(), base.copy()
+        left.record_update("L")
+        right.record_update("R")
+        with pytest.raises(ValueError):
+            left.fast_forward(right)
+
+    def test_missing_versions(self):
+        old = HashHistory.create("A")
+        new = old.copy()
+        v1 = new.record_update("A")
+        v2 = new.record_update("A")
+        assert old.missing_versions(new) == {v1, v2}
+
+
+class TestExchange:
+    """The Kang et al. synchronization protocol (traffic model)."""
+
+    def _diverged_pair(self):
+        base = HashHistory.create("A")
+        for _ in range(5):
+            base.record_update("A")
+        left, right = base.copy(), base.copy()
+        left.record_update("L")
+        right.record_update("R")
+        return left, right
+
+    def test_fast_forward_moves_head(self):
+        from repro.baselines.hashhistory import exchange_hash_histories
+        old = HashHistory.create("A")
+        new = old.copy()
+        new.record_update("A")
+        moved, bits = exchange_hash_histories(old, new, site="B")
+        assert moved == 1
+        assert old.compare(new) is Ordering.EQUAL
+        assert bits > 0
+
+    def test_concurrent_exchange_merges(self):
+        from repro.baselines.hashhistory import exchange_hash_histories
+        left, right = self._diverged_pair()
+        moved, _ = exchange_hash_histories(left, right, site="L")
+        assert moved == 1  # only R's head was missing
+        assert right.compare(left) is Ordering.BEFORE
+
+    def test_noop_exchange_still_pays_announcement(self):
+        from repro.baselines.hashhistory import exchange_hash_histories
+        history = HashHistory.create("A")
+        for _ in range(10):
+            history.record_update("A")
+        peer = history.copy()
+        moved, bits = exchange_hash_histories(history, peer, site="A")
+        assert moved == 0
+        # The announcement grows with total versions — the scheme's cost
+        # the paper's incremental vectors avoid.
+        assert bits >= len(history) * 128
+
+    def test_announcement_grows_with_history_unlike_srv(self):
+        from repro.baselines.hashhistory import exchange_hash_histories
+        costs = []
+        for length in (10, 100):
+            history = HashHistory.create("A")
+            for _ in range(length):
+                history.record_update("A")
+            peer = history.copy()
+            peer.record_update("B")
+            _, bits = exchange_hash_histories(history, peer, site="A")
+            costs.append(bits)
+        assert costs[1] > 5 * costs[0]
+
+
+class TestStorageGrowth:
+    def test_storage_grows_with_updates_not_sites(self):
+        """The E7 claim: hash-history metadata grows per version."""
+        history = HashHistory.create("A")
+        sizes = []
+        for _ in range(10):
+            history.record_update("A")
+            sizes.append(history.storage_bits())
+        assert sizes == sorted(sizes)
+        assert sizes[-1] - sizes[0] == 9 * 2 * HASH_BITS  # hash + parent link

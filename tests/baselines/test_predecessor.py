@@ -1,0 +1,85 @@
+"""Tests for the predecessor-set baseline (§2.2's comparison scheme)."""
+
+from repro.baselines.predecessor import PredecessorSet
+from repro.core.order import Ordering
+from repro.net.wire import Encoding
+
+ENC = Encoding(site_bits=8, value_bits=16)
+
+
+class TestBasics:
+    def test_record_update(self):
+        pred = PredecessorSet()
+        op = pred.record_update("A")
+        assert op == ("A", 1)
+        assert len(pred) == 1
+
+    def test_sequences_are_per_site(self):
+        pred = PredecessorSet()
+        pred.record_update("A")
+        pred.record_update("B")
+        assert pred.record_update("A") == ("A", 2)
+
+    def test_copy_independent(self):
+        pred = PredecessorSet()
+        pred.record_update("A")
+        clone = pred.copy()
+        clone.record_update("A")
+        assert len(pred) == 1 and len(clone) == 2
+
+
+class TestComparison:
+    def test_subset_is_before(self):
+        small = PredecessorSet()
+        small.record_update("A")
+        big = small.copy()
+        big.record_update("B")
+        assert small.compare(big) is Ordering.BEFORE
+        assert big.compare(small) is Ordering.AFTER
+        assert small.compare(small.copy()) is Ordering.EQUAL
+
+    def test_concurrent(self):
+        base = PredecessorSet()
+        base.record_update("A")
+        left, right = base.copy(), base.copy()
+        left.record_update("L")
+        right.record_update("R")
+        assert left.compare(right) is Ordering.CONCURRENT
+
+    def test_merge_unions(self):
+        base = PredecessorSet()
+        base.record_update("A")
+        left, right = base.copy(), base.copy()
+        left.record_update("L")
+        right.record_update("R")
+        left.merge(right)
+        assert right.compare(left) is Ordering.BEFORE
+
+
+class TestVectorEquivalence:
+    """Observation 2.1: the vector compactly encodes the set."""
+
+    def test_vector_encoding_matches(self):
+        pred = PredecessorSet()
+        for site in ["A", "A", "B", "C", "A"]:
+            pred.record_update(site)
+        assert pred.to_version_vector().as_dict() == {"A": 3, "B": 1, "C": 1}
+
+    def test_set_verdicts_match_vector_verdicts(self):
+        base = PredecessorSet()
+        base.record_update("A")
+        left, right = base.copy(), base.copy()
+        left.record_update("L")
+        right.record_update("R")
+        for a, b in [(left, right), (base, left), (left, left.copy())]:
+            assert a.compare(b) is a.to_version_vector().compare(
+                b.to_version_vector())
+
+    def test_storage_exceeds_vector_after_repeat_updates(self):
+        """Each site contributes ≥1 entry; repeats make it strictly bigger."""
+        pred = PredecessorSet()
+        for _ in range(10):
+            pred.record_update("A")
+        vector_bits = 1 * (ENC.site_bits + ENC.value_bits)
+        assert pred.storage_bits(ENC) == 10 * (ENC.site_bits + ENC.value_bits)
+        assert pred.storage_bits(ENC) > vector_bits

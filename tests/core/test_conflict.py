@@ -1,0 +1,55 @@
+"""Tests for the CRV class (conflict-bit bookkeeping lives in SYNCC)."""
+
+import pytest
+
+from repro.core.conflict import ConflictRotatingVector
+
+
+class TestConflictBits:
+    def test_bits_default_unset(self):
+        vector = ConflictRotatingVector.from_pairs([("A", 1)])
+        assert vector.conflict_bit("A") is False
+        assert vector.conflict_bit("missing") is False
+
+    def test_from_pairs_with_bits(self):
+        vector = ConflictRotatingVector.from_pairs_with_bits(
+            [("A", 2, True), ("B", 2, False)])
+        assert vector.conflict_bit("A") is True
+        assert vector.conflict_bit("B") is False
+        assert vector.sites_in_order() == ["A", "B"]
+
+    def test_set_and_clear_bit(self):
+        vector = ConflictRotatingVector.from_pairs([("A", 1)])
+        vector.set_conflict_bit("A")
+        assert vector.conflict_bit("A") is True
+        vector.set_conflict_bit("A", False)
+        assert vector.conflict_bit("A") is False
+
+    def test_set_bit_on_missing_element_raises(self):
+        with pytest.raises(KeyError):
+            ConflictRotatingVector().set_conflict_bit("A")
+
+    def test_conflict_sites_in_order(self):
+        vector = ConflictRotatingVector.from_pairs_with_bits(
+            [("C", 1, True), ("B", 1, False), ("A", 1, True)])
+        assert vector.conflict_sites() == ["C", "A"]
+
+    def test_clear_conflict_bits(self):
+        vector = ConflictRotatingVector.from_pairs_with_bits(
+            [("A", 1, True), ("B", 1, True)])
+        vector.clear_conflict_bits()
+        assert vector.conflict_sites() == []
+
+    def test_local_update_resets_bit(self):
+        # §3.2: the bit "is reset whenever v[i] is incremented due to a
+        # replica update on site i".
+        vector = ConflictRotatingVector.from_pairs_with_bits([("A", 1, True)])
+        vector.record_update("A")
+        assert vector.conflict_bit("A") is False
+
+    def test_copy_preserves_bits(self):
+        vector = ConflictRotatingVector.from_pairs_with_bits([("A", 1, True)])
+        assert vector.copy().conflict_bit("A") is True
+
+    def test_kind_tag(self):
+        assert ConflictRotatingVector().kind == "crv"

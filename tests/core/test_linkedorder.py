@@ -1,0 +1,168 @@
+"""Tests for the doubly-linked element order and ROTATE."""
+
+import pytest
+
+from repro.core.linkedorder import ElementOrder
+
+
+def build(pairs):
+    order = ElementOrder()
+    previous = None
+    for site, value in pairs:
+        element = order.rotate_after(previous, site)
+        element.value = value
+        previous = site
+    return order
+
+
+class TestBasicStructure:
+    def test_empty_order(self):
+        order = ElementOrder()
+        assert len(order) == 0
+        assert order.first() is None
+        assert order.last() is None
+        assert list(order) == []
+
+    def test_single_element(self):
+        order = build([("A", 1)])
+        assert order.first() is order.last()
+        assert order.first().site == "A"
+
+    def test_insertion_order_preserved(self):
+        order = build([("C", 3), ("A", 2), ("B", 1)])
+        assert order.sites_in_order() == ["C", "A", "B"]
+        assert order.first().site == "C"
+        assert order.last().site == "B"
+
+    def test_value_lookup(self):
+        order = build([("A", 5)])
+        assert order.value("A") == 5
+        assert order.value("Z") == 0
+
+    def test_contains(self):
+        order = build([("A", 1)])
+        assert "A" in order
+        assert "B" not in order
+
+    def test_linked_pointers_are_consistent(self):
+        order = build([("A", 1), ("B", 2), ("C", 3)])
+        sites_forward = [e.site for e in order]
+        backward = []
+        node = order.last()
+        while node is not None:
+            backward.append(node.site)
+            node = node.prev
+        assert backward == list(reversed(sites_forward))
+
+
+class TestRotateFront:
+    def test_rotate_existing_to_front(self):
+        order = build([("A", 1), ("B", 2), ("C", 3)])
+        order.rotate_front("C")
+        assert order.sites_in_order() == ["C", "A", "B"]
+
+    def test_rotate_front_of_front_is_noop(self):
+        order = build([("A", 1), ("B", 2)])
+        order.rotate_front("A")
+        assert order.sites_in_order() == ["A", "B"]
+
+    def test_rotate_inserts_missing_element(self):
+        order = build([("A", 1)])
+        element = order.rotate_front("Z")
+        assert element.value == 0
+        assert order.sites_in_order() == ["Z", "A"]
+
+    def test_rotate_middle_element(self):
+        order = build([("A", 1), ("B", 2), ("C", 3)])
+        order.rotate_front("B")
+        assert order.sites_in_order() == ["B", "A", "C"]
+
+    def test_rotate_tail_updates_tail_pointer(self):
+        order = build([("A", 1), ("B", 2)])
+        order.rotate_front("B")
+        assert order.last().site == "A"
+        assert order.last().next is None
+
+
+class TestRotateAfter:
+    def test_place_after_anchor(self):
+        order = build([("A", 1), ("B", 2), ("C", 3)])
+        order.rotate_after("A", "C")
+        assert order.sites_in_order() == ["A", "C", "B"]
+
+    def test_none_anchor_means_front(self):
+        order = build([("A", 1), ("B", 2)])
+        order.rotate_after(None, "B")
+        assert order.sites_in_order() == ["B", "A"]
+
+    def test_insert_new_after_anchor(self):
+        order = build([("A", 1)])
+        order.rotate_after("A", "B")
+        assert order.sites_in_order() == ["A", "B"]
+        assert order.last().site == "B"
+
+    def test_missing_anchor_raises(self):
+        order = build([("A", 1)])
+        with pytest.raises(KeyError):
+            order.rotate_after("Z", "A")
+
+    def test_rotate_after_self_is_noop(self):
+        order = build([("A", 1), ("B", 2)])
+        order.rotate_after("A", "A")
+        assert order.sites_in_order() == ["A", "B"]
+
+    def test_already_in_place_is_noop(self):
+        order = build([("A", 1), ("B", 2)])
+        order.rotate_after("A", "B")
+        assert order.sites_in_order() == ["A", "B"]
+
+    def test_receiver_chain_mirrors_sender_prefix(self):
+        # The SYNCB receiver pattern: ROTATE(φ,x), ROTATE(x,y), ROTATE(y,z).
+        order = build([("P", 9), ("Q", 8)])
+        previous = None
+        for site in ["X", "Y", "Z"]:
+            order.rotate_after(previous, site)
+            previous = site
+        assert order.sites_in_order() == ["X", "Y", "Z", "P", "Q"]
+
+
+class TestSegmentBitCarry:
+    def test_rotating_terminator_carries_bit_to_predecessor(self):
+        order = build([("G", 1), ("F", 1), ("E", 1)])
+        order.get("E").segment = True
+        order.rotate_front("E")
+        assert order.get("F").segment is True
+
+    def test_rotating_non_terminator_carries_nothing(self):
+        order = build([("G", 1), ("F", 1), ("E", 1)])
+        order.get("E").segment = True
+        order.rotate_front("F")
+        assert order.get("G").segment is False
+        assert order.get("E").segment is True
+
+    def test_front_terminator_bit_vanishes_with_segment(self):
+        order = build([("A", 1), ("B", 1)])
+        order.get("A").segment = True
+        order.rotate_front("A")  # structural no-op: already front
+        order.rotate_after("B", "A")  # move away: no predecessor at front
+        assert order.get("B").segment is False
+
+
+class TestCopyAndSnapshots:
+    def test_copy_preserves_everything(self):
+        order = build([("A", 1), ("B", 2)])
+        order.get("A").conflict = True
+        order.get("B").segment = True
+        clone = order.copy()
+        assert clone.as_tuples() == order.as_tuples()
+
+    def test_copy_is_independent(self):
+        order = build([("A", 1)])
+        clone = order.copy()
+        clone.rotate_front("Z")
+        assert "Z" not in order
+
+    def test_as_tuples(self):
+        order = build([("A", 1)])
+        order.get("A").conflict = True
+        assert order.as_tuples() == [("A", 1, True, False)]

@@ -1,0 +1,40 @@
+"""Tests for the shared Ordering verdict type."""
+
+from repro.core.order import Ordering
+
+
+def test_four_verdicts_exist():
+    assert {o.name for o in Ordering} == {
+        "EQUAL", "BEFORE", "AFTER", "CONCURRENT"}
+
+
+def test_concurrent_flag():
+    assert Ordering.CONCURRENT.is_concurrent
+    assert not Ordering.EQUAL.is_concurrent
+    assert not Ordering.BEFORE.is_concurrent
+    assert not Ordering.AFTER.is_concurrent
+
+
+def test_comparable_is_negation_of_concurrent():
+    for ordering in Ordering:
+        assert ordering.is_comparable == (not ordering.is_concurrent)
+
+
+def test_flipped_swaps_before_and_after():
+    assert Ordering.BEFORE.flipped() is Ordering.AFTER
+    assert Ordering.AFTER.flipped() is Ordering.BEFORE
+
+
+def test_flipped_fixes_symmetric_verdicts():
+    assert Ordering.EQUAL.flipped() is Ordering.EQUAL
+    assert Ordering.CONCURRENT.flipped() is Ordering.CONCURRENT
+
+
+def test_flipped_is_involution():
+    for ordering in Ordering:
+        assert ordering.flipped().flipped() is ordering
+
+
+def test_str_uses_paper_symbols():
+    assert str(Ordering.BEFORE) == "≺"
+    assert str(Ordering.CONCURRENT) == "∥"

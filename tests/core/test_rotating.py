@@ -1,0 +1,139 @@
+"""Tests for basic rotating vectors and Algorithm 1 (COMPARE)."""
+
+import pytest
+
+from repro.core.order import Ordering
+from repro.core.rotating import BasicRotatingVector
+
+
+class TestConstruction:
+    def test_from_pairs_sets_order(self):
+        vector = BasicRotatingVector.from_pairs([("C", 3), ("A", 2), ("B", 1)])
+        assert vector.sites_in_order() == ["C", "A", "B"]
+        assert vector.first().site == "C"
+        assert vector.last().site == "B"
+
+    def test_from_pairs_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            BasicRotatingVector.from_pairs([("A", 0)])
+
+    def test_empty_vector(self):
+        vector = BasicRotatingVector()
+        assert len(vector) == 0
+        assert vector["A"] == 0
+        assert vector.first() is None
+
+    def test_copy_independent(self):
+        vector = BasicRotatingVector.from_pairs([("A", 1)])
+        clone = vector.copy()
+        clone.record_update("B")
+        assert "B" not in vector
+        assert clone.sites_in_order() == ["B", "A"]
+
+    def test_copy_preserves_subclass(self):
+        from repro.core.skip import SkipRotatingVector
+        assert isinstance(SkipRotatingVector().copy(), SkipRotatingVector)
+
+
+class TestRecordUpdate:
+    def test_update_rotates_to_front(self):
+        vector = BasicRotatingVector.from_pairs([("A", 1), ("B", 1)])
+        assert vector.record_update("B") == 2
+        assert vector.sites_in_order() == ["B", "A"]
+        assert vector["B"] == 2
+
+    def test_update_new_site(self):
+        vector = BasicRotatingVector.from_pairs([("A", 1)])
+        vector.record_update("Z")
+        assert vector.sites_in_order() == ["Z", "A"]
+        assert vector["Z"] == 1
+
+    def test_update_clears_conflict_and_segment_bits(self):
+        vector = BasicRotatingVector.from_pairs([("A", 1)])
+        element = vector.order.get("A")
+        element.conflict = True
+        element.segment = True
+        vector.record_update("A")
+        assert element.conflict is False
+        assert element.segment is False
+
+    def test_total_updates(self):
+        vector = BasicRotatingVector()
+        vector.record_update("A")
+        vector.record_update("A")
+        vector.record_update("B")
+        assert vector.total_updates() == 3
+
+
+class TestCompareAlgorithm1:
+    """COMPARE inspects only ⌊a⌋, ⌊b⌋ and two lookups (Algorithm 1)."""
+
+    def test_equal(self):
+        a = BasicRotatingVector.from_pairs([("A", 2), ("B", 1)])
+        b = BasicRotatingVector.from_pairs([("A", 2), ("B", 1)])
+        assert a.compare(b) is Ordering.EQUAL
+
+    def test_before_after_linear_history(self):
+        a = BasicRotatingVector()
+        a.record_update("A")
+        b = a.copy()
+        b.record_update("B")
+        assert a.compare(b) is Ordering.BEFORE
+        assert b.compare(a) is Ordering.AFTER
+
+    def test_concurrent(self):
+        base = BasicRotatingVector()
+        base.record_update("A")
+        left = base.copy()
+        left.record_update("L")
+        right = base.copy()
+        right.record_update("R")
+        assert left.compare(right) is Ordering.CONCURRENT
+
+    def test_empty_cases(self):
+        empty = BasicRotatingVector()
+        other = BasicRotatingVector.from_pairs([("A", 1)])
+        assert empty.compare(BasicRotatingVector()) is Ordering.EQUAL
+        assert empty.compare(other) is Ordering.BEFORE
+        assert other.compare(empty) is Ordering.AFTER
+
+    def test_matches_full_comparison_on_fresh_fronts(self):
+        a = BasicRotatingVector()
+        for site in ["A", "B", "A", "C"]:
+            a.record_update(site)
+        b = a.copy()
+        for site in ["D", "B"]:
+            b.record_update(site)
+        assert a.compare(b) is a.compare_full(b)
+        assert b.compare(a) is b.compare_full(a)
+
+    def test_paper_theta_example_is_concurrent(self):
+        theta1 = BasicRotatingVector.from_pairs([("A", 2), ("B", 1)])
+        theta2 = BasicRotatingVector.from_pairs([("B", 2), ("A", 1)])
+        assert theta1.compare(theta2) is Ordering.CONCURRENT
+
+
+class TestConversions:
+    def test_to_version_vector(self):
+        vector = BasicRotatingVector.from_pairs([("B", 2), ("A", 1)])
+        assert vector.to_version_vector().as_dict() == {"A": 1, "B": 2}
+
+    def test_same_values_ignores_order(self):
+        a = BasicRotatingVector.from_pairs([("A", 1), ("B", 2)])
+        b = BasicRotatingVector.from_pairs([("B", 2), ("A", 1)])
+        assert a.same_values(b)
+        assert a == b
+
+    def test_same_structure_requires_order(self):
+        a = BasicRotatingVector.from_pairs([("A", 1), ("B", 2)])
+        b = BasicRotatingVector.from_pairs([("B", 2), ("A", 1)])
+        assert not a.same_structure(b)
+        assert a.same_structure(a.copy())
+
+    def test_unhashable(self):
+        with pytest.raises(TypeError):
+            hash(BasicRotatingVector())
+
+    def test_elements_snapshot(self):
+        vector = BasicRotatingVector.from_pairs([("B", 2), ("A", 1)])
+        assert vector.elements() == [("B", 2), ("A", 1)]

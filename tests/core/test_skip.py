@@ -1,0 +1,86 @@
+"""Tests for the SRV class: segment bits, parsing, and local coalescing."""
+
+import pytest
+
+from repro.core.skip import SkipRotatingVector
+
+
+def segment_sites(vector):
+    return [[site for site, _ in segment] for segment in vector.segments()]
+
+
+class TestSegmentConstruction:
+    def test_from_segments_marks_terminators(self):
+        vector = SkipRotatingVector.from_segments(
+            [[("C", 1)], [("G", 1), ("F", 1), ("E", 1)], [("A", 1)]])
+        assert vector.segment_bit("C") is True
+        assert vector.segment_bit("E") is True
+        assert vector.segment_bit("G") is False
+        assert vector.segment_bit("F") is False
+
+    def test_from_segments_rejects_empty_segment(self):
+        with pytest.raises(ValueError):
+            SkipRotatingVector.from_segments([[]])
+
+    def test_segments_roundtrip(self):
+        layout = [[("C", 1)], [("H", 1)], [("G", 1), ("F", 1), ("E", 1)],
+                  [("B", 1)], [("A", 1)]]
+        vector = SkipRotatingVector.from_segments(layout)
+        assert vector.segments() == layout
+        assert vector.segment_count() == 5
+
+
+class TestSegmentParsing:
+    def test_implicit_trailing_boundary(self):
+        vector = SkipRotatingVector.from_pairs([("A", 1), ("B", 1)])
+        assert segment_sites(vector) == [["A", "B"]]
+
+    def test_empty_vector_has_no_segments(self):
+        assert SkipRotatingVector().segments() == []
+        assert SkipRotatingVector().segment_count() == 0
+
+    def test_segment_elements_returns_live_nodes(self):
+        vector = SkipRotatingVector.from_segments([[("A", 1)], [("B", 1)]])
+        groups = vector.segment_elements()
+        assert [[e.site for e in group] for group in groups] == [["A"], ["B"]]
+        groups[0][0].value = 9
+        assert vector["A"] == 9
+
+    def test_set_segment_bit_requires_element(self):
+        with pytest.raises(KeyError):
+            SkipRotatingVector().set_segment_bit("A")
+
+
+class TestLocalCoalescing:
+    """Local updates extend the front segment (CRG chain coalescing)."""
+
+    def test_consecutive_updates_form_one_segment(self):
+        vector = SkipRotatingVector()
+        vector.record_update("A")
+        vector.record_update("B")
+        vector.record_update("C")
+        assert segment_sites(vector) == [["C", "B", "A"]]
+
+    def test_update_after_boundary_starts_new_front_run(self):
+        vector = SkipRotatingVector.from_segments([[("A", 1)], [("B", 1)]])
+        vector.record_update("Z")
+        # Z joins the front segment [A]; the boundary after A persists.
+        assert segment_sites(vector) == [["Z", "A"], ["B"]]
+
+    def test_updating_terminator_carries_boundary_back(self):
+        vector = SkipRotatingVector.from_segments(
+            [[("G", 1), ("F", 1), ("E", 1)], [("A", 1)]])
+        vector.record_update("E")
+        # E leaves its segment; F becomes the new terminator.
+        assert segment_sites(vector) == [["E", "G", "F"], ["A"]]
+        assert vector.segment_bit("F") is True
+        assert vector.segment_bit("E") is False
+
+    def test_updating_singleton_segment_front(self):
+        vector = SkipRotatingVector.from_segments([[("C", 1)], [("A", 1)]])
+        vector.record_update("C")
+        # C's one-element segment vanishes; C extends the (new) front run.
+        assert segment_sites(vector) == [["C", "A"]]
+
+    def test_kind_tag(self):
+        assert SkipRotatingVector().kind == "srv"

@@ -1,0 +1,124 @@
+"""Tests for plain version vectors (the Parker et al. baseline)."""
+
+import pytest
+
+from repro.core.order import Ordering
+from repro.core.versionvector import VersionVector
+
+
+class TestElementAccess:
+    def test_absent_site_reads_zero(self):
+        assert VersionVector()["A"] == 0
+
+    def test_construction_from_mapping(self):
+        vector = VersionVector({"A": 2, "B": 1})
+        assert vector["A"] == 2
+        assert vector["B"] == 1
+
+    def test_zero_values_are_not_stored(self):
+        vector = VersionVector({"A": 0, "B": 1})
+        assert "A" not in vector
+        assert len(vector) == 1
+
+    def test_setting_zero_removes_element(self):
+        vector = VersionVector({"A": 2})
+        vector["A"] = 0
+        assert "A" not in vector
+        assert len(vector) == 0
+
+    def test_negative_value_rejected(self):
+        with pytest.raises(ValueError):
+            VersionVector({"A": -1})
+
+    def test_iteration_and_items(self):
+        vector = VersionVector({"A": 1, "B": 2})
+        assert set(vector) == {"A", "B"}
+        assert dict(vector.items()) == {"A": 1, "B": 2}
+
+    def test_total_updates(self):
+        assert VersionVector({"A": 2, "B": 3}).total_updates() == 5
+
+
+class TestUpdatesAndMerge:
+    def test_record_update_increments(self):
+        vector = VersionVector()
+        assert vector.record_update("A") == 1
+        assert vector.record_update("A") == 2
+        assert vector["A"] == 2
+
+    def test_merge_takes_elementwise_max(self):
+        a = VersionVector({"A": 3, "B": 1})
+        b = VersionVector({"B": 5, "C": 2})
+        a.merge(b)
+        assert a.as_dict() == {"A": 3, "B": 5, "C": 2}
+
+    def test_merge_with_empty_is_identity(self):
+        a = VersionVector({"A": 1})
+        a.merge(VersionVector())
+        assert a.as_dict() == {"A": 1}
+
+    def test_merged_returns_new_vector(self):
+        a = VersionVector({"A": 1})
+        b = VersionVector({"B": 1})
+        merged = a.merged(b)
+        assert merged.as_dict() == {"A": 1, "B": 1}
+        assert a.as_dict() == {"A": 1}
+
+    def test_copy_is_independent(self):
+        a = VersionVector({"A": 1})
+        b = a.copy()
+        b.record_update("A")
+        assert a["A"] == 1
+
+
+class TestComparison:
+    def test_equal(self):
+        assert (VersionVector({"A": 1}).compare(VersionVector({"A": 1}))
+                is Ordering.EQUAL)
+
+    def test_empty_vectors_equal(self):
+        assert VersionVector().compare(VersionVector()) is Ordering.EQUAL
+
+    def test_before_and_after(self):
+        small = VersionVector({"A": 1})
+        big = VersionVector({"A": 2, "B": 1})
+        assert small.compare(big) is Ordering.BEFORE
+        assert big.compare(small) is Ordering.AFTER
+
+    def test_empty_precedes_nonempty(self):
+        assert (VersionVector().compare(VersionVector({"A": 1}))
+                is Ordering.BEFORE)
+
+    def test_concurrent(self):
+        a = VersionVector({"A": 2, "B": 1})
+        b = VersionVector({"A": 1, "B": 2})
+        assert a.compare(b) is Ordering.CONCURRENT
+
+    def test_disjoint_sites_are_concurrent(self):
+        assert (VersionVector({"A": 1}).compare(VersionVector({"B": 1}))
+                is Ordering.CONCURRENT)
+
+    def test_dominates(self):
+        big = VersionVector({"A": 2})
+        small = VersionVector({"A": 1})
+        assert big.dominates(small)
+        assert big.dominates(big)
+        assert not small.dominates(big)
+
+    def test_comparison_is_antisymmetric(self):
+        a = VersionVector({"A": 2, "B": 1})
+        b = VersionVector({"A": 2, "B": 3})
+        assert a.compare(b) is b.compare(a).flipped()
+
+
+class TestEqualityAndRepr:
+    def test_value_equality(self):
+        assert VersionVector({"A": 1}) == VersionVector({"A": 1})
+        assert VersionVector({"A": 1}) != VersionVector({"A": 2})
+
+    def test_hashable(self):
+        assert {VersionVector({"A": 1}), VersionVector({"A": 1})} == {
+            VersionVector({"A": 1})}
+
+    def test_repr_sorts_sites(self):
+        assert repr(VersionVector({"B": 1, "A": 2})) == "<A:2, B:1>"

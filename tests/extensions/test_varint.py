@@ -1,0 +1,80 @@
+"""Tests for the adaptive (Elias-γ) wire encoding."""
+
+import pytest
+
+from repro.core.rotating import BasicRotatingVector
+from repro.extensions.varint import AdaptiveEncoding, elias_gamma_bits
+from repro.net.wire import Encoding
+from repro.protocols.messages import ElementMsg, ElementSMsg, FullVectorMsg
+from repro.protocols.syncb import sync_brv
+
+FIXED = Encoding(site_bits=8, value_bits=32)
+ADAPTIVE = AdaptiveEncoding(site_bits=8, value_bits=32)
+
+
+class TestGammaCode:
+    def test_known_sizes(self):
+        # γ(value+1): value 0 → 1 bit, 1..2 → 3, 3..6 → 5, 7..14 → 7 ...
+        assert elias_gamma_bits(0) == 1
+        assert elias_gamma_bits(1) == 3
+        assert elias_gamma_bits(2) == 3
+        assert elias_gamma_bits(3) == 5
+        assert elias_gamma_bits(6) == 5
+        assert elias_gamma_bits(7) == 7
+
+    def test_monotone(self):
+        sizes = [elias_gamma_bits(v) for v in range(200)]
+        assert sizes == sorted(sizes)
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            elias_gamma_bits(-1)
+
+    def test_self_delimiting_budget(self):
+        # 2·⌊log2(value+1)⌋+1 exactly: value 1023 → x=1024 → 21 bits.
+        assert elias_gamma_bits(1023) == 2 * 10 + 1
+
+
+class TestAdaptivePricing:
+    def test_small_values_cost_less_than_fixed(self):
+        small = ElementMsg("A", 1)
+        assert small.bits(ADAPTIVE) < small.bits(FIXED)
+
+    def test_fixed_encoding_unchanged(self):
+        assert ElementMsg("A", 1).bits(FIXED) == 8 + 32 + 1
+
+    def test_flag_bits_preserved(self):
+        c = ElementSMsg("A", 1, True, True)
+        assert c.bits(ADAPTIVE) == 8 + elias_gamma_bits(1) + 3
+
+    def test_full_vector_adapts_per_element(self):
+        message = FullVectorMsg((("A", 1), ("B", 1000)))
+        expected = (8  # length prefix
+                    + 8 + elias_gamma_bits(1)
+                    + 8 + elias_gamma_bits(1000))
+        assert message.bits(ADAPTIVE) == expected
+
+    def test_sync_traffic_shrinks_on_small_counters(self):
+        def run(encoding):
+            b = BasicRotatingVector()
+            for index in range(20):
+                b.record_update(f"S{index}")
+            return sync_brv(BasicRotatingVector(), b,
+                            encoding=encoding).stats.total_bits
+
+        assert run(ADAPTIVE) < run(FIXED) / 3
+
+    def test_large_values_can_exceed_fixed(self):
+        huge = ElementMsg("A", 2 ** 40)
+        assert huge.bits(ADAPTIVE) > huge.bits(FIXED)
+
+    def test_table2_bounds_still_valid_for_bounded_values(self):
+        # Values below 2^((value_bits-1)/2) keep γ(value) ≤ value_bits.
+        encoding = AdaptiveEncoding(site_bits=8, value_bits=21)
+        limit = 2 ** 10 - 1
+        assert elias_gamma_bits(limit) <= encoding.value_bits
+        b = BasicRotatingVector()
+        for index in range(16):
+            b.record_update(f"S{index}")
+        session = sync_brv(BasicRotatingVector(), b, encoding=encoding)
+        assert session.stats.total_bits <= encoding.brv_sync_bound(16)

@@ -1,0 +1,88 @@
+"""Tests for the analytic replication graph (§4, Figure 1)."""
+
+import pytest
+
+from repro.errors import GraphError
+from repro.graphs.replicationgraph import ReplicationGraph
+from repro.workload.scenarios import FIGURE1_ORDERS, FIGURE1_VECTORS, figure1_graph
+
+
+class TestConstruction:
+    def test_single_source_enforced(self):
+        graph = ReplicationGraph()
+        graph.add_initial([("A", 1)])
+        with pytest.raises(GraphError):
+            graph.add_initial([("B", 1)])
+
+    def test_update_and_merge_nodes(self):
+        graph = ReplicationGraph()
+        root = graph.add_initial([("A", 1)])
+        left = graph.add_update(root.node_id, [("B", 1), ("A", 1)])
+        right = graph.add_update(root.node_id, [("C", 1), ("A", 1)])
+        merged = graph.add_merge(left.node_id, right.node_id,
+                                 [("C", 1), ("B", 1), ("A", 1)])
+        assert merged.is_merge
+        assert not left.is_merge
+        assert graph.sinks() == [merged.node_id]
+
+    def test_parent_must_exist(self):
+        graph = ReplicationGraph()
+        graph.add_initial([("A", 1)])
+        with pytest.raises(GraphError):
+            graph.add_update(42, [("B", 1)])
+
+    def test_merge_parents_must_differ(self):
+        graph = ReplicationGraph()
+        root = graph.add_initial([("A", 1)])
+        with pytest.raises(GraphError):
+            graph.add_merge(root.node_id, root.node_id, [("A", 1)])
+
+    def test_explicit_node_ids(self):
+        graph = ReplicationGraph()
+        graph.add_initial([("A", 1)], node_id=10)
+        node = graph.add_update(10, [("B", 1), ("A", 1)], node_id=20)
+        assert node.node_id == 20
+        with pytest.raises(GraphError):
+            graph.add_update(10, [("C", 1)], node_id=20)
+
+    def test_ancestors(self):
+        graph = figure1_graph()
+        assert graph.ancestors(7) == {1, 2, 4, 5, 6}
+        assert graph.ancestors(9) == {1, 2, 3, 4, 5, 6, 7, 8}
+
+    def test_labels_move_with_sites(self):
+        graph = ReplicationGraph()
+        root = graph.add_initial([("A", 1)])
+        child = graph.add_update(root.node_id, [("A", 2)])
+        graph.label(root.node_id, "A")
+        graph.label(child.node_id, "A")
+        assert "A" not in graph.node(root.node_id).sites
+        assert "A" in graph.node(child.node_id).sites
+
+
+class TestFigure1:
+    def test_every_vector_matches_the_paper(self):
+        graph = figure1_graph()
+        assert len(graph) == 9
+        for node_id, expected in FIGURE1_VECTORS.items():
+            node = graph.node(node_id)
+            assert node.values() == expected, f"node {node_id}"
+            assert [site for site, _ in node.vector] == FIGURE1_ORDERS[node_id]
+
+    def test_topology_matches_the_paper(self):
+        graph = figure1_graph()
+        assert graph.node(7).parents == (2, 6)
+        assert graph.node(9).parents == (8, 3)
+        assert graph.node(7).is_merge and graph.node(9).is_merge
+        assert graph.source().node_id == 1
+        assert graph.sinks() == [9]
+
+    def test_gray_nodes_are_the_merges(self):
+        graph = figure1_graph()
+        merges = [n.node_id for n in graph.nodes() if n.is_merge]
+        assert merges == [7, 9]
+
+    def test_hosting_labels(self):
+        graph = figure1_graph()
+        assert graph.node(7).sites == {"D", "A"}
+        assert graph.node(9).sites == {"B"}

@@ -1,0 +1,97 @@
+"""Shared test utilities: realistic vector histories and protocol drivers.
+
+Many properties of the paper's algorithms hold only for vectors that arose
+from a *legal history* — local updates, protocol synchronizations, and the
+§2.2 reconciliation increment (which restores COMPARE's fresh-front
+precondition).  :func:`build_history` replays a command list through the
+real protocols to produce such states, and the hypothesis strategies in the
+property tests generate command lists, not raw vectors.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Sequence, Tuple, Type, Union
+
+from repro.core.conflict import ConflictRotatingVector
+from repro.core.order import Ordering
+from repro.core.rotating import BasicRotatingVector
+from repro.core.skip import SkipRotatingVector
+from repro.net.wire import DEFAULT_ENCODING
+from repro.protocols.session import (SessionResult, run_session,
+                                     run_session_randomized)
+from repro.protocols.syncb import syncb_receiver, syncb_sender
+from repro.protocols.syncc import syncc_receiver, syncc_sender
+from repro.protocols.syncs import syncs_receiver, syncs_sender
+
+#: A history command: ("update", site_index) or ("sync", dst_index, src_index).
+Command = Union[Tuple[str, int], Tuple[str, int, int]]
+
+SITE_NAMES = [f"X{i}" for i in range(26)]
+
+
+def site_name(index: int) -> str:
+    return SITE_NAMES[index % len(SITE_NAMES)]
+
+
+def run_sync(a: BasicRotatingVector, b: BasicRotatingVector, *,
+             randomized_rng: random.Random | None = None) -> SessionResult:
+    """Run the appropriate SYNC* for the vectors' kind, mutating ``a``."""
+    reconcile = a.compare(b) is Ordering.CONCURRENT
+    if isinstance(a, SkipRotatingVector):
+        sender = syncs_sender(b)
+        receiver = syncs_receiver(a, reconcile=reconcile)
+    elif isinstance(a, ConflictRotatingVector):
+        sender = syncc_sender(b)
+        receiver = syncc_receiver(a, reconcile=reconcile)
+    else:
+        sender = syncb_sender(b)
+        receiver = syncb_receiver(a)
+    if randomized_rng is not None:
+        return run_session_randomized(sender, receiver, rng=randomized_rng,
+                                      encoding=DEFAULT_ENCODING)
+    return run_session(sender, receiver, encoding=DEFAULT_ENCODING)
+
+
+def build_history(cls: Type[BasicRotatingVector],
+                  commands: Sequence[Command],
+                  n_sites: int = 4, *,
+                  reconcile_increment: bool = True,
+                  randomized_seed: int | None = None
+                  ) -> List[BasicRotatingVector]:
+    """Replay a command list into per-site vectors via the real protocols.
+
+    ``("update", i)`` performs a local update at site i.
+    ``("sync", i, j)`` synchronizes site i's vector from site j's; on a
+    concurrent pair the §2.2 self-increment follows (unless disabled),
+    keeping every front element fresh, as a deployed system would.
+    BRV histories skip concurrent syncs entirely (manual resolution).
+    """
+    rng = random.Random(randomized_seed) if randomized_seed is not None else None
+    vectors: List[BasicRotatingVector] = [cls() for _ in range(n_sites)]
+    for command in commands:
+        if command[0] == "update":
+            index = command[1] % n_sites
+            vectors[index].record_update(site_name(index))
+        else:
+            dst = command[1] % n_sites
+            src = command[2] % n_sites
+            if dst == src:
+                continue
+            a, b = vectors[dst], vectors[src]
+            concurrent = a.compare(b) is Ordering.CONCURRENT
+            if concurrent and not isinstance(a, ConflictRotatingVector):
+                continue  # BRV: manual resolution, pair excluded
+            run_sync(a, b, randomized_rng=rng)
+            if concurrent and reconcile_increment:
+                a.record_update(site_name(dst))
+    return vectors
+
+
+def expected_merge(a: BasicRotatingVector,
+                   b: BasicRotatingVector) -> Dict[str, int]:
+    """The elementwise max every SYNC* must realize."""
+    result = dict(a.to_version_vector().as_dict())
+    for site, value in b.to_version_vector().as_dict().items():
+        result[site] = max(result.get(site, 0), value)
+    return result

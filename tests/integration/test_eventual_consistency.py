@@ -1,0 +1,105 @@
+"""Eventual consistency of full replication systems on random workloads."""
+
+import pytest
+
+from repro.replication.opsystem import OpTransferSystem
+from repro.replication.resolver import AutomaticResolution, union_merge
+from repro.replication.statesystem import StateTransferSystem
+from repro.workload.events import SyncEvent
+from repro.workload.generator import WorkloadConfig, generate_trace
+from repro.workload.replay import replay_ops, replay_state
+
+
+def closing_sweep(sites, object_id="obj0"):
+    """Anti-entropy events that provably converge every replica."""
+    events = []
+    for index in range(1, len(sites)):
+        events.append(SyncEvent(sites[index - 1], sites[index], object_id,
+                                bidirectional=True))
+    for index in range(len(sites) - 2, -1, -1):
+        events.append(SyncEvent(sites[index + 1], sites[index], object_id,
+                                bidirectional=True))
+    return events
+
+
+def set_values(site, object_id, sequence):
+    return frozenset({f"{site}#{sequence}"})
+
+
+@pytest.mark.parametrize("kind", ["vv", "crv", "srv"])
+@pytest.mark.parametrize("seed", [0, 1, 2])
+def test_state_transfer_reaches_eventual_consistency(kind, seed):
+    config = WorkloadConfig(n_sites=6, steps=150, seed=seed,
+                            value_factory=set_values)
+    trace = generate_trace(config)
+    trace.extend(closing_sweep(config.site_names()))
+    system = StateTransferSystem(
+        metadata=kind, resolution=AutomaticResolution(union_merge))
+    replay_state(trace, system)
+    assert system.is_consistent("obj0")
+
+
+@pytest.mark.parametrize("seed", [0, 1, 2])
+def test_state_transfer_value_is_union_of_all_updates(seed):
+    config = WorkloadConfig(n_sites=5, steps=100, seed=seed,
+                            value_factory=set_values)
+    trace = generate_trace(config)
+    trace.extend(closing_sweep(config.site_names()))
+    system = StateTransferSystem(
+        metadata="srv", resolution=AutomaticResolution(union_merge))
+    replay_state(trace, system)
+    final = system.replica("S000", "obj0").value
+    # State transfer overwrites: causally superseded values vanish, and
+    # reconciliations union the concurrent survivors — so the final value
+    # is a non-empty subset of everything ever written, and must contain
+    # the value of at least one causally-maximal update.
+    from repro.workload.events import CreateEvent, UpdateEvent
+    issued = set()
+    for event in trace:
+        if isinstance(event, (CreateEvent, UpdateEvent)):
+            issued |= set(event.value)
+    assert set(final) <= issued
+    assert final
+
+
+@pytest.mark.parametrize("seed", [0, 1, 2])
+def test_op_transfer_reaches_eventual_consistency(seed):
+    config = WorkloadConfig(n_sites=6, steps=150, seed=seed)
+    trace = generate_trace(config)
+    trace.extend(closing_sweep(config.site_names()))
+    system = OpTransferSystem()
+    replay_ops(trace, system)
+    assert system.is_consistent("obj0")
+    states = {r.site: system.state(r.site, "obj0")
+              for r in system.replicas_of("obj0")}
+    assert len(set(map(tuple, states.values()))) == 1
+
+
+@pytest.mark.parametrize("seed", [0, 1])
+def test_all_schemes_agree_on_final_values(seed):
+    config = WorkloadConfig(n_sites=5, steps=120, seed=seed,
+                            value_factory=set_values)
+    trace = generate_trace(config)
+    trace.extend(closing_sweep(config.site_names()))
+    finals = {}
+    for kind in ("vv", "crv", "srv"):
+        system = StateTransferSystem(
+            metadata=kind, resolution=AutomaticResolution(union_merge))
+        replay_state(trace, system)
+        finals[kind] = system.replica("S000", "obj0").value
+    assert finals["vv"] == finals["crv"] == finals["srv"]
+
+
+@pytest.mark.parametrize("seed", [0, 1])
+def test_metadata_vectors_agree_across_schemes(seed):
+    """All schemes reach identical version vectors on identical histories."""
+    config = WorkloadConfig(n_sites=5, steps=120, seed=seed)
+    trace = generate_trace(config)
+    trace.extend(closing_sweep(config.site_names()))
+    snapshots = {}
+    for kind in ("vv", "crv", "srv"):
+        system = StateTransferSystem(metadata=kind)
+        replay_state(trace, system)
+        snapshots[kind] = [r.values_snapshot()
+                           for r in system.replicas_of("obj0")]
+    assert snapshots["vv"] == snapshots["crv"] == snapshots["srv"]

@@ -1,0 +1,143 @@
+"""Failure injection: interrupted sessions must leave retryable state.
+
+The paper's protocols stream elements front-to-back; if a session dies
+mid-flight the receiver has applied a *prefix* of the sender's order.  The
+resulting vector is a legal intermediate state (elementwise ≤ the union,
+≥ the original), a retry completes the merge, and comparisons never
+regress to an inconsistent verdict.
+"""
+
+import random
+
+import pytest
+
+from repro.core.skip import SkipRotatingVector
+from repro.errors import SessionError
+from repro.graphs.causalgraph import build_graph
+from repro.net.wire import Encoding
+from repro.protocols.effects import Recv, Send
+from repro.protocols.session import run_session
+from repro.protocols.syncg import sync_graph, syncg_receiver, syncg_sender
+from repro.protocols.syncs import sync_srv, syncs_receiver, syncs_sender
+from tests.helpers import build_history, expected_merge
+
+ENC = Encoding(site_bits=8, value_bits=16)
+
+
+def crashing(coroutine, crash_after):
+    """Wrap a protocol coroutine to die after ``crash_after`` effects."""
+    def wrapper():
+        count = 0
+        value = None
+        try:
+            effect = coroutine.send(None)
+            while True:
+                count += 1
+                if count > crash_after:
+                    return "crashed"
+                value = yield effect
+                effect = coroutine.send(value)
+        except StopIteration as stop:
+            return stop.value
+    return wrapper()
+
+
+def random_history(seed, cls=SkipRotatingVector):
+    rng = random.Random(seed)
+    commands = []
+    for _ in range(30):
+        if rng.random() < 0.5:
+            commands.append(("update", rng.randrange(4)))
+        else:
+            commands.append(("sync", rng.randrange(4), rng.randrange(4)))
+    return build_history(cls, commands, 4)
+
+
+@pytest.mark.parametrize("seed", range(6))
+@pytest.mark.parametrize("crash_after", [1, 2, 3, 5, 8])
+def test_interrupted_syncs_leaves_prefix_state_and_retry_completes(
+        seed, crash_after):
+    vectors = random_history(seed)
+    a, b = vectors[0].copy(), vectors[1]
+    original = a.to_version_vector()
+    union = expected_merge(a, b)
+    reconcile = a.compare_full(b).is_concurrent
+
+    sender = crashing(syncs_sender(b), crash_after)
+    receiver = syncs_receiver(a, reconcile=reconcile)
+    try:
+        run_session(sender, receiver, encoding=ENC)
+    except SessionError:
+        pass  # the receiver may be left waiting — that IS the crash
+
+    # Intermediate state: between the original and the union, elementwise.
+    intermediate = a.to_version_vector()
+    for site in set(union) | set(intermediate.as_dict()):
+        assert original[site] <= intermediate[site] <= union.get(site, 0) \
+            or intermediate[site] == original[site]
+
+    # A retry from scratch completes the merge.
+    retry_reconcile = a.compare_full(b).is_concurrent
+    sync_srv(a, b, encoding=ENC, reconcile=retry_reconcile)
+    assert a.to_version_vector().as_dict() == union
+
+
+@pytest.mark.parametrize("seed", range(4))
+@pytest.mark.parametrize("crash_after", [1, 3, 6])
+def test_interrupted_syncg_retry_completes(seed, crash_after):
+    rng = random.Random(seed)
+    arcs = [(None, 1)]
+    for node in range(2, 20):
+        parent = rng.randrange(1, node)
+        arcs.append((parent, node))
+    # Give the graph a single sink by chaining the loose ends.
+    graph = build_graph(arcs)
+    sinks = graph.sinks()
+    next_id = 100
+    while len(graph.sinks()) > 1:
+        pair = graph.sinks()[:2]
+        graph.merge_sinks(next_id, pair[0], pair[1])
+        next_id += 1
+    b = graph
+    a = build_graph([(None, 1)])
+
+    sender = crashing(syncg_sender(b), crash_after)
+    receiver = syncg_receiver(a)
+    try:
+        run_session(sender, receiver, encoding=ENC)
+    except SessionError:
+        pass
+
+    # Whatever arrived is a subset of b's nodes; a retry completes it.
+    assert a.node_ids() <= b.node_ids()
+    sync_graph(a, b, encoding=ENC)
+    assert a.node_ids() == b.node_ids()
+    assert a.arcs() == b.arcs()
+    assert a.is_ancestor_closed()
+
+
+def test_receiver_crash_leaves_sender_recoverable():
+    vectors = random_history(99)
+    a, b = vectors[2].copy(), vectors[3]
+    reconcile = a.compare_full(b).is_concurrent
+    receiver = crashing(syncs_receiver(a, reconcile=reconcile), 2)
+    sender = syncs_sender(b)
+
+    def absorbing(gen):
+        """Run the sender against a dead peer: sends succeed, polls starve."""
+        try:
+            effect = next(gen)
+            while True:
+                if isinstance(effect, Recv):
+                    return "sender blocked on dead peer"
+                value = None if isinstance(effect, Send) else None
+                effect = gen.send(value)
+        except StopIteration as stop:
+            return stop.value
+
+    try:
+        run_session(sender, receiver, encoding=ENC)
+    except SessionError:
+        pass
+    # b must be untouched: senders never mutate their vector.
+    assert b.to_version_vector() == vectors[3].to_version_vector()

@@ -1,0 +1,106 @@
+"""End-to-end reproductions of every worked example in the paper."""
+
+from repro.core.conflict import ConflictRotatingVector
+from repro.core.skip import SkipRotatingVector
+from repro.graphs.crg import coalesce
+from repro.net.wire import Encoding
+from repro.protocols.syncc import sync_crv
+from repro.protocols.syncg import sync_graph
+from repro.protocols.syncs import sync_srv
+from repro.workload.scenarios import (FIGURE1_VECTORS, figure1_graph,
+                                      figure1_vectors, figure3_graphs)
+
+ENC = Encoding(site_bits=8, value_bits=8, node_id_bits=16)
+
+
+class TestSection32Example:
+    """θ₁ ∥ θ₂ → θ₃, then θ₃ against θ₁ — the motivation for CRV."""
+
+    def test_crv_fixes_the_hiding_problem(self):
+        theta1 = ConflictRotatingVector.from_pairs([("A", 2), ("B", 1)])
+        theta2 = ConflictRotatingVector.from_pairs([("B", 2), ("A", 1)])
+        theta3 = theta2.copy()
+        sync_crv(theta3, theta1, encoding=ENC)   # SYNCC_θ1(θ2)
+        assert theta3.sites_in_order() == ["A", "B"]
+        target = theta1.copy()
+        sync_crv(target, theta3, encoding=ENC)   # SYNCC_θ3(θ1)
+        assert target.to_version_vector().as_dict() == {"A": 2, "B": 2}
+
+
+class TestSection4Example:
+    """SYNCC_θ9(θ7): |Δ| = 2, |Γ| = 3 — and SYNCS skips Γ's segment."""
+
+    def test_syncc_gamma_accounting(self):
+        thetas = figure1_vectors(ConflictRotatingVector)
+        theta7, theta9 = thetas[7], thetas[9]
+        result = sync_crv(theta7, theta9, encoding=ENC)
+        report = result.receiver_result
+        assert report.new_elements == 2           # Δ = {C, H}
+        # Γ = {G, F, E} tagged elements, plus the untagged B that halts.
+        assert report.redundant_elements == 4
+        assert result.sender_result.elements_sent == 6  # C H G F E B
+
+    def test_syncs_skips_the_shared_segment(self):
+        thetas = figure1_vectors(SkipRotatingVector)
+        theta7, theta9 = thetas[7], thetas[9]
+        result = sync_srv(theta7, theta9, encoding=ENC)
+        assert result.sender_result.skips_honored == 1
+        assert result.sender_result.elements_sent == 5  # C H G E(term) B
+        assert theta7.to_version_vector().as_dict() == FIGURE1_VECTORS[9]
+
+    def test_srv_beats_crv_on_the_example(self):
+        crv_run = sync_crv(figure1_vectors(ConflictRotatingVector)[7],
+                           figure1_vectors(ConflictRotatingVector)[9],
+                           encoding=ENC)
+        srv_run = sync_srv(figure1_vectors(SkipRotatingVector)[7],
+                           figure1_vectors(SkipRotatingVector)[9],
+                           encoding=ENC)
+        assert (srv_run.sender_result.elements_sent
+                < crv_run.sender_result.elements_sent)
+
+
+class TestFigure1And2:
+    def test_replication_graph_matches(self):
+        graph = figure1_graph()
+        for node_id, vector in FIGURE1_VECTORS.items():
+            assert graph.node(node_id).values() == vector
+
+    def test_crg_has_the_five_boxed_segments(self):
+        crg = coalesce(figure1_graph())
+        segments = {tuple(crg.prefixing_segment(n.node_id))
+                    for n in crg.nodes() if not n.is_merge}
+        assert segments == {
+            (("A", 1),), (("B", 1),), (("C", 1),), (("H", 1),),
+            (("G", 1), ("F", 1), ("E", 1)),
+        }
+
+    def test_live_srv_segments_refine_into_crg_segments(self):
+        """Every locally tracked θ₉ segment is a union of consecutive CRG
+        segments — the coarse-but-safe relationship DESIGN.md documents."""
+        crg = coalesce(figure1_graph())
+        crg_segments = [tuple(crg.prefixing_segment(n.node_id))
+                        for n in crg.nodes() if not n.is_merge]
+        flat = {pair for seg in crg_segments for pair in seg}
+        thetas = figure1_vectors(SkipRotatingVector)
+        for segment in thetas[9].segments():
+            for pair in segment:
+                assert pair in flat
+
+
+class TestFigure3:
+    def test_sync_transmits_four_nodes(self):
+        site_a, site_c = figure3_graphs()
+        result = sync_graph(site_c, site_a, encoding=ENC)
+        assert result.sender_result.nodes_sent == 4
+        assert site_c == site_a.union_with(site_c)
+
+    def test_post_sync_reconciliation_adds_new_sink(self):
+        """§6.1: after synchronizing concurrent graphs, reconciliation adds
+        a new node as the new sink."""
+        site_a, site_c = figure3_graphs()
+        site_c.append(10, site_c.sink)  # make C concurrent with A
+        sync_graph(site_c, site_a, encoding=ENC)
+        sinks = site_c.sinks()
+        assert len(sinks) == 2
+        site_c.merge_sinks(11, sinks[0], sinks[1])
+        assert site_c.sink == 11

@@ -1,0 +1,132 @@
+"""Property-based tests at the whole-system level.
+
+Random traces drive complete replication systems; the properties are the
+user-visible guarantees: convergence after a closing sweep, scheme
+equivalence on identical histories, truncation transparency, and pruning
+transparency.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.replication.hybrid import HybridOpSystem
+from repro.replication.opreplica import log_applier
+from repro.replication.opsystem import OpTransferSystem
+from repro.replication.resolver import AutomaticResolution, union_merge
+from repro.replication.statesystem import StateTransferSystem
+from repro.workload.events import SyncEvent
+from repro.workload.generator import WorkloadConfig, generate_trace
+from repro.workload.replay import replay_ops, replay_state
+
+N_SITES = 4
+
+
+def sweep(sites, object_id="obj0"):
+    events = []
+    for index in range(1, len(sites)):
+        events.append(SyncEvent(sites[index - 1], sites[index], object_id,
+                                bidirectional=True))
+    for index in range(len(sites) - 2, -1, -1):
+        events.append(SyncEvent(sites[index + 1], sites[index], object_id,
+                                bidirectional=True))
+    return events
+
+
+def build_trace(seed, steps=60):
+    config = WorkloadConfig(
+        n_sites=N_SITES, steps=steps, seed=seed,
+        value_factory=lambda site, obj, seq: frozenset({f"{site}#{seq}"}))
+    trace = generate_trace(config)
+    trace.extend(sweep(config.site_names()))
+    return trace
+
+
+@settings(max_examples=25, deadline=None)
+@given(seed=st.integers(0, 10_000))
+def test_state_transfer_converges_on_any_trace(seed):
+    system = StateTransferSystem(
+        metadata="srv", resolution=AutomaticResolution(union_merge))
+    replay_state(build_trace(seed), system)
+    assert system.is_consistent("obj0")
+
+
+@settings(max_examples=20, deadline=None)
+@given(seed=st.integers(0, 10_000))
+def test_schemes_equivalent_on_any_trace(seed):
+    trace = build_trace(seed)
+    snapshots = []
+    for kind in ("vv", "crv", "srv"):
+        system = StateTransferSystem(
+            metadata=kind, resolution=AutomaticResolution(union_merge))
+        replay_state(trace, system)
+        snapshots.append([
+            (r.site, r.value, tuple(sorted(r.values_snapshot().items())))
+            for r in system.replicas_of("obj0")])
+    assert snapshots[0] == snapshots[1] == snapshots[2]
+
+
+@settings(max_examples=20, deadline=None)
+@given(seed=st.integers(0, 10_000))
+def test_op_transfer_converges_on_any_trace(seed):
+    system = OpTransferSystem()
+    replay_ops(build_trace(seed), system)
+    assert system.is_consistent("obj0")
+    states = {r.site: system.state(r.site, "obj0")
+              for r in system.replicas_of("obj0")}
+    assert len(set(states.values())) == 1
+
+
+@settings(max_examples=15, deadline=None)
+@given(seed=st.integers(0, 10_000),
+       truncate_at=st.integers(10, 50))
+def test_truncation_is_state_transparent(seed, truncate_at):
+    """A replica that truncates mid-history materializes the same state."""
+    trace = build_trace(seed)
+    plain = OpTransferSystem(applier=log_applier, initial_state=())
+    hybrid = HybridOpSystem(applier=log_applier, initial_state=())
+    replay_ops(trace[:truncate_at], plain)
+    replay_ops(trace[:truncate_at], hybrid)
+    for site in [f"S{i:03d}" for i in range(N_SITES)]:
+        if hybrid.replica(site, "obj0").conflicted:
+            return
+        hybrid.truncate_history(site, "obj0")
+    replay_ops(trace[truncate_at:], plain)
+    replay_ops(trace[truncate_at:], hybrid)
+    for index in range(N_SITES):
+        site = f"S{index:03d}"
+        assert plain.state(site, "obj0") == hybrid.state(site, "obj0"), site
+
+
+@settings(max_examples=15, deadline=None)
+@given(seed=st.integers(0, 10_000))
+def test_pruning_is_comparison_transparent(seed):
+    """Retiring a fully-propagated site never changes live verdicts."""
+    import random as random_module
+    from repro.core.skip import SkipRotatingVector
+    from repro.extensions.pruning import RetirementLog, prune
+    from tests.helpers import build_history
+
+    rng = random_module.Random(seed)
+    commands = []
+    for _ in range(30):
+        if rng.random() < 0.5:
+            commands.append(("update", rng.randrange(3)))
+        else:
+            commands.append(("sync", rng.randrange(3), rng.randrange(3)))
+    # Site X3 updates once at the very start and everyone learns it.
+    commands = ([("update", 3)]
+                + [("sync", i, 3) for i in range(3)]
+                + commands)
+    vectors = build_history(SkipRotatingVector, commands, 4)
+    log = RetirementLog()
+    retirement = log.retire("X3", vectors[3]["X3"])
+    verdicts_before = [
+        vectors[i].compare_full(vectors[j])
+        for i in range(3) for j in range(3)]
+    for index in range(3):
+        if vectors[index]["X3"] >= retirement.final_value:
+            prune(vectors[index], retirement)
+    verdicts_after = [
+        vectors[i].compare_full(vectors[j])
+        for i in range(3) for j in range(3)]
+    assert verdicts_before == verdicts_after

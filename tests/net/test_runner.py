@@ -1,0 +1,118 @@
+"""Tests for the timed protocol runner: the §3.1 pipelining claims."""
+
+import pytest
+
+from repro.core.rotating import BasicRotatingVector
+from repro.core.skip import SkipRotatingVector
+from repro.net.channel import ChannelSpec
+from repro.net.runner import run_timed_session
+from repro.net.wire import Encoding
+from repro.protocols.syncb import syncb_receiver, syncb_sender
+from repro.protocols.syncs import syncs_receiver, syncs_sender
+
+ENC = Encoding(site_bits=8, value_bits=16)
+
+
+def fresh_pair(k):
+    """Receiver empty, sender k elements: the full-transfer case."""
+    b = BasicRotatingVector.from_pairs([(f"S{i}", 1) for i in range(k)])
+    return BasicRotatingVector(), b
+
+
+class TestPipeliningSavings:
+    def test_pipelining_saves_k_minus_1_rtt(self):
+        """§3.1: pipelining reduces running time by (k−1)·rtt."""
+        k = 20
+        channel = ChannelSpec(latency=0.05, bandwidth=1e6)
+        a1, b = fresh_pair(k)
+        pipelined = run_timed_session(syncb_sender(b), syncb_receiver(a1),
+                                      channel=channel, encoding=ENC)
+        a2, _ = fresh_pair(k)
+        blocking = run_timed_session(syncb_sender(b), syncb_receiver(a2),
+                                     channel=channel, encoding=ENC,
+                                     stop_and_wait=True)
+        saving = blocking.completion_time - pipelined.completion_time
+        # k data messages + 1 HALT each pay one stop-and-wait overhead.
+        expected = (k + 1) * channel.stop_and_wait_overhead()
+        assert saving == pytest.approx(expected, rel=0.15)
+
+    def test_results_identical_with_and_without_pipelining(self):
+        k = 10
+        a1, b = fresh_pair(k)
+        a2, _ = fresh_pair(k)
+        channel = ChannelSpec(latency=0.01, bandwidth=1e5)
+        run_timed_session(syncb_sender(b), syncb_receiver(a1),
+                          channel=channel, encoding=ENC)
+        run_timed_session(syncb_sender(b), syncb_receiver(a2),
+                          channel=channel, encoding=ENC, stop_and_wait=True)
+        assert a1.same_structure(a2)
+
+    def test_ack_traffic_accounted_in_stop_and_wait(self):
+        a, b = fresh_pair(5)
+        channel = ChannelSpec(latency=0.01, bandwidth=1e5, ack_bits=8)
+        result = run_timed_session(syncb_sender(b), syncb_receiver(a),
+                                   channel=channel, encoding=ENC,
+                                   stop_and_wait=True)
+        acked = result.stats.backward.by_type.get("Ack", 0)
+        assert acked == 6  # 5 elements + sender HALT
+
+
+class TestBetaExcess:
+    def test_overshoot_bounded_by_beta(self):
+        """§3.1: pipelining wastes at most β = bandwidth·rtt after the reply."""
+        channel = ChannelSpec(latency=0.02, bandwidth=50_000)  # β = 2000 bits
+        shared = [(f"S{i}", 1) for i in range(100)]
+        a = BasicRotatingVector.from_pairs(shared)
+        b = a.copy()
+        for site in ("X", "Y", "Z"):
+            b.record_update(site)
+        result = run_timed_session(syncb_sender(b), syncb_receiver(a),
+                                   channel=channel, encoding=ENC)
+        ideal_bits = (3 + 1) * ENC.brv_element_bits  # Δ + halting element
+        excess = result.stats.forward.bits - ideal_bits
+        assert 0 <= excess <= channel.beta_bits + ENC.brv_element_bits
+
+    def test_no_overshoot_with_stop_and_wait(self):
+        channel = ChannelSpec(latency=0.02, bandwidth=50_000)
+        shared = [(f"S{i}", 1) for i in range(50)]
+        a = BasicRotatingVector.from_pairs(shared)
+        b = a.copy()
+        b.record_update("X")
+        result = run_timed_session(syncb_sender(b), syncb_receiver(a),
+                                   channel=channel, encoding=ENC,
+                                   stop_and_wait=True)
+        elements_sent = result.stats.forward.by_type["ElementMsg"]
+        assert elements_sent == 2  # Δ + the halting element, nothing extra
+
+
+class TestTimedSyncs:
+    def test_srv_protocol_runs_on_simulated_time(self):
+        base = SkipRotatingVector()
+        base.record_update("A")
+        left, right = base.copy(), base.copy()
+        left.record_update("L")
+        right.record_update("R")
+        result = run_timed_session(
+            syncs_sender(right), syncs_receiver(left, reconcile=True),
+            channel=ChannelSpec(latency=0.01, bandwidth=1e6), encoding=ENC)
+        assert left.to_version_vector().as_dict() == {
+            "A": 1, "L": 1, "R": 1}
+        assert result.completion_time > 0
+
+    def test_completion_time_scales_with_latency(self):
+        times = []
+        for latency in (0.01, 0.1):
+            a, b = fresh_pair(5)
+            result = run_timed_session(
+                syncb_sender(b), syncb_receiver(a),
+                channel=ChannelSpec(latency=latency, bandwidth=1e6),
+                encoding=ENC)
+            times.append(result.completion_time)
+        assert times[1] > times[0]
+
+    def test_sender_and_receiver_finish_times_reported(self):
+        a, b = fresh_pair(5)
+        result = run_timed_session(syncb_sender(b), syncb_receiver(a),
+                                   channel=ChannelSpec(), encoding=ENC)
+        assert result.completion_time == max(result.sender_finish,
+                                             result.receiver_finish)

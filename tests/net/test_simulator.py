@@ -1,0 +1,128 @@
+"""Tests for the discrete-event simulation kernel."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.net.simulator import Simulator
+
+
+class TestEventQueue:
+    def test_events_fire_in_time_order(self):
+        sim = Simulator()
+        fired = []
+        sim.call_at(2.0, lambda: fired.append("late"))
+        sim.call_at(1.0, lambda: fired.append("early"))
+        sim.run()
+        assert fired == ["early", "late"]
+        assert sim.now == 2.0
+
+    def test_fifo_within_a_tick(self):
+        sim = Simulator()
+        fired = []
+        for label in "abc":
+            sim.call_at(1.0, lambda l=label: fired.append(l))
+        sim.run()
+        assert fired == ["a", "b", "c"]
+
+    def test_call_after_is_relative(self):
+        sim = Simulator()
+        times = []
+        sim.call_at(5.0, lambda: sim.call_after(2.5, lambda: times.append(sim.now)))
+        sim.run()
+        assert times == [7.5]
+
+    def test_scheduling_in_the_past_rejected(self):
+        sim = Simulator()
+        sim.call_at(3.0, lambda: None)
+        sim.run()
+        with pytest.raises(SimulationError):
+            sim.call_at(1.0, lambda: None)
+
+    def test_negative_delay_rejected(self):
+        with pytest.raises(SimulationError):
+            Simulator().call_after(-1.0, lambda: None)
+
+    def test_run_until(self):
+        sim = Simulator()
+        fired = []
+        sim.call_at(1.0, lambda: fired.append(1))
+        sim.call_at(10.0, lambda: fired.append(10))
+        sim.run(until=5.0)
+        assert fired == [1]
+        assert sim.now == 5.0
+        assert sim.pending_events == 1
+
+
+class TestProcesses:
+    def test_process_sleeps(self):
+        sim = Simulator()
+        trace = []
+
+        def process():
+            trace.append(("start", sim.now))
+            yield 1.5
+            trace.append(("mid", sim.now))
+            yield 0.5
+            trace.append(("end", sim.now))
+            return "done"
+
+        results = []
+        sim.spawn(process(), on_exit=results.append)
+        sim.run()
+        assert trace == [("start", 0.0), ("mid", 1.5), ("end", 2.0)]
+        assert results == ["done"]
+
+    def test_signal_wakes_waiters(self):
+        sim = Simulator()
+        signal = sim.signal("ready")
+        order = []
+
+        def waiter(name):
+            yield signal
+            order.append((name, sim.now))
+
+        def firer():
+            yield 3.0
+            signal.fire()
+
+        sim.spawn(waiter("w1"))
+        sim.spawn(waiter("w2"))
+        sim.spawn(firer())
+        sim.run()
+        assert order == [("w1", 3.0), ("w2", 3.0)]
+
+    def test_deadlock_detection(self):
+        sim = Simulator()
+        signal = sim.signal("never")
+
+        def stuck():
+            yield signal
+
+        sim.spawn(stuck())
+        with pytest.raises(SimulationError, match="deadlock"):
+            sim.run()
+
+    def test_bad_yield_value_rejected(self):
+        sim = Simulator()
+
+        def wrong():
+            yield "nope"
+
+        sim.spawn(wrong())
+        with pytest.raises(SimulationError, match="unsupported"):
+            sim.run()
+
+    def test_two_processes_interleave_by_time(self):
+        sim = Simulator()
+        trace = []
+
+        def ticker(name, period, count):
+            for _ in range(count):
+                yield period
+                trace.append((name, sim.now))
+
+        sim.spawn(ticker("fast", 1.0, 3))
+        sim.spawn(ticker("slow", 2.5, 1))
+        sim.run()
+        assert trace == [("fast", 1.0), ("fast", 2.0), ("slow", 2.5),
+                         ("fast", 3.0)]

@@ -1,0 +1,52 @@
+"""Tests for transfer statistics accumulation."""
+
+from repro.net.stats import DirectionStats, TransferStats
+
+
+class TestDirectionStats:
+    def test_record_accumulates(self):
+        direction = DirectionStats()
+        direction.record("ElementMsg", 10)
+        direction.record("ElementMsg", 10)
+        direction.record("Halt", 2)
+        assert direction.bits == 22
+        assert direction.messages == 3
+        assert direction.by_type == {"ElementMsg": 2, "Halt": 1}
+
+    def test_bytes_property(self):
+        direction = DirectionStats()
+        direction.record("X", 16)
+        assert direction.bytes == 2.0
+
+
+class TestTransferStats:
+    def test_totals(self):
+        stats = TransferStats()
+        stats.forward.record("A", 100)
+        stats.backward.record("B", 4)
+        assert stats.total_bits == 104
+        assert stats.total_messages == 2
+        assert stats.total_bytes == 13.0
+
+    def test_merge(self):
+        one = TransferStats()
+        one.forward.record("A", 10)
+        two = TransferStats()
+        two.forward.record("A", 5)
+        two.backward.record("B", 1)
+        one.merge(two)
+        assert one.forward.bits == 15
+        assert one.backward.bits == 1
+        assert one.forward.by_type["A"] == 2
+
+    def test_as_dict(self):
+        stats = TransferStats()
+        stats.forward.record("A", 8)
+        summary = stats.as_dict()
+        assert summary["forward_bits"] == 8
+        assert summary["total_bits"] == 8
+        assert summary["backward_messages"] == 0
+
+    def test_repr_mentions_both_directions(self):
+        text = repr(TransferStats())
+        assert "fwd" in text and "bwd" in text

@@ -1,0 +1,120 @@
+"""Driver equivalence: simulated time must never change protocol results.
+
+The same coroutines run under the instant driver and under the
+discrete-event runner (pipelined and stop-and-wait, across link shapes);
+the resulting vectors/graphs must be identical — timing affects cost, not
+meaning.
+"""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.skip import SkipRotatingVector
+from repro.graphs.causalgraph import build_graph
+from repro.net.channel import ChannelSpec
+from repro.net.runner import run_timed_session
+from repro.net.wire import Encoding
+from repro.protocols.session import run_session
+from repro.protocols.syncg import syncg_receiver, syncg_sender
+from repro.protocols.syncs import syncs_receiver, syncs_sender
+from tests.helpers import build_history
+
+ENC = Encoding(site_bits=8, value_bits=16)
+
+N_SITES = 4
+update_command = st.tuples(st.just("update"), st.integers(0, N_SITES - 1))
+sync_command = st.tuples(st.just("sync"), st.integers(0, N_SITES - 1),
+                         st.integers(0, N_SITES - 1))
+commands = st.lists(st.one_of(update_command, sync_command), max_size=30)
+
+CHANNELS = [
+    ChannelSpec(latency=0.001, bandwidth=1e7),   # LAN
+    ChannelSpec(latency=0.1, bandwidth=5e4),     # slow WAN, big β
+]
+
+
+@settings(max_examples=40, deadline=None)
+@given(commands=commands, pair=st.tuples(st.integers(0, N_SITES - 1),
+                                         st.integers(0, N_SITES - 1)),
+       channel_index=st.integers(0, len(CHANNELS) - 1),
+       stop_and_wait=st.booleans())
+def test_timed_syncs_equals_instant(commands, pair, channel_index,
+                                    stop_and_wait):
+    vectors = build_history(SkipRotatingVector, commands, N_SITES)
+    b = vectors[pair[1]]
+    reconcile = vectors[pair[0]].compare_full(b).is_concurrent
+
+    instant_a = vectors[pair[0]].copy()
+    run_session(syncs_sender(b), syncs_receiver(instant_a,
+                                                reconcile=reconcile),
+                encoding=ENC)
+
+    timed_a = vectors[pair[0]].copy()
+    run_timed_session(syncs_sender(b),
+                      syncs_receiver(timed_a, reconcile=reconcile),
+                      channel=CHANNELS[channel_index], encoding=ENC,
+                      stop_and_wait=stop_and_wait)
+
+    assert timed_a.to_version_vector() == instant_a.to_version_vector()
+
+
+@settings(max_examples=30, deadline=None)
+@given(seed=st.integers(0, 10_000), channel_index=st.integers(0, 1))
+def test_timed_syncg_equals_instant(seed, channel_index):
+    rng = random.Random(seed)
+    arcs = [(None, 1)]
+    for node in range(2, 25):
+        arcs.append((rng.randrange(1, node), node))
+    full = build_graph(arcs)
+    next_id = 100
+    while len(full.sinks()) > 1:
+        heads = full.sinks()[:2]
+        full.merge_sinks(next_id, heads[0], heads[1])
+        next_id += 1
+    subset_nodes = [n for n in full.node_ids()
+                    if isinstance(n, int) and n < 10]
+    partial_arcs = [(p, c) for p, c in arcs if c in subset_nodes
+                    and (p is None or p in subset_nodes)]
+    # Keep it ancestor-closed: retain only nodes whose parents survived.
+    partial = build_graph([(None, 1)])
+    for p, c in partial_arcs:
+        if p is not None and p in partial and c not in partial:
+            partial.append(c, p)
+
+    instant_target = partial.copy()
+    run_session(syncg_sender(full), syncg_receiver(instant_target),
+                encoding=ENC)
+    timed_target = partial.copy()
+    run_timed_session(syncg_sender(full), syncg_receiver(timed_target),
+                      channel=CHANNELS[channel_index], encoding=ENC)
+    assert instant_target.node_ids() == full.node_ids()
+    assert timed_target.node_ids() == full.node_ids()
+    assert timed_target.arcs() == instant_target.arcs()
+
+
+def test_timed_traffic_never_below_instant():
+    """Pipelining can only add overshoot, never remove required traffic."""
+    for seed in range(10):
+        rng = random.Random(seed)
+        commands = []
+        for _ in range(25):
+            if rng.random() < 0.5:
+                commands.append(("update", rng.randrange(N_SITES)))
+            else:
+                commands.append(("sync", rng.randrange(N_SITES),
+                                 rng.randrange(N_SITES)))
+        vectors = build_history(SkipRotatingVector, commands, N_SITES)
+        b = vectors[1]
+        reconcile = vectors[0].compare_full(b).is_concurrent
+        instant_a = vectors[0].copy()
+        instant = run_session(
+            syncs_sender(b), syncs_receiver(instant_a, reconcile=reconcile),
+            encoding=ENC)
+        timed_a = vectors[0].copy()
+        timed = run_timed_session(
+            syncs_sender(b), syncs_receiver(timed_a, reconcile=reconcile),
+            channel=ChannelSpec(latency=0.05, bandwidth=1e5), encoding=ENC)
+        assert (timed.stats.forward.bits
+                >= instant.stats.forward.bits), seed

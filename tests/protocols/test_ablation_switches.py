@@ -1,0 +1,90 @@
+"""Correctness of the ablation switches (the benchmarks measure cost)."""
+
+import random
+
+from repro.core.skip import SkipRotatingVector
+from repro.graphs.causalgraph import build_graph
+from repro.net.wire import Encoding
+from repro.protocols.session import run_session, run_session_randomized
+from repro.protocols.syncg import syncg_receiver, syncg_sender
+from repro.protocols.syncs import syncs_receiver, syncs_sender
+
+ENC = Encoding(site_bits=8, value_bits=8, node_id_bits=16)
+
+
+def graphs():
+    full = build_graph([(None, 1), (1, 2), (1, 3), (2, 4), (3, 4), (4, 5)])
+    partial = build_graph([(None, 1), (1, 2)])
+    return full, partial
+
+
+class TestSyncgSwitches:
+    def test_no_redirect_still_reaches_union(self):
+        full, partial = graphs()
+        result = run_session(
+            syncg_sender(full),
+            syncg_receiver(partial, enable_redirect=False),
+            encoding=ENC)
+        assert partial.node_ids() == full.node_ids()
+        assert result.receiver_result.skiptos_sent == 0
+
+    def test_no_abort_still_reaches_union(self):
+        full, partial = graphs()
+        run_session(syncg_sender(full),
+                    syncg_receiver(partial, enable_abort=False),
+                    encoding=ENC)
+        assert partial.node_ids() == full.node_ids()
+
+    def test_neither_mechanism_still_reaches_union(self):
+        full, partial = graphs()
+        result = run_session(
+            syncg_sender(full),
+            syncg_receiver(partial, enable_redirect=False,
+                           enable_abort=False),
+            encoding=ENC)
+        assert partial.node_ids() == full.node_ids()
+        # Without pruning, the sender walks everything it has.
+        assert result.sender_result.nodes_sent == len(full)
+
+    def test_crippled_receiver_correct_under_randomized_delivery(self):
+        for seed in range(15):
+            full, partial = graphs()
+            run_session_randomized(
+                syncg_sender(full),
+                syncg_receiver(partial, enable_redirect=False,
+                               enable_abort=False),
+                rng=random.Random(seed), encoding=ENC)
+            assert partial.node_ids() == full.node_ids(), seed
+
+
+class TestSyncsTerminatorSwitch:
+    def vectors(self):
+        b = SkipRotatingVector.from_segments(
+            [[("N", 1)], [("K1", 1), ("K2", 1), ("K3", 1)], [("A", 1)]])
+        for site in ("K1", "K2", "K3"):
+            b.set_conflict_bit(site)
+        a = SkipRotatingVector.from_segments(
+            [[("K1", 1), ("K2", 1), ("K3", 1)], [("A", 1)]])
+        return a, b
+
+    def test_paper_literal_mode_is_value_correct(self):
+        a, b = self.vectors()
+        run_session(syncs_sender(b, forward_terminators=False),
+                    syncs_receiver(a, reconcile=True), encoding=ENC)
+        assert a.to_version_vector() == b.to_version_vector()
+
+    def test_paper_literal_mode_suppresses_terminator(self):
+        a, b = self.vectors()
+        result = run_session(syncs_sender(b, forward_terminators=False),
+                             syncs_receiver(a, reconcile=True),
+                             encoding=ENC)
+        # K2 *and* the terminator K3 suppressed (vs K2 only when forwarding).
+        assert result.sender_result.elements_suppressed == 2
+
+    def test_default_mode_forwards_terminator(self):
+        a, b = self.vectors()
+        result = run_session(syncs_sender(b),
+                             syncs_receiver(a, reconcile=True),
+                             encoding=ENC)
+        assert result.sender_result.elements_suppressed == 1
+        assert a.to_version_vector() == b.to_version_vector()

@@ -1,0 +1,68 @@
+"""Tests for the traditional full-transfer baselines."""
+
+from repro.core.rotating import BasicRotatingVector
+from repro.core.versionvector import VersionVector
+from repro.graphs.causalgraph import build_graph
+from repro.net.wire import Encoding
+from repro.protocols.fullsync import sync_full_graph, sync_full_vector
+
+ENC = Encoding(site_bits=8, value_bits=8, node_id_bits=16)
+
+
+class TestFullVector:
+    def test_merges_plain_vectors(self):
+        a = VersionVector({"A": 3, "B": 1})
+        b = VersionVector({"B": 5, "C": 2})
+        result = sync_full_vector(a, b, encoding=ENC)
+        assert a.as_dict() == {"A": 3, "B": 5, "C": 2}
+        assert result.receiver_result == 2  # B and C overwritten
+
+    def test_cost_is_whole_vector_regardless_of_difference(self):
+        b = VersionVector({f"S{i}": 1 for i in range(50)})
+        fresh = sync_full_vector(VersionVector(), b, encoding=ENC)
+        nearly = VersionVector({f"S{i}": 1 for i in range(49)})
+        tiny_diff = sync_full_vector(nearly, b, encoding=ENC)
+        assert fresh.stats.total_bits == tiny_diff.stats.total_bits
+        assert fresh.stats.total_bits == ENC.full_vector_bits(50)
+
+    def test_merges_rotating_vectors_too(self):
+        a = BasicRotatingVector()
+        b = BasicRotatingVector.from_pairs([("C", 2), ("A", 1)])
+        sync_full_vector(a, b, encoding=ENC)
+        assert a.to_version_vector().as_dict() == {"A": 1, "C": 2}
+        assert a.sites_in_order() == ["C", "A"]
+
+    def test_rotating_receiver_keeps_newer_local_values(self):
+        a = BasicRotatingVector.from_pairs([("A", 5)])
+        b = BasicRotatingVector.from_pairs([("A", 2), ("B", 1)])
+        sync_full_vector(a, b, encoding=ENC)
+        assert a["A"] == 5
+        assert a["B"] == 1
+
+    def test_empty_sender(self):
+        a = VersionVector({"A": 1})
+        result = sync_full_vector(a, VersionVector(), encoding=ENC)
+        assert a.as_dict() == {"A": 1}
+        assert result.sender_result == 0
+
+
+class TestFullGraph:
+    def test_union(self):
+        a = build_graph([(None, 1), (1, 2)])
+        b = build_graph([(None, 1), (1, 3)])
+        result = sync_full_graph(a, b, encoding=ENC)
+        assert a.node_ids() == {1, 2, 3}
+        assert result.receiver_result == 1
+
+    def test_cost_is_whole_graph(self):
+        arcs = [(None, 1)] + [(i, i + 1) for i in range(1, 100)]
+        b = build_graph(arcs)
+        a = build_graph(arcs[:-1])
+        result = sync_full_graph(a, b, encoding=ENC)
+        assert result.stats.total_bits == ENC.full_graph_bits(100)
+
+    def test_idempotent(self):
+        a = build_graph([(None, 1), (1, 2)])
+        b = build_graph([(None, 1), (1, 2)])
+        result = sync_full_graph(a, b, encoding=ENC)
+        assert result.receiver_result == 0

@@ -1,0 +1,180 @@
+"""Property-based tests (hypothesis) for the SYNC* protocol family.
+
+Vectors are always generated through *legal histories* (updates + protocol
+syncs + §2.2 increments) — see ``tests/helpers.py`` — because the paper's
+guarantees are about states reachable in a real system, not arbitrary bit
+patterns.
+"""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.conflict import ConflictRotatingVector
+from repro.core.order import Ordering
+from repro.core.skip import SkipRotatingVector
+from repro.net.wire import Encoding
+from tests.helpers import build_history, expected_merge, run_sync
+
+ENC = Encoding(site_bits=8, value_bits=16)
+
+N_SITES = 4
+
+update_command = st.tuples(st.just("update"), st.integers(0, N_SITES - 1))
+sync_command = st.tuples(st.just("sync"), st.integers(0, N_SITES - 1),
+                         st.integers(0, N_SITES - 1))
+commands = st.lists(st.one_of(update_command, sync_command), max_size=40)
+pair_indices = st.tuples(st.integers(0, N_SITES - 1),
+                         st.integers(0, N_SITES - 1))
+
+
+@settings(max_examples=120, deadline=None)
+@given(commands=commands, pair=pair_indices)
+def test_syncc_realizes_elementwise_max(commands, pair):
+    vectors = build_history(ConflictRotatingVector, commands, N_SITES)
+    a, b = vectors[pair[0]].copy(), vectors[pair[1]]
+    want = expected_merge(a, b)
+    run_sync(a, b)
+    assert a.to_version_vector().as_dict() == want
+
+
+@settings(max_examples=120, deadline=None)
+@given(commands=commands, pair=pair_indices)
+def test_syncs_realizes_elementwise_max(commands, pair):
+    vectors = build_history(SkipRotatingVector, commands, N_SITES)
+    a, b = vectors[pair[0]].copy(), vectors[pair[1]]
+    want = expected_merge(a, b)
+    run_sync(a, b)
+    assert a.to_version_vector().as_dict() == want
+
+
+@settings(max_examples=100, deadline=None)
+@given(commands=commands, pair=pair_indices, seed=st.integers(0, 2 ** 16))
+def test_syncs_correct_under_randomized_delivery(commands, pair, seed):
+    """Correctness must not depend on message timing (pipelining overshoot)."""
+    vectors = build_history(SkipRotatingVector, commands, N_SITES)
+    a, b = vectors[pair[0]].copy(), vectors[pair[1]]
+    want = expected_merge(a, b)
+    run_sync(a, b, randomized_rng=random.Random(seed))
+    assert a.to_version_vector().as_dict() == want
+
+
+@settings(max_examples=100, deadline=None)
+@given(commands=commands, seed=st.integers(0, 2 ** 16))
+def test_randomized_history_converges_like_instant(commands, seed):
+    """The whole history replayed under chaotic delivery ends identically."""
+    instant = build_history(SkipRotatingVector, commands, N_SITES)
+    chaotic = build_history(SkipRotatingVector, commands, N_SITES,
+                            randomized_seed=seed)
+    for left, right in zip(instant, chaotic):
+        assert left.to_version_vector() == right.to_version_vector()
+
+
+@settings(max_examples=120, deadline=None)
+@given(commands=commands, pair=pair_indices)
+def test_compare_agrees_with_full_comparison(commands, pair):
+    """Algorithm 1 ≡ elementwise comparison on history states (CRV/SRV)."""
+    vectors = build_history(SkipRotatingVector, commands, N_SITES)
+    a, b = vectors[pair[0]], vectors[pair[1]]
+    assert a.compare(b) is a.compare_full(b)
+
+
+@settings(max_examples=120, deadline=None)
+@given(commands=commands, pair=pair_indices)
+def test_compare_antisymmetry(commands, pair):
+    vectors = build_history(ConflictRotatingVector, commands, N_SITES)
+    a, b = vectors[pair[0]], vectors[pair[1]]
+    assert a.compare(b) is b.compare(a).flipped()
+
+
+@settings(max_examples=120, deadline=None)
+@given(commands=commands, pair=pair_indices)
+def test_crv_and_srv_agree_on_history(commands, pair):
+    """Same commands, different metadata: identical version vectors."""
+    crv_vectors = build_history(ConflictRotatingVector, commands, N_SITES)
+    srv_vectors = build_history(SkipRotatingVector, commands, N_SITES)
+    for left, right in zip(crv_vectors, srv_vectors):
+        assert left.to_version_vector() == right.to_version_vector()
+
+
+@settings(max_examples=120, deadline=None)
+@given(commands=commands, pair=pair_indices)
+def test_segment_suffix_safety(commands, pair):
+    """Skip-safety invariant: within a segment, knowledge is suffix-closed.
+
+    SYNCS only ever suppresses the *suffix* of a segment after a known
+    element, so correctness needs: if the receiver knows the element at
+    position k of any sender segment, it knows every element after it.
+    (The paper states a stronger all-of-segment form; with live replicas
+    parked mid-chain only the suffix form holds — see DESIGN.md — and the
+    suffix form is exactly what the algorithm relies on.)
+    """
+    vectors = build_history(SkipRotatingVector, commands, N_SITES)
+    a, b = vectors[pair[0]], vectors[pair[1]]
+    for segment in b.segments():
+        known = [value <= a[site] for site, value in segment]
+        first_known = known.index(True) if True in known else len(known)
+        assert all(known[first_known:]), (
+            f"suffix violation in segment {segment} against {a!r}")
+
+
+@settings(max_examples=100, deadline=None)
+@given(commands=commands, pair=pair_indices)
+def test_syncs_skips_bounded_by_sender_segments(commands, pair):
+    vectors = build_history(SkipRotatingVector, commands, N_SITES)
+    a, b = vectors[pair[0]].copy(), vectors[pair[1]]
+    segments_before = b.segment_count()
+    result = run_sync(a, b)
+    assert result.sender_result.skips_honored <= segments_before
+
+
+@settings(max_examples=100, deadline=None)
+@given(commands=commands, pair=pair_indices)
+def test_delta_measured_exactly(commands, pair):
+    """The receiver writes exactly Δ = {i : b[i] > a[i]} elements."""
+    vectors = build_history(SkipRotatingVector, commands, N_SITES)
+    a, b = vectors[pair[0]], vectors[pair[1]]
+    delta = sum(1 for element in b.order if element.value > a[element.site])
+    target = a.copy()
+    result = run_sync(target, b)
+    assert result.receiver_result.new_elements == delta
+
+
+@settings(max_examples=100, deadline=None)
+@given(commands=commands, pair=pair_indices)
+def test_sync_is_idempotent(commands, pair):
+    vectors = build_history(SkipRotatingVector, commands, N_SITES)
+    a, b = vectors[pair[0]].copy(), vectors[pair[1]]
+    run_sync(a, b)
+    snapshot = a.order.as_tuples()
+    again = run_sync(a, b)
+    assert a.order.as_tuples() == snapshot
+    assert again.receiver_result.new_elements == 0
+
+
+# -- BRV-only histories (no reconciliation) --------------------------------------
+
+brv_commands = st.lists(st.one_of(update_command, sync_command), max_size=40)
+
+
+@settings(max_examples=120, deadline=None)
+@given(commands=brv_commands, pair=pair_indices)
+def test_brv_sync_correct_on_comparable_pairs(commands, pair):
+    from repro.core.rotating import BasicRotatingVector
+    vectors = build_history(BasicRotatingVector, commands, N_SITES)
+    a, b = vectors[pair[0]].copy(), vectors[pair[1]]
+    if a.compare(b) is Ordering.CONCURRENT:
+        return  # manual resolution: the pair is excluded
+    want = expected_merge(a, b)
+    run_sync(a, b)
+    assert a.to_version_vector().as_dict() == want
+
+
+@settings(max_examples=120, deadline=None)
+@given(commands=brv_commands, pair=pair_indices)
+def test_brv_compare_agrees_with_oracle(commands, pair):
+    from repro.core.rotating import BasicRotatingVector
+    vectors = build_history(BasicRotatingVector, commands, N_SITES)
+    a, b = vectors[pair[0]], vectors[pair[1]]
+    assert a.compare(b) is a.compare_full(b)

@@ -1,0 +1,146 @@
+"""Tests for SYNCB (Algorithm 2) on basic rotating vectors."""
+
+import pytest
+
+from repro.core.order import Ordering
+from repro.core.rotating import BasicRotatingVector
+from repro.errors import ConcurrentVectorsError
+from repro.net.wire import Encoding
+from repro.protocols.syncb import sync_brv
+
+ENC = Encoding(site_bits=8, value_bits=8)
+
+
+def vector(*pairs):
+    return BasicRotatingVector.from_pairs(list(pairs))
+
+
+class TestTheorem31:
+    """SYNCB_b(a) with a ∦ b yields b if a ≺ b, else a (Theorem 3.1)."""
+
+    def test_a_precedes_b_becomes_b(self):
+        a = vector(("A", 1))
+        b = vector(("C", 1), ("B", 1), ("A", 1))
+        sync_brv(a, b, encoding=ENC)
+        assert a.same_structure(b)
+
+    def test_b_precedes_a_leaves_a_unchanged(self):
+        a = vector(("C", 1), ("B", 1), ("A", 1))
+        b = vector(("A", 1))
+        before = a.order.as_tuples()
+        sync_brv(a, b, encoding=ENC)
+        assert a.order.as_tuples() == before
+
+    def test_equal_vectors_unchanged(self):
+        a = vector(("B", 2), ("A", 1))
+        b = a.copy()
+        sync_brv(a, b, encoding=ENC)
+        assert a.same_structure(b)
+
+    def test_empty_receiver_adopts_everything(self):
+        a = BasicRotatingVector()
+        b = vector(("B", 2), ("A", 1))
+        sync_brv(a, b, encoding=ENC)
+        assert a.same_structure(b)
+
+    def test_empty_sender_is_noop(self):
+        a = vector(("A", 1))
+        b = BasicRotatingVector()
+        result = sync_brv(a, b, encoding=ENC)
+        assert a["A"] == 1
+        assert result.sender_result.elements_sent == 0
+
+    def test_front_prefix_mirrors_sender(self):
+        # After syncing, the least k elements of ≺a match ≺b (§3.1).
+        a = vector(("A", 1))
+        b = a.copy()
+        for site in ["B", "C", "D"]:
+            b.record_update(site)
+        sync_brv(a, b, encoding=ENC)
+        assert a.sites_in_order() == b.sites_in_order()
+
+
+class TestCommunication:
+    def test_sends_only_delta_plus_terminator(self):
+        # b is 10 elements ahead on 3 of them; a knows the rest.
+        a = BasicRotatingVector()
+        for site in "ABCDEFGHIJ":
+            a.record_update(site)
+        b = a.copy()
+        for site in "XYZ":
+            b.record_update(site)
+        result = sync_brv(a, b, encoding=ENC)
+        # Δ = 3 new elements, plus the one old element that halts the scan.
+        assert result.sender_result.elements_sent == 4
+        assert result.receiver_result.new_elements == 3
+        assert result.receiver_result.redundant_elements == 1
+
+    def test_full_transfer_when_receiver_empty(self):
+        b = BasicRotatingVector()
+        for site in "ABCDE":
+            b.record_update(site)
+        result = sync_brv(BasicRotatingVector(), b, encoding=ENC)
+        assert result.sender_result.elements_sent == 5
+        assert result.sender_result.reached_end is True
+
+    def test_traffic_within_table2_bound(self):
+        n = 10
+        b = BasicRotatingVector()
+        for index in range(n):
+            b.record_update(f"S{index}")
+        result = sync_brv(BasicRotatingVector(), b, encoding=ENC)
+        assert result.stats.total_bits <= ENC.brv_sync_bound(n)
+
+    def test_noop_sync_costs_one_element(self):
+        a = vector(("B", 1), ("A", 1))
+        b = vector(("A", 1))
+        result = sync_brv(a, b, encoding=ENC)
+        assert result.sender_result.elements_sent == 1
+
+    def test_repeated_sync_is_idempotent_and_cheap(self):
+        a = BasicRotatingVector()
+        b = BasicRotatingVector()
+        for site in "ABCDE":
+            b.record_update(site)
+        sync_brv(a, b, encoding=ENC)
+        again = sync_brv(a, b, encoding=ENC)
+        assert again.receiver_result.new_elements == 0
+        assert again.sender_result.elements_sent == 1
+
+
+class TestConcurrencyGuard:
+    def test_concurrent_vectors_rejected(self):
+        a = vector(("A", 1))
+        b = vector(("B", 1))
+        with pytest.raises(ConcurrentVectorsError):
+            sync_brv(a, b, encoding=ENC)
+
+    def test_check_can_be_disabled(self):
+        a = vector(("A", 1))
+        b = vector(("B", 1))
+        sync_brv(a, b, encoding=ENC, check=False)
+        # Union of values still realized on this single call.
+        assert a["A"] == 1 and a["B"] == 1
+
+    def test_paper_counterexample_reuse_breaks_without_conflict_bits(self):
+        """§3.2: after merging concurrent BRVs, a later SYNCB misses data.
+
+        The paper's example: θ₃ := SYNCB_θ₁(θ₂) = ⟨A:2, B:2⟩, where (A, 2)
+        was rotated to the front with its value unchanged; a subsequent
+        SYNCB_θ₃(θ₁) halts on the A element and leaves θ₁[B] stale.
+        """
+        theta1 = vector(("A", 2), ("B", 1))
+        theta2 = vector(("B", 2), ("A", 1))
+        theta3 = theta2.copy()
+        sync_brv(theta3, theta1, encoding=ENC, check=False)
+        assert theta3.sites_in_order() == ["A", "B"]
+        assert theta3.to_version_vector().as_dict() == {"A": 2, "B": 2}
+        target = theta1.copy()
+        sync_brv(target, theta3, encoding=ENC, check=False)
+        assert target["B"] == 1  # stale! (correct per the paper's analysis)
+
+    def test_verdict_used_by_guard_is_algorithm1(self):
+        a = vector(("A", 1))
+        b = vector(("B", 1), ("A", 1))
+        assert a.compare(b) is Ordering.BEFORE
+        sync_brv(a, b, encoding=ENC)  # must not raise

@@ -1,0 +1,137 @@
+"""Tests for SYNCC (Algorithm 3) on conflict rotating vectors."""
+
+from repro.core.conflict import ConflictRotatingVector
+from repro.core.order import Ordering
+from repro.net.wire import Encoding
+from repro.protocols.syncc import sync_crv
+
+ENC = Encoding(site_bits=8, value_bits=8)
+
+
+def crv(*pairs):
+    return ConflictRotatingVector.from_pairs(list(pairs))
+
+
+class TestPaperExample:
+    """The θ₁/θ₂/θ₃ scenario of §3.2, which breaks SYNCB."""
+
+    def test_reconciliation_tags_modified_elements(self):
+        theta1 = crv(("A", 2), ("B", 1))
+        theta2 = crv(("B", 2), ("A", 1))
+        theta3 = theta1.copy()
+        sync_crv(theta3, theta2, encoding=ENC)
+        assert theta3.to_version_vector().as_dict() == {"A": 2, "B": 2}
+        assert theta3.conflict_bit("B") is True   # modified during merge
+        assert theta3.conflict_bit("A") is False  # untouched
+
+    def test_subsequent_sync_sees_through_tagged_elements(self):
+        theta1 = crv(("A", 2), ("B", 1))
+        theta2 = crv(("B", 2), ("A", 1))
+        theta3 = theta1.copy()
+        sync_crv(theta3, theta2, encoding=ENC)
+        target = theta1.copy()
+        sync_crv(target, theta3, encoding=ENC)
+        # The tagged B element no longer hides anything: B:2 arrives.
+        assert target.to_version_vector().as_dict() == {"A": 2, "B": 2}
+
+
+class TestMergeSemantics:
+    def test_concurrent_merge_is_elementwise_max(self):
+        a = crv(("A", 3), ("C", 1))
+        b = crv(("B", 2), ("C", 1))
+        sync_crv(a, b, encoding=ENC)
+        assert a.to_version_vector().as_dict() == {"A": 3, "B": 2, "C": 1}
+
+    def test_non_concurrent_behaves_like_syncb(self):
+        a = crv(("A", 1))
+        b = crv(("C", 1), ("B", 1), ("A", 1))
+        result = sync_crv(a, b, encoding=ENC)
+        assert a.same_structure(b)
+        assert result.receiver_result.new_elements == 2
+
+    def test_empty_receiver(self):
+        b = crv(("B", 1), ("A", 1))
+        a = ConflictRotatingVector()
+        sync_crv(a, b, encoding=ENC)
+        assert a.same_values(b)
+
+    def test_conflict_bits_propagate_to_receiver(self):
+        b = ConflictRotatingVector.from_pairs_with_bits(
+            [("X", 2, True), ("A", 1, False)])
+        a = crv(("A", 1))
+        sync_crv(a, b, encoding=ENC)
+        assert a.conflict_bit("X") is True
+
+    def test_reconcile_flag_forces_tagging(self):
+        a = crv(("A", 1))
+        b = crv(("B", 1), ("A", 1))
+        sync_crv(a, b, encoding=ENC, reconcile=True)
+        assert a.conflict_bit("B") is True
+
+    def test_tagged_known_element_turns_reconcile_on(self):
+        # Algorithm 3 line 7: a known element with c=1 sets reconcile, so
+        # elements written later in the same session get tagged too.
+        b = ConflictRotatingVector.from_pairs_with_bits(
+            [("K", 1, True), ("N", 1, False)])
+        a = crv(("K", 1))
+        sync_crv(a, b, encoding=ENC, reconcile=False)
+        assert a["N"] == 1
+        assert a.conflict_bit("N") is True
+
+
+class TestCommunication:
+    def test_gamma_measured(self):
+        # b carries 3 tagged known elements in front of 1 new one.
+        b = ConflictRotatingVector.from_pairs_with_bits(
+            [("P", 1, True), ("Q", 1, True), ("R", 1, True),
+             ("N", 1, False), ("A", 1, False)])
+        a = crv(("P", 1), ("Q", 1), ("R", 1), ("A", 1))
+        result = sync_crv(a, b, encoding=ENC, reconcile=True)
+        report = result.receiver_result
+        assert report.new_elements == 1           # |Δ|
+        assert report.redundant_elements == 4     # |Γ| + halting element
+        assert result.sender_result.elements_sent == 5
+
+    def test_untagged_known_element_halts(self):
+        b = crv(("N", 1), ("A", 1))  # no bits set
+        a = crv(("A", 1))
+        result = sync_crv(a, b, encoding=ENC)
+        assert result.receiver_result.sent_halt or \
+            result.receiver_result.received_halt
+
+    def test_traffic_within_table2_bound(self):
+        n = 12
+        b = ConflictRotatingVector()
+        for index in range(n):
+            b.record_update(f"S{index}")
+        for element in b.order:
+            element.conflict = True  # worst case: everything tagged
+        a = ConflictRotatingVector()
+        result = sync_crv(a, b, encoding=ENC, reconcile=True)
+        assert result.stats.total_bits <= ENC.crv_sync_bound(n)
+
+    def test_sequential_merge_chain_converges(self):
+        base = ConflictRotatingVector()
+        base.record_update("A")
+        replicas = []
+        for site in ["B", "C", "D"]:
+            replica = base.copy()
+            replica.record_update(site)
+            replicas.append(replica)
+        target = replicas[0]
+        for other in replicas[1:]:
+            sync_crv(target, other, encoding=ENC)
+            target.record_update("B")  # §2.2 reconciliation increment
+        merged = target.to_version_vector().as_dict()
+        assert merged["C"] == 1 and merged["D"] == 1 and merged["A"] == 1
+
+    def test_verdict_comparisons_stay_correct_after_increment(self):
+        a = ConflictRotatingVector()
+        a.record_update("A")
+        b = a.copy()
+        a.record_update("A")
+        b.record_update("B")
+        sync_crv(a, b, encoding=ENC)
+        a.record_update("A")  # reconciliation increment
+        assert b.compare(a) is Ordering.BEFORE
+        assert a.compare(b) is Ordering.AFTER

@@ -1,0 +1,126 @@
+"""Tests for SYNCG (Algorithm 5) on causal graphs."""
+
+import random
+
+import pytest
+
+from repro.core.order import Ordering
+from repro.graphs.causalgraph import CausalGraph, build_graph
+from repro.net.wire import Encoding
+from repro.protocols.session import run_session_randomized
+from repro.protocols.syncg import sync_graph, syncg_receiver, syncg_sender
+from repro.workload.scenarios import figure3_graphs
+
+ENC = Encoding(site_bits=8, value_bits=8, node_id_bits=16)
+
+
+def chain(*ids):
+    arcs = [(None, ids[0])]
+    arcs.extend((ids[i - 1], ids[i]) for i in range(1, len(ids)))
+    return build_graph(arcs)
+
+
+class TestUnionPostcondition:
+    def test_fast_forward(self):
+        a = chain(1, 2)
+        b = chain(1, 2, 3, 4)
+        sync_graph(a, b, encoding=ENC)
+        assert a.node_ids() == b.node_ids()
+        assert a.arcs() == b.arcs()
+        assert a.is_ancestor_closed()
+
+    def test_concurrent_branches_union(self):
+        a = build_graph([(None, 1), (1, 2)])
+        b = build_graph([(None, 1), (1, 3), (3, 4)])
+        sync_graph(a, b, encoding=ENC)
+        assert a.node_ids() == {1, 2, 3, 4}
+        assert sorted(a.sinks()) == [2, 4]  # pending reconciliation
+
+    def test_receiver_ahead_is_noop(self):
+        a = chain(1, 2, 3)
+        b = chain(1, 2)
+        before = a.arcs()
+        sync_graph(a, b, encoding=ENC)
+        assert a.arcs() == before
+
+    def test_equal_graphs(self):
+        a = chain(1, 2, 3)
+        result = sync_graph(a, chain(1, 2, 3), encoding=ENC)
+        assert result.sender_result.nodes_sent == 1  # the probed sink only
+
+    def test_diamond_merge_graph(self):
+        b = build_graph([(None, 1), (1, 2), (1, 3), (2, 4), (3, 4)])
+        a = CausalGraph.with_source(1)
+        sync_graph(a, b, encoding=ENC)
+        assert a.node_ids() == {1, 2, 3, 4}
+        assert a.node(4).parents == (2, 3)
+
+    def test_idempotent(self):
+        a = chain(1, 2)
+        b = build_graph([(None, 1), (1, 2), (2, 3), (1, 9), (9, 3)])
+        sync_graph(a, b, encoding=ENC)
+        snapshot = a.arcs()
+        sync_graph(a, b, encoding=ENC)
+        assert a.arcs() == snapshot
+
+
+class TestFigure3:
+    def test_exact_paper_transcript(self):
+        """§6.1: only the missing nodes plus one overlap node per branch."""
+        site_a, site_c = figure3_graphs()
+        result = sync_graph(site_c, site_a, encoding=ENC)
+        assert site_c.node_ids() == site_a.node_ids()
+        sender = result.sender_result
+        receiver = result.receiver_result
+        assert sender.nodes_sent == 4          # 7, 6, 2, 1
+        assert receiver.nodes_added == 2       # 7 and 2
+        assert receiver.overlap_nodes == 2     # 6 and 1
+        assert receiver.skiptos_sent == 1      # skip to branch start 2
+        assert sender.rewinds == 1
+        assert receiver.sent_abort is True     # nothing after node 1
+
+    def test_reverse_direction(self):
+        site_a, site_c = figure3_graphs()
+        result = sync_graph(site_a, site_c, encoding=ENC)
+        # A already dominates C: one probe node, then abort.
+        assert result.receiver_result.nodes_added == 0
+        assert site_a.node_ids() >= site_c.node_ids()
+
+
+class TestCommunicationShape:
+    def test_traffic_proportional_to_difference(self):
+        shared = list(range(1, 101))
+        big_a = chain(*shared)
+        big_b = chain(*(shared + [999]))
+        result = sync_graph(big_a, big_b, encoding=ENC)
+        # 999 (new), 100 (overlap), then abort: independent of |V|.
+        assert result.sender_result.nodes_sent == 2
+        small_a = chain(1, 2)
+        small_b = chain(1, 2, 999)
+        small = sync_graph(small_a, small_b, encoding=ENC)
+        assert (result.stats.total_bits == small.stats.total_bits)
+
+    def test_beats_full_graph_baseline_on_small_diff(self):
+        from repro.protocols.fullsync import sync_full_graph
+        shared = list(range(1, 201))
+        a1 = chain(*shared)
+        b = chain(*(shared + [999]))
+        incremental = sync_graph(a1, b, encoding=ENC)
+        a2 = chain(*shared)
+        full = sync_full_graph(a2, b, encoding=ENC)
+        assert a1.node_ids() == a2.node_ids()
+        assert incremental.stats.total_bits < full.stats.total_bits / 10
+
+
+class TestRandomizedDelivery:
+    def test_union_under_arbitrary_interleavings(self):
+        b = build_graph([(None, 1), (1, 2), (1, 3), (2, 4), (3, 4), (4, 5),
+                         (1, 6), (6, 7), (5, 8), (7, 8)])
+        for seed in range(25):
+            a = build_graph([(None, 1), (1, 3), (1, 6), (6, 7)])
+            result = run_session_randomized(
+                syncg_sender(b), syncg_receiver(a),
+                rng=random.Random(seed), encoding=ENC)
+            assert a.node_ids() == b.node_ids(), f"seed {seed}"
+            assert a.arcs() == b.arcs(), f"seed {seed}"
+            assert result.receiver_result.nodes_added == 4  # {2, 4, 5, 8}

@@ -1,0 +1,192 @@
+"""Tests for hybrid transfer: log truncation + snapshot fallback (§6)."""
+
+import pytest
+
+from repro.errors import ReproError
+from repro.replication.hybrid import HybridOpSystem
+from repro.replication.opreplica import log_applier
+
+
+def fleet(n_sites=3):
+    system = HybridOpSystem(applier=log_applier, initial_state=())
+    sites = [chr(ord("A") + i) for i in range(n_sites)]
+    system.create_object(sites[0], "obj")
+    for site in sites[1:]:
+        system.clone_replica(sites[0], site, "obj")
+    return system, sites
+
+
+class TestStableFrontier:
+    def test_everything_common_is_stable(self):
+        system, sites = fleet()
+        system.update("A", "obj", "x")
+        for site in sites[1:]:
+            system.pull(site, "A", "obj")
+        stable = system.stable_frontier("obj")
+        assert stable == system.replica("A", "obj").graph.node_ids()
+
+    def test_unreplicated_tail_is_not_stable(self):
+        system, _ = fleet()
+        system.update("A", "obj", "x")  # B and C haven't seen it
+        stable = system.stable_frontier("obj")
+        assert ("A", 2) not in stable
+        assert ("A", 1) in stable  # the creation reached everyone
+
+    def test_concurrent_heads_are_not_stable(self):
+        system, _ = fleet(2)
+        system.update("A", "obj", "a")
+        system.update("B", "obj", "b")
+        stable = system.stable_frontier("obj")
+        assert stable == {("A", 1)}
+
+
+class TestTruncation:
+    def test_truncate_folds_stable_prefix(self):
+        system, sites = fleet(2)
+        for index in range(5):
+            system.update("A", "obj", f"x{index}")
+            system.pull("B", "A", "obj")
+        before_state = system.state("A", "obj")
+        dropped = system.truncate_history("A", "obj")
+        assert dropped == 6  # creation + 5 updates, all stable
+        assert system.log_length("A", "obj") == 0
+        assert system.state("A", "obj") == before_state
+
+    def test_keep_payloads_retains_recent_bodies(self):
+        system, _ = fleet(2)
+        for index in range(5):
+            system.update("A", "obj", f"x{index}")
+            system.pull("B", "A", "obj")
+        system.truncate_history("A", "obj", keep_payloads=2)
+        assert system.log_length("A", "obj") == 2
+        assert system.state("A", "obj") == ("x0", "x1", "x2", "x3", "x4")
+
+    def test_truncation_is_idempotent(self):
+        system, _ = fleet(2)
+        system.update("A", "obj", "x")
+        system.pull("B", "A", "obj")
+        assert system.truncate_history("A", "obj") > 0
+        assert system.truncate_history("A", "obj") == 0
+
+    def test_unstable_ops_never_archived(self):
+        system, _ = fleet(2)
+        system.update("A", "obj", "seen")
+        system.pull("B", "A", "obj")
+        system.update("A", "obj", "unseen")  # B doesn't have it
+        system.truncate_history("A", "obj")
+        replica = system.replica("A", "obj")
+        assert ("A", 3) in replica.ops  # the unseen op keeps its body
+
+    def test_materialize_after_truncation_matches_untruncated_peer(self):
+        system, _ = fleet(2)
+        for index in range(4):
+            site = "A" if index % 2 == 0 else "B"
+            system.update(site, "obj", f"{site}{index}")
+            system.pull("A", "B", "obj")
+            system.pull("B", "A", "obj")
+        system.truncate_history("A", "obj")
+        assert system.state("A", "obj") == system.state("B", "obj")
+
+
+class TestSnapshotFallback:
+    def test_pull_across_horizon_ships_snapshot(self):
+        system, _ = fleet(2)
+        for index in range(4):
+            system.update("A", "obj", f"x{index}")
+            system.pull("B", "A", "obj")
+        # C joins late, after A truncated everything stable.
+        system.truncate_history("A", "obj")
+        system.update("A", "obj", "fresh")   # post-truncation live op
+        system.pull("B", "A", "obj")
+        clone = system.clone_replica("A", "C", "obj")
+        assert system.state("C", "obj") == system.state("A", "obj")
+        assert clone.archived == system.replica("A", "obj").archived
+
+    def test_snapshot_outcome_action_and_bits(self):
+        system, _ = fleet(2)
+        for index in range(4):
+            system.update("A", "obj", f"payload-{index}")
+            system.pull("B", "A", "obj")
+        system.truncate_history("A", "obj")
+        system.update("A", "obj", "tail")
+        system.pull("B", "A", "obj")  # B already has the archived ops
+        # Stale D needs archived bodies → snapshot path.
+        system.registry.add("D")
+        outcome = system.clone_replica("A", "D", "obj")
+        last = system.outcomes[-1]
+        assert last.action == "snapshot"
+        assert last.payload_bits > 0
+        assert outcome.baseline_state == \
+            system.replica("A", "obj").baseline_state
+
+    def test_in_horizon_pull_stays_incremental(self):
+        system, _ = fleet(2)
+        for index in range(4):
+            system.update("A", "obj", f"x{index}")
+            system.pull("B", "A", "obj")
+        system.truncate_history("A", "obj", keep_payloads=4)
+        system.update("A", "obj", "new")
+        outcome = system.pull("B", "A", "obj")
+        assert outcome.action == "pull"
+        assert outcome.ops_transferred == 1
+
+    def test_concurrent_across_horizon_raises(self):
+        system, _ = fleet(2)
+        system.update("A", "obj", "shared")
+        system.pull("B", "A", "obj")
+        # Both advance concurrently; then A truncates its stable past and,
+        # unrealistically deep, even the shared op — simulate by forcing
+        # archive of everything A's peers acknowledged, then cutting B off.
+        system.update("A", "obj", "a-side")
+        system.update("B", "obj", "b-side")
+        # A truncates what is stable ({creation, shared}); C clones from A
+        # and then diverges from B — B pulling A's archived region while
+        # concurrent must fail.
+        system.truncate_history("A", "obj")
+        replica_b = system.replica("B", "obj")
+        # Make B "too old": drop B to a state that never saw the shared op
+        # but has its own concurrent history — build directly.
+        fresh = HybridOpSystem(applier=log_applier, initial_state=())
+        fresh.create_object("A", "obj")
+        fresh.clone_replica("A", "B", "obj")
+        fresh.update("A", "obj", "a1")
+        fresh.update("B", "obj", "b1")
+        fresh.pull("B", "A", "obj")  # B merges; A still behind
+        fresh.update("B", "obj", "b2")
+        fresh.pull("A", "B", "obj")
+        # Everything B knows is now stable at B... truncate A's view and
+        # check the guarded error path directly:
+        fresh.update("A", "obj", "a2")       # concurrent with nothing yet
+        fresh.update("B", "obj", "b3")
+        stable_before = fresh.stable_frontier("obj")
+        fresh.truncate_history("B", "obj")
+        replica_a = fresh.replica("A", "obj")
+        replica_b = fresh.replica("B", "obj")
+        # Force the horizon violation: mark one of B's live concurrent ops
+        # as archived to simulate excessive truncation.
+        missing_candidates = (replica_b.graph.node_ids()
+                              - replica_a.graph.node_ids())
+        assert missing_candidates
+        replica_b.archived = frozenset(set(replica_b.archived)
+                                       | missing_candidates)
+        for node_id in missing_candidates:
+            replica_b.ops.pop(node_id, None)
+        with pytest.raises(ReproError, match="truncated"):
+            fresh.pull("A", "B", "obj")
+
+
+class TestConvergenceWithTruncation:
+    def test_mixed_truncation_levels_still_converge(self):
+        system, sites = fleet(3)
+        for round_no in range(6):
+            site = sites[round_no % 3]
+            system.update(site, "obj", f"{site}{round_no}")
+            for left in sites:
+                for right in sites:
+                    if left != right:
+                        system.pull(left, right, "obj")
+            if round_no == 3:
+                system.truncate_history("A", "obj")
+                system.truncate_history("B", "obj", keep_payloads=2)
+        states = {site: system.state(site, "obj") for site in sites}
+        assert states["A"] == states["B"] == states["C"]

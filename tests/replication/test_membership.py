@@ -1,0 +1,59 @@
+"""Tests for the site registry and derived encodings."""
+
+import pytest
+
+from repro.errors import UnknownSiteError
+from repro.replication.membership import SiteRegistry
+
+
+class TestRegistry:
+    def test_add_assigns_sequential_ids(self):
+        registry = SiteRegistry()
+        assert registry.add("A") == 0
+        assert registry.add("B") == 1
+        assert registry.add("A") == 0  # idempotent
+
+    def test_construction_from_iterable(self):
+        registry = SiteRegistry(["A", "B"])
+        assert registry.names() == ["A", "B"]
+        assert len(registry) == 2
+
+    def test_lookup_both_ways(self):
+        registry = SiteRegistry(["A", "B"])
+        assert registry.id_of("B") == 1
+        assert registry.name_of(1) == "B"
+
+    def test_unknown_site_raises(self):
+        registry = SiteRegistry()
+        with pytest.raises(UnknownSiteError):
+            registry.id_of("ghost")
+        with pytest.raises(UnknownSiteError):
+            registry.name_of(3)
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(ValueError):
+            SiteRegistry().add("")
+
+    def test_contains_and_iter(self):
+        registry = SiteRegistry(["A"])
+        assert "A" in registry
+        assert "B" not in registry
+        assert list(registry) == ["A"]
+
+
+class TestEncodingDerivation:
+    def test_site_bits_track_membership(self):
+        registry = SiteRegistry([f"S{i}" for i in range(100)])
+        encoding = registry.encoding()
+        assert encoding.site_bits == 7  # 100 sites fit in 7 bits
+
+    def test_value_bits_from_update_budget(self):
+        registry = SiteRegistry(["A", "B"])
+        assert registry.encoding(max_updates_per_site=1000).value_bits == 10
+
+    def test_graph_node_bits(self):
+        registry = SiteRegistry(["A"])
+        assert registry.encoding(n_graph_nodes=500).node_id_bits == 9
+
+    def test_empty_registry_still_valid(self):
+        assert SiteRegistry().encoding().site_bits >= 1

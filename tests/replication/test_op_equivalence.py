@@ -1,0 +1,88 @@
+"""Property: SYNCG and the full-graph baseline produce identical systems.
+
+The transfer mechanism is an optimization; the replicated *meaning* —
+graphs, materialized states, merge structure — must be identical whichever
+way the bits traveled.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.replication.opreplica import kv_applier, log_applier
+from repro.replication.opsystem import OpTransferSystem
+from repro.workload.events import SyncEvent
+from repro.workload.generator import WorkloadConfig, generate_trace
+from repro.workload.replay import replay_ops
+
+N_SITES = 4
+
+
+def trace_for(seed):
+    config = WorkloadConfig(n_sites=N_SITES, steps=60, seed=seed)
+    trace = generate_trace(config)
+    sites = config.site_names()
+    for index in range(1, N_SITES):
+        trace.append(SyncEvent(sites[index - 1], sites[index], "obj0",
+                               bidirectional=True))
+    for index in range(N_SITES - 2, -1, -1):
+        trace.append(SyncEvent(sites[index + 1], sites[index], "obj0",
+                               bidirectional=True))
+    return trace
+
+
+@settings(max_examples=20, deadline=None)
+@given(seed=st.integers(0, 10_000))
+def test_syncg_and_full_graph_build_identical_systems(seed):
+    trace = trace_for(seed)
+    incremental = OpTransferSystem(use_syncg=True, applier=log_applier,
+                                   initial_state=())
+    baseline = OpTransferSystem(use_syncg=False, applier=log_applier,
+                                initial_state=())
+    replay_ops(trace, incremental)
+    replay_ops(trace, baseline)
+    for left, right in zip(incremental.replicas_of("obj0"),
+                           baseline.replicas_of("obj0")):
+        assert left.graph == right.graph, left.site
+        assert left.ops.keys() == right.ops.keys(), left.site
+    for site in (f"S{i:03d}" for i in range(N_SITES)):
+        assert (incremental.state(site, "obj0")
+                == baseline.state(site, "obj0")), site
+
+
+@settings(max_examples=20, deadline=None)
+@given(seed=st.integers(0, 10_000))
+def test_syncg_never_transfers_more_payload(seed):
+    """The graph protocol changes metadata cost only, never op delivery."""
+    trace = trace_for(seed)
+    incremental = OpTransferSystem(use_syncg=True)
+    baseline = OpTransferSystem(use_syncg=False)
+    replay_ops(trace, incremental)
+    replay_ops(trace, baseline)
+    payload = lambda system: sum(o.payload_bits for o in system.outcomes)
+    assert payload(incremental) == payload(baseline)
+
+
+@settings(max_examples=15, deadline=None)
+@given(seed=st.integers(0, 10_000))
+def test_kv_states_agree_across_protocols(seed):
+    trace = trace_for(seed)
+
+    def value_factory(site, obj, sequence):
+        return (f"k{sequence % 3}", f"{site}#{sequence}")
+
+    config = WorkloadConfig(n_sites=N_SITES, steps=60, seed=seed,
+                            value_factory=value_factory)
+    trace = generate_trace(config)
+    sites = config.site_names()
+    for index in range(1, N_SITES):
+        trace.append(SyncEvent(sites[index - 1], sites[index], "obj0",
+                               bidirectional=True))
+    incremental = OpTransferSystem(use_syncg=True, applier=kv_applier,
+                                   initial_state={})
+    baseline = OpTransferSystem(use_syncg=False, applier=kv_applier,
+                                initial_state={})
+    replay_ops(trace, incremental)
+    replay_ops(trace, baseline)
+    for site in sites:
+        assert (incremental.state(site, "obj0")
+                == baseline.state(site, "obj0")), site

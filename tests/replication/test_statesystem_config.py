@@ -1,0 +1,98 @@
+"""Configuration-surface tests for the state-transfer system."""
+
+import pytest
+
+from repro.core.order import Ordering
+from repro.net.wire import Encoding
+from repro.replication.membership import SiteRegistry
+from repro.replication.resolver import ManualResolution
+from repro.replication.statesystem import (StateTransferSystem,
+                                           default_payload_size)
+
+
+class TestEncodingConfiguration:
+    def test_encoding_derived_from_registry(self):
+        registry = SiteRegistry([f"S{i}" for i in range(100)])
+        system = StateTransferSystem(registry=registry)
+        assert system.encoding.site_bits == registry.encoding().site_bits
+
+    def test_freeze_encoding_pins_widths(self):
+        system = StateTransferSystem()
+        system.create_object("A", "obj", "v")
+        frozen = system.freeze_encoding(max_updates_per_site=1000)
+        system.registry.add("ZZZ-many-more")
+        assert system.encoding is frozen
+
+    def test_explicit_encoding_wins(self):
+        encoding = Encoding(site_bits=5, value_bits=6)
+        system = StateTransferSystem(encoding=encoding)
+        assert system.encoding is encoding
+
+
+class TestPayloadSizing:
+    def test_default_payload_size_uses_repr(self):
+        assert default_payload_size("ab") == len(repr("ab").encode())
+
+    def test_custom_payload_size_hook(self):
+        system = StateTransferSystem(payload_size=lambda value: 1000)
+        system.create_object("A", "obj", "v0")
+        system.clone_replica("A", "B", "obj")
+        system.update("A", "obj", "v1")
+        outcome = system.pull("B", "A", "obj")
+        assert outcome.payload_bits == 8000
+
+
+class TestManualVvConflicts:
+    """The traditional-scheme manual path: vector sent, never merged."""
+
+    def test_vv_manual_conflict_keeps_vectors_unmerged(self):
+        system = StateTransferSystem(metadata="vv",
+                                     resolution=ManualResolution())
+        system.create_object("A", "obj", "v0")
+        system.clone_replica("A", "B", "obj")
+        system.update("A", "obj", "va")
+        system.update("B", "obj", "vb")
+        before = system.replica("A", "obj").values_snapshot()
+        outcome = system.pull("A", "B", "obj")
+        assert outcome.verdict is Ordering.CONCURRENT
+        assert outcome.action == "conflict"
+        # The full vector still crossed the wire (that is what enabled the
+        # receiver-side comparison) ...
+        assert outcome.metadata_bits > 0
+        # ... but the excluded replica's metadata was not merged.
+        assert system.replica("A", "obj").values_snapshot() == before
+
+    def test_vv_manual_resolution_roundtrip(self):
+        system = StateTransferSystem(metadata="vv",
+                                     resolution=ManualResolution())
+        system.create_object("A", "obj", "v0")
+        system.clone_replica("A", "B", "obj")
+        system.update("A", "obj", "va")
+        system.update("B", "obj", "vb")
+        system.pull("A", "B", "obj")
+        system.resolve_manually("A", "obj", "merged")
+        outcome = system.pull("B", "A", "obj")
+        assert outcome.action == "pull"
+        assert system.is_consistent("obj")
+
+
+class TestOutcomeRecords:
+    def test_outcome_reports_expose_protocol_counters(self):
+        system = StateTransferSystem(metadata="srv")
+        system.create_object("A", "obj", "v0")
+        system.clone_replica("A", "B", "obj")
+        system.update("A", "obj", "v1")
+        outcome = system.pull("B", "A", "obj")
+        assert outcome.receiver_report is not None
+        assert outcome.receiver_report.new_elements >= 1
+        assert outcome.sender_report is not None
+        assert outcome.total_bits == (outcome.metadata_bits
+                                      + outcome.payload_bits)
+
+    def test_vv_outcomes_have_no_vector_reports(self):
+        system = StateTransferSystem(metadata="vv")
+        system.create_object("A", "obj", "v0")
+        system.clone_replica("A", "B", "obj")
+        outcome = system.outcomes[-1]
+        assert outcome.receiver_report is None
+        assert outcome.sender_report is None

@@ -1,0 +1,239 @@
+"""Tests for merge bases and three-way merging (§6's DVCS workflow)."""
+
+import pytest
+
+from repro.errors import GraphError, ReproError
+from repro.graphs.causalgraph import build_graph
+from repro.replication.opsystem import OpTransferSystem
+from repro.replication.resolver import ManualResolution
+from repro.replication.threeway import (MARKER_LEFT, MARKER_MID,
+                                        MergeResult, merge3, merge_heads,
+                                        snapshot_applier)
+
+
+class TestMergeBases:
+    def test_simple_diamond(self):
+        graph = build_graph([(None, 1), (1, 2), (1, 3)])
+        assert graph.merge_base(2, 3) == 1
+        assert graph.merge_bases(2, 3) == [1]
+
+    def test_fast_forward_pair_base_is_ancestor(self):
+        graph = build_graph([(None, 1), (1, 2), (2, 3)])
+        assert graph.merge_base(2, 3) == 2
+
+    def test_identical_heads(self):
+        graph = build_graph([(None, 1), (1, 2)])
+        assert graph.merge_base(2, 2) == 2
+
+    def test_deep_base(self):
+        graph = build_graph([(None, 1), (1, 2), (2, 3), (3, 4), (3, 5),
+                             (4, 6), (5, 7)])
+        assert graph.merge_base(6, 7) == 3
+
+    def test_criss_cross_reports_both_bases(self):
+        # Two sites merge the same concurrent pair independently (X and Y),
+        # then each head merges both X and Y — the classic criss-cross:
+        # the heads share TWO maximal common ancestors.
+        graph = build_graph([(None, 1), (1, 2), (1, 3),
+                             (2, 10), (3, 10),    # X = one site's merge
+                             (2, 11), (3, 11),    # Y = the other's
+                             (10, 20), (11, 20),  # head 1 absorbs both
+                             (10, 21), (11, 21)])  # head 2 absorbs both
+        assert graph.merge_bases(20, 21) == [10, 11]
+        # The deterministic pick is the first.
+        assert graph.merge_base(20, 21) == 10
+
+    def test_common_ancestors(self):
+        graph = build_graph([(None, 1), (1, 2), (1, 3)])
+        assert graph.common_ancestors(2, 3) == {1}
+        assert graph.common_ancestors(2, 2) == {1, 2}
+
+    def test_disjoint_graphs_raise(self):
+        graph = build_graph([(None, 1), (None, 9)])
+        with pytest.raises(GraphError, match="share no ancestor"):
+            graph.merge_base(1, 9)
+
+
+class TestMerge3:
+    BASE = ["a", "b", "c", "d", "e"]
+
+    def test_no_changes(self):
+        result = merge3(self.BASE, self.BASE, self.BASE)
+        assert result.clean
+        assert list(result.lines) == self.BASE
+
+    def test_one_side_change_wins(self):
+        left = ["a", "B!", "c", "d", "e"]
+        result = merge3(self.BASE, left, self.BASE)
+        assert result.clean
+        assert list(result.lines) == left
+        mirrored = merge3(self.BASE, self.BASE, left)
+        assert list(mirrored.lines) == left
+
+    def test_disjoint_changes_combine(self):
+        left = ["A!", "b", "c", "d", "e"]
+        right = ["a", "b", "c", "d", "E!"]
+        result = merge3(self.BASE, left, right)
+        assert result.clean
+        assert list(result.lines) == ["A!", "b", "c", "d", "E!"]
+
+    def test_identical_changes_collapse(self):
+        both = ["a", "b", "X", "d", "e"]
+        result = merge3(self.BASE, both, both)
+        assert result.clean
+        assert list(result.lines) == both
+
+    def test_overlapping_changes_conflict(self):
+        left = ["a", "LEFT", "c", "d", "e"]
+        right = ["a", "RIGHT", "c", "d", "e"]
+        result = merge3(self.BASE, left, right)
+        assert result.conflicts == 1
+        text = result.text
+        assert "<<<<<<< left" in text and "LEFT" in text
+        assert ">>>>>>> right" in text and "RIGHT" in text
+
+    def test_insertion_vs_insertion_at_same_point(self):
+        left = ["a", "ins-L", "b", "c", "d", "e"]
+        right = ["a", "ins-R", "b", "c", "d", "e"]
+        result = merge3(self.BASE, left, right)
+        assert result.conflicts == 1
+
+    def test_deletion_on_one_side(self):
+        left = ["a", "c", "d", "e"]  # deleted b
+        result = merge3(self.BASE, left, self.BASE)
+        assert result.clean
+        assert list(result.lines) == left
+
+    def test_delete_vs_edit_conflicts(self):
+        left = ["a", "c", "d", "e"]          # deleted b
+        right = ["a", "B!", "c", "d", "e"]   # edited b
+        result = merge3(self.BASE, left, right)
+        assert result.conflicts == 1
+
+    def test_appends_on_both_sides(self):
+        left = self.BASE + ["left-tail"]
+        right = self.BASE + ["right-tail"]
+        result = merge3(self.BASE, left, right)
+        assert result.conflicts == 1  # both appended at the same point
+
+    def test_multiple_independent_regions(self):
+        left = ["A!", "b", "c", "d", "e"]
+        right = ["a", "b", "C!", "d", "E!"]
+        result = merge3(self.BASE, left, right)
+        assert result.clean
+        assert list(result.lines) == ["A!", "b", "C!", "d", "E!"]
+
+    def test_empty_base(self):
+        result = merge3([], ["x"], ["x"])
+        assert result.clean
+        assert list(result.lines) == ["x"]
+
+    def test_merge_result_properties(self):
+        result = MergeResult(("a", "b"), 0)
+        assert result.text == "a\nb"
+        assert result.clean
+
+
+class TestMergeHeads:
+    def dvcs(self):
+        system = OpTransferSystem(applier=snapshot_applier,
+                                  initial_state=(),
+                                  resolution=ManualResolution())
+        system.create_object("ann", "file",
+                             payload=("line1", "line2", "line3"))
+        system.clone_replica("ann", "bob", "file")
+        return system
+
+    def test_clean_merge_commits_combined_content(self):
+        system = self.dvcs()
+        system.update("ann", "file", ("line1 ANN", "line2", "line3"))
+        system.update("bob", "file", ("line1", "line2", "line3 BOB"))
+        outcome = system.pull("ann", "bob", "file")
+        assert outcome.action == "conflict"  # two heads
+        operation, result = merge_heads(system, "ann", "file")
+        assert result.clean
+        assert system.state("ann", "file") == ("line1 ANN", "line2",
+                                               "line3 BOB")
+        assert operation.is_merge
+
+    def test_conflicting_merge_commits_markers(self):
+        system = self.dvcs()
+        system.update("ann", "file", ("line1 ANN", "line2", "line3"))
+        system.update("bob", "file", ("line1 BOB", "line2", "line3"))
+        system.pull("ann", "bob", "file")
+        _, result = merge_heads(system, "ann", "file")
+        assert result.conflicts == 1
+        assert "<<<<<<< left" in system.state("ann", "file")
+
+    def test_merge_propagates_to_peers(self):
+        system = self.dvcs()
+        system.update("ann", "file", ("line1 ANN", "line2", "line3"))
+        system.update("bob", "file", ("line1", "line2", "line3 BOB"))
+        system.pull("ann", "bob", "file")
+        merge_heads(system, "ann", "file")
+        outcome = system.pull("bob", "ann", "file")
+        assert outcome.action == "pull"
+        assert system.state("bob", "file") == system.state("ann", "file")
+
+    def test_requires_two_heads(self):
+        system = self.dvcs()
+        with pytest.raises(ReproError, match="2 heads"):
+            merge_heads(system, "ann", "file")
+
+    def test_uses_latest_common_base_not_the_root(self):
+        system = self.dvcs()
+        # Shared evolution first, then divergence: the base must be the
+        # latest shared commit, or bob's early line would conflict.
+        system.update("ann", "file", ("intro", "line2", "line3"))
+        system.pull("bob", "ann", "file")
+        system.update("ann", "file", ("intro ANN", "line2", "line3"))
+        system.update("bob", "file", ("intro", "line2", "line3 BOB"))
+        system.pull("ann", "bob", "file")
+        _, result = merge_heads(system, "ann", "file")
+        assert result.clean
+        assert system.state("ann", "file") == ("intro ANN", "line2",
+                                               "line3 BOB")
+
+
+class TestMerge3Properties:
+    """Property-based sanity for the diff3 implementation."""
+
+    from hypothesis import given, settings
+    from hypothesis import strategies as st
+
+    lines = st.lists(st.sampled_from(["a", "b", "c", "d", "x", "y"]),
+                     max_size=12)
+
+    @settings(max_examples=120, deadline=None)
+    @given(base=lines, side=lines)
+    def test_one_sided_change_is_clean_and_exact(self, base, side):
+        result = merge3(base, side, base)
+        assert result.clean
+        assert list(result.lines) == side
+        mirrored = merge3(base, base, side)
+        assert mirrored.clean
+        assert list(mirrored.lines) == side
+
+    @settings(max_examples=120, deadline=None)
+    @given(base=lines, side=lines)
+    def test_identical_sides_merge_to_themselves(self, base, side):
+        result = merge3(base, side, side)
+        assert result.clean
+        assert list(result.lines) == side
+
+    @settings(max_examples=120, deadline=None)
+    @given(base=lines, left=lines, right=lines)
+    def test_merge_is_symmetric_up_to_marker_sides(self, base, left, right):
+        forward = merge3(base, left, right)
+        backward = merge3(base, right, left)
+        assert forward.conflicts == backward.conflicts
+        if forward.clean:
+            assert forward.lines == backward.lines
+
+    @settings(max_examples=120, deadline=None)
+    @given(base=lines, left=lines, right=lines)
+    def test_clean_merge_contains_no_markers(self, base, left, right):
+        result = merge3(base, left, right)
+        if result.clean:
+            assert MARKER_LEFT not in result.lines
+            assert MARKER_MID not in result.lines

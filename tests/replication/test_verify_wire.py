@@ -1,0 +1,99 @@
+"""System-level wire verification: every session serialized end to end."""
+
+import pytest
+
+from repro.replication.resolver import AutomaticResolution, union_merge
+from repro.replication.statesystem import StateTransferSystem
+from repro.workload.generator import WorkloadConfig, generate_trace
+from repro.workload.replay import replay_state
+
+
+def build(metadata, verify_wire):
+    return StateTransferSystem(
+        metadata=metadata,
+        resolution=AutomaticResolution(union_merge),
+        verify_wire=verify_wire,
+        track_graph=False)
+
+
+@pytest.mark.parametrize("metadata", ["brv", "crv", "srv"])
+def test_verified_system_matches_unverified(metadata):
+    config = WorkloadConfig(
+        n_sites=5, steps=100, seed=13,
+        value_factory=lambda site, obj, seq: frozenset({f"{site}#{seq}"}))
+    if metadata == "brv":
+        from repro.replication.resolver import ManualResolution
+        plain = StateTransferSystem(metadata=metadata,
+                                    resolution=ManualResolution(),
+                                    track_graph=False)
+        wired = StateTransferSystem(metadata=metadata,
+                                    resolution=ManualResolution(),
+                                    verify_wire=True, track_graph=False)
+    else:
+        plain = build(metadata, False)
+        wired = build(metadata, True)
+    trace = generate_trace(config)
+    replay_state(trace, plain)
+    replay_state(trace, wired)
+    assert plain.total_metadata_bits() == wired.total_metadata_bits()
+    for left, right in zip(plain.replicas_of("obj0"),
+                           wired.replicas_of("obj0")):
+        assert left.value == right.value
+        assert left.values_snapshot() == right.values_snapshot()
+
+
+def test_verified_reconciliation_roundtrips(metadata="srv"):
+    system = build(metadata, True)
+    system.create_object("A", "doc", frozenset({"base"}))
+    system.clone_replica("A", "B", "doc")
+    system.update("A", "doc", frozenset({"a"}))
+    system.update("B", "doc", frozenset({"b"}))
+    outcome = system.pull("A", "B", "doc")
+    assert outcome.action == "reconcile"
+    assert system.replica("A", "doc").value == frozenset({"a", "b"})
+
+
+class TestOpTransferWireVerification:
+    def _drive(self, verify_wire, use_syncg=True):
+        from repro.replication.opsystem import OpTransferSystem
+        from repro.workload.replay import replay_ops
+        system = OpTransferSystem(use_syncg=use_syncg,
+                                  verify_wire=verify_wire)
+        config = WorkloadConfig(n_sites=4, steps=80, seed=19)
+        replay_ops(generate_trace(config), system)
+        return system
+
+    @pytest.mark.parametrize("use_syncg", [True, False])
+    def test_verified_op_system_matches_unverified(self, use_syncg):
+        plain = self._drive(False, use_syncg)
+        wired = self._drive(True, use_syncg)
+        for left, right in zip(plain.replicas_of("obj0"),
+                               wired.replicas_of("obj0")):
+            assert left.graph == right.graph
+            assert left.ops.keys() == right.ops.keys()
+        plain_meta = sum(o.metadata_bits for o in plain.outcomes)
+        wired_meta = sum(o.metadata_bits for o in wired.outcomes)
+        assert plain_meta == wired_meta
+
+    def test_tuple_node_ids_roundtrip_through_the_interner(self):
+        from repro.net.codec import Codec, NodeInterner
+        from repro.net.wire import Encoding
+        from repro.protocols.messages import GraphNodeMsg
+        from repro.replication.membership import SiteRegistry
+        codec = Codec(Encoding(site_bits=4, value_bits=4, node_id_bits=12),
+                      SiteRegistry(["A"]), interner=NodeInterner())
+        message = GraphNodeMsg(("A", 2), ("A", 1), None)
+        decoded, bits = codec.roundtrip(message, "graph_fwd")
+        assert decoded == message
+        assert bits == message.bits(codec.encoding)
+
+    def test_identity_interner_rejects_tuples(self):
+        from repro.errors import ProtocolError
+        from repro.net.codec import Codec
+        from repro.net.wire import Encoding
+        from repro.protocols.messages import GraphNodeMsg
+        from repro.replication.membership import SiteRegistry
+        codec = Codec(Encoding(site_bits=4, value_bits=4, node_id_bits=12),
+                      SiteRegistry(["A"]))
+        with pytest.raises(ProtocolError, match="NodeInterner"):
+            codec.encode(GraphNodeMsg(("A", 2), None, None), "graph_fwd")

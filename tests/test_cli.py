@@ -1,0 +1,31 @@
+"""Tests for the ``python -m repro`` demo dispatcher."""
+
+import pytest
+
+from repro.__main__ import DEMOS, main
+
+
+class TestDispatch:
+    def test_no_arguments_prints_usage(self, capsys):
+        assert main([]) == 1
+        out = capsys.readouterr().out
+        assert "usage:" in out
+        for name in DEMOS:
+            assert name in out
+
+    def test_unknown_demo(self, capsys):
+        assert main(["bogus"]) == 2
+        assert "unknown demo" in capsys.readouterr().out
+
+    @pytest.mark.parametrize("name", sorted(DEMOS))
+    def test_each_demo_runs(self, name, capsys):
+        assert main([name]) == 0
+        out = capsys.readouterr().out
+        assert f"=== {name} ===" in out
+        assert len(out.splitlines()) >= 3
+
+    def test_all_runs_everything(self, capsys):
+        assert main(["all"]) == 0
+        out = capsys.readouterr().out
+        for name in DEMOS:
+            assert f"=== {name} ===" in out

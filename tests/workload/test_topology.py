@@ -1,0 +1,84 @@
+"""Tests for synchronization topologies."""
+
+import random
+
+import pytest
+
+from repro.workload.topology import (ClusteredTopology, RandomPairTopology,
+                                     RingTopology, StarTopology)
+
+SITES = [f"S{i:03d}" for i in range(8)]
+
+
+class TestRandomPair:
+    def test_distinct_pair(self):
+        topology = RandomPairTopology()
+        rng = random.Random(0)
+        for step in range(100):
+            src, dst = topology.pair(rng, step, SITES)
+            assert src != dst
+            assert src in SITES and dst in SITES
+
+    def test_covers_many_pairs(self):
+        topology = RandomPairTopology()
+        rng = random.Random(0)
+        pairs = {topology.pair(rng, step, SITES) for step in range(500)}
+        assert len(pairs) > 30
+
+
+class TestRing:
+    def test_clockwise_progression(self):
+        topology = RingTopology()
+        rng = random.Random(0)
+        assert topology.pair(rng, 1, SITES) == ("S000", "S001")
+        assert topology.pair(rng, 2, SITES) == ("S001", "S002")
+
+    def test_wraps_around(self):
+        topology = RingTopology()
+        rng = random.Random(0)
+        assert topology.pair(rng, 0, SITES) == ("S007", "S000")
+        assert topology.pair(rng, 8, SITES) == ("S007", "S000")
+
+
+class TestStar:
+    def test_hub_is_always_involved(self):
+        topology = StarTopology()
+        rng = random.Random(0)
+        for step in range(50):
+            src, dst = topology.pair(rng, step, SITES)
+            assert "S000" in (src, dst)
+
+    def test_direction_alternates(self):
+        topology = StarTopology()
+        rng = random.Random(0)
+        _, dst_even = topology.pair(rng, 0, SITES)
+        src_odd, _ = topology.pair(rng, 1, SITES)
+        assert dst_even == "S000"
+        assert src_odd == "S000"
+
+
+class TestClustered:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ClusteredTopology(clusters=0)
+        with pytest.raises(ValueError):
+            ClusteredTopology(bridge_probability=1.5)
+
+    def test_mostly_local_pairs(self):
+        topology = ClusteredTopology(clusters=2, bridge_probability=0.1)
+        rng = random.Random(0)
+        cross = 0
+        total = 1000
+        for step in range(total):
+            src, dst = topology.pair(rng, step, SITES)
+            src_cluster = SITES.index(src) // 4
+            dst_cluster = SITES.index(dst) // 4
+            if src_cluster != dst_cluster:
+                cross += 1
+        assert cross / total < 0.25
+
+    def test_two_sites_degenerate(self):
+        topology = ClusteredTopology(clusters=2)
+        rng = random.Random(0)
+        src, dst = topology.pair(rng, 0, ["A", "B"])
+        assert {src, dst} == {"A", "B"}
