@@ -103,8 +103,8 @@ def main() -> None:
 
     baseline = build_history(use_syncg=False)
     rows = [
-        ["SYNCG (incremental)", f"{system.traffic.total_bits / 8:.0f} B"],
-        ["full graph transfer", f"{baseline.traffic.total_bits / 8:.0f} B"],
+        ["SYNCG (incremental)", f"{system.traffic.total_bytes} B"],
+        ["full graph transfer", f"{baseline.traffic.total_bytes} B"],
         ["saving", f"{baseline.traffic.total_bits / system.traffic.total_bits:.1f}x"],
     ]
     print("\ngraph-metadata traffic over the whole history:")

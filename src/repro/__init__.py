@@ -36,6 +36,7 @@ from repro.errors import (ConcurrentVectorsError, ConflictDetected,
                           SessionError, SimulationError, UnknownSiteError)
 from repro.graphs.causalgraph import CausalGraph, GraphNode, build_graph
 from repro.net.wire import DEFAULT_ENCODING, Encoding
+from repro.obs import MetricsRegistry, Tracer, render_timeline
 from repro.protocols.comparep import compare_remote, relationship
 from repro.protocols.fullsync import sync_full_graph, sync_full_vector
 from repro.protocols.session import SessionResult
@@ -56,6 +57,7 @@ __all__ = [
     "Encoding",
     "GraphError",
     "GraphNode",
+    "MetricsRegistry",
     "Ordering",
     "ProtocolError",
     "ReproError",
@@ -63,11 +65,13 @@ __all__ = [
     "SessionResult",
     "SimulationError",
     "SkipRotatingVector",
+    "Tracer",
     "UnknownSiteError",
     "VersionVector",
     "build_graph",
     "compare_remote",
     "relationship",
+    "render_timeline",
     "sync_brv",
     "sync_crv",
     "sync_full_graph",

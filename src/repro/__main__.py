@@ -2,21 +2,33 @@
 
 Usage::
 
-    python -m repro                 # list the demos
-    python -m repro quickstart      # run one
-    python -m repro all             # run every demo in sequence
+    python -m repro                       # list the demos
+    python -m repro quickstart            # run one
+    python -m repro all                   # run every demo in sequence
+    python -m repro --seed 7 fuzz         # reseed the randomized demos
+    python -m repro trace quickstart      # run traced, render the timeline
+    python -m repro trace fuzz --jsonl t.jsonl   # also export JSONL
 
 The demos are the scripts in ``examples/`` packaged behind one command so
-an installed distribution can show itself without the source tree.
+an installed distribution can show itself without the source tree.  The
+``trace`` subcommand attaches a :class:`repro.obs.Tracer` to the chosen
+demo and prints the structured timeline afterwards (optionally exporting
+the raw events as JSON lines).
 """
 
 from __future__ import annotations
 
 import sys
-from typing import Callable, Dict
+from typing import Callable, Dict, Optional
+
+from repro.obs import Tracer, render_timeline, write_jsonl
+
+#: Default seed of the randomized demos; ``--seed N`` overrides it.
+DEFAULT_SEED = 0
 
 
-def _demo_quickstart() -> None:
+def _demo_quickstart(*, tracer: Optional[Tracer] = None,
+                     seed: Optional[int] = None) -> None:
     """The five-minute API tour (examples/quickstart.py)."""
     from repro import Encoding, SkipRotatingVector
     from repro.protocols.comparep import compare_remote
@@ -29,22 +41,25 @@ def _demo_quickstart() -> None:
     bob = alice.copy()
     bob.record_update("bob")
     alice.record_update("alice")
-    verdict, session = compare_remote(alice, bob, encoding=encoding)
+    verdict, session = compare_remote(alice, bob, encoding=encoding,
+                                      tracer=tracer)
     print(f"compare: {verdict} in {session.stats.total_bits} bits")
-    result = sync_srv(alice, bob, encoding=encoding)
+    result = sync_srv(alice, bob, encoding=encoding, tracer=tracer)
     alice.record_update("alice")
     print(f"SYNCS: {result.stats.total_bits} bits → {alice}")
     for round_no in range(50):
         alice.record_update(f"site{round_no % 10}")
     stale = alice.copy()
     alice.record_update("alice")
-    incremental = sync_srv(stale.copy(), alice, encoding=encoding)
+    incremental = sync_srv(stale.copy(), alice, encoding=encoding,
+                           tracer=tracer)
     full = sync_full_vector(stale.copy(), alice, encoding=encoding)
     print(f"one update behind: SYNCS {incremental.stats.total_bits} bits "
           f"vs full vector {full.stats.total_bits} bits")
 
 
-def _demo_figures() -> None:
+def _demo_figures(*, tracer: Optional[Tracer] = None,
+                  seed: Optional[int] = None) -> None:
     """Regenerate the paper's Figures 1–3 checks."""
     from repro.core.skip import SkipRotatingVector
     from repro.graphs.crg import coalesce
@@ -60,12 +75,13 @@ def _demo_figures() -> None:
     print(f"Figure 2: CRG has {len(crg)} nodes; "
           f"Π_θ9 = {sorted(crg.pi_set(9))}")
     site_a, site_c = figure3_graphs()
-    result = sync_graph(site_c, site_a)
+    result = sync_graph(site_c, site_a, tracer=tracer)
     print(f"Figure 3: SYNCG transmitted "
           f"{result.sender_result.nodes_sent} nodes (paper: 4)")
 
 
-def _demo_pipelining() -> None:
+def _demo_pipelining(*, tracer: Optional[Tracer] = None,
+                     seed: Optional[int] = None) -> None:
     """Timed pipelining comparison on a simulated link."""
     from repro.core.rotating import BasicRotatingVector
     from repro.net.channel import ChannelSpec
@@ -76,9 +92,11 @@ def _demo_pipelining() -> None:
     encoding = Encoding(site_bits=8, value_bits=16)
     channel = ChannelSpec(latency=0.05, bandwidth=1e6)
     b = BasicRotatingVector.from_pairs([(f"S{i}", 1) for i in range(30)])
-    pipelined = run_timed_session(syncb_sender(b),
-                                  syncb_receiver(BasicRotatingVector()),
-                                  channel=channel, encoding=encoding)
+    pipelined = run_timed_session(syncb_sender(b, tracer=tracer),
+                                  syncb_receiver(BasicRotatingVector(),
+                                                 tracer=tracer),
+                                  channel=channel, encoding=encoding,
+                                  tracer=tracer, span_name="SYNCB")
     blocking = run_timed_session(syncb_sender(b),
                                  syncb_receiver(BasicRotatingVector()),
                                  channel=channel, encoding=encoding,
@@ -88,42 +106,131 @@ def _demo_pipelining() -> None:
           f"stop-and-wait {blocking.completion_time:.2f}s")
 
 
-def _demo_antientropy() -> None:
+def _demo_antientropy(*, tracer: Optional[Tracer] = None,
+                      seed: Optional[int] = None) -> None:
     """Eventual consistency on the discrete-event clock."""
     from repro.replication.antientropy import (AntiEntropyConfig,
+                                               AntiEntropySimulation,
                                                compare_schemes)
 
-    results = compare_schemes(AntiEntropyConfig(n_sites=8, n_updates=15,
-                                                seed=5))
+    config = AntiEntropyConfig(n_sites=8, n_updates=15,
+                               seed=5 if seed is None else seed)
+    if tracer is not None:
+        # A traced run covers one scheme; the side-by-side table stays
+        # untraced so the comparison output matches the plain demo.
+        AntiEntropySimulation(config, tracer=tracer).run()
+    results = compare_schemes(config)
     for scheme, result in results:
         print(f"{scheme.upper():4}: converged "
               f"{result.convergence_latency:.2f}s after the last update, "
               f"{result.metadata_bits / 8:.0f} B of metadata")
 
 
-DEMOS: Dict[str, Callable[[], None]] = {
+def _demo_fuzz(*, tracer: Optional[Tracer] = None,
+               seed: Optional[int] = None) -> None:
+    """SYNCS under the randomized driver (adversarial delivery delays)."""
+    import random
+
+    from repro.core.skip import SkipRotatingVector
+    from repro.net.wire import Encoding
+    from repro.protocols.session import run_session_randomized
+    from repro.protocols.syncs import syncs_receiver, syncs_sender
+
+    encoding = Encoding(site_bits=8, value_bits=16)
+    effective = DEFAULT_SEED if seed is None else seed
+    rng = random.Random(effective)
+    a = SkipRotatingVector()
+    for site in ("alice", "bob", "alice"):
+        a.record_update(site)
+    b = a.copy()
+    for site in ("carol", "bob", "dave", "carol"):
+        b.record_update(site)
+    a.record_update("alice")
+    reconcile = a.compare(b).is_concurrent
+    result = run_session_randomized(
+        syncs_sender(b, tracer=tracer),
+        syncs_receiver(a, reconcile=reconcile, tracer=tracer),
+        rng=rng, encoding=encoding, tracer=tracer, span_name="SYNCS")
+    report = result.receiver_result
+    print(f"seed {effective}: SYNCS under random delays moved "
+          f"{result.stats.total_bits} bits, Δ={report.new_elements}, "
+          f"γ={result.sender_result.skips_honored} → {a}")
+
+
+DEMOS: Dict[str, Callable[..., None]] = {
     "quickstart": _demo_quickstart,
     "figures": _demo_figures,
     "pipelining": _demo_pipelining,
     "antientropy": _demo_antientropy,
+    "fuzz": _demo_fuzz,
 }
+
+
+def _usage() -> None:
+    print("usage: python -m repro [--seed N] <demo>|all\n"
+          "       python -m repro [--seed N] trace <demo> [--jsonl PATH]\n\n"
+          "demos:")
+    for name, fn in DEMOS.items():
+        print(f"  {name:12} {fn.__doc__.splitlines()[0]}")
+
+
+def _run_traced(name: str, *, seed: Optional[int],
+                jsonl: Optional[str]) -> int:
+    tracer = Tracer()
+    print(f"=== trace {name} ===")
+    DEMOS[name](tracer=tracer, seed=seed)
+    print()
+    print(render_timeline(tracer.events, max_events=60))
+    print(f"\n{len(tracer.events)} events, "
+          f"{tracer.message_bits()} message bits")
+    if jsonl is not None:
+        count = write_jsonl(tracer.events, jsonl)
+        print(f"wrote {count} events to {jsonl}")
+    return 0
 
 
 def main(argv: list[str] | None = None) -> int:
     """Dispatch ``python -m repro <demo>``; returns an exit code."""
-    arguments = sys.argv[1:] if argv is None else argv
-    if not arguments:
-        print("usage: python -m repro <demo>|all\n\ndemos:")
-        for name, fn in DEMOS.items():
-            print(f"  {name:12} {fn.__doc__.splitlines()[0]}")
+    arguments = list(sys.argv[1:] if argv is None else argv)
+    seed: Optional[int] = None
+    jsonl: Optional[str] = None
+    positional: list[str] = []
+    index = 0
+    while index < len(arguments):
+        argument = arguments[index]
+        if argument in ("--seed", "--jsonl"):
+            if index + 1 >= len(arguments):
+                print(f"{argument} requires a value")
+                return 2
+            if argument == "--seed":
+                try:
+                    seed = int(arguments[index + 1])
+                except ValueError:
+                    print(f"--seed expects an integer, "
+                          f"got {arguments[index + 1]!r}")
+                    return 2
+            else:
+                jsonl = arguments[index + 1]
+            index += 2
+        else:
+            positional.append(argument)
+            index += 1
+    if not positional:
+        _usage()
         return 1
-    selected = list(DEMOS) if arguments[0] == "all" else arguments
+    if positional[0] == "trace":
+        if len(positional) != 2 or positional[1] not in DEMOS:
+            print(f"usage: python -m repro trace <demo> [--jsonl PATH]; "
+                  f"demos: {', '.join(DEMOS)}")
+            return 2
+        return _run_traced(positional[1], seed=seed, jsonl=jsonl)
+    selected = list(DEMOS) if positional[0] == "all" else positional
     for name in selected:
         if name not in DEMOS:
             print(f"unknown demo {name!r}; try: {', '.join(DEMOS)}")
             return 2
         print(f"=== {name} ===")
-        DEMOS[name]()
+        DEMOS[name](seed=seed)
         print()
     return 0
 

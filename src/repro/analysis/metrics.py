@@ -10,6 +10,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional
 
+from repro.net.stats import TransferStats
 from repro.replication.statesystem import StateTransferSystem, SyncOutcome
 
 
@@ -26,6 +27,9 @@ class SchemeAggregate:
     skips: int = 0
     reconciliations: int = 0
     conflicts: int = 0
+    #: Full per-direction, per-message-type traffic (session stats merged
+    #: via :meth:`TransferStats.merge` instead of hand-summed bits).
+    traffic: TransferStats = field(default_factory=TransferStats)
 
     @property
     def metadata_bits_per_sync(self) -> float:
@@ -36,6 +40,9 @@ class SchemeAggregate:
         self.syncs += 1
         self.metadata_bits += outcome.metadata_bits
         self.payload_bits += outcome.payload_bits
+        for session in (outcome.compare_session, outcome.sync_session):
+            if session is not None:
+                self.traffic.merge(session.stats)
         if outcome.action == "reconcile":
             self.reconciliations += 1
         elif outcome.action == "conflict":

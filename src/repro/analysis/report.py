@@ -39,3 +39,30 @@ def print_report(title: str, body: str) -> None:
     """Emit one benchmark report block with a recognizable banner."""
     bar = "=" * max(len(title), 8)
     print(f"\n{bar}\n{title}\n{bar}\n{body}\n")
+
+
+def format_metrics(snapshot: dict) -> str:
+    """Render a :meth:`~repro.obs.MetricsRegistry.snapshot` as tables.
+
+    Counters and gauges become ``name  value`` rows; histograms surface
+    their five-number-ish summary (count/total/mean/p50/p90/p99).
+    """
+    sections: List[str] = []
+    scalars = [("counter", name, value)
+               for name, value in snapshot.get("counters", {}).items()]
+    scalars += [("gauge", name, value)
+                for name, value in snapshot.get("gauges", {}).items()]
+    if scalars:
+        sections.append(format_table(
+            ["kind", "name", "value"],
+            [[kind, name, value] for kind, name, value in scalars]))
+    histograms = snapshot.get("histograms", {})
+    if histograms:
+        rows = []
+        for name, summary in histograms.items():
+            rows.append([name, summary["count"],
+                         f"{summary['mean']:.2f}", f"{summary['p50']:.2f}",
+                         f"{summary['p90']:.2f}", f"{summary['p99']:.2f}"])
+        sections.append(format_table(
+            ["histogram", "count", "mean", "p50", "p90", "p99"], rows))
+    return "\n\n".join(sections) if sections else "(no metrics recorded)"

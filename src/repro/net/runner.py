@@ -30,6 +30,8 @@ from repro.net.channel import ChannelSpec
 from repro.net.simulator import Simulator
 from repro.net.stats import DirectionStats, TransferStats
 from repro.net.wire import DEFAULT_ENCODING, Encoding
+from repro.obs import trace as obs
+from repro.obs.trace import Tracer
 from repro.protocols.effects import Drain, Poll, Recv, Send
 from repro.protocols.messages import Message
 from repro.protocols.session import ProtocolCoroutine
@@ -56,11 +58,17 @@ class TimedSessionResult:
 class _Mailbox:
     """FIFO of delivered messages with a wakeup signal."""
 
-    def __init__(self, sim: Simulator, name: str) -> None:
+    def __init__(self, sim: Simulator, name: str,
+                 tracer: Optional[Tracer] = None) -> None:
         self._messages: Deque[Message] = deque()
         self.arrival = sim.signal(f"{name}-arrival")
+        self._name = name
+        self._tracer = tracer
 
     def push(self, message: Message) -> None:
+        if self._tracer is not None:
+            self._tracer.event(obs.DELIVER, party=self._name,
+                               message=message.type_name)
         self._messages.append(message)
         self.arrival.fire()
 
@@ -76,7 +84,10 @@ def run_timed_session(sender: ProtocolCoroutine, receiver: ProtocolCoroutine,
                       encoding: Encoding = DEFAULT_ENCODING,
                       stop_and_wait: bool = False,
                       proc_time: float = 0.0,
-                      max_steps: int = 10_000_000) -> TimedSessionResult:
+                      max_steps: int = 10_000_000,
+                      tracer: Optional[Tracer] = None,
+                      trace_dispatch: bool = False,
+                      span_name: str = "session") -> TimedSessionResult:
     """Run a protocol session on simulated time; see the module docstring.
 
     Args:
@@ -87,11 +98,44 @@ def run_timed_session(sender: ProtocolCoroutine, receiver: ProtocolCoroutine,
             every send.
         proc_time: per-received-message processing cost at a ``Recv``.
         max_steps: protocol-effect budget guarding against livelock bugs.
+        tracer: when given, opens one span and emits clock-stamped
+            ``message``/``deliver`` events (bind the same tracer to the
+            coroutines for their semantic events).
+        trace_dispatch: additionally trace every kernel dispatch
+            (``sim_dispatch`` events) — verbose; off by default.
+        span_name: label of the session span (e.g. the protocol name).
     """
-    sim = Simulator()
+    if tracer is None:
+        return _run_timed_session(
+            sender, receiver, channel=channel, encoding=encoding,
+            stop_and_wait=stop_and_wait, proc_time=proc_time,
+            max_steps=max_steps, tracer=None, trace_dispatch=False)
+    span = tracer.span(span_name, driver="timed", time=0.0)
+    previous_clock = tracer.clock
+    try:
+        return _run_timed_session(
+            sender, receiver, channel=channel, encoding=encoding,
+            stop_and_wait=stop_and_wait, proc_time=proc_time,
+            max_steps=max_steps, tracer=tracer,
+            trace_dispatch=trace_dispatch)
+    finally:
+        span.end()
+        tracer.clock = previous_clock
+
+
+def _run_timed_session(sender: ProtocolCoroutine,
+                       receiver: ProtocolCoroutine, *, channel: ChannelSpec,
+                       encoding: Encoding, stop_and_wait: bool,
+                       proc_time: float, max_steps: int,
+                       tracer: Optional[Tracer],
+                       trace_dispatch: bool) -> TimedSessionResult:
+    sim = Simulator(tracer=tracer if trace_dispatch else None)
+    if tracer is not None:
+        # Stamp every event with the simulated clock, dispatch-traced or not.
+        tracer.clock = lambda: sim.now
     stats = TransferStats()
-    mailboxes = {"sender": _Mailbox(sim, "sender"),
-                 "receiver": _Mailbox(sim, "receiver")}
+    mailboxes = {"sender": _Mailbox(sim, "sender", tracer),
+                 "receiver": _Mailbox(sim, "receiver", tracer)}
     finish_times: dict[str, float] = {}
     results: dict[str, Any] = {}
     steps = 0
@@ -114,6 +158,11 @@ def run_timed_session(sender: ProtocolCoroutine, receiver: ProtocolCoroutine,
                     message = pending.message
                     bits = message.bits(encoding)
                     out_stats.record(message.type_name, bits)
+                    if tracer is not None:
+                        tracer.event(obs.MESSAGE, party=name,
+                                     message=message.type_name, bits=bits,
+                                     direction=("forward" if name == "sender"
+                                                else "backward"))
                     yield channel.serialization_delay(bits)
                     # Delivery fires one propagation latency later; note the
                     # mailbox is captured now but pushed at arrival time.
@@ -121,6 +170,12 @@ def run_timed_session(sender: ProtocolCoroutine, receiver: ProtocolCoroutine,
                                    lambda m=message: mailboxes[peer].push(m))
                     if stop_and_wait:
                         ack_stats.record("Ack", channel.ack_bits)
+                        if tracer is not None:
+                            tracer.event(obs.MESSAGE, party=peer,
+                                         message="Ack", bits=channel.ack_bits,
+                                         direction=("backward"
+                                                    if name == "sender"
+                                                    else "forward"))
                         yield channel.stop_and_wait_overhead()
                     value: Any = None
                 elif isinstance(pending, (Poll, Drain)):

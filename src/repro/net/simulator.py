@@ -19,6 +19,8 @@ import itertools
 from typing import Any, Callable, Generator, List, Optional, Tuple, Union
 
 from repro.errors import SimulationError
+from repro.obs import trace as obs
+from repro.obs.trace import Tracer
 
 ProcessGen = Generator[Union[float, int, "Signal"], Any, Any]
 
@@ -52,14 +54,25 @@ class Signal:
 
 
 class Simulator:
-    """Deterministic event queue with a floating-point clock."""
+    """Deterministic event queue with a floating-point clock.
 
-    def __init__(self) -> None:
+    Pass a :class:`~repro.obs.trace.Tracer` to observe the kernel itself:
+    every dispatched event becomes a ``sim_dispatch`` trace event stamped
+    with the simulated clock, and the tracer's default clock is bound to
+    ``self.now`` so events emitted by hosted processes carry simulated
+    time without each call site passing ``time=``.  The ``None`` default
+    keeps the dispatch loop untouched.
+    """
+
+    def __init__(self, *, tracer: Optional[Tracer] = None) -> None:
         self.now = 0.0
         self._queue: List[Tuple[float, int, Callable[[], None]]] = []
         self._sequence = itertools.count()
         self._active_processes = 0
         self._blocked_processes = 0
+        self.tracer = tracer
+        if tracer is not None and tracer.clock is None:
+            tracer.clock = lambda: self.now
 
     # -- event scheduling ---------------------------------------------------------
 
@@ -126,6 +139,9 @@ class Simulator:
             return False
         time, _, fn = heapq.heappop(self._queue)
         self.now = time
+        if self.tracer is not None:
+            self.tracer.event(obs.SIM_DISPATCH, time=time,
+                              pending=len(self._queue))
         fn()
         return True
 

@@ -10,6 +10,7 @@ covers the syntactic layer: bits, messages, and message-type histograms.
 
 from __future__ import annotations
 
+import math
 from collections import Counter
 from dataclasses import dataclass, field
 from typing import Dict
@@ -29,8 +30,20 @@ class DirectionStats:
         self.messages += 1
         self.by_type[type_name] += 1
 
+    def merge(self, other: "DirectionStats") -> None:
+        """Accumulate another direction's counters into this one."""
+        self.bits += other.bits
+        self.messages += other.messages
+        self.by_type.update(other.by_type)
+
     @property
-    def bytes(self) -> float:
+    def bytes(self) -> int:
+        """Wire bytes: bits rounded up to whole octets (what a NIC ships)."""
+        return math.ceil(self.bits / 8)
+
+    @property
+    def bytes_exact(self) -> float:
+        """The exact fractional byte count, for analytical comparisons."""
         return self.bits / 8
 
 
@@ -55,16 +68,19 @@ class TransferStats:
         return self.forward.messages + self.backward.messages
 
     @property
-    def total_bytes(self) -> float:
+    def total_bytes(self) -> int:
+        """Wire bytes across both directions, rounded up to whole octets."""
+        return math.ceil(self.total_bits / 8)
+
+    @property
+    def total_bytes_exact(self) -> float:
+        """The exact fractional byte count, for analytical comparisons."""
         return self.total_bits / 8
 
     def merge(self, other: "TransferStats") -> None:
         """Accumulate another session's counters into this one."""
-        for mine, theirs in ((self.forward, other.forward),
-                             (self.backward, other.backward)):
-            mine.bits += theirs.bits
-            mine.messages += theirs.messages
-            mine.by_type.update(theirs.by_type)
+        self.forward.merge(other.forward)
+        self.backward.merge(other.backward)
 
     def as_dict(self) -> Dict[str, int]:
         """A flat summary convenient for tables and asserts."""

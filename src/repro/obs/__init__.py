@@ -1,0 +1,40 @@
+"""Observability: structured tracing and metrics for the whole stack.
+
+The paper's claims are quantitative — SYNCB is O(|Δ|), SYNCC is
+O(|Δ|+|Γ|), SYNCS is O(|Δ|+γ) — and :mod:`repro.net.stats` reports only
+per-session aggregates.  This package adds the per-event window:
+
+* :mod:`repro.obs.trace` — a :class:`~repro.obs.trace.Tracer` that records
+  structured :class:`~repro.obs.trace.TraceEvent` rows (one span per sync
+  session, one event per message and per semantic step: Δ-element,
+  Γ-retransmit, γ-skip, conflict-bit, HALT/SKIP control traffic).  Every
+  instrumented entry point takes ``tracer=None``; the ``None`` default is
+  the zero-overhead off switch, so untraced runs price traffic exactly as
+  before.
+* :mod:`repro.obs.metrics` — a process-local
+  :class:`~repro.obs.metrics.MetricsRegistry` of counters, gauges, and
+  histograms with ``snapshot()``/``merge()`` for multi-run aggregation.
+* :mod:`repro.obs.export` — JSONL trace export and a human-readable
+  timeline renderer (``python -m repro trace <demo>`` drives both).
+"""
+
+from repro.obs.metrics import (Counter, Gauge, Histogram, MetricsRegistry,
+                               observe_session)
+from repro.obs.trace import Span, TraceEvent, Tracer
+from repro.obs.export import (events_from_jsonl, events_to_jsonl,
+                              render_timeline, write_jsonl)
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "Span",
+    "TraceEvent",
+    "Tracer",
+    "events_from_jsonl",
+    "events_to_jsonl",
+    "observe_session",
+    "render_timeline",
+    "write_jsonl",
+]

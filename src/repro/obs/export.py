@@ -1,0 +1,133 @@
+"""Trace export: JSONL serialization and a human-readable timeline.
+
+JSONL (one event object per line) is the interchange format: it appends
+cheaply from long runs, greps well, and loads into any dataframe tool.
+:func:`render_timeline` is the terminal view — an aligned, span-indented
+listing that makes a protocol session readable top to bottom (see
+``docs/OBSERVABILITY.md`` for a rendered SYNCS example).
+"""
+
+from __future__ import annotations
+
+import json
+from typing import IO, Dict, Iterable, Iterator, List, Optional, Union
+
+from repro.obs.trace import SPAN_END, SPAN_START, TraceEvent
+
+
+def event_to_dict(event: TraceEvent) -> Dict[str, object]:
+    """A compact JSON-ready dict (empty/zero attributes omitted)."""
+    record: Dict[str, object] = {"seq": event.seq, "kind": event.kind}
+    if event.span_id is not None:
+        record["span"] = event.span_id
+    if event.time is not None:
+        record["time"] = event.time
+    if event.party is not None:
+        record["party"] = event.party
+    if event.message is not None:
+        record["message"] = event.message
+    if event.bits:
+        record["bits"] = event.bits
+    if event.fields:
+        record["fields"] = event.fields
+    return record
+
+
+def event_from_dict(record: Dict[str, object]) -> TraceEvent:
+    """Inverse of :func:`event_to_dict`."""
+    return TraceEvent(
+        seq=int(record["seq"]),  # type: ignore[arg-type]
+        kind=str(record["kind"]),
+        span_id=record.get("span"),  # type: ignore[arg-type]
+        time=record.get("time"),  # type: ignore[arg-type]
+        party=record.get("party"),  # type: ignore[arg-type]
+        message=record.get("message"),  # type: ignore[arg-type]
+        bits=int(record.get("bits", 0)),  # type: ignore[arg-type]
+        fields=dict(record.get("fields", {})),  # type: ignore[arg-type]
+    )
+
+
+def events_to_jsonl(events: Iterable[TraceEvent]) -> str:
+    """The whole trace as newline-delimited JSON."""
+    return "\n".join(json.dumps(event_to_dict(event), sort_keys=True)
+                     for event in events)
+
+
+def events_from_jsonl(lines: Union[str, Iterable[str]]) -> Iterator[TraceEvent]:
+    """Parse JSONL text (or an iterable of lines) back into events."""
+    if isinstance(lines, str):
+        lines = lines.splitlines()
+    for line in lines:
+        line = line.strip()
+        if line:
+            yield event_from_dict(json.loads(line))
+
+
+def write_jsonl(events: Iterable[TraceEvent],
+                destination: Union[str, IO[str]]) -> int:
+    """Write the trace to a path or open file; returns the event count."""
+    text = events_to_jsonl(events)
+    count = len(text.splitlines()) if text else 0
+    if isinstance(destination, str):
+        with open(destination, "w", encoding="utf-8") as handle:
+            handle.write(text + ("\n" if text else ""))
+    else:
+        destination.write(text + ("\n" if text else ""))
+    return count
+
+
+def render_timeline(events: Iterable[TraceEvent], *,
+                    max_events: Optional[int] = None) -> str:
+    """An aligned, span-indented listing of the trace.
+
+    Columns: sequence, simulated time (blank under the instant driver),
+    party, kind (indented by span nesting depth), message type, bits, and
+    the event's extra fields as ``key=value`` pairs.  ``max_events``
+    truncates long traces with an elision line.
+    """
+    materialized = list(events)
+    elided = 0
+    if max_events is not None and len(materialized) > max_events:
+        elided = len(materialized) - max_events
+        materialized = materialized[:max_events]
+
+    depth_by_span: Dict[int, int] = {}
+    depth = 0
+    rows: List[List[str]] = []
+    for event in materialized:
+        if event.kind == SPAN_START:
+            depth_by_span[event.span_id] = depth  # type: ignore[index]
+            indent = depth
+            depth += 1
+        elif event.kind == SPAN_END:
+            depth = max(0, depth - 1)
+            indent = depth_by_span.get(event.span_id, depth)  # type: ignore[arg-type]
+        else:
+            indent = depth
+        extras = " ".join(f"{key}={value}"
+                          for key, value in event.fields.items())
+        rows.append([
+            str(event.seq),
+            "" if event.time is None else f"{event.time:.6f}",
+            event.party or "",
+            "  " * indent + event.kind,
+            event.message or "",
+            str(event.bits) if event.bits else "",
+            extras,
+        ])
+
+    headers = ["seq", "time", "party", "kind", "message", "bits", "detail"]
+    widths = [len(header) for header in headers]
+    for row in rows:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+
+    def render(cells: List[str]) -> str:
+        return "  ".join(cell.ljust(widths[i])
+                         for i, cell in enumerate(cells)).rstrip()
+
+    lines = [render(headers), render(["-" * width for width in widths])]
+    lines.extend(render(row) for row in rows)
+    if elided:
+        lines.append(f"... {elided} more event(s) elided")
+    return "\n".join(lines)

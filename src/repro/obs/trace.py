@@ -1,0 +1,173 @@
+"""Structured tracing for drivers, protocols, and the simulator.
+
+A :class:`Tracer` records a flat, ordered list of :class:`TraceEvent` rows.
+Spans group events: each synchronization session opens one span (the
+drivers do it), and every message or semantic step inside becomes a child
+event carrying the span's id.  Events are cheap plain dataclasses; the
+semantic vocabulary (module constants below) mirrors the paper's
+quantities so traces can be checked against Table 2 claims event by event:
+
+* ``MESSAGE`` — one ``Send`` crossing the (simulated) wire, priced in bits
+  exactly as :class:`~repro.net.stats.DirectionStats` prices it; summing
+  ``bits`` over a session span reproduces ``TransferStats.total_bits``.
+* ``DELTA_ELEMENT`` — the receiver wrote one element it lacked (|Δ|).
+* ``GAMMA_RETRANSMIT`` — the receiver examined a known element (|Γ| for
+  CRV; the pre-skip known elements for SRV).
+* ``GAMMA_SKIP`` — the sender honored a SKIP (the measured γ).
+* ``CONFLICT_BIT`` — a written element had its conflict bit set.
+* ``CONTROL`` — HALT/SKIP/skip-to/abort control-flow steps, with the
+  concrete signal in ``fields["signal"]``.
+
+The off switch is ``tracer=None`` (the default of every instrumented entry
+point): instrumentation sites guard with ``if tracer is not None``, so an
+untraced run executes exactly the pre-observability code path and its
+measured bit counts are byte-for-byte identical.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+# -- event kinds ------------------------------------------------------------------
+
+SPAN_START = "span_start"
+SPAN_END = "span_end"
+#: A message crossing the wire (driver-emitted, priced in bits).
+MESSAGE = "message"
+#: A delayed message reaching its destination (randomized/timed drivers).
+DELIVER = "deliver"
+#: Receiver wrote an element it lacked — one unit of the paper's |Δ|.
+DELTA_ELEMENT = "delta_element"
+#: Receiver examined an element it already knew — one unit of |Γ|.
+GAMMA_RETRANSMIT = "gamma_retransmit"
+#: Sender honored a SKIP and fast-forwarded a segment — one unit of γ.
+GAMMA_SKIP = "gamma_skip"
+#: A written element ended up conflict-tagged (inherited or reconcile-set).
+CONFLICT_BIT = "conflict_bit"
+#: Control-flow step (HALT/SKIP/skip-to/abort); ``fields["signal"]`` names it.
+CONTROL = "control"
+#: One discrete-event dispatch of the simulator kernel.
+SIM_DISPATCH = "sim_dispatch"
+
+
+@dataclass
+class TraceEvent:
+    """One structured trace record.
+
+    Attributes:
+        seq: tracer-wide monotonic sequence number (interleaving order).
+        kind: event vocabulary entry (module constants, or free-form for
+            layer-specific events like ``"gossip"``).
+        span_id: enclosing span, or ``None`` for top-level events.
+        time: simulated-clock stamp when a clock exists (timed driver,
+            anti-entropy), else ``None`` — the instant driver has no clock.
+        party: which side acted (``"sender"``/``"receiver"``, a site name…).
+        message: message type name for wire-level events.
+        bits: wire price for ``MESSAGE`` events, 0 otherwise.
+        fields: free-form structured attributes (site, value, signal…).
+    """
+
+    seq: int
+    kind: str
+    span_id: Optional[int] = None
+    time: Optional[float] = None
+    party: Optional[str] = None
+    message: Optional[str] = None
+    bits: int = 0
+    fields: Dict[str, Any] = field(default_factory=dict)
+
+
+class Span:
+    """A named group of events (one per sync session); context manager."""
+
+    __slots__ = ("tracer", "span_id", "name")
+
+    def __init__(self, tracer: "Tracer", span_id: int, name: str) -> None:
+        self.tracer = tracer
+        self.span_id = span_id
+        self.name = name
+
+    def event(self, kind: str, **kwargs: Any) -> TraceEvent:
+        """Emit an event explicitly bound to this span."""
+        return self.tracer.event(kind, span_id=self.span_id, **kwargs)
+
+    def end(self, *, time: Optional[float] = None) -> None:
+        """Close the span, emitting its ``span_end`` event."""
+        self.tracer._end_span(self, time=time)
+
+    def __enter__(self) -> "Span":
+        return self
+
+    def __exit__(self, *exc: Any) -> None:
+        self.end()
+
+
+class Tracer:
+    """Records structured events; attach one to any instrumented entry point.
+
+    A single tracer may span many sessions (e.g. a whole anti-entropy run):
+    its ``seq`` counter totally orders everything it saw.  The optional
+    ``clock`` callable (set by timed drivers) stamps events that do not
+    pass an explicit ``time=``.
+    """
+
+    def __init__(self) -> None:
+        self.events: List[TraceEvent] = []
+        self._seq = 0
+        self._next_span = 0
+        self._stack: List[int] = []
+        self.clock = None  # type: Optional[Any]
+
+    # -- emission -------------------------------------------------------------------
+
+    def event(self, kind: str, *, span_id: Optional[int] = None,
+              time: Optional[float] = None, party: Optional[str] = None,
+              message: Optional[str] = None, bits: int = 0,
+              **fields: Any) -> TraceEvent:
+        """Record one event inside the current span (unless overridden)."""
+        if span_id is None and self._stack:
+            span_id = self._stack[-1]
+        if time is None and self.clock is not None:
+            time = self.clock()
+        record = TraceEvent(self._seq, kind, span_id=span_id, time=time,
+                            party=party, message=message, bits=bits,
+                            fields=fields)
+        self._seq += 1
+        self.events.append(record)
+        return record
+
+    def span(self, name: str, *, time: Optional[float] = None,
+             **attrs: Any) -> Span:
+        """Open a span; use as a context manager or call ``end()``."""
+        span_id = self._next_span
+        self._next_span += 1
+        self.event(SPAN_START, span_id=span_id, time=time, name=name, **attrs)
+        self._stack.append(span_id)
+        return Span(self, span_id, name)
+
+    def _end_span(self, span: Span, *, time: Optional[float] = None) -> None:
+        if span.span_id in self._stack:
+            self._stack.remove(span.span_id)
+        self.event(SPAN_END, span_id=span.span_id, time=time, name=span.name)
+
+    # -- queries --------------------------------------------------------------------
+
+    def count(self, kind: str, **match: Any) -> int:
+        """How many events of ``kind`` match every given field filter."""
+        return len(self.select(kind, **match))
+
+    def select(self, kind: str, **match: Any) -> List[TraceEvent]:
+        """Events of ``kind`` whose attributes/fields match the filters."""
+        return [event for event in self.events
+                if event.kind == kind
+                and all(getattr(event, key, None) == value
+                        or event.fields.get(key) == value
+                        for key, value in match.items())]
+
+    def message_bits(self, **match: Any) -> int:
+        """Total wire bits over matching ``MESSAGE`` events."""
+        return sum(event.bits for event in self.select(MESSAGE, **match))
+
+    def __len__(self) -> int:
+        return len(self.events)

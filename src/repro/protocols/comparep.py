@@ -25,6 +25,8 @@ from typing import Any, Generator, Tuple
 from repro.core.order import Ordering
 from repro.core.rotating import BasicRotatingVector
 from repro.net.wire import DEFAULT_ENCODING, Encoding
+from repro.obs import trace as obs
+from repro.obs.trace import Tracer
 from repro.protocols.effects import Recv, Send
 from repro.protocols.messages import CompareLeast, VerdictBit
 from repro.protocols.session import SessionResult, run_session
@@ -54,7 +56,9 @@ def _verdict(i_know_peer: bool, peer_knows_me: bool) -> Ordering:
     return Ordering.CONCURRENT
 
 
-def compare_party(vector: BasicRotatingVector) -> Generator[Any, Any, Ordering]:
+def compare_party(vector: BasicRotatingVector, *,
+                  tracer: Tracer | None = None,
+                  name: str = "party") -> Generator[Any, Any, Ordering]:
     """One symmetric side of the COMPARE exchange.
 
     Both parties run this coroutine; each returns the verdict *from its own
@@ -68,32 +72,41 @@ def compare_party(vector: BasicRotatingVector) -> Generator[Any, Any, Ordering]:
     yield Send(VerdictBit(i_know_peer))
     peer_bit = yield Recv()
     assert isinstance(peer_bit, VerdictBit)
-    return _verdict(i_know_peer, peer_bit.dominated)
+    verdict = _verdict(i_know_peer, peer_bit.dominated)
+    if tracer is not None:
+        tracer.event("verdict", party=name, ordering=verdict.name)
+    return verdict
 
 
 def compare_remote(a: BasicRotatingVector, b: BasicRotatingVector, *,
-                   encoding: Encoding = DEFAULT_ENCODING
+                   encoding: Encoding = DEFAULT_ENCODING,
+                   tracer: Tracer | None = None
                    ) -> Tuple[Ordering, SessionResult]:
     """Run the distributed COMPARE; returns (verdict from *a*'s side, session).
 
     The session's traffic is 2·log(mn) + 2 bits regardless of n — the O(1)
     communication claim of §3.3.
     """
-    result = run_session(compare_party(a), compare_party(b), encoding=encoding)
+    result = run_session(compare_party(a, tracer=tracer, name="a"),
+                         compare_party(b, tracer=tracer, name="b"),
+                         encoding=encoding, tracer=tracer,
+                         span_name="COMPARE")
     return result.sender_result, result
 
 
 def relationship(a: BasicRotatingVector, b: BasicRotatingVector,
                  *, remote: bool = False,
-                 encoding: Encoding = DEFAULT_ENCODING) -> Ordering:
+                 encoding: Encoding = DEFAULT_ENCODING,
+                 tracer: Tracer | None = None) -> Ordering:
     """Convenience: Algorithm 1 locally, or the distributed protocol.
 
     Args:
         a: left vector.
         b: right vector.
         remote: when true, run the wire protocol (and discard its stats).
+        tracer: optional trace sink for the remote exchange.
     """
     if not remote:
         return a.compare(b)
-    verdict, _ = compare_remote(a, b, encoding=encoding)
+    verdict, _ = compare_remote(a, b, encoding=encoding, tracer=tracer)
     return verdict

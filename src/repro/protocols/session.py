@@ -48,6 +48,8 @@ from typing import Any, Deque, Dict, Generator, List, Optional, Tuple
 from repro.errors import SessionError
 from repro.net.stats import TransferStats
 from repro.net.wire import DEFAULT_ENCODING, Encoding
+from repro.obs import trace as obs
+from repro.obs.trace import Tracer
 from repro.protocols.effects import Drain, Effect, Poll, Recv, Send
 from repro.protocols.messages import Message
 
@@ -102,15 +104,36 @@ class _Party:
 def run_session(sender: ProtocolCoroutine, receiver: ProtocolCoroutine, *,
                 encoding: Encoding = DEFAULT_ENCODING,
                 max_steps: int = 10_000_000,
-                trace: bool = False) -> SessionResult:
+                trace: bool = False,
+                tracer: Optional[Tracer] = None,
+                span_name: str = "session") -> SessionResult:
     """Run a session deterministically with immediate delivery.
 
     See the module docstring for the slice semantics.  Raises
     :class:`SessionError` on deadlock or when ``max_steps`` is exceeded
     (which indicates a protocol bug, not a workload property).  With
     ``trace=True`` the result carries the full message transcript — handy
-    for debugging protocols and for documentation examples.
+    for debugging protocols and for documentation examples.  With a
+    ``tracer`` the driver opens one span (``span_name``) and emits a
+    priced ``message`` event per send; pass the same tracer to the
+    protocol coroutines to interleave their semantic events.
     """
+    if tracer is not None:
+        span = tracer.span(span_name, driver="instant")
+        try:
+            return _run_session_instant(sender, receiver, encoding=encoding,
+                                        max_steps=max_steps, trace=trace,
+                                        tracer=tracer)
+        finally:
+            span.end()
+    return _run_session_instant(sender, receiver, encoding=encoding,
+                                max_steps=max_steps, trace=trace, tracer=None)
+
+
+def _run_session_instant(sender: ProtocolCoroutine,
+                         receiver: ProtocolCoroutine, *,
+                         encoding: Encoding, max_steps: int, trace: bool,
+                         tracer: Optional[Tracer]) -> SessionResult:
     stats = TransferStats()
     transcript: Optional[List[Tuple[str, Message]]] = [] if trace else None
     party_s = _Party("sender", sender)
@@ -128,8 +151,14 @@ def run_session(sender: ProtocolCoroutine, receiver: ProtocolCoroutine, *,
             effect = party.pending
             if isinstance(effect, Send):
                 direction = stats.forward if party is party_s else stats.backward
-                direction.record(effect.message.type_name,
-                                 effect.message.bits(encoding))
+                bits = effect.message.bits(encoding)
+                direction.record(effect.message.type_name, bits)
+                if tracer is not None:
+                    tracer.event(
+                        obs.MESSAGE, party=party.name,
+                        message=effect.message.type_name, bits=bits,
+                        direction=("forward" if party is party_s
+                                   else "backward"))
                 if transcript is not None:
                     arrow = "->" if party is party_s else "<-"
                     transcript.append((arrow, effect.message))
@@ -189,14 +218,36 @@ def run_session_randomized(sender: ProtocolCoroutine,
                            receiver: ProtocolCoroutine, *,
                            rng: random.Random,
                            encoding: Encoding = DEFAULT_ENCODING,
-                           max_steps: int = 10_000_000) -> SessionResult:
+                           max_steps: int = 10_000_000,
+                           tracer: Optional[Tracer] = None,
+                           span_name: str = "session") -> SessionResult:
     """Run a session under adversarial (random) delivery delays.
 
     Sent messages enter an in-flight queue and are delivered at random later
     points, preserving FIFO order per direction.  ``Poll`` and ``Drain`` see
     only delivered messages, so the sender can overshoot arbitrarily —
     exactly the pipelining regime the paper's algorithms must survive.
+    With a ``tracer``, sends become ``message`` events and delayed arrivals
+    ``deliver`` events; an identical seed replays an identical sequence.
     """
+    if tracer is not None:
+        span = tracer.span(span_name, driver="randomized")
+        try:
+            return _run_session_randomized(sender, receiver, rng=rng,
+                                           encoding=encoding,
+                                           max_steps=max_steps, tracer=tracer)
+        finally:
+            span.end()
+    return _run_session_randomized(sender, receiver, rng=rng,
+                                   encoding=encoding, max_steps=max_steps,
+                                   tracer=None)
+
+
+def _run_session_randomized(sender: ProtocolCoroutine,
+                            receiver: ProtocolCoroutine, *,
+                            rng: random.Random, encoding: Encoding,
+                            max_steps: int,
+                            tracer: Optional[Tracer]) -> SessionResult:
     stats = TransferStats()
     party_s = _Party("sender", sender)
     party_r = _Party("receiver", receiver)
@@ -230,14 +281,23 @@ def run_session_randomized(sender: ProtocolCoroutine,
 
         kind, index = rng.choice(actions)
         if kind == "deliver":
-            parties[index].inbox.append(in_flight[index].popleft())
+            message = in_flight[index].popleft()
+            if tracer is not None:
+                tracer.event(obs.DELIVER, party=parties[index].name,
+                             message=message.type_name)
+            parties[index].inbox.append(message)
             continue
         party = parties[index]
         effect = party.pending
         if isinstance(effect, Send):
             direction = stats.forward if party is party_s else stats.backward
-            direction.record(effect.message.type_name,
-                             effect.message.bits(encoding))
+            bits = effect.message.bits(encoding)
+            direction.record(effect.message.type_name, bits)
+            if tracer is not None:
+                tracer.event(obs.MESSAGE, party=party.name,
+                             message=effect.message.type_name, bits=bits,
+                             direction=("forward" if party is party_s
+                                        else "backward"))
             in_flight[1 - index].append(effect.message)
             party.advance(None)
         elif isinstance(effect, (Poll, Drain)):

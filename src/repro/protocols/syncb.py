@@ -29,6 +29,8 @@ from repro.core.order import Ordering
 from repro.core.rotating import BasicRotatingVector
 from repro.errors import ConcurrentVectorsError
 from repro.net.wire import DEFAULT_ENCODING, Encoding
+from repro.obs import trace as obs
+from repro.obs.trace import Tracer
 from repro.protocols.effects import Drain, Poll, Recv, Send
 from repro.protocols.messages import ElementMsg, Halt, Message
 from repro.protocols.reports import VectorReceiverReport, VectorSenderReport
@@ -37,7 +39,8 @@ from repro.protocols.session import SessionResult, run_session
 _HALT_BITS = 2  # Table 2: the BRV bound is n·log(2mn) + 2.
 
 
-def syncb_sender(b: BasicRotatingVector) -> Generator[Any, Any, VectorSenderReport]:
+def syncb_sender(b: BasicRotatingVector, *, tracer: Tracer | None = None
+                 ) -> Generator[Any, Any, VectorSenderReport]:
     """The sending side (*b*'s hosting site) of ``SYNCB_b(a)``."""
     report = VectorSenderReport()
     element = b.first()
@@ -56,11 +59,15 @@ def syncb_sender(b: BasicRotatingVector) -> Generator[Any, Any, VectorSenderRepo
         element = element.next
         incoming = yield Poll()
         if isinstance(incoming, Halt):
+            if tracer is not None:
+                tracer.event(obs.CONTROL, party="sender",
+                             signal="halt_received")
             report.halted_by_peer = True
             return report
 
 
-def syncb_receiver(a: BasicRotatingVector) -> Generator[Any, Any, VectorReceiverReport]:
+def syncb_receiver(a: BasicRotatingVector, *, tracer: Tracer | None = None
+                   ) -> Generator[Any, Any, VectorReceiverReport]:
     """The receiving side (*a*'s hosting site) of ``SYNCB_b(a)``.
 
     Mutates ``a`` in place.  On termination the least *k* elements of
@@ -71,11 +78,17 @@ def syncb_receiver(a: BasicRotatingVector) -> Generator[Any, Any, VectorReceiver
     while True:
         message: Message = yield Recv()
         if isinstance(message, Halt):
+            if tracer is not None:
+                tracer.event(obs.CONTROL, party="receiver",
+                             signal="halt_received")
             report.received_halt = True
             return report
         assert isinstance(message, ElementMsg)
         if message.value <= a[message.site]:
             report.redundant_elements += 1
+            if tracer is not None:
+                tracer.event(obs.GAMMA_RETRANSMIT, party="receiver",
+                             site=message.site, value=message.value)
             # Drain delivered traffic: if the sender already HALTed (it hit
             # ⌈b⌉ right behind this element) our own HALT would be wasted.
             while True:
@@ -87,17 +100,24 @@ def syncb_receiver(a: BasicRotatingVector) -> Generator[Any, Any, VectorReceiver
                     return report
                 report.ignored_elements += 1
             yield Send(Halt(_HALT_BITS))
+            if tracer is not None:
+                tracer.event(obs.CONTROL, party="receiver",
+                             signal="halt_sent")
             report.sent_halt = True
             return report
         element = a.order.rotate_after(prev, message.site)
         element.value = message.value
         prev = message.site
         report.new_elements += 1
+        if tracer is not None:
+            tracer.event(obs.DELTA_ELEMENT, party="receiver",
+                         site=message.site, value=message.value)
 
 
 def sync_brv(a: BasicRotatingVector, b: BasicRotatingVector, *,
              encoding: Encoding = DEFAULT_ENCODING,
-             check: bool = True) -> SessionResult:
+             check: bool = True,
+             tracer: Tracer | None = None) -> SessionResult:
     """Run ``SYNCB_b(a)`` under the instant driver, mutating ``a``.
 
     Args:
@@ -106,6 +126,7 @@ def sync_brv(a: BasicRotatingVector, b: BasicRotatingVector, *,
         encoding: field widths used to price the traffic.
         check: verify ``a ∦ b`` first (via Algorithm 1) and raise
             :class:`ConcurrentVectorsError` otherwise.
+        tracer: optional trace sink; opens a ``SYNCB`` span.
 
     Returns:
         The session result; ``a`` now equals ``max(a, b)`` elementwise —
@@ -114,4 +135,6 @@ def sync_brv(a: BasicRotatingVector, b: BasicRotatingVector, *,
     if check and a.compare(b) is Ordering.CONCURRENT:
         raise ConcurrentVectorsError(
             "SYNCB requires a ∦ b; use CRV/SRV for conflict reconciliation")
-    return run_session(syncb_sender(b), syncb_receiver(a), encoding=encoding)
+    return run_session(syncb_sender(b, tracer=tracer),
+                       syncb_receiver(a, tracer=tracer),
+                       encoding=encoding, tracer=tracer, span_name="SYNCB")

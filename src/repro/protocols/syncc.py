@@ -25,6 +25,8 @@ from typing import Any, Generator
 
 from repro.core.conflict import ConflictRotatingVector
 from repro.net.wire import DEFAULT_ENCODING, Encoding
+from repro.obs import trace as obs
+from repro.obs.trace import Tracer
 from repro.protocols.effects import Drain, Poll, Recv, Send
 from repro.protocols.messages import ElementCMsg, Halt, Message
 from repro.protocols.reports import VectorReceiverReport, VectorSenderReport
@@ -33,7 +35,8 @@ from repro.protocols.session import SessionResult, run_session
 _HALT_BITS = 2  # Table 2: the CRV bound is n·log(4mn) + 2.
 
 
-def syncc_sender(b: ConflictRotatingVector) -> Generator[Any, Any, VectorSenderReport]:
+def syncc_sender(b: ConflictRotatingVector, *, tracer: Tracer | None = None
+                 ) -> Generator[Any, Any, VectorSenderReport]:
     """The sending side of ``SYNCC_b(a)``: SYNCB's sender with triples."""
     report = VectorSenderReport()
     element = b.first()
@@ -51,12 +54,16 @@ def syncc_sender(b: ConflictRotatingVector) -> Generator[Any, Any, VectorSenderR
         element = element.next
         incoming = yield Poll()
         if isinstance(incoming, Halt):
+            if tracer is not None:
+                tracer.event(obs.CONTROL, party="sender",
+                             signal="halt_received")
             report.halted_by_peer = True
             return report
 
 
-def syncc_receiver(a: ConflictRotatingVector, *,
-                   reconcile: bool) -> Generator[Any, Any, VectorReceiverReport]:
+def syncc_receiver(a: ConflictRotatingVector, *, reconcile: bool,
+                   tracer: Tracer | None = None
+                   ) -> Generator[Any, Any, VectorReceiverReport]:
     """The receiving side of ``SYNCC_b(a)``; mutates ``a`` in place.
 
     Args:
@@ -70,12 +77,18 @@ def syncc_receiver(a: ConflictRotatingVector, *,
     while True:
         message: Message = yield Recv()
         if isinstance(message, Halt):
+            if tracer is not None:
+                tracer.event(obs.CONTROL, party="receiver",
+                             signal="halt_received")
             report.received_halt = True
             return report
         assert isinstance(message, ElementCMsg)
         site, value, conflict = message.site, message.value, message.conflict
         if value <= a[site]:
             report.redundant_elements += 1
+            if tracer is not None:
+                tracer.event(obs.GAMMA_RETRANSMIT, party="receiver",
+                             site=site, value=value, conflict=conflict)
             if conflict:
                 # A tagged element may hide newer ones behind it: keep going.
                 reconcile = True
@@ -89,6 +102,9 @@ def syncc_receiver(a: ConflictRotatingVector, *,
                     return report
                 report.ignored_elements += 1
             yield Send(Halt(_HALT_BITS))
+            if tracer is not None:
+                tracer.event(obs.CONTROL, party="receiver",
+                             signal="halt_sent")
             report.sent_halt = True
             return report
         element = a.order.rotate_after(prev, site)
@@ -96,11 +112,18 @@ def syncc_receiver(a: ConflictRotatingVector, *,
         element.value = value
         element.conflict = True if reconcile else conflict
         report.new_elements += 1
+        if tracer is not None:
+            tracer.event(obs.DELTA_ELEMENT, party="receiver",
+                         site=site, value=value)
+            if element.conflict:
+                tracer.event(obs.CONFLICT_BIT, party="receiver", site=site,
+                             inherited=conflict)
 
 
 def sync_crv(a: ConflictRotatingVector, b: ConflictRotatingVector, *,
              encoding: Encoding = DEFAULT_ENCODING,
-             reconcile: bool | None = None) -> SessionResult:
+             reconcile: bool | None = None,
+             tracer: Tracer | None = None) -> SessionResult:
     """Run ``SYNCC_b(a)`` under the instant driver, mutating ``a``.
 
     ``reconcile`` defaults to the Algorithm 1 verdict ``a ∥ b`` (what the
@@ -111,5 +134,6 @@ def sync_crv(a: ConflictRotatingVector, b: ConflictRotatingVector, *,
     """
     if reconcile is None:
         reconcile = a.compare(b).is_concurrent
-    return run_session(syncc_sender(b), syncc_receiver(a, reconcile=reconcile),
-                       encoding=encoding)
+    return run_session(syncc_sender(b, tracer=tracer),
+                       syncc_receiver(a, reconcile=reconcile, tracer=tracer),
+                       encoding=encoding, tracer=tracer, span_name="SYNCC")

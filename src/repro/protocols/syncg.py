@@ -40,6 +40,8 @@ from typing import Any, Generator, List
 from repro.errors import ProtocolError
 from repro.graphs.causalgraph import CausalGraph, GraphNode, NodeId
 from repro.net.wire import DEFAULT_ENCODING, Encoding
+from repro.obs import trace as obs
+from repro.obs.trace import Tracer
 from repro.protocols.effects import Poll, Recv, Send
 from repro.protocols.messages import (AbortMsg, GraphNodeMsg, Halt, Message,
                                       SkipToMsg)
@@ -49,7 +51,8 @@ from repro.protocols.session import SessionResult, run_session
 _HALT_BITS = 1
 
 
-def syncg_sender(b: CausalGraph) -> Generator[Any, Any, GraphSenderReport]:
+def syncg_sender(b: CausalGraph, *, tracer: Tracer | None = None
+                 ) -> Generator[Any, Any, GraphSenderReport]:
     """The sending side of ``SYNCG_b(a)``: reverse DFS with rewinds."""
     report = GraphSenderReport()
     visited: set = set()
@@ -61,11 +64,15 @@ def syncg_sender(b: CausalGraph) -> Generator[Any, Any, GraphSenderReport]:
             if incoming is None:
                 break
             if isinstance(incoming, (AbortMsg, Halt)):
+                if tracer is not None:
+                    tracer.event(obs.CONTROL, party="sender",
+                                 signal="abort_received")
                 report.aborted_by_peer = True
                 yield Send(Halt(_HALT_BITS))
                 return report
             assert isinstance(incoming, SkipToMsg)
             if incoming.node not in visited:
+                skipped_before = report.nodes_skipped
                 while stack and stack[-1] != incoming.node:
                     stack.pop()
                     report.nodes_skipped += 1
@@ -73,6 +80,13 @@ def syncg_sender(b: CausalGraph) -> Generator[Any, Any, GraphSenderReport]:
                     raise ProtocolError(
                         f"skipto target {incoming.node!r} not on DFS stack")
                 report.rewinds += 1
+                if tracer is not None:
+                    tracer.event(obs.GAMMA_SKIP, party="sender",
+                                 target=incoming.node,
+                                 skipped=report.nodes_skipped - skipped_before)
+            elif tracer is not None:
+                tracer.event(obs.CONTROL, party="sender",
+                             signal="stale_skipto", target=incoming.node)
             # else: stale — the branch already streamed past that node.
         node_id = stack.pop()
         if node_id in visited:
@@ -90,7 +104,8 @@ def syncg_sender(b: CausalGraph) -> Generator[Any, Any, GraphSenderReport]:
 
 
 def syncg_receiver(a: CausalGraph, *, enable_redirect: bool = True,
-                   enable_abort: bool = True
+                   enable_abort: bool = True,
+                   tracer: Tracer | None = None
                    ) -> Generator[Any, Any, GraphReceiverReport]:
     """The receiving side of ``SYNCG_b(a)``; grows ``a`` to the union.
 
@@ -121,11 +136,17 @@ def syncg_receiver(a: CausalGraph, *, enable_redirect: bool = True,
         if isinstance(message, Halt):
             for node in staged:
                 a.install(node)
+            if tracer is not None:
+                tracer.event(obs.CONTROL, party="receiver",
+                             signal="halt_received", committed=len(staged))
             return report
         assert isinstance(message, GraphNodeMsg)
         node_id = message.node
         if known(node_id):
             report.overlap_nodes += 1
+            if tracer is not None:
+                tracer.event(obs.GAMMA_RETRANSMIT, party="receiver",
+                             node=node_id)
             if skipping:
                 continue
             skipping = True
@@ -134,11 +155,18 @@ def syncg_receiver(a: CausalGraph, *, enable_redirect: bool = True,
                 mirror.pop()
             if mirror:
                 if enable_redirect:
-                    yield Send(SkipToMsg(mirror.pop()))
+                    target = mirror.pop()
+                    yield Send(SkipToMsg(target))
                     report.skiptos_sent += 1
+                    if tracer is not None:
+                        tracer.event(obs.CONTROL, party="receiver",
+                                     signal="skipto_sent", target=target)
             elif enable_abort:
                 yield Send(AbortMsg())
                 report.sent_abort = True
+                if tracer is not None:
+                    tracer.event(obs.CONTROL, party="receiver",
+                                 signal="abort_sent")
                 # The sender acknowledges with HALT; keep consuming till then.
         else:
             skipping = False
@@ -149,13 +177,17 @@ def syncg_receiver(a: CausalGraph, *, enable_redirect: bool = True,
             staged_ids.add(node_id)
             report.nodes_added += 1
             report.arcs_added += len(node.parents)
+            if tracer is not None:
+                tracer.event(obs.DELTA_ELEMENT, party="receiver",
+                             node=node_id)
             if (message.right_parent is not None
                     and not known(message.right_parent)):
                 mirror.append(message.right_parent)
 
 
 def sync_graph(a: CausalGraph, b: CausalGraph, *,
-               encoding: Encoding = DEFAULT_ENCODING) -> SessionResult:
+               encoding: Encoding = DEFAULT_ENCODING,
+               tracer: Tracer | None = None) -> SessionResult:
     """Run ``SYNCG_b(a)`` under the instant driver, mutating ``a``.
 
     Postcondition: ``a`` contains the union of both node and arc sets and
@@ -164,4 +196,6 @@ def sync_graph(a: CausalGraph, b: CausalGraph, *,
     after synchronizing concurrent replicas the caller performs
     reconciliation by adding a merge node over the two sinks.
     """
-    return run_session(syncg_sender(b), syncg_receiver(a), encoding=encoding)
+    return run_session(syncg_sender(b, tracer=tracer),
+                       syncg_receiver(a, tracer=tracer),
+                       encoding=encoding, tracer=tracer, span_name="SYNCG")

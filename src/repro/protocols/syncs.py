@@ -31,6 +31,8 @@ from typing import Any, Generator
 
 from repro.core.skip import SkipRotatingVector
 from repro.net.wire import DEFAULT_ENCODING, Encoding
+from repro.obs import trace as obs
+from repro.obs.trace import Tracer
 from repro.protocols.effects import Drain, Poll, Recv, Send
 from repro.protocols.messages import ElementSMsg, Halt, Message, Skip
 from repro.protocols.reports import VectorReceiverReport, VectorSenderReport
@@ -40,7 +42,8 @@ _HALT_BITS = 1  # Table 2: the SRV bound is n·log(8mn) + n·log(2n) + 1.
 
 
 def syncs_sender(b: SkipRotatingVector, *,
-                 forward_terminators: bool = True
+                 forward_terminators: bool = True,
+                 tracer: Tracer | None = None
                  ) -> Generator[Any, Any, VectorSenderReport]:
     """The sending side of ``SYNCS_b(a)``.
 
@@ -67,12 +70,20 @@ def syncs_sender(b: SkipRotatingVector, *,
             if incoming is None:
                 break
             if isinstance(incoming, Halt):
+                if tracer is not None:
+                    tracer.event(obs.CONTROL, party="sender",
+                                 signal="halt_received")
                 report.halted_by_peer = True
                 return report
             if (isinstance(incoming, Skip) and incoming.segs == segs
                     and not skipping):
                 skipping = True
                 report.skips_honored += 1
+                if tracer is not None:
+                    tracer.event(obs.GAMMA_SKIP, party="sender", segs=segs)
+            elif isinstance(incoming, Skip) and tracer is not None:
+                tracer.event(obs.CONTROL, party="sender",
+                             signal="stale_skip", segs=incoming.segs)
             # Anything else is a stale SKIP whose segment already streamed.
         if not skipping or (element.segment and forward_terminators):
             # Terminators are sent even inside a skip so the receiver sees
@@ -82,6 +93,9 @@ def syncs_sender(b: SkipRotatingVector, *,
             report.elements_sent += 1
         else:
             report.elements_suppressed += 1
+            if tracer is not None:
+                tracer.event("element_suppressed", party="sender",
+                             site=element.site)
         if element.segment:
             segs += 1
             skipping = False
@@ -92,8 +106,9 @@ def syncs_sender(b: SkipRotatingVector, *,
         element = element.next
 
 
-def syncs_receiver(a: SkipRotatingVector, *,
-                   reconcile: bool) -> Generator[Any, Any, VectorReceiverReport]:
+def syncs_receiver(a: SkipRotatingVector, *, reconcile: bool,
+                   tracer: Tracer | None = None
+                   ) -> Generator[Any, Any, VectorReceiverReport]:
     """The receiving side of ``SYNCS_b(a)``; mutates ``a`` in place."""
     report = VectorReceiverReport()
     prev: str | None = None
@@ -111,6 +126,9 @@ def syncs_receiver(a: SkipRotatingVector, *,
                 boundary = a.order.get(prev)
                 assert boundary is not None
                 boundary.segment = True
+            if tracer is not None:
+                tracer.event(obs.CONTROL, party="receiver",
+                             signal="halt_received")
             report.received_halt = True
             return report
         assert isinstance(message, ElementSMsg)
@@ -120,6 +138,10 @@ def syncs_receiver(a: SkipRotatingVector, *,
                 report.ignored_elements += 1
             else:
                 report.redundant_elements += 1
+                if tracer is not None:
+                    tracer.event(obs.GAMMA_RETRANSMIT, party="receiver",
+                                 site=site, value=value,
+                                 conflict=message.conflict)
                 # A skip (or halt) cuts the run of freshly written elements:
                 # the last one written now ends a segment of ≺_a (§4).
                 if reconcile and prev is not None:
@@ -132,11 +154,17 @@ def syncs_receiver(a: SkipRotatingVector, *,
                         yield Send(Skip(segs))
                         report.skips_issued += 1
                         skipping = True
+                        if tracer is not None:
+                            tracer.event(obs.CONTROL, party="receiver",
+                                         signal="skip_sent", segs=segs)
                     else:
                         # This element terminates its segment — nothing
                         # left to skip, keep reading.  Still one known
                         # segment consumed at O(1) cost (γ accounting).
                         report.inline_segments += 1
+                        if tracer is not None:
+                            tracer.event("inline_segment", party="receiver",
+                                         segs=segs)
                 else:
                     while True:
                         extra = yield Drain()
@@ -147,6 +175,9 @@ def syncs_receiver(a: SkipRotatingVector, *,
                             return report
                         report.ignored_elements += 1
                     yield Send(Halt(_HALT_BITS))
+                    if tracer is not None:
+                        tracer.event(obs.CONTROL, party="receiver",
+                                     signal="halt_sent")
                     report.sent_halt = True
                     return report
         else:
@@ -157,6 +188,12 @@ def syncs_receiver(a: SkipRotatingVector, *,
             element.conflict = True if reconcile else message.conflict
             element.segment = message.segment
             report.new_elements += 1
+            if tracer is not None:
+                tracer.event(obs.DELTA_ELEMENT, party="receiver",
+                             site=site, value=value)
+                if element.conflict:
+                    tracer.event(obs.CONFLICT_BIT, party="receiver",
+                                 site=site, inherited=message.conflict)
         if message.segment:
             segs += 1
             skipping = False
@@ -164,7 +201,8 @@ def syncs_receiver(a: SkipRotatingVector, *,
 
 def sync_srv(a: SkipRotatingVector, b: SkipRotatingVector, *,
              encoding: Encoding = DEFAULT_ENCODING,
-             reconcile: bool | None = None) -> SessionResult:
+             reconcile: bool | None = None,
+             tracer: Tracer | None = None) -> SessionResult:
     """Run ``SYNCS_b(a)`` under the instant driver, mutating ``a``.
 
     ``reconcile`` defaults to the Algorithm 1 verdict ``a ∥ b``.  As with
@@ -173,5 +211,6 @@ def sync_srv(a: SkipRotatingVector, b: SkipRotatingVector, *,
     """
     if reconcile is None:
         reconcile = a.compare(b).is_concurrent
-    return run_session(syncs_sender(b), syncs_receiver(a, reconcile=reconcile),
-                       encoding=encoding)
+    return run_session(syncs_sender(b, tracer=tracer),
+                       syncs_receiver(a, reconcile=reconcile, tracer=tracer),
+                       encoding=encoding, tracer=tracer, span_name="SYNCS")

@@ -22,6 +22,8 @@ from typing import Any, Callable, List, Optional, Tuple
 
 from repro.errors import ReproError
 from repro.net.simulator import Simulator
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.trace import Tracer
 from repro.replication.resolver import AutomaticResolution, union_merge
 from repro.replication.statesystem import StateTransferSystem
 from repro.workload.topology import RandomPairTopology, Topology
@@ -91,15 +93,19 @@ class AntiEntropySimulation:
     """Periodic gossip + scheduled updates over a state-transfer system."""
 
     def __init__(self, config: AntiEntropyConfig,
-                 value_factory: Optional[Callable[[str, int], Any]] = None
-                 ) -> None:
+                 value_factory: Optional[Callable[[str, int], Any]] = None,
+                 *, tracer: Optional[Tracer] = None,
+                 metrics: Optional[MetricsRegistry] = None) -> None:
         self.config = config
+        self.tracer = tracer
+        self.metrics = metrics
         self.value_factory = value_factory or (
             lambda site, seq: frozenset({f"{site}#{seq}"}))
         self.system = StateTransferSystem(
             metadata=config.metadata,
             resolution=AutomaticResolution(union_merge),
-            track_graph=False)
+            track_graph=False,
+            tracer=tracer, metrics=metrics)
         self._sites = [f"S{i:03d}" for i in range(config.n_sites)]
 
     def run(self) -> AntiEntropyResult:
@@ -109,9 +115,23 @@ class AntiEntropySimulation:
         ``max_time`` — which would falsify eventual consistency for the
         configured scheme and is therefore a hard error, not a statistic.
         """
+        if self.tracer is None:
+            return self._run()
+        previous_clock = self.tracer.clock
+        try:
+            return self._run()
+        finally:
+            self.tracer.clock = previous_clock
+
+    def _run(self) -> AntiEntropyResult:
         config = self.config
         system = self.system
+        tracer = self.tracer
+        metrics = self.metrics
         sim = Simulator()
+        if tracer is not None:
+            # Stamp sync-session spans and gossip events with simulated time.
+            tracer.clock = lambda: sim.now
         rng = random.Random(config.seed)
         sites = self._sites
         object_id = config.object_id
@@ -144,6 +164,10 @@ class AntiEntropySimulation:
             state["updates_left"] -= 1
             state["last_update_time"] = sim.now
             state["converged_at"] = None  # consistency must be re-reached
+            if tracer is not None:
+                tracer.event("update", party=site, seq=state["seq"])
+            if metrics is not None:
+                metrics.counter("antientropy.updates").inc()
             if state["updates_left"] > 0:
                 schedule_update()
 
@@ -167,12 +191,23 @@ class AntiEntropySimulation:
                 return
             system.sync_bidirectional(dst, src, object_id)
             state["syncs"] += 2
+            if tracer is not None or metrics is not None:
+                recent = system.outcomes[-2:]
+                bits = sum(o.metadata_bits + o.payload_bits for o in recent)
+                if tracer is not None:
+                    tracer.event("gossip", party=dst, peer=src, bits=bits)
+                if metrics is not None:
+                    metrics.counter("antientropy.gossips").inc()
+                    metrics.histogram(
+                        "antientropy.bits_per_exchange").observe(bits)
             check = (system.is_consistent if config.convergence == "full"
                      else system.values_consistent)
             if (state["updates_left"] == 0
                     and state["converged_at"] is None
                     and check(object_id)):
                 state["converged_at"] = sim.now
+                if tracer is not None:
+                    tracer.event("converged", party=dst)
             schedule_gossip(site_index)
 
         for index in range(len(sites)):
@@ -184,6 +219,9 @@ class AntiEntropySimulation:
             raise ReproError(
                 f"no convergence within {config.max_time}s "
                 f"(scheme {config.metadata}, period {config.gossip_period})")
+        if metrics is not None:
+            metrics.histogram("antientropy.convergence_seconds").observe(
+                state["converged_at"] - state["last_update_time"])
         return AntiEntropyResult(
             last_update_time=state["last_update_time"],
             convergence_time=state["converged_at"],
@@ -204,17 +242,35 @@ class OpAntiEntropySimulation:
     """
 
     def __init__(self, config: AntiEntropyConfig, *,
-                 use_syncg: bool = True) -> None:
+                 use_syncg: bool = True,
+                 tracer: Optional[Tracer] = None,
+                 metrics: Optional[MetricsRegistry] = None) -> None:
         from repro.replication.opsystem import OpTransferSystem
         self.config = config
-        self.system = OpTransferSystem(use_syncg=use_syncg)
+        self.tracer = tracer
+        self.metrics = metrics
+        self.system = OpTransferSystem(use_syncg=use_syncg,
+                                       tracer=tracer, metrics=metrics)
         self._sites = [f"S{i:03d}" for i in range(config.n_sites)]
 
     def run(self) -> AntiEntropyResult:
         """Execute the schedule; returns the measured result."""
+        if self.tracer is None:
+            return self._run()
+        previous_clock = self.tracer.clock
+        try:
+            return self._run()
+        finally:
+            self.tracer.clock = previous_clock
+
+    def _run(self) -> AntiEntropyResult:
         config = self.config
         system = self.system
+        tracer = self.tracer
+        metrics = self.metrics
         sim = Simulator()
+        if tracer is not None:
+            tracer.clock = lambda: sim.now
         rng = random.Random(config.seed)
         sites = self._sites
         object_id = config.object_id
@@ -239,6 +295,10 @@ class OpAntiEntropySimulation:
             state["updates_left"] -= 1
             state["last_update_time"] = sim.now
             state["converged_at"] = None
+            if tracer is not None:
+                tracer.event("update", party=site, seq=state["seq"])
+            if metrics is not None:
+                metrics.counter("antientropy.updates").inc()
             if state["updates_left"] > 0:
                 schedule_update()
 
@@ -254,10 +314,21 @@ class OpAntiEntropySimulation:
             src, dst = config.topology.pair(rng, state["syncs"], sites)
             system.sync_bidirectional(dst, src, object_id)
             state["syncs"] += 2
+            if tracer is not None or metrics is not None:
+                recent = system.outcomes[-2:]
+                bits = sum(o.metadata_bits + o.payload_bits for o in recent)
+                if tracer is not None:
+                    tracer.event("gossip", party=dst, peer=src, bits=bits)
+                if metrics is not None:
+                    metrics.counter("antientropy.gossips").inc()
+                    metrics.histogram(
+                        "antientropy.bits_per_exchange").observe(bits)
             if (state["updates_left"] == 0
                     and state["converged_at"] is None
                     and system.is_consistent(object_id)):
                 state["converged_at"] = sim.now
+                if tracer is not None:
+                    tracer.event("converged", party=dst)
             schedule_gossip(site_index)
 
         for index in range(len(sites)):
@@ -267,6 +338,9 @@ class OpAntiEntropySimulation:
         if state["converged_at"] is None:
             raise ReproError(
                 f"no convergence within {config.max_time}s (op transfer)")
+        if metrics is not None:
+            metrics.histogram("antientropy.convergence_seconds").observe(
+                state["converged_at"] - state["last_update_time"])
         payload = sum(o.payload_bits for o in system.outcomes)
         metadata = sum(o.metadata_bits for o in system.outcomes)
         return AntiEntropyResult(

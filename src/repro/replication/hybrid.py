@@ -108,6 +108,12 @@ class HybridOpSystem(OpTransferSystem):
         to_archive = [n for n in ordered if n not in replica.archived]
         if not to_archive:
             return 0
+        if self.tracer is not None:
+            self.tracer.event("truncate", party=site,
+                              archived=len(to_archive))
+        if self.metrics is not None:
+            self.metrics.counter("hybrid.truncations").inc()
+            self.metrics.counter("hybrid.ops_archived").inc(len(to_archive))
         # Fold in canonical order on top of the existing baseline.
         state = (replica.baseline_state if replica.archived
                  else self.initial_state)
@@ -149,6 +155,11 @@ class HybridOpSystem(OpTransferSystem):
                 f"cannot reconcile {object_id!r}: {src_site}'s log is "
                 f"truncated past the common ancestor of the concurrent "
                 f"lineages (excessive truncation, §2.2)")
+        if self.tracer is not None:
+            self.tracer.event("snapshot_fallback", party=dst_site,
+                              peer=src_site)
+        if self.metrics is not None:
+            self.metrics.counter("hybrid.snapshot_fallbacks").inc()
         return self._pull_snapshot(dst, src)
 
     def _pull_snapshot(self, dst: OpReplica,

@@ -32,6 +32,8 @@ from repro.errors import ConflictDetected, ReproError
 from repro.graphs.causalgraph import CausalGraph, NodeId
 from repro.net.stats import TransferStats
 from repro.net.wire import Encoding
+from repro.obs.metrics import MetricsRegistry, observe_session
+from repro.obs.trace import Tracer
 from repro.protocols.fullsync import sync_full_graph
 from repro.protocols.messages import PayloadMsg
 from repro.protocols.session import SessionResult
@@ -88,7 +90,9 @@ class OpTransferSystem:
                  registry: Optional[SiteRegistry] = None,
                  encoding: Optional[Encoding] = None,
                  payload_size: Callable[[Any], int] = default_payload_size,
-                 verify_wire: bool = False) -> None:
+                 verify_wire: bool = False,
+                 tracer: Optional[Tracer] = None,
+                 metrics: Optional[MetricsRegistry] = None) -> None:
         if resolution is None:
             resolution = AutomaticResolution(lambda a, b: None)
         self.applier = applier
@@ -103,6 +107,9 @@ class OpTransferSystem:
         #: Tuple operation ids ride through a shared NodeInterner, the
         #: in-process stand-in for content-derived wire identifiers.
         self.verify_wire = verify_wire
+        #: Optional observability sinks (see StateTransferSystem).
+        self.tracer = tracer
+        self.metrics = metrics
         self._interner = None
 
         self._replicas: Dict[Tuple[str, str], OpReplica] = {}
@@ -229,6 +236,10 @@ class OpTransferSystem:
         outcome.sync_session = session
         outcome.metadata_bits += session.stats.total_bits
         self.traffic.merge(session.stats)
+        if self.metrics is not None:
+            observe_session(self.metrics, session.stats,
+                            protocol="syncg" if self.use_syncg
+                            else "full_graph")
         added = dst.graph.node_ids() - before
         outcome.ops_transferred = len(added)
         for node_id in sorted(added, key=repr):
@@ -261,7 +272,7 @@ class OpTransferSystem:
         if not self.verify_wire:
             if self.use_syncg:
                 return sync_graph(dst.graph, src.graph,
-                                  encoding=self.encoding)
+                                  encoding=self.encoding, tracer=self.tracer)
             return sync_full_graph(dst.graph, src.graph,
                                    encoding=self.encoding)
         from repro.net.codec import (Codec, NodeInterner,

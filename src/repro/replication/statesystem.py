@@ -28,6 +28,8 @@ from repro.errors import ConflictDetected, ReproError
 from repro.graphs.replicationgraph import ReplicationGraph
 from repro.net.stats import TransferStats
 from repro.net.wire import Encoding
+from repro.obs.metrics import MetricsRegistry, observe_session
+from repro.obs.trace import Tracer
 from repro.protocols.comparep import compare_remote
 from repro.protocols.fullsync import sync_full_vector
 from repro.protocols.messages import PayloadMsg
@@ -100,6 +102,13 @@ class StateTransferSystem:
             stable pricing).
         track_graph: maintain the analytic replication graph per object.
         payload_size: value → payload bytes estimate for state transfer.
+        tracer: optional :class:`~repro.obs.trace.Tracer` threaded into
+            every COMPARE and SYNC* session the system runs (one span per
+            session, per-element semantic events).  ``None`` (default) is
+            the zero-overhead off switch.
+        metrics: optional :class:`~repro.obs.metrics.MetricsRegistry`
+            receiving per-session instruments (bits-per-session histogram,
+            messages-by-type counters) keyed by the metadata kind.
     """
 
     def __init__(self, *, metadata: str = "srv",
@@ -109,7 +118,9 @@ class StateTransferSystem:
                  track_graph: bool = True,
                  payload_size: Callable[[Any], int] = default_payload_size,
                  strict_conflicts: bool = False,
-                 verify_wire: bool = False) -> None:
+                 verify_wire: bool = False,
+                 tracer: Optional[Tracer] = None,
+                 metrics: Optional[MetricsRegistry] = None) -> None:
         if metadata not in METADATA_KINDS:
             raise ValueError(f"unknown metadata kind {metadata!r}")
         if resolution is None:
@@ -131,6 +142,8 @@ class StateTransferSystem:
         #: priced traffic — end-to-end validation that the reported
         #: numbers are realizable wire formats.
         self.verify_wire = verify_wire
+        self.tracer = tracer
+        self.metrics = metrics
 
         self._replicas: Dict[Tuple[str, str], StateReplica] = {}
         self._graphs: Dict[str, ReplicationGraph] = {}
@@ -271,6 +284,9 @@ class StateTransferSystem:
             self.traffic.merge(outcome.sync_session.stats)
         if outcome.payload_bits:
             self.traffic.forward.record("PayloadMsg", outcome.payload_bits)
+        if self.metrics is not None and outcome.sync_session is not None:
+            observe_session(self.metrics, outcome.sync_session.stats,
+                            protocol=self.metadata_kind)
         return outcome
 
     def sync_bidirectional(self, site_a: str, site_b: str,
@@ -308,7 +324,8 @@ class StateTransferSystem:
     def _pull_rotating(self, dst: StateReplica,
                        src: StateReplica) -> SyncOutcome:
         verdict, compare_session = compare_remote(dst.meta, src.meta,
-                                                  encoding=self.encoding)
+                                                  encoding=self.encoding,
+                                                  tracer=self.tracer)
         sync_session: Optional[SessionResult] = None
         if verdict in (Ordering.BEFORE, Ordering.CONCURRENT):
             if (verdict is Ordering.CONCURRENT
@@ -329,23 +346,31 @@ class StateTransferSystem:
                          verdict: Ordering) -> SessionResult:
         kind = self.metadata_kind
         reconcile = verdict is Ordering.CONCURRENT
+        tracer = self.tracer
         if kind == "brv":
             if reconcile:
                 raise ReproError("SYNCB cannot reconcile concurrent vectors")
-            sender, receiver = syncb_sender(src.meta), syncb_receiver(dst.meta)
+            sender = syncb_sender(src.meta, tracer=tracer)
+            receiver = syncb_receiver(dst.meta, tracer=tracer)
         elif kind == "crv":
-            sender = syncc_sender(src.meta)
-            receiver = syncc_receiver(dst.meta, reconcile=reconcile)
+            sender = syncc_sender(src.meta, tracer=tracer)
+            receiver = syncc_receiver(dst.meta, reconcile=reconcile,
+                                      tracer=tracer)
         else:
-            sender = syncs_sender(src.meta)
-            receiver = syncs_receiver(dst.meta, reconcile=reconcile)
+            sender = syncs_sender(src.meta, tracer=tracer)
+            receiver = syncs_receiver(dst.meta, reconcile=reconcile,
+                                      tracer=tracer)
         if self.verify_wire:
+            # The serialized path stays untraced: its codec pipeline does
+            # its own bit-level asserts and is a validation harness, not a
+            # measurement path.
             from repro.net.codec import Codec, run_session_serialized
             codec = Codec(self.encoding, self.registry)
             return run_session_serialized(
                 sender, receiver, codec=codec,
                 forward_channel=f"{kind}_fwd", backward_channel=f"{kind}_bwd")
-        return run_session(sender, receiver, encoding=self.encoding)
+        return run_session(sender, receiver, encoding=self.encoding,
+                           tracer=tracer, span_name=f"SYNC{kind[0].upper()}")
 
     def _apply_verdict(self, dst: StateReplica, src: StateReplica,
                        verdict: Ordering,

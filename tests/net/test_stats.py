@@ -16,7 +16,25 @@ class TestDirectionStats:
     def test_bytes_property(self):
         direction = DirectionStats()
         direction.record("X", 16)
-        assert direction.bytes == 2.0
+        assert direction.bytes == 2
+        assert direction.bytes_exact == 2.0
+
+    def test_bytes_rounds_up_partial_octets(self):
+        direction = DirectionStats()
+        direction.record("X", 17)
+        assert direction.bytes == 3
+        assert direction.bytes_exact == 17 / 8
+
+    def test_merge(self):
+        one = DirectionStats()
+        one.record("A", 10)
+        two = DirectionStats()
+        two.record("A", 5)
+        two.record("B", 1)
+        one.merge(two)
+        assert one.bits == 16
+        assert one.messages == 3
+        assert one.by_type == {"A": 2, "B": 1}
 
 
 class TestTransferStats:
@@ -26,7 +44,15 @@ class TestTransferStats:
         stats.backward.record("B", 4)
         assert stats.total_bits == 104
         assert stats.total_messages == 2
-        assert stats.total_bytes == 13.0
+        assert stats.total_bytes == 13
+        assert stats.total_bytes_exact == 13.0
+
+    def test_total_bytes_rounds_up_partial_octets(self):
+        stats = TransferStats()
+        stats.forward.record("A", 50)
+        stats.backward.record("B", 1)
+        assert stats.total_bytes == 7
+        assert stats.total_bytes_exact == 51 / 8
 
     def test_merge(self):
         one = TransferStats()

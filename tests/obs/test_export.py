@@ -1,0 +1,88 @@
+"""Tests for JSONL export and the timeline renderer."""
+
+import io
+import json
+
+from repro.obs import (Tracer, events_from_jsonl, events_to_jsonl,
+                       render_timeline, write_jsonl)
+from repro.obs.export import event_from_dict, event_to_dict
+from repro.obs.trace import TraceEvent
+
+
+def sample_tracer() -> Tracer:
+    tracer = Tracer()
+    with tracer.span("SYNCS", driver="instant"):
+        tracer.event("message", party="sender", message="ElementSMsg",
+                     bits=27, direction="forward")
+        tracer.event("delta_element", party="receiver", site="x", value=1)
+    return tracer
+
+
+class TestRoundTrip:
+    def test_event_dict_omits_empty_attributes(self):
+        record = event_to_dict(TraceEvent(0, "control"))
+        assert record == {"seq": 0, "kind": "control"}
+
+    def test_dict_round_trip_preserves_everything(self):
+        original = TraceEvent(3, "message", span_id=1, time=0.5,
+                              party="sender", message="Halt", bits=1,
+                              fields={"direction": "forward"})
+        assert event_from_dict(event_to_dict(original)) == original
+
+    def test_jsonl_round_trip(self):
+        tracer = sample_tracer()
+        text = events_to_jsonl(tracer.events)
+        restored = list(events_from_jsonl(text))
+        assert restored == tracer.events
+
+    def test_jsonl_lines_are_valid_json(self):
+        for line in events_to_jsonl(sample_tracer().events).splitlines():
+            json.loads(line)
+
+    def test_events_from_jsonl_skips_blank_lines(self):
+        tracer = sample_tracer()
+        text = "\n\n" + events_to_jsonl(tracer.events) + "\n\n"
+        assert list(events_from_jsonl(text)) == tracer.events
+
+
+class TestWriteJsonl:
+    def test_write_to_path(self, tmp_path):
+        tracer = sample_tracer()
+        path = tmp_path / "trace.jsonl"
+        count = write_jsonl(tracer.events, str(path))
+        assert count == len(tracer.events)
+        assert list(events_from_jsonl(path.read_text())) == tracer.events
+
+    def test_write_to_handle(self):
+        tracer = sample_tracer()
+        handle = io.StringIO()
+        count = write_jsonl(tracer.events, handle)
+        assert count == len(tracer.events)
+        assert handle.getvalue().endswith("\n")
+
+    def test_write_empty_trace(self, tmp_path):
+        path = tmp_path / "empty.jsonl"
+        assert write_jsonl([], str(path)) == 0
+        assert path.read_text() == ""
+
+
+class TestRenderTimeline:
+    def test_columns_and_indentation(self):
+        text = render_timeline(sample_tracer().events)
+        lines = text.splitlines()
+        assert lines[0].split() == ["seq", "time", "party", "kind",
+                                    "message", "bits", "detail"]
+        assert "  message" in text  # indented under the span
+        assert "span_start" in text and "span_end" in text
+        assert "direction=forward" in text
+
+    def test_max_events_elides(self):
+        tracer = sample_tracer()
+        text = render_timeline(tracer.events, max_events=2)
+        assert "more event(s) elided" in text
+        assert f"{len(tracer.events) - 2} more" in text
+
+    def test_times_rendered_when_present(self):
+        tracer = Tracer()
+        tracer.event("tick", time=1.25)
+        assert "1.250000" in render_timeline(tracer.events)

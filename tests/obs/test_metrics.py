@@ -1,0 +1,105 @@
+"""Tests for the process-local metrics registry."""
+
+import pytest
+
+from repro.net.stats import TransferStats
+from repro.obs import MetricsRegistry, observe_session
+from repro.obs.metrics import Counter, Gauge, Histogram
+
+
+class TestInstruments:
+    def test_counter_increments(self):
+        counter = Counter()
+        counter.inc()
+        counter.inc(4)
+        assert counter.value == 5
+
+    def test_counter_rejects_negative(self):
+        with pytest.raises(ValueError):
+            Counter().inc(-1)
+
+    def test_gauge_last_write_wins(self):
+        gauge = Gauge()
+        assert gauge.value is None
+        gauge.set(1.0)
+        gauge.set(2.5)
+        assert gauge.value == 2.5
+
+    def test_histogram_summary(self):
+        histogram = Histogram()
+        for value in (1, 2, 3, 4, 10):
+            histogram.observe(value)
+        summary = histogram.summary()
+        assert summary["count"] == 5
+        assert summary["total"] == 20
+        assert summary["min"] == 1
+        assert summary["max"] == 10
+        assert summary["p50"] == 3
+
+    def test_empty_histogram_summary_is_zeroed(self):
+        assert Histogram().summary()["count"] == 0
+        assert Histogram().percentile(99) == 0.0
+
+
+class TestRegistry:
+    def test_get_or_create(self):
+        registry = MetricsRegistry()
+        assert registry.counter("a") is registry.counter("a")
+        assert registry.gauge("g") is registry.gauge("g")
+        assert registry.histogram("h") is registry.histogram("h")
+
+    def test_snapshot_is_plain_and_sorted(self):
+        registry = MetricsRegistry()
+        registry.counter("b").inc(2)
+        registry.counter("a").inc()
+        registry.gauge("g").set(3.0)
+        registry.histogram("h").observe(1.0)
+        snapshot = registry.snapshot()
+        assert list(snapshot["counters"]) == ["a", "b"]
+        assert snapshot["counters"]["b"] == 2
+        assert snapshot["gauges"]["g"] == 3.0
+        assert snapshot["histograms"]["h"]["count"] == 1
+
+    def test_merge_folds_all_instruments(self):
+        one, two = MetricsRegistry(), MetricsRegistry()
+        one.counter("c").inc(1)
+        two.counter("c").inc(2)
+        two.gauge("g").set(7.0)
+        one.histogram("h").observe(1.0)
+        two.histogram("h").observe(2.0)
+        one.merge(two)
+        assert one.counter("c").value == 3
+        assert one.gauge("g").value == 7.0
+        assert sorted(one.histogram("h").observations) == [1.0, 2.0]
+
+    def test_merge_keeps_unset_gauge(self):
+        one, two = MetricsRegistry(), MetricsRegistry()
+        one.gauge("g").set(5.0)
+        two.gauge("g")  # created but never set
+        one.merge(two)
+        assert one.gauge("g").value == 5.0
+
+
+class TestObserveSession:
+    def _stats(self) -> TransferStats:
+        stats = TransferStats()
+        stats.forward.record("ElementSMsg", 27)
+        stats.forward.record("Halt", 1)
+        stats.backward.record("Skip", 5)
+        return stats
+
+    def test_standard_instruments(self):
+        registry = MetricsRegistry()
+        observe_session(registry, self._stats(), protocol="srv")
+        snapshot = registry.snapshot()
+        assert snapshot["counters"]["srv.sessions"] == 1
+        assert snapshot["counters"]["srv.messages.forward.ElementSMsg"] == 1
+        assert snapshot["counters"]["srv.messages.backward.Skip"] == 1
+        assert snapshot["histograms"]["srv.bits_per_session"]["total"] == 33
+
+    def test_completion_time_optional(self):
+        registry = MetricsRegistry()
+        observe_session(registry, self._stats(), protocol="srv",
+                        completion_time=0.25)
+        histogram = registry.histogram("srv.completion_seconds")
+        assert histogram.observations == [0.25]

@@ -1,0 +1,147 @@
+"""Tests for the structured tracer and its protocol instrumentation."""
+
+from repro.core.skip import SkipRotatingVector
+from repro.net.wire import Encoding
+from repro.obs import Tracer
+from repro.obs import trace as obs
+from repro.protocols.comparep import compare_remote
+from repro.protocols.syncb import sync_brv
+from repro.protocols.syncs import sync_srv
+
+ENCODING = Encoding(site_bits=8, value_bits=16)
+
+
+def skip_scenario():
+    """Vectors whose SYNCS session honors a SKIP (γ = 1).
+
+    ``b`` absorbed ``c``'s run through a reconciliation, so it carries a
+    conflict-tagged segment that ``a`` (a descendant of ``c``) already
+    knows — exactly the shape SRV's segment skip exists for.
+    """
+    base = SkipRotatingVector()
+    for site in ("s1", "s2"):
+        base.record_update(site)
+    c = base.copy()
+    c.record_update("c1")
+    c.record_update("c2")
+    b = base.copy()
+    b.record_update("b1")
+    sync_srv(b, c, encoding=ENCODING)
+    b.record_update("b1")
+    a = c.copy()
+    a.record_update("a1")
+    return a, b
+
+
+class TestTracerCore:
+    def test_events_are_sequenced(self):
+        tracer = Tracer()
+        tracer.event("first")
+        tracer.event("second", party="x")
+        assert [e.seq for e in tracer.events] == [0, 1]
+        assert tracer.events[1].party == "x"
+
+    def test_span_groups_events(self):
+        tracer = Tracer()
+        with tracer.span("S") as span:
+            tracer.event("inside")
+        outside = tracer.event("outside")
+        kinds = [e.kind for e in tracer.events]
+        assert kinds == [obs.SPAN_START, "inside", obs.SPAN_END, "outside"]
+        assert tracer.events[1].span_id == span.span_id
+        assert outside.span_id is None
+
+    def test_nested_spans_restore_parent(self):
+        tracer = Tracer()
+        with tracer.span("outer") as outer:
+            with tracer.span("inner"):
+                pass
+            event = tracer.event("after-inner")
+        assert event.span_id == outer.span_id
+
+    def test_clock_stamps_events(self):
+        tracer = Tracer()
+        tracer.clock = lambda: 42.5
+        assert tracer.event("tick").time == 42.5
+        assert tracer.event("explicit", time=1.0).time == 1.0
+
+    def test_select_and_count_filter_on_fields(self):
+        tracer = Tracer()
+        tracer.event("e", party="a", site="x")
+        tracer.event("e", party="b", site="x")
+        tracer.event("other")
+        assert tracer.count("e") == 2
+        assert tracer.count("e", party="a") == 1
+        assert [e.party for e in tracer.select("e", site="x")] == ["a", "b"]
+        assert len(tracer) == 3
+
+
+class TestAcceptanceCriterion:
+    """ISSUE: per-event bits sum to total_bits; Δ/γ event counts match."""
+
+    def test_syncs_trace_reconciles_with_reports(self):
+        a, b = skip_scenario()
+        tracer = Tracer()
+        result = sync_srv(a, b, encoding=ENCODING, tracer=tracer)
+        assert tracer.message_bits() == result.stats.total_bits
+        assert (tracer.count(obs.DELTA_ELEMENT)
+                == result.receiver_result.new_elements)
+        assert (tracer.count(obs.GAMMA_SKIP)
+                == result.sender_result.skips_honored)
+        assert result.sender_result.skips_honored >= 1  # scenario has a γ
+
+    def test_per_direction_bits_match(self):
+        a, b = skip_scenario()
+        tracer = Tracer()
+        result = sync_srv(a, b, encoding=ENCODING, tracer=tracer)
+        assert (tracer.message_bits(direction="forward")
+                == result.stats.forward.bits)
+        assert (tracer.message_bits(direction="backward")
+                == result.stats.backward.bits)
+
+    def test_noop_default_leaves_bit_counts_unchanged(self):
+        a1, b1 = skip_scenario()
+        a2, b2 = skip_scenario()
+        traced = sync_srv(a1, b1, encoding=ENCODING, tracer=Tracer())
+        plain = sync_srv(a2, b2, encoding=ENCODING)
+        assert traced.stats.as_dict() == plain.stats.as_dict()
+        assert a1.to_version_vector().as_dict() \
+            == a2.to_version_vector().as_dict()
+
+
+class TestProtocolInstrumentation:
+    def test_syncb_emits_delta_and_gamma_events(self):
+        a = SkipRotatingVector()
+        a.record_update("x")
+        b = a.copy()
+        b.record_update("y")
+        b.record_update("z")
+        tracer = Tracer()
+        result = sync_brv(a, b, encoding=ENCODING, tracer=tracer)
+        assert (tracer.count(obs.DELTA_ELEMENT)
+                == result.receiver_result.new_elements)
+        assert tracer.message_bits() == result.stats.total_bits
+        starts = tracer.select(obs.SPAN_START)
+        assert [e.fields["name"] for e in starts] == ["SYNCB"]
+
+    def test_compare_emits_both_verdicts(self):
+        a = SkipRotatingVector()
+        a.record_update("x")
+        b = a.copy()
+        b.record_update("y")
+        tracer = Tracer()
+        compare_remote(a, b, encoding=ENCODING, tracer=tracer)
+        verdicts = tracer.select("verdict")
+        assert {e.party for e in verdicts} == {"a", "b"}
+        assert tracer.count(obs.SPAN_START, name="COMPARE") == 1
+
+    def test_conflict_bits_traced_on_reconcile(self):
+        base = SkipRotatingVector()
+        base.record_update("s")
+        a = base.copy()
+        a.record_update("a")
+        b = base.copy()
+        b.record_update("b")
+        tracer = Tracer()
+        sync_srv(a, b, encoding=ENCODING, tracer=tracer)
+        assert tracer.count(obs.CONFLICT_BIT) >= 1

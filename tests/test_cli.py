@@ -29,3 +29,40 @@ class TestDispatch:
         out = capsys.readouterr().out
         for name in DEMOS:
             assert f"=== {name} ===" in out
+
+
+class TestSeedFlag:
+    def test_seed_changes_fuzz_banner(self, capsys):
+        assert main(["--seed", "7", "fuzz"]) == 0
+        assert "seed 7" in capsys.readouterr().out
+
+    def test_seed_requires_value(self, capsys):
+        assert main(["fuzz", "--seed"]) == 2
+        assert "--seed requires a value" in capsys.readouterr().out
+
+    def test_seed_must_be_integer(self, capsys):
+        assert main(["--seed", "xyz", "fuzz"]) == 2
+        assert "integer" in capsys.readouterr().out
+
+
+class TestTrace:
+    def test_trace_renders_timeline(self, capsys):
+        assert main(["trace", "fuzz"]) == 0
+        out = capsys.readouterr().out
+        assert "=== trace fuzz ===" in out
+        assert "span_start" in out
+        assert "message bits" in out
+
+    def test_trace_writes_jsonl(self, tmp_path, capsys):
+        import json
+
+        path = tmp_path / "trace.jsonl"
+        assert main(["trace", "fuzz", "--jsonl", str(path)]) == 0
+        lines = path.read_text().splitlines()
+        assert lines
+        first = json.loads(lines[0])
+        assert first["kind"] == "span_start"
+
+    def test_trace_without_demo_fails(self, capsys):
+        assert main(["trace"]) == 2
+        assert main(["trace", "bogus"]) == 2
