@@ -8,12 +8,16 @@ Usage::
     python -m repro --seed 7 fuzz         # reseed the randomized demos
     python -m repro trace quickstart      # run traced, render the timeline
     python -m repro trace fuzz --jsonl t.jsonl   # also export JSONL
+    python -m repro bench --sites 8,32    # cluster benchmark regression
 
 The demos are the scripts in ``examples/`` packaged behind one command so
 an installed distribution can show itself without the source tree.  The
 ``trace`` subcommand attaches a :class:`repro.obs.Tracer` to the chosen
 demo and prints the structured timeline afterwards (optionally exporting
-the raw events as JSON lines).
+the raw events as JSON lines).  The ``bench`` subcommand runs the
+cluster-scale performance harness (:mod:`repro.perf.bench`) and writes
+``BENCH_cluster.json``; it owns its own flag set (``--sites``,
+``--protocols``, ``--rounds``, ``--seed``, ``--out``).
 """
 
 from __future__ import annotations
@@ -168,7 +172,9 @@ DEMOS: Dict[str, Callable[..., None]] = {
 
 def _usage() -> None:
     print("usage: python -m repro [--seed N] <demo>|all\n"
-          "       python -m repro [--seed N] trace <demo> [--jsonl PATH]\n\n"
+          "       python -m repro [--seed N] trace <demo> [--jsonl PATH]\n"
+          "       python -m repro bench [--sites 8,32,128] "
+          "[--out BENCH_cluster.json]\n\n"
           "demos:")
     for name, fn in DEMOS.items():
         print(f"  {name:12} {fn.__doc__.splitlines()[0]}")
@@ -192,6 +198,11 @@ def _run_traced(name: str, *, seed: Optional[int],
 def main(argv: list[str] | None = None) -> int:
     """Dispatch ``python -m repro <demo>``; returns an exit code."""
     arguments = list(sys.argv[1:] if argv is None else argv)
+    if arguments and arguments[0] == "bench":
+        # The bench harness owns its flag set; hand the raw tail over
+        # before the demo-oriented parsing below can reject it.
+        from repro.perf.bench import bench_main
+        return bench_main(arguments[1:])
     seed: Optional[int] = None
     jsonl: Optional[str] = None
     positional: list[str] = []

@@ -51,13 +51,17 @@ class BasicRotatingVector:
         """Build a vector whose ``≺`` order equals the pair order given.
 
         The first pair becomes ``⌊v⌋``; values must be positive (zero-valued
-        elements are never stored).
+        elements are never stored) and site names must be distinct — a
+        repeated site would silently rotate the existing element to the
+        later position, corrupting the order the caller spelled out.
         """
         vector = cls()
         previous: Optional[str] = None
         for site, value in pairs:
             if value <= 0:
                 raise ValueError(f"element {site!r} must have positive value")
+            if site in vector.order:
+                raise ValueError(f"duplicate site {site!r} in pairs")
             element = vector.order.rotate_after(previous, site)
             element.value = value
             previous = site

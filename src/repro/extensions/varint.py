@@ -17,7 +17,6 @@ fields save on realistic value distributions (most counters are small).
 
 from __future__ import annotations
 
-import math
 from dataclasses import dataclass
 
 from repro.net.wire import Encoding
@@ -27,11 +26,14 @@ def elias_gamma_bits(value: int) -> int:
     """Size of Elias-γ(value+1): self-delimiting, 1 bit for value 0.
 
     γ encodes a positive integer x in ``2·⌊log₂ x⌋ + 1`` bits; shifting by
-    one admits zero.
+    one admits zero.  ``⌊log₂ x⌋`` is computed as ``x.bit_length() - 1``:
+    exact integer arithmetic, because ``math.log2(x)`` rounds once
+    magnitudes approach 2^53 and then mis-prices values on either side of
+    a power-of-two boundary by two bits.
     """
     if value < 0:
         raise ValueError(f"value must be >= 0, got {value}")
-    return 2 * int(math.floor(math.log2(value + 1))) + 1
+    return 2 * ((value + 1).bit_length() - 1) + 1
 
 
 @dataclass(frozen=True)

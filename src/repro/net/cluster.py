@@ -1,0 +1,417 @@
+"""Cluster-scale timed execution: many pairwise sessions on one clock.
+
+The timed runner (:mod:`repro.net.runner`) measures a *single* session;
+the paper's metadata-cost claims, however, are about fleets — n sites
+gossiping concurrently, sessions queueing behind busy peers, updates
+landing mid-schedule.  :class:`ClusterRunner` executes a precomputed
+workload (:mod:`repro.workload.cluster`) by interleaving every session's
+sender/receiver processes on a single :class:`~repro.net.simulator.Simulator`:
+
+* **Per-site session queues.**  A site participates in at most ``fanout``
+  sessions at a time (default 1 — strictly serialized per site).  Requests
+  that find an endpoint busy queue up and start, oldest first, as capacity
+  frees.  Queue waits are observable (``cluster.queue_wait_seconds``).
+* **Deferred updates.**  A local update arriving while its site is mid-
+  session applies the instant the site frees — mutating a vector that a
+  live coroutine is iterating would corrupt the session.
+* **Scheduling-independent accounting.**  With ``fanout=1`` each vector is
+  touched by one session at a time, so every session's traffic depends
+  only on the two endpoint states at its start — never on what else is in
+  flight.  :func:`replay_sequential` re-executes a run's realized
+  execution log one session at a time and must reproduce the concurrent
+  run's bit counts exactly; the paired benchmark asserts it.  (With
+  ``fanout > 1`` a vector may be shared between overlapping sessions and
+  the guarantee is forfeit — useful for throughput realism, not for
+  regression accounting.)
+
+Tracing and metrics reuse the PR 1 instruments: pass a
+:class:`~repro.obs.trace.Tracer` for clock-stamped per-site events and a
+:class:`~repro.obs.metrics.MetricsRegistry` for the standard
+``observe_session`` instruments plus cluster-level counters.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Iterable, List, Optional, Tuple
+
+from repro.core.conflict import ConflictRotatingVector
+from repro.core.order import Ordering
+from repro.core.rotating import BasicRotatingVector
+from repro.core.skip import SkipRotatingVector
+from repro.errors import ConcurrentVectorsError, SimulationError
+from repro.net.channel import ChannelSpec
+from repro.net.runner import (TimedSessionResult, launch_session,
+                              run_timed_session)
+from repro.net.simulator import Simulator
+from repro.net.stats import TransferStats
+from repro.net.wire import DEFAULT_ENCODING, Encoding
+from repro.obs.metrics import MetricsRegistry, observe_session
+from repro.obs.trace import Tracer
+from repro.protocols.syncb import syncb_receiver, syncb_sender
+from repro.protocols.syncc import syncc_receiver, syncc_sender
+from repro.protocols.syncs import syncs_receiver, syncs_sender
+from repro.workload.cluster import SessionRequest, UpdateRequest
+
+#: protocol name -> (vector class, supports automatic reconciliation)
+PROTOCOLS: Dict[str, Tuple[type, bool]] = {
+    "brv": (BasicRotatingVector, False),
+    "crv": (ConflictRotatingVector, True),
+    "srv": (SkipRotatingVector, True),
+}
+
+
+@dataclass(frozen=True)
+class ClusterConfig:
+    """Parameters of one cluster run.
+
+    Attributes:
+        protocol: metadata scheme and sync protocol — ``brv`` (SYNCB),
+            ``crv`` (SYNCC), or ``srv`` (SYNCS).
+        channel: link model applied to every session.
+        encoding: wire pricing for every message.
+        fanout: concurrent sessions a site may participate in (≥ 1).
+        stop_and_wait: per-item ack baseline instead of pipelining.
+        proc_time: per-received-message processing cost.
+        increment_on_merge: apply §2.2's post-reconciliation self-increment
+            on the pulling site, keeping COMPARE's freshness precondition.
+        max_steps: per-session effect budget (livelock guard).
+    """
+
+    protocol: str = "srv"
+    channel: ChannelSpec = field(default_factory=ChannelSpec)
+    encoding: Encoding = DEFAULT_ENCODING
+    fanout: int = 1
+    stop_and_wait: bool = False
+    proc_time: float = 0.0
+    increment_on_merge: bool = True
+    max_steps: int = 10_000_000
+
+    def __post_init__(self) -> None:
+        if self.protocol not in PROTOCOLS:
+            raise ValueError(f"unknown protocol {self.protocol!r}; "
+                             f"expected one of {sorted(PROTOCOLS)}")
+        if self.fanout < 1:
+            raise ValueError(f"fanout must be >= 1, got {self.fanout}")
+
+
+@dataclass
+class ClusterSessionRecord:
+    """One executed session, in cluster start order."""
+
+    index: int
+    src: str
+    dst: str
+    requested_at: float
+    started_at: float
+    verdict: Ordering
+    reconciled: bool
+    result: Optional[TimedSessionResult] = None
+
+    @property
+    def queue_wait(self) -> float:
+        """Seconds the request sat behind busy endpoints."""
+        return self.started_at - self.requested_at
+
+
+#: Execution-log entries: ``("update", site)`` or ``("session", src, dst)``,
+#: in realized execution order.  Reconciliation self-increments are *not*
+#: logged — they are derived deterministically from each session's verdict,
+#: by the runner and by :func:`replay_sequential` alike.
+LogEntry = Tuple[str, ...]
+
+
+@dataclass
+class ClusterResult:
+    """What one cluster run measured."""
+
+    records: List[ClusterSessionRecord]
+    log: List[LogEntry]
+    totals: TransferStats
+    completion_time: float
+    updates_applied: int
+    updates_deferred: int
+    reconciliations: int
+    vectors: Dict[str, BasicRotatingVector]
+
+    @property
+    def sessions(self) -> int:
+        return len(self.records)
+
+    @property
+    def total_bits(self) -> int:
+        return self.totals.total_bits
+
+    @property
+    def max_queue_wait(self) -> float:
+        return max((r.queue_wait for r in self.records), default=0.0)
+
+    def consistent(self) -> bool:
+        """True iff every site's vector represents the same values."""
+        vectors = list(self.vectors.values())
+        return all(v.same_values(vectors[0]) for v in vectors[1:])
+
+    def per_session_bits(self) -> List[int]:
+        """Total bits of each session, in start order."""
+        return [r.result.stats.total_bits for r in self.records]
+
+
+class ClusterRunner:
+    """Schedules many concurrent pairwise sessions on one simulator.
+
+    One-shot: construct, :meth:`run` once, read the result.  The runner
+    owns one rotating vector per site (``config.protocol`` picks the
+    class); sessions mutate them in place exactly as a real fleet would.
+    """
+
+    def __init__(self, sites: Iterable[str], config: ClusterConfig, *,
+                 tracer: Optional[Tracer] = None,
+                 metrics: Optional[MetricsRegistry] = None) -> None:
+        self.sites = list(sites)
+        if len(set(self.sites)) != len(self.sites):
+            raise ValueError("duplicate site names in cluster")
+        self.config = config
+        self.tracer = tracer
+        self.metrics = metrics
+        vector_cls, self._reconciles = PROTOCOLS[config.protocol]
+        self.vectors: Dict[str, BasicRotatingVector] = {
+            site: vector_cls() for site in self.sites}
+        self._sim: Optional[Simulator] = None
+        self._usage: Dict[str, int] = {site: 0 for site in self.sites}
+        self._deferred: Dict[str, List[UpdateRequest]] = {
+            site: [] for site in self.sites}
+        self._pending: List[SessionRequest] = []
+        self._requested_at: Dict[int, float] = {}
+        self._records: List[ClusterSessionRecord] = []
+        self._log: List[LogEntry] = []
+        self._totals = TransferStats()
+        self._updates_applied = 0
+        self._updates_deferred = 0
+        self._reconciliations = 0
+        self._finished = False
+
+    # -- scheduling ------------------------------------------------------------
+
+    def run(self, sessions: Iterable[SessionRequest],
+            updates: Iterable[UpdateRequest] = ()) -> ClusterResult:
+        """Execute the schedule to completion; returns the measurements."""
+        if self._finished:
+            raise SimulationError("ClusterRunner instances are one-shot")
+        self._finished = True
+        sim = self._sim = Simulator()
+        tracer = self.tracer
+        previous_clock = tracer.clock if tracer is not None else None
+        span = None
+        if tracer is not None:
+            tracer.clock = lambda: sim.now
+            span = tracer.span(f"cluster:{self.config.protocol}",
+                               sites=len(self.sites),
+                               fanout=self.config.fanout)
+        try:
+            for request in sessions:
+                self._check_sites(request.src, request.dst)
+                if request.src == request.dst:
+                    raise ValueError(
+                        f"session {request} pairs a site with itself")
+                sim.call_at(request.at,
+                            lambda r=request: self._on_session_request(r))
+            for update in updates:
+                self._check_sites(update.site)
+                sim.call_at(update.at,
+                            lambda u=update: self._on_update_request(u))
+            sim.run()
+        finally:
+            if span is not None:
+                span.end()
+            if tracer is not None:
+                tracer.clock = previous_clock
+        if self._pending or any(self._usage.values()):
+            raise SimulationError(  # pragma: no cover - defensive
+                "cluster drained with sessions still queued or active")
+        return ClusterResult(
+            records=self._records,
+            log=self._log,
+            totals=self._totals,
+            completion_time=sim.now,
+            updates_applied=self._updates_applied,
+            updates_deferred=self._updates_deferred,
+            reconciliations=self._reconciliations,
+            vectors=self.vectors,
+        )
+
+    def _check_sites(self, *names: str) -> None:
+        for name in names:
+            if name not in self.vectors:
+                raise ValueError(f"unknown site {name!r} in schedule")
+
+    # -- updates ---------------------------------------------------------------
+
+    def _on_update_request(self, update: UpdateRequest) -> None:
+        if self._usage[update.site] > 0:
+            # Mid-session: mutating a vector a live coroutine iterates
+            # would corrupt the session; hold the update until it frees.
+            self._deferred[update.site].append(update)
+            self._updates_deferred += 1
+            if self.metrics is not None:
+                self.metrics.counter("cluster.updates_deferred").inc()
+            return
+        self._apply_update(update.site)
+
+    def _apply_update(self, site: str) -> None:
+        self.vectors[site].record_update(site)
+        self._log.append(("update", site))
+        self._updates_applied += 1
+        if self.tracer is not None:
+            self.tracer.event("update", party=site)
+        if self.metrics is not None:
+            self.metrics.counter("cluster.updates").inc()
+
+    # -- sessions --------------------------------------------------------------
+
+    def _on_session_request(self, request: SessionRequest) -> None:
+        self._requested_at[id(request)] = self._sim.now
+        self._pending.append(request)
+        self._dispatch()
+
+    def _dispatch(self) -> None:
+        """Start every queued session whose endpoints have capacity.
+
+        A single oldest-first pass suffices: starting a session only
+        consumes capacity, so a request skipped here cannot become
+        startable until something finishes (which dispatches again).
+        """
+        fanout = self.config.fanout
+        still_pending: List[SessionRequest] = []
+        for request in self._pending:
+            if (self._usage[request.src] < fanout
+                    and self._usage[request.dst] < fanout):
+                self._start(request)
+            else:
+                still_pending.append(request)
+        self._pending = still_pending
+
+    def _coroutines(self, src: str, dst: str,
+                    verdict: Ordering) -> Tuple[Any, Any, bool]:
+        return build_session_coroutines(
+            self.config.protocol, self.vectors[src], self.vectors[dst],
+            verdict, tracer=self.tracer)
+
+    def _start(self, request: SessionRequest) -> None:
+        sim = self._sim
+        src, dst = request.src, request.dst
+        verdict = self.vectors[dst].compare(self.vectors[src])
+        sender, receiver, reconciled = self._coroutines(src, dst, verdict)
+        record = ClusterSessionRecord(
+            index=len(self._records), src=src, dst=dst,
+            requested_at=self._requested_at.pop(id(request), sim.now),
+            started_at=sim.now, verdict=verdict, reconciled=reconciled)
+        self._records.append(record)
+        self._log.append(("session", src, dst))
+        self._usage[src] += 1
+        self._usage[dst] += 1
+        if reconciled:
+            self._reconciliations += 1
+        if self.tracer is not None:
+            self.tracer.event("session_start", party=dst, peer=src,
+                              verdict=verdict.name.lower())
+        config = self.config
+        launch_session(
+            sim, sender, receiver, channel=config.channel,
+            encoding=config.encoding, stop_and_wait=config.stop_and_wait,
+            proc_time=config.proc_time, max_steps=config.max_steps,
+            tracer=self.tracer, party_names=(src, dst),
+            on_complete=lambda result: self._finish(record, result))
+
+    def _finish(self, record: ClusterSessionRecord,
+                result: TimedSessionResult) -> None:
+        record.result = result
+        self._totals.merge(result.stats)
+        src, dst = record.src, record.dst
+        self._usage[src] -= 1
+        self._usage[dst] -= 1
+        if record.reconciled and self.config.increment_on_merge:
+            # §2.2: the pulling site increments its own element after an
+            # automatic merge.  Not logged — replay derives it from the
+            # session verdict, exactly as this runner just did.
+            self.vectors[dst].record_update(dst)
+        if self.tracer is not None:
+            self.tracer.event("session_end", party=dst, peer=src,
+                              bits=result.stats.total_bits)
+        if self.metrics is not None:
+            observe_session(self.metrics, result.stats,
+                            protocol=f"cluster.{self.config.protocol}",
+                            completion_time=result.duration)
+            self.metrics.histogram("cluster.queue_wait_seconds").observe(
+                record.queue_wait)
+        # Updates that arrived mid-session land before anything queued
+        # gets to start on the freed endpoints.
+        for site in (src, dst):
+            if self._usage[site] == 0 and self._deferred[site]:
+                deferred, self._deferred[site] = self._deferred[site], []
+                for _ in deferred:
+                    self._apply_update(site)
+        self._dispatch()
+
+
+def build_session_coroutines(protocol: str, b: BasicRotatingVector,
+                             a: BasicRotatingVector, verdict: Ordering, *,
+                             tracer: Optional[Tracer] = None
+                             ) -> Tuple[Any, Any, bool]:
+    """(sender, receiver, reconciled) for ``SYNC*_b(a)`` under ``verdict``.
+
+    ``reconciled`` reports whether the receiver will perform an automatic
+    merge (always False for BRV, which raises on concurrent inputs
+    instead — Algorithm 2's ``Require: a ∦ b``).
+    """
+    concurrent = verdict.is_concurrent
+    if protocol == "brv":
+        if concurrent:
+            raise ConcurrentVectorsError(
+                "BRV cannot synchronize concurrent vectors (use CRV/SRV, "
+                "or a single-writer workload)")
+        return (syncb_sender(b, tracer=tracer),
+                syncb_receiver(a, tracer=tracer), False)
+    if protocol == "crv":
+        return (syncc_sender(b, tracer=tracer),
+                syncc_receiver(a, reconcile=concurrent, tracer=tracer),
+                concurrent)
+    if protocol == "srv":
+        return (syncs_sender(b, tracer=tracer),
+                syncs_receiver(a, reconcile=concurrent, tracer=tracer),
+                concurrent)
+    raise ValueError(f"unknown protocol {protocol!r}")
+
+
+def replay_sequential(sites: Iterable[str], config: ClusterConfig,
+                      log: Iterable[LogEntry]
+                      ) -> Tuple[List[TimedSessionResult],
+                                 Dict[str, BasicRotatingVector]]:
+    """Re-execute a cluster run's log one session at a time.
+
+    Each session runs alone on a fresh private simulator (the plain
+    :func:`~repro.net.runner.run_timed_session` path) against vectors
+    evolved through the same realized order.  Under ``fanout=1`` the
+    returned per-session stats must equal the concurrent run's — the
+    scheduling-independence property the regression benchmark asserts.
+    """
+    vector_cls, _ = PROTOCOLS[config.protocol]
+    vectors: Dict[str, BasicRotatingVector] = {
+        site: vector_cls() for site in sites}
+    results: List[TimedSessionResult] = []
+    for entry in log:
+        if entry[0] == "update":
+            vectors[entry[1]].record_update(entry[1])
+            continue
+        if entry[0] != "session":  # pragma: no cover - defensive
+            raise ValueError(f"unknown log entry {entry!r}")
+        _, src, dst = entry
+        verdict = vectors[dst].compare(vectors[src])
+        sender, receiver, reconciled = build_session_coroutines(
+            config.protocol, vectors[src], vectors[dst], verdict)
+        results.append(run_timed_session(
+            sender, receiver, channel=config.channel,
+            encoding=config.encoding, stop_and_wait=config.stop_and_wait,
+            proc_time=config.proc_time, max_steps=config.max_steps))
+        if reconciled and config.increment_on_merge:
+            vectors[dst].record_update(dst)
+    return results, vectors

@@ -16,14 +16,24 @@ With ``stop_and_wait=True`` every data message additionally waits for an
 implicit per-item acknowledgment (rtt + ack serialization) before the next
 one starts — the baseline the paper's pipelining claim of a ``(k−1)·rtt``
 saving is measured against.  The acknowledgment bits are charged to the
-opposite direction so total-traffic comparisons stay honest.
+opposite direction so total-traffic comparisons stay honest, and they are
+recorded at the ack's simulated *arrival* instant (after the data message
+it acknowledges has been delivered), so traced timelines stay causal.
+
+Two entry points:
+
+* :func:`run_timed_session` — one session on a private simulator, run to
+  completion (the historical API);
+* :func:`launch_session` — spawn a session's two processes on a *shared*
+  simulator without running it, so many sessions can interleave on one
+  clock.  :class:`~repro.net.cluster.ClusterRunner` builds on this.
 """
 
 from __future__ import annotations
 
 from collections import deque
 from dataclasses import dataclass
-from typing import Any, Deque, Optional
+from typing import Any, Callable, Deque, Optional, Tuple
 
 from repro.errors import SessionError
 from repro.net.channel import ChannelSpec
@@ -44,7 +54,9 @@ class TimedSessionResult:
     ``completion_time`` is when the *last* party finished, in simulated
     seconds; the per-party finish times expose the asymmetry (a pipelined
     sender typically outlives the receiver by roughly one rtt while its
-    overshoot drains).
+    overshoot drains).  For sessions launched on a shared simulator the
+    times are absolute simulator clock values; ``start_time`` records when
+    the session's processes were spawned.
     """
 
     stats: TransferStats
@@ -53,6 +65,12 @@ class TimedSessionResult:
     completion_time: float
     sender_finish: float
     receiver_finish: float
+    start_time: float = 0.0
+
+    @property
+    def duration(self) -> float:
+        """Seconds from spawn to the last party's finish."""
+        return self.completion_time - self.start_time
 
 
 class _Mailbox:
@@ -77,6 +95,123 @@ class _Mailbox:
 
     def __bool__(self) -> bool:
         return bool(self._messages)
+
+
+def launch_session(sim: Simulator, sender: ProtocolCoroutine,
+                   receiver: ProtocolCoroutine, *,
+                   channel: ChannelSpec = ChannelSpec(),
+                   encoding: Encoding = DEFAULT_ENCODING,
+                   stop_and_wait: bool = False,
+                   proc_time: float = 0.0,
+                   max_steps: int = 10_000_000,
+                   tracer: Optional[Tracer] = None,
+                   party_names: Tuple[str, str] = ("sender", "receiver"),
+                   on_complete: Optional[
+                       Callable[[TimedSessionResult], None]] = None,
+                   ) -> TransferStats:
+    """Spawn one session's two processes on a shared simulator.
+
+    Returns the session's :class:`TransferStats`, which fills in as the
+    hosting simulator runs; ``on_complete`` fires (with the full
+    :class:`TimedSessionResult`) once both parties have finished.  The
+    session's wire accounting is independent of whatever else the
+    simulator hosts — concurrent sessions only share the clock — so a
+    session's bits equal those of the same coroutines run alone.
+
+    Args:
+        sim: the hosting simulator; the caller runs it.
+        party_names: labels for the two parties in trace events (e.g.
+            site names when hosted by a cluster runner).
+    """
+    stats = TransferStats()
+    sender_name, receiver_name = party_names
+    mailboxes = {sender_name: _Mailbox(sim, sender_name, tracer),
+                 receiver_name: _Mailbox(sim, receiver_name, tracer)}
+    start_time = sim.now
+    finish_times: dict[str, float] = {}
+    results: dict[str, Any] = {}
+    steps = 0
+
+    def make_process(name: str, peer: str, gen: ProtocolCoroutine,
+                     forward: bool, out_stats: DirectionStats,
+                     ack_stats: DirectionStats):
+        def process():
+            nonlocal steps
+            mailbox = mailboxes[name]
+            try:
+                pending = next(gen)
+            except StopIteration as stop:
+                results[name] = stop.value
+                return
+            while True:
+                steps += 1
+                if steps > max_steps:
+                    raise SessionError(
+                        f"timed session exceeded {max_steps} steps")
+                if isinstance(pending, Send):
+                    message = pending.message
+                    bits = message.bits(encoding)
+                    out_stats.record(message.type_name, bits)
+                    if tracer is not None:
+                        tracer.event(obs.MESSAGE, party=name,
+                                     message=message.type_name, bits=bits,
+                                     direction=("forward" if forward
+                                                else "backward"))
+                    yield channel.serialization_delay(bits)
+                    # Delivery fires one propagation latency later; note the
+                    # mailbox is captured now but pushed at arrival time.
+                    sim.call_after(channel.latency,
+                                   lambda m=message: mailboxes[peer].push(m))
+                    if stop_and_wait:
+                        # The implicit ack crosses back only after the data
+                        # message lands; record it when it *arrives* here
+                        # (now + rtt + ack serialization), not when the
+                        # data finished serializing — otherwise traces show
+                        # the Ack before the deliver it acknowledges.
+                        yield channel.stop_and_wait_overhead()
+                        ack_stats.record("Ack", channel.ack_bits)
+                        if tracer is not None:
+                            tracer.event(obs.MESSAGE, party=peer,
+                                         message="Ack", bits=channel.ack_bits,
+                                         direction=("backward" if forward
+                                                    else "forward"))
+                    value: Any = None
+                elif isinstance(pending, (Poll, Drain)):
+                    value = mailbox.pop_now()
+                elif isinstance(pending, Recv):
+                    while not mailbox:
+                        yield mailbox.arrival
+                    if proc_time > 0:
+                        yield proc_time
+                    value = mailbox.pop_now()
+                else:  # pragma: no cover - defensive
+                    raise SessionError(f"unknown effect {pending!r} in {name}")
+                try:
+                    pending = gen.send(value)
+                except StopIteration as stop:
+                    results[name] = stop.value
+                    return
+
+        def on_exit(_value: Any) -> None:
+            finish_times[name] = sim.now
+            if len(finish_times) == 2 and on_complete is not None:
+                on_complete(TimedSessionResult(
+                    stats=stats,
+                    sender_result=results[sender_name],
+                    receiver_result=results[receiver_name],
+                    completion_time=max(finish_times.values()),
+                    sender_finish=finish_times[sender_name],
+                    receiver_finish=finish_times[receiver_name],
+                    start_time=start_time,
+                ))
+
+        sim.spawn(process(), on_exit=on_exit)
+
+    make_process(sender_name, receiver_name, sender, True,
+                 stats.forward, stats.backward)
+    make_process(receiver_name, sender_name, receiver, False,
+                 stats.backward, stats.forward)
+    return stats
 
 
 def run_timed_session(sender: ProtocolCoroutine, receiver: ProtocolCoroutine,
@@ -133,82 +268,12 @@ def _run_timed_session(sender: ProtocolCoroutine,
     if tracer is not None:
         # Stamp every event with the simulated clock, dispatch-traced or not.
         tracer.clock = lambda: sim.now
-    stats = TransferStats()
-    mailboxes = {"sender": _Mailbox(sim, "sender", tracer),
-                 "receiver": _Mailbox(sim, "receiver", tracer)}
-    finish_times: dict[str, float] = {}
-    results: dict[str, Any] = {}
-    steps = 0
-
-    def make_process(name: str, peer: str, gen: ProtocolCoroutine,
-                     out_stats: DirectionStats, ack_stats: DirectionStats):
-        def process():
-            nonlocal steps
-            mailbox = mailboxes[name]
-            try:
-                pending = next(gen)
-            except StopIteration as stop:
-                results[name] = stop.value
-                return
-            while True:
-                steps += 1
-                if steps > max_steps:
-                    raise SessionError(f"timed session exceeded {max_steps} steps")
-                if isinstance(pending, Send):
-                    message = pending.message
-                    bits = message.bits(encoding)
-                    out_stats.record(message.type_name, bits)
-                    if tracer is not None:
-                        tracer.event(obs.MESSAGE, party=name,
-                                     message=message.type_name, bits=bits,
-                                     direction=("forward" if name == "sender"
-                                                else "backward"))
-                    yield channel.serialization_delay(bits)
-                    # Delivery fires one propagation latency later; note the
-                    # mailbox is captured now but pushed at arrival time.
-                    sim.call_after(channel.latency,
-                                   lambda m=message: mailboxes[peer].push(m))
-                    if stop_and_wait:
-                        ack_stats.record("Ack", channel.ack_bits)
-                        if tracer is not None:
-                            tracer.event(obs.MESSAGE, party=peer,
-                                         message="Ack", bits=channel.ack_bits,
-                                         direction=("backward"
-                                                    if name == "sender"
-                                                    else "forward"))
-                        yield channel.stop_and_wait_overhead()
-                    value: Any = None
-                elif isinstance(pending, (Poll, Drain)):
-                    value = mailbox.pop_now()
-                elif isinstance(pending, Recv):
-                    while not mailbox:
-                        yield mailbox.arrival
-                    if proc_time > 0:
-                        yield proc_time
-                    value = mailbox.pop_now()
-                else:  # pragma: no cover - defensive
-                    raise SessionError(f"unknown effect {pending!r} in {name}")
-                try:
-                    pending = gen.send(value)
-                except StopIteration as stop:
-                    results[name] = stop.value
-                    return
-
-        def on_exit(_value: Any) -> None:
-            finish_times[name] = sim.now
-
-        sim.spawn(process(), on_exit=on_exit)
-
-    make_process("sender", "receiver", sender, stats.forward, stats.backward)
-    make_process("receiver", "sender", receiver, stats.backward, stats.forward)
+    completed: list[TimedSessionResult] = []
+    launch_session(sim, sender, receiver, channel=channel, encoding=encoding,
+                   stop_and_wait=stop_and_wait, proc_time=proc_time,
+                   max_steps=max_steps, tracer=tracer,
+                   on_complete=completed.append)
     sim.run()
-    if "sender" not in results or "receiver" not in results:
+    if not completed:
         raise SessionError("timed session ended with unfinished parties")
-    return TimedSessionResult(
-        stats=stats,
-        sender_result=results["sender"],
-        receiver_result=results["receiver"],
-        completion_time=max(finish_times.values()),
-        sender_finish=finish_times["sender"],
-        receiver_finish=finish_times["receiver"],
-    )
+    return completed[0]

@@ -149,7 +149,13 @@ class Simulator:
         """Run events until the queue drains (or past ``until``).
 
         Raises :class:`SimulationError` if processes remain parked on
-        signals when the queue drains — a deadlock.
+        signals when the queue drains — a deadlock.  With ``until`` the
+        clock always ends at ``max(now, until)`` when the queue drains
+        first (simulated time passes even when nothing is scheduled), and
+        the deadlock check still applies: a drained queue can never fire
+        a signal, no matter how much longer we would have run.  Stopping
+        *early* (first pending event past ``until``) skips the check —
+        the remaining events may well wake the parked processes.
         Returns the final clock value.
         """
         while self._queue:
@@ -161,6 +167,8 @@ class Simulator:
             raise SimulationError(
                 f"simulation deadlocked with {self._blocked_processes} "
                 f"process(es) waiting on signals at t={self.now}")
+        if until is not None and until > self.now:
+            self.now = until
         return self.now
 
     @property

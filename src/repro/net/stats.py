@@ -92,6 +92,19 @@ class TransferStats:
             "backward_messages": self.backward.messages,
         }
 
+    def summary(self) -> Dict[str, object]:
+        """The flat counters plus per-direction message-type histograms.
+
+        Everything is JSON-serializable (plain dicts, ints); benchmark
+        documents embed this verbatim.
+        """
+        flat: Dict[str, object] = dict(self.as_dict())
+        flat["by_type"] = {
+            "forward": dict(sorted(self.forward.by_type.items())),
+            "backward": dict(sorted(self.backward.by_type.items())),
+        }
+        return flat
+
     def __repr__(self) -> str:
         return (f"TransferStats(fwd={self.forward.bits}b/"
                 f"{self.forward.messages}msg, "

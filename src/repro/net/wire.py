@@ -25,15 +25,19 @@ communication-complexity claims are about.
 
 from __future__ import annotations
 
-import math
 from dataclasses import dataclass
+from functools import cached_property
 
 
 def bits_for(count: int) -> int:
-    """The fixed field width needed to name ``count`` distinct things."""
+    """The fixed field width needed to name ``count`` distinct things.
+
+    ``⌈log₂(count + 1)⌉`` computed as ``count.bit_length()`` — exact
+    integer arithmetic with no float rounding at power-of-two boundaries.
+    """
     if count < 1:
         raise ValueError(f"count must be >= 1, got {count}")
-    return max(1, math.ceil(math.log2(count + 1)))
+    return max(1, count.bit_length())
 
 
 @dataclass(frozen=True)
@@ -73,28 +77,33 @@ class Encoding:
         return self.value_bits
 
     # -- element records -------------------------------------------------------
+    #
+    # Field widths are memoized: every message prices itself through these
+    # sums, so per-message recomputation is pure overhead on the hot path.
+    # ``cached_property`` writes straight into ``__dict__`` and therefore
+    # coexists with the frozen dataclass (fields stay immutable).
 
-    @property
+    @cached_property
     def brv_element_bits(self) -> int:
         """``log(2mn)``: site + value + framing bit."""
         return self.site_bits + self.value_bits + 1
 
-    @property
+    @cached_property
     def crv_element_bits(self) -> int:
         """``log(4mn)``: site + value + framing + conflict bit."""
         return self.site_bits + self.value_bits + 2
 
-    @property
+    @cached_property
     def srv_element_bits(self) -> int:
         """``log(8mn)``: site + value + framing + conflict + segment bits."""
         return self.site_bits + self.value_bits + 3
 
-    @property
+    @cached_property
     def compare_element_bits(self) -> int:
         """``log(mn)``: the bare least element exchanged by COMPARE."""
         return self.site_bits + self.value_bits
 
-    @property
+    @cached_property
     def skip_bits(self) -> int:
         """``log(2n)``: an SRV SKIP message (framing + segment counter)."""
         return self.site_bits + 1
@@ -119,12 +128,12 @@ class Encoding:
 
     # -- causal graphs -----------------------------------------------------------
 
-    @property
+    @cached_property
     def graph_node_bits(self) -> int:
         """One SYNCG node record: id + two parent ids + framing bit."""
         return 3 * self.node_id_bits + 1
 
-    @property
+    @cached_property
     def skipto_bits(self) -> int:
         """A SYNCG skip-to redirection: node id + framing bit."""
         return self.node_id_bits + 1

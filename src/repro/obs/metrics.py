@@ -17,7 +17,9 @@ lossless.
 from __future__ import annotations
 
 import math
-from typing import Any, Dict, List, Optional
+import time
+from contextlib import contextmanager
+from typing import Any, Dict, Iterator, List, Optional
 
 from repro.net.stats import TransferStats
 
@@ -140,6 +142,26 @@ class MetricsRegistry:
                 self.gauge(name).set(gauge.value)
         for name, histogram in other.histograms.items():
             self.histogram(name).observations.extend(histogram.observations)
+
+
+@contextmanager
+def wall_timer(registry: Optional[MetricsRegistry],
+               name: str) -> Iterator[None]:
+    """Record the block's wall-clock duration into histogram ``name``.
+
+    Simulated clocks measure what the *modeled* system would take; this
+    measures what the measurement itself costs — the number benchmark
+    regressions watch.  A ``None`` registry makes the timer a no-op so
+    call sites need no conditionals.
+    """
+    if registry is None:
+        yield
+        return
+    start = time.perf_counter()
+    try:
+        yield
+    finally:
+        registry.histogram(name).observe(time.perf_counter() - start)
 
 
 def observe_session(registry: MetricsRegistry, stats: TransferStats, *,

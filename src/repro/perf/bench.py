@@ -1,0 +1,254 @@
+"""The cluster-scale benchmark-regression driver.
+
+Runs the paper's workload scenarios on the
+:class:`~repro.net.cluster.ClusterRunner` at several fleet sizes and
+records, per (protocol, n): total wire traffic, simulated completion
+time, and measured wall-clock time.  The result is a
+``BENCH_cluster.json`` document (schema :mod:`repro.perf.schema`) meant
+to be committed/archived per PR so the performance trajectory is
+machine-diffable.
+
+Scenarios mirror the fleet regimes the paper distinguishes:
+
+* **single-writer-gossip** (BRV/SYNCB) — all updates land on one site, so
+  no two vectors are ever concurrent: Algorithm 2's precondition holds
+  and traffic isolates the pure O(|Δ|) incremental cost.
+* **multi-writer-gossip** (CRV/SYNCC, SRV/SYNCS) — updates land
+  everywhere; gossip reconciles concurrent vectors, exercising conflict
+  bits, segments, and SKIPs under realistic scheduling.
+
+Every run also asserts the harness's accounting invariant — concurrent
+scheduling must not change traffic — via
+:func:`~repro.net.cluster.replay_sequential` when ``paired=True``.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from dataclasses import asdict, dataclass
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.errors import ReproError
+from repro.net.channel import ChannelSpec
+from repro.net.cluster import (ClusterConfig, ClusterResult, ClusterRunner,
+                               replay_sequential)
+from repro.net.wire import Encoding
+from repro.obs.metrics import MetricsRegistry, wall_timer
+from repro.perf.schema import SCHEMA_ID, validate_bench
+from repro.workload.cluster import (gossip_schedule, site_names,
+                                    update_schedule)
+
+#: Fleet sizes of the standing regression trajectory.
+DEFAULT_SITE_COUNTS = (8, 32, 128)
+DEFAULT_OUTPUT = "BENCH_cluster.json"
+
+
+@dataclass(frozen=True)
+class BenchConfig:
+    """Knobs of one benchmark sweep (all deterministic given ``seed``)."""
+
+    site_counts: Tuple[int, ...] = DEFAULT_SITE_COUNTS
+    protocols: Tuple[str, ...] = ("brv", "crv", "srv")
+    rounds: int = 3
+    updates_per_site: float = 2.0
+    gossip_period: float = 1.0
+    gossip_jitter: float = 0.2
+    update_interval: float = 0.25
+    latency: float = 0.005
+    bandwidth: float = 1_000_000.0
+    fanout: int = 1
+    seed: int = 0
+    #: Re-run every schedule sequentially and require identical traffic.
+    paired: bool = True
+
+    def channel(self) -> ChannelSpec:
+        """The link model every session runs over."""
+        return ChannelSpec(latency=self.latency, bandwidth=self.bandwidth)
+
+
+def _scenario_for(protocol: str) -> str:
+    return ("single-writer-gossip" if protocol == "brv"
+            else "multi-writer-gossip")
+
+
+def _run_one(protocol: str, n_sites: int, config: BenchConfig, *,
+             metrics: Optional[MetricsRegistry] = None) -> Dict[str, Any]:
+    sites = site_names(n_sites)
+    n_updates = max(1, round(n_sites * config.updates_per_site))
+    cluster_config = ClusterConfig(
+        protocol=protocol,
+        channel=config.channel(),
+        encoding=Encoding.for_system(n_sites, max(16, n_updates)),
+        fanout=config.fanout,
+    )
+    sessions = gossip_schedule(
+        sites, rounds=config.rounds, period=config.gossip_period,
+        jitter=config.gossip_jitter, seed=config.seed)
+    writers = [sites[0]] if protocol == "brv" else None
+    updates = update_schedule(
+        sites, n_updates=n_updates, interval=config.update_interval,
+        seed=config.seed + 1, writers=writers)
+    runner = ClusterRunner(sites, cluster_config, metrics=metrics)
+    start = time.perf_counter()
+    with wall_timer(metrics, f"bench.cluster.{protocol}.wall_seconds"):
+        result = runner.run(sessions, updates)
+    wall_seconds = time.perf_counter() - start
+    if config.paired:
+        _assert_scheduling_independent(sites, cluster_config, result)
+    per_session = result.per_session_bits()
+    ranked = sorted(per_session)
+    return {
+        "scenario": _scenario_for(protocol),
+        "protocol": protocol,
+        "n_sites": n_sites,
+        "sessions": result.sessions,
+        "updates": result.updates_applied,
+        "updates_deferred": result.updates_deferred,
+        "reconciliations": result.reconciliations,
+        "total_bits": result.total_bits,
+        "traffic": result.totals.summary(),
+        "bits_per_session": {
+            "mean": sum(per_session) / len(per_session) if per_session else 0,
+            "p50": ranked[len(ranked) // 2] if ranked else 0,
+            "p90": ranked[min(len(ranked) - 1, (9 * len(ranked)) // 10)]
+                   if ranked else 0,
+            "max": ranked[-1] if ranked else 0,
+        },
+        "sim_completion_seconds": result.completion_time,
+        "wall_seconds": wall_seconds,
+        "max_queue_wait_seconds": result.max_queue_wait,
+        "consistent": result.consistent(),
+    }
+
+
+def _assert_scheduling_independent(sites: Sequence[str],
+                                   cluster_config: ClusterConfig,
+                                   result: ClusterResult) -> None:
+    """Concurrent and sequential execution must move identical bits."""
+    sequential, _ = replay_sequential(sites, cluster_config, result.log)
+    concurrent_bits = result.per_session_bits()
+    sequential_bits = [r.stats.total_bits for r in sequential]
+    if concurrent_bits != sequential_bits:
+        mismatches = [i for i, (c, s) in
+                      enumerate(zip(concurrent_bits, sequential_bits))
+                      if c != s]
+        raise ReproError(
+            f"cluster scheduling changed traffic accounting: "
+            f"{len(mismatches)} of {len(concurrent_bits)} sessions differ "
+            f"(first at index {mismatches[0] if mismatches else '?'}) — "
+            f"this falsifies the harness, not the workload")
+
+
+def run_cluster_bench(config: BenchConfig = BenchConfig(), *,
+                      metrics: Optional[MetricsRegistry] = None,
+                      echo: Optional[Any] = None) -> Dict[str, Any]:
+    """Run the full sweep; returns the (already validated) document."""
+    runs: List[Dict[str, Any]] = []
+    for n_sites in config.site_counts:
+        for protocol in config.protocols:
+            record = _run_one(protocol, n_sites, config, metrics=metrics)
+            runs.append(record)
+            if echo is not None:
+                echo(f"  {protocol} n={n_sites}: "
+                     f"{record['sessions']} sessions, "
+                     f"{record['total_bits']} bits, "
+                     f"sim {record['sim_completion_seconds']:.2f}s, "
+                     f"wall {record['wall_seconds'] * 1000:.0f}ms")
+    document = {
+        "schema": SCHEMA_ID,
+        "created_unix": time.time(),
+        "config": asdict(config),
+        "runs": runs,
+    }
+    errors = validate_bench(document)
+    if errors:  # pragma: no cover - would be a driver bug
+        raise ReproError(f"emitted an invalid bench document: {errors}")
+    return document
+
+
+def write_bench(document: Dict[str, Any], path: str = DEFAULT_OUTPUT) -> str:
+    """Write the document as stable, diff-friendly JSON; returns ``path``."""
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(document, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return path
+
+
+def format_bench_table(document: Dict[str, Any]) -> str:
+    """A human-readable summary of one document."""
+    header = (f"{'protocol':10} {'n':>5} {'sessions':>8} {'bits':>12} "
+              f"{'sim s':>9} {'wall ms':>9} {'recons':>7}")
+    lines = [header, "-" * len(header)]
+    for run in document["runs"]:
+        lines.append(
+            f"{run['protocol']:10} {run['n_sites']:>5} "
+            f"{run['sessions']:>8} {run['total_bits']:>12} "
+            f"{run['sim_completion_seconds']:>9.2f} "
+            f"{run['wall_seconds'] * 1000:>9.1f} "
+            f"{run['reconciliations']:>7}")
+    return "\n".join(lines)
+
+
+def bench_main(argv: List[str]) -> int:
+    """``python -m repro bench [--sites CSV] [--out PATH] ...``."""
+    site_counts: Tuple[int, ...] = DEFAULT_SITE_COUNTS
+    protocols: Tuple[str, ...] = ("brv", "crv", "srv")
+    rounds = 3
+    seed = 0
+    out = DEFAULT_OUTPUT
+
+    def fail(message: str) -> int:
+        print(message)
+        print("usage: python -m repro bench [--sites 8,32,128] "
+              "[--protocols brv,crv,srv] [--rounds N] [--seed N] "
+              "[--out BENCH_cluster.json]")
+        return 2
+
+    index = 0
+    while index < len(argv):
+        argument = argv[index]
+        if argument in ("--sites", "--protocols", "--rounds", "--seed",
+                        "--out"):
+            if index + 1 >= len(argv):
+                return fail(f"{argument} requires a value")
+            value = argv[index + 1]
+            if argument == "--sites":
+                try:
+                    site_counts = tuple(int(part)
+                                        for part in value.split(","))
+                except ValueError:
+                    return fail(f"--sites expects integers, got {value!r}")
+                if any(n < 2 for n in site_counts):
+                    return fail("--sites values must be >= 2")
+            elif argument == "--protocols":
+                protocols = tuple(value.split(","))
+                unknown = [p for p in protocols
+                           if p not in ("brv", "crv", "srv")]
+                if unknown:
+                    return fail(f"unknown protocols: {', '.join(unknown)}")
+            elif argument == "--rounds":
+                try:
+                    rounds = int(value)
+                except ValueError:
+                    return fail(f"--rounds expects an integer, got {value!r}")
+            elif argument == "--seed":
+                try:
+                    seed = int(value)
+                except ValueError:
+                    return fail(f"--seed expects an integer, got {value!r}")
+            else:
+                out = value
+            index += 2
+        else:
+            return fail(f"unknown argument {argument!r}")
+    config = BenchConfig(site_counts=site_counts, protocols=protocols,
+                         rounds=rounds, seed=seed)
+    print(f"cluster bench: n ∈ {list(site_counts)}, "
+          f"protocols {list(protocols)}, {rounds} rounds, seed {seed}")
+    document = run_cluster_bench(config, echo=print)
+    path = write_bench(document, out)
+    print()
+    print(format_bench_table(document))
+    print(f"\nwrote {path} ({SCHEMA_ID})")
+    return 0

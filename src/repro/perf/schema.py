@@ -1,0 +1,177 @@
+"""Schema of the ``BENCH_cluster.json`` regression document.
+
+The benchmark trajectory only works if every PR emits the *same shape*:
+a diff between two runs must be a field-by-field comparison, never a
+parser archaeology session.  This module pins that shape with a
+dependency-free validator (the container has no ``jsonschema``), used by
+the benchmark tests, the CI smoke job, and anyone diffing two documents.
+
+Document layout (version ``repro.bench.cluster/1``)::
+
+    {
+      "schema": "repro.bench.cluster/1",
+      "created_unix": 1754500000.0,        # wall clock at emission
+      "config": { ... BenchConfig fields ... },
+      "runs": [
+        {
+          "scenario": "multi-writer-gossip",
+          "protocol": "srv",               # brv | crv | srv
+          "n_sites": 8,
+          "sessions": 24,
+          "updates": 16,
+          "updates_deferred": 0,
+          "reconciliations": 3,
+          "total_bits": 4242,              # == traffic.total_bits
+          "traffic": {                     # TransferStats.summary()
+            "forward_bits": ..., "backward_bits": ..., "total_bits": ...,
+            "forward_messages": ..., "backward_messages": ...,
+            "by_type": {"forward": {...}, "backward": {...}}
+          },
+          "bits_per_session": {"mean": ..., "p50": ..., "p90": ..., "max": ...},
+          "sim_completion_seconds": 4.25,  # simulated clock at drain
+          "wall_seconds": 0.08,            # measured host time
+          "max_queue_wait_seconds": 0.01,
+          "consistent": true
+        }, ...
+      ]
+    }
+
+Validate from the command line::
+
+    PYTHONPATH=src python -m repro.perf.schema BENCH_cluster.json
+"""
+
+from __future__ import annotations
+
+import json
+import numbers
+import sys
+from typing import Any, Dict, List
+
+SCHEMA_ID = "repro.bench.cluster/1"
+
+PROTOCOLS = ("brv", "crv", "srv")
+
+#: Required numeric count fields of one run record (all ≥ 0).
+_RUN_COUNTS = ("n_sites", "sessions", "updates", "updates_deferred",
+               "reconciliations", "total_bits")
+#: Required numeric duration fields of one run record (all ≥ 0).
+_RUN_SECONDS = ("sim_completion_seconds", "wall_seconds",
+                "max_queue_wait_seconds")
+_TRAFFIC_FIELDS = ("forward_bits", "backward_bits", "total_bits",
+                   "forward_messages", "backward_messages")
+_BPS_FIELDS = ("mean", "p50", "p90", "max")
+
+
+def _is_number(value: Any) -> bool:
+    return isinstance(value, numbers.Real) and not isinstance(value, bool)
+
+
+def _check_number(errors: List[str], where: str, record: Dict[str, Any],
+                  name: str, *, integer: bool = False) -> None:
+    value = record.get(name)
+    if value is None:
+        errors.append(f"{where}: missing field {name!r}")
+    elif not _is_number(value) or (integer and not isinstance(value, int)):
+        kind = "an integer" if integer else "a number"
+        errors.append(f"{where}: field {name!r} must be {kind}, "
+                      f"got {value!r}")
+    elif value < 0:
+        errors.append(f"{where}: field {name!r} must be >= 0, got {value!r}")
+
+
+def _validate_run(errors: List[str], index: int,
+                  run: Dict[str, Any]) -> None:
+    where = f"runs[{index}]"
+    if not isinstance(run, dict):
+        errors.append(f"{where}: must be an object, got {type(run).__name__}")
+        return
+    if not isinstance(run.get("scenario"), str) or not run.get("scenario"):
+        errors.append(f"{where}: missing or empty 'scenario'")
+    if run.get("protocol") not in PROTOCOLS:
+        errors.append(f"{where}: 'protocol' must be one of {PROTOCOLS}, "
+                      f"got {run.get('protocol')!r}")
+    for name in _RUN_COUNTS:
+        _check_number(errors, where, run, name, integer=True)
+    for name in _RUN_SECONDS:
+        _check_number(errors, where, run, name)
+    if isinstance(run.get("n_sites"), int) and run["n_sites"] < 1:
+        errors.append(f"{where}: 'n_sites' must be >= 1")
+    if not isinstance(run.get("consistent"), bool):
+        errors.append(f"{where}: 'consistent' must be a boolean")
+    traffic = run.get("traffic")
+    if not isinstance(traffic, dict):
+        errors.append(f"{where}: missing 'traffic' object")
+    else:
+        for name in _TRAFFIC_FIELDS:
+            _check_number(errors, f"{where}.traffic", traffic, name,
+                          integer=True)
+        if isinstance(traffic.get("total_bits"), int) \
+                and isinstance(run.get("total_bits"), int) \
+                and traffic["total_bits"] != run["total_bits"]:
+            errors.append(f"{where}: total_bits ({run['total_bits']}) "
+                          f"disagrees with traffic.total_bits "
+                          f"({traffic['total_bits']})")
+        if not isinstance(traffic.get("by_type"), dict):
+            errors.append(f"{where}.traffic: missing 'by_type' object")
+    bits_per_session = run.get("bits_per_session")
+    if not isinstance(bits_per_session, dict):
+        errors.append(f"{where}: missing 'bits_per_session' object")
+    else:
+        for name in _BPS_FIELDS:
+            _check_number(errors, f"{where}.bits_per_session",
+                          bits_per_session, name)
+
+
+def validate_bench(doc: Any) -> List[str]:
+    """All schema violations in ``doc`` (empty list == valid)."""
+    errors: List[str] = []
+    if not isinstance(doc, dict):
+        return [f"document must be an object, got {type(doc).__name__}"]
+    if doc.get("schema") != SCHEMA_ID:
+        errors.append(f"'schema' must be {SCHEMA_ID!r}, "
+                      f"got {doc.get('schema')!r}")
+    if not _is_number(doc.get("created_unix")) or doc.get("created_unix") < 0:
+        errors.append("'created_unix' must be a non-negative number")
+    if not isinstance(doc.get("config"), dict):
+        errors.append("'config' must be an object")
+    runs = doc.get("runs")
+    if not isinstance(runs, list) or not runs:
+        errors.append("'runs' must be a non-empty array")
+    else:
+        for index, run in enumerate(runs):
+            _validate_run(errors, index, run)
+    return errors
+
+
+def validate_file(path: str) -> List[str]:
+    """Validate a JSON document on disk; parse errors are violations too."""
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            doc = json.load(handle)
+    except (OSError, json.JSONDecodeError) as error:
+        return [f"cannot read {path}: {error}"]
+    return validate_bench(doc)
+
+
+def main(argv: List[str] | None = None) -> int:
+    """``python -m repro.perf.schema FILE [FILE...]`` — exit 1 on errors."""
+    paths = list(sys.argv[1:] if argv is None else argv)
+    if not paths:
+        print("usage: python -m repro.perf.schema BENCH_cluster.json [...]")
+        return 2
+    status = 0
+    for path in paths:
+        errors = validate_file(path)
+        if errors:
+            status = 1
+            print(f"{path}: INVALID")
+            for error in errors:
+                print(f"  - {error}")
+        else:
+            print(f"{path}: ok ({SCHEMA_ID})")
+    return status
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,106 @@
+"""Cluster-scale workload schedules: who syncs with whom, and when.
+
+The anti-entropy layer (:mod:`repro.replication.antientropy`) generates its
+gossip schedule *dynamically* while the simulation runs; that is right for
+convergence experiments but wrong for performance regression, where two
+runs must execute the **same** session schedule so their traffic and
+timing are comparable.  This module precomputes deterministic schedules —
+plain value objects a :class:`~repro.net.cluster.ClusterRunner` (or any
+other driver) can execute, re-execute, or replay sequentially.
+
+Schedules are pure functions of their parameters and a seed: the same
+arguments always produce the identical event list, regardless of how the
+consuming runner interleaves execution.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from repro.workload.topology import RandomPairTopology, Topology
+
+
+@dataclass(frozen=True)
+class SessionRequest:
+    """One requested pairwise synchronization: ``dst`` pulls from ``src``.
+
+    ``at`` is the earliest simulated start time; a runner with per-site
+    session queues may start the session later if either endpoint is busy.
+    """
+
+    at: float
+    src: str
+    dst: str
+
+
+@dataclass(frozen=True)
+class UpdateRequest:
+    """One local update landing on ``site`` at simulated time ``at``."""
+
+    at: float
+    site: str
+
+
+def site_names(n_sites: int) -> List[str]:
+    """The canonical fleet naming used across workloads: S000, S001, …"""
+    return [f"S{i:03d}" for i in range(n_sites)]
+
+
+def gossip_schedule(sites: Sequence[str], *, rounds: int,
+                    period: float = 1.0, jitter: float = 0.2,
+                    topology: Optional[Topology] = None,
+                    seed: int = 0) -> List[SessionRequest]:
+    """A fixed gossip schedule: every site initiates once per round.
+
+    Per round each site draws a jittered offset around ``round·period``
+    and a partner from ``topology`` (uniform random pairs by default); the
+    result is sorted by request time, ties broken by draw order, so
+    executing it is deterministic.
+    """
+    if rounds < 1:
+        raise ValueError(f"rounds must be >= 1, got {rounds}")
+    if period <= 0:
+        raise ValueError(f"period must be > 0, got {period}")
+    topology = topology or RandomPairTopology()
+    rng = random.Random(seed)
+    requests: List[SessionRequest] = []
+    step = 0
+    site_list = list(sites)
+    for round_no in range(rounds):
+        base = (round_no + 1) * period
+        for _ in site_list:
+            offset = 1 + jitter * (2 * rng.random() - 1)
+            src, dst = topology.pair(rng, step, site_list)
+            requests.append(SessionRequest(at=base * offset,
+                                           src=src, dst=dst))
+            step += 1
+    requests.sort(key=lambda r: r.at)
+    return requests
+
+
+def update_schedule(sites: Sequence[str], *, n_updates: int,
+                    interval: float = 0.7, seed: int = 0,
+                    writers: Optional[Sequence[str]] = None
+                    ) -> List[UpdateRequest]:
+    """Exponentially-spaced updates over ``writers`` (default: all sites).
+
+    Restricting ``writers`` to a single site produces the conflict-free
+    regime BRV requires (§3.1: no reconciliation); the default multi-writer
+    draw exercises CRV/SRV reconciliation under concurrency.
+    """
+    if n_updates < 0:
+        raise ValueError(f"n_updates must be >= 0, got {n_updates}")
+    if interval <= 0:
+        raise ValueError(f"interval must be > 0, got {interval}")
+    pool = list(writers) if writers is not None else list(sites)
+    if n_updates and not pool:
+        raise ValueError("no writers to draw updates from")
+    rng = random.Random(seed)
+    clock = 0.0
+    requests: List[UpdateRequest] = []
+    for _ in range(n_updates):
+        clock += rng.expovariate(1.0 / interval)
+        requests.append(UpdateRequest(at=clock, site=rng.choice(pool)))
+    return requests

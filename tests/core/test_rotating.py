@@ -17,6 +17,20 @@ class TestConstruction:
         with pytest.raises(ValueError):
             BasicRotatingVector.from_pairs([("A", 0)])
 
+    def test_from_pairs_rejects_duplicate_sites(self):
+        # A repeated site would rotate the first occurrence to the later
+        # slot, silently corrupting the order the caller spelled out.
+        with pytest.raises(ValueError, match="duplicate site"):
+            BasicRotatingVector.from_pairs([("A", 2), ("B", 1), ("A", 1)])
+
+    def test_from_pairs_rejects_duplicates_in_subclasses(self):
+        from repro.core.conflict import ConflictRotatingVector
+        from repro.core.skip import SkipRotatingVector
+
+        for cls in (ConflictRotatingVector, SkipRotatingVector):
+            with pytest.raises(ValueError, match="duplicate site"):
+                cls.from_pairs([("A", 1), ("A", 2)])
+
     def test_empty_vector(self):
         vector = BasicRotatingVector()
         assert len(vector) == 0

@@ -34,6 +34,21 @@ class TestGammaCode:
         # 2·⌊log2(value+1)⌋+1 exactly: value 1023 → x=1024 → 21 bits.
         assert elias_gamma_bits(1023) == 2 * 10 + 1
 
+    @pytest.mark.parametrize("k", [10, 52, 53, 54, 63, 64, 100, 256])
+    def test_power_of_two_boundaries(self, k):
+        """Exact pricing at 2^k − 1 / 2^k for magnitudes beyond float53.
+
+        ``value = 2^k − 1`` encodes γ(2^k) in ``2k + 1`` bits; one more
+        (``value = 2^k``) crosses into the next width class only at the
+        *next* power of two, so it still costs ``2k + 1``.  The float
+        formulation rounded ``log2`` up or down near these boundaries
+        once k exceeded the 53-bit mantissa.
+        """
+        assert elias_gamma_bits(2**k - 1) == 2 * k + 1
+        assert elias_gamma_bits(2**k) == 2 * k + 1
+        assert elias_gamma_bits(2**k - 2) == 2 * (k - 1) + 1
+        assert elias_gamma_bits(2**(k + 1) - 1) == 2 * (k + 1) + 1
+
 
 class TestAdaptivePricing:
     def test_small_values_cost_less_than_fixed(self):

@@ -56,6 +56,39 @@ class TestPipeliningSavings:
         acked = result.stats.backward.by_type.get("Ack", 0)
         assert acked == 6  # 5 elements + sender HALT
 
+    def test_ack_traced_after_the_delivery_it_acknowledges(self):
+        """Acks must never precede the deliver event they acknowledge.
+
+        Regression: the ack used to be recorded when the *data* message
+        finished serializing — one latency before that message was even
+        delivered — so traced timelines showed effects before causes.
+        """
+        from repro.obs import Tracer
+
+        a, b = fresh_pair(4)
+        channel = ChannelSpec(latency=0.01, bandwidth=1e5, ack_bits=8)
+        tracer = Tracer()
+        run_timed_session(syncb_sender(b), syncb_receiver(a),
+                          channel=channel, encoding=ENC, stop_and_wait=True,
+                          tracer=tracer)
+        deliver_times = [e.time for e in tracer.events
+                         if e.kind == "deliver" and e.party == "receiver"]
+        ack_events = [e for e in tracer.events
+                      if e.kind == "message" and e.message == "Ack"]
+        assert len(ack_events) == 5  # 4 elements + sender HALT
+        for ack, delivered_at in zip(ack_events, deliver_times):
+            # Arrival = delivery + ack serialization + return latency.
+            expected = (delivered_at
+                        + channel.serialization_delay(channel.ack_bits)
+                        + channel.latency)
+            assert ack.time == pytest.approx(expected)
+        # Sequence order agrees with the clock: each ack is traced after
+        # the data delivery it acknowledges.
+        deliver_seqs = [e.seq for e in tracer.events
+                        if e.kind == "deliver" and e.party == "receiver"]
+        for ack, deliver_seq in zip(ack_events, deliver_seqs):
+            assert ack.seq > deliver_seq
+
 
 class TestBetaExcess:
     def test_overshoot_bounded_by_beta(self):

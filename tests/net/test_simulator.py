@@ -52,6 +52,53 @@ class TestEventQueue:
         assert sim.now == 5.0
         assert sim.pending_events == 1
 
+    def test_run_until_advances_clock_on_empty_queue(self):
+        # Time passes even with nothing scheduled: draining before the
+        # horizon leaves the clock at the horizon, exactly as when the
+        # first pending event lies past it.
+        sim = Simulator()
+        assert sim.run(until=5.0) == 5.0
+        assert sim.now == 5.0
+        sim.call_after(1.0, lambda: None)
+        assert sim.run(until=9.0) == 9.0
+        assert sim.now == 9.0
+
+    def test_run_until_in_the_past_keeps_clock(self):
+        sim = Simulator()
+        sim.call_at(4.0, lambda: None)
+        sim.run()
+        assert sim.run(until=2.0) == 4.0  # never moves backwards
+
+    def test_run_until_drained_queue_still_detects_deadlock(self):
+        # A drained queue can never fire a signal; waiting longer cannot
+        # help, so the deadlock check applies even under an `until`.
+        sim = Simulator()
+
+        def stuck():
+            yield sim.signal("never")
+
+        sim.spawn(stuck())
+        with pytest.raises(SimulationError, match="deadlock"):
+            sim.run(until=100.0)
+
+    def test_run_until_early_return_skips_deadlock_check(self):
+        # Stopping early with events still pending is not a deadlock: the
+        # remaining events may wake the parked process, as resuming shows.
+        sim = Simulator()
+        signal = sim.signal("later")
+        woke = []
+
+        def waiter():
+            yield signal
+            woke.append(sim.now)
+
+        sim.spawn(waiter())
+        sim.call_at(10.0, signal.fire)
+        assert sim.run(until=5.0) == 5.0
+        assert woke == []
+        sim.run()
+        assert woke == [10.0]
+
 
 class TestProcesses:
     def test_process_sleeps(self):

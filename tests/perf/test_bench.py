@@ -1,0 +1,128 @@
+"""Tests for the cluster benchmark driver and its CLI."""
+
+import json
+
+import pytest
+
+from repro.__main__ import main as repro_main
+from repro.obs.metrics import MetricsRegistry
+from repro.perf.bench import (BenchConfig, bench_main, format_bench_table,
+                              run_cluster_bench, write_bench)
+from repro.perf.schema import SCHEMA_ID, validate_bench, validate_file
+
+#: A deliberately tiny sweep so driver tests stay fast.
+TINY = BenchConfig(site_counts=(4,), rounds=2, updates_per_site=1.0)
+
+
+class TestRunClusterBench:
+    def test_document_is_schema_valid(self):
+        document = run_cluster_bench(TINY)
+        assert document["schema"] == SCHEMA_ID
+        assert validate_bench(document) == []
+        assert len(document["runs"]) == 3  # one per protocol
+
+    def test_runs_cover_the_requested_grid(self):
+        config = BenchConfig(site_counts=(4, 6), protocols=("srv",),
+                             rounds=2)
+        document = run_cluster_bench(config)
+        grid = [(r["protocol"], r["n_sites"]) for r in document["runs"]]
+        assert grid == [("srv", 4), ("srv", 6)]
+
+    def test_config_is_embedded(self):
+        document = run_cluster_bench(TINY)
+        assert document["config"]["rounds"] == TINY.rounds
+        assert tuple(document["config"]["site_counts"]) == TINY.site_counts
+
+    def test_deterministic_measurements(self):
+        first = run_cluster_bench(TINY)
+        second = run_cluster_bench(TINY)
+        stable = ("total_bits", "sessions", "reconciliations",
+                  "sim_completion_seconds", "bits_per_session")
+        for run_a, run_b in zip(first["runs"], second["runs"]):
+            for key in stable:
+                assert run_a[key] == run_b[key]
+
+    def test_brv_runs_conflict_free(self):
+        document = run_cluster_bench(TINY)
+        brv = next(r for r in document["runs"] if r["protocol"] == "brv")
+        assert brv["scenario"] == "single-writer-gossip"
+        assert brv["reconciliations"] == 0
+
+    def test_paired_replay_is_checked(self):
+        # paired=True is the default; a run that completes has passed the
+        # concurrent-equals-sequential accounting assertion.
+        document = run_cluster_bench(TINY)
+        assert all(run["consistent"] in (True, False)
+                   for run in document["runs"])
+
+    def test_metrics_are_populated(self):
+        metrics = MetricsRegistry()
+        run_cluster_bench(BenchConfig(site_counts=(4,), protocols=("srv",),
+                                      rounds=2), metrics=metrics)
+        snapshot = metrics.snapshot()
+        assert snapshot["counters"]["cluster.srv.sessions"] == 8
+        wall = snapshot["histograms"]["bench.cluster.srv.wall_seconds"]
+        assert wall["count"] == 1 and wall["total"] > 0
+
+
+class TestWriteBench:
+    def test_written_file_validates(self, tmp_path):
+        path = str(tmp_path / "BENCH_cluster.json")
+        document = run_cluster_bench(TINY)
+        assert write_bench(document, path) == path
+        assert validate_file(path) == []
+
+    def test_output_is_stable_json(self, tmp_path):
+        path = tmp_path / "bench.json"
+        write_bench(run_cluster_bench(TINY), str(path))
+        text = path.read_text()
+        assert text.endswith("\n")
+        parsed = json.loads(text)
+        assert list(parsed) == sorted(parsed)  # sort_keys for clean diffs
+
+
+class TestFormatBenchTable:
+    def test_one_row_per_run(self):
+        document = run_cluster_bench(TINY)
+        table = format_bench_table(document)
+        lines = table.splitlines()
+        assert len(lines) == 2 + len(document["runs"])
+        assert "protocol" in lines[0]
+        assert any("srv" in line for line in lines[2:])
+
+
+class TestBenchCli:
+    def test_bench_writes_and_reports(self, tmp_path, capsys):
+        out = str(tmp_path / "BENCH_cluster.json")
+        assert bench_main(["--sites", "4", "--rounds", "2",
+                           "--out", out]) == 0
+        assert validate_file(out) == []
+        stdout = capsys.readouterr().out
+        assert "wrote" in stdout and SCHEMA_ID in stdout
+
+    def test_protocol_subset(self, tmp_path, capsys):
+        out = str(tmp_path / "bench.json")
+        assert bench_main(["--sites", "4", "--rounds", "2",
+                           "--protocols", "srv", "--out", out]) == 0
+        with open(out) as handle:
+            document = json.load(handle)
+        assert [r["protocol"] for r in document["runs"]] == ["srv"]
+
+    @pytest.mark.parametrize("argv", [
+        ["--sites"],                       # missing value
+        ["--sites", "four"],               # not an integer
+        ["--sites", "1"],                  # below minimum
+        ["--rounds", "two"],
+        ["--protocols", "vv"],
+        ["--frobnicate"],                  # unknown flag
+    ])
+    def test_bad_arguments_exit_2(self, argv, capsys):
+        assert bench_main(argv) == 2
+        assert "usage" in capsys.readouterr().out
+
+    def test_dispatch_through_module_main(self, tmp_path, capsys,
+                                          monkeypatch):
+        monkeypatch.chdir(tmp_path)
+        assert repro_main(["bench", "--sites", "4", "--rounds", "2"]) == 0
+        assert (tmp_path / "BENCH_cluster.json").exists()
+        capsys.readouterr()

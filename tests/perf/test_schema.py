@@ -1,0 +1,131 @@
+"""Tests for the BENCH_cluster.json schema validator."""
+
+import copy
+import json
+
+from repro.perf.schema import SCHEMA_ID, main, validate_bench, validate_file
+
+VALID_RUN = {
+    "scenario": "multi-writer-gossip",
+    "protocol": "srv",
+    "n_sites": 8,
+    "sessions": 24,
+    "updates": 16,
+    "updates_deferred": 0,
+    "reconciliations": 3,
+    "total_bits": 4242,
+    "traffic": {
+        "forward_bits": 4000, "backward_bits": 242, "total_bits": 4242,
+        "forward_messages": 30, "backward_messages": 12,
+        "by_type": {"forward": {"Element": 30}, "backward": {"Halt": 12}},
+    },
+    "bits_per_session": {"mean": 176.75, "p50": 170, "p90": 220, "max": 260},
+    "sim_completion_seconds": 4.25,
+    "wall_seconds": 0.08,
+    "max_queue_wait_seconds": 0.01,
+    "consistent": True,
+}
+
+VALID_DOC = {
+    "schema": SCHEMA_ID,
+    "created_unix": 1754500000.0,
+    "config": {"rounds": 3},
+    "runs": [VALID_RUN],
+}
+
+
+def doc_with(**run_overrides):
+    doc = copy.deepcopy(VALID_DOC)
+    doc["runs"][0].update(run_overrides)
+    return doc
+
+
+class TestValidateBench:
+    def test_valid_document_passes(self):
+        assert validate_bench(VALID_DOC) == []
+
+    def test_non_object_document(self):
+        assert validate_bench([1, 2]) \
+            == ["document must be an object, got list"]
+
+    def test_wrong_schema_id(self):
+        doc = dict(VALID_DOC, schema="repro.bench.cluster/0")
+        assert any("'schema'" in e for e in validate_bench(doc))
+
+    def test_missing_runs(self):
+        doc = dict(VALID_DOC, runs=[])
+        assert any("non-empty" in e for e in validate_bench(doc))
+
+    def test_unknown_protocol(self):
+        errors = validate_bench(doc_with(protocol="vv"))
+        assert any("'protocol'" in e for e in errors)
+
+    def test_missing_count_field(self):
+        doc = doc_with()
+        del doc["runs"][0]["total_bits"]
+        assert any("total_bits" in e for e in validate_bench(doc))
+
+    def test_float_where_integer_required(self):
+        errors = validate_bench(doc_with(sessions=24.5))
+        assert any("sessions" in e and "an integer" in e for e in errors)
+
+    def test_negative_seconds(self):
+        errors = validate_bench(doc_with(wall_seconds=-0.1))
+        assert any("wall_seconds" in e and ">= 0" in e for e in errors)
+
+    def test_bool_is_not_a_number(self):
+        errors = validate_bench(doc_with(total_bits=True))
+        assert any("total_bits" in e for e in errors)
+
+    def test_total_bits_cross_check(self):
+        errors = validate_bench(doc_with(total_bits=1))
+        assert any("disagrees" in e for e in errors)
+
+    def test_missing_consistent_flag(self):
+        doc = doc_with()
+        del doc["runs"][0]["consistent"]
+        assert any("consistent" in e for e in validate_bench(doc))
+
+    def test_missing_traffic_by_type(self):
+        doc = doc_with()
+        del doc["runs"][0]["traffic"]["by_type"]
+        assert any("by_type" in e for e in validate_bench(doc))
+
+    def test_all_errors_reported_at_once(self):
+        doc = doc_with(protocol="vv", total_bits=-1, consistent="yes")
+        assert len(validate_bench(doc)) >= 3
+
+
+class TestValidateFile:
+    def test_round_trip(self, tmp_path):
+        path = tmp_path / "bench.json"
+        path.write_text(json.dumps(VALID_DOC))
+        assert validate_file(str(path)) == []
+
+    def test_unreadable_file(self, tmp_path):
+        errors = validate_file(str(tmp_path / "missing.json"))
+        assert errors and "cannot read" in errors[0]
+
+    def test_malformed_json(self, tmp_path):
+        path = tmp_path / "broken.json"
+        path.write_text("{not json")
+        errors = validate_file(str(path))
+        assert errors and "cannot read" in errors[0]
+
+
+class TestCli:
+    def test_ok_exit_code(self, tmp_path, capsys):
+        path = tmp_path / "bench.json"
+        path.write_text(json.dumps(VALID_DOC))
+        assert main([str(path)]) == 0
+        assert "ok" in capsys.readouterr().out
+
+    def test_invalid_exit_code(self, tmp_path, capsys):
+        path = tmp_path / "bench.json"
+        path.write_text(json.dumps(dict(VALID_DOC, runs=[])))
+        assert main([str(path)]) == 1
+        assert "INVALID" in capsys.readouterr().out
+
+    def test_no_arguments(self, capsys):
+        assert main([]) == 2
+        assert "usage" in capsys.readouterr().out
