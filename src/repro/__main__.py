@@ -17,7 +17,8 @@ demo and prints the structured timeline afterwards (optionally exporting
 the raw events as JSON lines).  The ``bench`` subcommand runs the
 cluster-scale performance harness (:mod:`repro.perf.bench`) and writes
 ``BENCH_cluster.json``; it owns its own flag set (``--sites``,
-``--protocols``, ``--rounds``, ``--seed``, ``--out``).
+``--protocols``, ``--rounds``, ``--seed``, ``--workers``, ``--profile``,
+``--profile-out``, ``--out``).
 """
 
 from __future__ import annotations
@@ -173,8 +174,8 @@ DEMOS: Dict[str, Callable[..., None]] = {
 def _usage() -> None:
     print("usage: python -m repro [--seed N] <demo>|all\n"
           "       python -m repro [--seed N] trace <demo> [--jsonl PATH]\n"
-          "       python -m repro bench [--sites 8,32,128] "
-          "[--out BENCH_cluster.json]\n\n"
+          "       python -m repro bench [--sites 8,32,128] [--workers N] "
+          "[--profile] [--out BENCH_cluster.json]\n\n"
           "demos:")
     for name, fn in DEMOS.items():
         print(f"  {name:12} {fn.__doc__.splitlines()[0]}")

@@ -58,12 +58,31 @@ class ElementOrder:
     * element lookup by site name.
     """
 
-    __slots__ = ("_by_site", "_head", "_tail")
+    __slots__ = ("_by_site", "_head", "_tail", "_version")
 
     def __init__(self) -> None:
         self._by_site: Dict[str, Element] = {}
         self._head: Optional[Element] = None
         self._tail: Optional[Element] = None
+        self._version = 0
+
+    # -- change tracking -------------------------------------------------------
+
+    @property
+    def version(self) -> int:
+        """Monotonic mutation counter; derived caches key on it.
+
+        Every rotation/removal bumps it.  Code that writes element fields
+        directly (protocol receivers re-anchoring elements, segment-boundary
+        writes) must call :meth:`touch` so caches keyed on the version — the
+        SRV segment-partition cache in :mod:`repro.core.skip` — never serve
+        a stale parse.
+        """
+        return self._version
+
+    def touch(self) -> None:
+        """Declare an out-of-band mutation (direct element field write)."""
+        self._version += 1
 
     # -- lookups -------------------------------------------------------------
 
@@ -163,6 +182,7 @@ class ElementOrder:
         but detached (``rotate_after``'s self-anchor no-op) has neither
         neighbor and skips straight to the relink.
         """
+        self._version += 1
         element = self._by_site.get(site)
         if element is None:
             element = Element(site, 0)
@@ -200,6 +220,7 @@ class ElementOrder:
         element = self._by_site.pop(site, None)
         if element is None:
             return None
+        self._version += 1
         self._unlink(element)
         return element
 
@@ -212,6 +233,7 @@ class ElementOrder:
         """
         if prev_site is None:
             return self.rotate_front(site)
+        self._version += 1
         if prev_site == site:
             return self._obtain(site)
         anchor = self._by_site.get(prev_site)

@@ -25,10 +25,13 @@ CRG nodes coalesce.
 
 from __future__ import annotations
 
-from typing import List, Tuple
+from typing import List, Optional, Tuple
 
 from repro.core.conflict import ConflictRotatingVector
 from repro.core.linkedorder import Element
+
+#: A parsed segment partition: ``((site, value), ...)`` runs, front first.
+SegmentPartition = Tuple[Tuple[Tuple[str, int], ...], ...]
 
 
 class SkipRotatingVector(ConflictRotatingVector):
@@ -43,7 +46,15 @@ class SkipRotatingVector(ConflictRotatingVector):
 
     kind = "srv"
 
-    __slots__ = ()
+    __slots__ = ("_partition_cache", "_partition_version")
+
+    def __init__(self) -> None:
+        super().__init__()
+        # Cached parse of the segment partition, keyed on the order's
+        # mutation version: repeated analytics (segment counts, storage
+        # sizing, Π-bound checks) stop re-walking the linked list.
+        self._partition_cache: Optional[SegmentPartition] = None
+        self._partition_version = -1
 
     @classmethod
     def from_segments(
@@ -64,6 +75,7 @@ class SkipRotatingVector(ConflictRotatingVector):
             element = vector.order.get(last_site)
             assert element is not None
             element.segment = True
+        vector.order.touch()
         return vector
 
     # -- segment inspection -----------------------------------------------------
@@ -79,12 +91,36 @@ class SkipRotatingVector(ConflictRotatingVector):
         if element is None:
             raise KeyError(f"no element for site {site!r}")
         element.segment = flag
+        self.order.touch()
+
+    def partition(self) -> SegmentPartition:
+        """The cached segment partition, front segment first.
+
+        Re-parsed only when the element order's mutation version moved
+        since the last call; any rotation, removal, or declared field write
+        (:meth:`~repro.core.linkedorder.ElementOrder.touch`) invalidates
+        it.  The returned tuples are immutable and safe to share.
+        """
+        version = self.order.version
+        if self._partition_version != version or self._partition_cache is None:
+            self._partition_cache = tuple(
+                tuple(segment) for segment in self.segments_uncached())
+            self._partition_version = version
+        return self._partition_cache
 
     def segments(self) -> List[List[Tuple[str, int]]]:
         """The vector parsed into segments, front to back.
 
         A segment is a maximal run of elements ending at one whose segment
-        bit is set; the vector end is an implicit terminator.
+        bit is set; the vector end is an implicit terminator.  Served from
+        :meth:`partition`'s cache; the lists returned are fresh copies.
+        """
+        return [list(segment) for segment in self.partition()]
+
+    def segments_uncached(self) -> List[List[Tuple[str, int]]]:
+        """Reference parse that always walks the element order.
+
+        The oracle the cached path is property-tested against.
         """
         result: List[List[Tuple[str, int]]] = []
         current: List[Tuple[str, int]] = []
@@ -99,7 +135,7 @@ class SkipRotatingVector(ConflictRotatingVector):
 
     def segment_count(self) -> int:
         """Number of segments currently present in the vector."""
-        return len(self.segments())
+        return len(self.partition())
 
     def segment_elements(self) -> List[List[Element]]:
         """Like :meth:`segments` but yielding the live elements."""

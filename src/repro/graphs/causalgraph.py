@@ -64,13 +64,23 @@ class GraphNode:
 class CausalGraph:
     """A replica's causal graph with O(1) node lookup and sink tracking."""
 
-    __slots__ = ("_nodes", "_children")
+    __slots__ = ("_nodes", "_children", "_present_kids", "_childless", "_log")
 
     def __init__(self) -> None:
         self._nodes: Dict[NodeId, GraphNode] = {}
         # Children sets may hold entries for parents that have not arrived
         # yet (out-of-order install during SYNCG); such ids are not nodes.
         self._children: Dict[NodeId, Set[NodeId]] = {}
+        # Incremental sink index: per-node count of *present* children and
+        # the set of present nodes whose count is zero.  Maintained by
+        # install() so sinks()/compare() stop rescanning the whole graph on
+        # every pull — the dominant cost of long operation-transfer
+        # histories (E4).
+        self._present_kids: Dict[NodeId, int] = {}
+        self._childless: Set[NodeId] = set()
+        # Append-only install order; its length is the graph version and
+        # slices of it answer "what arrived since" in O(Δ).
+        self._log: List[NodeId] = []
 
     # -- construction (validated, append-only) ----------------------------------
 
@@ -118,8 +128,13 @@ class CausalGraph:
             return existing
         self._nodes[node.node_id] = node
         self._children.setdefault(node.node_id, set())
-        for parent in node.parents:
+        self._log.append(node.node_id)
+        if self._present_kids.get(node.node_id, 0) == 0:
+            self._childless.add(node.node_id)
+        for parent in set(node.parents):
             self._children.setdefault(parent, set()).add(node.node_id)
+            self._present_kids[parent] = self._present_kids.get(parent, 0) + 1
+            self._childless.discard(parent)
         return node
 
     # -- lookups ----------------------------------------------------------------
@@ -159,10 +174,30 @@ class CausalGraph:
                 if c in self._nodes}
 
     def sinks(self) -> List[NodeId]:
-        """Nodes with no (present) children, in deterministic order."""
+        """Nodes with no (present) children, in deterministic order.
+
+        Served from the incremental childless index — O(#sinks), not O(V).
+        """
+        return sorted(self._childless, key=repr)
+
+    def sinks_uncached(self) -> List[NodeId]:
+        """Reference sink scan over the whole graph (the index's oracle)."""
         found = [node_id for node_id in self._nodes
                  if not self.children(node_id)]
         return sorted(found, key=repr)
+
+    @property
+    def version(self) -> int:
+        """Number of installs so far; pairs with :meth:`added_since`."""
+        return len(self._log)
+
+    def added_since(self, version: int) -> List[NodeId]:
+        """Ids installed after the given :attr:`version` mark, in order.
+
+        Lets callers account a synchronization's Δ in O(|Δ|) instead of
+        diffing two O(V) id-set snapshots.
+        """
+        return self._log[version:]
 
     @property
     def sink(self) -> NodeId:

@@ -22,7 +22,7 @@ live sessions.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Set, Tuple
+from typing import Dict, FrozenSet, List, Optional, Set, Tuple
 
 from repro.errors import GraphError
 from repro.graphs.replicationgraph import (ReplicationGraph, VectorSnapshot,
@@ -60,6 +60,22 @@ class CoalescedGraph:
         self._nodes = nodes
         #: original node id -> canonical id of its coalesced node
         self._member_map = member_map
+        # Per-instance memos: a CoalescedGraph never mutates after
+        # construction, so Π sets and prefixing segments are computed at
+        # most once per node.  SegmentIndex seeds these across rebuilds.
+        self._pi_memo: Dict[int, FrozenSet[int]] = {}
+        self._seg_memo: Dict[int, Tuple[Tuple[str, int], ...]] = {}
+
+    def adopt_memos(self, pi_memo: Dict[int, FrozenSet[int]],
+                    seg_memo: Dict[int, Tuple[Tuple[str, int], ...]]) -> None:
+        """Seed the memo tables with entries known to still be valid.
+
+        Used by :class:`~repro.graphs.segindex.SegmentIndex` to carry
+        surviving cache entries across incremental rebuilds; callers are
+        responsible for having invalidated anything a graph change touched.
+        """
+        self._pi_memo.update(pi_memo)
+        self._seg_memo.update(seg_memo)
 
     # -- lookups ----------------------------------------------------------------
 
@@ -96,25 +112,59 @@ class CoalescedGraph:
         pair differs from the parent's vector; for the source, the whole
         vector.  Merge nodes create no segments and raise.
         """
+        cached = self._seg_memo.get(node_id)
+        if cached is not None:
+            return list(cached)
         node = self.node(node_id)
         if node.is_merge:
             raise GraphError(f"CRG node {node_id} is a merge: no segment")
         if node.left_parent is None:
-            return list(node.vector)
-        parent_values = dict(self.node(node.left_parent).vector)
-        segment: List[Tuple[str, int]] = []
-        for site, value in node.vector:
-            if parent_values.get(site) == value:
-                break
-            segment.append((site, value))
+            segment = list(node.vector)
+        else:
+            parent_values = dict(self.node(node.left_parent).vector)
+            segment = []
+            for site, value in node.vector:
+                if parent_values.get(site) == value:
+                    break
+                segment.append((site, value))
+        self._seg_memo[node_id] = tuple(segment)
         return segment
 
     def pi_set(self, node_id: int) -> Set[int]:
         """``Π_v``: the node (if non-merge) plus its non-merge ancestors.
 
         The segments of v's vector — including vanished ones — map
-        bijectively onto this set (§4.1).
+        bijectively onto this set (§4.1).  Memoized per node: ancestors'
+        Π sets are shared sub-results, so a sweep over the whole graph is
+        linear in arcs instead of quadratic.
         """
+        memo = self._pi_memo
+        cached = memo.get(node_id)
+        if cached is None:
+            self.node(node_id)  # raise early on unknown ids
+            stack: List[int] = [node_id]
+            while stack:
+                current = stack[-1]
+                if current in memo:
+                    stack.pop()
+                    continue
+                node = self.node(current)
+                pending = [p for p in node.parents if p not in memo]
+                if pending:
+                    stack.extend(pending)
+                    continue
+                stack.pop()
+                result: Set[int] = set()
+                for parent in node.parents:
+                    result |= memo[parent]
+                if not node.is_merge:
+                    result.add(current)
+                memo[current] = frozenset(result)
+            cached = memo[node_id]
+        return set(cached)
+
+    def pi_set_uncached(self, node_id: int) -> Set[int]:
+        """Reference Π computation by plain ancestor walk (the memo's oracle)."""
         start = self.node(node_id)
         result: Set[int] = set()
         stack: List[int] = [start.node_id]

@@ -1,0 +1,256 @@
+"""Incremental segment index over a growing replication graph.
+
+:func:`repro.graphs.crg.coalesce` rebuilds the whole CRG — chains, Π
+sets, prefixing segments — from scratch on every call.  That is fine for
+one-shot analysis but quadratic for a live workload that re-checks the
+γ ≤ |Π_a ∩ Π_b| bound (E6) or re-derives segments after every update:
+each update or reconciliation touches a *constant* number of chains, yet
+the full rebuild re-walks all of them.
+
+:class:`SegmentIndex` maintains the coalesced structure *incrementally*.
+It subscribes to the replication graph's insertion feed and, per new
+node, applies the only two structural events §4 coalescing admits:
+
+* **extension** — a single-parent node whose parent is single-child joins
+  the parent's chain; the chain's canonical id moves to the new node;
+* **split** — a node that gains a second child can neither extend its
+  parent nor be extended, so its chain cuts into (up to) three pieces.
+
+Every event yields the exact set of *dirty canonical ids*; cached Π sets
+and prefixing segments are dropped only for those ids and for entries
+whose Π set contains one (tracked by a reverse-dependency table).  All
+other memo entries survive — that is the dirty-tracking contract the
+property tests verify against the full-rebuild oracle.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Set, Tuple
+
+from repro.graphs.crg import CoalescedGraph, CRGNode, coalesce
+from repro.graphs.replicationgraph import ReplicationGraph, VersionNode
+
+
+@dataclass
+class SegmentIndexStats:
+    """Observability counters for cache behaviour."""
+
+    nodes_absorbed: int = 0
+    chain_extensions: int = 0
+    chain_splits: int = 0
+    invalidations: int = 0
+    rebuilds: int = 0
+    #: Canonical ids whose cached entries were dropped, per absorb (for
+    #: tests asserting invalidation is *targeted*, not wholesale).
+    last_dirty: Set[int] = field(default_factory=set)
+
+
+class SegmentIndex:
+    """Dirty-tracked CRG view of one :class:`ReplicationGraph`.
+
+    >>> graph = ReplicationGraph()
+    >>> index = SegmentIndex(graph)
+    >>> root = graph.add_initial([("A", 1)])
+    >>> child = graph.add_update(root.node_id, [("A", 2)])
+    >>> index.pi_set(child.node_id) == {child.node_id}
+    True
+    """
+
+    def __init__(self, graph: ReplicationGraph) -> None:
+        self._graph = graph
+        #: chain head (oldest member) -> member ids, oldest first
+        self._chains: Dict[int, List[int]] = {}
+        #: member id -> its chain's head
+        self._head_of: Dict[int, int] = {}
+        self._pi_memo: Dict[int, FrozenSet[int]] = {}
+        self._seg_memo: Dict[int, Tuple[Tuple[str, int], ...]] = {}
+        #: canonical id -> canonical ids whose cached Π set contains it
+        self._pi_dependents: Dict[int, Set[int]] = {}
+        self._crg: CoalescedGraph | None = None
+        self.stats = SegmentIndexStats()
+        # Bootstrap from a batch coalesce: replaying an already-built graph
+        # through _absorb would see *final* child counts, not the counts at
+        # each node's insertion time.  Incrementality starts now.
+        for crg_node in coalesce(graph).nodes():
+            members = list(crg_node.members)
+            self._chains[members[0]] = members
+            for member in members:
+                self._head_of[member] = members[0]
+        graph.subscribe(self._absorb)
+
+    # -- incremental maintenance -------------------------------------------------
+
+    def _absorb(self, node: VersionNode) -> None:
+        dirty: Set[int] = set()
+        for parent_id in node.parents:
+            # The new node is already linked, so a count of 2 means the
+            # parent just went single-child -> multi-child: any chain it
+            # sat in must cut around it.
+            if len(self._graph.children(parent_id)) == 2:
+                self._split_around(parent_id, dirty)
+        if self._extends_parent(node):
+            head = self._head_of[node.left_parent]  # type: ignore[index]
+            members = self._chains[head]
+            dirty.add(members[-1])  # canonical id moves to the new node
+            members.append(node.node_id)
+            self._head_of[node.node_id] = head
+            self.stats.chain_extensions += 1
+        else:
+            self._chains[node.node_id] = [node.node_id]
+            self._head_of[node.node_id] = node.node_id
+        self.stats.nodes_absorbed += 1
+        self._invalidate(dirty)
+
+    def _extends_parent(self, node: VersionNode) -> bool:
+        # Mirrors coalesce(): single-parent, at most one child, parent
+        # single-child and neither merge nor source.  A freshly inserted
+        # node has no children, so only the parent-side conditions bind.
+        if node.is_merge or node.is_source:
+            return False
+        parent_id = node.left_parent
+        assert parent_id is not None
+        if len(self._graph.children(parent_id)) != 1:
+            return False
+        parent = self._graph.node(parent_id)
+        return not (parent.is_merge or parent.is_source)
+
+    def _split_around(self, member_id: int, dirty: Set[int]) -> None:
+        """Cut ``member_id`` out of its chain (it gained a second child).
+
+        §4 chains admit members with at most one child, so the member can
+        no longer extend its predecessor nor be extended by its successor:
+        the chain becomes (up to) three chains, and only their canonical
+        ids are dirtied.
+        """
+        head = self._head_of[member_id]
+        members = self._chains[head]
+        if len(members) == 1:
+            return
+        index = members.index(member_id)
+        dirty.add(members[-1])  # the old canonical id, whatever happens
+        before, after = members[:index], members[index + 1:]
+        del self._chains[head]
+        for piece in (before, [member_id], after):
+            if not piece:
+                continue
+            self._chains[piece[0]] = piece
+            for member in piece:
+                self._head_of[member] = piece[0]
+            dirty.add(piece[-1])
+        self.stats.chain_splits += 1
+
+    def _invalidate(self, dirty: Set[int]) -> None:
+        self._crg = None
+        self.stats.last_dirty = set(dirty)
+        for canonical in dirty:
+            self._seg_memo.pop(canonical, None)
+            self._pi_memo.pop(canonical, None)
+            self.stats.invalidations += 1
+            for dependent in self._pi_dependents.pop(canonical, ()):
+                self._pi_memo.pop(dependent, None)
+
+    # -- queries ---------------------------------------------------------------------
+
+    def crg(self) -> CoalescedGraph:
+        """The current coalesced graph, rebuilt lazily from the chains.
+
+        The rebuild is O(#chains); surviving Π/segment memo entries are
+        re-seeded so only dirtied nodes ever recompute.
+        """
+        if self._crg is None:
+            nodes: Dict[int, CRGNode] = {}
+            member_map: Dict[int, int] = {}
+            for head, members in self._chains.items():
+                youngest = self._graph.node(members[-1])
+                oldest = self._graph.node(members[0])
+                crg_node = CRGNode(
+                    members=tuple(members),
+                    vector=youngest.vector,
+                    left_parent=self._canonical_parent(oldest.left_parent),
+                    right_parent=self._canonical_parent(oldest.right_parent),
+                    is_merge=oldest.is_merge,
+                )
+                nodes[crg_node.node_id] = crg_node
+                for member in members:
+                    member_map[member] = crg_node.node_id
+            self._crg = CoalescedGraph(nodes, member_map)
+            self._crg.adopt_memos(self._pi_memo, self._seg_memo)
+            self.stats.rebuilds += 1
+        return self._crg
+
+    def _canonical_parent(self, parent_id: int | None) -> int | None:
+        if parent_id is None:
+            return None
+        return self._chains[self._head_of[parent_id]][-1]
+
+    def canonical(self, original_id: int) -> int:
+        """The canonical (youngest-member) id of a node's chain."""
+        return self._chains[self._head_of[original_id]][-1]
+
+    def pi_set(self, original_id: int) -> Set[int]:
+        """``Π`` of the node's coalesced chain, from the dirty-tracked memo."""
+        crg = self.crg()
+        canonical = self.canonical(original_id)
+        result = crg.pi_set(canonical)
+        self._harvest(crg)
+        return result
+
+    def prefixing_segment(self, original_id: int) -> List[Tuple[str, int]]:
+        """The chain's prefixing segment, from the dirty-tracked memo."""
+        crg = self.crg()
+        result = crg.prefixing_segment(self.canonical(original_id))
+        self._harvest(crg)
+        return result
+
+    def gamma_upper_bound(self, a_node: int, b_node: int) -> int:
+        """``|Π_a ∩ Π_b|`` without re-walking unchanged ancestry."""
+        return len(self.pi_set(a_node) & self.pi_set(b_node))
+
+    def _harvest(self, crg: CoalescedGraph) -> None:
+        """Pull fresh memo entries back out of the CRG view.
+
+        New entries join the index's long-lived tables and the reverse
+        dependency map so later invalidation stays targeted.
+        """
+        for canonical, pi in crg._pi_memo.items():
+            if canonical not in self._pi_memo:
+                self._pi_memo[canonical] = pi
+                for member in pi:
+                    if member != canonical:
+                        self._pi_dependents.setdefault(
+                            member, set()).add(canonical)
+        for canonical, segment in crg._seg_memo.items():
+            self._seg_memo.setdefault(canonical, segment)
+
+    # -- verification -------------------------------------------------------------------
+
+    def verify_against_rebuild(self) -> List[str]:
+        """Compare the incremental state against a from-scratch coalesce.
+
+        Returns human-readable mismatch descriptions (empty = coherent);
+        the property tests drive random histories through this.
+        """
+        problems: List[str] = []
+        oracle = coalesce(self._graph)
+        mine = self.crg()
+        oracle_nodes = {n.node_id: n for n in oracle.nodes()}
+        mine_nodes = {n.node_id: n for n in mine.nodes()}
+        if set(oracle_nodes) != set(mine_nodes):
+            problems.append(
+                f"canonical ids differ: only-oracle="
+                f"{sorted(set(oracle_nodes) - set(mine_nodes))} "
+                f"only-index={sorted(set(mine_nodes) - set(oracle_nodes))}")
+            return problems
+        for node_id, expected in oracle_nodes.items():
+            actual = mine_nodes[node_id]
+            if expected != actual:
+                problems.append(f"node {node_id}: {expected} != {actual}")
+                continue
+            if not expected.is_merge:
+                if (oracle.prefixing_segment(node_id)
+                        != mine.prefixing_segment(node_id)):
+                    problems.append(f"segment of {node_id} differs")
+            if oracle.pi_set_uncached(node_id) != mine.pi_set(node_id):
+                problems.append(f"pi set of {node_id} differs")
+        return problems

@@ -41,8 +41,8 @@ from repro.core.rotating import BasicRotatingVector
 from repro.core.skip import SkipRotatingVector
 from repro.errors import ConcurrentVectorsError, SimulationError
 from repro.net.channel import ChannelSpec
-from repro.net.runner import (TimedSessionResult, launch_session,
-                              run_timed_session)
+from repro.net.runner import (TimedSessionResult, launch_batch_session,
+                              launch_session, run_timed_session)
 from repro.net.simulator import Simulator
 from repro.net.stats import TransferStats
 from repro.net.wire import DEFAULT_ENCODING, Encoding
@@ -76,6 +76,12 @@ class ClusterConfig:
         increment_on_merge: apply §2.2's post-reconciliation self-increment
             on the pulling site, keeping COMPARE's freshness precondition.
         max_steps: per-session effect budget (livelock guard).
+        n_objects: replicated objects per site; a session synchronizes
+            *all* of them between its pair.
+        batch_size: objects coalesced into one framed wire session
+            (:mod:`repro.protocols.batch`).  1 — the default — runs each
+            object through the plain per-object machinery, bit-for-bit
+            the historical single-object path.
     """
 
     protocol: str = "srv"
@@ -86,6 +92,8 @@ class ClusterConfig:
     proc_time: float = 0.0
     increment_on_merge: bool = True
     max_steps: int = 10_000_000
+    n_objects: int = 1
+    batch_size: int = 1
 
     def __post_init__(self) -> None:
         if self.protocol not in PROTOCOLS:
@@ -93,11 +101,21 @@ class ClusterConfig:
                              f"expected one of {sorted(PROTOCOLS)}")
         if self.fanout < 1:
             raise ValueError(f"fanout must be >= 1, got {self.fanout}")
+        if self.n_objects < 1:
+            raise ValueError(f"n_objects must be >= 1, got {self.n_objects}")
+        if self.batch_size < 1:
+            raise ValueError(f"batch_size must be >= 1, "
+                             f"got {self.batch_size}")
 
 
 @dataclass
 class ClusterSessionRecord:
-    """One executed session, in cluster start order."""
+    """One executed session, in cluster start order.
+
+    ``verdict``/``reconciled`` describe object 0 (the full history for
+    single-object clusters); ``verdicts``/``reconciled_objects`` carry
+    the per-object detail when ``n_objects > 1``.
+    """
 
     index: int
     src: str
@@ -107,6 +125,8 @@ class ClusterSessionRecord:
     verdict: Ordering
     reconciled: bool
     result: Optional[TimedSessionResult] = None
+    verdicts: Tuple[Ordering, ...] = ()
+    reconciled_objects: Tuple[bool, ...] = ()
 
     @property
     def queue_wait(self) -> float:
@@ -114,16 +134,23 @@ class ClusterSessionRecord:
         return self.started_at - self.requested_at
 
 
-#: Execution-log entries: ``("update", site)`` or ``("session", src, dst)``,
-#: in realized execution order.  Reconciliation self-increments are *not*
-#: logged — they are derived deterministically from each session's verdict,
-#: by the runner and by :func:`replay_sequential` alike.
-LogEntry = Tuple[str, ...]
+#: Execution-log entries: ``("update", site)`` (object 0),
+#: ``("update", site, obj)`` for a non-zero object index, or
+#: ``("session", src, dst)``, in realized execution order.  Reconciliation
+#: self-increments are *not* logged — they are derived deterministically
+#: from each session's verdicts, by the runner and by
+#: :func:`replay_sequential` alike.
+LogEntry = Tuple[Any, ...]
 
 
 @dataclass
 class ClusterResult:
-    """What one cluster run measured."""
+    """What one cluster run measured.
+
+    ``vectors`` is every site's object-0 vector (the whole state for
+    single-object clusters); ``objects`` holds the full per-site object
+    lists (``objects[site][0] is vectors[site]``).
+    """
 
     records: List[ClusterSessionRecord]
     log: List[LogEntry]
@@ -133,6 +160,8 @@ class ClusterResult:
     updates_deferred: int
     reconciliations: int
     vectors: Dict[str, BasicRotatingVector]
+    objects: Dict[str, List[BasicRotatingVector]] = field(
+        default_factory=dict)
 
     @property
     def sessions(self) -> int:
@@ -147,7 +176,13 @@ class ClusterResult:
         return max((r.queue_wait for r in self.records), default=0.0)
 
     def consistent(self) -> bool:
-        """True iff every site's vector represents the same values."""
+        """True iff every site agrees on the values of every object."""
+        if self.objects:
+            site_lists = list(self.objects.values())
+            first = site_lists[0]
+            return all(site_list[k].same_values(first[k])
+                       for site_list in site_lists[1:]
+                       for k in range(len(first)))
         vectors = list(self.vectors.values())
         return all(v.same_values(vectors[0]) for v in vectors[1:])
 
@@ -174,8 +209,12 @@ class ClusterRunner:
         self.tracer = tracer
         self.metrics = metrics
         vector_cls, self._reconciles = PROTOCOLS[config.protocol]
+        self.objects: Dict[str, List[BasicRotatingVector]] = {
+            site: [vector_cls() for _ in range(config.n_objects)]
+            for site in self.sites}
+        #: Object-0 view, the whole state for single-object clusters.
         self.vectors: Dict[str, BasicRotatingVector] = {
-            site: vector_cls() for site in self.sites}
+            site: self.objects[site][0] for site in self.sites}
         self._sim: Optional[Simulator] = None
         self._usage: Dict[str, int] = {site: 0 for site in self.sites}
         self._deferred: Dict[str, List[UpdateRequest]] = {
@@ -217,6 +256,11 @@ class ClusterRunner:
                             lambda r=request: self._on_session_request(r))
             for update in updates:
                 self._check_sites(update.site)
+                obj = getattr(update, "obj", 0)
+                if not 0 <= obj < self.config.n_objects:
+                    raise ValueError(
+                        f"update {update} names object {obj}, but the "
+                        f"cluster has {self.config.n_objects}")
                 sim.call_at(update.at,
                             lambda u=update: self._on_update_request(u))
             sim.run()
@@ -237,6 +281,7 @@ class ClusterRunner:
             updates_deferred=self._updates_deferred,
             reconciliations=self._reconciliations,
             vectors=self.vectors,
+            objects=self.objects,
         )
 
     def _check_sites(self, *names: str) -> None:
@@ -255,11 +300,14 @@ class ClusterRunner:
             if self.metrics is not None:
                 self.metrics.counter("cluster.updates_deferred").inc()
             return
-        self._apply_update(update.site)
+        self._apply_update(update.site, getattr(update, "obj", 0))
 
-    def _apply_update(self, site: str) -> None:
-        self.vectors[site].record_update(site)
-        self._log.append(("update", site))
+    def _apply_update(self, site: str, obj: int = 0) -> None:
+        self.objects[site][obj].record_update(site)
+        # Object-0 updates keep the historical two-tuple entry so
+        # single-object logs (and their replays) are unchanged.
+        self._log.append(("update", site) if obj == 0
+                         else ("update", site, obj))
         self._updates_applied += 1
         if self.tracer is not None:
             self.tracer.event("update", party=site)
@@ -290,36 +338,50 @@ class ClusterRunner:
                 still_pending.append(request)
         self._pending = still_pending
 
-    def _coroutines(self, src: str, dst: str,
-                    verdict: Ordering) -> Tuple[Any, Any, bool]:
-        return build_session_coroutines(
-            self.config.protocol, self.vectors[src], self.vectors[dst],
-            verdict, tracer=self.tracer)
-
     def _start(self, request: SessionRequest) -> None:
         sim = self._sim
+        config = self.config
         src, dst = request.src, request.dst
-        verdict = self.vectors[dst].compare(self.vectors[src])
-        sender, receiver, reconciled = self._coroutines(src, dst, verdict)
+        verdicts: List[Ordering] = []
+        reconciled_flags: List[bool] = []
+        pairs: List[Tuple[Any, Any]] = []
+        for obj in range(config.n_objects):
+            verdict = self.objects[dst][obj].compare(self.objects[src][obj])
+            sender, receiver, reconciled = build_session_coroutines(
+                config.protocol, self.objects[src][obj],
+                self.objects[dst][obj], verdict, tracer=self.tracer)
+            verdicts.append(verdict)
+            reconciled_flags.append(reconciled)
+            pairs.append((sender, receiver))
         record = ClusterSessionRecord(
             index=len(self._records), src=src, dst=dst,
             requested_at=self._requested_at.pop(id(request), sim.now),
-            started_at=sim.now, verdict=verdict, reconciled=reconciled)
+            started_at=sim.now, verdict=verdicts[0],
+            reconciled=reconciled_flags[0], verdicts=tuple(verdicts),
+            reconciled_objects=tuple(reconciled_flags))
         self._records.append(record)
         self._log.append(("session", src, dst))
         self._usage[src] += 1
         self._usage[dst] += 1
-        if reconciled:
-            self._reconciliations += 1
+        self._reconciliations += sum(reconciled_flags)
         if self.tracer is not None:
             self.tracer.event("session_start", party=dst, peer=src,
-                              verdict=verdict.name.lower())
-        config = self.config
-        launch_session(
-            sim, sender, receiver, channel=config.channel,
-            encoding=config.encoding, stop_and_wait=config.stop_and_wait,
-            proc_time=config.proc_time, max_steps=config.max_steps,
-            tracer=self.tracer, party_names=(src, dst),
+                              verdict=verdicts[0].name.lower())
+        if config.n_objects == 1:
+            # The historical single-object path, byte-for-byte.
+            launch_session(
+                sim, pairs[0][0], pairs[0][1], channel=config.channel,
+                encoding=config.encoding, stop_and_wait=config.stop_and_wait,
+                proc_time=config.proc_time, max_steps=config.max_steps,
+                tracer=self.tracer, party_names=(src, dst),
+                on_complete=lambda result: self._finish(record, result))
+            return
+        launch_batch_session(
+            sim, pairs, batch_size=config.batch_size,
+            channel=config.channel, encoding=config.encoding,
+            stop_and_wait=config.stop_and_wait, proc_time=config.proc_time,
+            max_steps=config.max_steps, tracer=self.tracer,
+            party_names=(src, dst),
             on_complete=lambda result: self._finish(record, result))
 
     def _finish(self, record: ClusterSessionRecord,
@@ -329,11 +391,13 @@ class ClusterRunner:
         src, dst = record.src, record.dst
         self._usage[src] -= 1
         self._usage[dst] -= 1
-        if record.reconciled and self.config.increment_on_merge:
+        if self.config.increment_on_merge:
             # §2.2: the pulling site increments its own element after an
-            # automatic merge.  Not logged — replay derives it from the
-            # session verdict, exactly as this runner just did.
-            self.vectors[dst].record_update(dst)
+            # automatic merge, per reconciled object.  Not logged — replay
+            # derives it from the session verdicts, exactly as here.
+            for obj, reconciled in enumerate(record.reconciled_objects):
+                if reconciled:
+                    self.objects[dst][obj].record_update(dst)
         if self.tracer is not None:
             self.tracer.event("session_end", party=dst, peer=src,
                               bits=result.stats.total_bits)
@@ -348,8 +412,8 @@ class ClusterRunner:
         for site in (src, dst):
             if self._usage[site] == 0 and self._deferred[site]:
                 deferred, self._deferred[site] = self._deferred[site], []
-                for _ in deferred:
-                    self._apply_update(site)
+                for update in deferred:
+                    self._apply_update(site, getattr(update, "obj", 0))
         self._dispatch()
 
 
@@ -389,29 +453,58 @@ def replay_sequential(sites: Iterable[str], config: ClusterConfig,
     """Re-execute a cluster run's log one session at a time.
 
     Each session runs alone on a fresh private simulator (the plain
-    :func:`~repro.net.runner.run_timed_session` path) against vectors
-    evolved through the same realized order.  Under ``fanout=1`` the
-    returned per-session stats must equal the concurrent run's — the
-    scheduling-independence property the regression benchmark asserts.
+    :func:`~repro.net.runner.run_timed_session` path, or a private-sim
+    :func:`~repro.net.runner.launch_batch_session` for multi-object
+    configs) against vectors evolved through the same realized order.
+    Under ``fanout=1`` the returned per-session stats must equal the
+    concurrent run's — the scheduling-independence property the
+    regression benchmark asserts.  Returns the per-session results and
+    every site's object-0 vector.
     """
     vector_cls, _ = PROTOCOLS[config.protocol]
-    vectors: Dict[str, BasicRotatingVector] = {
-        site: vector_cls() for site in sites}
+    objects: Dict[str, List[BasicRotatingVector]] = {
+        site: [vector_cls() for _ in range(config.n_objects)]
+        for site in sites}
     results: List[TimedSessionResult] = []
     for entry in log:
         if entry[0] == "update":
-            vectors[entry[1]].record_update(entry[1])
+            obj = entry[2] if len(entry) > 2 else 0
+            objects[entry[1]][obj].record_update(entry[1])
             continue
         if entry[0] != "session":  # pragma: no cover - defensive
             raise ValueError(f"unknown log entry {entry!r}")
         _, src, dst = entry
-        verdict = vectors[dst].compare(vectors[src])
-        sender, receiver, reconciled = build_session_coroutines(
-            config.protocol, vectors[src], vectors[dst], verdict)
-        results.append(run_timed_session(
-            sender, receiver, channel=config.channel,
-            encoding=config.encoding, stop_and_wait=config.stop_and_wait,
-            proc_time=config.proc_time, max_steps=config.max_steps))
-        if reconciled and config.increment_on_merge:
-            vectors[dst].record_update(dst)
-    return results, vectors
+        pairs = []
+        reconciled_flags = []
+        for obj in range(config.n_objects):
+            verdict = objects[dst][obj].compare(objects[src][obj])
+            sender, receiver, reconciled = build_session_coroutines(
+                config.protocol, objects[src][obj], objects[dst][obj],
+                verdict)
+            pairs.append((sender, receiver))
+            reconciled_flags.append(reconciled)
+        if config.n_objects == 1:
+            results.append(run_timed_session(
+                pairs[0][0], pairs[0][1], channel=config.channel,
+                encoding=config.encoding,
+                stop_and_wait=config.stop_and_wait,
+                proc_time=config.proc_time, max_steps=config.max_steps))
+        else:
+            sim = Simulator()
+            completed: List[TimedSessionResult] = []
+            launch_batch_session(
+                sim, pairs, batch_size=config.batch_size,
+                channel=config.channel, encoding=config.encoding,
+                stop_and_wait=config.stop_and_wait,
+                proc_time=config.proc_time, max_steps=config.max_steps,
+                on_complete=completed.append)
+            sim.run()
+            if not completed:  # pragma: no cover - defensive
+                raise SimulationError(
+                    "batched replay ended with unfinished parties")
+            results.append(completed[0])
+        if config.increment_on_merge:
+            for obj, reconciled in enumerate(reconciled_flags):
+                if reconciled:
+                    objects[dst][obj].record_update(dst)
+    return results, {site: objs[0] for site, objs in objects.items()}

@@ -33,7 +33,7 @@ from __future__ import annotations
 
 from collections import deque
 from dataclasses import dataclass
-from typing import Any, Callable, Deque, Optional, Tuple
+from typing import Any, Callable, Deque, Optional, Sequence, Tuple
 
 from repro.errors import SessionError
 from repro.net.channel import ChannelSpec
@@ -42,6 +42,7 @@ from repro.net.stats import DirectionStats, TransferStats
 from repro.net.wire import DEFAULT_ENCODING, Encoding
 from repro.obs import trace as obs
 from repro.obs.trace import Tracer
+from repro.protocols.batch import BatchFrame, batch_party
 from repro.protocols.effects import Drain, Poll, Recv, Send
 from repro.protocols.messages import Message
 from repro.protocols.session import ProtocolCoroutine
@@ -124,6 +125,10 @@ def launch_session(sim: Simulator, sender: ProtocolCoroutine,
             site names when hosted by a cluster runner).
     """
     stats = TransferStats()
+    if encoding.session_header_bits:
+        # Per-session fixed overhead: priced, not timed (it models
+        # connection state, not a serialized message — see wire.py).
+        stats.forward.record("SessionHeader", encoding.session_header_bits)
     sender_name, receiver_name = party_names
     mailboxes = {sender_name: _Mailbox(sim, sender_name, tracer),
                  receiver_name: _Mailbox(sim, receiver_name, tracer)}
@@ -212,6 +217,108 @@ def launch_session(sim: Simulator, sender: ProtocolCoroutine,
     make_process(receiver_name, sender_name, receiver, False,
                  stats.backward, stats.forward)
     return stats
+
+
+def launch_batch_session(sim: Simulator,
+                         pairs: Sequence[Tuple[ProtocolCoroutine,
+                                               ProtocolCoroutine]], *,
+                         batch_size: int = 1,
+                         channel: ChannelSpec = ChannelSpec(),
+                         encoding: Encoding = DEFAULT_ENCODING,
+                         stop_and_wait: bool = False,
+                         proc_time: float = 0.0,
+                         max_steps: int = 10_000_000,
+                         tracer: Optional[Tracer] = None,
+                         party_names: Tuple[str, str] = ("sender",
+                                                         "receiver"),
+                         on_complete: Optional[
+                             Callable[[TimedSessionResult], None]] = None,
+                         ) -> TransferStats:
+    """Synchronize many objects between one site pair, possibly batched.
+
+    ``pairs`` holds one ``(sender, receiver)`` coroutine pair per object.
+    With ``batch_size == 1`` every object runs as a plain per-object
+    session through :func:`launch_session`, one after another — bit-for-
+    bit the unbatched path (each object pays its own session header and,
+    under stop-and-wait, per-message acks).  With ``batch_size >= 2`` the
+    objects are chunked; each chunk runs as **one** framed session
+    (:func:`repro.protocols.batch.batch_party`): one shared session
+    header, :class:`~repro.protocols.batch.BatchFrame` multiplexing, and
+    one ack per frame under stop-and-wait.  Chunks execute sequentially,
+    mirroring the serialized per-object schedule they replace.
+
+    Returns the aggregate :class:`~repro.net.stats.TransferStats`, which
+    fills in as the hosting simulator runs; ``on_complete`` fires once,
+    after the last chunk, with an aggregate :class:`TimedSessionResult`
+    whose ``sender_result``/``receiver_result`` are per-object lists in
+    input order.
+    """
+    pair_list = list(pairs)
+    if not pair_list:
+        raise ValueError("launch_batch_session needs at least one pair")
+    if batch_size < 1:
+        raise ValueError(f"batch_size must be >= 1, got {batch_size}")
+    totals = TransferStats()
+    sender_results: list[Any] = []
+    receiver_results: list[Any] = []
+    start_time = sim.now
+    chunks = [pair_list[i:i + batch_size]
+              for i in range(0, len(pair_list), batch_size)]
+
+    def launch_chunk(chunk_index: int) -> None:
+        chunk = chunks[chunk_index]
+        framed = batch_size > 1
+
+        def finish(result: TimedSessionResult) -> None:
+            totals.merge(result.stats)
+            if framed:
+                sender_results.extend(result.sender_result)
+                receiver_results.extend(result.receiver_result)
+            else:
+                sender_results.append(result.sender_result)
+                receiver_results.append(result.receiver_result)
+            if chunk_index + 1 < len(chunks):
+                launch_chunk(chunk_index + 1)
+            elif on_complete is not None:
+                on_complete(TimedSessionResult(
+                    stats=totals,
+                    sender_result=sender_results,
+                    receiver_result=receiver_results,
+                    completion_time=result.completion_time,
+                    sender_finish=result.sender_finish,
+                    receiver_finish=result.receiver_finish,
+                    start_time=start_time,
+                ))
+
+        if not framed:
+            sender, receiver = chunk[0]
+            launch_session(
+                sim, sender, receiver, channel=channel, encoding=encoding,
+                stop_and_wait=stop_and_wait, proc_time=proc_time,
+                max_steps=max_steps, tracer=tracer, party_names=party_names,
+                on_complete=finish)
+            return
+        frames: list[BatchFrame] = []
+        sender_party = batch_party([s for s, _ in chunk], initiator=True,
+                                   max_steps=max_steps,
+                                   on_frame=frames.append)
+        receiver_party = batch_party([r for _, r in chunk], initiator=False,
+                                     max_steps=max_steps,
+                                     on_frame=frames.append)
+
+        def finish_framed(result: TimedSessionResult) -> None:
+            for frame in frames:
+                result.stats.note_frame(frame.object_count)
+            finish(result)
+
+        launch_session(
+            sim, sender_party, receiver_party, channel=channel,
+            encoding=encoding, stop_and_wait=stop_and_wait,
+            proc_time=proc_time, max_steps=max_steps, tracer=tracer,
+            party_names=party_names, on_complete=finish_framed)
+
+    launch_chunk(0)
+    return totals
 
 
 def run_timed_session(sender: ProtocolCoroutine, receiver: ProtocolCoroutine,

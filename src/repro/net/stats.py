@@ -54,10 +54,18 @@ class TransferStats:
     ``forward`` is the direction that carries the bulk data (sender → receiver
     in the paper's ``SYNC*b(a)`` notation, i.e. *b*'s site to *a*'s site);
     ``backward`` carries control messages (HALT, SKIP, skip-to).
+
+    ``frames``/``framed_objects`` count batched multi-object framing
+    (:mod:`repro.protocols.batch`): each
+    :class:`~repro.protocols.batch.BatchFrame` that crossed the wire is one
+    frame carrying one entry per multiplexed object.  Unbatched sessions
+    leave both at zero.
     """
 
     forward: DirectionStats = field(default_factory=DirectionStats)
     backward: DirectionStats = field(default_factory=DirectionStats)
+    frames: int = 0
+    framed_objects: int = 0
 
     @property
     def total_bits(self) -> int:
@@ -77,10 +85,22 @@ class TransferStats:
         """The exact fractional byte count, for analytical comparisons."""
         return self.total_bits / 8
 
+    def note_frame(self, object_count: int) -> None:
+        """Account one batch frame multiplexing ``object_count`` objects.
+
+        The frame's *bits* are recorded by the driver like any other send;
+        this only tracks the framing structure so amortization (objects
+        per frame, bits per framed object) is reportable.
+        """
+        self.frames += 1
+        self.framed_objects += object_count
+
     def merge(self, other: "TransferStats") -> None:
         """Accumulate another session's counters into this one."""
         self.forward.merge(other.forward)
         self.backward.merge(other.backward)
+        self.frames += other.frames
+        self.framed_objects += other.framed_objects
 
     def as_dict(self) -> Dict[str, int]:
         """A flat summary convenient for tables and asserts."""
@@ -95,13 +115,27 @@ class TransferStats:
     def summary(self) -> Dict[str, object]:
         """The flat counters plus per-direction message-type histograms.
 
-        Everything is JSON-serializable (plain dicts, ints); benchmark
-        documents embed this verbatim.
+        Everything is JSON-serializable (plain dicts, ints, floats);
+        benchmark documents embed this verbatim.  The ``amortized`` block
+        reports per-message and per-frame averages; a session that moved
+        no messages (or no frames) reports 0.0 for the corresponding
+        ratios rather than dividing by zero.
         """
         flat: Dict[str, object] = dict(self.as_dict())
         flat["by_type"] = {
             "forward": dict(sorted(self.forward.by_type.items())),
             "backward": dict(sorted(self.backward.by_type.items())),
+        }
+        flat["frames"] = self.frames
+        flat["framed_objects"] = self.framed_objects
+        messages = self.total_messages
+        flat["amortized"] = {
+            "bits_per_message": (self.total_bits / messages
+                                 if messages else 0.0),
+            "objects_per_frame": (self.framed_objects / self.frames
+                                  if self.frames else 0.0),
+            "bits_per_framed_object": (self.total_bits / self.framed_objects
+                                       if self.framed_objects else 0.0),
         }
         return flat
 

@@ -48,11 +48,22 @@ class Encoding:
         site_bits: width of a site name field (``log n``).
         value_bits: width of an element value field (``log m``).
         node_id_bits: width of a causal-graph node identifier.
+        session_header_bits: fixed per-session overhead (transport setup,
+            object naming, authentication — everything a real deployment
+            pays before the first metadata bit).  Charged once per session
+            by every driver, to the forward direction, as a
+            ``SessionHeader`` record; the default of 0 keeps the paper's
+            pure-metadata accounting.  Batched multi-object sessions
+            (:mod:`repro.protocols.batch`) share one header across a whole
+            batch, which is exactly the amortization the batching
+            benchmarks measure.  The header is priced but not timed — it
+            models connection state, not a serialized message.
     """
 
     site_bits: int
     value_bits: int
     node_id_bits: int = 32
+    session_header_bits: int = 0
 
     @classmethod
     def for_system(cls, n_sites: int, max_updates_per_site: int,

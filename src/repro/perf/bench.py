@@ -24,9 +24,11 @@ scheduling must not change traffic — via
 
 from __future__ import annotations
 
+import hashlib
 import json
+import multiprocessing
 import time
-from dataclasses import asdict, dataclass
+from dataclasses import asdict, dataclass, replace
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from repro.errors import ReproError
@@ -61,6 +63,16 @@ class BenchConfig:
     seed: int = 0
     #: Re-run every schedule sequentially and require identical traffic.
     paired: bool = True
+    #: The batched many-objects scenario (§1's motivation, E10-style):
+    #: one fleet of ``batched_site_count`` sites replicating
+    #: ``batched_objects`` objects, swept over ``batched_sizes`` batch
+    #: sizes so the document records how framing amortizes the
+    #: ``batched_header_bits`` per-session overhead.  Empty
+    #: ``batched_sizes`` skips the scenario.
+    batched_site_count: int = 8
+    batched_objects: int = 32
+    batched_sizes: Tuple[int, ...] = (1, 64)
+    batched_header_bits: int = 64
 
     def channel(self) -> ChannelSpec:
         """The link model every session runs over."""
@@ -122,6 +134,76 @@ def _run_one(protocol: str, n_sites: int, config: BenchConfig, *,
     }
 
 
+def _run_batched_one(batch_size: int, config: BenchConfig, *,
+                     metrics: Optional[MetricsRegistry] = None
+                     ) -> Dict[str, Any]:
+    """One batched many-objects run (always SRV, stop-and-wait).
+
+    Stop-and-wait plus a non-zero per-session header is the regime where
+    framing pays: ``batch_size=1`` ships one header and one ack stream
+    per object, larger sizes one header and one ack per frame.  The
+    record adds ``n_objects``/``batch_size``/``wire_bits_per_object`` on
+    top of the standard fields so two batch sizes are directly
+    comparable.
+    """
+    n_sites = config.batched_site_count
+    n_objects = config.batched_objects
+    sites = site_names(n_sites)
+    n_updates = max(1, round(n_sites * config.updates_per_site))
+    cluster_config = ClusterConfig(
+        protocol="srv",
+        channel=config.channel(),
+        encoding=replace(Encoding.for_system(n_sites, max(16, n_updates)),
+                         session_header_bits=config.batched_header_bits),
+        fanout=config.fanout,
+        stop_and_wait=True,
+        n_objects=n_objects,
+        batch_size=batch_size,
+    )
+    sessions = gossip_schedule(
+        sites, rounds=config.rounds, period=config.gossip_period,
+        jitter=config.gossip_jitter, seed=config.seed)
+    updates = update_schedule(
+        sites, n_updates=n_updates, interval=config.update_interval,
+        seed=config.seed + 1, n_objects=n_objects)
+    runner = ClusterRunner(sites, cluster_config, metrics=metrics)
+    start = time.perf_counter()
+    with wall_timer(metrics, "bench.cluster.batched.wall_seconds"):
+        result = runner.run(sessions, updates)
+    wall_seconds = time.perf_counter() - start
+    if config.paired:
+        _assert_scheduling_independent(sites, cluster_config, result)
+    per_session = result.per_session_bits()
+    ranked = sorted(per_session)
+    synced_objects = result.sessions * n_objects
+    return {
+        "scenario": "batched-many-objects",
+        "protocol": "srv",
+        "n_sites": n_sites,
+        "n_objects": n_objects,
+        "batch_size": batch_size,
+        "sessions": result.sessions,
+        "updates": result.updates_applied,
+        "updates_deferred": result.updates_deferred,
+        "reconciliations": result.reconciliations,
+        "total_bits": result.total_bits,
+        "wire_bits_per_object": (result.total_bits / synced_objects
+                                 if synced_objects else 0.0),
+        "traffic": result.totals.summary(),
+        "bits_per_session": {
+            "mean": sum(per_session) / len(per_session) if per_session else 0,
+            "p50": ranked[len(ranked) // 2] if ranked else 0,
+            "p90": ranked[min(len(ranked) - 1, (9 * len(ranked)) // 10)]
+                   if ranked else 0,
+            "max": ranked[-1] if ranked else 0,
+        },
+        "sim_completion_seconds": result.completion_time,
+        "wall_seconds": wall_seconds,
+        "max_queue_wait_seconds": result.max_queue_wait,
+        "consistent": result.consistent(),
+    }
+
+
 def _assert_scheduling_independent(sites: Sequence[str],
                                    cluster_config: ClusterConfig,
                                    result: ClusterResult) -> None:
@@ -140,24 +222,82 @@ def _assert_scheduling_independent(sites: Sequence[str],
             f"this falsifies the harness, not the workload")
 
 
+#: One grid cell: ``("gossip", protocol, n_sites)`` or
+#: ``("batched", batch_size)``.  The grid order *is* the document's run
+#: order, whether cells run serially or fan out across workers.
+_BenchTask = Tuple[Any, ...]
+
+
+def _task_grid(config: BenchConfig) -> List[_BenchTask]:
+    tasks: List[_BenchTask] = [("gossip", protocol, n_sites)
+                               for n_sites in config.site_counts
+                               for protocol in config.protocols]
+    tasks.extend(("batched", batch_size)
+                 for batch_size in config.batched_sizes)
+    return tasks
+
+
+def _run_task(task_and_config: Tuple[_BenchTask, BenchConfig]
+              ) -> Tuple[Dict[str, Any], MetricsRegistry]:
+    """Execute one grid cell with a private registry (pool-picklable).
+
+    Every cell derives its schedules from ``config.seed`` alone — no
+    state is shared between cells — so the record is identical whether
+    the cell runs in the parent or in a pool worker.
+    """
+    task, config = task_and_config
+    metrics = MetricsRegistry()
+    if task[0] == "gossip":
+        record = _run_one(task[1], task[2], config, metrics=metrics)
+    else:
+        record = _run_batched_one(task[1], config, metrics=metrics)
+    return record, metrics
+
+
+def _echo_record(echo: Any, record: Dict[str, Any]) -> None:
+    batch = (f" batch={record['batch_size']}×{record['n_objects']}obj"
+             if "batch_size" in record else "")
+    echo(f"  {record['protocol']} n={record['n_sites']}{batch}: "
+         f"{record['sessions']} sessions, "
+         f"{record['total_bits']} bits, "
+         f"sim {record['sim_completion_seconds']:.2f}s, "
+         f"wall {record['wall_seconds'] * 1000:.0f}ms")
+
+
 def run_cluster_bench(config: BenchConfig = BenchConfig(), *,
                       metrics: Optional[MetricsRegistry] = None,
-                      echo: Optional[Any] = None) -> Dict[str, Any]:
-    """Run the full sweep; returns the (already validated) document."""
+                      echo: Optional[Any] = None,
+                      workers: int = 1,
+                      created_unix: Optional[float] = None) -> Dict[str, Any]:
+    """Run the full sweep; returns the (already validated) document.
+
+    With ``workers > 1`` the grid cells fan out across a process pool;
+    results are folded back in grid order and ``created_unix`` is stamped
+    in the parent, so apart from the measured ``wall_seconds`` the
+    document is identical to a serial run —
+    :func:`bench_fingerprint` (which masks exactly those fields) must
+    agree between the two, and the benchmark suite asserts it.  Each
+    worker fills a private :class:`MetricsRegistry`, merged into
+    ``metrics`` in the same order a serial run would have written it.
+    """
+    if workers < 1:
+        raise ValueError(f"workers must be >= 1, got {workers}")
+    tasks = [(task, config) for task in _task_grid(config)]
+    if workers > 1 and len(tasks) > 1:
+        with multiprocessing.Pool(min(workers, len(tasks))) as pool:
+            outcomes = pool.map(_run_task, tasks)
+    else:
+        outcomes = [_run_task(task) for task in tasks]
     runs: List[Dict[str, Any]] = []
-    for n_sites in config.site_counts:
-        for protocol in config.protocols:
-            record = _run_one(protocol, n_sites, config, metrics=metrics)
-            runs.append(record)
-            if echo is not None:
-                echo(f"  {protocol} n={n_sites}: "
-                     f"{record['sessions']} sessions, "
-                     f"{record['total_bits']} bits, "
-                     f"sim {record['sim_completion_seconds']:.2f}s, "
-                     f"wall {record['wall_seconds'] * 1000:.0f}ms")
+    for record, task_metrics in outcomes:
+        runs.append(record)
+        if metrics is not None:
+            metrics.merge(task_metrics)
+        if echo is not None:
+            _echo_record(echo, record)
     document = {
         "schema": SCHEMA_ID,
-        "created_unix": time.time(),
+        "created_unix": time.time() if created_unix is None else created_unix,
         "config": asdict(config),
         "runs": runs,
     }
@@ -165,6 +305,24 @@ def run_cluster_bench(config: BenchConfig = BenchConfig(), *,
     if errors:  # pragma: no cover - would be a driver bug
         raise ReproError(f"emitted an invalid bench document: {errors}")
     return document
+
+
+def bench_fingerprint(document: Dict[str, Any]) -> str:
+    """SHA-256 over the document minus its nondeterministic fields.
+
+    ``created_unix`` and each run's ``wall_seconds`` are host-time
+    measurements; everything else is a pure function of the config.  Two
+    documents from the same config — serial or parallel, today or next
+    year — must fingerprint identically, and the comparator uses this to
+    separate "the numbers moved" from "you re-ran it".
+    """
+    masked = dict(document)
+    masked.pop("created_unix", None)
+    masked["runs"] = [{key: value for key, value in run.items()
+                       if key != "wall_seconds"}
+                      for run in document.get("runs", ())]
+    canonical = json.dumps(masked, sort_keys=True)
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
 
 
 def write_bench(document: Dict[str, Any], path: str = DEFAULT_OUTPUT) -> str:
@@ -191,25 +349,32 @@ def format_bench_table(document: Dict[str, Any]) -> str:
 
 
 def bench_main(argv: List[str]) -> int:
-    """``python -m repro bench [--sites CSV] [--out PATH] ...``."""
+    """``python -m repro bench [--sites CSV] [--workers N] ...``."""
     site_counts: Tuple[int, ...] = DEFAULT_SITE_COUNTS
     protocols: Tuple[str, ...] = ("brv", "crv", "srv")
     rounds = 3
     seed = 0
     out = DEFAULT_OUTPUT
+    workers = 1
+    profile = False
+    profile_out = "bench.pstats"
 
     def fail(message: str) -> int:
         print(message)
         print("usage: python -m repro bench [--sites 8,32,128] "
               "[--protocols brv,crv,srv] [--rounds N] [--seed N] "
+              "[--workers N] [--profile] [--profile-out bench.pstats] "
               "[--out BENCH_cluster.json]")
         return 2
 
     index = 0
     while index < len(argv):
         argument = argv[index]
-        if argument in ("--sites", "--protocols", "--rounds", "--seed",
-                        "--out"):
+        if argument == "--profile":
+            profile = True
+            index += 1
+        elif argument in ("--sites", "--protocols", "--rounds", "--seed",
+                          "--workers", "--profile-out", "--out"):
             if index + 1 >= len(argv):
                 return fail(f"{argument} requires a value")
             value = argv[index + 1]
@@ -237,6 +402,16 @@ def bench_main(argv: List[str]) -> int:
                     seed = int(value)
                 except ValueError:
                     return fail(f"--seed expects an integer, got {value!r}")
+            elif argument == "--workers":
+                try:
+                    workers = int(value)
+                except ValueError:
+                    return fail(f"--workers expects an integer, "
+                                f"got {value!r}")
+                if workers < 1:
+                    return fail("--workers must be >= 1")
+            elif argument == "--profile-out":
+                profile_out = value
             else:
                 out = value
             index += 2
@@ -246,9 +421,31 @@ def bench_main(argv: List[str]) -> int:
                          rounds=rounds, seed=seed)
     print(f"cluster bench: n ∈ {list(site_counts)}, "
           f"protocols {list(protocols)}, {rounds} rounds, seed {seed}")
-    document = run_cluster_bench(config, echo=print)
+    if profile:
+        # Profiling a process pool attributes everything to pickling and
+        # waiting; force the serial path so the numbers mean something.
+        if workers > 1:
+            print("profiling forces --workers 1")
+        import cProfile
+        import pstats
+
+        profiler = cProfile.Profile()
+        profiler.enable()
+        try:
+            document = run_cluster_bench(config, echo=print)
+        finally:
+            profiler.disable()
+        profiler.dump_stats(profile_out)
+    else:
+        document = run_cluster_bench(config, echo=print, workers=workers)
     path = write_bench(document, out)
     print()
     print(format_bench_table(document))
     print(f"\nwrote {path} ({SCHEMA_ID})")
+    print(f"fingerprint {bench_fingerprint(document)}")
+    if profile:
+        print(f"\nprofile written to {profile_out}; top 20 by cumulative "
+              f"time:")
+        stats = pstats.Stats(profile_out)
+        stats.sort_stats("cumulative").print_stats(20)
     return 0

@@ -1,0 +1,172 @@
+"""Timing-regression micro-benchmarks for the incremental caches.
+
+The segment-partition cache (:meth:`repro.core.skip.SkipRotatingVector.
+partition`) and the CRG Π/segment memos (:mod:`repro.graphs.crg`) each
+keep an *uncached* oracle next to the cached path so property tests can
+compare results.  This module compares their **timing**: on workloads
+where the caches are supposed to pay, the cached path must never be
+slower than its oracle.  CI runs ``python -m repro.perf.microbench`` and
+fails the build if that inverts — the cheap tripwire for "someone broke
+the memoization and everything silently fell back to re-walking".
+
+The workloads are deterministic (fixed seeds, fixed sizes) and sized so
+a healthy cache wins by an order of magnitude — far above scheduler
+noise on any CI box.  Timings take the best of several rounds to shave
+outliers further.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from dataclasses import dataclass
+from typing import Callable, List
+
+from repro.core.skip import SkipRotatingVector
+from repro.graphs.crg import coalesce
+from repro.graphs.replicationgraph import ReplicationGraph
+
+#: Timing rounds; each result keeps the fastest (least-noise) round.
+ROUNDS = 3
+
+
+@dataclass(frozen=True)
+class MicrobenchResult:
+    """One cached-vs-oracle timing comparison."""
+
+    name: str
+    cached_seconds: float
+    uncached_seconds: float
+
+    @property
+    def speedup(self) -> float:
+        """Oracle time over cached time (> 1 means the cache pays)."""
+        return (self.uncached_seconds / self.cached_seconds
+                if self.cached_seconds else float("inf"))
+
+    @property
+    def regressed(self) -> bool:
+        """True when the cached path was slower than its oracle."""
+        return self.cached_seconds > self.uncached_seconds
+
+
+def _best_of(fn: Callable[[], None], rounds: int = ROUNDS) -> float:
+    best = float("inf")
+    for _ in range(rounds):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def bench_srv_segments(*, n_segments: int = 150, segment_len: int = 3,
+                       repeats: int = 100) -> MicrobenchResult:
+    """Repeated segment parses of one large SRV: cache vs full walk.
+
+    The cached path re-parses only when the element order's version
+    moves; ``repeats`` reads of an unchanged vector should cost one walk,
+    not ``repeats``.
+    """
+    sites = iter(f"S{i:04d}" for i in range(n_segments * segment_len))
+    vector = SkipRotatingVector.from_segments(
+        [[(next(sites), 1) for _ in range(segment_len)]
+         for _ in range(n_segments)])
+
+    def cached() -> None:
+        for _ in range(repeats):
+            vector.segments()
+
+    def uncached() -> None:
+        for _ in range(repeats):
+            vector.segments_uncached()
+
+    # Warm the partition cache outside the timed region: steady-state
+    # read cost is what regressions would change.
+    vector.segments()
+    return MicrobenchResult("srv.segments", _best_of(cached),
+                            _best_of(uncached))
+
+
+def _grown_crg(steps: int, seed: int):
+    """A coalesced graph over a deterministic random update/merge history."""
+    rng = random.Random(seed)
+    graph = ReplicationGraph()
+    counter = {"A": 1}
+    frontier = [graph.add_initial([("A", 1)]).node_id]
+    sites = ["A", "B", "C", "D", "E"]
+    for _ in range(steps):
+        site = rng.choice(sites)
+        counter[site] = counter.get(site, 0) + 1
+        vector = sorted(counter.items())
+        if len(frontier) >= 2 and rng.random() < 0.25:
+            left, right = rng.sample(frontier, 2)
+            node = graph.add_merge(left, right, vector)
+            frontier = [f for f in frontier
+                        if f not in (left, right)] + [node.node_id]
+        else:
+            parent = rng.choice(frontier)
+            node = graph.add_update(parent, vector)
+            if rng.random() < 0.5:
+                frontier.remove(parent)
+            frontier.append(node.node_id)
+    return coalesce(graph)
+
+
+def bench_crg_pi_sweep(*, steps: int = 400, seed: int = 7
+                       ) -> MicrobenchResult:
+    """Π of every node: memoized sweep vs per-node ancestor walks.
+
+    The memo shares ancestors' Π sets, making a whole-graph sweep linear
+    in arcs; the oracle re-walks the ancestry per node.  A fresh graph is
+    built per timing round so every cached round starts memo-cold.
+    """
+    node_ids = [node.node_id for node in _grown_crg(steps, seed).nodes()]
+
+    def cached() -> None:
+        crg = _grown_crg(steps, seed)
+        for node_id in node_ids:
+            crg.pi_set(node_id)
+
+    def uncached() -> None:
+        crg = _grown_crg(steps, seed)
+        for node_id in node_ids:
+            crg.pi_set_uncached(node_id)
+
+    return MicrobenchResult("crg.pi_sweep", _best_of(cached),
+                            _best_of(uncached))
+
+
+def run_microbench() -> List[MicrobenchResult]:
+    """All cache-vs-oracle probes, in a stable order."""
+    return [bench_srv_segments(), bench_crg_pi_sweep()]
+
+
+def format_results(results: List[MicrobenchResult]) -> str:
+    """Render the probe timings as an aligned table with verdicts."""
+    header = (f"{'probe':16} {'cached ms':>10} {'oracle ms':>10} "
+              f"{'speedup':>8} {'status':>8}")
+    lines = [header, "-" * len(header)]
+    for result in results:
+        lines.append(
+            f"{result.name:16} {result.cached_seconds * 1000:>10.2f} "
+            f"{result.uncached_seconds * 1000:>10.2f} "
+            f"{result.speedup:>7.1f}x "
+            f"{'REGRESS' if result.regressed else 'ok':>8}")
+    return "\n".join(lines)
+
+
+def main(argv: List[str] | None = None) -> int:
+    """``python -m repro.perf.microbench`` — exit 1 on a cache regression."""
+    results = run_microbench()
+    print(format_results(results))
+    regressed = [r.name for r in results if r.regressed]
+    if regressed:
+        print(f"\ncached path slower than its oracle: "
+              f"{', '.join(regressed)} — a cache regression")
+        return 1
+    print("\nall cached paths at least as fast as their oracles")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -31,7 +31,12 @@ Document layout (version ``repro.bench.cluster/1``)::
           "sim_completion_seconds": 4.25,  # simulated clock at drain
           "wall_seconds": 0.08,            # measured host time
           "max_queue_wait_seconds": 0.01,
-          "consistent": true
+          "consistent": true,
+          # Batched many-objects runs additionally carry (all optional,
+          # validated when present):
+          "n_objects": 32,                 # replicated objects per site
+          "batch_size": 64,                # objects per framed session
+          "wire_bits_per_object": 103.4    # total_bits / synced objects
         }, ...
       ]
     }
@@ -121,6 +126,15 @@ def _validate_run(errors: List[str], index: int,
         for name in _BPS_FIELDS:
             _check_number(errors, f"{where}.bits_per_session",
                           bits_per_session, name)
+    # Batched many-objects runs carry extra fields; optional, but when
+    # present they must be well-formed.
+    for name in ("n_objects", "batch_size"):
+        if name in run:
+            _check_number(errors, where, run, name, integer=True)
+            if isinstance(run[name], int) and run[name] < 1:
+                errors.append(f"{where}: {name!r} must be >= 1")
+    if "wire_bits_per_object" in run:
+        _check_number(errors, where, run, "wire_bits_per_object")
 
 
 def validate_bench(doc: Any) -> List[str]:

@@ -1,0 +1,227 @@
+"""Batched multi-object synchronization sessions.
+
+A site pair that replicates *k* objects pays, under per-object sessions,
+k session headers and — under the stop-and-wait baseline — one ack per
+message.  This module coalesces the per-object SYNCB/SYNCC/SYNCS
+exchanges into a single framed conversation:
+
+* one shared session header for the whole batch (see
+  :attr:`~repro.net.wire.Encoding.session_header_bits`);
+* per-object payloads multiplexed into :class:`BatchFrame` messages,
+  delimited by self-describing Elias-γ varints (object index + message
+  count per entry) so the frame prices itself exactly;
+* one ack per *frame* under stop-and-wait, instead of one per message.
+
+The per-object protocol coroutines run **unmodified**: :func:`batch_party`
+wraps k of them into one composite coroutine that speaks frames on the
+outside and ordinary ``Send``/``Poll``/``Drain``/``Recv`` effects on the
+inside.  The composite is itself an ordinary protocol coroutine, so every
+existing driver (instant, randomized, timed) can run it.
+
+Multiplexing semantics
+----------------------
+
+The two composites alternate half-duplex *turns*.  Within a turn each
+object coroutine runs as far as it can: ``Send`` buffers the message into
+the outgoing frame, ``Poll``/``Drain`` resolve from the object's demuxed
+inbox (``None`` when empty), and ``Recv`` parks the object until the next
+incoming frame.  A parked ``Poll`` never ends a turn — the sender keeps
+streaming, exactly the pipelining-overshoot regime of §3.1 that the
+protocols are already proven robust against (the randomized-driver fuzz
+suite).  The trade is explicit: batching forfeits mid-stream control
+feedback (a HALT or SKIP only arrives with the next frame, so the sender
+streams segments it might have skipped), and in exchange the whole batch
+costs one header plus one ack per frame.  For fleets of small per-object
+vectors — the many-objects regime the batching benchmarks model — the
+framing savings dominate.
+
+``batch_size=1`` is, by convention of the callers
+(:func:`repro.net.runner.launch_batch_session`,
+:class:`repro.net.cluster.ClusterRunner`), **not framed at all**: each
+object runs through the plain per-object machinery, so the batched path
+at size 1 is bit-for-bit the unbatched path.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import (Any, Callable, Deque, Iterable, List, Optional, Sequence,
+                    Tuple)
+
+from repro.errors import SessionError
+from repro.extensions.varint import elias_gamma_bits
+from repro.net.wire import DEFAULT_ENCODING, Encoding
+from repro.protocols.effects import Drain, Poll, Recv, Send
+from repro.protocols.messages import Message
+from repro.protocols.session import (ProtocolCoroutine, SessionResult,
+                                     run_session)
+
+#: One frame entry: ``(object index, messages for that object)``.
+BatchEntry = Tuple[int, Tuple[Message, ...]]
+
+
+@dataclass(frozen=True)
+class BatchFrame(Message):
+    """One wire frame multiplexing several objects' protocol messages.
+
+    Pricing: each entry costs γ(object index) + γ(message count) bits of
+    framing on top of its payload messages' own prices.  The session
+    header is *not* part of the frame — it is charged once per session by
+    the driver (see :attr:`~repro.net.wire.Encoding.session_header_bits`),
+    which is exactly what a batch amortizes across its objects.
+    """
+
+    entries: Tuple[BatchEntry, ...]
+
+    def bits(self, encoding: Encoding) -> int:
+        """Wire size in bits (see the class docstring)."""
+        total = 0
+        for index, messages in self.entries:
+            total += elias_gamma_bits(index)
+            total += elias_gamma_bits(len(messages))
+            total += sum(message.bits(encoding) for message in messages)
+        return total
+
+    @property
+    def object_count(self) -> int:
+        """How many objects this frame carries payload for."""
+        return len(self.entries)
+
+    @property
+    def message_count(self) -> int:
+        """Total multiplexed payload messages across all entries."""
+        return sum(len(messages) for _, messages in self.entries)
+
+    def __repr__(self) -> str:
+        inner = ", ".join(f"{index}:{len(messages)}msg"
+                          for index, messages in self.entries)
+        return f"BatchFrame({inner})"
+
+
+class _MuxObject:
+    """One multiplexed per-object coroutine and its demux inbox."""
+
+    __slots__ = ("index", "gen", "inbox", "pending", "done", "result")
+
+    def __init__(self, index: int, gen: ProtocolCoroutine) -> None:
+        self.index = index
+        self.gen = gen
+        self.inbox: Deque[Message] = deque()
+        self.pending: Any = None
+        self.done = False
+        self.result: Any = None
+
+    def prime(self) -> None:
+        try:
+            self.pending = next(self.gen)
+        except StopIteration as stop:
+            self.done, self.result = True, stop.value
+
+    def _advance(self, value: Any) -> None:
+        try:
+            self.pending = self.gen.send(value)
+        except StopIteration as stop:
+            self.done, self.result = True, stop.value
+            self.pending = None
+
+    def run_turn(self, buffer: List[Tuple[int, List[Message]]]) -> int:
+        """Advance until the object parks on an empty ``Recv`` or finishes.
+
+        Sends append to ``buffer`` under this object's entry; returns the
+        number of effects resolved (for the shared step budget).
+        """
+        steps = 0
+        entry: Optional[List[Message]] = None
+        while not self.done:
+            effect = self.pending
+            if isinstance(effect, Send):
+                if entry is None:
+                    entry = []
+                    buffer.append((self.index, entry))
+                entry.append(effect.message)
+                self._advance(None)
+            elif isinstance(effect, (Poll, Drain)):
+                self._advance(self.inbox.popleft() if self.inbox else None)
+            elif isinstance(effect, Recv):
+                if not self.inbox:
+                    return steps  # parked until the next frame demuxes
+                self._advance(self.inbox.popleft())
+            else:  # pragma: no cover - defensive
+                raise SessionError(
+                    f"unknown effect {effect!r} in batched object "
+                    f"{self.index}")
+            steps += 1
+        return steps
+
+
+def batch_party(generators: Sequence[ProtocolCoroutine], *,
+                initiator: bool,
+                max_steps: int = 10_000_000,
+                on_frame: Optional[Callable[[BatchFrame], None]] = None
+                ) -> ProtocolCoroutine:
+    """Wrap per-object coroutines into one frame-speaking composite.
+
+    The composite returns the list of per-object coroutine results, in
+    input order.  ``initiator=True`` runs its first turn immediately (the
+    sender side); ``initiator=False`` waits for the first frame (the
+    receiver side).  ``on_frame`` observes every outgoing frame — drivers
+    use it to fill :attr:`~repro.net.stats.TransferStats.frames`.
+    """
+    objects = [_MuxObject(index, gen)
+               for index, gen in enumerate(generators)]
+    if not objects:
+        raise SessionError("batch_party needs at least one object")
+    for obj in objects:
+        obj.prime()
+    steps = 0
+    waiting = not initiator
+    while True:
+        if not waiting:
+            buffer: List[Tuple[int, List[Message]]] = []
+            for obj in objects:
+                steps += obj.run_turn(buffer)
+                if steps > max_steps:
+                    raise SessionError(
+                        f"batched session exceeded {max_steps} steps")
+            if buffer:
+                frame = BatchFrame(tuple(
+                    (index, tuple(messages)) for index, messages in buffer))
+                if on_frame is not None:
+                    on_frame(frame)
+                yield Send(frame)
+        waiting = False
+        if all(obj.done for obj in objects):
+            return [obj.result for obj in objects]
+        frame = yield Recv()
+        if not isinstance(frame, BatchFrame):  # pragma: no cover - defensive
+            raise SessionError(
+                f"batch party expected a BatchFrame, got {frame!r}")
+        for index, messages in frame.entries:
+            objects[index].inbox.extend(messages)
+
+
+def run_batch(pairs: Iterable[Tuple[ProtocolCoroutine, ProtocolCoroutine]],
+              *, encoding: Encoding = DEFAULT_ENCODING,
+              max_steps: int = 10_000_000,
+              trace: bool = False) -> SessionResult:
+    """Run one framed batch under the instant driver.
+
+    ``pairs`` holds one ``(sender, receiver)`` coroutine pair per object.
+    Returns a :class:`~repro.protocols.session.SessionResult` whose
+    ``sender_result``/``receiver_result`` are per-object lists and whose
+    stats carry frame counters.  For the timed counterpart see
+    :func:`repro.net.runner.launch_batch_session`.
+    """
+    pair_list = list(pairs)
+    frames: List[BatchFrame] = []
+    sender = batch_party([s for s, _ in pair_list], initiator=True,
+                         max_steps=max_steps, on_frame=frames.append)
+    receiver = batch_party([r for _, r in pair_list], initiator=False,
+                           max_steps=max_steps, on_frame=frames.append)
+    result = run_session(sender, receiver, encoding=encoding,
+                         max_steps=max_steps, trace=trace,
+                         span_name="BATCH")
+    for frame in frames:
+        result.stats.note_frame(frame.object_count)
+    return result

@@ -135,6 +135,8 @@ def _run_session_instant(sender: ProtocolCoroutine,
                          encoding: Encoding, max_steps: int, trace: bool,
                          tracer: Optional[Tracer]) -> SessionResult:
     stats = TransferStats()
+    if encoding.session_header_bits:
+        stats.forward.record("SessionHeader", encoding.session_header_bits)
     transcript: Optional[List[Tuple[str, Message]]] = [] if trace else None
     party_s = _Party("sender", sender)
     party_r = _Party("receiver", receiver)
@@ -249,6 +251,8 @@ def _run_session_randomized(sender: ProtocolCoroutine,
                             max_steps: int,
                             tracer: Optional[Tracer]) -> SessionResult:
     stats = TransferStats()
+    if encoding.session_header_bits:
+        stats.forward.record("SessionHeader", encoding.session_header_bits)
     party_s = _Party("sender", sender)
     party_r = _Party("receiver", receiver)
     parties = (party_s, party_r)

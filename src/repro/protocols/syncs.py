@@ -126,6 +126,7 @@ def syncs_receiver(a: SkipRotatingVector, *, reconcile: bool,
                 boundary = a.order.get(prev)
                 assert boundary is not None
                 boundary.segment = True
+                a.order.touch()
             if tracer is not None:
                 tracer.event(obs.CONTROL, party="receiver",
                              signal="halt_received")
@@ -148,6 +149,7 @@ def syncs_receiver(a: SkipRotatingVector, *, reconcile: bool,
                     boundary = a.order.get(prev)
                     assert boundary is not None
                     boundary.segment = True
+                    a.order.touch()
                 if message.conflict:
                     reconcile = True
                     if not message.segment:

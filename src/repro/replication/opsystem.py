@@ -25,7 +25,7 @@ baseline end to end.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, Callable, Dict, List, Optional, Set, Tuple, Union
+from typing import Any, Callable, Dict, List, Optional, Tuple, Union
 
 from repro.core.order import Ordering
 from repro.errors import ConflictDetected, ReproError
@@ -231,7 +231,7 @@ class OpTransferSystem:
         self.outcomes.append(outcome)
         if verdict in (Ordering.EQUAL, Ordering.AFTER):
             return outcome
-        before: Set[NodeId] = dst.graph.node_ids()
+        mark = dst.graph.version
         session = self._run_graph_sync(dst, src)
         outcome.sync_session = session
         outcome.metadata_bits += session.stats.total_bits
@@ -240,7 +240,7 @@ class OpTransferSystem:
             observe_session(self.metrics, session.stats,
                             protocol="syncg" if self.use_syncg
                             else "full_graph")
-        added = dst.graph.node_ids() - before
+        added = dst.graph.added_since(mark)
         outcome.ops_transferred = len(added)
         for node_id in sorted(added, key=repr):
             operation = src.ops.get(node_id)

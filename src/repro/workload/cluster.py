@@ -37,10 +37,15 @@ class SessionRequest:
 
 @dataclass(frozen=True)
 class UpdateRequest:
-    """One local update landing on ``site`` at simulated time ``at``."""
+    """One local update landing on ``site`` at simulated time ``at``.
+
+    ``obj`` names the replicated object the update lands on; clusters
+    replicating a single object (the default) leave it at 0.
+    """
 
     at: float
     site: str
+    obj: int = 0
 
 
 def site_names(n_sites: int) -> List[str]:
@@ -82,18 +87,24 @@ def gossip_schedule(sites: Sequence[str], *, rounds: int,
 
 def update_schedule(sites: Sequence[str], *, n_updates: int,
                     interval: float = 0.7, seed: int = 0,
-                    writers: Optional[Sequence[str]] = None
-                    ) -> List[UpdateRequest]:
+                    writers: Optional[Sequence[str]] = None,
+                    n_objects: int = 1) -> List[UpdateRequest]:
     """Exponentially-spaced updates over ``writers`` (default: all sites).
 
     Restricting ``writers`` to a single site produces the conflict-free
     regime BRV requires (§3.1: no reconciliation); the default multi-writer
-    draw exercises CRV/SRV reconciliation under concurrency.
+    draw exercises CRV/SRV reconciliation under concurrency.  With
+    ``n_objects > 1`` each update additionally draws a uniform object
+    index; ``n_objects=1`` emits the historical single-object schedule
+    (every request's ``obj`` is 0 and no extra random draws happen, so
+    seeded schedules are unchanged).
     """
     if n_updates < 0:
         raise ValueError(f"n_updates must be >= 0, got {n_updates}")
     if interval <= 0:
         raise ValueError(f"interval must be > 0, got {interval}")
+    if n_objects < 1:
+        raise ValueError(f"n_objects must be >= 1, got {n_objects}")
     pool = list(writers) if writers is not None else list(sites)
     if n_updates and not pool:
         raise ValueError("no writers to draw updates from")
@@ -102,5 +113,7 @@ def update_schedule(sites: Sequence[str], *, n_updates: int,
     requests: List[UpdateRequest] = []
     for _ in range(n_updates):
         clock += rng.expovariate(1.0 / interval)
-        requests.append(UpdateRequest(at=clock, site=rng.choice(pool)))
+        obj = rng.randrange(n_objects) if n_objects > 1 else 0
+        requests.append(UpdateRequest(at=clock, site=rng.choice(pool),
+                                      obj=obj))
     return requests

@@ -1,0 +1,87 @@
+"""The SRV segment-partition cache vs the uncached walk (§4).
+
+Contract: ``segments()``/``segment_count()`` are served from a parse
+cached on the element order's mutation version; any rotation, removal,
+or declared direct write invalidates it, so the cached answer always
+equals :meth:`segments_uncached`.
+"""
+
+import random
+
+from repro.core.skip import SkipRotatingVector
+from repro.protocols.syncs import sync_srv
+
+
+def _assert_cache_coherent(vector):
+    assert vector.segments() == vector.segments_uncached()
+    assert vector.segment_count() == len(vector.segments_uncached())
+
+
+def test_partition_cache_hit_is_stable_between_mutations():
+    vector = SkipRotatingVector.from_segments(
+        [[("C", 1)], [("B", 2), ("A", 1)]])
+    first = vector.partition()
+    assert vector.partition() is first          # same cached object
+    vector.record_update("A")
+    assert vector.partition() is not first      # rotation invalidated it
+    _assert_cache_coherent(vector)
+
+
+def test_set_segment_bit_invalidates_partition():
+    vector = SkipRotatingVector.from_pairs([("A", 2), ("B", 1)])
+    assert vector.segment_count() == 1
+    vector.set_segment_bit("A")
+    assert vector.segment_count() == 2
+    _assert_cache_coherent(vector)
+
+
+def test_receiver_side_boundary_writes_invalidate_partition():
+    # A reconciliation writes segment boundaries inside the SYNCS
+    # receiver, partly via direct element writes; the cache must see them.
+    a = SkipRotatingVector.from_pairs([("A", 3)])
+    b = SkipRotatingVector.from_pairs([("B", 2)])
+    a.segment_count()  # populate the cache pre-session
+    b.segment_count()
+    sync_srv(a, b)
+    _assert_cache_coherent(a)
+    _assert_cache_coherent(b)
+
+
+def test_partition_cache_random_ops_fuzz():
+    sites = ["A", "B", "C", "D", "E"]
+    for seed in range(20):
+        rng = random.Random(seed)
+        a = SkipRotatingVector.from_pairs([("A", 1)])
+        b = SkipRotatingVector.from_pairs([("A", 1)])
+        for _ in range(rng.randint(5, 50)):
+            roll = rng.random()
+            if roll < 0.4:
+                rng.choice((a, b)).record_update(rng.choice(sites))
+            elif roll < 0.6:
+                dst, src = (a, b) if rng.random() < 0.5 else (b, a)
+                sync_srv(dst, src)
+                if dst.compare(src).is_concurrent:  # §2.2 increment
+                    dst.record_update(rng.choice(sites))
+            elif roll < 0.75:
+                vector = rng.choice((a, b))
+                if len(vector) > 1:
+                    victim = rng.choice(vector.sites_in_order())
+                    vector.order.remove(victim)
+            else:
+                vector = rng.choice((a, b))
+                if len(vector):
+                    site = rng.choice(vector.sites_in_order())
+                    vector.set_segment_bit(site, rng.random() < 0.5)
+            _assert_cache_coherent(a)
+            _assert_cache_coherent(b)
+
+
+def test_copy_does_not_share_cache():
+    vector = SkipRotatingVector.from_segments([[("A", 2)], [("B", 1)]])
+    vector.segment_count()
+    clone = vector.copy()
+    clone.record_update("C")
+    _assert_cache_coherent(clone)
+    _assert_cache_coherent(vector)
+    assert vector.segment_count() == 2
+    assert clone.segment_count() == 2  # update extends the front segment

@@ -1,0 +1,72 @@
+"""Pruning × segment-partition cache (§7 satellite of the cache layer).
+
+A retirement removes an element via ``ElementOrder.remove``, which
+carries the segment bit to the predecessor; the cached partition must be
+invalidated by exactly that removal and re-parse to the carried layout.
+"""
+
+import random
+
+from repro.core.skip import SkipRotatingVector
+from repro.extensions.pruning import (RetirementLog, is_prunable, prune,
+                                      prune_all)
+
+
+def test_prune_invalidates_cached_partition():
+    vector = SkipRotatingVector.from_segments(
+        [[("C", 3)], [("B", 2), ("A", 1)]])
+    before = vector.partition()
+    assert vector.segment_count() == 2
+    log = RetirementLog()
+    retirement = log.retire("C", 3)
+    assert prune(vector, retirement)
+    after = vector.partition()
+    assert after is not before                      # entry was invalidated
+    assert vector.segments() == [[("B", 2), ("A", 1)]]
+    assert vector.segments() == vector.segments_uncached()
+
+
+def test_prune_carries_boundary_into_cached_parse():
+    # Removing a segment's *last* element moves the boundary onto its
+    # predecessor; the re-parsed partition must show the same segments
+    # minus the pruned element, not a fused segment.
+    vector = SkipRotatingVector.from_segments(
+        [[("D", 1), ("C", 2)], [("B", 1), ("A", 4)]])
+    assert vector.segment_count() == 2
+    log = RetirementLog()
+    prune(vector, log.retire("C", 2))
+    assert vector.segments() == [[("D", 1)], [("B", 1), ("A", 4)]]
+    assert vector.segments() == vector.segments_uncached()
+
+
+def test_prune_all_random_fuzz_keeps_cache_coherent():
+    sites = ["A", "B", "C", "D", "E", "F"]
+    for seed in range(15):
+        rng = random.Random(seed)
+        vector = SkipRotatingVector.from_pairs([("A", 1)])
+        for _ in range(rng.randint(5, 30)):
+            vector.record_update(rng.choice(sites))
+            if rng.random() < 0.3 and len(vector) > 1:
+                vector.set_segment_bit(rng.choice(vector.sites_in_order()))
+        vector.segment_count()  # populate the cache
+        log = RetirementLog()
+        for site in rng.sample(sites, rng.randint(1, 3)):
+            if site in vector.order and len(vector) > 1:
+                log.retire(site, vector[site])
+        removed = prune_all(vector, log)
+        assert removed == len([r for r in log.entries()])
+        assert vector.segments() == vector.segments_uncached()
+        assert vector.segment_count() == len(vector.segments_uncached())
+
+
+def test_unprunable_retirement_leaves_cache_untouched():
+    vector = SkipRotatingVector.from_pairs([("A", 2), ("B", 1)])
+    cached = vector.partition()
+    log = RetirementLog()
+    retirement = log.retire("B", 5)  # vector only covers B=1
+    assert not is_prunable(vector, retirement)
+    try:
+        prune(vector, retirement)
+    except Exception:
+        pass
+    assert vector.partition() is cached  # no mutation, no invalidation

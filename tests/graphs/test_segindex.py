@@ -1,0 +1,156 @@
+"""Property tests: the incremental segment index vs the full-rebuild oracle.
+
+The contract under test (§4 coalescing, dirty-tracking): after *any*
+history of updates and reconciliations, the incrementally maintained
+chains, Π sets, and prefixing segments equal those of a from-scratch
+``coalesce``; and an insertion invalidates only the canonical ids its
+chain events actually touch.
+"""
+
+import random
+
+from repro.graphs.causalgraph import CausalGraph, GraphNode
+from repro.graphs.crg import coalesce
+from repro.graphs.replicationgraph import ReplicationGraph
+from repro.graphs.segindex import SegmentIndex
+
+
+def _random_history(rng, steps):
+    """Grow a replication graph with random updates and merges."""
+    graph = ReplicationGraph()
+    index = SegmentIndex(graph)
+    counter = {"A": 1}
+    root = graph.add_initial([("A", 1)])
+    frontier = [root.node_id]
+    sites = ["A", "B", "C", "D", "E"]
+    for _ in range(steps):
+        site = rng.choice(sites)
+        counter[site] = counter.get(site, 0) + 1
+        vector = sorted(counter.items())
+        if len(frontier) >= 2 and rng.random() < 0.3:
+            left, right = rng.sample(frontier, 2)
+            node = graph.add_merge(left, right, vector)
+            frontier = [f for f in frontier
+                        if f not in (left, right)] + [node.node_id]
+        else:
+            parent = rng.choice(frontier)
+            node = graph.add_update(parent, vector)
+            if rng.random() < 0.6:
+                frontier.remove(parent)
+            frontier.append(node.node_id)
+        if rng.random() < 0.5:
+            index.pi_set(node.node_id)  # populate memos mid-history
+    return graph, index
+
+
+def test_incremental_index_matches_full_rebuild():
+    for seed in range(25):
+        rng = random.Random(seed)
+        graph, index = _random_history(rng, rng.randint(4, 70))
+        problems = index.verify_against_rebuild()
+        assert problems == [], f"seed {seed}: {problems}"
+
+
+def test_linear_history_extends_single_chain():
+    graph = ReplicationGraph()
+    index = SegmentIndex(graph)
+    node = graph.add_initial([("A", 1)])
+    previous = node.node_id
+    for value in range(2, 12):
+        previous = graph.add_update(previous, [("A", value)]).node_id
+    # The source can never join a chain, so: [source], [u2 .. u11].
+    assert index.stats.chain_extensions == 9
+    assert index.stats.chain_splits == 0
+    assert len(index.crg()) == 2
+    assert index.verify_against_rebuild() == []
+
+
+def test_second_child_splits_chain_and_dirties_only_touched_ids():
+    graph = ReplicationGraph()
+    index = SegmentIndex(graph)
+    root = graph.add_initial([("A", 1)])
+    a = graph.add_update(root.node_id, [("A", 2)])
+    b = graph.add_update(a.node_id, [("A", 2), ("B", 1)])
+    c = graph.add_update(b.node_id, [("A", 2), ("B", 2)])
+    assert index.crg().canonical(a.node_id) == c.node_id  # one chain a-b-c
+    index.pi_set(c.node_id)
+    # A second child of b cuts the chain into [a], [b], and [c]: b can no
+    # longer extend a (two children) and c can no longer extend b.
+    fork = graph.add_update(b.node_id, [("A", 2), ("B", 2), ("C", 1)])
+    dirty = index.stats.last_dirty
+    assert {a.node_id, b.node_id, c.node_id} <= dirty
+    assert root.node_id not in dirty   # untouched chain survives
+    assert index.crg().canonical(a.node_id) == a.node_id
+    assert index.crg().canonical(fork.node_id) == fork.node_id
+    assert index.verify_against_rebuild() == []
+
+
+def test_pi_memo_survives_unrelated_growth():
+    graph = ReplicationGraph()
+    index = SegmentIndex(graph)
+    root = graph.add_initial([("A", 1)])
+    left = graph.add_update(root.node_id, [("A", 2)])
+    right = graph.add_update(root.node_id, [("A", 1), ("B", 1)])
+    pi_left = index.pi_set(left.node_id)
+    # Growing the *right* lineage must not dirty the left chain's memo.
+    tip = right.node_id
+    for value in range(2, 8):
+        tip = graph.add_update(tip, [("A", 1), ("B", value)]).node_id
+        assert left.node_id not in index.stats.last_dirty
+    assert index.pi_set(left.node_id) == pi_left
+    assert index.verify_against_rebuild() == []
+
+
+def test_crg_pi_set_matches_uncached_reference():
+    for seed in range(10):
+        rng = random.Random(1000 + seed)
+        graph, _ = _random_history(rng, 40)
+        crg = coalesce(graph)
+        for node in crg.nodes():
+            assert crg.pi_set(node.node_id) == \
+                crg.pi_set_uncached(node.node_id)
+
+
+def test_causal_graph_sink_index_matches_reference_scan():
+    for seed in range(15):
+        rng = random.Random(seed)
+        graph = CausalGraph.with_source("root")
+        frontier = ["root"]
+        for step in range(rng.randint(3, 60)):
+            if len(frontier) >= 2 and rng.random() < 0.35:
+                left, right = rng.sample(frontier, 2)
+                graph.merge_sinks(f"m{step}", left, right)
+                frontier = [f for f in frontier
+                            if f not in (left, right)] + [f"m{step}"]
+            else:
+                parent = rng.choice(frontier)
+                graph.append(f"n{step}", parent)
+                if rng.random() < 0.6:
+                    frontier.remove(parent)
+                frontier.append(f"n{step}")
+            assert graph.sinks() == graph.sinks_uncached()
+
+
+def test_causal_graph_sink_index_handles_out_of_order_install():
+    # SYNCG delivers children before parents; the childless index must
+    # stay coherent through the ancestor-open intermediate states.
+    graph = CausalGraph()
+    graph.install(GraphNode("c", "b"))
+    assert graph.sinks() == graph.sinks_uncached() == ["c"]
+    graph.install(GraphNode("b", "a"))
+    assert graph.sinks() == graph.sinks_uncached() == ["c"]
+    graph.install(GraphNode("a"))
+    assert graph.sinks() == graph.sinks_uncached() == ["c"]
+    assert graph.is_ancestor_closed()
+
+
+def test_added_since_reports_install_order():
+    graph = CausalGraph.with_source("r")
+    mark = graph.version
+    graph.append("x", "r")
+    graph.append("y", "x")
+    assert graph.added_since(mark) == ["x", "y"]
+    assert graph.added_since(0) == ["r", "x", "y"]
+    copied = graph.copy()
+    assert copied.added_since(0) == ["r", "x", "y"]
+    assert copied.sinks() == graph.sinks()

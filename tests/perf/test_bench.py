@@ -6,12 +6,19 @@ import pytest
 
 from repro.__main__ import main as repro_main
 from repro.obs.metrics import MetricsRegistry
-from repro.perf.bench import (BenchConfig, bench_main, format_bench_table,
-                              run_cluster_bench, write_bench)
+from repro.perf.bench import (BenchConfig, bench_fingerprint, bench_main,
+                              format_bench_table, run_cluster_bench,
+                              write_bench)
 from repro.perf.schema import SCHEMA_ID, validate_bench, validate_file
 
-#: A deliberately tiny sweep so driver tests stay fast.
-TINY = BenchConfig(site_counts=(4,), rounds=2, updates_per_site=1.0)
+#: A deliberately tiny sweep so driver tests stay fast (no batched
+#: scenario; that one has its own tests below).
+TINY = BenchConfig(site_counts=(4,), rounds=2, updates_per_site=1.0,
+                   batched_sizes=())
+#: The batched scenario alone, shrunk.
+TINY_BATCHED = BenchConfig(site_counts=(), protocols=(), rounds=2,
+                           updates_per_site=1.0, batched_site_count=4,
+                           batched_objects=6, batched_sizes=(1, 4))
 
 
 class TestRunClusterBench:
@@ -23,7 +30,7 @@ class TestRunClusterBench:
 
     def test_runs_cover_the_requested_grid(self):
         config = BenchConfig(site_counts=(4, 6), protocols=("srv",),
-                             rounds=2)
+                             rounds=2, batched_sizes=())
         document = run_cluster_bench(config)
         grid = [(r["protocol"], r["n_sites"]) for r in document["runs"]]
         assert grid == [("srv", 4), ("srv", 6)]
@@ -58,11 +65,70 @@ class TestRunClusterBench:
     def test_metrics_are_populated(self):
         metrics = MetricsRegistry()
         run_cluster_bench(BenchConfig(site_counts=(4,), protocols=("srv",),
-                                      rounds=2), metrics=metrics)
+                                      rounds=2, batched_sizes=()),
+                          metrics=metrics)
         snapshot = metrics.snapshot()
         assert snapshot["counters"]["cluster.srv.sessions"] == 8
         wall = snapshot["histograms"]["bench.cluster.srv.wall_seconds"]
         assert wall["count"] == 1 and wall["total"] > 0
+
+
+class TestBatchedScenario:
+    def test_batched_runs_carry_their_extra_fields(self):
+        document = run_cluster_bench(TINY_BATCHED)
+        assert validate_bench(document) == []
+        runs = document["runs"]
+        assert [run["batch_size"] for run in runs] == [1, 4]
+        for run in runs:
+            assert run["scenario"] == "batched-many-objects"
+            assert run["n_objects"] == 6
+            assert run["wire_bits_per_object"] > 0
+        assert runs[0]["traffic"]["frames"] == 0
+        assert runs[1]["traffic"]["frames"] > 0
+        assert runs[1]["total_bits"] < runs[0]["total_bits"]
+
+    def test_empty_batched_sizes_skips_the_scenario(self):
+        document = run_cluster_bench(TINY)
+        assert all(run["scenario"] != "batched-many-objects"
+                   for run in document["runs"])
+
+
+class TestParallelDriver:
+    def test_worker_fanout_is_an_accounting_noop(self):
+        serial = run_cluster_bench(TINY_BATCHED, created_unix=0.0)
+        parallel = run_cluster_bench(TINY_BATCHED, created_unix=0.0,
+                                     workers=2)
+        assert bench_fingerprint(serial) == bench_fingerprint(parallel)
+
+    def test_parallel_metrics_merge_matches_serial(self):
+        config = BenchConfig(site_counts=(4,), protocols=("crv", "srv"),
+                             rounds=2, batched_sizes=())
+        serial_metrics = MetricsRegistry()
+        run_cluster_bench(config, metrics=serial_metrics)
+        parallel_metrics = MetricsRegistry()
+        run_cluster_bench(config, metrics=parallel_metrics, workers=2)
+        serial_snap = serial_metrics.snapshot()
+        parallel_snap = parallel_metrics.snapshot()
+        assert serial_snap["counters"] == parallel_snap["counters"]
+        for name, summary in serial_snap["histograms"].items():
+            if "wall_seconds" in name:
+                continue  # host time differs per worker, by design
+            assert parallel_snap["histograms"][name] == summary
+
+    def test_bad_worker_count_rejected(self):
+        with pytest.raises(ValueError, match="workers"):
+            run_cluster_bench(TINY, workers=0)
+
+
+class TestBenchFingerprint:
+    def test_masks_exactly_the_nondeterministic_fields(self):
+        document = run_cluster_bench(TINY)
+        reference = bench_fingerprint(document)
+        document["created_unix"] = 12345.0
+        document["runs"][0]["wall_seconds"] = 99.0
+        assert bench_fingerprint(document) == reference
+        document["runs"][0]["total_bits"] += 1
+        assert bench_fingerprint(document) != reference
 
 
 class TestWriteBench:
@@ -106,7 +172,26 @@ class TestBenchCli:
                            "--protocols", "srv", "--out", out]) == 0
         with open(out) as handle:
             document = json.load(handle)
-        assert [r["protocol"] for r in document["runs"]] == ["srv"]
+        gossip = [r["protocol"] for r in document["runs"]
+                  if r["scenario"] != "batched-many-objects"]
+        assert gossip == ["srv"]
+
+    def test_workers_flag(self, tmp_path, capsys):
+        out = str(tmp_path / "bench.json")
+        assert bench_main(["--sites", "4", "--rounds", "2",
+                           "--protocols", "srv", "--workers", "2",
+                           "--out", out]) == 0
+        assert validate_file(out) == []
+
+    def test_profile_flag_dumps_stats(self, tmp_path, capsys):
+        out = str(tmp_path / "bench.json")
+        pstats_out = str(tmp_path / "bench.pstats")
+        assert bench_main(["--sites", "4", "--rounds", "2",
+                           "--protocols", "srv", "--profile",
+                           "--profile-out", pstats_out, "--out", out]) == 0
+        assert (tmp_path / "bench.pstats").exists()
+        stdout = capsys.readouterr().out
+        assert "cumulative" in stdout
 
     @pytest.mark.parametrize("argv", [
         ["--sites"],                       # missing value
@@ -114,6 +199,8 @@ class TestBenchCli:
         ["--sites", "1"],                  # below minimum
         ["--rounds", "two"],
         ["--protocols", "vv"],
+        ["--workers", "zero"],             # not an integer
+        ["--workers", "0"],                # below minimum
         ["--frobnicate"],                  # unknown flag
     ])
     def test_bad_arguments_exit_2(self, argv, capsys):

@@ -1,0 +1,109 @@
+"""Tests for the bench-document comparator (`repro.perf.compare`)."""
+
+import copy
+import json
+
+import pytest
+
+from repro.perf.bench import BenchConfig, run_cluster_bench, write_bench
+from repro.perf.compare import (compare_documents, format_comparison,
+                                main as compare_main, run_key)
+
+#: One tiny gossip cell plus nothing else — fast and fully paired.
+TINY = BenchConfig(site_counts=(4,), protocols=("srv",), rounds=2,
+                   updates_per_site=1.0, batched_sizes=())
+
+
+@pytest.fixture(scope="module")
+def document():
+    return run_cluster_bench(TINY, created_unix=0.0)
+
+
+class TestRunKey:
+    def test_gossip_key_has_no_batch_identity(self, document):
+        key = run_key(document["runs"][0])
+        assert key == ("multi-writer-gossip", "srv", 4, None, None)
+
+    def test_batched_key_carries_objects_and_batch_size(self):
+        run = {"scenario": "batched-many-objects", "protocol": "srv",
+               "n_sites": 4, "n_objects": 6, "batch_size": 4}
+        assert run_key(run) == ("batched-many-objects", "srv", 4, 6, 4)
+
+
+class TestCompareDocuments:
+    def test_identical_documents_diff_to_zero(self, document):
+        comparison = compare_documents(document, document)
+        assert not comparison.bits_changed
+        assert comparison.fingerprints_equal
+        assert comparison.only_old == [] and comparison.only_new == []
+        assert all(d.bits_delta_pct == 0.0 for d in comparison.deltas)
+
+    def test_moved_bits_are_detected(self, document):
+        changed = copy.deepcopy(document)
+        changed["runs"][0]["total_bits"] += 8
+        comparison = compare_documents(document, changed)
+        assert comparison.bits_changed
+        assert not comparison.fingerprints_equal
+        (delta,) = comparison.deltas
+        assert delta.new_bits == delta.old_bits + 8
+        assert delta.bits_delta_pct > 0
+
+    def test_grid_mismatch_counts_as_change(self, document):
+        shrunk = copy.deepcopy(document)
+        missing = shrunk["runs"].pop()
+        comparison = compare_documents(document, shrunk)
+        assert comparison.bits_changed
+        assert comparison.only_old == [run_key(missing)]
+
+    def test_wall_time_alone_does_not_trip(self, document):
+        slower = copy.deepcopy(document)
+        slower["runs"][0]["wall_seconds"] *= 100
+        slower["created_unix"] = 1.0
+        comparison = compare_documents(document, slower)
+        assert not comparison.bits_changed
+        assert comparison.fingerprints_equal  # masked fields only
+
+
+class TestFormatComparison:
+    def test_table_names_every_pair_and_the_verdict(self, document):
+        text = format_comparison(compare_documents(document, document))
+        assert "multi-writer-gossip/srv n=4" in text
+        assert "fingerprints identical" in text
+
+    def test_differing_fingerprints_are_called_out(self, document):
+        changed = copy.deepcopy(document)
+        changed["runs"][0]["total_bits"] += 1
+        text = format_comparison(compare_documents(document, changed))
+        assert "DIFFER" in text
+
+
+class TestCompareCli:
+    def test_same_document_twice_exits_zero(self, tmp_path, capsys,
+                                            document):
+        path = str(tmp_path / "bench.json")
+        write_bench(document, path)
+        assert compare_main([path, path, "--require-same-bits"]) == 0
+        assert "identical" in capsys.readouterr().out
+
+    def test_require_same_bits_fails_on_traffic_change(self, tmp_path,
+                                                       capsys, document):
+        old = str(tmp_path / "old.json")
+        new = str(tmp_path / "new.json")
+        write_bench(document, old)
+        changed = copy.deepcopy(document)
+        changed["runs"][0]["total_bits"] += 1
+        changed["runs"][0]["traffic"]["total_bits"] += 1
+        write_bench(changed, new)
+        assert compare_main([old, new, "--require-same-bits"]) == 1
+        assert "regenerate" in capsys.readouterr().out
+        # Without the gate the same diff is informational only.
+        assert compare_main([old, new]) == 0
+        capsys.readouterr()
+
+    def test_usage_and_invalid_documents_exit_2(self, tmp_path, capsys):
+        assert compare_main(["only-one.json"]) == 2
+        assert "usage" in capsys.readouterr().out
+        bad = tmp_path / "bad.json"
+        bad.write_text(json.dumps({"schema": "nope"}))
+        assert compare_main([str(bad), str(bad)]) == 2
+        assert "not a valid bench document" in capsys.readouterr().out

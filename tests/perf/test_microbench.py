@@ -1,0 +1,56 @@
+"""Tests for the cache timing tripwire (`repro.perf.microbench`).
+
+Correctness-only here: the probes must build valid workloads and agree
+with their oracles.  The actual timing verdict (cached ≤ oracle) is CI's
+job via ``python -m repro.perf.microbench`` — asserting wall-clock
+ratios inside the unit suite would make it flaky on loaded machines.
+"""
+
+from repro.perf.microbench import (MicrobenchResult, _grown_crg,
+                                   bench_crg_pi_sweep, bench_srv_segments,
+                                   format_results, run_microbench)
+
+
+class TestMicrobenchResult:
+    def test_speedup_and_regression_flags(self):
+        healthy = MicrobenchResult("x", cached_seconds=1.0,
+                                   uncached_seconds=4.0)
+        assert healthy.speedup == 4.0 and not healthy.regressed
+        broken = MicrobenchResult("x", cached_seconds=4.0,
+                                  uncached_seconds=1.0)
+        assert broken.regressed
+        free = MicrobenchResult("x", cached_seconds=0.0,
+                                uncached_seconds=1.0)
+        assert free.speedup == float("inf") and not free.regressed
+
+
+class TestWorkloads:
+    def test_grown_crg_is_deterministic_and_nontrivial(self):
+        first = _grown_crg(60, seed=7)
+        second = _grown_crg(60, seed=7)
+        ids = [node.node_id for node in first.nodes()]
+        assert ids == [node.node_id for node in second.nodes()]
+        assert len(ids) > 10
+        # The memoized sweep must agree with the oracle on this shape.
+        for node_id in ids:
+            assert first.pi_set(node_id) == second.pi_set_uncached(node_id)
+
+    def test_probes_return_positive_timings(self):
+        srv = bench_srv_segments(n_segments=20, segment_len=2, repeats=5)
+        crg = bench_crg_pi_sweep(steps=40, seed=7)
+        for result in (srv, crg):
+            assert result.cached_seconds > 0
+            assert result.uncached_seconds > 0
+
+
+class TestReporting:
+    def test_format_names_every_probe(self):
+        results = [MicrobenchResult("a.one", 0.001, 0.004),
+                   MicrobenchResult("b.two", 0.004, 0.001)]
+        text = format_results(results)
+        assert "a.one" in text and "b.two" in text
+        assert "ok" in text and "REGRESS" in text
+
+    def test_run_microbench_covers_both_caches(self):
+        names = [result.name for result in run_microbench()]
+        assert names == ["srv.segments", "crg.pi_sweep"]

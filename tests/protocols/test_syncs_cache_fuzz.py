@@ -1,0 +1,83 @@
+"""Acceptance fuzz: caching must not perturb SYNCS (§4, Algorithm 4).
+
+The segment-partition cache and the order-version plumbing live on the
+same structures SYNCS streams, so this fuzz drives randomized
+update/reconcile/prune histories and asserts that a session run on
+cache-exercised vectors produces a *bit-for-bit identical transcript* —
+same messages, same bits, same end states — as the same session run on
+untouched copies whose caches were never consulted.
+"""
+
+import random
+
+from repro.core.skip import SkipRotatingVector
+from repro.extensions.pruning import RetirementLog, is_prunable, prune
+from repro.protocols.session import run_session
+from repro.protocols.syncs import sync_srv, syncs_receiver, syncs_sender
+
+SITES = ["A", "B", "C", "D", "E", "F"]
+
+
+def _run_traced(a, b):
+    """``SYNCS_b(a)`` under the instant driver with a full transcript."""
+    reconcile = a.compare(b).is_concurrent
+    return run_session(syncs_sender(b),
+                       syncs_receiver(a, reconcile=reconcile), trace=True)
+
+
+def _random_pair(rng):
+    """Two SRVs with shared history, conflicts, segments, and prunes."""
+    a = SkipRotatingVector.from_pairs([("A", 1)])
+    b = a.copy()
+    log = RetirementLog()
+    for _ in range(rng.randint(3, 40)):
+        roll = rng.random()
+        if roll < 0.45:
+            rng.choice((a, b)).record_update(rng.choice(SITES))
+        elif roll < 0.75:
+            dst, src = (a, b) if rng.random() < 0.5 else (b, a)
+            concurrent = dst.compare(src).is_concurrent
+            sync_srv(dst, src)
+            if concurrent:  # §2.2: increment after reconciliation
+                dst.record_update(rng.choice(SITES))
+        else:
+            candidates = [site for site in SITES
+                          if site not in log.retired_sites()
+                          and site in a.order and site in b.order
+                          and len(a) > 1 and len(b) > 1]
+            if candidates:
+                site = rng.choice(candidates)
+                final = max(a[site], b[site])
+                retirement = log.retire(site, final)
+                for vector in (a, b):
+                    if is_prunable(vector, retirement):
+                        prune(vector, retirement)
+    return a, b
+
+
+def _transcript_fingerprint(result):
+    return ([(direction, repr(message))
+             for direction, message in result.transcript],
+            result.stats.total_bits)
+
+
+def test_syncs_transcripts_identical_with_and_without_cache():
+    for seed in range(30):
+        rng = random.Random(seed)
+        a, b = _random_pair(rng)
+
+        cold_a, cold_b = a.copy(), b.copy()      # caches never consulted
+        warm_a, warm_b = a.copy(), b.copy()
+        for vector in (warm_a, warm_b):          # exercise every cache path
+            vector.partition()
+            vector.segment_count()
+            vector.segments()
+
+        cold = _run_traced(cold_a, cold_b)
+        warm = _run_traced(warm_a, warm_b)
+        assert _transcript_fingerprint(warm) == \
+            _transcript_fingerprint(cold), f"seed {seed}"
+        assert warm_a.same_structure(cold_a), f"seed {seed}"
+        assert warm_b.same_structure(cold_b), f"seed {seed}"
+        # And the cache is coherent on the mutated receiver afterwards.
+        assert warm_a.segments() == warm_a.segments_uncached()
