@@ -10,7 +10,7 @@ import pytest
 from repro.analysis.report import format_table
 from repro.core.rotating import BasicRotatingVector
 from repro.net.channel import ChannelSpec
-from repro.net.runner import run_timed_session
+from repro.net.runner import SessionOptions, run_timed
 from repro.net.wire import Encoding
 from repro.protocols.syncb import syncb_receiver, syncb_sender
 
@@ -26,9 +26,9 @@ def fresh_pair(k):
 def timed(k, latency, stop_and_wait):
     a, b = fresh_pair(k)
     channel = ChannelSpec(latency=latency, bandwidth=1e6)
-    return run_timed_session(syncb_sender(b), syncb_receiver(a),
-                             channel=channel, encoding=ENC,
-                             stop_and_wait=stop_and_wait)
+    return run_timed(SessionOptions.for_pair(
+        syncb_sender(b), syncb_receiver(a), channel=channel, encoding=ENC,
+        stop_and_wait=stop_and_wait))
 
 
 def test_e3_time_saving_tracks_k_times_rtt(benchmark, report_writer):
@@ -69,9 +69,9 @@ def test_e3_excess_bounded_by_beta(benchmark, report_writer):
                 [(f"S{i:03d}", 1) for i in range(200)])
             current = stale.copy()
             current.record_update("X")
-            result = run_timed_session(
+            result = run_timed(SessionOptions.for_pair(
                 syncb_sender(current), syncb_receiver(stale),
-                channel=channel, encoding=ENC)
+                channel=channel, encoding=ENC))
             ideal = 2 * ENC.brv_element_bits
             excess = result.stats.forward.bits - ideal
             bound = channel.beta_bits + ENC.brv_element_bits

@@ -13,7 +13,7 @@ Run:  python examples/pipelining_demo.py
 from repro.analysis.report import format_table
 from repro.core.rotating import BasicRotatingVector
 from repro.net.channel import ChannelSpec
-from repro.net.runner import run_timed_session
+from repro.net.runner import SessionOptions, run_timed
 from repro.net.wire import Encoding
 from repro.protocols.syncb import syncb_receiver, syncb_sender
 
@@ -33,12 +33,13 @@ def main() -> None:
     for latency_ms in (1, 10, 50, 200):
         channel = ChannelSpec(latency=latency_ms / 1000, bandwidth=1e6)
         a1, b = fresh_pair()
-        pipelined = run_timed_session(syncb_sender(b), syncb_receiver(a1),
-                                      channel=channel, encoding=ENC)
+        pipelined = run_timed(SessionOptions.for_pair(
+            syncb_sender(b), syncb_receiver(a1),
+            channel=channel, encoding=ENC))
         a2, _ = fresh_pair()
-        blocking = run_timed_session(syncb_sender(b), syncb_receiver(a2),
-                                     channel=channel, encoding=ENC,
-                                     stop_and_wait=True)
+        blocking = run_timed(SessionOptions.for_pair(
+            syncb_sender(b), syncb_receiver(a2),
+            channel=channel, encoding=ENC, stop_and_wait=True))
         saving = blocking.completion_time - pipelined.completion_time
         rows.append([
             f"{latency_ms} ms",
@@ -61,9 +62,9 @@ def main() -> None:
             [(f"S{i:02d}", 1) for i in range(K_ELEMENTS)])
         current = stale.copy()
         current.record_update("X")
-        result = run_timed_session(syncb_sender(current),
-                                   syncb_receiver(stale),
-                                   channel=channel, encoding=ENC)
+        result = run_timed(SessionOptions.for_pair(
+            syncb_sender(current), syncb_receiver(stale),
+            channel=channel, encoding=ENC))
         ideal = 2 * ENC.brv_element_bits  # the new element + the halting one
         excess = result.stats.forward.bits - ideal
         rows.append([f"{latency_ms} ms", result.stats.forward.bits, ideal,

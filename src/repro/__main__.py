@@ -90,25 +90,62 @@ def _demo_pipelining(*, tracer: Optional[Tracer] = None,
     """Timed pipelining comparison on a simulated link."""
     from repro.core.rotating import BasicRotatingVector
     from repro.net.channel import ChannelSpec
-    from repro.net.runner import run_timed_session
+    from repro.net.runner import SessionOptions, run_timed
     from repro.net.wire import Encoding
     from repro.protocols.syncb import syncb_receiver, syncb_sender
 
     encoding = Encoding(site_bits=8, value_bits=16)
     channel = ChannelSpec(latency=0.05, bandwidth=1e6)
     b = BasicRotatingVector.from_pairs([(f"S{i}", 1) for i in range(30)])
-    pipelined = run_timed_session(syncb_sender(b, tracer=tracer),
-                                  syncb_receiver(BasicRotatingVector(),
-                                                 tracer=tracer),
-                                  channel=channel, encoding=encoding,
-                                  tracer=tracer, span_name="SYNCB")
-    blocking = run_timed_session(syncb_sender(b),
-                                 syncb_receiver(BasicRotatingVector()),
-                                 channel=channel, encoding=encoding,
-                                 stop_and_wait=True)
+    pipelined = run_timed(SessionOptions.for_pair(
+        syncb_sender(b, tracer=tracer),
+        syncb_receiver(BasicRotatingVector(), tracer=tracer),
+        channel=channel, encoding=encoding, tracer=tracer),
+        span_name="SYNCB")
+    blocking = run_timed(SessionOptions.for_pair(
+        syncb_sender(b), syncb_receiver(BasicRotatingVector()),
+        channel=channel, encoding=encoding, stop_and_wait=True))
     print(f"30 elements over a 100 ms-rtt link: "
           f"pipelined {pipelined.completion_time:.2f}s, "
           f"stop-and-wait {blocking.completion_time:.2f}s")
+
+
+def _demo_chaos(*, tracer: Optional[Tracer] = None,
+                seed: Optional[int] = None) -> None:
+    """SYNCS over a lossy link: ARQ retransmission and goodput accounting."""
+    from repro.core.skip import SkipRotatingVector
+    from repro.net.channel import ChannelSpec
+    from repro.net.faults import FaultSpec, RetryPolicy
+    from repro.net.runner import SessionOptions, run_timed
+    from repro.net.wire import Encoding
+    from repro.protocols.syncs import syncs_receiver, syncs_sender
+
+    encoding = Encoding(site_bits=8, value_bits=16)
+    effective = DEFAULT_SEED if seed is None else seed
+    a = SkipRotatingVector()
+    for site in ("alice", "bob", "alice", "carol"):
+        a.record_update(site)
+    b = a.copy()
+    for site in ("dave", "bob", "dave", "erin", "bob"):
+        b.record_update(site)
+    faults = FaultSpec(drop=0.25, duplicate=0.1, reorder=0.2,
+                       reorder_window=0.3, seed=effective)
+    channel = ChannelSpec(latency=0.05, bandwidth=1e6, faults=faults)
+    reconcile = a.compare(b).is_concurrent
+    result = run_timed(SessionOptions.for_pair(
+        syncs_sender(b, tracer=tracer),
+        syncs_receiver(a, reconcile=reconcile, tracer=tracer),
+        channel=channel, encoding=encoding, tracer=tracer,
+        retry=RetryPolicy(max_retries=8, seed=effective)),
+        span_name="SYNCS-chaos")
+    stats = result.stats
+    print(f"seed {effective}: SYNCS over 25% loss converged in "
+          f"{result.completion_time:.2f}s simulated")
+    print(f"  goodput {stats.total_goodput_bits} bits + retransmitted "
+          f"{stats.total_retransmitted_bits} bits = "
+          f"{stats.total_bits} bits on the wire")
+    print(f"  {stats.retries} retransmissions, {stats.timeouts} timeouts "
+          f"→ {a}")
 
 
 def _demo_antientropy(*, tracer: Optional[Tracer] = None,
@@ -166,6 +203,7 @@ DEMOS: Dict[str, Callable[..., None]] = {
     "quickstart": _demo_quickstart,
     "figures": _demo_figures,
     "pipelining": _demo_pipelining,
+    "chaos": _demo_chaos,
     "antientropy": _demo_antientropy,
     "fuzz": _demo_fuzz,
 }

@@ -37,6 +37,19 @@ class ConflictDetected(ReproError):
         self.site_b = site_b
 
 
+class ValidationError(ReproError, ValueError):
+    """A configuration value object was constructed with nonsensical values.
+
+    Raised eagerly by :class:`~repro.net.channel.ChannelSpec`,
+    :class:`~repro.net.faults.FaultSpec`, and
+    :class:`~repro.net.faults.RetryPolicy` — a silently-accepted negative
+    latency or out-of-range fault probability would invalidate every
+    measurement downstream.  Subclasses :class:`ValueError` too, so
+    callers that guarded construction with ``except ValueError`` keep
+    working.
+    """
+
+
 class ProtocolError(ReproError):
     """A protocol state machine received a message it cannot handle."""
 

@@ -1,4 +1,4 @@
-"""Simulated network links: latency, bandwidth, and the β product.
+"""Simulated network links: latency, bandwidth, the β product, and faults.
 
 The paper's pipelining analysis (§3.1) is parameterized by the network
 round-trip time and the bandwidth–delay product ``β = bandwidth · rtt``:
@@ -6,11 +6,20 @@ pipelining shaves ``(k−1)·rtt`` off a k-item exchange and wastes at most
 ``β`` bytes of in-flight excess once the receiver has answered.  This
 module defines the link model those quantities come from; the timed runner
 (:mod:`repro.net.runner`) interprets protocol effects against it.
+
+A link may additionally carry a :class:`~repro.net.faults.FaultSpec`
+describing loss, duplication, reordering, and transient partitions; the
+timed runner switches to its reliable ARQ transport whenever the spec can
+actually produce a fault (``faults.enabled``), and stays byte-for-byte on
+the historical code path otherwise.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
+
+from repro.errors import ValidationError
+from repro.net.faults import FaultSpec
 
 
 @dataclass(frozen=True)
@@ -23,20 +32,35 @@ class ChannelSpec:
             message is ``bits / bandwidth``).
         ack_bits: size of the per-item acknowledgment used by the
             stop-and-wait baseline (pipelining "suppresses (k−1) reply
-            messages as they now become implicit", §3.1).
+            messages as they now become implicit", §3.1) and by the
+            reliable ARQ transport's explicit acks.
+        faults: loss/duplication/reordering/partition model; the default
+            (no faults) keeps the link perfectly reliable and in-order.
+
+    Construction validates every field and raises
+    :class:`~repro.errors.ValidationError` on nonsense — a negative
+    latency or an out-of-range fault probability would silently corrupt
+    every measurement built on the link.
     """
 
     latency: float = 0.05
     bandwidth: float = 1_000_000.0
     ack_bits: int = 8
+    faults: FaultSpec = field(default_factory=FaultSpec)
 
     def __post_init__(self) -> None:
         if self.latency < 0:
-            raise ValueError(f"latency must be >= 0, got {self.latency}")
+            raise ValidationError(
+                f"latency must be >= 0, got {self.latency}")
         if self.bandwidth <= 0:
-            raise ValueError(f"bandwidth must be > 0, got {self.bandwidth}")
+            raise ValidationError(
+                f"bandwidth must be > 0, got {self.bandwidth}")
         if self.ack_bits < 1:
-            raise ValueError(f"ack_bits must be >= 1, got {self.ack_bits}")
+            raise ValidationError(
+                f"ack_bits must be >= 1, got {self.ack_bits}")
+        if not isinstance(self.faults, FaultSpec):
+            raise ValidationError(
+                f"faults must be a FaultSpec, got {self.faults!r}")
 
     @property
     def rtt(self) -> float:

@@ -35,30 +35,49 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, Iterable, List, Optional, Tuple
 
-from repro.core.conflict import ConflictRotatingVector
 from repro.core.order import Ordering
 from repro.core.rotating import BasicRotatingVector
-from repro.core.skip import SkipRotatingVector
-from repro.errors import ConcurrentVectorsError, SimulationError
+from repro.errors import SimulationError
 from repro.net.channel import ChannelSpec
-from repro.net.runner import (TimedSessionResult, launch_batch_session,
-                              launch_session, run_timed_session)
+from repro.net.faults import RetryPolicy, derive_seed
+from repro.net.runner import (SessionOptions, TimedSessionResult, launch,
+                              run_timed)
 from repro.net.simulator import Simulator
 from repro.net.stats import TransferStats
 from repro.net.wire import DEFAULT_ENCODING, Encoding
 from repro.obs.metrics import MetricsRegistry, observe_session
 from repro.obs.trace import Tracer
-from repro.protocols.syncb import syncb_receiver, syncb_sender
-from repro.protocols.syncc import syncc_receiver, syncc_sender
-from repro.protocols.syncs import syncs_receiver, syncs_sender
+from repro.protocols import registry
 from repro.workload.cluster import SessionRequest, UpdateRequest
 
+
+class _ProtocolTable:
+    """Legacy read-only view of the registry: name -> (vector_cls, reconciles).
+
+    Kept so historical call sites (``PROTOCOLS["srv"]``, ``in PROTOCOLS``,
+    ``sorted(PROTOCOLS)``) keep working; all dispatch goes through
+    :mod:`repro.protocols.registry`.
+    """
+
+    def __getitem__(self, name: str) -> Tuple[type, bool]:
+        spec = registry.get(name)
+        return (spec.vector_cls, spec.reconciles)
+
+    def __contains__(self, name: object) -> bool:
+        return isinstance(name, str) and name in registry.names()
+
+    def __iter__(self):
+        return iter(registry.names())
+
+    def __len__(self) -> int:
+        return len(registry.names())
+
+    def keys(self):
+        return registry.names()
+
+
 #: protocol name -> (vector class, supports automatic reconciliation)
-PROTOCOLS: Dict[str, Tuple[type, bool]] = {
-    "brv": (BasicRotatingVector, False),
-    "crv": (ConflictRotatingVector, True),
-    "srv": (SkipRotatingVector, True),
-}
+PROTOCOLS = _ProtocolTable()
 
 
 @dataclass(frozen=True)
@@ -82,6 +101,9 @@ class ClusterConfig:
             (:mod:`repro.protocols.batch`).  1 — the default — runs each
             object through the plain per-object machinery, bit-for-bit
             the historical single-object path.
+        retry: ARQ knobs (timeouts, backoff, retry and resume budgets)
+            applied to every session when the channel's fault spec is
+            enabled; inert on a perfect link.
     """
 
     protocol: str = "srv"
@@ -94,6 +116,7 @@ class ClusterConfig:
     max_steps: int = 10_000_000
     n_objects: int = 1
     batch_size: int = 1
+    retry: RetryPolicy = field(default_factory=RetryPolicy)
 
     def __post_init__(self) -> None:
         if self.protocol not in PROTOCOLS:
@@ -106,6 +129,12 @@ class ClusterConfig:
         if self.batch_size < 1:
             raise ValueError(f"batch_size must be >= 1, "
                              f"got {self.batch_size}")
+        if self.channel.faults.enabled and self.fanout > 1:
+            raise ValueError(
+                "faulted channels require fanout=1: session resume "
+                "restores the receiver's pre-session snapshot, which is "
+                "only sound when no other session writes the same site "
+                "concurrently")
 
 
 @dataclass
@@ -338,21 +367,30 @@ class ClusterRunner:
                 still_pending.append(request)
         self._pending = still_pending
 
-    def _start(self, request: SessionRequest) -> None:
-        sim = self._sim
+    def _build_pairs(self, src: str, dst: str
+                     ) -> Tuple[List[Ordering], List[bool],
+                                Tuple[Tuple[Any, Any], ...]]:
+        """Fresh coroutine pairs over the endpoints' *current* state."""
         config = self.config
-        src, dst = request.src, request.dst
+        spec = registry.get(config.protocol)
         verdicts: List[Ordering] = []
         reconciled_flags: List[bool] = []
         pairs: List[Tuple[Any, Any]] = []
         for obj in range(config.n_objects):
             verdict = self.objects[dst][obj].compare(self.objects[src][obj])
-            sender, receiver, reconciled = build_session_coroutines(
-                config.protocol, self.objects[src][obj],
-                self.objects[dst][obj], verdict, tracer=self.tracer)
+            sender, receiver, reconciled = spec.build(
+                self.objects[src][obj], self.objects[dst][obj], verdict,
+                tracer=self.tracer)
             verdicts.append(verdict)
             reconciled_flags.append(reconciled)
             pairs.append((sender, receiver))
+        return verdicts, reconciled_flags, tuple(pairs)
+
+    def _start(self, request: SessionRequest) -> None:
+        sim = self._sim
+        config = self.config
+        src, dst = request.src, request.dst
+        verdicts, reconciled_flags, pairs = self._build_pairs(src, dst)
         record = ClusterSessionRecord(
             index=len(self._records), src=src, dst=dst,
             requested_at=self._requested_at.pop(id(request), sim.now),
@@ -367,22 +405,54 @@ class ClusterRunner:
         if self.tracer is not None:
             self.tracer.event("session_start", party=dst, peer=src,
                               verdict=verdicts[0].name.lower())
-        if config.n_objects == 1:
-            # The historical single-object path, byte-for-byte.
-            launch_session(
-                sim, pairs[0][0], pairs[0][1], channel=config.channel,
-                encoding=config.encoding, stop_and_wait=config.stop_and_wait,
-                proc_time=config.proc_time, max_steps=config.max_steps,
-                tracer=self.tracer, party_names=(src, dst),
-                on_complete=lambda result: self._finish(record, result))
-            return
-        launch_batch_session(
-            sim, pairs, batch_size=config.batch_size,
+        common = dict(
+            # A single-object cluster runs the historical per-object
+            # path regardless of batch_size, as it always has.
+            batch_size=config.batch_size if config.n_objects > 1 else 1,
             channel=config.channel, encoding=config.encoding,
             stop_and_wait=config.stop_and_wait, proc_time=config.proc_time,
             max_steps=config.max_steps, tracer=self.tracer,
-            party_names=(src, dst),
+            party_names=(src, dst), retry=config.retry,
             on_complete=lambda result: self._finish(record, result))
+        if not config.channel.faults.enabled:
+            launch(sim, SessionOptions(pairs=pairs, **common))
+            return
+
+        first_pairs: List[Tuple[Tuple[Any, Any], ...]] = [pairs]
+        # Attempts are transactional: the protocols stream Δ newest-first,
+        # so a torn attempt's acked prefix is never ancestor-closed and
+        # committing it would corrupt the receiver's knowledge state (a
+        # vector claiming an element without its causal past halts every
+        # later sync prematurely).  Snapshot the receiver's objects now;
+        # resume restores them and re-handshakes from this state.  Safe
+        # because updates to a busy site are deferred and fanout capacity
+        # means no other session writes ``dst`` meanwhile.
+        snapshots = tuple(self.objects[dst][obj].copy()
+                          for obj in range(config.n_objects))
+
+        def rebuild() -> Tuple[Tuple[Any, Any], ...]:
+            if first_pairs:
+                return first_pairs.pop()
+            for obj, snapshot in enumerate(snapshots):
+                # In place: result views and the site table alias these
+                # objects, so identity must survive the rollback.
+                self.objects[dst][obj].restore(snapshot)
+            new_verdicts, new_flags, new_pairs = self._build_pairs(src, dst)
+            merged = tuple(old or new for old, new
+                           in zip(record.reconciled_objects, new_flags))
+            self._reconciliations += sum(
+                1 for old, new in zip(record.reconciled_objects, new_flags)
+                if new and not old)
+            record.verdicts = tuple(new_verdicts)
+            record.reconciled_objects = merged
+            record.verdict = new_verdicts[0]
+            record.reconciled = merged[0]
+            return new_pairs
+
+        launch(sim, SessionOptions(
+            rebuild=rebuild,
+            fault_seed=derive_seed(config.channel.faults.seed, record.index),
+            **common))
 
     def _finish(self, record: ClusterSessionRecord,
                 result: TimedSessionResult) -> None:
@@ -425,25 +495,11 @@ def build_session_coroutines(protocol: str, b: BasicRotatingVector,
 
     ``reconciled`` reports whether the receiver will perform an automatic
     merge (always False for BRV, which raises on concurrent inputs
-    instead — Algorithm 2's ``Require: a ∦ b``).
+    instead — Algorithm 2's ``Require: a ∦ b``).  Thin delegation to
+    :meth:`repro.protocols.registry.ProtocolSpec.build` — the registry is
+    the single dispatch authority.
     """
-    concurrent = verdict.is_concurrent
-    if protocol == "brv":
-        if concurrent:
-            raise ConcurrentVectorsError(
-                "BRV cannot synchronize concurrent vectors (use CRV/SRV, "
-                "or a single-writer workload)")
-        return (syncb_sender(b, tracer=tracer),
-                syncb_receiver(a, tracer=tracer), False)
-    if protocol == "crv":
-        return (syncc_sender(b, tracer=tracer),
-                syncc_receiver(a, reconcile=concurrent, tracer=tracer),
-                concurrent)
-    if protocol == "srv":
-        return (syncs_sender(b, tracer=tracer),
-                syncs_receiver(a, reconcile=concurrent, tracer=tracer),
-                concurrent)
-    raise ValueError(f"unknown protocol {protocol!r}")
+    return registry.get(protocol).build(b, a, verdict, tracer=tracer)
 
 
 def replay_sequential(sites: Iterable[str], config: ClusterConfig,
@@ -452,20 +508,25 @@ def replay_sequential(sites: Iterable[str], config: ClusterConfig,
                                  Dict[str, BasicRotatingVector]]:
     """Re-execute a cluster run's log one session at a time.
 
-    Each session runs alone on a fresh private simulator (the plain
-    :func:`~repro.net.runner.run_timed_session` path, or a private-sim
-    :func:`~repro.net.runner.launch_batch_session` for multi-object
-    configs) against vectors evolved through the same realized order.
-    Under ``fanout=1`` the returned per-session stats must equal the
-    concurrent run's — the scheduling-independence property the
-    regression benchmark asserts.  Returns the per-session results and
-    every site's object-0 vector.
+    Each session runs alone on a fresh private simulator (via the unified
+    :func:`~repro.net.runner.launch` machinery) against vectors evolved
+    through the same realized order.  Under ``fanout=1`` the returned
+    per-session stats must equal the concurrent run's — the scheduling-
+    independence property the regression benchmark asserts.  On a faulted
+    channel every session re-derives the concurrent run's per-session
+    injector seed from its log position, so drop/duplicate/reorder
+    schedules (and the retransmissions, aborts, and resumes they induce)
+    replay bit for bit; absolute-time *partition windows* are the one
+    exclusion — a replayed session starts its private clock at 0, so the
+    replay guarantee covers probabilistic faults only.  Returns the
+    per-session results and every site's object-0 vector.
     """
-    vector_cls, _ = PROTOCOLS[config.protocol]
+    spec = registry.get(config.protocol)
     objects: Dict[str, List[BasicRotatingVector]] = {
-        site: [vector_cls() for _ in range(config.n_objects)]
+        site: [spec.vector_cls() for _ in range(config.n_objects)]
         for site in sites}
     results: List[TimedSessionResult] = []
+    session_index = -1
     for entry in log:
         if entry[0] == "update":
             obj = entry[2] if len(entry) > 2 else 0
@@ -474,37 +535,47 @@ def replay_sequential(sites: Iterable[str], config: ClusterConfig,
         if entry[0] != "session":  # pragma: no cover - defensive
             raise ValueError(f"unknown log entry {entry!r}")
         _, src, dst = entry
-        pairs = []
-        reconciled_flags = []
-        for obj in range(config.n_objects):
-            verdict = objects[dst][obj].compare(objects[src][obj])
-            sender, receiver, reconciled = build_session_coroutines(
-                config.protocol, objects[src][obj], objects[dst][obj],
-                verdict)
-            pairs.append((sender, receiver))
-            reconciled_flags.append(reconciled)
-        if config.n_objects == 1:
-            results.append(run_timed_session(
-                pairs[0][0], pairs[0][1], channel=config.channel,
-                encoding=config.encoding,
-                stop_and_wait=config.stop_and_wait,
-                proc_time=config.proc_time, max_steps=config.max_steps))
+        session_index += 1
+        reconciled_any = [False] * config.n_objects
+        # Mirrors the concurrent runner's transactional attempts: the
+        # first build snapshots the receiver's objects, every resume
+        # restores them before re-handshaking (see ClusterRunner._start).
+        snapshots: List[Tuple[Any, ...]] = []
+
+        def build() -> Tuple[Tuple[Any, Any], ...]:
+            if config.channel.faults.enabled:
+                if not snapshots:
+                    snapshots.append(
+                        tuple(objects[dst][obj].copy()
+                              for obj in range(config.n_objects)))
+                else:
+                    for obj, snapshot in enumerate(snapshots[0]):
+                        objects[dst][obj].restore(snapshot)
+            pairs = []
+            for obj in range(config.n_objects):
+                verdict = objects[dst][obj].compare(objects[src][obj])
+                sender, receiver, reconciled = spec.build(
+                    objects[src][obj], objects[dst][obj], verdict)
+                pairs.append((sender, receiver))
+                reconciled_any[obj] |= reconciled
+            return tuple(pairs)
+
+        common = dict(
+            batch_size=config.batch_size if config.n_objects > 1 else 1,
+            channel=config.channel, encoding=config.encoding,
+            stop_and_wait=config.stop_and_wait, proc_time=config.proc_time,
+            max_steps=config.max_steps, retry=config.retry)
+        if config.channel.faults.enabled:
+            options = SessionOptions(
+                rebuild=build,
+                fault_seed=derive_seed(config.channel.faults.seed,
+                                       session_index),
+                **common)
         else:
-            sim = Simulator()
-            completed: List[TimedSessionResult] = []
-            launch_batch_session(
-                sim, pairs, batch_size=config.batch_size,
-                channel=config.channel, encoding=config.encoding,
-                stop_and_wait=config.stop_and_wait,
-                proc_time=config.proc_time, max_steps=config.max_steps,
-                on_complete=completed.append)
-            sim.run()
-            if not completed:  # pragma: no cover - defensive
-                raise SimulationError(
-                    "batched replay ended with unfinished parties")
-            results.append(completed[0])
+            options = SessionOptions(pairs=build(), **common)
+        results.append(run_timed(options))
         if config.increment_on_merge:
-            for obj, reconciled in enumerate(reconciled_flags):
+            for obj, reconciled in enumerate(reconciled_any):
                 if reconciled:
                     objects[dst][obj].record_update(dst)
     return results, {site: objs[0] for site, objs in objects.items()}

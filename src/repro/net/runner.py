@@ -12,31 +12,75 @@ their effects against a :class:`~repro.net.channel.ChannelSpec`:
   later, and everything the sender serialized in between is the paper's
   β = bandwidth·rtt excess.
 
-With ``stop_and_wait=True`` every data message additionally waits for an
-implicit per-item acknowledgment (rtt + ack serialization) before the next
-one starts — the baseline the paper's pipelining claim of a ``(k−1)·rtt``
-saving is measured against.  The acknowledgment bits are charged to the
-opposite direction so total-traffic comparisons stay honest, and they are
-recorded at the ack's simulated *arrival* instant (after the data message
-it acknowledges has been delivered), so traced timelines stay causal.
+Unified entry point
+-------------------
 
-Two entry points:
+All session launching goes through one door::
 
-* :func:`run_timed_session` — one session on a private simulator, run to
-  completion (the historical API);
-* :func:`launch_session` — spawn a session's two processes on a *shared*
-  simulator without running it, so many sessions can interleave on one
-  clock.  :class:`~repro.net.cluster.ClusterRunner` builds on this.
+    handle = launch(sim, SessionOptions(pairs=((sender, receiver),), ...))
+    sim.run()
+    handle.result          # TimedSessionResult once both parties finished
+
+:class:`SessionOptions` is a keyword-only value object covering the single
+-object, batched multi-object, and fault-tolerant regimes; :func:`launch`
+spawns the session's processes on a shared simulator and returns a live
+:class:`SessionHandle`.  :func:`run_timed` is the private-simulator
+convenience (build a sim, launch, run to completion, return the result).
+The historical entry points — ``launch_session``, ``launch_batch_session``,
+``run_timed_session`` — survive as thin shims that forward to the unified
+API and emit :class:`DeprecationWarning`.
+
+Reliability
+-----------
+
+When the channel carries an enabled :class:`~repro.net.faults.FaultSpec`
+(or ``SessionOptions.reliable`` forces it), the driver swaps its transport
+for a stop-and-wait ARQ: every protocol message gets a per-direction
+sequence number and must be acknowledged before the next one starts;
+acknowledgments and data both pass through the seeded
+:class:`~repro.net.faults.FaultInjector` (drop/duplicate/reorder/
+partition), timeouts retransmit with exponential backoff and deterministic
+jitter (:class:`~repro.net.faults.RetryPolicy`), the receiver's transport
+de-duplicates by sequence number, and a message that exhausts its retry
+budget aborts the session attempt.  An aborted session *resumes* — when
+``SessionOptions.rebuild`` can produce fresh coroutines — by
+re-handshaking from the receiver's last *committed* state.  Attempts are
+transactional: the protocols stream Δ newest-first, so a torn attempt's
+acked prefix is never ancestor-closed and can NOT be committed (a vector
+claiming an element without its causal past halts every later sync
+prematurely); the rebuild callback therefore restores the receiving
+vectors to their pre-session snapshot before building the next attempt's
+coroutines, and the aborted attempt's traffic is pure accounted waste.
+
+Accounting: the first transmission of each distinct transport message is
+*goodput*; every further copy is recorded via
+:meth:`~repro.net.stats.DirectionStats.record_retransmit`, so
+``total_retransmitted_bits == total_bits - total_goodput_bits`` holds
+exactly and a fault-free run's goodput equals its wire bits.  With all
+fault rates at zero the reliable transport is never engaged and every
+code path, event order, and bit count is identical to the historical
+driver.
+
+With ``stop_and_wait=True`` (and no faults) every data message waits for
+an implicit per-item acknowledgment (rtt + ack serialization) before the
+next one starts — the baseline the paper's pipelining claim of a
+``(k−1)·rtt`` saving is measured against.  The acknowledgment bits are
+charged to the opposite direction so total-traffic comparisons stay
+honest, and they are recorded at the ack's simulated *arrival* instant.
 """
 
 from __future__ import annotations
 
+import random
+import warnings
 from collections import deque
-from dataclasses import dataclass
-from typing import Any, Callable, Deque, Optional, Sequence, Tuple
+from dataclasses import dataclass, field
+from typing import (Any, Callable, Deque, Dict, List, Optional, Sequence,
+                    Tuple)
 
-from repro.errors import SessionError
+from repro.errors import SessionError, ValidationError
 from repro.net.channel import ChannelSpec
+from repro.net.faults import FaultInjector, RetryPolicy
 from repro.net.simulator import Simulator
 from repro.net.stats import DirectionStats, TransferStats
 from repro.net.wire import DEFAULT_ENCODING, Encoding
@@ -46,6 +90,11 @@ from repro.protocols.batch import BatchFrame, batch_party
 from repro.protocols.effects import Drain, Poll, Recv, Send
 from repro.protocols.messages import Message
 from repro.protocols.session import ProtocolCoroutine
+
+#: One object's coroutine pair: ``(sender, receiver)``.
+SessionPair = Tuple[ProtocolCoroutine, ProtocolCoroutine]
+#: Factory producing fresh coroutine pairs for a (re)launch attempt.
+PairFactory = Callable[[], Sequence[SessionPair]]
 
 
 @dataclass
@@ -74,6 +123,122 @@ class TimedSessionResult:
         return self.completion_time - self.start_time
 
 
+@dataclass(frozen=True, kw_only=True)
+class SessionOptions:
+    """Everything one session launch needs, in one keyword-only object.
+
+    Attributes:
+        pairs: one ``(sender, receiver)`` coroutine pair per object.  A
+            single pair runs the historical single-object session; more
+            pairs run the (possibly framed) multi-object machinery.
+        rebuild: factory returning fresh pairs; required for session
+            *resume* (coroutines are one-shot, so every attempt needs
+            new ones).  When given, it supplies the first attempt's
+            pairs too and ``pairs`` must be left empty.  Contract: the
+            callback owns attempt isolation — a torn attempt leaves the
+            receiving vectors causally incomplete (the stream is
+            newest-first), so every resume call must restore them to
+            the pre-session snapshot before building the next attempt's
+            coroutines (see :class:`~repro.net.cluster.ClusterRunner`).
+        batch_size: objects coalesced into one framed wire session
+            (:mod:`repro.protocols.batch`); 1 runs each object through
+            the plain per-object path, bit-for-bit the unbatched driver.
+        channel: link model, including its fault spec.
+        encoding: wire pricing for every message.
+        stop_and_wait: per-item implicit-ack baseline instead of
+            pipelining (ignored under the reliable transport, which is
+            stop-and-wait by construction).
+        proc_time: per-received-message processing cost at a ``Recv``.
+        max_steps: protocol-effect budget guarding against livelock bugs.
+        tracer: optional structured trace sink.
+        party_names: labels for the two parties in trace events (e.g.
+            site names when hosted by a cluster runner).
+        on_complete: fires once with the full :class:`TimedSessionResult`
+            when both parties of the final attempt have finished.
+        retry: ARQ knobs for the reliable transport (timeouts, backoff,
+            retry budget, resume budget).
+        reliable: force the reliable transport on (``True``) or assert it
+            off (``False``); ``None`` engages it exactly when the
+            channel's fault spec is enabled.
+        fault_seed: per-session override of the fault spec's seed, so
+            many sessions on one channel draw independent-but-replayable
+            fault schedules (the cluster runner passes the session
+            index).
+    """
+
+    pairs: Tuple[SessionPair, ...] = ()
+    rebuild: Optional[PairFactory] = None
+    batch_size: int = 1
+    channel: ChannelSpec = field(default_factory=ChannelSpec)
+    encoding: Encoding = DEFAULT_ENCODING
+    stop_and_wait: bool = False
+    proc_time: float = 0.0
+    max_steps: int = 10_000_000
+    tracer: Optional[Tracer] = None
+    party_names: Tuple[str, str] = ("sender", "receiver")
+    on_complete: Optional[Callable[[TimedSessionResult], None]] = None
+    retry: RetryPolicy = field(default_factory=RetryPolicy)
+    reliable: Optional[bool] = None
+    fault_seed: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if bool(self.pairs) == (self.rebuild is not None):
+            raise ValidationError(
+                "exactly one of pairs/rebuild must be provided: pairs for "
+                "a one-shot session, rebuild for a resumable one")
+        if self.batch_size < 1:
+            raise ValidationError(
+                f"batch_size must be >= 1, got {self.batch_size}")
+        if self.proc_time < 0:
+            raise ValidationError(
+                f"proc_time must be >= 0, got {self.proc_time}")
+        if self.max_steps < 1:
+            raise ValidationError(
+                f"max_steps must be >= 1, got {self.max_steps}")
+        if len(self.party_names) != 2 \
+                or self.party_names[0] == self.party_names[1]:
+            raise ValidationError(
+                f"party_names must be two distinct labels, "
+                f"got {self.party_names!r}")
+        if self.reliable is False and self.channel.faults.enabled:
+            raise ValidationError(
+                "a faulted channel requires the reliable transport; "
+                "leave reliable=None or drop the fault spec")
+
+    @classmethod
+    def for_pair(cls, sender: ProtocolCoroutine,
+                 receiver: ProtocolCoroutine, **kwargs: Any
+                 ) -> "SessionOptions":
+        """Options for one plain single-object session."""
+        return cls(pairs=((sender, receiver),), **kwargs)
+
+    @property
+    def use_reliable(self) -> bool:
+        """Whether this launch engages the ARQ transport."""
+        if self.reliable is None:
+            return self.channel.faults.enabled
+        return self.reliable
+
+
+@dataclass
+class SessionHandle:
+    """Live view of one launched session.
+
+    ``stats`` fills in as the hosting simulator runs and aggregates every
+    attempt (including aborted ones — their wire bits were spent);
+    ``result`` is ``None`` until the final attempt completes.
+    """
+
+    options: SessionOptions
+    stats: TransferStats = field(default_factory=TransferStats)
+    result: Optional[TimedSessionResult] = None
+    attempts: int = 0
+
+    @property
+    def completed(self) -> bool:
+        return self.result is not None
+
+
 class _Mailbox:
     """FIFO of delivered messages with a wakeup signal."""
 
@@ -98,33 +263,19 @@ class _Mailbox:
         return bool(self._messages)
 
 
-def launch_session(sim: Simulator, sender: ProtocolCoroutine,
-                   receiver: ProtocolCoroutine, *,
-                   channel: ChannelSpec = ChannelSpec(),
-                   encoding: Encoding = DEFAULT_ENCODING,
-                   stop_and_wait: bool = False,
-                   proc_time: float = 0.0,
-                   max_steps: int = 10_000_000,
-                   tracer: Optional[Tracer] = None,
-                   party_names: Tuple[str, str] = ("sender", "receiver"),
-                   on_complete: Optional[
-                       Callable[[TimedSessionResult], None]] = None,
-                   ) -> TransferStats:
-    """Spawn one session's two processes on a shared simulator.
+# ---------------------------------------------------------------------------
+# The historical (fault-free) wire session, byte-for-byte.
+# ---------------------------------------------------------------------------
 
-    Returns the session's :class:`TransferStats`, which fills in as the
-    hosting simulator runs; ``on_complete`` fires (with the full
-    :class:`TimedSessionResult`) once both parties have finished.  The
-    session's wire accounting is independent of whatever else the
-    simulator hosts — concurrent sessions only share the clock — so a
-    session's bits equal those of the same coroutines run alone.
 
-    Args:
-        sim: the hosting simulator; the caller runs it.
-        party_names: labels for the two parties in trace events (e.g.
-            site names when hosted by a cluster runner).
-    """
-    stats = TransferStats()
+def _launch_wire(sim: Simulator, sender: ProtocolCoroutine,
+                 receiver: ProtocolCoroutine, *, stats: TransferStats,
+                 channel: ChannelSpec, encoding: Encoding,
+                 stop_and_wait: bool, proc_time: float, max_steps: int,
+                 tracer: Optional[Tracer],
+                 party_names: Tuple[str, str],
+                 on_complete: Callable[[TimedSessionResult], None]) -> None:
+    """Spawn one wire session's two processes on the perfect-link path."""
     if encoding.session_header_bits:
         # Per-session fixed overhead: priced, not timed (it models
         # connection state, not a serialized message — see wire.py).
@@ -133,8 +284,8 @@ def launch_session(sim: Simulator, sender: ProtocolCoroutine,
     mailboxes = {sender_name: _Mailbox(sim, sender_name, tracer),
                  receiver_name: _Mailbox(sim, receiver_name, tracer)}
     start_time = sim.now
-    finish_times: dict[str, float] = {}
-    results: dict[str, Any] = {}
+    finish_times: Dict[str, float] = {}
+    results: Dict[str, Any] = {}
     steps = 0
 
     def make_process(name: str, peer: str, gen: ProtocolCoroutine,
@@ -199,7 +350,7 @@ def launch_session(sim: Simulator, sender: ProtocolCoroutine,
 
         def on_exit(_value: Any) -> None:
             finish_times[name] = sim.now
-            if len(finish_times) == 2 and on_complete is not None:
+            if len(finish_times) == 2:
                 on_complete(TimedSessionResult(
                     stats=stats,
                     sender_result=results[sender_name],
@@ -216,12 +367,540 @@ def launch_session(sim: Simulator, sender: ProtocolCoroutine,
                  stats.forward, stats.backward)
     make_process(receiver_name, sender_name, receiver, False,
                  stats.backward, stats.forward)
-    return stats
+
+
+# ---------------------------------------------------------------------------
+# The reliable (ARQ) wire session.
+# ---------------------------------------------------------------------------
+
+
+class _AckWait:
+    """The sender side's one-outstanding-message acknowledgment wait."""
+
+    __slots__ = ("seq", "acked", "signal", "timer")
+
+    def __init__(self, seq: int) -> None:
+        self.seq = seq
+        self.acked = False
+        self.signal = None
+        self.timer = None
+
+
+class _ReliableWire:
+    """Transport state of one wire-session attempt over a faulty link.
+
+    Stop-and-wait ARQ per direction: outgoing messages carry a sequence
+    number, the receiving transport delivers in-order exactly once and
+    acknowledges every arriving copy, and the sender retransmits on
+    timeout.  All transmissions — data and acks — pass through the
+    session's seeded :class:`~repro.net.faults.FaultInjector`.
+    """
+
+    def __init__(self, sim: Simulator, stats: TransferStats,
+                 channel: ChannelSpec, encoding: Encoding,
+                 retry: RetryPolicy, injector: FaultInjector,
+                 jitter_rng: random.Random, tracer: Optional[Tracer],
+                 party_names: Tuple[str, str],
+                 proc_time: float, max_steps: int) -> None:
+        self.sim = sim
+        self.stats = stats
+        self.channel = channel
+        self.encoding = encoding
+        self.retry = retry
+        self.injector = injector
+        self.jitter_rng = jitter_rng
+        self.tracer = tracer
+        self.proc_time = proc_time
+        self.max_steps = max_steps
+        self.aborted = False
+        sender_name, receiver_name = party_names
+        self.party_names = party_names
+        self.mailboxes = {
+            sender_name: _Mailbox(sim, sender_name, tracer),
+            receiver_name: _Mailbox(sim, receiver_name, tracer)}
+        #: Each party's outgoing direction counters (data it serializes).
+        self.out_stats: Dict[str, DirectionStats] = {
+            sender_name: stats.forward, receiver_name: stats.backward}
+        self.next_seq: Dict[str, int] = {sender_name: 0, receiver_name: 0}
+        self.expected: Dict[str, int] = {sender_name: 0, receiver_name: 0}
+        self.acked_once: Dict[str, set] = {sender_name: set(),
+                                           receiver_name: set()}
+        self.waits: Dict[str, Optional[_AckWait]] = {sender_name: None,
+                                                     receiver_name: None}
+
+    # -- fault plumbing -----------------------------------------------------
+
+    def _fate(self, party: str, kind: str, seq: int) -> Tuple[float, ...]:
+        fate = self.injector.fate(self.sim.now)
+        if self.tracer is not None:
+            if not fate:
+                self.tracer.event(obs.FAULT, party=party, fault="drop",
+                                  traffic=kind, seq=seq)
+            else:
+                if len(fate) > 1:
+                    self.tracer.event(obs.FAULT, party=party,
+                                      fault="duplicate", traffic=kind,
+                                      seq=seq)
+                if fate[0] > 0:
+                    self.tracer.event(obs.FAULT, party=party,
+                                      fault="reorder", traffic=kind, seq=seq,
+                                      delay=fate[0])
+        return fate
+
+    # -- sender side --------------------------------------------------------
+
+    def send_reliably(self, name: str, peer: str, message: Message):
+        """Generator subroutine: transmit until acked or budget exhausted.
+
+        Yields the usual simulator effects; returns True on ack, False
+        when the session aborted (either by this message's exhausted
+        budget or by the peer).
+        """
+        out_stats = self.out_stats[name]
+        bits = message.bits(self.encoding)
+        type_name = message.type_name
+        seq = self.next_seq[name]
+        self.next_seq[name] += 1
+        wait = _AckWait(seq)
+        self.waits[name] = wait
+        rto = self.retry.rto_for(self.channel)
+        attempt = 0
+        forward = name == self.party_names[0]
+        direction = "forward" if forward else "backward"
+        while True:
+            attempt += 1
+            if attempt == 1:
+                out_stats.record(type_name, bits)
+            else:
+                out_stats.record_retransmit(type_name, bits)
+                self.stats.retries += 1
+                if self.tracer is not None:
+                    self.tracer.event(obs.RETRY, party=name,
+                                      message=type_name, seq=seq,
+                                      attempt=attempt)
+            if self.tracer is not None:
+                self.tracer.event(obs.MESSAGE, party=name, message=type_name,
+                                  bits=bits, direction=direction,
+                                  seq=seq, attempt=attempt)
+            yield self.channel.serialization_delay(bits)
+            if self.aborted:
+                return False
+            for delay in self._fate(name, "data", seq):
+                self.sim.call_after(
+                    self.channel.latency + delay,
+                    lambda m=message, s=seq: self._on_data(peer, name, s, m))
+            if wait.acked:
+                # A late ack for an earlier copy landed while this copy
+                # was serializing; the message is delivered.
+                self.waits[name] = None
+                return True
+            wait.signal = self.sim.signal(f"{name}-ack-{seq}")
+            timeout = rto * (1.0 + self.retry.jitter
+                             * self.jitter_rng.random())
+            wait.timer = self.sim.call_after(
+                timeout, lambda w=wait: self._on_timeout(w))
+            yield wait.signal
+            if self.aborted:
+                return False
+            if wait.acked:
+                wait.timer.cancel()
+                self.waits[name] = None
+                return True
+            self.stats.timeouts += 1
+            if self.tracer is not None:
+                self.tracer.event(obs.TIMEOUT, party=name, message=type_name,
+                                  seq=seq, attempt=attempt, rto=timeout)
+            if attempt >= self.retry.max_retries + 1:
+                self.abort(party=name, seq=seq, attempts=attempt)
+                return False
+            rto = self.retry.next_rto(rto)
+
+    def _on_timeout(self, wait: _AckWait) -> None:
+        if self.aborted or wait.acked:
+            return
+        wait.signal.fire()
+
+    def _on_ack(self, name: str, seq: int) -> None:
+        """An acknowledgment for ``name``'s message ``seq`` arrived."""
+        if self.aborted:
+            return
+        wait = self.waits.get(name)
+        if wait is not None and wait.seq == seq and not wait.acked:
+            wait.acked = True
+            if wait.signal is not None:
+                wait.signal.fire()
+        # Acks for older sequence numbers are stale duplicates; drop them.
+
+    # -- receiver side ------------------------------------------------------
+
+    def _on_data(self, receiver: str, sender: str, seq: int,
+                 message: Message) -> None:
+        """One copy of ``sender``'s message ``seq`` reached ``receiver``."""
+        if self.aborted:
+            return
+        if seq == self.expected[receiver]:
+            self.expected[receiver] += 1
+            self.mailboxes[receiver].push(message)
+        elif seq > self.expected[receiver]:  # pragma: no cover - defensive
+            # Impossible under stop-and-wait (one outstanding message);
+            # drop rather than corrupt ordering.
+            return
+        # Acknowledge every arriving copy — the transport cannot know
+        # whether earlier acks survived.  Only the first ack per sequence
+        # number is goodput.
+        acked = self.acked_once[receiver]
+        ack_stats = self.out_stats[receiver]
+        if seq not in acked:
+            acked.add(seq)
+            ack_stats.record("Ack", self.channel.ack_bits)
+        else:
+            ack_stats.record_retransmit("Ack", self.channel.ack_bits)
+        if self.tracer is not None:
+            self.tracer.event(obs.MESSAGE, party=receiver, message="Ack",
+                              bits=self.channel.ack_bits, seq=seq,
+                              direction=("backward"
+                                         if receiver == self.party_names[1]
+                                         else "forward"))
+        ack_delay = (self.channel.serialization_delay(self.channel.ack_bits)
+                     + self.channel.latency)
+        for delay in self._fate(receiver, "ack", seq):
+            self.sim.call_after(ack_delay + delay,
+                                lambda s=seq: self._on_ack(sender, s))
+
+    # -- abort --------------------------------------------------------------
+
+    def abort(self, *, party: str, seq: int, attempts: int) -> None:
+        """Give up on this attempt: wake everything so processes drain."""
+        if self.aborted:
+            return
+        self.aborted = True
+        if self.tracer is not None:
+            self.tracer.event(obs.SESSION_ABORT, party=party, seq=seq,
+                              attempts=attempts)
+        for mailbox in self.mailboxes.values():
+            mailbox.arrival.fire()
+        for wait in self.waits.values():
+            if wait is not None and wait.signal is not None \
+                    and not wait.acked:
+                wait.signal.fire()
+
+
+def _launch_wire_reliable(sim: Simulator, sender: ProtocolCoroutine,
+                          receiver: ProtocolCoroutine, *,
+                          stats: TransferStats, channel: ChannelSpec,
+                          encoding: Encoding, retry: RetryPolicy,
+                          injector: FaultInjector,
+                          jitter_rng: random.Random, proc_time: float,
+                          max_steps: int, tracer: Optional[Tracer],
+                          party_names: Tuple[str, str],
+                          on_complete: Callable[[TimedSessionResult], None],
+                          on_abort: Callable[[], None]) -> None:
+    """Spawn one wire-session attempt on the ARQ transport."""
+    if encoding.session_header_bits:
+        # Every attempt is a fresh handshake; it re-pays the header.
+        stats.forward.record("SessionHeader", encoding.session_header_bits)
+    wire = _ReliableWire(sim, stats, channel, encoding, retry, injector,
+                         jitter_rng, tracer, party_names, proc_time,
+                         max_steps)
+    sender_name, receiver_name = party_names
+    start_time = sim.now
+    finish_times: Dict[str, float] = {}
+    results: Dict[str, Any] = {}
+    steps = 0
+
+    def make_process(name: str, peer: str, gen: ProtocolCoroutine):
+        def process():
+            nonlocal steps
+            mailbox = wire.mailboxes[name]
+            try:
+                pending = next(gen)
+            except StopIteration as stop:
+                results[name] = stop.value
+                return
+            while True:
+                steps += 1
+                if steps > max_steps:
+                    raise SessionError(
+                        f"timed session exceeded {max_steps} steps")
+                if wire.aborted:
+                    gen.close()
+                    return
+                if isinstance(pending, Send):
+                    delivered = yield from wire.send_reliably(
+                        name, peer, pending.message)
+                    if not delivered:
+                        gen.close()
+                        return
+                    value: Any = None
+                elif isinstance(pending, (Poll, Drain)):
+                    value = mailbox.pop_now()
+                elif isinstance(pending, Recv):
+                    while not mailbox:
+                        yield mailbox.arrival
+                        if wire.aborted:
+                            gen.close()
+                            return
+                    if proc_time > 0:
+                        yield proc_time
+                        if wire.aborted:
+                            gen.close()
+                            return
+                    value = mailbox.pop_now()
+                else:  # pragma: no cover - defensive
+                    raise SessionError(f"unknown effect {pending!r} in {name}")
+                try:
+                    pending = gen.send(value)
+                except StopIteration as stop:
+                    results[name] = stop.value
+                    return
+
+        def on_exit(_value: Any) -> None:
+            finish_times[name] = sim.now
+            if len(finish_times) < 2:
+                return
+            if wire.aborted:
+                on_abort()
+                return
+            on_complete(TimedSessionResult(
+                stats=stats,
+                sender_result=results[sender_name],
+                receiver_result=results[receiver_name],
+                completion_time=max(finish_times.values()),
+                sender_finish=finish_times[sender_name],
+                receiver_finish=finish_times[receiver_name],
+                start_time=start_time,
+            ))
+
+        sim.spawn(process(), on_exit=on_exit)
+
+    make_process(sender_name, receiver_name, sender)
+    make_process(receiver_name, sender_name, receiver)
+
+
+# ---------------------------------------------------------------------------
+# The unified launcher.
+# ---------------------------------------------------------------------------
+
+
+def launch(sim: Simulator, options: SessionOptions) -> SessionHandle:
+    """Spawn one session (single, batched, or fault-tolerant) on ``sim``.
+
+    Returns a :class:`SessionHandle` whose ``stats`` fill in as the
+    hosting simulator runs; ``options.on_complete`` (and
+    ``handle.result``) fire once the final attempt's parties have both
+    finished.  The session's wire accounting is independent of whatever
+    else the simulator hosts — concurrent sessions only share the clock.
+
+    Under a faulted channel the reliable ARQ transport is engaged; a
+    session attempt that exhausts a message's retry budget aborts and,
+    when ``options.rebuild`` is available and the retry policy's
+    ``max_session_attempts`` budget allows, resumes by rebuilding fresh
+    coroutines from the endpoints' current state (the receiver's acked
+    prefix is already applied).  A session that cannot resume raises
+    :class:`~repro.errors.SessionError` out of the simulator run.
+    """
+    handle = SessionHandle(options=options)
+    reliable = options.use_reliable
+    injector: Optional[FaultInjector] = None
+    jitter_rng: Optional[random.Random] = None
+    if reliable:
+        base_seed = (options.channel.faults.seed
+                     if options.fault_seed is None else options.fault_seed)
+        injector = FaultInjector(options.channel.faults, seed=base_seed)
+        jitter_rng = random.Random(base_seed * 1_000_003 + options.retry.seed)
+    start_time = sim.now
+    tracer = options.tracer
+
+    def build_pairs() -> List[SessionPair]:
+        pairs = list(options.rebuild()) if options.rebuild is not None \
+            else list(options.pairs)
+        if not pairs:
+            raise SessionError("a session needs at least one coroutine pair")
+        return pairs
+
+    def start_attempt() -> None:
+        handle.attempts += 1
+        pairs = build_pairs()
+        single = len(pairs) == 1 and options.batch_size == 1
+        chunks = [pairs[i:i + options.batch_size]
+                  for i in range(0, len(pairs), options.batch_size)]
+        sender_results: List[Any] = []
+        receiver_results: List[Any] = []
+
+        def on_attempt_abort() -> None:
+            can_resume = (options.rebuild is not None
+                          and handle.attempts
+                          < options.retry.max_session_attempts)
+            if not can_resume:
+                raise SessionError(
+                    f"session {options.party_names[0]}->"
+                    f"{options.party_names[1]} aborted permanently after "
+                    f"{handle.attempts} attempt(s): a message exhausted its "
+                    f"retry budget ({options.retry.max_retries} retries) "
+                    + ("and no rebuild factory was provided to resume from"
+                       if options.rebuild is None else
+                       "and the resume budget "
+                       f"({options.retry.max_session_attempts} attempts) "
+                       f"is spent"))
+            handle.stats.resumes += 1
+            if tracer is not None:
+                tracer.event(obs.CONTROL, party=options.party_names[1],
+                             signal="session_resume",
+                             attempt=handle.attempts + 1)
+            start_attempt()
+
+        def finish_session(result: TimedSessionResult) -> None:
+            final = TimedSessionResult(
+                stats=handle.stats,
+                sender_result=(sender_results[0] if single
+                               else sender_results),
+                receiver_result=(receiver_results[0] if single
+                                 else receiver_results),
+                completion_time=result.completion_time,
+                sender_finish=result.sender_finish,
+                receiver_finish=result.receiver_finish,
+                start_time=start_time,
+            )
+            handle.result = final
+            if options.on_complete is not None:
+                options.on_complete(final)
+
+        def launch_chunk(chunk_index: int) -> None:
+            chunk = chunks[chunk_index]
+            framed = options.batch_size > 1
+            chunk_stats = TransferStats()
+
+            def finish_chunk(result: TimedSessionResult) -> None:
+                handle.stats.merge(chunk_stats)
+                if framed:
+                    sender_results.extend(result.sender_result)
+                    receiver_results.extend(result.receiver_result)
+                else:
+                    sender_results.append(result.sender_result)
+                    receiver_results.append(result.receiver_result)
+                if chunk_index + 1 < len(chunks):
+                    launch_chunk(chunk_index + 1)
+                else:
+                    finish_session(result)
+
+            if not framed:
+                wire_sender, wire_receiver = chunk[0]
+            else:
+                frames: List[BatchFrame] = []
+                wire_sender = batch_party(
+                    [s for s, _ in chunk], initiator=True,
+                    max_steps=options.max_steps, on_frame=frames.append)
+                wire_receiver = batch_party(
+                    [r for _, r in chunk], initiator=False,
+                    max_steps=options.max_steps, on_frame=frames.append)
+
+                inner_finish = finish_chunk
+
+                def finish_chunk(result: TimedSessionResult) -> None:
+                    for frame in frames:
+                        chunk_stats.note_frame(frame.object_count)
+                    inner_finish(result)
+
+            if reliable:
+                def abort_chunk() -> None:
+                    # The aborted attempt's traffic was spent: fold it in
+                    # before the resume decision (which may raise).
+                    handle.stats.merge(chunk_stats)
+                    on_attempt_abort()
+
+                _launch_wire_reliable(
+                    sim, wire_sender, wire_receiver, stats=chunk_stats,
+                    channel=options.channel, encoding=options.encoding,
+                    retry=options.retry, injector=injector,
+                    jitter_rng=jitter_rng, proc_time=options.proc_time,
+                    max_steps=options.max_steps, tracer=tracer,
+                    party_names=options.party_names,
+                    on_complete=finish_chunk, on_abort=abort_chunk)
+                return
+            _launch_wire(
+                sim, wire_sender, wire_receiver, stats=chunk_stats,
+                channel=options.channel, encoding=options.encoding,
+                stop_and_wait=options.stop_and_wait,
+                proc_time=options.proc_time, max_steps=options.max_steps,
+                tracer=tracer, party_names=options.party_names,
+                on_complete=finish_chunk)
+
+        launch_chunk(0)
+
+    start_attempt()
+    return handle
+
+
+def run_timed(options: SessionOptions, *, trace_dispatch: bool = False,
+              span_name: str = "session") -> TimedSessionResult:
+    """Run one session to completion on a private simulator.
+
+    With a tracer in ``options`` the run opens one span (``span_name``)
+    and stamps every event with the private simulator's clock;
+    ``trace_dispatch`` additionally traces every kernel dispatch.
+    """
+    tracer = options.tracer
+    if tracer is None:
+        return _run_timed(options, trace_dispatch=False)
+    span = tracer.span(span_name, driver="timed", time=0.0)
+    previous_clock = tracer.clock
+    try:
+        return _run_timed(options, trace_dispatch=trace_dispatch)
+    finally:
+        span.end()
+        tracer.clock = previous_clock
+
+
+def _run_timed(options: SessionOptions, *,
+               trace_dispatch: bool) -> TimedSessionResult:
+    tracer = options.tracer
+    sim = Simulator(tracer=tracer if trace_dispatch else None)
+    if tracer is not None:
+        # Stamp every event with the simulated clock, dispatch-traced or not.
+        tracer.clock = lambda: sim.now
+    handle = launch(sim, options)
+    sim.run()
+    if handle.result is None:
+        raise SessionError("timed session ended with unfinished parties")
+    return handle.result
+
+
+# ---------------------------------------------------------------------------
+# Deprecated shims (PR 4 API redesign) — forward to the unified launcher.
+# ---------------------------------------------------------------------------
+
+
+def _deprecated(old: str) -> None:
+    warnings.warn(
+        f"{old} is deprecated; use repro.net.runner.launch(sim, "
+        f"SessionOptions(...)) (or run_timed for a private simulator)",
+        DeprecationWarning, stacklevel=3)
+
+
+def launch_session(sim: Simulator, sender: ProtocolCoroutine,
+                   receiver: ProtocolCoroutine, *,
+                   channel: ChannelSpec = ChannelSpec(),
+                   encoding: Encoding = DEFAULT_ENCODING,
+                   stop_and_wait: bool = False,
+                   proc_time: float = 0.0,
+                   max_steps: int = 10_000_000,
+                   tracer: Optional[Tracer] = None,
+                   party_names: Tuple[str, str] = ("sender", "receiver"),
+                   on_complete: Optional[
+                       Callable[[TimedSessionResult], None]] = None,
+                   ) -> TransferStats:
+    """Deprecated: use :func:`launch` with :class:`SessionOptions`."""
+    _deprecated("launch_session")
+    handle = launch(sim, SessionOptions(
+        pairs=((sender, receiver),), channel=channel, encoding=encoding,
+        stop_and_wait=stop_and_wait, proc_time=proc_time,
+        max_steps=max_steps, tracer=tracer, party_names=party_names,
+        on_complete=on_complete))
+    return handle.stats
 
 
 def launch_batch_session(sim: Simulator,
-                         pairs: Sequence[Tuple[ProtocolCoroutine,
-                                               ProtocolCoroutine]], *,
+                         pairs: Sequence[SessionPair], *,
                          batch_size: int = 1,
                          channel: ChannelSpec = ChannelSpec(),
                          encoding: Encoding = DEFAULT_ENCODING,
@@ -234,91 +913,34 @@ def launch_batch_session(sim: Simulator,
                          on_complete: Optional[
                              Callable[[TimedSessionResult], None]] = None,
                          ) -> TransferStats:
-    """Synchronize many objects between one site pair, possibly batched.
-
-    ``pairs`` holds one ``(sender, receiver)`` coroutine pair per object.
-    With ``batch_size == 1`` every object runs as a plain per-object
-    session through :func:`launch_session`, one after another — bit-for-
-    bit the unbatched path (each object pays its own session header and,
-    under stop-and-wait, per-message acks).  With ``batch_size >= 2`` the
-    objects are chunked; each chunk runs as **one** framed session
-    (:func:`repro.protocols.batch.batch_party`): one shared session
-    header, :class:`~repro.protocols.batch.BatchFrame` multiplexing, and
-    one ack per frame under stop-and-wait.  Chunks execute sequentially,
-    mirroring the serialized per-object schedule they replace.
-
-    Returns the aggregate :class:`~repro.net.stats.TransferStats`, which
-    fills in as the hosting simulator runs; ``on_complete`` fires once,
-    after the last chunk, with an aggregate :class:`TimedSessionResult`
-    whose ``sender_result``/``receiver_result`` are per-object lists in
-    input order.
-    """
-    pair_list = list(pairs)
+    """Deprecated: use :func:`launch` with :class:`SessionOptions`."""
+    _deprecated("launch_batch_session")
+    pair_list = tuple(pairs)
     if not pair_list:
         raise ValueError("launch_batch_session needs at least one pair")
-    if batch_size < 1:
-        raise ValueError(f"batch_size must be >= 1, got {batch_size}")
-    totals = TransferStats()
-    sender_results: list[Any] = []
-    receiver_results: list[Any] = []
-    start_time = sim.now
-    chunks = [pair_list[i:i + batch_size]
-              for i in range(0, len(pair_list), batch_size)]
 
-    def launch_chunk(chunk_index: int) -> None:
-        chunk = chunks[chunk_index]
-        framed = batch_size > 1
-
-        def finish(result: TimedSessionResult) -> None:
-            totals.merge(result.stats)
-            if framed:
-                sender_results.extend(result.sender_result)
-                receiver_results.extend(result.receiver_result)
-            else:
-                sender_results.append(result.sender_result)
-                receiver_results.append(result.receiver_result)
-            if chunk_index + 1 < len(chunks):
-                launch_chunk(chunk_index + 1)
-            elif on_complete is not None:
-                on_complete(TimedSessionResult(
-                    stats=totals,
-                    sender_result=sender_results,
-                    receiver_result=receiver_results,
+    adapted = on_complete
+    if on_complete is not None:
+        def adapted(result: TimedSessionResult) -> None:
+            # The historical batch API always reported per-object lists,
+            # even for a single pair.
+            if not isinstance(result.sender_result, list):
+                result = TimedSessionResult(
+                    stats=result.stats,
+                    sender_result=[result.sender_result],
+                    receiver_result=[result.receiver_result],
                     completion_time=result.completion_time,
                     sender_finish=result.sender_finish,
                     receiver_finish=result.receiver_finish,
-                    start_time=start_time,
-                ))
+                    start_time=result.start_time)
+            on_complete(result)
 
-        if not framed:
-            sender, receiver = chunk[0]
-            launch_session(
-                sim, sender, receiver, channel=channel, encoding=encoding,
-                stop_and_wait=stop_and_wait, proc_time=proc_time,
-                max_steps=max_steps, tracer=tracer, party_names=party_names,
-                on_complete=finish)
-            return
-        frames: list[BatchFrame] = []
-        sender_party = batch_party([s for s, _ in chunk], initiator=True,
-                                   max_steps=max_steps,
-                                   on_frame=frames.append)
-        receiver_party = batch_party([r for _, r in chunk], initiator=False,
-                                     max_steps=max_steps,
-                                     on_frame=frames.append)
-
-        def finish_framed(result: TimedSessionResult) -> None:
-            for frame in frames:
-                result.stats.note_frame(frame.object_count)
-            finish(result)
-
-        launch_session(
-            sim, sender_party, receiver_party, channel=channel,
-            encoding=encoding, stop_and_wait=stop_and_wait,
-            proc_time=proc_time, max_steps=max_steps, tracer=tracer,
-            party_names=party_names, on_complete=finish_framed)
-
-    launch_chunk(0)
-    return totals
+    handle = launch(sim, SessionOptions(
+        pairs=pair_list, batch_size=batch_size, channel=channel,
+        encoding=encoding, stop_and_wait=stop_and_wait, proc_time=proc_time,
+        max_steps=max_steps, tracer=tracer, party_names=party_names,
+        on_complete=adapted))
+    return handle.stats
 
 
 def run_timed_session(sender: ProtocolCoroutine, receiver: ProtocolCoroutine,
@@ -330,57 +952,10 @@ def run_timed_session(sender: ProtocolCoroutine, receiver: ProtocolCoroutine,
                       tracer: Optional[Tracer] = None,
                       trace_dispatch: bool = False,
                       span_name: str = "session") -> TimedSessionResult:
-    """Run a protocol session on simulated time; see the module docstring.
-
-    Args:
-        sender: forward-direction coroutine (``b``'s site in ``SYNC*b(a)``).
-        receiver: backward-direction coroutine (``a``'s site).
-        channel: symmetric link model for both directions.
-        stop_and_wait: disable pipelining — wait out an implicit ack after
-            every send.
-        proc_time: per-received-message processing cost at a ``Recv``.
-        max_steps: protocol-effect budget guarding against livelock bugs.
-        tracer: when given, opens one span and emits clock-stamped
-            ``message``/``deliver`` events (bind the same tracer to the
-            coroutines for their semantic events).
-        trace_dispatch: additionally trace every kernel dispatch
-            (``sim_dispatch`` events) — verbose; off by default.
-        span_name: label of the session span (e.g. the protocol name).
-    """
-    if tracer is None:
-        return _run_timed_session(
-            sender, receiver, channel=channel, encoding=encoding,
-            stop_and_wait=stop_and_wait, proc_time=proc_time,
-            max_steps=max_steps, tracer=None, trace_dispatch=False)
-    span = tracer.span(span_name, driver="timed", time=0.0)
-    previous_clock = tracer.clock
-    try:
-        return _run_timed_session(
-            sender, receiver, channel=channel, encoding=encoding,
-            stop_and_wait=stop_and_wait, proc_time=proc_time,
-            max_steps=max_steps, tracer=tracer,
-            trace_dispatch=trace_dispatch)
-    finally:
-        span.end()
-        tracer.clock = previous_clock
-
-
-def _run_timed_session(sender: ProtocolCoroutine,
-                       receiver: ProtocolCoroutine, *, channel: ChannelSpec,
-                       encoding: Encoding, stop_and_wait: bool,
-                       proc_time: float, max_steps: int,
-                       tracer: Optional[Tracer],
-                       trace_dispatch: bool) -> TimedSessionResult:
-    sim = Simulator(tracer=tracer if trace_dispatch else None)
-    if tracer is not None:
-        # Stamp every event with the simulated clock, dispatch-traced or not.
-        tracer.clock = lambda: sim.now
-    completed: list[TimedSessionResult] = []
-    launch_session(sim, sender, receiver, channel=channel, encoding=encoding,
-                   stop_and_wait=stop_and_wait, proc_time=proc_time,
-                   max_steps=max_steps, tracer=tracer,
-                   on_complete=completed.append)
-    sim.run()
-    if not completed:
-        raise SessionError("timed session ended with unfinished parties")
-    return completed[0]
+    """Deprecated: use :func:`run_timed` with :class:`SessionOptions`."""
+    _deprecated("run_timed_session")
+    return run_timed(SessionOptions(
+        pairs=((sender, receiver),), channel=channel, encoding=encoding,
+        stop_and_wait=stop_and_wait, proc_time=proc_time,
+        max_steps=max_steps, tracer=tracer),
+        trace_dispatch=trace_dispatch, span_name=span_name)

@@ -25,6 +25,25 @@ from repro.obs.trace import Tracer
 ProcessGen = Generator[Union[float, int, "Signal"], Any, Any]
 
 
+class Timer:
+    """Handle to one scheduled event; ``cancel()`` makes it a no-op.
+
+    The event stays in the queue (heap surgery would be O(n)); the
+    dispatch loop skips cancelled entries without advancing the clock.
+    The ARQ transport uses this for retransmission timers an arriving
+    acknowledgment obsoletes.
+    """
+
+    __slots__ = ("cancelled",)
+
+    def __init__(self) -> None:
+        self.cancelled = False
+
+    def cancel(self) -> None:
+        """Prevent the scheduled callback from ever running."""
+        self.cancelled = True
+
+
 class Signal:
     """A broadcast condition processes can wait on.
 
@@ -66,7 +85,7 @@ class Simulator:
 
     def __init__(self, *, tracer: Optional[Tracer] = None) -> None:
         self.now = 0.0
-        self._queue: List[Tuple[float, int, Callable[[], None]]] = []
+        self._queue: List[Tuple[float, int, Callable[[], None], Timer]] = []
         self._sequence = itertools.count()
         self._active_processes = 0
         self._blocked_processes = 0
@@ -76,18 +95,29 @@ class Simulator:
 
     # -- event scheduling ---------------------------------------------------------
 
-    def call_at(self, time: float, fn: Callable[[], None]) -> None:
-        """Run ``fn`` at absolute simulated ``time`` (FIFO within a tick)."""
+    def call_at(self, time: float, fn: Callable[[], None]) -> Timer:
+        """Run ``fn`` at absolute simulated ``time`` (FIFO within a tick).
+
+        Returns a :class:`Timer` handle; cancelling it before the event
+        dispatches suppresses the callback.
+        """
         if time < self.now:
             raise SimulationError(
                 f"cannot schedule at {time} before now={self.now}")
-        heapq.heappush(self._queue, (time, next(self._sequence), fn))
+        timer = Timer()
+        heapq.heappush(self._queue, (time, next(self._sequence), fn, timer))
+        return timer
 
-    def call_after(self, delay: float, fn: Callable[[], None]) -> None:
+    def call_after(self, delay: float, fn: Callable[[], None]) -> Timer:
         """Run ``fn`` after ``delay`` simulated seconds."""
         if delay < 0:
             raise SimulationError(f"negative delay {delay}")
-        self.call_at(self.now + delay, fn)
+        return self.call_at(self.now + delay, fn)
+
+    def _prune_cancelled(self) -> None:
+        """Discard cancelled events queued at the head (never advances time)."""
+        while self._queue and self._queue[0][3].cancelled:
+            heapq.heappop(self._queue)
 
     def signal(self, name: str = "") -> Signal:
         """A fresh condition bound to this simulator's clock."""
@@ -135,9 +165,10 @@ class Simulator:
 
     def step(self) -> bool:
         """Run the next event; returns False when the queue is empty."""
+        self._prune_cancelled()
         if not self._queue:
             return False
-        time, _, fn = heapq.heappop(self._queue)
+        time, _, fn, _timer = heapq.heappop(self._queue)
         self.now = time
         if self.tracer is not None:
             self.tracer.event(obs.SIM_DISPATCH, time=time,
@@ -158,7 +189,10 @@ class Simulator:
         the remaining events may well wake the parked processes.
         Returns the final clock value.
         """
-        while self._queue:
+        while True:
+            self._prune_cancelled()
+            if not self._queue:
+                break
             if until is not None and self._queue[0][0] > until:
                 self.now = until
                 return self.now

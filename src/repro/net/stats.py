@@ -18,11 +18,22 @@ from typing import Dict
 
 @dataclass
 class DirectionStats:
-    """Traffic counters for one direction of a session."""
+    """Traffic counters for one direction of a session.
+
+    ``bits`` counts everything that crossed the wire — including every
+    retransmitted copy under the reliable ARQ transport.
+    ``retransmitted_bits`` isolates the copies beyond each message's
+    first transmission, so ``goodput_bits`` (the derived difference) is
+    exactly what a fault-free run of the same message sequence would have
+    spent.  Fault-free sessions never call :meth:`record_retransmit`, so
+    their counters are bit-for-bit the historical accounting.
+    """
 
     bits: int = 0
     messages: int = 0
     by_type: Counter = field(default_factory=Counter)
+    retransmitted_bits: int = 0
+    retransmitted_messages: int = 0
 
     def record(self, type_name: str, bits: int) -> None:
         """Account one message of ``bits`` size."""
@@ -30,11 +41,24 @@ class DirectionStats:
         self.messages += 1
         self.by_type[type_name] += 1
 
+    def record_retransmit(self, type_name: str, bits: int) -> None:
+        """Account one *retransmitted* copy: wire bits, but not goodput."""
+        self.record(type_name, bits)
+        self.retransmitted_bits += bits
+        self.retransmitted_messages += 1
+
+    @property
+    def goodput_bits(self) -> int:
+        """First-transmission bits: ``bits - retransmitted_bits``."""
+        return self.bits - self.retransmitted_bits
+
     def merge(self, other: "DirectionStats") -> None:
         """Accumulate another direction's counters into this one."""
         self.bits += other.bits
         self.messages += other.messages
         self.by_type.update(other.by_type)
+        self.retransmitted_bits += other.retransmitted_bits
+        self.retransmitted_messages += other.retransmitted_messages
 
     @property
     def bytes(self) -> int:
@@ -60,12 +84,23 @@ class TransferStats:
     :class:`~repro.protocols.batch.BatchFrame` that crossed the wire is one
     frame carrying one entry per multiplexed object.  Unbatched sessions
     leave both at zero.
+
+    ``retries``/``timeouts``/``resumes`` are filled only by the reliable
+    ARQ transport (:mod:`repro.net.runner` under a faulted channel):
+    retransmission attempts, expired per-message timers, and session
+    re-handshakes after an abort.  Together with the per-direction
+    ``retransmitted_bits`` they make the chaos invariant checkable:
+    ``total_retransmitted_bits == total_bits - total_goodput_bits``
+    exactly, on every completed session.
     """
 
     forward: DirectionStats = field(default_factory=DirectionStats)
     backward: DirectionStats = field(default_factory=DirectionStats)
     frames: int = 0
     framed_objects: int = 0
+    retries: int = 0
+    timeouts: int = 0
+    resumes: int = 0
 
     @property
     def total_bits(self) -> int:
@@ -85,6 +120,17 @@ class TransferStats:
         """The exact fractional byte count, for analytical comparisons."""
         return self.total_bits / 8
 
+    @property
+    def total_goodput_bits(self) -> int:
+        """First-transmission bits across both directions."""
+        return self.forward.goodput_bits + self.backward.goodput_bits
+
+    @property
+    def total_retransmitted_bits(self) -> int:
+        """Retransmitted-copy bits across both directions."""
+        return (self.forward.retransmitted_bits
+                + self.backward.retransmitted_bits)
+
     def note_frame(self, object_count: int) -> None:
         """Account one batch frame multiplexing ``object_count`` objects.
 
@@ -101,6 +147,9 @@ class TransferStats:
         self.backward.merge(other.backward)
         self.frames += other.frames
         self.framed_objects += other.framed_objects
+        self.retries += other.retries
+        self.timeouts += other.timeouts
+        self.resumes += other.resumes
 
     def as_dict(self) -> Dict[str, int]:
         """A flat summary convenient for tables and asserts."""
@@ -136,6 +185,13 @@ class TransferStats:
                                   if self.frames else 0.0),
             "bits_per_framed_object": (self.total_bits / self.framed_objects
                                        if self.framed_objects else 0.0),
+        }
+        flat["reliability"] = {
+            "goodput_bits": self.total_goodput_bits,
+            "retransmitted_bits": self.total_retransmitted_bits,
+            "retries": self.retries,
+            "timeouts": self.timeouts,
+            "resumes": self.resumes,
         }
         return flat
 

@@ -177,6 +177,14 @@ def observe_session(registry: MetricsRegistry, stats: TransferStats, *,
     registry.counter(f"{protocol}.sessions").inc()
     registry.histogram(f"{protocol}.bits_per_session").observe(
         stats.total_bits)
+    if stats.retries or stats.timeouts or stats.resumes:
+        # Reliability instruments appear only when the ARQ transport
+        # actually acted, keeping fault-free snapshots byte-identical.
+        registry.counter(f"{protocol}.retries").inc(stats.retries)
+        registry.counter(f"{protocol}.timeouts").inc(stats.timeouts)
+        registry.counter(f"{protocol}.resumes").inc(stats.resumes)
+        registry.counter(f"{protocol}.retransmitted_bits").inc(
+            stats.total_retransmitted_bits)
     for direction_name, direction in (("forward", stats.forward),
                                       ("backward", stats.backward)):
         for type_name, count in direction.by_type.items():

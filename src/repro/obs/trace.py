@@ -49,6 +49,17 @@ CONFLICT_BIT = "conflict_bit"
 CONTROL = "control"
 #: One discrete-event dispatch of the simulator kernel.
 SIM_DISPATCH = "sim_dispatch"
+#: The fault injector acted on a transmission; ``fields["fault"]`` is
+#: ``"drop"``, ``"duplicate"``, or ``"reorder"``.
+FAULT = "fault"
+#: The ARQ transport retransmitted a message (``fields["attempt"]``).
+RETRY = "retry"
+#: A per-message retransmission timer expired before its ack arrived.
+TIMEOUT = "timeout"
+#: A session attempt aborted (retry budget exhausted) and will resume
+#: from the receiver's pre-session snapshot — or fail, per
+#: ``fields["resuming"]``.
+SESSION_ABORT = "session_abort"
 
 
 @dataclass

@@ -38,8 +38,8 @@ from repro.net.cluster import (ClusterConfig, ClusterResult, ClusterRunner,
 from repro.net.wire import Encoding
 from repro.obs.metrics import MetricsRegistry, wall_timer
 from repro.perf.schema import SCHEMA_ID, validate_bench
-from repro.workload.cluster import (gossip_schedule, site_names,
-                                    update_schedule)
+from repro.workload.cluster import (chaos_faults, gossip_schedule,
+                                    site_names, update_schedule)
 
 #: Fleet sizes of the standing regression trajectory.
 DEFAULT_SITE_COUNTS = (8, 32, 128)
@@ -73,10 +73,27 @@ class BenchConfig:
     batched_objects: int = 32
     batched_sizes: Tuple[int, ...] = (1, 64)
     batched_header_bits: int = 64
+    #: The chaos scenario (E11): the batched fleet re-run per protocol
+    #: over a faulted channel (:func:`repro.workload.cluster.chaos_faults`
+    #: expands each nominal loss rate into the standard drop/duplicate/
+    #: reorder mix) with the reliable ARQ transport engaged.  The record
+    #: reports goodput vs retransmitted bits, retry/timeout/resume
+    #: counters, and convergence.  Empty ``chaos_loss_rates`` skips the
+    #: scenario.
+    chaos_loss_rates: Tuple[float, ...] = (0.01, 0.1)
+    chaos_seed: int = 11
+    chaos_batch_size: int = 8
 
     def channel(self) -> ChannelSpec:
         """The link model every session runs over."""
         return ChannelSpec(latency=self.latency, bandwidth=self.bandwidth)
+
+    def chaos_channel(self, loss: float) -> ChannelSpec:
+        """The same link carrying the standard fault mix for ``loss``."""
+        return ChannelSpec(
+            latency=self.latency, bandwidth=self.bandwidth,
+            faults=chaos_faults(loss, latency=self.latency,
+                                seed=self.chaos_seed))
 
 
 def _scenario_for(protocol: str) -> str:
@@ -204,6 +221,87 @@ def _run_batched_one(batch_size: int, config: BenchConfig, *,
     }
 
 
+def _run_chaos_one(protocol: str, loss: float, config: BenchConfig, *,
+                   metrics: Optional[MetricsRegistry] = None
+                   ) -> Dict[str, Any]:
+    """One chaos cell: the batched fleet on a faulted channel.
+
+    Every protocol runs the same ``batched_site_count`` ×
+    ``batched_objects`` workload (single-writer updates for BRV, which
+    cannot reconcile concurrent vectors) over a channel injecting the
+    standard fault mix for ``loss``.  The reliable ARQ transport engages
+    automatically; the record separates goodput from retransmitted bits
+    and carries the retry/timeout/resume counters, so the per-scheme
+    robustness overhead is machine-diffable across PRs.  The paired
+    sequential replay applies here too — per-session injector seeds make
+    even chaotic runs scheduling-independent.
+    """
+    n_sites = config.batched_site_count
+    n_objects = config.batched_objects
+    sites = site_names(n_sites)
+    n_updates = max(1, round(n_sites * config.updates_per_site))
+    cluster_config = ClusterConfig(
+        protocol=protocol,
+        channel=config.chaos_channel(loss),
+        encoding=Encoding.for_system(n_sites, max(16, n_updates)),
+        fanout=config.fanout,
+        n_objects=n_objects,
+        batch_size=config.chaos_batch_size,
+    )
+    sessions = gossip_schedule(
+        sites, rounds=config.rounds, period=config.gossip_period,
+        jitter=config.gossip_jitter, seed=config.seed)
+    writers = [sites[0]] if protocol == "brv" else None
+    updates = update_schedule(
+        sites, n_updates=n_updates, interval=config.update_interval,
+        seed=config.seed + 1, writers=writers, n_objects=n_objects)
+    runner = ClusterRunner(sites, cluster_config, metrics=metrics)
+    start = time.perf_counter()
+    with wall_timer(metrics, f"bench.cluster.chaos.{protocol}.wall_seconds"):
+        result = runner.run(sessions, updates)
+    wall_seconds = time.perf_counter() - start
+    if config.paired:
+        _assert_scheduling_independent(sites, cluster_config, result)
+    per_session = result.per_session_bits()
+    ranked = sorted(per_session)
+    totals = result.totals
+    return {
+        "scenario": "chaos-loss",
+        "protocol": protocol,
+        "n_sites": n_sites,
+        "n_objects": n_objects,
+        "batch_size": config.chaos_batch_size,
+        "loss_rate": loss,
+        "chaos_seed": config.chaos_seed,
+        "sessions": result.sessions,
+        "updates": result.updates_applied,
+        "updates_deferred": result.updates_deferred,
+        "reconciliations": result.reconciliations,
+        "total_bits": result.total_bits,
+        "goodput_bits": totals.total_goodput_bits,
+        "retransmitted_bits": totals.total_retransmitted_bits,
+        "retries": totals.retries,
+        "timeouts": totals.timeouts,
+        "resumes": totals.resumes,
+        "goodput_overhead_pct": (
+            (result.total_bits - totals.total_goodput_bits)
+            / totals.total_goodput_bits * 100
+            if totals.total_goodput_bits else 0.0),
+        "traffic": totals.summary(),
+        "bits_per_session": {
+            "mean": sum(per_session) / len(per_session) if per_session else 0,
+            "p50": ranked[len(ranked) // 2] if ranked else 0,
+            "p90": ranked[min(len(ranked) - 1, (9 * len(ranked)) // 10)]
+                   if ranked else 0,
+            "max": ranked[-1] if ranked else 0,
+        },
+        "sim_completion_seconds": result.completion_time,
+        "wall_seconds": wall_seconds,
+        "max_queue_wait_seconds": result.max_queue_wait,
+        "consistent": result.consistent(),
+    }
+
+
 def _assert_scheduling_independent(sites: Sequence[str],
                                    cluster_config: ClusterConfig,
                                    result: ClusterResult) -> None:
@@ -222,9 +320,10 @@ def _assert_scheduling_independent(sites: Sequence[str],
             f"this falsifies the harness, not the workload")
 
 
-#: One grid cell: ``("gossip", protocol, n_sites)`` or
-#: ``("batched", batch_size)``.  The grid order *is* the document's run
-#: order, whether cells run serially or fan out across workers.
+#: One grid cell: ``("gossip", protocol, n_sites)``,
+#: ``("batched", batch_size)``, or ``("chaos", protocol, loss_rate)``.
+#: The grid order *is* the document's run order, whether cells run
+#: serially or fan out across workers.
 _BenchTask = Tuple[Any, ...]
 
 
@@ -234,6 +333,9 @@ def _task_grid(config: BenchConfig) -> List[_BenchTask]:
                                for protocol in config.protocols]
     tasks.extend(("batched", batch_size)
                  for batch_size in config.batched_sizes)
+    tasks.extend(("chaos", protocol, loss)
+                 for loss in config.chaos_loss_rates
+                 for protocol in config.protocols)
     return tasks
 
 
@@ -249,6 +351,8 @@ def _run_task(task_and_config: Tuple[_BenchTask, BenchConfig]
     metrics = MetricsRegistry()
     if task[0] == "gossip":
         record = _run_one(task[1], task[2], config, metrics=metrics)
+    elif task[0] == "chaos":
+        record = _run_chaos_one(task[1], task[2], config, metrics=metrics)
     else:
         record = _run_batched_one(task[1], config, metrics=metrics)
     return record, metrics
@@ -257,7 +361,10 @@ def _run_task(task_and_config: Tuple[_BenchTask, BenchConfig]
 def _echo_record(echo: Any, record: Dict[str, Any]) -> None:
     batch = (f" batch={record['batch_size']}×{record['n_objects']}obj"
              if "batch_size" in record else "")
-    echo(f"  {record['protocol']} n={record['n_sites']}{batch}: "
+    chaos = (f" loss={record['loss_rate']:g} "
+             f"retrans={record['retransmitted_bits']}b"
+             if "loss_rate" in record else "")
+    echo(f"  {record['protocol']} n={record['n_sites']}{batch}{chaos}: "
          f"{record['sessions']} sessions, "
          f"{record['total_bits']} bits, "
          f"sim {record['sim_completion_seconds']:.2f}s, "
@@ -358,12 +465,15 @@ def bench_main(argv: List[str]) -> int:
     workers = 1
     profile = False
     profile_out = "bench.pstats"
+    chaos_loss_rates: Tuple[float, ...] = BenchConfig().chaos_loss_rates
+    chaos_seed = BenchConfig().chaos_seed
 
     def fail(message: str) -> int:
         print(message)
         print("usage: python -m repro bench [--sites 8,32,128] "
               "[--protocols brv,crv,srv] [--rounds N] [--seed N] "
               "[--workers N] [--profile] [--profile-out bench.pstats] "
+              "[--chaos-loss 0.01,0.1] [--chaos-seed N] [--no-chaos] "
               "[--out BENCH_cluster.json]")
         return 2
 
@@ -373,8 +483,12 @@ def bench_main(argv: List[str]) -> int:
         if argument == "--profile":
             profile = True
             index += 1
+        elif argument == "--no-chaos":
+            chaos_loss_rates = ()
+            index += 1
         elif argument in ("--sites", "--protocols", "--rounds", "--seed",
-                          "--workers", "--profile-out", "--out"):
+                          "--workers", "--profile-out", "--out",
+                          "--chaos-loss", "--chaos-seed"):
             if index + 1 >= len(argv):
                 return fail(f"{argument} requires a value")
             value = argv[index + 1]
@@ -412,15 +526,32 @@ def bench_main(argv: List[str]) -> int:
                     return fail("--workers must be >= 1")
             elif argument == "--profile-out":
                 profile_out = value
+            elif argument == "--chaos-loss":
+                try:
+                    chaos_loss_rates = tuple(float(part)
+                                             for part in value.split(","))
+                except ValueError:
+                    return fail(f"--chaos-loss expects floats, got {value!r}")
+                if any(not 0 <= rate <= 1 for rate in chaos_loss_rates):
+                    return fail("--chaos-loss rates must be in [0, 1]")
+            elif argument == "--chaos-seed":
+                try:
+                    chaos_seed = int(value)
+                except ValueError:
+                    return fail(f"--chaos-seed expects an integer, "
+                                f"got {value!r}")
             else:
                 out = value
             index += 2
         else:
             return fail(f"unknown argument {argument!r}")
     config = BenchConfig(site_counts=site_counts, protocols=protocols,
-                         rounds=rounds, seed=seed)
+                         rounds=rounds, seed=seed,
+                         chaos_loss_rates=chaos_loss_rates,
+                         chaos_seed=chaos_seed)
     print(f"cluster bench: n ∈ {list(site_counts)}, "
-          f"protocols {list(protocols)}, {rounds} rounds, seed {seed}")
+          f"protocols {list(protocols)}, {rounds} rounds, seed {seed}, "
+          f"chaos loss {list(chaos_loss_rates)}")
     if profile:
         # Profiling a process pool attributes everything to pickling and
         # waiting; force the serial path so the numbers mean something.

@@ -28,21 +28,27 @@ from repro.perf.bench import bench_fingerprint
 from repro.perf.schema import validate_bench
 
 #: Identity of one run within a document (None fields when absent).
-RunKey = Tuple[str, str, int, Optional[int], Optional[int]]
+#: Chaos cells add their loss rate and fault seed so two chaos runs of
+#: the same protocol/fleet never collide.
+RunKey = Tuple[str, str, int, Optional[int], Optional[int],
+               Optional[float], Optional[int]]
 
 
 def run_key(run: Dict[str, Any]) -> RunKey:
     """The pairing identity of one run record."""
     return (run.get("scenario", "?"), run.get("protocol", "?"),
             run.get("n_sites", 0), run.get("n_objects"),
-            run.get("batch_size"))
+            run.get("batch_size"), run.get("loss_rate"),
+            run.get("chaos_seed"))
 
 
 def _format_key(key: RunKey) -> str:
-    scenario, protocol, n_sites, n_objects, batch_size = key
+    scenario, protocol, n_sites, n_objects, batch_size, loss, seed = key
     label = f"{scenario}/{protocol} n={n_sites}"
     if batch_size is not None:
         label += f" batch={batch_size}×{n_objects}obj"
+    if loss is not None:
+        label += f" loss={loss:g}"
     return label
 
 

@@ -36,7 +36,16 @@ Document layout (version ``repro.bench.cluster/1``)::
           # validated when present):
           "n_objects": 32,                 # replicated objects per site
           "batch_size": 64,                # objects per framed session
-          "wire_bits_per_object": 103.4    # total_bits / synced objects
+          "wire_bits_per_object": 103.4,   # total_bits / synced objects
+          # Chaos (faulted-channel) runs additionally carry:
+          "loss_rate": 0.1,                # nominal fault rate in [0, 1]
+          "chaos_seed": 11,                # fault-schedule seed
+          "goodput_bits": 4000,            # first-transmission bits
+          "retransmitted_bits": 242,       # == total_bits - goodput_bits
+          "retries": 6,                    # data retransmissions
+          "timeouts": 6,                   # expired ARQ timers
+          "resumes": 0,                    # session re-handshakes
+          "goodput_overhead_pct": 6.05     # retransmitted/goodput * 100
         }, ...
       ]
     }
@@ -135,6 +144,29 @@ def _validate_run(errors: List[str], index: int,
                 errors.append(f"{where}: {name!r} must be >= 1")
     if "wire_bits_per_object" in run:
         _check_number(errors, where, run, "wire_bits_per_object")
+    # Chaos (faulted-channel) runs carry the reliability accounting;
+    # optional, but when present they must be well-formed and the
+    # goodput identity must hold exactly.
+    for name in ("chaos_seed", "goodput_bits", "retransmitted_bits",
+                 "retries", "timeouts", "resumes"):
+        if name in run:
+            _check_number(errors, where, run, name, integer=True)
+    if "loss_rate" in run:
+        _check_number(errors, where, run, "loss_rate")
+        if _is_number(run["loss_rate"]) and run["loss_rate"] > 1:
+            errors.append(f"{where}: 'loss_rate' must be <= 1, "
+                          f"got {run['loss_rate']!r}")
+    if "goodput_overhead_pct" in run:
+        _check_number(errors, where, run, "goodput_overhead_pct")
+    if (isinstance(run.get("goodput_bits"), int)
+            and isinstance(run.get("retransmitted_bits"), int)
+            and isinstance(run.get("total_bits"), int)
+            and run["goodput_bits"] + run["retransmitted_bits"]
+            != run["total_bits"]):
+        errors.append(
+            f"{where}: goodput_bits ({run['goodput_bits']}) + "
+            f"retransmitted_bits ({run['retransmitted_bits']}) must equal "
+            f"total_bits ({run['total_bits']})")
 
 
 def validate_bench(doc: Any) -> List[str]:

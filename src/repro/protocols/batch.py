@@ -36,7 +36,7 @@ vectors — the many-objects regime the batching benchmarks model — the
 framing savings dominate.
 
 ``batch_size=1`` is, by convention of the callers
-(:func:`repro.net.runner.launch_batch_session`,
+(:func:`repro.net.runner.launch`,
 :class:`repro.net.cluster.ClusterRunner`), **not framed at all**: each
 object runs through the plain per-object machinery, so the batched path
 at size 1 is bit-for-bit the unbatched path.
@@ -176,29 +176,39 @@ def batch_party(generators: Sequence[ProtocolCoroutine], *,
         obj.prime()
     steps = 0
     waiting = not initiator
-    while True:
-        if not waiting:
-            buffer: List[Tuple[int, List[Message]]] = []
-            for obj in objects:
-                steps += obj.run_turn(buffer)
-                if steps > max_steps:
-                    raise SessionError(
-                        f"batched session exceeded {max_steps} steps")
-            if buffer:
-                frame = BatchFrame(tuple(
-                    (index, tuple(messages)) for index, messages in buffer))
-                if on_frame is not None:
-                    on_frame(frame)
-                yield Send(frame)
-        waiting = False
-        if all(obj.done for obj in objects):
-            return [obj.result for obj in objects]
-        frame = yield Recv()
-        if not isinstance(frame, BatchFrame):  # pragma: no cover - defensive
-            raise SessionError(
-                f"batch party expected a BatchFrame, got {frame!r}")
-        for index, messages in frame.entries:
-            objects[index].inbox.extend(messages)
+    try:
+        while True:
+            if not waiting:
+                buffer: List[Tuple[int, List[Message]]] = []
+                for obj in objects:
+                    steps += obj.run_turn(buffer)
+                    if steps > max_steps:
+                        raise SessionError(
+                            f"batched session exceeded {max_steps} steps")
+                if buffer:
+                    frame = BatchFrame(tuple(
+                        (index, tuple(messages))
+                        for index, messages in buffer))
+                    if on_frame is not None:
+                        on_frame(frame)
+                    yield Send(frame)
+            waiting = False
+            if all(obj.done for obj in objects):
+                return [obj.result for obj in objects]
+            frame = yield Recv()
+            if not isinstance(frame, BatchFrame):  # pragma: no cover
+                raise SessionError(
+                    f"batch party expected a BatchFrame, got {frame!r}")
+            for index, messages in frame.entries:
+                objects[index].inbox.extend(messages)
+    except GeneratorExit:
+        # Closed mid-session (the reliable transport aborting an attempt):
+        # propagate the close to every live per-object coroutine so each
+        # runs its own abort handling (e.g. SYNCS segment sealing).
+        for obj in objects:
+            if not obj.done:
+                obj.gen.close()
+        raise
 
 
 def run_batch(pairs: Iterable[Tuple[ProtocolCoroutine, ProtocolCoroutine]],
@@ -211,7 +221,7 @@ def run_batch(pairs: Iterable[Tuple[ProtocolCoroutine, ProtocolCoroutine]],
     Returns a :class:`~repro.protocols.session.SessionResult` whose
     ``sender_result``/``receiver_result`` are per-object lists and whose
     stats carry frame counters.  For the timed counterpart see
-    :func:`repro.net.runner.launch_batch_session`.
+    :func:`repro.net.runner.launch`.
     """
     pair_list = list(pairs)
     frames: List[BatchFrame] = []

@@ -114,91 +114,108 @@ def syncs_receiver(a: SkipRotatingVector, *, reconcile: bool,
     prev: str | None = None
     segs = 0
     skipping = False
-    while True:
-        message: Message = yield Recv()
-        if isinstance(message, Halt):
-            # The sender exhausted ⌈b⌉.  During a reconciliation the run of
-            # freshly written elements still needs its terminator: what
-            # follows them in ≺_a is causally unrelated, and without the
-            # boundary a later local update would fuse the two runs into
-            # one (unskippable-safe but also *unsafe*) segment.
-            if reconcile and prev is not None:
-                boundary = a.order.get(prev)
-                assert boundary is not None
-                boundary.segment = True
-                a.order.touch()
-            if tracer is not None:
-                tracer.event(obs.CONTROL, party="receiver",
-                             signal="halt_received")
-            report.received_halt = True
-            return report
-        assert isinstance(message, ElementSMsg)
-        site, value = message.site, message.value
-        if value <= a[site]:
-            if skipping:
-                report.ignored_elements += 1
-            else:
-                report.redundant_elements += 1
-                if tracer is not None:
-                    tracer.event(obs.GAMMA_RETRANSMIT, party="receiver",
-                                 site=site, value=value,
-                                 conflict=message.conflict)
-                # A skip (or halt) cuts the run of freshly written elements:
-                # the last one written now ends a segment of ≺_a (§4).
+    try:
+        while True:
+            message: Message = yield Recv()
+            if isinstance(message, Halt):
+                # The sender exhausted ⌈b⌉.  During a reconciliation the run of
+                # freshly written elements still needs its terminator: what
+                # follows them in ≺_a is causally unrelated, and without the
+                # boundary a later local update would fuse the two runs into
+                # one (unskippable-safe but also *unsafe*) segment.
                 if reconcile and prev is not None:
                     boundary = a.order.get(prev)
                     assert boundary is not None
                     boundary.segment = True
                     a.order.touch()
-                if message.conflict:
-                    reconcile = True
-                    if not message.segment:
-                        yield Send(Skip(segs))
-                        report.skips_issued += 1
-                        skipping = True
+                if tracer is not None:
+                    tracer.event(obs.CONTROL, party="receiver",
+                                 signal="halt_received")
+                report.received_halt = True
+                return report
+            assert isinstance(message, ElementSMsg)
+            site, value = message.site, message.value
+            if value <= a[site]:
+                if skipping:
+                    report.ignored_elements += 1
+                else:
+                    report.redundant_elements += 1
+                    if tracer is not None:
+                        tracer.event(obs.GAMMA_RETRANSMIT, party="receiver",
+                                     site=site, value=value,
+                                     conflict=message.conflict)
+                    # A skip (or halt) cuts the run of freshly written elements:
+                    # the last one written now ends a segment of ≺_a (§4).
+                    if reconcile and prev is not None:
+                        boundary = a.order.get(prev)
+                        assert boundary is not None
+                        boundary.segment = True
+                        a.order.touch()
+                    if message.conflict:
+                        reconcile = True
+                        if not message.segment:
+                            yield Send(Skip(segs))
+                            report.skips_issued += 1
+                            skipping = True
+                            if tracer is not None:
+                                tracer.event(obs.CONTROL, party="receiver",
+                                             signal="skip_sent", segs=segs)
+                        else:
+                            # This element terminates its segment — nothing
+                            # left to skip, keep reading.  Still one known
+                            # segment consumed at O(1) cost (γ accounting).
+                            report.inline_segments += 1
+                            if tracer is not None:
+                                tracer.event("inline_segment", party="receiver",
+                                             segs=segs)
+                    else:
+                        while True:
+                            extra = yield Drain()
+                            if extra is None:
+                                break
+                            if isinstance(extra, Halt):
+                                report.received_halt = True
+                                return report
+                            report.ignored_elements += 1
+                        yield Send(Halt(_HALT_BITS))
                         if tracer is not None:
                             tracer.event(obs.CONTROL, party="receiver",
-                                         signal="skip_sent", segs=segs)
-                    else:
-                        # This element terminates its segment — nothing
-                        # left to skip, keep reading.  Still one known
-                        # segment consumed at O(1) cost (γ accounting).
-                        report.inline_segments += 1
-                        if tracer is not None:
-                            tracer.event("inline_segment", party="receiver",
-                                         segs=segs)
-                else:
-                    while True:
-                        extra = yield Drain()
-                        if extra is None:
-                            break
-                        if isinstance(extra, Halt):
-                            report.received_halt = True
-                            return report
-                        report.ignored_elements += 1
-                    yield Send(Halt(_HALT_BITS))
-                    if tracer is not None:
-                        tracer.event(obs.CONTROL, party="receiver",
-                                     signal="halt_sent")
-                    report.sent_halt = True
-                    return report
-        else:
-            skipping = False
-            element = a.order.rotate_after(prev, site)
-            prev = site
-            element.value = value
-            element.conflict = True if reconcile else message.conflict
-            element.segment = message.segment
-            report.new_elements += 1
-            if tracer is not None:
-                tracer.event(obs.DELTA_ELEMENT, party="receiver",
-                             site=site, value=value)
-                if element.conflict:
-                    tracer.event(obs.CONFLICT_BIT, party="receiver",
-                                 site=site, inherited=message.conflict)
-        if message.segment:
-            segs += 1
-            skipping = False
+                                         signal="halt_sent")
+                        report.sent_halt = True
+                        return report
+            else:
+                skipping = False
+                element = a.order.rotate_after(prev, site)
+                prev = site
+                element.value = value
+                element.conflict = True if reconcile else message.conflict
+                element.segment = message.segment
+                report.new_elements += 1
+                if tracer is not None:
+                    tracer.event(obs.DELTA_ELEMENT, party="receiver",
+                                 site=site, value=value)
+                    if element.conflict:
+                        tracer.event(obs.CONFLICT_BIT, party="receiver",
+                                     site=site, inherited=message.conflict)
+            if message.segment:
+                segs += 1
+                skipping = False
+    except GeneratorExit:
+        # Closed mid-session (the reliable transport aborting an
+        # attempt).  The run of freshly written elements still needs
+        # its segment terminator, exactly as on Halt: without the
+        # boundary, causally unrelated successors in ≺_a would fuse
+        # with the run into one unsafe segment.  Note the torn vector
+        # remains causally *incomplete* regardless (it holds Δ's newest
+        # elements without their past) — resumable callers must restore
+        # a pre-session snapshot, per SessionOptions.rebuild's contract;
+        # the seal only keeps ≺_a structurally sane for direct users.
+        if reconcile and prev is not None:
+            boundary = a.order.get(prev)
+            assert boundary is not None
+            boundary.segment = True
+            a.order.touch()
+        raise
 
 
 def sync_srv(a: SkipRotatingVector, b: SkipRotatingVector, *,

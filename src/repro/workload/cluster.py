@@ -19,6 +19,7 @@ import random
 from dataclasses import dataclass
 from typing import List, Optional, Sequence
 
+from repro.net.faults import FaultSpec
 from repro.workload.topology import RandomPairTopology, Topology
 
 
@@ -117,3 +118,19 @@ def update_schedule(sites: Sequence[str], *, n_updates: int,
         requests.append(UpdateRequest(at=clock, site=rng.choice(pool),
                                       obj=obj))
     return requests
+
+
+def chaos_faults(loss: float, *, latency: float,
+                 seed: int = 0) -> FaultSpec:
+    """The standard chaos profile for a nominal loss rate.
+
+    One scalar — the nominal ``loss`` rate — expands into the full fault
+    mix the benchmark grid and the chaos demo share: drops at ``loss``,
+    duplication at half of it, reordering at ``loss`` with a window of
+    four propagation latencies (enough to land a copy behind traffic sent
+    later, not enough to dwarf the ARQ timeout).  Keeping the expansion
+    here means every consumer labels a run by one number and still
+    injects the identical, seeded fault mix.
+    """
+    return FaultSpec(drop=loss, duplicate=loss / 2, reorder=loss,
+                     reorder_window=4 * latency, seed=seed)

@@ -1,0 +1,202 @@
+"""The reliable stop-and-wait transport: retries, resume, accounting.
+
+The contract under test: any seeded fault schedule either converges to
+exactly the fault-free end state (retransmission is invisible to the
+protocol layer) or aborts loudly after the configured budgets — and the
+wire accounting always splits into goodput plus retransmitted bits.
+"""
+
+import pytest
+
+from repro.core.skip import SkipRotatingVector
+from repro.errors import SessionError
+from repro.net.channel import ChannelSpec
+from repro.net.faults import FaultSpec, RetryPolicy
+from repro.net.runner import SessionOptions, run_timed
+from repro.net.wire import Encoding
+from repro.obs import Tracer
+from repro.protocols.session import run_session
+from repro.protocols.syncs import syncs_receiver, syncs_sender
+
+ENC = Encoding(site_bits=8, value_bits=16)
+
+
+def divergent_pair(extra=()):
+    a = SkipRotatingVector.from_pairs([("A", 1)])
+    b = a.copy()
+    a.record_update("A")
+    for site in ("B", "C", "B") + tuple(extra):
+        b.record_update(site)
+    return a, b
+
+
+def srv_options(a, b, *, faults, retry=None, tracer=None, fault_seed=None):
+    channel = ChannelSpec(latency=0.01, bandwidth=1e6, faults=faults)
+    retry = retry or RetryPolicy()
+    reconcile = a.compare(b).is_concurrent
+    return SessionOptions.for_pair(
+        syncs_sender(b, tracer=tracer),
+        syncs_receiver(a, reconcile=reconcile, tracer=tracer),
+        channel=channel, encoding=ENC, retry=retry, tracer=tracer,
+        fault_seed=fault_seed)
+
+
+def resumable_options(state, *, faults, retry):
+    """Resumable session over ``state["a"]``/``state["b"]``.
+
+    Implements the rebuild contract: attempts are transactional, so
+    every resume restores the receiver to its pre-session snapshot.
+    """
+    channel = ChannelSpec(latency=0.01, bandwidth=1e6, faults=faults)
+    snapshot = state["a"].copy()
+    first = [True]
+
+    def make_pairs():
+        if first:
+            first.pop()
+        else:
+            state["a"] = snapshot.copy()
+        a, b = state["a"], state["b"]
+        return ((syncs_sender(b),
+                 syncs_receiver(a, reconcile=a.compare(b).is_concurrent)),)
+
+    return SessionOptions(rebuild=make_pairs, channel=channel, encoding=ENC,
+                          retry=retry)
+
+
+def fault_free_oracle():
+    """The end state of the same sync on a perfect channel."""
+    a, b = divergent_pair()
+    run_session(syncs_sender(b),
+                syncs_receiver(a, reconcile=a.compare(b).is_concurrent),
+                encoding=ENC)
+    return a
+
+
+class TestLossRecovery:
+    def test_converges_under_drop_with_retries_counted(self):
+        a, b = divergent_pair()
+        result = run_timed(srv_options(
+            a, b, faults=FaultSpec(drop=0.3, seed=2)))
+        assert a.same_values(fault_free_oracle())
+        assert result.stats.retries > 0
+        assert result.stats.timeouts > 0
+
+    def test_goodput_identity_holds_exactly(self):
+        for seed in range(6):
+            a, b = divergent_pair()
+            result = run_timed(srv_options(
+                a, b, faults=FaultSpec(drop=0.25, duplicate=0.2, reorder=0.3,
+                                       reorder_window=0.1, seed=seed)))
+            stats = result.stats
+            assert stats.total_retransmitted_bits \
+                == stats.total_bits - stats.total_goodput_bits
+            assert a.same_values(fault_free_oracle()), seed
+
+    def test_duplicates_are_invisible_to_the_protocol(self):
+        a, b = divergent_pair()
+        result = run_timed(srv_options(
+            a, b, faults=FaultSpec(duplicate=0.9, reorder_window=0.05,
+                                   seed=4)))
+        assert a.same_values(fault_free_oracle())
+        # Duplicate data copies trigger repeat acks, accounted as
+        # retransmitted-class traffic — never as goodput.
+        assert result.stats.total_retransmitted_bits > 0
+        assert result.stats.retries == 0
+
+    def test_reordering_never_reorders_the_protocol_stream(self):
+        a, b = divergent_pair(extra=("D", "E", "D", "F"))
+        run_timed(srv_options(
+            a, b, faults=FaultSpec(reorder=0.8, reorder_window=0.5, seed=6)))
+        oracle_a, oracle_b = divergent_pair(extra=("D", "E", "D", "F"))
+        run_session(
+            syncs_sender(oracle_b),
+            syncs_receiver(oracle_a,
+                           reconcile=oracle_a.compare(oracle_b).is_concurrent),
+            encoding=ENC)
+        assert a.same_values(oracle_a)
+
+    def test_zero_fault_reliable_transport_still_converges(self):
+        a, b = divergent_pair()
+        result = run_timed(srv_options(a, b, faults=FaultSpec()))
+        assert a.same_values(fault_free_oracle())
+        assert result.stats.retries == 0
+        assert result.stats.total_retransmitted_bits == 0
+
+
+class TestBudgetsAndResume:
+    def test_exhausted_retry_budget_aborts_loudly(self):
+        a, b = divergent_pair()
+        with pytest.raises(SessionError):
+            run_timed(srv_options(
+                a, b, faults=FaultSpec(drop=1.0),
+                retry=RetryPolicy(max_retries=2, initial_rto=0.1)))
+
+    def test_resume_rebuilds_and_converges(self):
+        a, b = divergent_pair(extra=("D", "E", "F", "G"))
+        state = {"a": a, "b": b}
+        result = run_timed(resumable_options(
+            state, faults=FaultSpec(drop=0.4, seed=1),
+            retry=RetryPolicy(max_retries=1, initial_rto=0.1,
+                              max_session_attempts=25)))
+        assert result.stats.resumes > 0
+        assert result.stats.retries > 0
+        oracle_a, oracle_b = divergent_pair(extra=("D", "E", "F", "G"))
+        run_session(
+            syncs_sender(oracle_b),
+            syncs_receiver(oracle_a,
+                           reconcile=oracle_a.compare(oracle_b).is_concurrent),
+            encoding=ENC)
+        assert state["a"].same_values(oracle_a)
+
+    def test_resume_budget_exhaustion_raises(self):
+        a, b = divergent_pair()
+        with pytest.raises(SessionError):
+            run_timed(resumable_options(
+                {"a": a, "b": b}, faults=FaultSpec(drop=1.0),
+                retry=RetryPolicy(max_retries=1, initial_rto=0.05,
+                                  max_session_attempts=3)))
+
+    def test_partition_window_heals(self):
+        """Traffic inside the window is lost; the session outlives it."""
+        a, b = divergent_pair()
+        result = run_timed(srv_options(
+            a, b, faults=FaultSpec(partitions=((0.0, 0.5),)),
+            retry=RetryPolicy(initial_rto=0.2, max_retries=12)))
+        assert a.same_values(fault_free_oracle())
+        assert result.stats.timeouts > 0
+        assert result.completion_time > 0.5
+
+
+class TestDeterminismAndTracing:
+    def test_same_seed_same_bits(self):
+        runs = []
+        for _ in range(2):
+            a, b = divergent_pair()
+            result = run_timed(srv_options(
+                a, b, faults=FaultSpec(drop=0.3, duplicate=0.2, reorder=0.3,
+                                       reorder_window=0.2, seed=9)))
+            runs.append((result.stats.total_bits, result.stats.retries,
+                         result.stats.timeouts, result.completion_time))
+        assert runs[0] == runs[1]
+
+    def test_fault_seed_overrides_the_spec_seed(self):
+        totals = []
+        for fault_seed in (100, 101):
+            a, b = divergent_pair()
+            result = run_timed(srv_options(
+                a, b, faults=FaultSpec(drop=0.4, seed=9),
+                fault_seed=fault_seed))
+            totals.append((result.stats.total_bits, result.stats.retries))
+        assert totals[0] != totals[1]
+
+    def test_fault_retry_timeout_events_traced(self):
+        tracer = Tracer()
+        a, b = divergent_pair()
+        run_timed(srv_options(
+            a, b, faults=FaultSpec(drop=0.35, seed=2), tracer=tracer),
+            span_name="arq")
+        kinds = {event.kind for event in tracer.events}
+        assert "fault" in kinds
+        assert "retry" in kinds
+        assert "timeout" in kinds

@@ -2,9 +2,9 @@
 
 The ISSUE 3 acceptance contracts:
 
-* ``batch_size=1`` through :func:`launch_batch_session` is bit-for-bit
-  the plain per-object :func:`run_timed_session` path — same stats, same
-  per-object reports, same end states;
+* ``batch_size=1`` through the unified :func:`repro.net.runner.launch`
+  entry point is bit-for-bit the plain per-object single-pair path —
+  same stats, same per-object reports, same end states;
 * ``batch_size=k`` amortizes the per-session header (k headers → 1) and,
   under stop-and-wait, the per-message acks (one per frame), so total
   wire bits per object drop;
@@ -20,7 +20,7 @@ from repro.core.skip import SkipRotatingVector
 from repro.net.channel import ChannelSpec
 from repro.net.cluster import (ClusterConfig, ClusterRunner,
                                replay_sequential)
-from repro.net.runner import launch_batch_session, run_timed_session
+from repro.net.runner import SessionOptions, launch, run_timed
 from repro.net.simulator import Simulator
 from repro.net.wire import Encoding
 from repro.protocols.syncs import syncs_receiver, syncs_sender
@@ -55,10 +55,10 @@ def make_pairs(states):
 def run_batched(states, *, batch_size, encoding=ENC, stop_and_wait=False):
     sim = Simulator()
     completed = []
-    launch_batch_session(
-        sim, make_pairs(states), batch_size=batch_size, channel=SLOW,
+    launch(sim, SessionOptions(
+        pairs=tuple(make_pairs(states)), batch_size=batch_size, channel=SLOW,
         encoding=encoding, stop_and_wait=stop_and_wait,
-        on_complete=completed.append)
+        on_complete=completed.append))
     sim.run()
     assert len(completed) == 1
     return completed[0]
@@ -68,7 +68,8 @@ class TestBatchSizeOneIdentity:
     def test_bit_for_bit_identical_to_sequential_sessions(self):
         baseline_states = make_srv_states(5, seed=21)
         batched_states = make_srv_states(5, seed=21)
-        baseline = [run_timed_session(s, r, channel=SLOW, encoding=PRICED)
+        baseline = [run_timed(SessionOptions.for_pair(
+                        s, r, channel=SLOW, encoding=PRICED))
                     for s, r in make_pairs(baseline_states)]
         batched = run_batched(batched_states, batch_size=1, encoding=PRICED)
         merged = batched.stats
@@ -90,8 +91,9 @@ class TestBatchSizeOneIdentity:
             assert bat_a.same_structure(base_a)
 
     def test_stop_and_wait_identity_holds_too(self):
-        baseline = [run_timed_session(s, r, channel=SLOW, encoding=PRICED,
-                                      stop_and_wait=True)
+        baseline = [run_timed(SessionOptions.for_pair(
+                        s, r, channel=SLOW, encoding=PRICED,
+                        stop_and_wait=True))
                     for s, r in make_pairs(make_srv_states(4, seed=22))]
         batched = run_batched(make_srv_states(4, seed=22), batch_size=1,
                               encoding=PRICED, stop_and_wait=True)
@@ -140,8 +142,8 @@ class TestBatchingAmortization:
         assert len(result.receiver_result) == 7
 
     def test_empty_pairs_rejected(self):
-        with pytest.raises(ValueError, match="at least one pair"):
-            launch_batch_session(Simulator(), [], batch_size=1)
+        with pytest.raises(ValueError, match="pairs/rebuild"):
+            launch(Simulator(), SessionOptions(pairs=()))
 
     def test_bad_batch_size_rejected(self):
         with pytest.raises(ValueError, match="batch_size"):

@@ -1,0 +1,172 @@
+"""The unified session-launch API: options, validation, and the shims."""
+
+import warnings
+
+import pytest
+
+from repro.core.rotating import BasicRotatingVector
+from repro.core.skip import SkipRotatingVector
+from repro.errors import ValidationError
+from repro.net.channel import ChannelSpec
+from repro.net.faults import FaultSpec
+from repro.net.runner import (SessionOptions, launch, launch_batch_session,
+                              launch_session, run_timed, run_timed_session)
+from repro.net.simulator import Simulator
+from repro.net.wire import Encoding
+from repro.protocols.syncb import syncb_receiver, syncb_sender
+from repro.protocols.syncs import syncs_receiver, syncs_sender
+
+ENC = Encoding(site_bits=8, value_bits=16)
+CHANNEL = ChannelSpec(latency=0.01, bandwidth=1e6)
+
+
+def brv_pair(k=5):
+    b = BasicRotatingVector.from_pairs([(f"S{i}", 1) for i in range(k)])
+    a = BasicRotatingVector()
+    return a, b
+
+
+def srv_pair():
+    a = SkipRotatingVector.from_pairs([("A", 1)])
+    b = a.copy()
+    a.record_update("A")
+    b.record_update("B")
+    return a, b
+
+
+class TestSessionOptionsValidation:
+    def test_requires_exactly_one_of_pairs_or_rebuild(self):
+        with pytest.raises(ValidationError, match="pairs/rebuild"):
+            SessionOptions()
+        with pytest.raises(ValidationError, match="pairs/rebuild"):
+            a, b = brv_pair()
+            SessionOptions(pairs=((syncb_sender(b), syncb_receiver(a)),),
+                           rebuild=lambda: ())
+
+    def test_rejects_bad_scalars(self):
+        a, b = brv_pair()
+        pairs = ((syncb_sender(b), syncb_receiver(a)),)
+        with pytest.raises(ValidationError, match="batch_size"):
+            SessionOptions(pairs=pairs, batch_size=0)
+        with pytest.raises(ValidationError, match="proc_time"):
+            SessionOptions(pairs=pairs, proc_time=-1.0)
+        with pytest.raises(ValidationError, match="max_steps"):
+            SessionOptions(pairs=pairs, max_steps=0)
+        with pytest.raises(ValidationError, match="party_names"):
+            SessionOptions(pairs=pairs, party_names=("x", "x"))
+
+    def test_reliable_false_with_faults_is_contradictory(self):
+        a, b = brv_pair()
+        faulty = ChannelSpec(faults=FaultSpec(drop=0.1))
+        with pytest.raises(ValidationError, match="reliable"):
+            SessionOptions(pairs=((syncb_sender(b), syncb_receiver(a)),),
+                           channel=faulty, reliable=False)
+
+    def test_use_reliable_follows_the_fault_spec(self):
+        a, b = brv_pair()
+        pairs = ((syncb_sender(b), syncb_receiver(a)),)
+        assert not SessionOptions(pairs=pairs).use_reliable
+        assert SessionOptions(pairs=pairs, reliable=True).use_reliable
+        faulty = ChannelSpec(faults=FaultSpec(drop=0.1))
+        assert SessionOptions(pairs=pairs, channel=faulty).use_reliable
+
+    def test_options_are_immutable(self):
+        a, b = brv_pair()
+        options = SessionOptions.for_pair(syncb_sender(b), syncb_receiver(a))
+        with pytest.raises(AttributeError):
+            options.batch_size = 2
+
+
+class TestLaunch:
+    def test_handle_fills_in_as_the_simulator_runs(self):
+        a, b = brv_pair()
+        sim = Simulator()
+        handle = launch(sim, SessionOptions.for_pair(
+            syncb_sender(b), syncb_receiver(a),
+            channel=CHANNEL, encoding=ENC))
+        assert not handle.completed
+        sim.run()
+        assert handle.completed
+        assert handle.attempts == 1
+        assert handle.stats.total_bits > 0
+        assert handle.result.stats is handle.stats
+        assert a.same_structure(b)
+
+    def test_on_complete_fires_once_with_the_result(self):
+        a, b = brv_pair()
+        seen = []
+        sim = Simulator()
+        launch(sim, SessionOptions.for_pair(
+            syncb_sender(b), syncb_receiver(a), channel=CHANNEL,
+            encoding=ENC, on_complete=seen.append))
+        sim.run()
+        assert len(seen) == 1
+        assert seen[0].completion_time > 0
+
+    def test_single_pair_results_are_scalars(self):
+        a, b = srv_pair()
+        result = run_timed(SessionOptions.for_pair(
+            syncs_sender(b),
+            syncs_receiver(a, reconcile=a.compare(b).is_concurrent),
+            channel=CHANNEL, encoding=ENC))
+        assert not isinstance(result.sender_result, list)
+        assert not isinstance(result.receiver_result, list)
+
+    def test_multi_pair_results_are_lists(self):
+        states = [srv_pair() for _ in range(3)]
+        pairs = tuple(
+            (syncs_sender(b),
+             syncs_receiver(a, reconcile=a.compare(b).is_concurrent))
+            for a, b in states)
+        result = run_timed(SessionOptions(pairs=pairs, channel=CHANNEL,
+                                          encoding=ENC))
+        assert len(result.sender_result) == 3
+        assert len(result.receiver_result) == 3
+
+
+class TestDeprecatedShims:
+    def test_run_timed_session_warns_and_matches_the_new_path(self):
+        a1, b = brv_pair()
+        with pytest.warns(DeprecationWarning, match="run_timed_session"):
+            old = run_timed_session(syncb_sender(b), syncb_receiver(a1),
+                                    channel=CHANNEL, encoding=ENC)
+        a2, _ = brv_pair()
+        new = run_timed(SessionOptions.for_pair(
+            syncb_sender(b), syncb_receiver(a2),
+            channel=CHANNEL, encoding=ENC))
+        assert old.stats.total_bits == new.stats.total_bits
+        assert old.completion_time == new.completion_time
+        assert a1.same_structure(a2)
+
+    def test_launch_session_warns_and_returns_stats(self):
+        a, b = brv_pair()
+        sim = Simulator()
+        with pytest.warns(DeprecationWarning, match="launch_session"):
+            stats = launch_session(sim, syncb_sender(b), syncb_receiver(a),
+                                   channel=CHANNEL, encoding=ENC)
+        sim.run()
+        assert stats.total_bits > 0
+
+    def test_launch_batch_session_single_pair_still_reports_lists(self):
+        a, b = srv_pair()
+        seen = []
+        sim = Simulator()
+        with pytest.warns(DeprecationWarning, match="launch_batch_session"):
+            launch_batch_session(
+                sim,
+                [(syncs_sender(b),
+                  syncs_receiver(a, reconcile=a.compare(b).is_concurrent))],
+                batch_size=1, channel=CHANNEL, encoding=ENC,
+                on_complete=seen.append)
+        sim.run()
+        assert len(seen) == 1
+        assert isinstance(seen[0].sender_result, list)
+        assert isinstance(seen[0].receiver_result, list)
+
+    def test_new_entry_points_do_not_warn(self):
+        a, b = brv_pair()
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            run_timed(SessionOptions.for_pair(
+                syncb_sender(b), syncb_receiver(a),
+                channel=CHANNEL, encoding=ENC))

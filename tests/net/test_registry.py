@@ -1,0 +1,99 @@
+"""The protocol registry: declarative dispatch for all three schemes."""
+
+import pytest
+
+from repro.core.conflict import ConflictRotatingVector
+from repro.core.rotating import BasicRotatingVector
+from repro.core.skip import SkipRotatingVector
+from repro.errors import ConcurrentVectorsError
+from repro.net.cluster import PROTOCOLS, build_session_coroutines
+from repro.net.wire import Encoding
+from repro.protocols import registry
+from repro.protocols.session import run_session
+
+ENC = Encoding(site_bits=8, value_bits=16)
+
+
+class TestRegistryLookup:
+    def test_all_three_schemes_registered(self):
+        assert registry.names() == ["brv", "crv", "srv"]
+
+    def test_unknown_name_raises_with_the_catalogue(self):
+        with pytest.raises(ValueError, match="unknown protocol"):
+            registry.get("gossip")
+
+    def test_vector_classes(self):
+        assert registry.get("brv").vector_cls is BasicRotatingVector
+        assert registry.get("crv").vector_cls is ConflictRotatingVector
+        assert registry.get("srv").vector_cls is SkipRotatingVector
+
+    def test_reconciliation_traits(self):
+        assert not registry.get("brv").reconciles
+        assert registry.get("crv").reconciles
+        assert registry.get("srv").reconciles
+
+    def test_register_replaces_and_restores(self):
+        original = registry.get("srv")
+        try:
+            replacement = registry.ProtocolSpec(
+                name="srv", vector_cls=SkipRotatingVector, reconciles=True,
+                make_sender=original.make_sender,
+                make_receiver=original.make_receiver)
+            assert registry.register(replacement) is replacement
+            assert registry.get("srv") is replacement
+        finally:
+            registry.register(original)
+        assert registry.get("srv") is original
+
+
+class TestBuild:
+    def test_brv_rejects_concurrent_vectors(self):
+        a = BasicRotatingVector.from_pairs([("A", 1)])
+        b = a.copy()
+        a.record_update("A")
+        b.record_update("B")
+        with pytest.raises(ConcurrentVectorsError):
+            registry.get("brv").build(b, a, a.compare(b))
+
+    def test_srv_build_runs_to_convergence(self):
+        a = SkipRotatingVector.from_pairs([("A", 1)])
+        b = a.copy()
+        a.record_update("A")
+        b.record_update("B")
+        sender, receiver, reconciled = registry.get("srv").build(
+            b, a, a.compare(b))
+        assert reconciled
+        run_session(sender, receiver, encoding=ENC)
+        assert a.to_version_vector().as_dict() == {"A": 2, "B": 1}
+
+    def test_ordered_sync_reports_no_reconciliation(self):
+        a = SkipRotatingVector.from_pairs([("A", 1)])
+        b = a.copy()
+        b.record_update("B")
+        _, _, reconciled = registry.get("srv").build(b, a, a.compare(b))
+        assert not reconciled
+
+
+class TestClusterFacade:
+    def test_protocols_table_is_a_registry_view(self):
+        assert set(PROTOCOLS.keys()) == {"brv", "crv", "srv"}
+        assert len(PROTOCOLS) == 3
+        assert "srv" in PROTOCOLS
+        assert "xyz" not in PROTOCOLS
+        assert sorted(PROTOCOLS) == registry.names()
+        assert PROTOCOLS["crv"][0] is ConflictRotatingVector
+
+    def test_build_session_coroutines_delegates_to_registry(self):
+        a = SkipRotatingVector.from_pairs([("A", 1)])
+        b = a.copy()
+        b.record_update("B")
+        sender, receiver, reconciled = build_session_coroutines(
+            "srv", b, a, a.compare(b))
+        assert not reconciled
+        run_session(sender, receiver, encoding=ENC)
+        assert a.to_version_vector().as_dict() == {"A": 1, "B": 1}
+
+    def test_build_session_coroutines_unknown_protocol(self):
+        a = SkipRotatingVector()
+        with pytest.raises(ValueError, match="unknown protocol"):
+            build_session_coroutines("nope", a, a, a.compare(a))

@@ -5,12 +5,17 @@ import pytest
 from repro.core.rotating import BasicRotatingVector
 from repro.core.skip import SkipRotatingVector
 from repro.net.channel import ChannelSpec
-from repro.net.runner import run_timed_session
+from repro.net.runner import SessionOptions, run_timed
 from repro.net.wire import Encoding
 from repro.protocols.syncb import syncb_receiver, syncb_sender
 from repro.protocols.syncs import syncs_receiver, syncs_sender
 
 ENC = Encoding(site_bits=8, value_bits=16)
+
+
+def timed(sender, receiver, **kwargs):
+    """One pair on a private clock via the unified launch API."""
+    return run_timed(SessionOptions.for_pair(sender, receiver, **kwargs))
 
 
 def fresh_pair(k):
@@ -25,10 +30,10 @@ class TestPipeliningSavings:
         k = 20
         channel = ChannelSpec(latency=0.05, bandwidth=1e6)
         a1, b = fresh_pair(k)
-        pipelined = run_timed_session(syncb_sender(b), syncb_receiver(a1),
+        pipelined = timed(syncb_sender(b), syncb_receiver(a1),
                                       channel=channel, encoding=ENC)
         a2, _ = fresh_pair(k)
-        blocking = run_timed_session(syncb_sender(b), syncb_receiver(a2),
+        blocking = timed(syncb_sender(b), syncb_receiver(a2),
                                      channel=channel, encoding=ENC,
                                      stop_and_wait=True)
         saving = blocking.completion_time - pipelined.completion_time
@@ -41,16 +46,16 @@ class TestPipeliningSavings:
         a1, b = fresh_pair(k)
         a2, _ = fresh_pair(k)
         channel = ChannelSpec(latency=0.01, bandwidth=1e5)
-        run_timed_session(syncb_sender(b), syncb_receiver(a1),
+        timed(syncb_sender(b), syncb_receiver(a1),
                           channel=channel, encoding=ENC)
-        run_timed_session(syncb_sender(b), syncb_receiver(a2),
+        timed(syncb_sender(b), syncb_receiver(a2),
                           channel=channel, encoding=ENC, stop_and_wait=True)
         assert a1.same_structure(a2)
 
     def test_ack_traffic_accounted_in_stop_and_wait(self):
         a, b = fresh_pair(5)
         channel = ChannelSpec(latency=0.01, bandwidth=1e5, ack_bits=8)
-        result = run_timed_session(syncb_sender(b), syncb_receiver(a),
+        result = timed(syncb_sender(b), syncb_receiver(a),
                                    channel=channel, encoding=ENC,
                                    stop_and_wait=True)
         acked = result.stats.backward.by_type.get("Ack", 0)
@@ -68,7 +73,7 @@ class TestPipeliningSavings:
         a, b = fresh_pair(4)
         channel = ChannelSpec(latency=0.01, bandwidth=1e5, ack_bits=8)
         tracer = Tracer()
-        run_timed_session(syncb_sender(b), syncb_receiver(a),
+        timed(syncb_sender(b), syncb_receiver(a),
                           channel=channel, encoding=ENC, stop_and_wait=True,
                           tracer=tracer)
         deliver_times = [e.time for e in tracer.events
@@ -99,7 +104,7 @@ class TestBetaExcess:
         b = a.copy()
         for site in ("X", "Y", "Z"):
             b.record_update(site)
-        result = run_timed_session(syncb_sender(b), syncb_receiver(a),
+        result = timed(syncb_sender(b), syncb_receiver(a),
                                    channel=channel, encoding=ENC)
         ideal_bits = (3 + 1) * ENC.brv_element_bits  # Δ + halting element
         excess = result.stats.forward.bits - ideal_bits
@@ -111,7 +116,7 @@ class TestBetaExcess:
         a = BasicRotatingVector.from_pairs(shared)
         b = a.copy()
         b.record_update("X")
-        result = run_timed_session(syncb_sender(b), syncb_receiver(a),
+        result = timed(syncb_sender(b), syncb_receiver(a),
                                    channel=channel, encoding=ENC,
                                    stop_and_wait=True)
         elements_sent = result.stats.forward.by_type["ElementMsg"]
@@ -125,7 +130,7 @@ class TestTimedSyncs:
         left, right = base.copy(), base.copy()
         left.record_update("L")
         right.record_update("R")
-        result = run_timed_session(
+        result = timed(
             syncs_sender(right), syncs_receiver(left, reconcile=True),
             channel=ChannelSpec(latency=0.01, bandwidth=1e6), encoding=ENC)
         assert left.to_version_vector().as_dict() == {
@@ -136,7 +141,7 @@ class TestTimedSyncs:
         times = []
         for latency in (0.01, 0.1):
             a, b = fresh_pair(5)
-            result = run_timed_session(
+            result = timed(
                 syncb_sender(b), syncb_receiver(a),
                 channel=ChannelSpec(latency=latency, bandwidth=1e6),
                 encoding=ENC)
@@ -145,7 +150,7 @@ class TestTimedSyncs:
 
     def test_sender_and_receiver_finish_times_reported(self):
         a, b = fresh_pair(5)
-        result = run_timed_session(syncb_sender(b), syncb_receiver(a),
+        result = timed(syncb_sender(b), syncb_receiver(a),
                                    channel=ChannelSpec(), encoding=ENC)
         assert result.completion_time == max(result.sender_finish,
                                              result.receiver_finish)

@@ -14,7 +14,7 @@ from hypothesis import strategies as st
 from repro.core.skip import SkipRotatingVector
 from repro.graphs.causalgraph import build_graph
 from repro.net.channel import ChannelSpec
-from repro.net.runner import run_timed_session
+from repro.net.runner import SessionOptions, run_timed
 from repro.net.wire import Encoding
 from repro.protocols.session import run_session
 from repro.protocols.syncg import syncg_receiver, syncg_sender
@@ -52,10 +52,10 @@ def test_timed_syncs_equals_instant(commands, pair, channel_index,
                 encoding=ENC)
 
     timed_a = vectors[pair[0]].copy()
-    run_timed_session(syncs_sender(b),
-                      syncs_receiver(timed_a, reconcile=reconcile),
-                      channel=CHANNELS[channel_index], encoding=ENC,
-                      stop_and_wait=stop_and_wait)
+    run_timed(SessionOptions.for_pair(
+        syncs_sender(b), syncs_receiver(timed_a, reconcile=reconcile),
+        channel=CHANNELS[channel_index], encoding=ENC,
+        stop_and_wait=stop_and_wait))
 
     assert timed_a.to_version_vector() == instant_a.to_version_vector()
 
@@ -87,8 +87,9 @@ def test_timed_syncg_equals_instant(seed, channel_index):
     run_session(syncg_sender(full), syncg_receiver(instant_target),
                 encoding=ENC)
     timed_target = partial.copy()
-    run_timed_session(syncg_sender(full), syncg_receiver(timed_target),
-                      channel=CHANNELS[channel_index], encoding=ENC)
+    run_timed(SessionOptions.for_pair(
+        syncg_sender(full), syncg_receiver(timed_target),
+        channel=CHANNELS[channel_index], encoding=ENC))
     assert instant_target.node_ids() == full.node_ids()
     assert timed_target.node_ids() == full.node_ids()
     assert timed_target.arcs() == instant_target.arcs()
@@ -113,8 +114,8 @@ def test_timed_traffic_never_below_instant():
             syncs_sender(b), syncs_receiver(instant_a, reconcile=reconcile),
             encoding=ENC)
         timed_a = vectors[0].copy()
-        timed = run_timed_session(
+        timed = run_timed(SessionOptions.for_pair(
             syncs_sender(b), syncs_receiver(timed_a, reconcile=reconcile),
-            channel=ChannelSpec(latency=0.05, bandwidth=1e5), encoding=ENC)
+            channel=ChannelSpec(latency=0.05, bandwidth=1e5), encoding=ENC))
         assert (timed.stats.forward.bits
                 >= instant.stats.forward.bits), seed

@@ -11,14 +11,20 @@ from repro.perf.bench import (BenchConfig, bench_fingerprint, bench_main,
                               write_bench)
 from repro.perf.schema import SCHEMA_ID, validate_bench, validate_file
 
-#: A deliberately tiny sweep so driver tests stay fast (no batched
-#: scenario; that one has its own tests below).
+#: A deliberately tiny sweep so driver tests stay fast (no batched or
+#: chaos scenario; those have their own tests below).
 TINY = BenchConfig(site_counts=(4,), rounds=2, updates_per_site=1.0,
-                   batched_sizes=())
+                   batched_sizes=(), chaos_loss_rates=())
 #: The batched scenario alone, shrunk.
 TINY_BATCHED = BenchConfig(site_counts=(), protocols=(), rounds=2,
                            updates_per_site=1.0, batched_site_count=4,
-                           batched_objects=6, batched_sizes=(1, 4))
+                           batched_objects=6, batched_sizes=(1, 4),
+                           chaos_loss_rates=())
+#: The chaos scenario alone, shrunk.
+TINY_CHAOS = BenchConfig(site_counts=(), protocols=("srv",), rounds=2,
+                         updates_per_site=1.0, batched_site_count=4,
+                         batched_objects=4, batched_sizes=(),
+                         chaos_batch_size=4, chaos_loss_rates=(0.05,))
 
 
 class TestRunClusterBench:
@@ -30,7 +36,8 @@ class TestRunClusterBench:
 
     def test_runs_cover_the_requested_grid(self):
         config = BenchConfig(site_counts=(4, 6), protocols=("srv",),
-                             rounds=2, batched_sizes=())
+                             rounds=2, batched_sizes=(),
+                             chaos_loss_rates=())
         document = run_cluster_bench(config)
         grid = [(r["protocol"], r["n_sites"]) for r in document["runs"]]
         assert grid == [("srv", 4), ("srv", 6)]
@@ -65,7 +72,8 @@ class TestRunClusterBench:
     def test_metrics_are_populated(self):
         metrics = MetricsRegistry()
         run_cluster_bench(BenchConfig(site_counts=(4,), protocols=("srv",),
-                                      rounds=2, batched_sizes=()),
+                                      rounds=2, batched_sizes=(),
+                                      chaos_loss_rates=()),
                           metrics=metrics)
         snapshot = metrics.snapshot()
         assert snapshot["counters"]["cluster.srv.sessions"] == 8
@@ -91,6 +99,39 @@ class TestBatchedScenario:
         document = run_cluster_bench(TINY)
         assert all(run["scenario"] != "batched-many-objects"
                    for run in document["runs"])
+
+
+class TestChaosScenario:
+    def test_chaos_runs_carry_reliability_fields(self):
+        document = run_cluster_bench(TINY_CHAOS)
+        assert validate_bench(document) == []
+        (run,) = document["runs"]
+        assert run["scenario"] == "chaos-loss"
+        assert run["loss_rate"] == 0.05
+        assert run["chaos_seed"] == TINY_CHAOS.chaos_seed
+        assert run["goodput_bits"] + run["retransmitted_bits"] \
+            == run["total_bits"]
+        assert run["goodput_overhead_pct"] >= 0.0
+
+    def test_chaos_cells_are_deterministic(self):
+        first = run_cluster_bench(TINY_CHAOS)
+        second = run_cluster_bench(TINY_CHAOS)
+        stable = ("total_bits", "goodput_bits", "retransmitted_bits",
+                  "retries", "timeouts", "resumes")
+        for run_a, run_b in zip(first["runs"], second["runs"]):
+            for key in stable:
+                assert run_a[key] == run_b[key]
+
+    def test_no_chaos_flag_skips_the_scenario(self, tmp_path, capsys):
+        out = str(tmp_path / "bench.json")
+        assert bench_main(["--sites", "4", "--rounds", "2",
+                           "--protocols", "srv", "--no-chaos",
+                           "--out", out]) == 0
+        with open(out) as handle:
+            document = json.load(handle)
+        assert all(run["scenario"] != "chaos-loss"
+                   for run in document["runs"])
+        capsys.readouterr()
 
 
 class TestParallelDriver:
@@ -173,8 +214,11 @@ class TestBenchCli:
         with open(out) as handle:
             document = json.load(handle)
         gossip = [r["protocol"] for r in document["runs"]
-                  if r["scenario"] != "batched-many-objects"]
+                  if r["scenario"] == "multi-writer-gossip"]
         assert gossip == ["srv"]
+        chaos = {r["protocol"] for r in document["runs"]
+                 if r["scenario"] == "chaos-loss"}
+        assert chaos == {"srv"}
 
     def test_workers_flag(self, tmp_path, capsys):
         out = str(tmp_path / "bench.json")

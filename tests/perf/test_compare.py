@@ -11,7 +11,8 @@ from repro.perf.compare import (compare_documents, format_comparison,
 
 #: One tiny gossip cell plus nothing else — fast and fully paired.
 TINY = BenchConfig(site_counts=(4,), protocols=("srv",), rounds=2,
-                   updates_per_site=1.0, batched_sizes=())
+                   updates_per_site=1.0, batched_sizes=(),
+                   chaos_loss_rates=())
 
 
 @pytest.fixture(scope="module")
@@ -22,12 +23,20 @@ def document():
 class TestRunKey:
     def test_gossip_key_has_no_batch_identity(self, document):
         key = run_key(document["runs"][0])
-        assert key == ("multi-writer-gossip", "srv", 4, None, None)
+        assert key == ("multi-writer-gossip", "srv", 4,
+                       None, None, None, None)
 
     def test_batched_key_carries_objects_and_batch_size(self):
         run = {"scenario": "batched-many-objects", "protocol": "srv",
                "n_sites": 4, "n_objects": 6, "batch_size": 4}
-        assert run_key(run) == ("batched-many-objects", "srv", 4, 6, 4)
+        assert run_key(run) == ("batched-many-objects", "srv", 4, 6, 4,
+                                None, None)
+
+    def test_chaos_key_carries_loss_rate_and_seed(self):
+        run = {"scenario": "chaos-loss", "protocol": "srv", "n_sites": 8,
+               "n_objects": 32, "batch_size": 8, "loss_rate": 0.1,
+               "chaos_seed": 11}
+        assert run_key(run) == ("chaos-loss", "srv", 8, 32, 8, 0.1, 11)
 
 
 class TestCompareDocuments:
