@@ -211,21 +211,25 @@ DEMOS: Dict[str, Callable[..., None]] = {
 
 def _usage() -> None:
     print("usage: python -m repro [--seed N] <demo>|all\n"
-          "       python -m repro [--seed N] trace <demo> [--jsonl PATH]\n"
+          "       python -m repro [--seed N] trace <demo> [--jsonl PATH] "
+          "[--filter kind,...]\n"
           "       python -m repro bench [--sites 8,32,128] [--workers N] "
-          "[--profile] [--out BENCH_cluster.json]\n\n"
+          "[--profile] [--out BENCH_cluster.json]\n"
+          "       python -m repro monitor [--protocols brv,crv,srv] "
+          "[--loss 0.1] [--strict-invariants] [--html report.html]\n"
+          "       python -m repro otlp-validate <export.json>\n\n"
           "demos:")
     for name, fn in DEMOS.items():
         print(f"  {name:12} {fn.__doc__.splitlines()[0]}")
 
 
-def _run_traced(name: str, *, seed: Optional[int],
-                jsonl: Optional[str]) -> int:
+def _run_traced(name: str, *, seed: Optional[int], jsonl: Optional[str],
+                kinds: Optional[list[str]] = None) -> int:
     tracer = Tracer()
     print(f"=== trace {name} ===")
     DEMOS[name](tracer=tracer, seed=seed)
     print()
-    print(render_timeline(tracer.events, max_events=60))
+    print(render_timeline(tracer.events, max_events=60, kinds=kinds))
     print(f"\n{len(tracer.events)} events, "
           f"{tracer.message_bits()} message bits")
     if jsonl is not None:
@@ -242,13 +246,20 @@ def main(argv: list[str] | None = None) -> int:
         # before the demo-oriented parsing below can reject it.
         from repro.perf.bench import bench_main
         return bench_main(arguments[1:])
+    if arguments and arguments[0] == "monitor":
+        from repro.obs.cli import monitor_main
+        return monitor_main(arguments[1:])
+    if arguments and arguments[0] == "otlp-validate":
+        from repro.obs.otlp_schema import schema_main
+        return schema_main(arguments[1:])
     seed: Optional[int] = None
     jsonl: Optional[str] = None
+    kinds: Optional[list[str]] = None
     positional: list[str] = []
     index = 0
     while index < len(arguments):
         argument = arguments[index]
-        if argument in ("--seed", "--jsonl"):
+        if argument in ("--seed", "--jsonl", "--filter"):
             if index + 1 >= len(arguments):
                 print(f"{argument} requires a value")
                 return 2
@@ -259,6 +270,10 @@ def main(argv: list[str] | None = None) -> int:
                     print(f"--seed expects an integer, "
                           f"got {arguments[index + 1]!r}")
                     return 2
+            elif argument == "--filter":
+                kinds = [part.strip()
+                         for part in arguments[index + 1].split(",")
+                         if part.strip()]
             else:
                 jsonl = arguments[index + 1]
             index += 2
@@ -270,10 +285,11 @@ def main(argv: list[str] | None = None) -> int:
         return 1
     if positional[0] == "trace":
         if len(positional) != 2 or positional[1] not in DEMOS:
-            print(f"usage: python -m repro trace <demo> [--jsonl PATH]; "
-                  f"demos: {', '.join(DEMOS)}")
+            print(f"usage: python -m repro trace <demo> [--jsonl PATH] "
+                  f"[--filter kind,...]; demos: {', '.join(DEMOS)}")
             return 2
-        return _run_traced(positional[1], seed=seed, jsonl=jsonl)
+        return _run_traced(positional[1], seed=seed, jsonl=jsonl,
+                           kinds=kinds)
     selected = list(DEMOS) if positional[0] == "all" else positional
     for name in selected:
         if name not in DEMOS:

@@ -62,6 +62,17 @@ class SimulationError(ReproError):
     """The discrete-event simulator was asked to do something impossible."""
 
 
+class InvariantViolationError(ReproError):
+    """An inline invariant checker caught an impossible system state.
+
+    Raised by :class:`repro.obs.monitor.ClusterMonitor` in strict mode the
+    moment an accounting identity, an ancestor-closure check, or a
+    COMPARE-vs-oracle spot check fails mid-run; in counting mode the same
+    evidence is recorded as an ``invariant_violation`` trace event instead.
+    Either way the violation falsifies the harness, not the workload.
+    """
+
+
 class UnknownSiteError(ReproError, KeyError):
     """A site name was used that the membership registry does not know."""
 

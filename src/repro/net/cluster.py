@@ -230,13 +230,20 @@ class ClusterRunner:
 
     def __init__(self, sites: Iterable[str], config: ClusterConfig, *,
                  tracer: Optional[Tracer] = None,
-                 metrics: Optional[MetricsRegistry] = None) -> None:
+                 metrics: Optional[MetricsRegistry] = None,
+                 monitor: Optional[Any] = None) -> None:
         self.sites = list(sites)
         if len(set(self.sites)) != len(self.sites):
             raise ValueError("duplicate site names in cluster")
         self.config = config
+        if monitor is not None and tracer is None:
+            # The monitor feeds on the trace stream; a run launched
+            # without a tracer adopts the monitor's private one so there
+            # are reliability events to observe.
+            tracer = monitor.tracer
         self.tracer = tracer
         self.metrics = metrics
+        self.monitor = monitor
         vector_cls, self._reconciles = PROTOCOLS[config.protocol]
         self.objects: Dict[str, List[BasicRotatingVector]] = {
             site: [vector_cls() for _ in range(config.n_objects)]
@@ -275,6 +282,8 @@ class ClusterRunner:
             span = tracer.span(f"cluster:{self.config.protocol}",
                                sites=len(self.sites),
                                fanout=self.config.fanout)
+        if self.monitor is not None:
+            self.monitor.attach(self)
         try:
             for request in sessions:
                 self._check_sites(request.src, request.dst)
@@ -293,6 +302,8 @@ class ClusterRunner:
                 sim.call_at(update.at,
                             lambda u=update: self._on_update_request(u))
             sim.run()
+            if self.monitor is not None:
+                self.monitor.finalize()
         finally:
             if span is not None:
                 span.end()
@@ -342,6 +353,8 @@ class ClusterRunner:
             self.tracer.event("update", party=site)
         if self.metrics is not None:
             self.metrics.counter("cluster.updates").inc()
+        if self.monitor is not None:
+            self.monitor.on_update(site, obj)
 
     # -- sessions --------------------------------------------------------------
 
@@ -405,6 +418,10 @@ class ClusterRunner:
         if self.tracer is not None:
             self.tracer.event("session_start", party=dst, peer=src,
                               verdict=verdicts[0].name.lower())
+        if self.monitor is not None:
+            # Before launch: the monitor snapshots the endpoints here so
+            # its post-session ancestor-closure oracle has the pre-state.
+            self.monitor.on_session_start(record)
         common = dict(
             # A single-object cluster runs the historical per-object
             # path regardless of batch_size, as it always has.
@@ -458,6 +475,10 @@ class ClusterRunner:
                 result: TimedSessionResult) -> None:
         record.result = result
         self._totals.merge(result.stats)
+        if self.monitor is not None:
+            # Before the §2.2 self-increment below: the closure oracle
+            # expects the receiver to hold exactly max(pre-state, sender).
+            self.monitor.on_session_end(record, result)
         src, dst = record.src, record.dst
         self._usage[src] -= 1
         self._usage[dst] -= 1

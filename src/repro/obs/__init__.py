@@ -16,6 +16,14 @@ per-session aggregates.  This package adds the per-event window:
   histograms with ``snapshot()``/``merge()`` for multi-run aggregation.
 * :mod:`repro.obs.export` — JSONL trace export and a human-readable
   timeline renderer (``python -m repro trace <demo>`` drives both).
+* :mod:`repro.obs.monitor` — a :class:`~repro.obs.monitor.ClusterMonitor`
+  of live per-site health gauges (frontier distance, Δ backlog,
+  conflict density, segments, pressure, convergence score) plus inline
+  invariant checkers that run *during* a cluster run.
+* :mod:`repro.obs.exporters` — Prometheus text format and an OTLP-style
+  JSON spans/metrics dump (schema in :mod:`repro.obs.otlp_schema`).
+* :mod:`repro.obs.dashboard` — the terminal sparkline dashboard and the
+  self-contained HTML report behind ``python -m repro monitor``.
 """
 
 from repro.obs.metrics import (Counter, Gauge, Histogram, MetricsRegistry,
@@ -23,18 +31,35 @@ from repro.obs.metrics import (Counter, Gauge, Histogram, MetricsRegistry,
 from repro.obs.trace import Span, TraceEvent, Tracer
 from repro.obs.export import (events_from_jsonl, events_to_jsonl,
                               render_timeline, write_jsonl)
+from repro.obs.monitor import (ClusterMonitor, InvariantViolation,
+                               MonitorConfig)
+from repro.obs.exporters import to_otlp, to_prometheus
+from repro.obs.otlp_schema import OTLP_SCHEMA, validate_otlp
+from repro.obs.dashboard import (render_dashboard, render_html_report,
+                                 sparkline, write_html_report)
 
 __all__ = [
+    "ClusterMonitor",
     "Counter",
     "Gauge",
     "Histogram",
+    "InvariantViolation",
     "MetricsRegistry",
+    "MonitorConfig",
+    "OTLP_SCHEMA",
     "Span",
     "TraceEvent",
     "Tracer",
     "events_from_jsonl",
     "events_to_jsonl",
     "observe_session",
+    "render_dashboard",
+    "render_html_report",
     "render_timeline",
+    "sparkline",
+    "to_otlp",
+    "to_prometheus",
+    "validate_otlp",
+    "write_html_report",
     "write_jsonl",
 ]

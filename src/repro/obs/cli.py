@@ -1,0 +1,199 @@
+"""The ``repro monitor`` subcommand: run a fleet under live observation.
+
+Runs the standard chaos fleet (the bench's E11 cell: 8 sites × 32
+objects, batch 8, the standard drop/duplicate/reorder mix for the chosen
+loss rate) once per protocol with a :class:`~repro.obs.monitor.ClusterMonitor`
+attached, renders the terminal dashboard for each, and optionally writes
+the Prometheus text dump, the OTLP-style JSON export (validated against
+the checked-in schema before it hits disk), and the self-contained HTML
+report.  ``--strict-invariants`` makes any inline-checker failure abort
+the run with a non-zero exit instead of being counted.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.errors import InvariantViolationError
+from repro.net.channel import ChannelSpec
+from repro.net.cluster import ClusterConfig, ClusterRunner
+from repro.net.wire import Encoding
+from repro.obs.dashboard import render_dashboard, write_html_report
+from repro.obs.exporters import to_otlp, to_prometheus
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.monitor import ClusterMonitor, MonitorConfig
+from repro.obs.otlp_schema import validate_otlp
+from repro.workload.cluster import (SessionRequest, chaos_faults,
+                                    gossip_schedule, site_names,
+                                    update_schedule)
+
+
+def run_monitored_fleet(protocol: str, *, n_sites: int = 8,
+                        n_objects: int = 32, batch_size: int = 8,
+                        loss: float = 0.1, rounds: int = 3, seed: int = 0,
+                        chaos_seed: int = 11, latency: float = 0.005,
+                        bandwidth: float = 1_000_000.0,
+                        monitor_config: MonitorConfig = MonitorConfig(),
+                        metrics: Optional[MetricsRegistry] = None,
+                        converge_sweep: bool = True
+                        ) -> Tuple[ClusterMonitor, ClusterRunner, Any]:
+    """One monitored chaos-fleet run; returns (monitor, runner, result).
+
+    The workload is the benchmark's chaos cell — same schedules, same
+    per-session fault seeds — so what the dashboard shows is the same
+    regime the regression gate measures.  ``loss=0`` runs the fleet on a
+    perfect link (useful for a fast smoke pass).
+
+    ``converge_sweep`` appends a deterministic star sweep well after the
+    gossip schedule: every site pushes into ``sites[0]`` (the hub, which
+    then holds the global element-wise max), then the hub pushes back
+    out.  Under ``fanout=1`` every sweep session shares the hub, so they
+    serialize in request order and the fleet provably ends converged —
+    the dashboard's convergence scores must all close at 1.0, which is
+    itself a checkable property of the whole pipeline.
+    """
+    sites = site_names(n_sites)
+    n_updates = max(1, round(n_sites * 2.0))
+    faults = (chaos_faults(loss, latency=latency, seed=chaos_seed)
+              if loss > 0 else None)
+    channel = (ChannelSpec(latency=latency, bandwidth=bandwidth,
+                           faults=faults)
+               if faults is not None
+               else ChannelSpec(latency=latency, bandwidth=bandwidth))
+    cluster_config = ClusterConfig(
+        protocol=protocol,
+        channel=channel,
+        encoding=Encoding.for_system(n_sites, max(16, n_updates)),
+        n_objects=n_objects,
+        batch_size=batch_size,
+    )
+    sessions = gossip_schedule(sites, rounds=rounds, period=1.0,
+                               jitter=0.2, seed=seed)
+    # BRV cannot reconcile concurrent vectors (Algorithm 2's
+    # precondition), so its fleet takes single-writer updates.
+    writers = [sites[0]] if protocol == "brv" else None
+    updates = update_schedule(sites, n_updates=n_updates, interval=0.25,
+                              seed=seed + 1, writers=writers,
+                              n_objects=n_objects)
+    if converge_sweep:
+        hub = sites[0]
+        last = max([request.at for request in sessions]
+                   + [update.at for update in updates], default=0.0)
+        # The 50-second idle margins let the gossip/gather queues drain
+        # fully (simulated time is free) before the next phase begins.
+        gather_at = last + 50.0
+        scatter_at = gather_at + 2.0 * n_sites + 50.0
+        sessions = list(sessions)
+        sessions.extend(
+            SessionRequest(src=site, dst=hub, at=gather_at + index * 0.01)
+            for index, site in enumerate(sites[1:]))
+        sessions.extend(
+            SessionRequest(src=hub, dst=site, at=scatter_at + index * 0.01)
+            for index, site in enumerate(sites[1:]))
+    monitor = ClusterMonitor(monitor_config, metrics=metrics)
+    runner = ClusterRunner(sites, cluster_config, metrics=metrics,
+                           monitor=monitor)
+    result = runner.run(sessions, updates)
+    return monitor, runner, result
+
+
+def monitor_main(argv: Optional[List[str]] = None) -> int:
+    """``python -m repro monitor [--protocols ...] [--strict-invariants]``."""
+    parser = argparse.ArgumentParser(
+        prog="repro monitor",
+        description="Run the chaos fleet under live health monitoring and "
+                    "render a per-site dashboard.")
+    parser.add_argument("--protocols", default="brv,crv,srv",
+                        help="comma-separated protocol list "
+                             "(default: brv,crv,srv)")
+    parser.add_argument("--sites", type=int, default=8,
+                        help="fleet size (default: 8)")
+    parser.add_argument("--objects", type=int, default=32,
+                        help="replicated objects per site (default: 32)")
+    parser.add_argument("--batch", type=int, default=8,
+                        help="objects per wire frame (default: 8)")
+    parser.add_argument("--loss", type=float, default=0.1,
+                        help="nominal loss rate of the chaos mix "
+                             "(default: 0.1; 0 disables faults)")
+    parser.add_argument("--rounds", type=int, default=3,
+                        help="gossip rounds (default: 3)")
+    parser.add_argument("--seed", type=int, default=0,
+                        help="workload seed (default: 0)")
+    parser.add_argument("--chaos-seed", type=int, default=11,
+                        help="fault-injection seed (default: 11)")
+    parser.add_argument("--cadence", type=float, default=0.25,
+                        help="simulated seconds between health samples "
+                             "(default: 0.25)")
+    parser.add_argument("--strict-invariants", action="store_true",
+                        help="abort on the first invariant violation "
+                             "instead of counting")
+    parser.add_argument("--prom", metavar="PATH", default=None,
+                        help="write a Prometheus text-format dump")
+    parser.add_argument("--otlp", metavar="PATH", default=None,
+                        help="write an OTLP-style JSON export "
+                             "(schema-validated)")
+    parser.add_argument("--html", metavar="PATH", default=None,
+                        help="write the self-contained HTML report")
+    args = parser.parse_args(argv)
+
+    protocols = [name.strip() for name in args.protocols.split(",")
+                 if name.strip()]
+    for name in protocols:
+        if name not in ("brv", "crv", "srv"):
+            print(f"unknown protocol {name!r}; expected brv, crv, srv")
+            return 2
+    monitor_config = MonitorConfig(cadence=args.cadence,
+                                   strict=args.strict_invariants)
+    metrics = MetricsRegistry()
+    monitors: Dict[str, ClusterMonitor] = {}
+    last_runner: Optional[ClusterRunner] = None
+    total_violations = 0
+    for protocol in protocols:
+        print(f"=== monitor {protocol}: {args.sites} sites × "
+              f"{args.objects} objects, loss {args.loss:g} ===")
+        try:
+            monitor, runner, result = run_monitored_fleet(
+                protocol, n_sites=args.sites, n_objects=args.objects,
+                batch_size=args.batch, loss=args.loss, rounds=args.rounds,
+                seed=args.seed, chaos_seed=args.chaos_seed,
+                monitor_config=monitor_config, metrics=metrics)
+        except InvariantViolationError as error:
+            print(f"ABORTED: {error}")
+            return 1
+        monitors[protocol] = monitor
+        last_runner = runner
+        total_violations += monitor.violation_count
+        print(render_dashboard(monitor))
+        print(f"{result.sessions} sessions, {result.total_bits} bits, "
+              f"consistent={result.consistent()}, "
+              f"sim {result.completion_time:.2f}s")
+        print()
+    if args.prom is not None:
+        # One registry accumulated across all protocols; the monitor
+        # gauges come from the last run (each dump is per-fleet state).
+        text = to_prometheus(metrics, next(reversed(monitors.values()))
+                             if monitors else None)
+        with open(args.prom, "w", encoding="utf-8") as handle:
+            handle.write(text)
+        print(f"wrote Prometheus dump to {args.prom}")
+    if args.otlp is not None:
+        last_monitor = next(reversed(monitors.values())) if monitors else None
+        document = to_otlp(last_runner.tracer if last_runner else None,
+                           metrics, last_monitor)
+        errors = validate_otlp(document)
+        if errors:
+            print(f"OTLP export failed schema validation: {errors[:3]}")
+            return 1
+        with open(args.otlp, "w", encoding="utf-8") as handle:
+            json.dump(document, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"wrote OTLP JSON to {args.otlp} (schema-valid)")
+    if args.html is not None:
+        write_html_report(args.html, monitors)
+        print(f"wrote HTML report to {args.html}")
+    if total_violations:
+        print(f"{total_violations} invariant violation(s) counted")
+        return 1
+    return 0

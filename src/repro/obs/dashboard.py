@@ -1,0 +1,222 @@
+"""Terminal dashboard and static HTML report over a ClusterMonitor.
+
+The terminal view is a per-site table of unicode sparklines — one row
+per site, one column per health gauge — followed by a worst-offender
+ranking (lowest convergence score first) and the invariant-checker
+verdict.  The HTML report is fully self-contained (inline CSS, inline
+SVG polylines, zero external assets), so CI can archive it as a single
+artifact and a browser anywhere can open it.
+"""
+
+from __future__ import annotations
+
+import html
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.obs.monitor import GAUGE_NAMES, ClusterMonitor
+
+#: Eight-level block ramp, lowest to highest.
+SPARK_CHARS = "▁▂▃▄▅▆▇█"
+
+#: Gauge -> short column header for the terminal table.
+_HEADERS = {
+    "frontier_distance": "frontier",
+    "delta_backlog": "backlog",
+    "conflict_density": "conflict",
+    "segment_count": "segments",
+    "pressure": "pressure",
+    "convergence_score": "converge",
+}
+
+
+def sparkline(values: Sequence[float], width: int = 16) -> str:
+    """``values`` as a fixed-width unicode sparkline.
+
+    Longer series are resampled by bucketing (each output char covers an
+    equal share of the input, showing its max — spikes must not vanish);
+    shorter ones are left-padded with spaces.  A flat series renders at
+    its level: all-zero stays low, a constant positive renders high.
+    """
+    if not values:
+        return " " * width
+    if len(values) > width:
+        buckets: List[float] = []
+        for index in range(width):
+            start = index * len(values) // width
+            end = max(start + 1, (index + 1) * len(values) // width)
+            buckets.append(max(values[start:end]))
+        values = buckets
+    low = min(values)
+    high = max(values)
+    span = high - low
+    chars = []
+    for value in values:
+        if span == 0:
+            level = 7 if high > 0 else 0
+        else:
+            level = int((value - low) / span * 7)
+        chars.append(SPARK_CHARS[level])
+    return "".join(chars).rjust(width)
+
+
+def render_dashboard(monitor: ClusterMonitor, *, width: int = 16,
+                     offenders: int = 5) -> str:
+    """The terminal dashboard: sparkline table + ranking + verdict."""
+    lines: List[str] = []
+    site_width = max([len(site) for site in monitor.sites] + [4])
+    header = "  ".join([_HEADERS[name].center(width) for name in GAUGE_NAMES])
+    lines.append(f"{'site'.ljust(site_width)}  {header}")
+    for site in monitor.sites:
+        cells = []
+        for name in GAUGE_NAMES:
+            cells.append(sparkline(
+                [value for _, value in monitor.series(site, name)], width))
+        lines.append(f"{site.ljust(site_width)}  " + "  ".join(cells))
+    lines.append("")
+    lines.append(f"worst offenders (of {len(monitor.sites)} sites, "
+                 f"lowest convergence first):")
+    for rank, site in enumerate(monitor.worst_offenders(offenders), 1):
+        score = monitor.latest(site, "convergence_score")
+        backlog = monitor.latest(site, "delta_backlog")
+        pressure = monitor.pressure(site)
+        pressure_total = (pressure["retries"] + pressure["timeouts"]
+                          + pressure["resumes"])
+        lines.append(
+            f"  {rank}. {site.ljust(site_width)} "
+            f"score={score if score is not None else 'n/a':>6} "
+            f"backlog={int(backlog) if backlog is not None else 0:>5} "
+            f"pressure={pressure_total}")
+    lines.append("")
+    if monitor.violation_count:
+        lines.append(f"INVARIANT VIOLATIONS: {monitor.violation_count}")
+        for violation in monitor.violations[:10]:
+            stamp = (f"t={violation.time:.3f}" if violation.time is not None
+                     else "t=?")
+            lines.append(f"  [{violation.check}] {stamp} "
+                         f"{violation.message}")
+    else:
+        lines.append(f"invariants: all checks passed "
+                     f"({monitor.samples} samples, "
+                     f"{monitor.health_summary()['sessions_checked']} "
+                     f"sessions checked)")
+    return "\n".join(lines)
+
+
+# -- HTML report -------------------------------------------------------------------
+
+
+def _svg_series(series: List[Tuple[float, float]], *, width: int = 320,
+                height: int = 60, color: str = "#2563eb",
+                y_max: Optional[float] = None) -> str:
+    """One time series as a self-contained inline SVG polyline."""
+    if not series:
+        return (f'<svg width="{width}" height="{height}" '
+                f'class="series"></svg>')
+    times = [time for time, _ in series]
+    values = [value for _, value in series]
+    t_low, t_high = min(times), max(times)
+    t_span = (t_high - t_low) or 1.0
+    v_high = y_max if y_max is not None else max(max(values), 1e-9)
+    v_low = 0.0 if y_max is not None else min(min(values), 0.0)
+    v_span = (v_high - v_low) or 1.0
+    points = " ".join(
+        f"{(time - t_low) / t_span * (width - 4) + 2:.1f},"
+        f"{height - 2 - (value - v_low) / v_span * (height - 4):.1f}"
+        for time, value in series)
+    return (f'<svg width="{width}" height="{height}" class="series" '
+            f'viewBox="0 0 {width} {height}">'
+            f'<polyline fill="none" stroke="{color}" stroke-width="1.5" '
+            f'points="{points}"/></svg>')
+
+
+_HTML_STYLE = """
+body { font-family: system-ui, sans-serif; margin: 2rem; color: #111; }
+h1 { font-size: 1.4rem; } h2 { font-size: 1.1rem; margin-top: 2rem; }
+table { border-collapse: collapse; }
+th, td { padding: 4px 10px; border-bottom: 1px solid #ddd;
+         text-align: left; font-size: 0.85rem; }
+th { background: #f3f4f6; }
+.num { text-align: right; font-variant-numeric: tabular-nums; }
+.ok { color: #15803d; font-weight: 600; }
+.bad { color: #b91c1c; font-weight: 600; }
+.series { background: #f9fafb; border: 1px solid #e5e7eb; }
+.meta { color: #555; font-size: 0.8rem; }
+"""
+
+
+def render_html_report(monitors: Dict[str, ClusterMonitor], *,
+                       title: str = "repro convergence observatory"
+                       ) -> str:
+    """A self-contained static HTML report over one monitor per label.
+
+    ``monitors`` maps a label (typically the protocol name) to its run's
+    monitor; each gets a convergence-score section (one SVG series per
+    site, y pinned to [0, 1] so 1.0 reads as "touching the top"), a
+    final-gauges table, and its invariant verdict.
+    """
+    parts: List[str] = [
+        "<!DOCTYPE html>",
+        '<html lang="en"><head><meta charset="utf-8">',
+        f"<title>{html.escape(title)}</title>",
+        f"<style>{_HTML_STYLE}</style></head><body>",
+        f"<h1>{html.escape(title)}</h1>",
+    ]
+    for label, monitor in monitors.items():
+        summary = monitor.health_summary()
+        verdict = ("all invariants held"
+                   if not monitor.violation_count
+                   else f"{monitor.violation_count} invariant "
+                        f"violation(s)")
+        verdict_class = "ok" if not monitor.violation_count else "bad"
+        parts.append(f"<h2>{html.escape(label)}</h2>")
+        parts.append(
+            f'<p class="meta">{summary["sites"]} sites · '
+            f'{summary["samples"]} samples · '
+            f'{summary["sessions_checked"]} sessions checked · '
+            f'<span class="{verdict_class}">{verdict}</span> · '
+            f'min final score '
+            f'{summary["min_final_score"]:.3f}</p>')
+        parts.append("<table><tr><th>site</th>"
+                     "<th>convergence score</th>"
+                     "<th class=num>final</th>"
+                     "<th class=num>backlog</th>"
+                     "<th class=num>segments</th>"
+                     "<th class=num>conflict</th>"
+                     "<th class=num>pressure</th></tr>")
+        for site in monitor.sites:
+            score_series = monitor.series(site, "convergence_score")
+            score = monitor.latest(site, "convergence_score")
+            backlog = monitor.latest(site, "delta_backlog") or 0
+            segments = monitor.latest(site, "segment_count") or 0
+            conflict = monitor.latest(site, "conflict_density") or 0.0
+            pressure = monitor.pressure(site)
+            pressure_total = (pressure["retries"] + pressure["timeouts"]
+                              + pressure["resumes"])
+            score_text = f"{score:.3f}" if score is not None else "n/a"
+            score_class = ("ok" if score is not None and score >= 1.0
+                           else "bad")
+            parts.append(
+                f"<tr><td>{html.escape(site)}</td>"
+                f"<td>{_svg_series(score_series, y_max=1.0)}</td>"
+                f'<td class="num {score_class}">{score_text}</td>'
+                f'<td class="num">{int(backlog)}</td>'
+                f'<td class="num">{int(segments)}</td>'
+                f'<td class="num">{conflict:.3f}</td>'
+                f'<td class="num">{pressure_total}</td></tr>')
+        parts.append("</table>")
+        if monitor.violation_count:
+            parts.append("<h3>violations</h3><ul>")
+            for violation in monitor.violations[:50]:
+                parts.append(f"<li><code>{html.escape(violation.check)}"
+                             f"</code> {html.escape(violation.message)}"
+                             f"</li>")
+            parts.append("</ul>")
+    parts.append("</body></html>")
+    return "\n".join(parts)
+
+
+def write_html_report(path: str, monitors: Dict[str, ClusterMonitor],
+                      **kwargs: Any) -> None:
+    """Render and write the report to ``path`` (UTF-8)."""
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(render_html_report(monitors, **kwargs))

@@ -12,7 +12,31 @@ from __future__ import annotations
 import json
 from typing import IO, Dict, Iterable, Iterator, List, Optional, Union
 
+from repro.obs import trace as _trace
 from repro.obs.trace import SPAN_END, SPAN_START, TraceEvent
+
+#: Distinct timeline glyphs for the reliability/correctness event kinds;
+#: everything else renders its kind bare.  ``CONTROL`` is glyphed only
+#: for the ``session_resume`` signal (ordinary HALT/SKIP control flow is
+#: the protocols' routine vocabulary, not an incident marker).
+TIMELINE_GLYPHS: Dict[str, str] = {
+    _trace.FAULT: "✗",
+    _trace.RETRY: "↻",
+    _trace.TIMEOUT: "⏱",
+    _trace.SESSION_ABORT: "⊘",
+    _trace.INVARIANT_VIOLATION: "‼",
+}
+
+#: Glyph for a ``control`` event carrying ``signal="session_resume"``.
+RESUME_GLYPH = "⟲"
+
+
+def _kind_cell(event: TraceEvent) -> str:
+    glyph = TIMELINE_GLYPHS.get(event.kind)
+    if (glyph is None and event.kind == _trace.CONTROL
+            and event.fields.get("signal") == "session_resume"):
+        glyph = RESUME_GLYPH
+    return f"{glyph} {event.kind}" if glyph is not None else event.kind
 
 
 def event_to_dict(event: TraceEvent) -> Dict[str, object]:
@@ -77,15 +101,27 @@ def write_jsonl(events: Iterable[TraceEvent],
 
 
 def render_timeline(events: Iterable[TraceEvent], *,
-                    max_events: Optional[int] = None) -> str:
+                    max_events: Optional[int] = None,
+                    kinds: Optional[Iterable[str]] = None) -> str:
     """An aligned, span-indented listing of the trace.
 
     Columns: sequence, simulated time (blank under the instant driver),
-    party, kind (indented by span nesting depth), message type, bits, and
-    the event's extra fields as ``key=value`` pairs.  ``max_events``
-    truncates long traces with an elision line.
+    party, kind (indented by span nesting depth; reliability events get
+    distinct glyphs — ``✗`` fault, ``↻`` retry, ``⏱`` timeout, ``⊘``
+    abort, ``⟲`` resume, ``‼`` invariant violation), message type, bits,
+    and the event's extra fields as ``key=value`` pairs.  ``kinds``
+    keeps only the named event kinds (``"session_resume"`` selects the
+    ``control`` events carrying that signal); ``max_events`` truncates
+    long traces with an elision line.
     """
     materialized = list(events)
+    if kinds is not None:
+        wanted = set(kinds)
+        materialized = [
+            event for event in materialized
+            if event.kind in wanted
+            or (event.kind == _trace.CONTROL
+                and event.fields.get("signal") in wanted)]
     elided = 0
     if max_events is not None and len(materialized) > max_events:
         elided = len(materialized) - max_events
@@ -110,7 +146,7 @@ def render_timeline(events: Iterable[TraceEvent], *,
             str(event.seq),
             "" if event.time is None else f"{event.time:.6f}",
             event.party or "",
-            "  " * indent + event.kind,
+            "  " * indent + _kind_cell(event),
             event.message or "",
             str(event.bits) if event.bits else "",
             extras,

@@ -1,0 +1,271 @@
+"""Standard-format exporters: Prometheus text and OTLP-style JSON.
+
+The in-tree instruments (:mod:`repro.obs.metrics`,
+:mod:`repro.obs.trace`, :mod:`repro.obs.monitor`) are deliberately
+dependency-free Python objects; real fleets speak Prometheus and
+OpenTelemetry.  This module renders the former into the latter without
+importing either client library:
+
+* :func:`to_prometheus` — the text exposition format (``# HELP`` /
+  ``# TYPE`` comments, ``_total`` counters, summary quantiles), one
+  sample line per instrument, monitor gauges labeled by site.
+* :func:`to_otlp` — a JSON document shaped like an OTLP export request:
+  ``resourceSpans`` rebuilt from the tracer's ``span_start``/``span_end``
+  pairs (reliability and invariant events nested as span events) and
+  ``resourceMetrics`` covering the registry plus the monitor's full
+  time-series rings (one gauge data point per sample, attributed by
+  site).  Valid against :data:`repro.obs.otlp_schema.OTLP_SCHEMA`.
+
+Both are pure functions of already-collected state: exporting twice, or
+never, changes no measurement.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Any, Dict, List, Optional
+
+from repro.obs import trace as obs
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.monitor import GAUGE_NAMES, ClusterMonitor
+from repro.obs.trace import Tracer
+
+_NAME_RE = re.compile(r"[^a-zA-Z0-9_:]")
+_LABEL_RE = re.compile(r"[^a-zA-Z0-9_]")
+
+#: Trace kinds worth re-publishing as OTLP span events (the reliability
+#: and correctness signals; routine wire chatter stays out of the export).
+_SPAN_EVENT_KINDS = frozenset({
+    obs.FAULT, obs.RETRY, obs.TIMEOUT, obs.SESSION_ABORT,
+    obs.INVARIANT_VIOLATION,
+})
+
+
+def _prom_name(name: str, prefix: str) -> str:
+    return f"{prefix}_{_NAME_RE.sub('_', name)}"
+
+
+def _prom_value(value: float) -> str:
+    # Integral floats print as integers — 3, not 3.0 — matching what
+    # client_golang and client_python emit for counters.
+    if isinstance(value, float) and value.is_integer():
+        return str(int(value))
+    return repr(value)
+
+
+def to_prometheus(metrics: Optional[MetricsRegistry] = None,
+                  monitor: Optional[ClusterMonitor] = None, *,
+                  prefix: str = "repro") -> str:
+    """Render instruments in the Prometheus text exposition format.
+
+    Counters become ``<prefix>_<name>_total`` counter samples, gauges
+    become gauges, histograms become summaries (p50/p90/p95/p99 quantile
+    labels plus ``_sum``/``_count``).  A monitor contributes one gauge
+    family per health series, labeled ``{site="..."}`` with each site's
+    latest sample, plus violation and pressure counters.
+    """
+    lines: List[str] = []
+
+    def family(name: str, kind: str, help_text: str) -> None:
+        lines.append(f"# HELP {name} {help_text}")
+        lines.append(f"# TYPE {name} {kind}")
+
+    if metrics is not None:
+        snapshot = metrics.snapshot()
+        for name, value in snapshot["counters"].items():
+            prom = _prom_name(name, prefix) + "_total"
+            family(prom, "counter", f"repro counter {name}")
+            lines.append(f"{prom} {_prom_value(float(value))}")
+        for name, value in snapshot["gauges"].items():
+            if value is None:
+                continue
+            prom = _prom_name(name, prefix)
+            family(prom, "gauge", f"repro gauge {name}")
+            lines.append(f"{prom} {_prom_value(float(value))}")
+        for name, summary in snapshot["histograms"].items():
+            prom = _prom_name(name, prefix)
+            family(prom, "summary", f"repro histogram {name}")
+            for quantile in ("p50", "p90", "p95", "p99"):
+                lines.append(
+                    f'{prom}{{quantile="0.{quantile[1:]}"}} '
+                    f'{_prom_value(float(summary[quantile]))}')
+            lines.append(f"{prom}_sum {_prom_value(float(summary['total']))}")
+            lines.append(f"{prom}_count {int(summary['count'])}")
+    if monitor is not None:
+        for gauge_name in GAUGE_NAMES:
+            prom = f"{prefix}_monitor_{gauge_name}"
+            family(prom, "gauge", f"cluster health gauge {gauge_name}")
+            for site in monitor.sites:
+                value = monitor.latest(site, gauge_name)
+                if value is None:
+                    continue
+                label = _LABEL_RE.sub("_", site)
+                lines.append(f'{prom}{{site="{label}"}} '
+                             f'{_prom_value(value)}')
+        prom = f"{prefix}_monitor_invariant_violations_total"
+        family(prom, "counter", "inline invariant checker failures")
+        lines.append(f"{prom} {monitor.violation_count}")
+        prom = f"{prefix}_monitor_samples_total"
+        family(prom, "counter", "health samples taken")
+        lines.append(f"{prom} {monitor.samples}")
+        prom = f"{prefix}_monitor_pressure_events_total"
+        family(prom, "counter",
+               "ARQ reliability events (retries, timeouts, aborts, resumes)")
+        for site in monitor.sites:
+            label = _LABEL_RE.sub("_", site)
+            for event_kind, count in sorted(monitor.pressure(site).items()):
+                lines.append(
+                    f'{prom}{{site="{label}",kind="{event_kind}"}} {count}')
+    return "\n".join(lines) + "\n" if lines else ""
+
+
+# -- OTLP-style JSON ---------------------------------------------------------------
+
+
+def _nanos(time: Optional[float]) -> int:
+    return int(round(time * 1e9)) if time is not None else 0
+
+
+def _attr_value(value: Any) -> Dict[str, Any]:
+    if isinstance(value, bool):
+        return {"boolValue": value}
+    if isinstance(value, int):
+        return {"intValue": str(value)}
+    if isinstance(value, float):
+        return {"doubleValue": value}
+    return {"stringValue": str(value)}
+
+
+def _attrs(mapping: Dict[str, Any]) -> List[Dict[str, Any]]:
+    return [{"key": key, "value": _attr_value(value)}
+            for key, value in mapping.items() if value is not None]
+
+
+def _build_spans(tracer: Tracer) -> List[Dict[str, Any]]:
+    spans: Dict[int, Dict[str, Any]] = {}
+    for event in tracer.events:
+        if event.kind == obs.SPAN_START:
+            attrs = {key: value for key, value in event.fields.items()
+                     if key != "name"}
+            spans[event.span_id] = {
+                "traceId": f"{1:032x}",
+                "spanId": f"{event.span_id + 1:016x}",
+                "name": str(event.fields.get("name", f"span-{event.span_id}")),
+                "kind": 1,  # SPAN_KIND_INTERNAL
+                "startTimeUnixNano": str(_nanos(event.time)),
+                "endTimeUnixNano": str(_nanos(event.time)),
+                "attributes": _attrs(attrs),
+                "events": [],
+            }
+        elif event.kind == obs.SPAN_END:
+            span = spans.get(event.span_id)
+            if span is not None:
+                span["endTimeUnixNano"] = str(_nanos(event.time))
+        elif event.kind in _SPAN_EVENT_KINDS and event.span_id in spans:
+            attrs = dict(event.fields)
+            if event.party is not None:
+                attrs["party"] = event.party
+            spans[event.span_id]["events"].append({
+                "name": event.kind,
+                "timeUnixNano": str(_nanos(event.time)),
+                "attributes": _attrs(attrs),
+            })
+    return [spans[span_id] for span_id in sorted(spans)]
+
+
+def _metric_entries(metrics: Optional[MetricsRegistry],
+                    monitor: Optional[ClusterMonitor],
+                    prefix: str) -> List[Dict[str, Any]]:
+    entries: List[Dict[str, Any]] = []
+    if metrics is not None:
+        snapshot = metrics.snapshot()
+        for name, value in snapshot["counters"].items():
+            entries.append({
+                "name": f"{prefix}.{name}",
+                "sum": {
+                    "aggregationTemporality": 2,  # CUMULATIVE
+                    "isMonotonic": True,
+                    "dataPoints": [{"asInt": str(value),
+                                    "timeUnixNano": "0"}],
+                },
+            })
+        for name, value in snapshot["gauges"].items():
+            if value is None:
+                continue
+            entries.append({
+                "name": f"{prefix}.{name}",
+                "gauge": {"dataPoints": [{"asDouble": float(value),
+                                          "timeUnixNano": "0"}]},
+            })
+        for name, summary in snapshot["histograms"].items():
+            entries.append({
+                "name": f"{prefix}.{name}",
+                "summary": {"dataPoints": [{
+                    "count": str(int(summary["count"])),
+                    "sum": float(summary["total"]),
+                    "timeUnixNano": "0",
+                    "quantileValues": [
+                        {"quantile": 0.5, "value": float(summary["p50"])},
+                        {"quantile": 0.9, "value": float(summary["p90"])},
+                        {"quantile": 0.95, "value": float(summary["p95"])},
+                        {"quantile": 0.99, "value": float(summary["p99"])},
+                    ],
+                }]},
+            })
+    if monitor is not None:
+        for gauge_name in GAUGE_NAMES:
+            points: List[Dict[str, Any]] = []
+            for site in monitor.sites:
+                site_attrs = _attrs({"site": site})
+                for time, value in monitor.series(site, gauge_name):
+                    points.append({
+                        "asDouble": float(value),
+                        "timeUnixNano": str(_nanos(time)),
+                        "attributes": site_attrs,
+                    })
+            entries.append({
+                "name": f"{prefix}.monitor.{gauge_name}",
+                "gauge": {"dataPoints": points},
+            })
+        entries.append({
+            "name": f"{prefix}.monitor.invariant_violations",
+            "sum": {
+                "aggregationTemporality": 2,
+                "isMonotonic": True,
+                "dataPoints": [{"asInt": str(monitor.violation_count),
+                                "timeUnixNano": "0"}],
+            },
+        })
+    return entries
+
+
+def to_otlp(tracer: Optional[Tracer] = None,
+            metrics: Optional[MetricsRegistry] = None,
+            monitor: Optional[ClusterMonitor] = None, *,
+            service_name: str = "repro",
+            prefix: str = "repro") -> Dict[str, Any]:
+    """An OTLP-style JSON document over collected spans and metrics.
+
+    Simulated-clock stamps become ``timeUnixNano`` relative to epoch 0 —
+    the simulation's own origin, deliberately not wall time, so two runs
+    of the same schedule export identical documents.  Validate with
+    :func:`repro.obs.otlp_schema.validate_otlp`.
+    """
+    resource = {"attributes": _attrs({"service.name": service_name})}
+    scope = {"name": "repro.obs", "version": "1"}
+    return {
+        "resourceSpans": [{
+            "resource": resource,
+            "scopeSpans": [{
+                "scope": scope,
+                "spans": _build_spans(tracer) if tracer is not None else [],
+            }],
+        }],
+        "resourceMetrics": [{
+            "resource": resource,
+            "scopeMetrics": [{
+                "scope": scope,
+                "metrics": _metric_entries(metrics, monitor, prefix),
+            }],
+        }],
+    }

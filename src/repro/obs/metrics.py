@@ -21,6 +21,7 @@ import time
 from contextlib import contextmanager
 from typing import Any, Dict, Iterator, List, Optional
 
+from repro.errors import ReproError
 from repro.net.stats import TransferStats
 
 
@@ -77,18 +78,26 @@ class Histogram:
         return self.total / self.count if self.count else 0.0
 
     def percentile(self, p: float) -> float:
-        """The nearest-rank ``p``-th percentile (0 ≤ p ≤ 100)."""
+        """The nearest-rank ``p``-th percentile (0 ≤ p ≤ 100).
+
+        Raises :class:`~repro.errors.ReproError` on an empty histogram
+        (there is no observation to rank) or an out-of-range ``p`` — both
+        are caller bugs that a silent 0.0 would hide in a report.
+        """
+        if not 0 <= p <= 100:
+            raise ReproError(f"percentile p must be in [0, 100], got {p}")
         if not self.observations:
-            return 0.0
+            raise ReproError("percentile of an empty histogram is undefined")
         ordered = sorted(self.observations)
         rank = max(0, math.ceil(p / 100 * len(ordered)) - 1)
         return ordered[rank]
 
     def summary(self) -> Dict[str, float]:
-        """count/total/min/max/mean plus p50/p90/p99."""
+        """count/total/min/max/mean plus p50/p90/p95/p99."""
         if not self.observations:
             return {"count": 0, "total": 0.0, "min": 0.0, "max": 0.0,
-                    "mean": 0.0, "p50": 0.0, "p90": 0.0, "p99": 0.0}
+                    "mean": 0.0, "p50": 0.0, "p90": 0.0, "p95": 0.0,
+                    "p99": 0.0}
         return {
             "count": self.count,
             "total": self.total,
@@ -97,6 +106,7 @@ class Histogram:
             "mean": self.mean,
             "p50": self.percentile(50),
             "p90": self.percentile(90),
+            "p95": self.percentile(95),
             "p99": self.percentile(99),
         }
 

@@ -1,0 +1,523 @@
+"""Live cluster health monitoring and inline invariant checking.
+
+Everything before this module answered questions *after* a run: read the
+bench document, replay a JSONL trace.  A :class:`ClusterMonitor` answers
+them *during* one — attach it to a :class:`~repro.net.cluster.ClusterRunner`
+and it maintains, per site, live health gauges sampled on a simulated-time
+cadence into time-series ring buffers:
+
+* **frontier distance** — how many elements the site is behind the global
+  maximum (the fleet-wide frontier over every site's every object);
+* **Δ backlog** — the total number of missing updates (the sum of the
+  per-element gaps, i.e. the |Δ| a full catch-up would ship);
+* **conflict-bit density** — conflict-tagged elements / total elements;
+* **segment count** — segments across the site's objects (SRV skip fuel);
+* **retry/timeout/resume pressure** — cumulative ARQ reliability events
+  attributed to the site, read live off the trace stream;
+* **convergence score** — the scalar ``known / frontier`` in ``[0, 1]``;
+  1.0 means the site holds every update any site has seen.
+
+The monitor is an *observer*: it subscribes to the runner's
+:class:`~repro.obs.trace.Tracer` event stream (owning a private tracer when
+the runner has none), reads the runner's vectors in place, and never
+mutates them — a run with ``monitor=None`` (the default) executes
+byte-for-byte the unmonitored code path.
+
+Inline invariant checkers
+-------------------------
+
+Three families of checks run continuously, not just in tests:
+
+* **Accounting** — ``retransmitted == total − goodput`` and
+  ``0 ≤ retransmitted ≤ total`` per direction, per session, and (at
+  :meth:`~ClusterMonitor.finalize`) for the cluster totals against the
+  sum of per-session stats.
+* **Ancestor closure** — after every completed session the receiver's
+  vectors must equal the element-wise max of their pre-session state and
+  the sender's state: every applied prefix is causally closed and the
+  transfer is complete.  (Checked under ``fanout=1``, where endpoint
+  state is pinned for the session's duration; forfeit otherwise, exactly
+  like the scheduling-independence guarantee.)
+* **COMPARE spot checks** — on a seeded schedule of sessions, Algorithm
+  1's O(1) verdict is re-derived against the element-wise oracle
+  (:meth:`~repro.core.rotating.BasicRotatingVector.compare_full`).
+
+Each failure raises a structured ``invariant_violation`` trace event
+carrying the check name and evidence; under ``strict=True`` it also
+raises :class:`~repro.errors.InvariantViolationError` immediately
+(fail-fast), otherwise it is counted (``monitor.invariant_violations``)
+and the run continues.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.errors import InvariantViolationError
+from repro.obs import trace as obs
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.trace import TraceEvent, Tracer
+
+#: The per-site gauges every sample records, in documentation order.
+GAUGE_NAMES = ("frontier_distance", "delta_backlog", "conflict_density",
+               "segment_count", "pressure", "convergence_score")
+
+
+@dataclass(frozen=True)
+class MonitorConfig:
+    """Knobs of one :class:`ClusterMonitor`.
+
+    Attributes:
+        cadence: simulated seconds between health samples (> 0).  Samples
+            are taken lazily as observed events move the clock past each
+            cadence boundary, so monitoring never schedules simulator
+            events of its own and cannot perturb the run's drain order.
+        ring_capacity: samples kept per (site, gauge) series; older
+            samples fall off the ring.
+        strict: fail fast — raise
+            :class:`~repro.errors.InvariantViolationError` on the first
+            violation instead of counting it.
+        spot_check_period: run the COMPARE-vs-oracle spot check on every
+            ``spot_check_period``-th session (0 disables it).
+        spot_check_seed: seed of the spot checker's private object draw.
+        check_accounting: enable the retransmitted/goodput identity
+            checks.
+        check_ancestor_closure: enable the post-session element-wise max
+            oracle (automatically skipped when ``fanout > 1``).
+    """
+
+    cadence: float = 0.25
+    ring_capacity: int = 1024
+    strict: bool = False
+    spot_check_period: int = 5
+    spot_check_seed: int = 0
+    check_accounting: bool = True
+    check_ancestor_closure: bool = True
+
+    def __post_init__(self) -> None:
+        if self.cadence <= 0:
+            raise ValueError(f"cadence must be > 0, got {self.cadence}")
+        if self.ring_capacity < 1:
+            raise ValueError(f"ring_capacity must be >= 1, "
+                             f"got {self.ring_capacity}")
+        if self.spot_check_period < 0:
+            raise ValueError(f"spot_check_period must be >= 0, "
+                             f"got {self.spot_check_period}")
+
+
+class RingBuffer:
+    """A fixed-capacity append-only series; oldest entries fall off."""
+
+    __slots__ = ("capacity", "_items", "dropped")
+
+    def __init__(self, capacity: int) -> None:
+        self.capacity = capacity
+        self._items: List[Tuple[float, float]] = []
+        self.dropped = 0
+
+    def append(self, time: float, value: float) -> None:
+        """Push one ``(time, value)`` sample, evicting the oldest if full."""
+        self._items.append((time, value))
+        if len(self._items) > self.capacity:
+            del self._items[0]
+            self.dropped += 1
+
+    def items(self) -> List[Tuple[float, float]]:
+        """``(time, value)`` pairs, oldest first."""
+        return list(self._items)
+
+    def values(self) -> List[float]:
+        """The sample values alone, oldest first."""
+        return [value for _, value in self._items]
+
+    def latest(self) -> Optional[float]:
+        """The most recent sample value (None when empty)."""
+        return self._items[-1][1] if self._items else None
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+
+@dataclass
+class InvariantViolation:
+    """Structured evidence of one failed inline check."""
+
+    check: str
+    message: str
+    time: Optional[float] = None
+    fields: Dict[str, Any] = field(default_factory=dict)
+
+
+class ClusterMonitor:
+    """Live health gauges + inline invariant checkers for one cluster run.
+
+    One-shot like the runner it watches::
+
+        monitor = ClusterMonitor(MonitorConfig(strict=True))
+        runner = ClusterRunner(sites, config, monitor=monitor)
+        result = runner.run(sessions, updates)
+        print(render_dashboard(monitor))          # repro.obs.dashboard
+
+    The runner calls :meth:`attach` when its run starts, the per-event
+    hooks while it executes, and :meth:`finalize` when its simulator
+    drains; user code only reads the series afterwards (or live, from
+    another tracer subscriber).
+    """
+
+    def __init__(self, config: MonitorConfig = MonitorConfig(), *,
+                 metrics: Optional[MetricsRegistry] = None) -> None:
+        self.config = config
+        self.metrics = metrics
+        #: The monitor's private tracer; a runner constructed without a
+        #: tracer adopts it so reliability events exist to observe.
+        self.tracer = Tracer()
+        self.violations: List[InvariantViolation] = []
+        self.samples = 0
+        self.sites: List[str] = []
+        self._runner: Any = None
+        self._series: Dict[str, Dict[str, RingBuffer]] = {}
+        self._pressure: Dict[str, Dict[str, int]] = {}
+        self._session_snapshots: Dict[int, Tuple[List[Dict[str, int]],
+                                                 List[Dict[str, int]]]] = {}
+        self._session_bits = 0
+        self._session_retransmitted = 0
+        self._sessions_checked = 0
+        self._next_sample: Optional[float] = None
+        self._subscribed: Optional[Tracer] = None
+        self._spot_rng = random.Random(config.spot_check_seed)
+        self._finalized = False
+
+    # -- lifecycle ---------------------------------------------------------------
+
+    def attach(self, runner: Any) -> None:
+        """Bind to a :class:`~repro.net.cluster.ClusterRunner` starting up.
+
+        Called by the runner itself at the top of ``run()``; subscribes to
+        its tracer, initializes every site's series, and takes the t=0
+        sample.
+        """
+        if self._runner is not None:
+            raise InvariantViolationError(
+                "ClusterMonitor instances are one-shot; attach a fresh one "
+                "per run")
+        self._runner = runner
+        self.sites = list(runner.sites)
+        for site in self.sites:
+            self._series[site] = {name: RingBuffer(self.config.ring_capacity)
+                                  for name in GAUGE_NAMES}
+            self._pressure[site] = {"retries": 0, "timeouts": 0,
+                                    "aborts": 0, "resumes": 0}
+        tracer = runner.tracer
+        if tracer is not None:
+            tracer.subscribe(self._on_trace_event)
+            self._subscribed = tracer
+        self._next_sample = self.config.cadence
+        self._sample(0.0)
+
+    def finalize(self) -> None:
+        """Take the final sample, run cluster-level checks, unsubscribe."""
+        if self._runner is None or self._finalized:
+            return
+        self._finalized = True
+        now = self._now()
+        self._sample(now)
+        if self.config.check_accounting:
+            totals = self._runner._totals
+            if (totals.total_bits != self._session_bits
+                    or totals.total_retransmitted_bits
+                    != self._session_retransmitted):
+                self._violate(
+                    "accounting", now,
+                    f"cluster totals disagree with the sum of sessions: "
+                    f"totals {totals.total_bits}b/"
+                    f"{totals.total_retransmitted_bits}b retransmitted vs "
+                    f"summed {self._session_bits}b/"
+                    f"{self._session_retransmitted}b",
+                    level="cluster")
+        if self._subscribed is not None:
+            self._subscribed.unsubscribe(self._on_trace_event)
+            self._subscribed = None
+
+    # -- runner hooks ------------------------------------------------------------
+
+    def on_session_start(self, record: Any) -> None:
+        """A session is about to launch; snapshot endpoints for the oracle."""
+        now = self._now()
+        self._maybe_sample(now)
+        runner = self._runner
+        fanout_one = runner.config.fanout == 1
+        if self.config.check_ancestor_closure and fanout_one:
+            src_snap = [vector.to_version_vector().as_dict()
+                        for vector in runner.objects[record.src]]
+            dst_snap = [vector.to_version_vector().as_dict()
+                        for vector in runner.objects[record.dst]]
+            self._session_snapshots[record.index] = (src_snap, dst_snap)
+        period = self.config.spot_check_period
+        if period and fanout_one and record.index % period == 0:
+            self._spot_check(record, now)
+
+    def on_session_end(self, record: Any, result: Any) -> None:
+        """A session completed; run the accounting and closure checks.
+
+        The runner calls this *before* applying §2.2's reconciliation
+        self-increment, so the element-wise-max oracle is exact.
+        """
+        now = self._now()
+        stats = result.stats
+        self._sessions_checked += 1
+        self._session_bits += stats.total_bits
+        self._session_retransmitted += stats.total_retransmitted_bits
+        if self.config.check_accounting:
+            self._check_accounting(record, stats, now)
+        snapshot = self._session_snapshots.pop(record.index, None)
+        if snapshot is not None:
+            self._check_closure(record, snapshot, now)
+        self._maybe_sample(now)
+
+    def on_update(self, site: str, obj: int) -> None:
+        """A local update applied; the clock may have crossed a boundary."""
+        self._maybe_sample(self._now())
+
+    # -- the trace stream --------------------------------------------------------
+
+    def _on_trace_event(self, event: TraceEvent) -> None:
+        kind = event.kind
+        party = event.party
+        if party in self._pressure:
+            if kind == obs.RETRY:
+                self._pressure[party]["retries"] += 1
+            elif kind == obs.TIMEOUT:
+                self._pressure[party]["timeouts"] += 1
+            elif kind == obs.SESSION_ABORT:
+                self._pressure[party]["aborts"] += 1
+            elif (kind == obs.CONTROL
+                    and event.fields.get("signal") == "session_resume"):
+                self._pressure[party]["resumes"] += 1
+        if event.time is not None and kind != obs.INVARIANT_VIOLATION:
+            self._maybe_sample(event.time)
+
+    # -- sampling ----------------------------------------------------------------
+
+    def _now(self) -> float:
+        sim = getattr(self._runner, "_sim", None)
+        return sim.now if sim is not None else 0.0
+
+    def _maybe_sample(self, now: float) -> None:
+        if self._next_sample is None or now < self._next_sample:
+            return
+        self._sample(now)
+        cadence = self.config.cadence
+        # Skip boundaries the clock already jumped over: the next sample
+        # is due one cadence past *now*, not past the missed boundary.
+        periods = int((now - self._next_sample) / cadence) + 1
+        self._next_sample += periods * cadence
+
+    def _sample(self, now: float) -> None:
+        """Record one health sample for every site at simulated ``now``."""
+        runner = self._runner
+        n_objects = runner.config.n_objects
+        # The global frontier: per object, the element-wise max over sites.
+        frontiers: List[Dict[str, int]] = []
+        for obj in range(n_objects):
+            frontier: Dict[str, int] = {}
+            for site in self.sites:
+                for element in runner.objects[site][obj].order:
+                    if element.value > frontier.get(element.site, 0):
+                        frontier[element.site] = element.value
+            frontiers.append(frontier)
+        frontier_total = sum(sum(f.values()) for f in frontiers)
+        for site in self.sites:
+            distance = 0
+            backlog = 0
+            conflicted = 0
+            elements = 0
+            segments = 0
+            for obj in range(n_objects):
+                vector = runner.objects[site][obj]
+                known: Dict[str, int] = {}
+                open_segment = False
+                for element in vector.order:
+                    known[element.site] = element.value
+                    elements += 1
+                    if element.conflict:
+                        conflicted += 1
+                    if element.segment:
+                        segments += 1
+                        open_segment = False
+                    else:
+                        open_segment = True
+                if open_segment:
+                    segments += 1  # the trailing implicit-terminator segment
+                for elem_site, peak in frontiers[obj].items():
+                    gap = peak - known.get(elem_site, 0)
+                    if gap > 0:
+                        distance += 1
+                        backlog += gap
+            pressure = self._pressure[site]
+            pressure_total = (pressure["retries"] + pressure["timeouts"]
+                              + pressure["resumes"])
+            score = (1.0 if frontier_total == 0
+                     else (frontier_total - backlog) / frontier_total)
+            series = self._series[site]
+            series["frontier_distance"].append(now, float(distance))
+            series["delta_backlog"].append(now, float(backlog))
+            series["conflict_density"].append(
+                now, conflicted / elements if elements else 0.0)
+            series["segment_count"].append(now, float(segments))
+            series["pressure"].append(now, float(pressure_total))
+            series["convergence_score"].append(now, score)
+            if self.metrics is not None:
+                for name in GAUGE_NAMES:
+                    self.metrics.gauge(
+                        f"monitor.{site}.{name}").set(
+                            series[name].latest())
+        self.samples += 1
+        if self.metrics is not None:
+            self.metrics.counter("monitor.samples").inc()
+
+    # -- invariant checkers ------------------------------------------------------
+
+    def _violate(self, check: str, now: float, message: str,
+                 **fields: Any) -> None:
+        violation = InvariantViolation(check=check, message=message,
+                                       time=now, fields=dict(fields))
+        self.violations.append(violation)
+        tracer = self._runner.tracer if self._runner is not None else None
+        if tracer is None:
+            tracer = self.tracer
+        tracer.event(obs.INVARIANT_VIOLATION, time=now, check=check,
+                     message=message, **fields)
+        if self.metrics is not None:
+            self.metrics.counter("monitor.invariant_violations").inc()
+            self.metrics.counter(
+                f"monitor.invariant_violations.{check}").inc()
+        if self.config.strict:
+            raise InvariantViolationError(
+                f"invariant {check!r} violated at t={now:.6f}: {message}")
+
+    def _check_accounting(self, record: Any, stats: Any, now: float) -> None:
+        """``retransmitted == total − goodput`` at every session level."""
+        for direction_name in ("forward", "backward"):
+            direction = getattr(stats, direction_name)
+            if not 0 <= direction.retransmitted_bits <= direction.bits:
+                self._violate(
+                    "accounting", now,
+                    f"session {record.src}->{record.dst} {direction_name} "
+                    f"retransmitted_bits {direction.retransmitted_bits} "
+                    f"outside [0, {direction.bits}]",
+                    session=record.index, direction=direction_name)
+            if (direction.goodput_bits
+                    != direction.bits - direction.retransmitted_bits):
+                self._violate(
+                    "accounting", now,
+                    f"session {record.src}->{record.dst} {direction_name} "
+                    f"goodput {direction.goodput_bits} != bits "
+                    f"{direction.bits} - retransmitted "
+                    f"{direction.retransmitted_bits}",
+                    session=record.index, direction=direction_name)
+            if direction.retransmitted_messages > direction.messages:
+                self._violate(
+                    "accounting", now,
+                    f"session {record.src}->{record.dst} {direction_name} "
+                    f"retransmitted {direction.retransmitted_messages} of "
+                    f"only {direction.messages} messages",
+                    session=record.index, direction=direction_name)
+        if (stats.total_retransmitted_bits
+                != stats.total_bits - stats.total_goodput_bits):
+            self._violate(
+                "accounting", now,
+                f"session {record.src}->{record.dst}: retransmitted "
+                f"{stats.total_retransmitted_bits} != total "
+                f"{stats.total_bits} - goodput {stats.total_goodput_bits}",
+                session=record.index)
+
+    def _check_closure(self, record: Any,
+                       snapshot: Tuple[List[Dict[str, int]],
+                                       List[Dict[str, int]]],
+                       now: float) -> None:
+        """The receiver's post-state must be max(pre-state, sender's state).
+
+        Anything less means a torn (non-ancestor-closed) prefix was
+        committed; anything else means phantom updates appeared.
+        """
+        src_snap, dst_snap = snapshot
+        runner = self._runner
+        for obj in range(runner.config.n_objects):
+            expected = dict(dst_snap[obj])
+            for site_name, value in src_snap[obj].items():
+                if value > expected.get(site_name, 0):
+                    expected[site_name] = value
+            actual = (runner.objects[record.dst][obj]
+                      .to_version_vector().as_dict())
+            if actual != expected:
+                self._violate(
+                    "ancestor_closure", now,
+                    f"session {record.src}->{record.dst} object {obj}: "
+                    f"receiver state {actual} != element-wise max "
+                    f"{expected} of its pre-session state and the sender",
+                    session=record.index, object=obj)
+
+    def _spot_check(self, record: Any, now: float) -> None:
+        """Algorithm 1's O(1) verdict vs the element-wise oracle."""
+        runner = self._runner
+        obj = self._spot_rng.randrange(runner.config.n_objects)
+        dst_vector = runner.objects[record.dst][obj]
+        src_vector = runner.objects[record.src][obj]
+        fast = dst_vector.compare(src_vector)
+        oracle = dst_vector.compare_full(src_vector)
+        if self.metrics is not None:
+            self.metrics.counter("monitor.spot_checks").inc()
+        if fast is not oracle:
+            self._violate(
+                "compare_oracle", now,
+                f"session {record.src}->{record.dst} object {obj}: "
+                f"COMPARE said {fast.name}, element-wise oracle says "
+                f"{oracle.name}",
+                session=record.index, object=obj,
+                compare=fast.name, oracle=oracle.name)
+
+    # -- read API ----------------------------------------------------------------
+
+    @property
+    def violation_count(self) -> int:
+        return len(self.violations)
+
+    def series(self, site: str, name: str) -> List[Tuple[float, float]]:
+        """One site's ``(time, value)`` series for gauge ``name``."""
+        return self._series[site][name].items()
+
+    def latest(self, site: str, name: str) -> Optional[float]:
+        """The most recent sample of one site's gauge (None before any)."""
+        return self._series[site][name].latest()
+
+    def pressure(self, site: str) -> Dict[str, int]:
+        """Cumulative retry/timeout/abort/resume counts for ``site``."""
+        return dict(self._pressure[site])
+
+    def worst_offenders(self, limit: int = 5) -> List[str]:
+        """Sites ranked worst-first: lowest score, then largest backlog."""
+        def sort_key(site: str) -> Tuple[float, float]:
+            score = self.latest(site, "convergence_score")
+            backlog = self.latest(site, "delta_backlog")
+            return (score if score is not None else 1.0,
+                    -(backlog if backlog is not None else 0.0))
+        return sorted(self.sites, key=sort_key)[:limit]
+
+    def health_summary(self) -> Dict[str, Any]:
+        """A JSON-ready digest for benchmark documents and reports."""
+        final_scores = {site: self.latest(site, "convergence_score")
+                        for site in self.sites}
+        known = [score for score in final_scores.values()
+                 if score is not None]
+        return {
+            "samples": self.samples,
+            "sites": len(self.sites),
+            "invariant_violations": self.violation_count,
+            "sessions_checked": self._sessions_checked,
+            "final_scores": final_scores,
+            "min_final_score": min(known) if known else 1.0,
+            "mean_final_score": (sum(known) / len(known)
+                                 if known else 1.0),
+        }

@@ -60,6 +60,10 @@ TIMEOUT = "timeout"
 #: from the receiver's pre-session snapshot — or fail, per
 #: ``fields["resuming"]``.
 SESSION_ABORT = "session_abort"
+#: An inline invariant checker caught the system lying to itself;
+#: ``fields["check"]`` names the invariant and the remaining fields carry
+#: the structured evidence (see :mod:`repro.obs.monitor`).
+INVARIANT_VIOLATION = "invariant_violation"
 
 
 @dataclass
@@ -129,6 +133,25 @@ class Tracer:
         self._next_span = 0
         self._stack: List[int] = []
         self.clock = None  # type: Optional[Any]
+        self._subscribers: List[Any] = []
+
+    # -- subscription ---------------------------------------------------------------
+
+    def subscribe(self, callback: Any) -> None:
+        """Call ``callback(event)`` for every event recorded from now on.
+
+        Subscribers see events live, in emission order, which is what lets
+        a :class:`~repro.obs.monitor.ClusterMonitor` maintain health
+        gauges *during* a run instead of post-hoc.  A callback must not
+        mutate the event; it may emit further events (re-entrant emission
+        is ordered after the event being delivered).
+        """
+        self._subscribers.append(callback)
+
+    def unsubscribe(self, callback: Any) -> None:
+        """Stop delivering events to ``callback`` (no-op if absent)."""
+        if callback in self._subscribers:
+            self._subscribers.remove(callback)
 
     # -- emission -------------------------------------------------------------------
 
@@ -146,6 +169,8 @@ class Tracer:
                             fields=fields)
         self._seq += 1
         self.events.append(record)
+        for callback in self._subscribers:
+            callback(record)
         return record
 
     def span(self, name: str, *, time: Optional[float] = None,

@@ -37,6 +37,7 @@ from repro.net.cluster import (ClusterConfig, ClusterResult, ClusterRunner,
                                replay_sequential)
 from repro.net.wire import Encoding
 from repro.obs.metrics import MetricsRegistry, wall_timer
+from repro.obs.monitor import ClusterMonitor, MonitorConfig
 from repro.perf.schema import SCHEMA_ID, validate_bench
 from repro.workload.cluster import (chaos_faults, gossip_schedule,
                                     site_names, update_schedule)
@@ -101,8 +102,27 @@ def _scenario_for(protocol: str) -> str:
             else "multi-writer-gossip")
 
 
+def _make_monitor(enabled: bool) -> Optional[ClusterMonitor]:
+    """The per-cell monitor, or ``None`` (the byte-identical default).
+
+    Bench cells run the monitor in counting mode: a violation must land
+    in the document (where the comparator gate fails on it), not abort
+    the sweep halfway through.
+    """
+    return ClusterMonitor(MonitorConfig(strict=False)) if enabled else None
+
+
+def _monitor_fields(monitor: Optional[ClusterMonitor]) -> Dict[str, Any]:
+    """The extra record fields a monitored cell carries (picklable)."""
+    if monitor is None:
+        return {}
+    return {"invariant_violations": monitor.violation_count,
+            "health": monitor.health_summary()}
+
+
 def _run_one(protocol: str, n_sites: int, config: BenchConfig, *,
-             metrics: Optional[MetricsRegistry] = None) -> Dict[str, Any]:
+             metrics: Optional[MetricsRegistry] = None,
+             monitor: bool = False) -> Dict[str, Any]:
     sites = site_names(n_sites)
     n_updates = max(1, round(n_sites * config.updates_per_site))
     cluster_config = ClusterConfig(
@@ -118,7 +138,9 @@ def _run_one(protocol: str, n_sites: int, config: BenchConfig, *,
     updates = update_schedule(
         sites, n_updates=n_updates, interval=config.update_interval,
         seed=config.seed + 1, writers=writers)
-    runner = ClusterRunner(sites, cluster_config, metrics=metrics)
+    cell_monitor = _make_monitor(monitor)
+    runner = ClusterRunner(sites, cluster_config, metrics=metrics,
+                           monitor=cell_monitor)
     start = time.perf_counter()
     with wall_timer(metrics, f"bench.cluster.{protocol}.wall_seconds"):
         result = runner.run(sessions, updates)
@@ -128,6 +150,7 @@ def _run_one(protocol: str, n_sites: int, config: BenchConfig, *,
     per_session = result.per_session_bits()
     ranked = sorted(per_session)
     return {
+        **_monitor_fields(cell_monitor),
         "scenario": _scenario_for(protocol),
         "protocol": protocol,
         "n_sites": n_sites,
@@ -152,8 +175,8 @@ def _run_one(protocol: str, n_sites: int, config: BenchConfig, *,
 
 
 def _run_batched_one(batch_size: int, config: BenchConfig, *,
-                     metrics: Optional[MetricsRegistry] = None
-                     ) -> Dict[str, Any]:
+                     metrics: Optional[MetricsRegistry] = None,
+                     monitor: bool = False) -> Dict[str, Any]:
     """One batched many-objects run (always SRV, stop-and-wait).
 
     Stop-and-wait plus a non-zero per-session header is the regime where
@@ -183,7 +206,9 @@ def _run_batched_one(batch_size: int, config: BenchConfig, *,
     updates = update_schedule(
         sites, n_updates=n_updates, interval=config.update_interval,
         seed=config.seed + 1, n_objects=n_objects)
-    runner = ClusterRunner(sites, cluster_config, metrics=metrics)
+    cell_monitor = _make_monitor(monitor)
+    runner = ClusterRunner(sites, cluster_config, metrics=metrics,
+                           monitor=cell_monitor)
     start = time.perf_counter()
     with wall_timer(metrics, "bench.cluster.batched.wall_seconds"):
         result = runner.run(sessions, updates)
@@ -194,6 +219,7 @@ def _run_batched_one(batch_size: int, config: BenchConfig, *,
     ranked = sorted(per_session)
     synced_objects = result.sessions * n_objects
     return {
+        **_monitor_fields(cell_monitor),
         "scenario": "batched-many-objects",
         "protocol": "srv",
         "n_sites": n_sites,
@@ -222,8 +248,8 @@ def _run_batched_one(batch_size: int, config: BenchConfig, *,
 
 
 def _run_chaos_one(protocol: str, loss: float, config: BenchConfig, *,
-                   metrics: Optional[MetricsRegistry] = None
-                   ) -> Dict[str, Any]:
+                   metrics: Optional[MetricsRegistry] = None,
+                   monitor: bool = False) -> Dict[str, Any]:
     """One chaos cell: the batched fleet on a faulted channel.
 
     Every protocol runs the same ``batched_site_count`` ×
@@ -255,7 +281,9 @@ def _run_chaos_one(protocol: str, loss: float, config: BenchConfig, *,
     updates = update_schedule(
         sites, n_updates=n_updates, interval=config.update_interval,
         seed=config.seed + 1, writers=writers, n_objects=n_objects)
-    runner = ClusterRunner(sites, cluster_config, metrics=metrics)
+    cell_monitor = _make_monitor(monitor)
+    runner = ClusterRunner(sites, cluster_config, metrics=metrics,
+                           monitor=cell_monitor)
     start = time.perf_counter()
     with wall_timer(metrics, f"bench.cluster.chaos.{protocol}.wall_seconds"):
         result = runner.run(sessions, updates)
@@ -266,6 +294,7 @@ def _run_chaos_one(protocol: str, loss: float, config: BenchConfig, *,
     ranked = sorted(per_session)
     totals = result.totals
     return {
+        **_monitor_fields(cell_monitor),
         "scenario": "chaos-loss",
         "protocol": protocol,
         "n_sites": n_sites,
@@ -339,22 +368,28 @@ def _task_grid(config: BenchConfig) -> List[_BenchTask]:
     return tasks
 
 
-def _run_task(task_and_config: Tuple[_BenchTask, BenchConfig]
+def _run_task(task_and_config: Tuple[_BenchTask, BenchConfig, bool]
               ) -> Tuple[Dict[str, Any], MetricsRegistry]:
     """Execute one grid cell with a private registry (pool-picklable).
 
     Every cell derives its schedules from ``config.seed`` alone — no
     state is shared between cells — so the record is identical whether
-    the cell runs in the parent or in a pool worker.
+    the cell runs in the parent or in a pool worker.  ``monitor`` rides
+    along as a plain flag (not a ``BenchConfig`` field — the config is
+    embedded in the document, and monitoring must not move the default
+    fingerprint); monitored cells embed only the picklable digest.
     """
-    task, config = task_and_config
+    task, config, monitor = task_and_config
     metrics = MetricsRegistry()
     if task[0] == "gossip":
-        record = _run_one(task[1], task[2], config, metrics=metrics)
+        record = _run_one(task[1], task[2], config, metrics=metrics,
+                          monitor=monitor)
     elif task[0] == "chaos":
-        record = _run_chaos_one(task[1], task[2], config, metrics=metrics)
+        record = _run_chaos_one(task[1], task[2], config, metrics=metrics,
+                                monitor=monitor)
     else:
-        record = _run_batched_one(task[1], config, metrics=metrics)
+        record = _run_batched_one(task[1], config, metrics=metrics,
+                                  monitor=monitor)
     return record, metrics
 
 
@@ -375,6 +410,7 @@ def run_cluster_bench(config: BenchConfig = BenchConfig(), *,
                       metrics: Optional[MetricsRegistry] = None,
                       echo: Optional[Any] = None,
                       workers: int = 1,
+                      monitor: bool = False,
                       created_unix: Optional[float] = None) -> Dict[str, Any]:
     """Run the full sweep; returns the (already validated) document.
 
@@ -386,10 +422,18 @@ def run_cluster_bench(config: BenchConfig = BenchConfig(), *,
     agree between the two, and the benchmark suite asserts it.  Each
     worker fills a private :class:`MetricsRegistry`, merged into
     ``metrics`` in the same order a serial run would have written it.
+
+    ``monitor=True`` attaches a :class:`~repro.obs.monitor.ClusterMonitor`
+    to every cell and embeds its digest (``invariant_violations`` count
+    plus the ``health`` summary) in each record; the default ``False``
+    leaves the document — and its fingerprint — exactly as before.  It is
+    deliberately a call parameter, not a ``BenchConfig`` field: the
+    config is serialized into the document, so a config knob would move
+    the default fingerprint.
     """
     if workers < 1:
         raise ValueError(f"workers must be >= 1, got {workers}")
-    tasks = [(task, config) for task in _task_grid(config)]
+    tasks = [(task, config, monitor) for task in _task_grid(config)]
     if workers > 1 and len(tasks) > 1:
         with multiprocessing.Pool(min(workers, len(tasks))) as pool:
             outcomes = pool.map(_run_task, tasks)
@@ -464,6 +508,7 @@ def bench_main(argv: List[str]) -> int:
     out = DEFAULT_OUTPUT
     workers = 1
     profile = False
+    monitor = False
     profile_out = "bench.pstats"
     chaos_loss_rates: Tuple[float, ...] = BenchConfig().chaos_loss_rates
     chaos_seed = BenchConfig().chaos_seed
@@ -474,7 +519,7 @@ def bench_main(argv: List[str]) -> int:
               "[--protocols brv,crv,srv] [--rounds N] [--seed N] "
               "[--workers N] [--profile] [--profile-out bench.pstats] "
               "[--chaos-loss 0.01,0.1] [--chaos-seed N] [--no-chaos] "
-              "[--out BENCH_cluster.json]")
+              "[--monitor] [--out BENCH_cluster.json]")
         return 2
 
     index = 0
@@ -482,6 +527,9 @@ def bench_main(argv: List[str]) -> int:
         argument = argv[index]
         if argument == "--profile":
             profile = True
+            index += 1
+        elif argument == "--monitor":
+            monitor = True
             index += 1
         elif argument == "--no-chaos":
             chaos_loss_rates = ()
@@ -563,12 +611,14 @@ def bench_main(argv: List[str]) -> int:
         profiler = cProfile.Profile()
         profiler.enable()
         try:
-            document = run_cluster_bench(config, echo=print)
+            document = run_cluster_bench(config, echo=print,
+                                         monitor=monitor)
         finally:
             profiler.disable()
         profiler.dump_stats(profile_out)
     else:
-        document = run_cluster_bench(config, echo=print, workers=workers)
+        document = run_cluster_bench(config, echo=print, workers=workers,
+                                     monitor=monitor)
     path = write_bench(document, out)
     print()
     print(format_bench_table(document))

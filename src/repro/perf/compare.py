@@ -82,12 +82,26 @@ class Comparison:
     only_old: List[RunKey]
     only_new: List[RunKey]
     fingerprints_equal: bool
+    #: Runs in the NEW document whose inline invariant checkers fired
+    #: (``--monitor`` records only); any entry fails the gate outright —
+    #: a violated invariant falsifies the measurement, so "the bits
+    #: didn't move" is no longer evidence of anything.
+    new_violations: List[Tuple[RunKey, int]] = None  # type: ignore[assignment]
+
+    def __post_init__(self) -> None:
+        if self.new_violations is None:
+            self.new_violations = []
 
     @property
     def bits_changed(self) -> bool:
         """True when any paired run moved bits or the grids differ."""
         return (bool(self.only_old) or bool(self.only_new)
                 or any(d.bits_changed for d in self.deltas))
+
+    @property
+    def invariants_violated(self) -> bool:
+        """True when any NEW run recorded invariant violations."""
+        return bool(self.new_violations)
 
 
 def compare_documents(old: Dict[str, Any],
@@ -109,6 +123,9 @@ def compare_documents(old: Dict[str, Any],
         only_new=[key for key in new_runs if key not in old_runs],
         fingerprints_equal=(bench_fingerprint(old)
                             == bench_fingerprint(new)),
+        new_violations=[(key, run["invariant_violations"])
+                        for key, run in new_runs.items()
+                        if run.get("invariant_violations")],
     )
 
 
@@ -126,6 +143,9 @@ def format_comparison(comparison: Comparison) -> str:
         lines.append(f"{_format_key(key):44} only in OLD document")
     for key in comparison.only_new:
         lines.append(f"{_format_key(key):44} only in NEW document")
+    for key, count in comparison.new_violations:
+        lines.append(f"{_format_key(key):44} {count} INVARIANT "
+                     f"VIOLATION(S) in NEW document")
     lines.append("")
     lines.append("fingerprints "
                  + ("identical (deterministic fields unchanged)"
@@ -147,7 +167,9 @@ def main(argv: Optional[List[str]] = None) -> int:
     """``python -m repro.perf.compare OLD NEW [--require-same-bits]``.
 
     Exit codes: 0 — compared (and, with ``--require-same-bits``, no wire
-    bits moved); 1 — ``--require-same-bits`` and traffic changed;
+    bits moved); 1 — ``--require-same-bits`` and traffic changed, or the
+    NEW document records inline invariant violations (always fatal — a
+    run that broke its own accounting cannot pass any gate);
     2 — usage or unreadable/invalid documents.
     """
     arguments = list(sys.argv[1:] if argv is None else argv)
@@ -165,6 +187,11 @@ def main(argv: Optional[List[str]] = None) -> int:
     comparison = compare_documents(old, new)
     print(f"old: {paths[0]}\nnew: {paths[1]}\n")
     print(format_comparison(comparison))
+    if comparison.invariants_violated:
+        print("\nthe new document records invariant violations; the "
+              "measurements cannot be trusted — fix the regression "
+              "before comparing numbers")
+        return 1
     if require_same and comparison.bits_changed:
         print("\nwire traffic changed; regenerate and commit the bench "
               "document if this is intended")

@@ -45,7 +45,14 @@ Document layout (version ``repro.bench.cluster/1``)::
           "retries": 6,                    # data retransmissions
           "timeouts": 6,                   # expired ARQ timers
           "resumes": 0,                    # session re-handshakes
-          "goodput_overhead_pct": 6.05     # retransmitted/goodput * 100
+          "goodput_overhead_pct": 6.05,    # retransmitted/goodput * 100
+          # Monitored runs (``--monitor``) additionally carry:
+          "invariant_violations": 0,       # inline-checker failures
+          "health": {                      # ClusterMonitor.health_summary()
+            "samples": 18, "sites": 8, "invariant_violations": 0,
+            "sessions_checked": 24, "final_scores": {"S000": 1.0, ...},
+            "min_final_score": 1.0, "mean_final_score": 1.0
+          }
         }, ...
       ]
     }
@@ -158,6 +165,36 @@ def _validate_run(errors: List[str], index: int,
                           f"got {run['loss_rate']!r}")
     if "goodput_overhead_pct" in run:
         _check_number(errors, where, run, "goodput_overhead_pct")
+    # Monitored runs carry the live-health digest; optional, but when
+    # present the count must be sane and the summary well-formed.
+    if "invariant_violations" in run:
+        _check_number(errors, where, run, "invariant_violations",
+                      integer=True)
+    if "health" in run:
+        health = run["health"]
+        if not isinstance(health, dict):
+            errors.append(f"{where}: 'health' must be an object, "
+                          f"got {type(health).__name__}")
+        else:
+            for name in ("samples", "sites", "invariant_violations",
+                         "sessions_checked"):
+                _check_number(errors, f"{where}.health", health, name,
+                              integer=True)
+            for name in ("min_final_score", "mean_final_score"):
+                _check_number(errors, f"{where}.health", health, name)
+            if not isinstance(health.get("final_scores"), dict):
+                errors.append(f"{where}.health: missing 'final_scores' "
+                              f"object")
+            if ("invariant_violations" in run
+                    and isinstance(run["invariant_violations"], int)
+                    and isinstance(health.get("invariant_violations"), int)
+                    and run["invariant_violations"]
+                    != health["invariant_violations"]):
+                errors.append(
+                    f"{where}: invariant_violations "
+                    f"({run['invariant_violations']}) disagrees with "
+                    f"health.invariant_violations "
+                    f"({health['invariant_violations']})")
     if (isinstance(run.get("goodput_bits"), int)
             and isinstance(run.get("retransmitted_bits"), int)
             and isinstance(run.get("total_bits"), int)

@@ -86,3 +86,69 @@ class TestRenderTimeline:
         tracer = Tracer()
         tracer.event("tick", time=1.25)
         assert "1.250000" in render_timeline(tracer.events)
+
+
+def reliability_tracer() -> Tracer:
+    """A trace with one of every glyph-worthy reliability event."""
+    tracer = Tracer()
+    with tracer.span("SYNCS"):
+        tracer.event("message", party="A", message="ElementSMsg", bits=27)
+        tracer.event("fault", party="A", fault="drop")
+        tracer.event("timeout", party="A")
+        tracer.event("retry", party="A", attempt=2)
+        tracer.event("session_abort", party="B", resuming=True)
+        tracer.event("control", party="B", signal="session_resume")
+        tracer.event("invariant_violation", check="accounting",
+                     message="totals disagree")
+    return tracer
+
+
+class TestTimelineGlyphs:
+    def test_reliability_events_get_glyphs(self):
+        text = render_timeline(reliability_tracer().events)
+        assert "✗ fault" in text
+        assert "↻ retry" in text
+        assert "⏱ timeout" in text
+        assert "⊘ session_abort" in text
+        assert "⟲ control" in text
+        assert "‼ invariant_violation" in text
+
+    def test_routine_events_stay_plain(self):
+        text = render_timeline(reliability_tracer().events)
+        for line in text.splitlines():
+            if " message " in line and "ElementSMsg" in line:
+                assert "✗" not in line and "↻" not in line
+        # A control event without the resume signal gets no glyph.
+        tracer = Tracer()
+        tracer.event("control", signal="halt")
+        assert "⟲" not in render_timeline(tracer.events)
+
+
+class TestTimelineFilter:
+    def test_kinds_keeps_only_named(self):
+        events = reliability_tracer().events
+        text = render_timeline(events, kinds=["retry", "timeout"])
+        assert "↻ retry" in text
+        assert "⏱ timeout" in text
+        assert "fault" not in text
+        assert "ElementSMsg" not in text
+        assert "span_start" not in text
+
+    def test_session_resume_selects_control_signal(self):
+        events = reliability_tracer().events
+        text = render_timeline(events, kinds=["session_resume"])
+        assert "⟲ control" in text
+        assert "retry" not in text
+
+    def test_filter_applies_before_truncation(self):
+        # max_events truncates the *filtered* stream, so a filter never
+        # hides matches behind unrelated leading events.
+        events = reliability_tracer().events
+        text = render_timeline(events, kinds=["invariant_violation"],
+                               max_events=1)
+        assert "‼ invariant_violation" in text
+
+    def test_no_filter_keeps_everything(self):
+        events = reliability_tracer().events
+        assert render_timeline(events, kinds=None) \
+            == render_timeline(events)

@@ -1,0 +1,204 @@
+"""Tests for the Prometheus/OTLP exporters, schema validator, dashboard."""
+
+import json
+import pathlib
+
+from repro.net.channel import ChannelSpec
+from repro.net.cluster import ClusterConfig, ClusterRunner
+from repro.net.wire import Encoding
+from repro.obs.dashboard import (render_dashboard, render_html_report,
+                                 sparkline, write_html_report)
+from repro.obs.exporters import to_otlp, to_prometheus
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.monitor import ClusterMonitor, MonitorConfig
+from repro.obs.otlp_schema import OTLP_SCHEMA, validate, validate_otlp
+from repro.obs.trace import Tracer
+from repro.workload.cluster import (gossip_schedule, site_names,
+                                    update_schedule)
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parents[2]
+ENC = Encoding(site_bits=8, value_bits=16)
+
+
+def monitored_fixture(protocol="srv", n_sites=3):
+    """One small monitored + traced + metered cluster run."""
+    sites = site_names(n_sites)
+    registry = MetricsRegistry()
+    monitor = ClusterMonitor(MonitorConfig(), metrics=registry)
+    config = ClusterConfig(protocol=protocol, encoding=ENC,
+                           channel=ChannelSpec(latency=0.01, bandwidth=1e6))
+    runner = ClusterRunner(sites, config, monitor=monitor, metrics=registry)
+    sessions = gossip_schedule(sites, rounds=2, seed=1)
+    updates = update_schedule(sites, n_updates=4, interval=0.1, seed=2)
+    runner.run(sessions, updates)
+    return monitor, runner, registry
+
+
+class TestPrometheus:
+    def test_counters_gauges_histograms(self):
+        registry = MetricsRegistry()
+        registry.counter("sessions").inc(3)
+        registry.gauge("score").set(0.5)
+        registry.histogram("bits").observe(10.0)
+        text = to_prometheus(registry)
+        assert "# TYPE repro_sessions_total counter" in text
+        assert "repro_sessions_total 3" in text
+        assert "# TYPE repro_score gauge" in text
+        assert "repro_score 0.5" in text
+        assert "# TYPE repro_bits summary" in text
+        assert 'repro_bits{quantile="0.95"} 10' in text
+        assert "repro_bits_sum 10" in text
+        assert "repro_bits_count 1" in text
+        assert text.endswith("\n")
+
+    def test_unset_gauge_omitted(self):
+        registry = MetricsRegistry()
+        registry.gauge("never_set")
+        assert "never_set" not in to_prometheus(registry)
+
+    def test_names_sanitized(self):
+        registry = MetricsRegistry()
+        registry.counter("srv.messages.forward").inc()
+        assert "repro_srv_messages_forward_total 1" in to_prometheus(registry)
+
+    def test_monitor_series_labeled_by_site(self):
+        monitor, _, _ = monitored_fixture()
+        text = to_prometheus(monitor=monitor)
+        assert "# TYPE repro_monitor_convergence_score gauge" in text
+        assert 'repro_monitor_convergence_score{site="S000"} ' in text
+        assert "repro_monitor_invariant_violations_total 0" in text
+        assert f"repro_monitor_samples_total {monitor.samples}" in text
+        assert ('repro_monitor_pressure_events_total'
+                '{site="S000",kind="retries"} 0') in text
+
+    def test_empty_export_is_empty(self):
+        assert to_prometheus() == ""
+
+
+class TestOtlp:
+    def test_full_export_validates(self):
+        monitor, runner, registry = monitored_fixture()
+        document = to_otlp(tracer=runner.tracer, metrics=registry,
+                           monitor=monitor)
+        assert validate_otlp(document) == []
+
+    def test_round_trips_through_json(self):
+        monitor, runner, registry = monitored_fixture()
+        document = to_otlp(tracer=runner.tracer, metrics=registry,
+                           monitor=monitor)
+        assert validate_otlp(json.loads(json.dumps(document))) == []
+
+    def test_spans_cover_every_session(self):
+        monitor, runner, _ = monitored_fixture()
+        document = to_otlp(tracer=runner.tracer, monitor=monitor)
+        spans = document["resourceSpans"][0]["scopeSpans"][0]["spans"]
+        assert spans
+        for span in spans:
+            assert len(span["traceId"]) == 32
+            assert len(span["spanId"]) == 16
+            assert int(span["endTimeUnixNano"]) \
+                >= int(span["startTimeUnixNano"])
+
+    def test_monitor_series_become_gauge_points(self):
+        monitor, _, _ = monitored_fixture()
+        document = to_otlp(monitor=monitor)
+        metrics = (document["resourceMetrics"][0]
+                   ["scopeMetrics"][0]["metrics"])
+        by_name = {entry["name"]: entry for entry in metrics}
+        gauge = by_name["repro.monitor.convergence_score"]
+        points = gauge["gauge"]["dataPoints"]
+        # One data point per (site, sample), attributed by site.
+        assert len(points) == monitor.samples * len(monitor.sites)
+        sites = {attr["value"]["stringValue"]
+                 for point in points for attr in point["attributes"]
+                 if attr["key"] == "site"}
+        assert sites == set(monitor.sites)
+        violations = by_name["repro.monitor.invariant_violations"]
+        assert violations["sum"]["isMonotonic"] is True
+
+    def test_empty_export_still_validates(self):
+        assert validate_otlp(to_otlp(tracer=Tracer())) == []
+
+
+class TestSchemaValidator:
+    def test_missing_required_key(self):
+        errors = validate({"a": 1}, {"type": "object", "required": ["b"]})
+        assert errors == ["$: missing required key 'b'"]
+
+    def test_type_mismatch_stops_descent(self):
+        errors = validate("not-a-dict", OTLP_SCHEMA)
+        assert len(errors) == 1
+        assert "expected object" in errors[0]
+
+    def test_pattern_and_enum(self):
+        schema = {"type": "object", "properties": {
+            "n": {"type": "string", "pattern": r"^[0-9]+$"},
+            "k": {"enum": [1, 2]},
+        }}
+        assert validate({"n": "42", "k": 1}, schema) == []
+        errors = validate({"n": "4x2", "k": 7}, schema)
+        assert any("does not match" in e for e in errors)
+        assert any("not in" in e for e in errors)
+
+    def test_minimum_excludes_booleans(self):
+        schema = {"properties": {"q": {"minimum": 0}}}
+        assert validate({"q": -1}, schema)
+        assert validate({"q": True}, schema) == []
+
+    def test_items_reports_index(self):
+        schema = {"type": "array", "items": {"type": "integer"}}
+        errors = validate([1, "two", 3], schema)
+        assert errors == ["$[1]: expected integer, got str"]
+
+    def test_bad_span_id_rejected(self):
+        document = to_otlp(tracer=Tracer())
+        document["resourceSpans"][0]["scopeSpans"][0]["spans"] = [{
+            "traceId": "x" * 32, "spanId": "1" * 16, "name": "s",
+            "kind": 1, "startTimeUnixNano": "0", "endTimeUnixNano": "0",
+        }]
+        errors = validate_otlp(document)
+        assert any("traceId" in e for e in errors)
+
+    def test_checked_in_schema_file_matches_embedded(self):
+        path = REPO_ROOT / "schemas" / "repro.obs.otlp.schema.json"
+        with open(path, "r", encoding="utf-8") as handle:
+            assert json.load(handle) == OTLP_SCHEMA
+
+
+class TestSparkline:
+    def test_empty_is_blank(self):
+        assert sparkline([]).strip() == ""
+
+    def test_width_respected(self):
+        line = sparkline(list(range(100)), width=8)
+        assert len(line) == 8
+
+    def test_rising_series_rises(self):
+        line = sparkline([0.0, 1.0, 2.0, 3.0], width=4)
+        assert line[0] < line[-1]
+
+    def test_flat_positive_renders_high(self):
+        line = sparkline([5.0, 5.0], width=2)
+        assert set(line) <= {"█", "▇"}
+
+
+class TestDashboard:
+    def test_renders_sites_and_gauges(self):
+        monitor, _, _ = monitored_fixture()
+        text = render_dashboard(monitor)
+        for site in monitor.sites:
+            assert site in text
+        assert "score" in text
+        assert "all checks passed" in text
+
+    def test_html_report_is_self_contained(self, tmp_path):
+        monitor, _, _ = monitored_fixture()
+        html = render_html_report({"srv": monitor})
+        assert html.startswith("<!DOCTYPE html>")
+        assert "<svg" in html
+        assert "srv" in html
+        # Self-contained: no external fetches of any kind.
+        assert "http://" not in html and "https://" not in html
+        path = tmp_path / "report.html"
+        write_html_report(path, {"srv": monitor})
+        assert path.read_text(encoding="utf-8") == html

@@ -1,7 +1,10 @@
 """Tests for the process-local metrics registry."""
 
+import json
+
 import pytest
 
+from repro.errors import ReproError
 from repro.net.stats import TransferStats
 from repro.obs import MetricsRegistry, observe_session
 from repro.obs.metrics import Counter, Gauge, Histogram
@@ -35,10 +38,37 @@ class TestInstruments:
         assert summary["min"] == 1
         assert summary["max"] == 10
         assert summary["p50"] == 3
+        assert summary["p95"] == 10
 
     def test_empty_histogram_summary_is_zeroed(self):
-        assert Histogram().summary()["count"] == 0
-        assert Histogram().percentile(99) == 0.0
+        summary = Histogram().summary()
+        assert summary["count"] == 0
+        assert summary["p95"] == 0.0
+
+    def test_percentile_of_empty_histogram_raises(self):
+        with pytest.raises(ReproError):
+            Histogram().percentile(99)
+
+    def test_percentile_out_of_range_raises(self):
+        histogram = Histogram()
+        histogram.observe(1.0)
+        with pytest.raises(ReproError):
+            histogram.percentile(-0.1)
+        with pytest.raises(ReproError):
+            histogram.percentile(100.5)
+
+    def test_percentile_single_observation(self):
+        histogram = Histogram()
+        histogram.observe(42.0)
+        for p in (0, 50, 95, 100):
+            assert histogram.percentile(p) == 42.0
+
+    def test_percentile_endpoints(self):
+        histogram = Histogram()
+        for value in (5, 1, 3, 2, 4):
+            histogram.observe(value)
+        assert histogram.percentile(0) == 1
+        assert histogram.percentile(100) == 5
 
 
 class TestRegistry:
@@ -78,6 +108,79 @@ class TestRegistry:
         two.gauge("g")  # created but never set
         one.merge(two)
         assert one.gauge("g").value == 5.0
+
+
+def _worker_registry(index: int) -> MetricsRegistry:
+    """What one bench worker would fill: counters, gauge, histogram."""
+    registry = MetricsRegistry()
+    registry.counter("sessions").inc(index + 1)
+    registry.counter(f"worker.{index}.private").inc()
+    registry.gauge("last_score").set(float(index))
+    for value in range(index + 2):
+        registry.histogram("bits").observe(float(value * (index + 1)))
+    return registry
+
+
+def _canonical(registry: MetricsRegistry) -> str:
+    return json.dumps(registry.snapshot(), sort_keys=True)
+
+
+class TestMergeAlgebra:
+    """merge() must make workers=N indistinguishable from a serial run.
+
+    The parallel bench driver folds per-worker registries into the
+    parent *in grid order*; these tests pin the algebra that makes that
+    sound: folding pre-filled worker registries one by one equals having
+    written every observation into a single registry (serial), and the
+    fold is associative, so any grouping of workers gives the same
+    snapshot bytes.
+    """
+
+    def test_grid_order_fold_matches_serial(self):
+        # Serial: one registry sees every observation in grid order.
+        serial = MetricsRegistry()
+        for index in range(4):
+            serial.merge(_worker_registry(index))
+        # Parallel: each worker fills a private registry; the parent
+        # folds them back in the same grid order.
+        parent = MetricsRegistry()
+        workers = [_worker_registry(index) for index in range(4)]
+        for worker in workers:
+            parent.merge(worker)
+        assert _canonical(parent) == _canonical(serial)
+
+    def test_merge_is_associative(self):
+        # (a ⊕ b) ⊕ c
+        left = MetricsRegistry()
+        left.merge(_worker_registry(0))
+        left.merge(_worker_registry(1))
+        left.merge(_worker_registry(2))
+        # a ⊕ (b ⊕ c)
+        tail = _worker_registry(1)
+        tail.merge(_worker_registry(2))
+        right = MetricsRegistry()
+        right.merge(_worker_registry(0))
+        right.merge(tail)
+        assert _canonical(left) == _canonical(right)
+
+    def test_counters_and_histograms_commute(self):
+        # Gauges are last-write-wins, so only order-insensitive
+        # instruments participate in the commutativity claim.
+        def build(index):
+            registry = MetricsRegistry()
+            registry.counter("c").inc(index + 1)
+            registry.histogram("h").observe(float(index))
+            return registry
+
+        forward = MetricsRegistry()
+        forward.merge(build(0))
+        forward.merge(build(1))
+        backward = MetricsRegistry()
+        backward.merge(build(1))
+        backward.merge(build(0))
+        snap_f, snap_b = forward.snapshot(), backward.snapshot()
+        assert snap_f["counters"] == snap_b["counters"]
+        assert snap_f["histograms"] == snap_b["histograms"]
 
 
 class TestObserveSession:

@@ -257,3 +257,58 @@ class TestBenchCli:
         assert repro_main(["bench", "--sites", "4", "--rounds", "2"]) == 0
         assert (tmp_path / "BENCH_cluster.json").exists()
         capsys.readouterr()
+
+
+class TestMonitoredBench:
+    def test_monitored_runs_carry_health_fields(self):
+        document = run_cluster_bench(TINY, monitor=True)
+        assert validate_bench(document) == []
+        for run in document["runs"]:
+            assert run["invariant_violations"] == 0
+            health = run["health"]
+            assert health["sites"] == run["n_sites"]
+            assert health["sessions_checked"] == run["sessions"]
+            assert health["samples"] > 0
+            assert len(health["final_scores"]) == run["n_sites"]
+
+    def test_default_runs_stay_unmonitored(self):
+        document = run_cluster_bench(TINY)
+        for run in document["runs"]:
+            assert "invariant_violations" not in run
+            assert "health" not in run
+
+    def test_monitor_does_not_move_measurements(self):
+        # The monitor is an observer: deterministic fields must be
+        # byte-identical with and without it.
+        bare = run_cluster_bench(TINY, created_unix=0.0)
+        watched = run_cluster_bench(TINY, created_unix=0.0, monitor=True)
+        stable = ("total_bits", "sessions", "reconciliations",
+                  "sim_completion_seconds", "traffic")
+        for run_a, run_b in zip(bare["runs"], watched["runs"]):
+            for key in stable:
+                assert run_a[key] == run_b[key]
+
+    def test_monitored_chaos_cells_pass_their_checkers(self):
+        document = run_cluster_bench(TINY_CHAOS, monitor=True)
+        assert validate_bench(document) == []
+        for run in document["runs"]:
+            assert run["invariant_violations"] == 0
+
+    def test_monitor_flag_via_cli(self, tmp_path):
+        out = str(tmp_path / "bench.json")
+        assert bench_main(["--sites", "4", "--rounds", "2",
+                           "--protocols", "srv", "--no-chaos",
+                           "--monitor", "--out", out]) == 0
+        with open(out) as handle:
+            document = json.load(handle)
+        assert validate_bench(document) == []
+        assert all("health" in run for run in document["runs"])
+
+    def test_monitored_parallel_matches_serial(self):
+        serial = run_cluster_bench(TINY_BATCHED, created_unix=0.0,
+                                   monitor=True)
+        parallel = run_cluster_bench(TINY_BATCHED, created_unix=0.0,
+                                     monitor=True, workers=2)
+        assert bench_fingerprint(serial) == bench_fingerprint(parallel)
+        for run_a, run_b in zip(serial["runs"], parallel["runs"]):
+            assert run_a["health"] == run_b["health"]

@@ -116,3 +116,43 @@ class TestCompareCli:
         bad.write_text(json.dumps({"schema": "nope"}))
         assert compare_main([str(bad), str(bad)]) == 2
         assert "not a valid bench document" in capsys.readouterr().out
+
+
+class TestInvariantGate:
+    def test_violations_in_new_document_detected(self, document):
+        broken = copy.deepcopy(document)
+        broken["runs"][0]["invariant_violations"] = 2
+        comparison = compare_documents(document, broken)
+        assert comparison.invariants_violated
+        assert comparison.new_violations[0][1] == 2
+        text = format_comparison(comparison)
+        assert "2 INVARIANT VIOLATION(S)" in text
+
+    def test_zero_count_does_not_trip(self, document):
+        clean = copy.deepcopy(document)
+        clean["runs"][0]["invariant_violations"] = 0
+        comparison = compare_documents(document, clean)
+        assert not comparison.invariants_violated
+
+    def test_violations_in_old_document_ignored(self, document):
+        # Only the NEW document is gated: a historical bad run must not
+        # block comparing against a now-clean one.
+        stale = copy.deepcopy(document)
+        stale["runs"][0]["invariant_violations"] = 5
+        assert not compare_documents(stale, document).invariants_violated
+
+    def test_cli_fails_even_without_require_same_bits(self, tmp_path,
+                                                      capsys, document):
+        old = str(tmp_path / "old.json")
+        new = str(tmp_path / "new.json")
+        write_bench(document, old)
+        broken = copy.deepcopy(document)
+        broken["runs"][0]["invariant_violations"] = 1
+        broken["runs"][0]["health"] = {
+            "samples": 4, "sites": 4, "invariant_violations": 1,
+            "sessions_checked": 6, "final_scores": {"S000": 1.0},
+            "min_final_score": 1.0, "mean_final_score": 1.0,
+        }
+        write_bench(broken, new)
+        assert compare_main([old, new]) == 1
+        assert "cannot be trusted" in capsys.readouterr().out

@@ -129,3 +129,37 @@ class TestCli:
     def test_no_arguments(self, capsys):
         assert main([]) == 2
         assert "usage" in capsys.readouterr().out
+
+
+HEALTH = {
+    "samples": 18, "sites": 8, "invariant_violations": 0,
+    "sessions_checked": 24,
+    "final_scores": {"S000": 1.0, "S001": 0.9},
+    "min_final_score": 0.9, "mean_final_score": 0.95,
+}
+
+
+class TestMonitoredRunFields:
+    def test_valid_monitored_run(self):
+        doc = doc_with(invariant_violations=0,
+                       health=copy.deepcopy(HEALTH))
+        assert validate_bench(doc) == []
+
+    def test_negative_violation_count_rejected(self):
+        errors = validate_bench(doc_with(invariant_violations=-1))
+        assert any("invariant_violations" in e for e in errors)
+
+    def test_health_must_be_an_object(self):
+        errors = validate_bench(doc_with(health=7))
+        assert any("'health' must be an object" in e for e in errors)
+
+    def test_health_missing_scores_rejected(self):
+        health = {k: v for k, v in HEALTH.items() if k != "final_scores"}
+        errors = validate_bench(doc_with(health=health))
+        assert any("final_scores" in e for e in errors)
+
+    def test_run_and_health_counts_must_agree(self):
+        health = dict(copy.deepcopy(HEALTH), invariant_violations=3)
+        errors = validate_bench(doc_with(invariant_violations=0,
+                                         health=health))
+        assert any("disagrees with" in e for e in errors)

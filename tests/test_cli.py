@@ -66,3 +66,73 @@ class TestTrace:
     def test_trace_without_demo_fails(self, capsys):
         assert main(["trace"]) == 2
         assert main(["trace", "bogus"]) == 2
+
+
+class TestTraceFilter:
+    def test_filter_narrows_the_timeline(self, capsys):
+        assert main(["trace", "chaos", "--filter", "retry,timeout"]) == 0
+        out = capsys.readouterr().out
+        assert "retry" in out or "timeout" in out
+        assert "delta_element" not in out
+
+    def test_filter_requires_value(self, capsys):
+        assert main(["trace", "fuzz", "--filter"]) == 2
+        assert "--filter requires a value" in capsys.readouterr().out
+
+    def test_usage_mentions_filter(self, capsys):
+        main([])
+        assert "--filter" in capsys.readouterr().out
+
+
+class TestMonitorCommand:
+    def test_tiny_clean_fleet_exits_zero(self, capsys):
+        assert main(["monitor", "--protocols", "srv", "--sites", "3",
+                     "--objects", "2", "--batch", "2", "--loss", "0",
+                     "--rounds", "1", "--strict-invariants"]) == 0
+        out = capsys.readouterr().out
+        assert "=== monitor srv" in out
+        assert "consistent=True" in out
+        assert "all checks passed" in out
+
+    def test_exports_are_written_and_valid(self, tmp_path, capsys):
+        prom = tmp_path / "dump.prom"
+        otlp = tmp_path / "export.json"
+        html = tmp_path / "report.html"
+        assert main(["monitor", "--protocols", "srv", "--sites", "3",
+                     "--objects", "2", "--batch", "2", "--loss", "0",
+                     "--rounds", "1", "--prom", str(prom),
+                     "--otlp", str(otlp), "--html", str(html)]) == 0
+        capsys.readouterr()
+        assert "repro_monitor_convergence_score" in prom.read_text()
+        assert html.read_text().startswith("<!DOCTYPE html>")
+        # The written OTLP document must satisfy the checked-in schema
+        # via the otlp-validate subcommand, exactly as CI consumes it.
+        assert main(["otlp-validate", str(otlp)]) == 0
+        assert "OK" in capsys.readouterr().out
+
+    def test_unknown_protocol_exits_2(self, capsys):
+        assert main(["monitor", "--protocols", "vv"]) == 2
+        assert "unknown protocol" in capsys.readouterr().out
+
+
+class TestOtlpValidateCommand:
+    def test_invalid_document_exits_1(self, tmp_path, capsys):
+        import json
+
+        path = tmp_path / "bad.json"
+        path.write_text(json.dumps({"resourceSpans": []}))
+        assert main(["otlp-validate", str(path)]) == 1
+        assert "INVALID" in capsys.readouterr().out
+
+    def test_explicit_schema_file(self, tmp_path, capsys):
+        import json
+        import pathlib
+
+        document = {"resourceSpans": [], "resourceMetrics": []}
+        path = tmp_path / "empty.json"
+        path.write_text(json.dumps(document))
+        schema = (pathlib.Path(__file__).resolve().parents[1]
+                  / "schemas" / "repro.obs.otlp.schema.json")
+        assert main(["otlp-validate", str(path),
+                     "--schema", str(schema)]) == 0
+        assert "OK" in capsys.readouterr().out
