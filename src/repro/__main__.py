@@ -211,12 +211,16 @@ DEMOS: Dict[str, Callable[..., None]] = {
 
 def _usage() -> None:
     print("usage: python -m repro [--seed N] <demo>|all\n"
-          "       python -m repro [--seed N] trace <demo> [--jsonl PATH] "
-          "[--filter kind,...]\n"
+          "       python -m repro [--seed N] trace <demo>|<trace.jsonl> "
+          "[--stats] [--jsonl PATH] [--filter kind,...]\n"
           "       python -m repro bench [--sites 8,32,128] [--workers N] "
           "[--profile] [--out BENCH_cluster.json]\n"
           "       python -m repro monitor [--protocols brv,crv,srv] "
           "[--loss 0.1] [--strict-invariants] [--html report.html]\n"
+          "       python -m repro analyze <trace.jsonl>|--fleet "
+          "[--critical-path] [--attribute] [--waterfall] [--json PATH]\n"
+          "       python -m repro history BENCH1.json BENCH2.json ... "
+          "[--gate]\n"
           "       python -m repro otlp-validate <export.json>\n\n"
           "demos:")
     for name, fn in DEMOS.items():
@@ -224,17 +228,41 @@ def _usage() -> None:
 
 
 def _run_traced(name: str, *, seed: Optional[int], jsonl: Optional[str],
-                kinds: Optional[list[str]] = None) -> int:
+                kinds: Optional[list[str]] = None,
+                stats: bool = False) -> int:
     tracer = Tracer()
     print(f"=== trace {name} ===")
     DEMOS[name](tracer=tracer, seed=seed)
     print()
-    print(render_timeline(tracer.events, max_events=60, kinds=kinds))
-    print(f"\n{len(tracer.events)} events, "
-          f"{tracer.message_bits()} message bits")
+    if stats:
+        from repro.obs.export import format_trace_stats, trace_stats
+        print(format_trace_stats(trace_stats(tracer.events)))
+    else:
+        print(render_timeline(tracer.events, max_events=60, kinds=kinds))
+        print(f"\n{len(tracer.events)} events, "
+              f"{tracer.message_bits()} message bits")
     if jsonl is not None:
         count = write_jsonl(tracer.events, jsonl)
         print(f"wrote {count} events to {jsonl}")
+    return 0
+
+
+def _trace_file(path: str, *, stats: bool,
+                kinds: Optional[list[str]] = None) -> int:
+    """Summarize (or render) an existing JSONL trace without re-running."""
+    from repro.obs.export import (events_from_jsonl, format_trace_stats,
+                                  trace_stats)
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            events = list(events_from_jsonl(handle))
+    except (OSError, ValueError, KeyError) as error:
+        print(f"cannot load trace {path!r}: {error}")
+        return 2
+    if stats:
+        print(format_trace_stats(trace_stats(events)))
+    else:
+        print(render_timeline(events, max_events=60, kinds=kinds))
+        print(f"\n{len(events)} events")
     return 0
 
 
@@ -252,14 +280,24 @@ def main(argv: list[str] | None = None) -> int:
     if arguments and arguments[0] == "otlp-validate":
         from repro.obs.otlp_schema import schema_main
         return schema_main(arguments[1:])
+    if arguments and arguments[0] == "analyze":
+        from repro.obs.cli import analyze_main
+        return analyze_main(arguments[1:])
+    if arguments and arguments[0] == "history":
+        from repro.perf.history import history_main
+        return history_main(arguments[1:])
     seed: Optional[int] = None
     jsonl: Optional[str] = None
     kinds: Optional[list[str]] = None
+    stats = False
     positional: list[str] = []
     index = 0
     while index < len(arguments):
         argument = arguments[index]
-        if argument in ("--seed", "--jsonl", "--filter"):
+        if argument == "--stats":
+            stats = True
+            index += 1
+        elif argument in ("--seed", "--jsonl", "--filter"):
             if index + 1 >= len(arguments):
                 print(f"{argument} requires a value")
                 return 2
@@ -284,12 +322,17 @@ def main(argv: list[str] | None = None) -> int:
         _usage()
         return 1
     if positional[0] == "trace":
+        import os
+        if (len(positional) == 2 and positional[1] not in DEMOS
+                and os.path.isfile(positional[1])):
+            return _trace_file(positional[1], stats=stats, kinds=kinds)
         if len(positional) != 2 or positional[1] not in DEMOS:
-            print(f"usage: python -m repro trace <demo> [--jsonl PATH] "
+            print(f"usage: python -m repro trace <demo>|<trace.jsonl> "
+                  f"[--stats] [--jsonl PATH] "
                   f"[--filter kind,...]; demos: {', '.join(DEMOS)}")
             return 2
         return _run_traced(positional[1], seed=seed, jsonl=jsonl,
-                           kinds=kinds)
+                           kinds=kinds, stats=stats)
     selected = list(DEMOS) if positional[0] == "all" else positional
     for name in selected:
         if name not in DEMOS:

@@ -279,9 +279,15 @@ class ClusterRunner:
         span = None
         if tracer is not None:
             tracer.clock = lambda: sim.now
+            # The channel parameters on the span let the causal analyzer
+            # decompose every send→deliver hop exactly (latency +
+            # bits/bandwidth + fault-injected delay, zero residual).
             span = tracer.span(f"cluster:{self.config.protocol}",
                                sites=len(self.sites),
-                               fanout=self.config.fanout)
+                               fanout=self.config.fanout,
+                               protocol=self.config.protocol,
+                               latency=self.config.channel.latency,
+                               bandwidth=self.config.channel.bandwidth)
         if self.monitor is not None:
             self.monitor.attach(self)
         try:
@@ -308,6 +314,7 @@ class ClusterRunner:
             if span is not None:
                 span.end()
             if tracer is not None:
+                tracer.flush_sampling()
                 tracer.clock = previous_clock
         if self._pending or any(self._usage.values()):
             raise SimulationError(  # pragma: no cover - defensive
@@ -360,6 +367,12 @@ class ClusterRunner:
 
     def _on_session_request(self, request: SessionRequest) -> None:
         self._requested_at[id(request)] = self._sim.now
+        if self.tracer is not None:
+            # The session index is unknown until the session starts;
+            # the analyzer matches requests to starts FIFO per (src,
+            # dst) pair — exactly the order _dispatch starts them.
+            self.tracer.event("session_request", party=request.dst,
+                              peer=request.src)
         self._pending.append(request)
         self._dispatch()
 
@@ -417,7 +430,8 @@ class ClusterRunner:
         self._reconciliations += sum(reconciled_flags)
         if self.tracer is not None:
             self.tracer.event("session_start", party=dst, peer=src,
-                              verdict=verdicts[0].name.lower())
+                              verdict=verdicts[0].name.lower(),
+                              session=record.index)
         if self.monitor is not None:
             # Before launch: the monitor snapshots the endpoints here so
             # its post-session ancestor-closure oracle has the pre-state.
@@ -430,6 +444,7 @@ class ClusterRunner:
             stop_and_wait=config.stop_and_wait, proc_time=config.proc_time,
             max_steps=config.max_steps, tracer=self.tracer,
             party_names=(src, dst), retry=config.retry,
+            session_id=record.index,
             on_complete=lambda result: self._finish(record, result))
         if not config.channel.faults.enabled:
             launch(sim, SessionOptions(pairs=pairs, **common))
@@ -489,9 +504,15 @@ class ClusterRunner:
             for obj, reconciled in enumerate(record.reconciled_objects):
                 if reconciled:
                     self.objects[dst][obj].record_update(dst)
+                    if self.tracer is not None:
+                        # New knowledge originating at dst: the causal
+                        # analyzer's convergence frontier must include it.
+                        self.tracer.event("reconcile", party=dst, obj=obj,
+                                          session=record.index)
         if self.tracer is not None:
             self.tracer.event("session_end", party=dst, peer=src,
-                              bits=result.stats.total_bits)
+                              bits=result.stats.total_bits,
+                              session=record.index)
         if self.metrics is not None:
             observe_session(self.metrics, result.stats,
                             protocol=f"cluster.{self.config.protocol}",

@@ -164,6 +164,10 @@ class SessionOptions:
             many sessions on one channel draw independent-but-replayable
             fault schedules (the cluster runner passes the session
             index).
+        session_id: cluster-level session identity stamped into every
+            wire trace event as ``fields["session"]`` (the cluster
+            runner passes its record index); ``None`` leaves standalone
+            session events exactly as before.
     """
 
     pairs: Tuple[SessionPair, ...] = ()
@@ -180,6 +184,7 @@ class SessionOptions:
     retry: RetryPolicy = field(default_factory=RetryPolicy)
     reliable: Optional[bool] = None
     fault_seed: Optional[int] = None
+    session_id: Optional[int] = None
 
     def __post_init__(self) -> None:
         if bool(self.pairs) == (self.rebuild is not None):
@@ -243,16 +248,27 @@ class _Mailbox:
     """FIFO of delivered messages with a wakeup signal."""
 
     def __init__(self, sim: Simulator, name: str,
-                 tracer: Optional[Tracer] = None) -> None:
+                 tracer: Optional[Tracer] = None,
+                 session_id: Optional[int] = None) -> None:
         self._messages: Deque[Message] = deque()
         self.arrival = sim.signal(f"{name}-arrival")
         self._name = name
         self._tracer = tracer
+        self._session_id = session_id
 
-    def push(self, message: Message) -> None:
+    def push(self, message: Message,
+             sent_seq: Optional[int] = None) -> None:
         if self._tracer is not None:
+            fields: Dict[str, Any] = {}
+            if sent_seq is not None:
+                # The trace seq of the MESSAGE event whose copy landed —
+                # the send→deliver happens-before edge, by construction
+                # acyclic (the send was emitted strictly earlier).
+                fields["sent_seq"] = sent_seq
+            if self._session_id is not None:
+                fields["session"] = self._session_id
             self._tracer.event(obs.DELIVER, party=self._name,
-                               message=message.type_name)
+                               message=message.type_name, **fields)
         self._messages.append(message)
         self.arrival.fire()
 
@@ -274,15 +290,18 @@ def _launch_wire(sim: Simulator, sender: ProtocolCoroutine,
                  stop_and_wait: bool, proc_time: float, max_steps: int,
                  tracer: Optional[Tracer],
                  party_names: Tuple[str, str],
-                 on_complete: Callable[[TimedSessionResult], None]) -> None:
+                 on_complete: Callable[[TimedSessionResult], None],
+                 session_id: Optional[int] = None) -> None:
     """Spawn one wire session's two processes on the perfect-link path."""
     if encoding.session_header_bits:
         # Per-session fixed overhead: priced, not timed (it models
         # connection state, not a serialized message — see wire.py).
         stats.forward.record("SessionHeader", encoding.session_header_bits)
     sender_name, receiver_name = party_names
-    mailboxes = {sender_name: _Mailbox(sim, sender_name, tracer),
-                 receiver_name: _Mailbox(sim, receiver_name, tracer)}
+    session_fields = {} if session_id is None else {"session": session_id}
+    mailboxes = {sender_name: _Mailbox(sim, sender_name, tracer, session_id),
+                 receiver_name: _Mailbox(sim, receiver_name, tracer,
+                                         session_id)}
     start_time = sim.now
     finish_times: Dict[str, float] = {}
     results: Dict[str, Any] = {}
@@ -308,16 +327,21 @@ def _launch_wire(sim: Simulator, sender: ProtocolCoroutine,
                     message = pending.message
                     bits = message.bits(encoding)
                     out_stats.record(message.type_name, bits)
+                    sent_seq: Optional[int] = None
                     if tracer is not None:
-                        tracer.event(obs.MESSAGE, party=name,
-                                     message=message.type_name, bits=bits,
-                                     direction=("forward" if forward
-                                                else "backward"))
+                        sent_seq = tracer.event(
+                            obs.MESSAGE, party=name,
+                            message=message.type_name, bits=bits,
+                            direction=("forward" if forward
+                                       else "backward"),
+                            **session_fields).seq
                     yield channel.serialization_delay(bits)
                     # Delivery fires one propagation latency later; note the
                     # mailbox is captured now but pushed at arrival time.
-                    sim.call_after(channel.latency,
-                                   lambda m=message: mailboxes[peer].push(m))
+                    sim.call_after(
+                        channel.latency,
+                        lambda m=message, s=sent_seq:
+                            mailboxes[peer].push(m, sent_seq=s))
                     if stop_and_wait:
                         # The implicit ack crosses back only after the data
                         # message lands; record it when it *arrives* here
@@ -330,7 +354,8 @@ def _launch_wire(sim: Simulator, sender: ProtocolCoroutine,
                             tracer.event(obs.MESSAGE, party=peer,
                                          message="Ack", bits=channel.ack_bits,
                                          direction=("backward" if forward
-                                                    else "forward"))
+                                                    else "forward"),
+                                         **session_fields)
                     value: Any = None
                 elif isinstance(pending, (Poll, Drain)):
                     value = mailbox.pop_now()
@@ -401,7 +426,8 @@ class _ReliableWire:
                  retry: RetryPolicy, injector: FaultInjector,
                  jitter_rng: random.Random, tracer: Optional[Tracer],
                  party_names: Tuple[str, str],
-                 proc_time: float, max_steps: int) -> None:
+                 proc_time: float, max_steps: int,
+                 session_id: Optional[int] = None) -> None:
         self.sim = sim
         self.stats = stats
         self.channel = channel
@@ -413,11 +439,13 @@ class _ReliableWire:
         self.proc_time = proc_time
         self.max_steps = max_steps
         self.aborted = False
+        self.session_fields = ({} if session_id is None
+                               else {"session": session_id})
         sender_name, receiver_name = party_names
         self.party_names = party_names
         self.mailboxes = {
-            sender_name: _Mailbox(sim, sender_name, tracer),
-            receiver_name: _Mailbox(sim, receiver_name, tracer)}
+            sender_name: _Mailbox(sim, sender_name, tracer, session_id),
+            receiver_name: _Mailbox(sim, receiver_name, tracer, session_id)}
         #: Each party's outgoing direction counters (data it serializes).
         self.out_stats: Dict[str, DirectionStats] = {
             sender_name: stats.forward, receiver_name: stats.backward}
@@ -435,16 +463,17 @@ class _ReliableWire:
         if self.tracer is not None:
             if not fate:
                 self.tracer.event(obs.FAULT, party=party, fault="drop",
-                                  traffic=kind, seq=seq)
+                                  traffic=kind, seq=seq,
+                                  **self.session_fields)
             else:
                 if len(fate) > 1:
                     self.tracer.event(obs.FAULT, party=party,
                                       fault="duplicate", traffic=kind,
-                                      seq=seq)
+                                      seq=seq, **self.session_fields)
                 if fate[0] > 0:
                     self.tracer.event(obs.FAULT, party=party,
                                       fault="reorder", traffic=kind, seq=seq,
-                                      delay=fate[0])
+                                      delay=fate[0], **self.session_fields)
         return fate
 
     # -- sender side --------------------------------------------------------
@@ -477,18 +506,21 @@ class _ReliableWire:
                 if self.tracer is not None:
                     self.tracer.event(obs.RETRY, party=name,
                                       message=type_name, seq=seq,
-                                      attempt=attempt)
+                                      attempt=attempt, **self.session_fields)
+            sent_seq: Optional[int] = None
             if self.tracer is not None:
-                self.tracer.event(obs.MESSAGE, party=name, message=type_name,
-                                  bits=bits, direction=direction,
-                                  seq=seq, attempt=attempt)
+                sent_seq = self.tracer.event(
+                    obs.MESSAGE, party=name, message=type_name,
+                    bits=bits, direction=direction,
+                    seq=seq, attempt=attempt, **self.session_fields).seq
             yield self.channel.serialization_delay(bits)
             if self.aborted:
                 return False
             for delay in self._fate(name, "data", seq):
                 self.sim.call_after(
                     self.channel.latency + delay,
-                    lambda m=message, s=seq: self._on_data(peer, name, s, m))
+                    lambda m=message, s=seq, ss=sent_seq:
+                        self._on_data(peer, name, s, m, ss))
             if wait.acked:
                 # A late ack for an earlier copy landed while this copy
                 # was serializing; the message is delivered.
@@ -509,7 +541,8 @@ class _ReliableWire:
             self.stats.timeouts += 1
             if self.tracer is not None:
                 self.tracer.event(obs.TIMEOUT, party=name, message=type_name,
-                                  seq=seq, attempt=attempt, rto=timeout)
+                                  seq=seq, attempt=attempt, rto=timeout,
+                                  **self.session_fields)
             if attempt >= self.retry.max_retries + 1:
                 self.abort(party=name, seq=seq, attempts=attempt)
                 return False
@@ -534,13 +567,14 @@ class _ReliableWire:
     # -- receiver side ------------------------------------------------------
 
     def _on_data(self, receiver: str, sender: str, seq: int,
-                 message: Message) -> None:
+                 message: Message,
+                 sent_seq: Optional[int] = None) -> None:
         """One copy of ``sender``'s message ``seq`` reached ``receiver``."""
         if self.aborted:
             return
         if seq == self.expected[receiver]:
             self.expected[receiver] += 1
-            self.mailboxes[receiver].push(message)
+            self.mailboxes[receiver].push(message, sent_seq=sent_seq)
         elif seq > self.expected[receiver]:  # pragma: no cover - defensive
             # Impossible under stop-and-wait (one outstanding message);
             # drop rather than corrupt ordering.
@@ -560,7 +594,8 @@ class _ReliableWire:
                               bits=self.channel.ack_bits, seq=seq,
                               direction=("backward"
                                          if receiver == self.party_names[1]
-                                         else "forward"))
+                                         else "forward"),
+                              **self.session_fields)
         ack_delay = (self.channel.serialization_delay(self.channel.ack_bits)
                      + self.channel.latency)
         for delay in self._fate(receiver, "ack", seq):
@@ -576,7 +611,7 @@ class _ReliableWire:
         self.aborted = True
         if self.tracer is not None:
             self.tracer.event(obs.SESSION_ABORT, party=party, seq=seq,
-                              attempts=attempts)
+                              attempts=attempts, **self.session_fields)
         for mailbox in self.mailboxes.values():
             mailbox.arrival.fire()
         for wait in self.waits.values():
@@ -594,14 +629,15 @@ def _launch_wire_reliable(sim: Simulator, sender: ProtocolCoroutine,
                           max_steps: int, tracer: Optional[Tracer],
                           party_names: Tuple[str, str],
                           on_complete: Callable[[TimedSessionResult], None],
-                          on_abort: Callable[[], None]) -> None:
+                          on_abort: Callable[[], None],
+                          session_id: Optional[int] = None) -> None:
     """Spawn one wire-session attempt on the ARQ transport."""
     if encoding.session_header_bits:
         # Every attempt is a fresh handshake; it re-pays the header.
         stats.forward.record("SessionHeader", encoding.session_header_bits)
     wire = _ReliableWire(sim, stats, channel, encoding, retry, injector,
                          jitter_rng, tracer, party_names, proc_time,
-                         max_steps)
+                         max_steps, session_id)
     sender_name, receiver_name = party_names
     start_time = sim.now
     finish_times: Dict[str, float] = {}
@@ -746,7 +782,9 @@ def launch(sim: Simulator, options: SessionOptions) -> SessionHandle:
             if tracer is not None:
                 tracer.event(obs.CONTROL, party=options.party_names[1],
                              signal="session_resume",
-                             attempt=handle.attempts + 1)
+                             attempt=handle.attempts + 1,
+                             **({} if options.session_id is None
+                                else {"session": options.session_id}))
             start_attempt()
 
         def finish_session(result: TimedSessionResult) -> None:
@@ -815,7 +853,8 @@ def launch(sim: Simulator, options: SessionOptions) -> SessionHandle:
                     jitter_rng=jitter_rng, proc_time=options.proc_time,
                     max_steps=options.max_steps, tracer=tracer,
                     party_names=options.party_names,
-                    on_complete=finish_chunk, on_abort=abort_chunk)
+                    on_complete=finish_chunk, on_abort=abort_chunk,
+                    session_id=options.session_id)
                 return
             _launch_wire(
                 sim, wire_sender, wire_receiver, stats=chunk_stats,
@@ -823,7 +862,7 @@ def launch(sim: Simulator, options: SessionOptions) -> SessionHandle:
                 stop_and_wait=options.stop_and_wait,
                 proc_time=options.proc_time, max_steps=options.max_steps,
                 tracer=tracer, party_names=options.party_names,
-                on_complete=finish_chunk)
+                on_complete=finish_chunk, session_id=options.session_id)
 
         launch_chunk(0)
 
@@ -842,7 +881,11 @@ def run_timed(options: SessionOptions, *, trace_dispatch: bool = False,
     tracer = options.tracer
     if tracer is None:
         return _run_timed(options, trace_dispatch=False)
-    span = tracer.span(span_name, driver="timed", time=0.0)
+    # The channel parameters let post-hoc analysis decompose each
+    # send→deliver hop exactly (latency + bits/bandwidth + fault delay).
+    span = tracer.span(span_name, driver="timed", time=0.0,
+                       latency=options.channel.latency,
+                       bandwidth=options.channel.bandwidth)
     previous_clock = tracer.clock
     try:
         return _run_timed(options, trace_dispatch=trace_dispatch)

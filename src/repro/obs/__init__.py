@@ -24,13 +24,22 @@ per-session aggregates.  This package adds the per-event window:
   JSON spans/metrics dump (schema in :mod:`repro.obs.otlp_schema`).
 * :mod:`repro.obs.dashboard` — the terminal sparkline dashboard and the
   self-contained HTML report behind ``python -m repro monitor``.
+* :mod:`repro.obs.causal` — the causal event graph reconstructed from a
+  trace: happens-before edges, the convergence critical path, and exact
+  per-category latency attribution (``python -m repro analyze``).
+* :mod:`repro.obs.waterfall` — terminal and self-contained-HTML
+  waterfall renderings of a causal analysis.
 """
 
 from repro.obs.metrics import (Counter, Gauge, Histogram, MetricsRegistry,
                                observe_session)
-from repro.obs.trace import Span, TraceEvent, Tracer
+from repro.obs.trace import SamplingPolicy, Span, TraceEvent, Tracer
 from repro.obs.export import (events_from_jsonl, events_to_jsonl,
-                              render_timeline, write_jsonl)
+                              render_timeline, trace_stats, write_jsonl)
+from repro.obs.causal import (Analysis, CausalGraph, analyze_events,
+                              analyze_tracer, validate_analysis)
+from repro.obs.waterfall import (render_waterfall, render_waterfall_html,
+                                 write_waterfall_html)
 from repro.obs.monitor import (ClusterMonitor, InvariantViolation,
                                MonitorConfig)
 from repro.obs.exporters import to_otlp, to_prometheus
@@ -39,6 +48,8 @@ from repro.obs.dashboard import (render_dashboard, render_html_report,
                                  sparkline, write_html_report)
 
 __all__ = [
+    "Analysis",
+    "CausalGraph",
     "ClusterMonitor",
     "Counter",
     "Gauge",
@@ -47,19 +58,27 @@ __all__ = [
     "MetricsRegistry",
     "MonitorConfig",
     "OTLP_SCHEMA",
+    "SamplingPolicy",
     "Span",
     "TraceEvent",
     "Tracer",
+    "analyze_events",
+    "analyze_tracer",
     "events_from_jsonl",
     "events_to_jsonl",
     "observe_session",
     "render_dashboard",
     "render_html_report",
     "render_timeline",
+    "render_waterfall",
+    "render_waterfall_html",
     "sparkline",
     "to_otlp",
     "to_prometheus",
+    "trace_stats",
+    "validate_analysis",
     "validate_otlp",
     "write_html_report",
     "write_jsonl",
+    "write_waterfall_html",
 ]

@@ -25,6 +25,7 @@ from repro.obs.exporters import to_otlp, to_prometheus
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.monitor import ClusterMonitor, MonitorConfig
 from repro.obs.otlp_schema import validate_otlp
+from repro.obs.trace import SamplingPolicy, Tracer
 from repro.workload.cluster import (SessionRequest, chaos_faults,
                                     gossip_schedule, site_names,
                                     update_schedule)
@@ -37,9 +38,14 @@ def run_monitored_fleet(protocol: str, *, n_sites: int = 8,
                         bandwidth: float = 1_000_000.0,
                         monitor_config: MonitorConfig = MonitorConfig(),
                         metrics: Optional[MetricsRegistry] = None,
-                        converge_sweep: bool = True
+                        converge_sweep: bool = True,
+                        tracer: Optional[Tracer] = None
                         ) -> Tuple[ClusterMonitor, ClusterRunner, Any]:
     """One monitored chaos-fleet run; returns (monitor, runner, result).
+
+    ``tracer`` overrides the monitor's private tracer (e.g. to apply a
+    :class:`~repro.obs.trace.SamplingPolicy` for ``repro analyze``); the
+    monitor still observes the live stream through its subscription.
 
     The workload is the benchmark's chaos cell — same schedules, same
     per-session fault seeds — so what the dashboard shows is the same
@@ -94,7 +100,7 @@ def run_monitored_fleet(protocol: str, *, n_sites: int = 8,
             for index, site in enumerate(sites[1:]))
     monitor = ClusterMonitor(monitor_config, metrics=metrics)
     runner = ClusterRunner(sites, cluster_config, metrics=metrics,
-                           monitor=monitor)
+                           monitor=monitor, tracer=tracer)
     result = runner.run(sessions, updates)
     return monitor, runner, result
 
@@ -196,4 +202,183 @@ def monitor_main(argv: Optional[List[str]] = None) -> int:
     if total_violations:
         print(f"{total_violations} invariant violation(s) counted")
         return 1
+    return 0
+
+
+def _format_critical_path(document: Dict[str, Any]) -> str:
+    """Terminal rendering of the critical-path hop chain."""
+    from repro.obs.causal import CATEGORIES
+    path = document.get("critical_path")
+    if path is None:
+        return "no timed events — no critical path"
+    lines = [f"critical path: {path['elapsed']:.6f}s over "
+             f"{len(path['hops'])} hop(s), {path['rounds']} round(s)"]
+    end = path["end"]
+    verdict = ("convergence" if document.get("converged")
+               else "last event (run did NOT converge)")
+    lines.append(f"  ends at {verdict}: seq {end['seq']} "
+                 f"{end['kind']} @ {end['time']:.6f}s")
+    for hop in path["hops"]:
+        source, target = hop["from"], hop["to"]
+        categories = ", ".join(
+            f"{name}={value:.6f}"
+            for name in CATEGORIES
+            for value in [hop["categories"].get(name)]
+            if value)
+        lines.append(
+            f"  {source['kind']:>15} → {target['kind']:<15} "
+            f"[{hop['edge']:>8}] +{hop['elapsed']:.6f}s"
+            + (f"  ({categories})" if categories else ""))
+    return "\n".join(lines)
+
+
+def _format_attribution(document: Dict[str, Any]) -> str:
+    """Terminal rendering of the per-site/protocol attribution rollup."""
+    from repro.obs.causal import CATEGORIES
+    lines = ["latency attribution (all causal hops, per session):"]
+    for summary in document.get("sessions", []):
+        attribution = summary["attribution"]
+        parts = ", ".join(f"{name}={attribution[name]:.6f}"
+                          for name in CATEGORIES if attribution[name])
+        lines.append(
+            f"  #{summary['session']} "
+            f"{summary.get('src') or '?'}→{summary.get('dst') or '?'}"
+            f" ({summary.get('protocol') or '?'}): {parts or '0'}"
+            f"  coverage={summary.get('coverage', 1.0):.3f}")
+    for title, key in (("per destination site", "sites"),
+                       ("per protocol", "protocols")):
+        rollup = document.get(key) or {}
+        if not rollup:
+            continue
+        lines.append(f"{title}:")
+        for label in sorted(rollup):
+            bucket = rollup[label]
+            attribution = bucket["attribution"]
+            parts = ", ".join(f"{name}={attribution[name]:.6f}"
+                              for name in CATEGORIES if attribution[name])
+            lines.append(f"  {label}: {bucket['sessions']} session(s), "
+                         f"{bucket['bits']} bits, "
+                         f"queue {bucket['queue_wait']:.6f}s; {parts or '0'}")
+    return "\n".join(lines)
+
+
+def analyze_main(argv: Optional[List[str]] = None) -> int:
+    """``python -m repro analyze [trace.jsonl | --fleet] [...]``."""
+    parser = argparse.ArgumentParser(
+        prog="repro analyze",
+        description="Reconstruct the causal graph of a traced run and "
+                    "report the convergence critical path, latency "
+                    "attribution, and a waterfall rendering.")
+    parser.add_argument("trace", nargs="?", default=None,
+                        help="JSONL trace file (from `repro trace --jsonl` "
+                             "or any tracer export); omit with --fleet")
+    parser.add_argument("--fleet", action="store_true",
+                        help="trace and analyze a seeded chaos fleet run "
+                             "instead of reading a file")
+    parser.add_argument("--protocol", default="srv",
+                        choices=("brv", "crv", "srv"),
+                        help="fleet protocol (default: srv)")
+    parser.add_argument("--sites", type=int, default=8,
+                        help="fleet size (default: 8)")
+    parser.add_argument("--objects", type=int, default=32,
+                        help="replicated objects per site (default: 32)")
+    parser.add_argument("--batch", type=int, default=8,
+                        help="objects per wire frame (default: 8)")
+    parser.add_argument("--loss", type=float, default=0.1,
+                        help="nominal chaos loss rate (default: 0.1; "
+                             "0 disables faults)")
+    parser.add_argument("--rounds", type=int, default=3,
+                        help="gossip rounds (default: 3)")
+    parser.add_argument("--seed", type=int, default=0,
+                        help="workload seed (default: 0)")
+    parser.add_argument("--chaos-seed", type=int, default=11,
+                        help="fault-injection seed (default: 11)")
+    parser.add_argument("--sample", action="store_true",
+                        help="trace the fleet under deterministic "
+                             "per-session sampling")
+    parser.add_argument("--sample-head", type=int, default=32,
+                        help="droppable events kept per session before "
+                             "sampling kicks in (default: 32)")
+    parser.add_argument("--sample-tail", type=int, default=8,
+                        help="trailing droppable events recovered at "
+                             "session end (default: 8)")
+    parser.add_argument("--sample-rate", type=float, default=0.0,
+                        help="keep probability for mid-session events "
+                             "(default: 0)")
+    parser.add_argument("--sample-seed", type=int, default=0,
+                        help="sampling hash seed (default: 0)")
+    parser.add_argument("--critical-path", action="store_true",
+                        help="print the convergence critical path")
+    parser.add_argument("--attribute", action="store_true",
+                        help="print per-session/site/protocol attribution")
+    parser.add_argument("--waterfall", action="store_true",
+                        help="print the terminal waterfall")
+    parser.add_argument("--json", metavar="PATH", default=None,
+                        help="write the schema-validated analysis document")
+    parser.add_argument("--html", metavar="PATH", default=None,
+                        help="write the self-contained HTML waterfall")
+    args = parser.parse_args(argv)
+
+    from repro.obs.causal import analyze_events, validate_analysis
+    from repro.obs.export import events_from_jsonl
+    from repro.obs.waterfall import render_waterfall, write_waterfall_html
+
+    if args.fleet == (args.trace is not None):
+        print("analyze needs exactly one input: a JSONL trace file "
+              "or --fleet")
+        return 2
+    if args.fleet:
+        sampling = (SamplingPolicy(head=args.sample_head,
+                                   tail=args.sample_tail,
+                                   rate=args.sample_rate,
+                                   seed=args.sample_seed)
+                    if args.sample else None)
+        tracer = Tracer(sampling=sampling)
+        print(f"=== analyze fleet {args.protocol}: {args.sites} sites × "
+              f"{args.objects} objects, loss {args.loss:g} ===")
+        _monitor, _runner, result = run_monitored_fleet(
+            args.protocol, n_sites=args.sites, n_objects=args.objects,
+            batch_size=args.batch, loss=args.loss, rounds=args.rounds,
+            seed=args.seed, chaos_seed=args.chaos_seed, tracer=tracer)
+        tracer.flush_sampling()
+        events = tracer.events
+        print(f"fleet done: {result.sessions} sessions, "
+              f"{result.total_bits} bits, {len(events)} trace events kept")
+    else:
+        try:
+            with open(args.trace, "r", encoding="utf-8") as handle:
+                events = list(events_from_jsonl(handle))
+        except (OSError, ValueError, KeyError) as error:
+            print(f"cannot load trace {args.trace!r}: {error}")
+            return 2
+    analysis = analyze_events(events)
+    document = analysis.to_dict()
+
+    show_all = not (args.critical_path or args.attribute or args.waterfall)
+    print(f"{document['nodes']} causal nodes, {document['edges']} edges"
+          + (f", {document['dropped_links']} transmit link(s) lost to "
+             "sampling" if document["dropped_links"] else "")
+          + f"; converged={'yes' if document['converged'] else 'NO'}")
+    if not document["acyclic"]:  # pragma: no cover - defensive
+        print("WARNING: causal graph has a back-edge; trace is corrupt")
+    if args.critical_path or show_all:
+        print(_format_critical_path(document))
+    if args.attribute or show_all:
+        print(_format_attribution(document))
+    if args.waterfall or show_all:
+        print(render_waterfall(document))
+    if args.json is not None:
+        errors = validate_analysis(document)
+        if errors:  # pragma: no cover - schema and writer move together
+            print(f"analysis failed schema validation: {errors[:3]}")
+            return 1
+        with open(args.json, "w", encoding="utf-8") as handle:
+            json.dump(document, handle, indent=2, sort_keys=False)
+            handle.write("\n")
+        print(f"wrote analysis JSON to {args.json} (schema-valid)")
+    if args.html is not None:
+        write_waterfall_html(args.html, document,
+                             title=f"repro causal waterfall — "
+                                   f"{args.protocol if args.fleet else args.trace}")
+        print(f"wrote HTML waterfall to {args.html}")
     return 0

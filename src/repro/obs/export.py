@@ -167,3 +167,58 @@ def render_timeline(events: Iterable[TraceEvent], *,
     if elided:
         lines.append(f"... {elided} more event(s) elided")
     return "\n".join(lines)
+
+
+def trace_stats(events: Iterable[TraceEvent]) -> Dict[str, object]:
+    """Size up a trace: per-kind counts, span count, longest spans.
+
+    Span duration uses the events' simulated clock when both ends carry
+    one; clockless spans (instant driver) fall back to a duration of 0
+    and are ranked by their event count instead.  The result is a plain
+    dict so ``repro trace --stats`` can print or JSON-dump it.
+    """
+    kinds: Dict[str, int] = {}
+    spans: Dict[int, Dict[str, object]] = {}
+    total = 0
+    for event in events:
+        total += 1
+        kinds[event.kind] = kinds.get(event.kind, 0) + 1
+        if event.kind == SPAN_START:
+            spans[event.span_id] = {
+                "span_id": event.span_id,
+                "name": event.fields.get("name", ""),
+                "start": event.time, "end": None, "events": 0,
+            }
+        elif event.kind == SPAN_END and event.span_id in spans:
+            spans[event.span_id]["end"] = event.time
+        elif event.span_id in spans:
+            spans[event.span_id]["events"] = \
+                int(spans[event.span_id]["events"]) + 1
+    ranked = []
+    for span in spans.values():
+        start, end = span["start"], span["end"]
+        duration = (end - start if isinstance(start, float)
+                    and isinstance(end, float) else 0.0)
+        ranked.append({**span, "duration": duration})
+    ranked.sort(key=lambda span: (span["duration"], span["events"]),
+                reverse=True)
+    return {"events": total, "kinds": dict(sorted(kinds.items())),
+            "spans": len(spans), "longest_spans": ranked[:5]}
+
+
+def format_trace_stats(stats: Dict[str, object]) -> str:
+    """Terminal rendering of :func:`trace_stats` output."""
+    lines = [f"{stats['events']} events across {stats['spans']} span(s)"]
+    lines.append("events by kind:")
+    kinds: Dict[str, int] = stats["kinds"]  # type: ignore[assignment]
+    width = max((len(kind) for kind in kinds), default=4)
+    for kind, count in sorted(kinds.items(), key=lambda item: -item[1]):
+        lines.append(f"  {kind:<{width}}  {count}")
+    longest = stats["longest_spans"]
+    if longest:
+        lines.append("longest spans:")
+        for span in longest:  # type: ignore[union-attr]
+            name = span["name"] or f"span#{span['span_id']}"
+            lines.append(f"  {name}: {span['duration']:.6f}s, "
+                         f"{span['events']} event(s)")
+    return "\n".join(lines)

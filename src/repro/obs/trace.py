@@ -22,12 +22,34 @@ The off switch is ``tracer=None`` (the default of every instrumented entry
 point): instrumentation sites guard with ``if tracer is not None``, so an
 untraced run executes exactly the pre-observability code path and its
 measured bit counts are byte-for-byte identical.
+
+Sampling
+--------
+
+Full traces are untenable at fleet scale (a 1000-site chaos run emits
+millions of wire events), so a tracer may carry a
+:class:`SamplingPolicy`: high-volume *droppable* kinds (messages,
+delivers, Δ/Γ steps, faults, retries, timeouts, kernel dispatches) are
+retained per session key — the first ``head`` outright, a seeded
+pseudo-random ``rate`` fraction of the middle, and a ``tail`` ring
+flushed when the session ends.  Lifecycle and incident kinds (spans,
+session request/start/end/abort/resume, updates, invariant violations)
+are **always** kept, and every event — retained or not — is still
+delivered to live subscribers, so a
+:class:`~repro.obs.monitor.ClusterMonitor` sees the unsampled stream.
+Each flushed session emits one synthetic ``sampling`` event recording
+``seen``/``kept``, which the causal analyzer turns into coverage
+fractions.  ``sampling=None`` (the default) leaves every code path
+exactly as it was.
 """
 
 from __future__ import annotations
 
+import bisect
+import zlib
+from collections import deque
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional
+from typing import Any, Deque, Dict, List, Optional
 
 # -- event kinds ------------------------------------------------------------------
 
@@ -36,6 +58,8 @@ SPAN_END = "span_end"
 #: A message crossing the wire (driver-emitted, priced in bits).
 MESSAGE = "message"
 #: A delayed message reaching its destination (randomized/timed drivers).
+#: ``fields["sent_seq"]`` links back to the ``MESSAGE`` event of the copy
+#: that arrived (the happens-before edge the causal analyzer walks).
 DELIVER = "deliver"
 #: Receiver wrote an element it lacked — one unit of the paper's |Δ|.
 DELTA_ELEMENT = "delta_element"
@@ -64,6 +88,76 @@ SESSION_ABORT = "session_abort"
 #: ``fields["check"]`` names the invariant and the remaining fields carry
 #: the structured evidence (see :mod:`repro.obs.monitor`).
 INVARIANT_VIOLATION = "invariant_violation"
+#: A cluster scheduler received a synchronization request (the session
+#: itself may start later if an endpoint is busy — the queueing edge).
+SESSION_REQUEST = "session_request"
+#: A cluster session's coroutines were launched (``fields["session"]``).
+SESSION_START = "session_start"
+#: A cluster session's final attempt completed (``fields["session"]``).
+SESSION_END = "session_end"
+#: A local update landed on ``party`` (cluster runs).
+UPDATE = "update"
+#: The pulling site's §2.2 post-reconciliation self-increment — new
+#: knowledge originating at ``party`` that later sessions must propagate.
+RECONCILE = "reconcile"
+#: Synthetic retention accounting emitted by a sampling tracer:
+#: ``fields["seen"]``/``fields["kept"]`` per session key.
+SAMPLING = "sampling"
+
+#: High-volume kinds a :class:`SamplingPolicy` may decline to retain.
+#: Everything else — lifecycle, incidents, accounting — is always kept.
+DROPPABLE_KINDS = frozenset({
+    MESSAGE, DELIVER, DELTA_ELEMENT, GAMMA_RETRANSMIT, GAMMA_SKIP,
+    CONFLICT_BIT, SIM_DISPATCH, FAULT, RETRY, TIMEOUT,
+})
+
+
+@dataclass(frozen=True)
+class SamplingPolicy:
+    """Deterministic retention policy for droppable event kinds.
+
+    Retention is decided per *session key* (``fields["session"]`` when
+    present, one shared pool otherwise): the first ``head`` droppable
+    events of a session are kept outright, later ones are kept with
+    pseudo-probability ``rate`` (a seeded CRC32 hash of (seed, key,
+    index) — deterministic across processes, unlike Python's randomized
+    ``hash``), and the last ``tail`` withheld events are recovered from a
+    ring when the session ends.  Violations and lifecycle events are
+    never dropped (see :data:`DROPPABLE_KINDS`).
+    """
+
+    head: int = 32
+    tail: int = 8
+    rate: float = 0.0
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.head < 0:
+            raise ValueError(f"head must be >= 0, got {self.head}")
+        if self.tail < 0:
+            raise ValueError(f"tail must be >= 0, got {self.tail}")
+        if not 0.0 <= self.rate <= 1.0:
+            raise ValueError(f"rate must be in [0, 1], got {self.rate}")
+
+    def keeps(self, key: Any, index: int) -> bool:
+        """Deterministic middle-of-session keep decision."""
+        if self.rate >= 1.0:
+            return True
+        if self.rate <= 0.0:
+            return False
+        digest = zlib.crc32(f"{self.seed}:{key}:{index}".encode("utf-8"))
+        return digest < self.rate * 4_294_967_296.0
+
+
+class _SessionSampler:
+    """Per-session-key retention state of a sampling tracer."""
+
+    __slots__ = ("seen", "kept", "ring")
+
+    def __init__(self, tail: int) -> None:
+        self.seen = 0
+        self.kept = 0
+        self.ring: Deque["TraceEvent"] = deque(maxlen=tail)
 
 
 @dataclass
@@ -125,26 +219,46 @@ class Tracer:
     its ``seq`` counter totally orders everything it saw.  The optional
     ``clock`` callable (set by timed drivers) stamps events that do not
     pass an explicit ``time=``.
+
+    ``sampling`` bounds retention of high-volume kinds (see
+    :class:`SamplingPolicy`); ``strict_subscribers`` re-raises subscriber
+    exceptions instead of merely counting them in ``subscriber_errors``
+    (wired to ``--strict-invariants`` by the monitor CLI); ``metrics``
+    optionally mirrors that count into a
+    ``tracer.subscriber_errors`` counter.
     """
 
-    def __init__(self) -> None:
+    def __init__(self, *, sampling: Optional[SamplingPolicy] = None,
+                 strict_subscribers: bool = False,
+                 metrics: Optional[Any] = None) -> None:
         self.events: List[TraceEvent] = []
         self._seq = 0
         self._next_span = 0
         self._stack: List[int] = []
         self.clock = None  # type: Optional[Any]
         self._subscribers: List[Any] = []
+        self.sampling = sampling
+        self.strict_subscribers = strict_subscribers
+        self.metrics = metrics
+        self.subscriber_errors = 0
+        self.last_subscriber_error: Optional[BaseException] = None
+        self._samplers: Dict[Any, _SessionSampler] = {}
+        self._kept_seqs: List[int] = []
 
     # -- subscription ---------------------------------------------------------------
 
     def subscribe(self, callback: Any) -> None:
         """Call ``callback(event)`` for every event recorded from now on.
 
-        Subscribers see events live, in emission order, which is what lets
-        a :class:`~repro.obs.monitor.ClusterMonitor` maintain health
-        gauges *during* a run instead of post-hoc.  A callback must not
-        mutate the event; it may emit further events (re-entrant emission
-        is ordered after the event being delivered).
+        Subscribers see events live, in emission order — and *unsampled*:
+        a retention policy only limits what ``events`` keeps, never what
+        a live :class:`~repro.obs.monitor.ClusterMonitor` observes.  A
+        callback must not mutate the event; it may emit further events
+        (re-entrant emission is ordered after the event being delivered).
+        A callback that raises does not abort the run or starve later
+        subscribers: the exception is counted in ``subscriber_errors``
+        (and the ``tracer.subscriber_errors`` metric when a registry is
+        attached) and re-raised only when ``strict_subscribers`` is set.
         """
         self._subscribers.append(callback)
 
@@ -152,6 +266,21 @@ class Tracer:
         """Stop delivering events to ``callback`` (no-op if absent)."""
         if callback in self._subscribers:
             self._subscribers.remove(callback)
+
+    def _notify(self, record: TraceEvent) -> None:
+        first_error: Optional[BaseException] = None
+        for callback in self._subscribers:
+            try:
+                callback(record)
+            except Exception as error:  # noqa: BLE001 - isolation boundary
+                self.subscriber_errors += 1
+                self.last_subscriber_error = error
+                if self.metrics is not None:
+                    self.metrics.counter("tracer.subscriber_errors").inc()
+                if first_error is None:
+                    first_error = error
+        if first_error is not None and self.strict_subscribers:
+            raise first_error
 
     # -- emission -------------------------------------------------------------------
 
@@ -168,9 +297,11 @@ class Tracer:
                             party=party, message=message, bits=bits,
                             fields=fields)
         self._seq += 1
-        self.events.append(record)
-        for callback in self._subscribers:
-            callback(record)
+        if self.sampling is None:
+            self.events.append(record)
+        else:
+            self._consider(record)
+        self._notify(record)
         return record
 
     def span(self, name: str, *, time: Optional[float] = None,
@@ -186,6 +317,65 @@ class Tracer:
         if span.span_id in self._stack:
             self._stack.remove(span.span_id)
         self.event(SPAN_END, span_id=span.span_id, time=time, name=span.name)
+
+    # -- sampling -------------------------------------------------------------------
+
+    def _retain(self, record: TraceEvent) -> None:
+        """Keep ``record``, preserving seq order under late ring flushes."""
+        if not self._kept_seqs or self._kept_seqs[-1] < record.seq:
+            self.events.append(record)
+            self._kept_seqs.append(record.seq)
+            return
+        index = bisect.bisect_left(self._kept_seqs, record.seq)
+        self.events.insert(index, record)
+        self._kept_seqs.insert(index, record.seq)
+
+    def _consider(self, record: TraceEvent) -> None:
+        policy = self.sampling
+        if record.kind not in DROPPABLE_KINDS:
+            if record.kind in (SESSION_END, SESSION_ABORT):
+                # Recover the session's trailing context before the event
+                # that explains it; the ring's seqs all precede this one.
+                key = record.fields.get("session")
+                if key in self._samplers:
+                    self._flush_key(key, final=(record.kind == SESSION_END))
+            self._retain(record)
+            return
+        key = record.fields.get("session")
+        sampler = self._samplers.get(key)
+        if sampler is None:
+            sampler = self._samplers[key] = _SessionSampler(policy.tail)
+        sampler.seen += 1
+        if (sampler.seen <= policy.head
+                or policy.keeps(key, sampler.seen)):
+            sampler.kept += 1
+            self._retain(record)
+        elif policy.tail:
+            sampler.ring.append(record)
+
+    def _flush_key(self, key: Any, *, final: bool = True) -> None:
+        sampler = self._samplers[key]
+        for withheld in sampler.ring:
+            sampler.kept += 1
+            self._retain(withheld)
+        sampler.ring.clear()
+        if final:
+            del self._samplers[key]
+            extra = {"session": key} if key is not None else {}
+            self.event(SAMPLING, seen=sampler.seen, kept=sampler.kept,
+                       **extra)
+
+    def flush_sampling(self) -> None:
+        """Flush every open tail ring and emit its coverage accounting.
+
+        Call once at end of run (the cluster runner does); sessions that
+        ended already flushed themselves at their ``session_end``.
+        No-op without a sampling policy.
+        """
+        if self.sampling is None:
+            return
+        for key in list(self._samplers):
+            self._flush_key(key, final=True)
 
     # -- queries --------------------------------------------------------------------
 

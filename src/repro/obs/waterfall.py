@@ -1,0 +1,202 @@
+"""Waterfall rendering of a causal analysis: terminal and HTML.
+
+The waterfall shows the convergence critical path as stacked horizontal
+bars — one row per hop, offset by start time, shaded by attribution
+category — followed by the per-session lanes (requested → started →
+ended, queue wait hatched).  The terminal renderer draws with unicode
+blocks; the HTML renderer emits a dependency-free self-contained page in
+the same visual style as :mod:`repro.obs.dashboard` (and, like it,
+escapes every interpolated name — site and protocol strings are
+attacker-ish inputs as far as the report is concerned).
+
+Both renderers consume the plain analysis *document* (the dict from
+:meth:`repro.obs.causal.Analysis.to_dict`), so they work equally on a
+fresh analysis or one loaded back from ``repro analyze --json`` output.
+"""
+
+from __future__ import annotations
+
+import html
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.obs.causal import CATEGORIES
+from repro.obs.dashboard import _HTML_STYLE
+
+#: Terminal shading per category, aligned with :data:`CATEGORIES`.
+_GLYPHS = {"latency": "░", "serialization": "█", "fault_delay": "▒",
+           "arq": "▓", "queueing": "·", "processing": "•"}
+#: HTML bar colors per category (colorblind-safe-ish qualitative set).
+_COLORS = {"latency": "#60a5fa", "serialization": "#1d4ed8",
+           "fault_delay": "#f59e0b", "arq": "#b91c1c",
+           "queueing": "#9ca3af", "processing": "#15803d"}
+
+
+def _hop_label(hop: Dict[str, Any]) -> str:
+    source, target = hop["from"], hop["to"]
+    where = target.get("party") or source.get("party") or "?"
+    what = target.get("message") or target["kind"]
+    return f"{where}:{what}"
+
+
+def _dominant(hop: Dict[str, Any]) -> str:
+    categories = hop.get("categories") or {}
+    if not categories:
+        return "processing"
+    return max(CATEGORIES,
+               key=lambda name: categories.get(name, 0.0))
+
+
+def render_waterfall(document: Dict[str, Any], *, width: int = 64) -> str:
+    """Terminal waterfall of the critical path plus session lanes."""
+    lines: List[str] = []
+    path = document.get("critical_path")
+    converged = document.get("converged", False)
+    lines.append(f"causal waterfall — mode={document.get('mode', '?')} "
+                 f"converged={'yes' if converged else 'NO'}")
+    if path is None:
+        lines.append("  (no timed events — nothing to draw)")
+        return "\n".join(lines)
+    start = path["start"]["time"]
+    elapsed = path["elapsed"] or 1.0
+    scale = width / elapsed
+    lines.append(f"critical path: {path['elapsed']:.6f}s over "
+                 f"{len(path['hops'])} hops, {path['rounds']} round(s)")
+    for hop in path["hops"]:
+        offset = int((hop["from"]["time"] - start) * scale)
+        span = max(1, int(hop["elapsed"] * scale))
+        glyph = _GLYPHS[_dominant(hop)]
+        bar = " " * offset + glyph * span
+        lines.append(f"  {bar:<{width + 2}} {_hop_label(hop)} "
+                     f"[{_dominant(hop)}] {hop['elapsed']:.6f}s")
+    attribution = path["attribution"]
+    parts = ", ".join(f"{name}={attribution[name]:.6f}"
+                      for name in CATEGORIES if attribution[name])
+    lines.append(f"attribution: {parts or '0'}")
+    sessions = document.get("sessions") or []
+    timed = [s for s in sessions if "started" in s and "ended" in s]
+    if timed:
+        lo = min(s.get("requested", s["started"]) for s in timed)
+        hi = max(s["ended"] for s in timed)
+        scale = width / ((hi - lo) or 1.0)
+        lines.append("sessions:")
+        for summary in timed:
+            requested = summary.get("requested", summary["started"])
+            queue = int((summary["started"] - requested) * scale)
+            busy = max(1, int((summary["ended"] - summary["started"])
+                              * scale))
+            offset = int((requested - lo) * scale)
+            bar = " " * offset + "·" * queue + "█" * busy
+            label = (f"#{summary['session']} "
+                     f"{summary.get('src') or '?'}→"
+                     f"{summary.get('dst') or '?'}")
+            lines.append(f"  {bar:<{width + 2}} {label} "
+                         f"{summary.get('duration', 0.0):.6f}s")
+    coverage = document.get("coverage", {})
+    if coverage.get("sampled"):
+        lines.append(f"coverage: {coverage.get('fraction', 1.0):.3f} "
+                     f"({coverage.get('kept', 0)}/{coverage.get('seen', 0)} "
+                     "droppable events kept)")
+    return "\n".join(lines)
+
+
+def _bar_html(segments: List[Tuple[str, float]], total: float) -> str:
+    """One stacked horizontal bar as nested divs (percent widths)."""
+    if total <= 0:
+        total = 1.0
+    cells = []
+    for category, value in segments:
+        if value <= 0:
+            continue
+        pct = 100.0 * value / total
+        cells.append(
+            f'<div class="seg" style="width:{pct:.3f}%;'
+            f'background:{_COLORS[category]}" title="{category}"></div>')
+    return f'<div class="bar">{"".join(cells)}</div>'
+
+
+def render_waterfall_html(document: Dict[str, Any], *,
+                          title: str = "repro causal waterfall") -> str:
+    """A self-contained HTML waterfall page (no external assets)."""
+    out: List[str] = []
+    out.append("<!DOCTYPE html><html><head><meta charset='utf-8'>")
+    out.append(f"<title>{html.escape(title)}</title>")
+    out.append(f"<style>{_HTML_STYLE}")
+    out.append(".bar { display: flex; height: 14px; width: 420px;"
+               " background: #f3f4f6; border: 1px solid #e5e7eb; }")
+    out.append(".seg { height: 100%; }")
+    out.append(".lane { margin-left: var(--off); }")
+    out.append("</style></head><body>")
+    out.append(f"<h1>{html.escape(title)}</h1>")
+    converged = document.get("converged", False)
+    badge = ("<span class='ok'>converged</span>" if converged
+             else "<span class='bad'>did not converge</span>")
+    out.append(f"<p class='meta'>mode {html.escape(str(document.get('mode', '?')))}"
+               f" · {badge} · {document.get('nodes', 0)} nodes /"
+               f" {document.get('edges', 0)} edges</p>")
+    legend = " ".join(
+        f"<span style='color:{_COLORS[name]}'>■</span> {html.escape(name)}"
+        for name in CATEGORIES)
+    out.append(f"<p class='meta'>{legend}</p>")
+    path = document.get("critical_path")
+    if path is not None:
+        out.append("<h2>Convergence critical path</h2>")
+        out.append(f"<p class='meta'>{path['elapsed']:.6f}s, "
+                   f"{len(path['hops'])} hops, {path['rounds']} round(s); "
+                   f"ends at seq {path['end']['seq']} "
+                   f"({html.escape(str(path['end']['kind']))})</p>")
+        out.append("<table><tr><th>hop</th><th>share</th>"
+                   "<th class='num'>elapsed (s)</th><th>edge</th></tr>")
+        for hop in path["hops"]:
+            categories = hop.get("categories") or {}
+            segments = [(name, categories.get(name, 0.0))
+                        for name in CATEGORIES]
+            out.append(
+                "<tr>"
+                f"<td>{html.escape(_hop_label(hop))}</td>"
+                f"<td>{_bar_html(segments, path['elapsed'])}</td>"
+                f"<td class='num'>{hop['elapsed']:.6f}</td>"
+                f"<td>{html.escape(hop['edge'])}</td></tr>")
+        out.append("</table>")
+        attribution = path["attribution"]
+        out.append("<h2>Critical-path attribution</h2>")
+        out.append("<table><tr><th>category</th>"
+                   "<th class='num'>seconds</th></tr>")
+        for name in CATEGORIES:
+            out.append(f"<tr><td>{html.escape(name)}</td>"
+                       f"<td class='num'>{attribution[name]:.9f}</td></tr>")
+        out.append("</table>")
+    sessions = document.get("sessions") or []
+    timed = [s for s in sessions if "started" in s and "ended" in s]
+    if timed:
+        out.append("<h2>Sessions</h2>")
+        out.append("<table><tr><th>#</th><th>src→dst</th><th>protocol</th>"
+                   "<th>attribution</th><th class='num'>queue (s)</th>"
+                   "<th class='num'>duration (s)</th>"
+                   "<th class='num'>coverage</th></tr>")
+        for summary in timed:
+            attribution = summary["attribution"]
+            segments = [(name, attribution.get(name, 0.0))
+                        for name in CATEGORIES]
+            total = sum(value for _, value in segments)
+            pair = (f"{summary.get('src') or '?'}"
+                    f"→{summary.get('dst') or '?'}")
+            out.append(
+                "<tr>"
+                f"<td class='num'>{html.escape(str(summary['session']))}</td>"
+                f"<td>{html.escape(pair)}</td>"
+                f"<td>{html.escape(str(summary.get('protocol') or '?'))}</td>"
+                f"<td>{_bar_html(segments, total)}</td>"
+                f"<td class='num'>{summary.get('queue_wait', 0.0):.6f}</td>"
+                f"<td class='num'>{summary.get('duration', 0.0):.6f}</td>"
+                f"<td class='num'>{summary.get('coverage', 1.0):.3f}</td>"
+                "</tr>")
+        out.append("</table>")
+    out.append("</body></html>")
+    return "".join(out)
+
+
+def write_waterfall_html(path: str, document: Dict[str, Any], *,
+                         title: str = "repro causal waterfall") -> None:
+    """Write the self-contained HTML waterfall to ``path``."""
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(render_waterfall_html(document, title=title))

@@ -36,8 +36,10 @@ from repro.net.channel import ChannelSpec
 from repro.net.cluster import (ClusterConfig, ClusterResult, ClusterRunner,
                                replay_sequential)
 from repro.net.wire import Encoding
+from repro.obs.causal import analyze_tracer
 from repro.obs.metrics import MetricsRegistry, wall_timer
 from repro.obs.monitor import ClusterMonitor, MonitorConfig
+from repro.obs.trace import Tracer
 from repro.perf.schema import SCHEMA_ID, validate_bench
 from repro.workload.cluster import (chaos_faults, gossip_schedule,
                                     site_names, update_schedule)
@@ -120,9 +122,34 @@ def _monitor_fields(monitor: Optional[ClusterMonitor]) -> Dict[str, Any]:
             "health": monitor.health_summary()}
 
 
+def _make_tracer(enabled: bool) -> Optional[Tracer]:
+    """The per-cell causal tracer, or ``None`` (the default)."""
+    return Tracer() if enabled else None
+
+
+def _analyze_fields(tracer: Optional[Tracer]) -> Dict[str, Any]:
+    """The causal-analysis record fields an analyzed cell carries.
+
+    The cell's full trace is reduced post-run to three picklable
+    scalars/dicts: the convergence critical-path length in simulated
+    seconds, its hop count, and its category attribution — exactly the
+    trajectory :mod:`repro.perf.history` watches across documents.
+    """
+    if tracer is None:
+        return {}
+    analysis = analyze_tracer(tracer)
+    path = analysis.critical_path
+    if path is None:
+        return {"critical_path_seconds": 0.0, "critical_path_hops": 0,
+                "critical_path_attribution": {}}
+    return {"critical_path_seconds": path["elapsed"],
+            "critical_path_hops": len(path["hops"]),
+            "critical_path_attribution": path["attribution"]}
+
+
 def _run_one(protocol: str, n_sites: int, config: BenchConfig, *,
              metrics: Optional[MetricsRegistry] = None,
-             monitor: bool = False) -> Dict[str, Any]:
+             monitor: bool = False, analyze: bool = False) -> Dict[str, Any]:
     sites = site_names(n_sites)
     n_updates = max(1, round(n_sites * config.updates_per_site))
     cluster_config = ClusterConfig(
@@ -139,8 +166,9 @@ def _run_one(protocol: str, n_sites: int, config: BenchConfig, *,
         sites, n_updates=n_updates, interval=config.update_interval,
         seed=config.seed + 1, writers=writers)
     cell_monitor = _make_monitor(monitor)
+    cell_tracer = _make_tracer(analyze)
     runner = ClusterRunner(sites, cluster_config, metrics=metrics,
-                           monitor=cell_monitor)
+                           monitor=cell_monitor, tracer=cell_tracer)
     start = time.perf_counter()
     with wall_timer(metrics, f"bench.cluster.{protocol}.wall_seconds"):
         result = runner.run(sessions, updates)
@@ -151,6 +179,7 @@ def _run_one(protocol: str, n_sites: int, config: BenchConfig, *,
     ranked = sorted(per_session)
     return {
         **_monitor_fields(cell_monitor),
+        **_analyze_fields(cell_tracer),
         "scenario": _scenario_for(protocol),
         "protocol": protocol,
         "n_sites": n_sites,
@@ -176,7 +205,8 @@ def _run_one(protocol: str, n_sites: int, config: BenchConfig, *,
 
 def _run_batched_one(batch_size: int, config: BenchConfig, *,
                      metrics: Optional[MetricsRegistry] = None,
-                     monitor: bool = False) -> Dict[str, Any]:
+                     monitor: bool = False,
+                     analyze: bool = False) -> Dict[str, Any]:
     """One batched many-objects run (always SRV, stop-and-wait).
 
     Stop-and-wait plus a non-zero per-session header is the regime where
@@ -207,8 +237,9 @@ def _run_batched_one(batch_size: int, config: BenchConfig, *,
         sites, n_updates=n_updates, interval=config.update_interval,
         seed=config.seed + 1, n_objects=n_objects)
     cell_monitor = _make_monitor(monitor)
+    cell_tracer = _make_tracer(analyze)
     runner = ClusterRunner(sites, cluster_config, metrics=metrics,
-                           monitor=cell_monitor)
+                           monitor=cell_monitor, tracer=cell_tracer)
     start = time.perf_counter()
     with wall_timer(metrics, "bench.cluster.batched.wall_seconds"):
         result = runner.run(sessions, updates)
@@ -220,6 +251,7 @@ def _run_batched_one(batch_size: int, config: BenchConfig, *,
     synced_objects = result.sessions * n_objects
     return {
         **_monitor_fields(cell_monitor),
+        **_analyze_fields(cell_tracer),
         "scenario": "batched-many-objects",
         "protocol": "srv",
         "n_sites": n_sites,
@@ -249,7 +281,8 @@ def _run_batched_one(batch_size: int, config: BenchConfig, *,
 
 def _run_chaos_one(protocol: str, loss: float, config: BenchConfig, *,
                    metrics: Optional[MetricsRegistry] = None,
-                   monitor: bool = False) -> Dict[str, Any]:
+                   monitor: bool = False,
+                   analyze: bool = False) -> Dict[str, Any]:
     """One chaos cell: the batched fleet on a faulted channel.
 
     Every protocol runs the same ``batched_site_count`` ×
@@ -282,8 +315,9 @@ def _run_chaos_one(protocol: str, loss: float, config: BenchConfig, *,
         sites, n_updates=n_updates, interval=config.update_interval,
         seed=config.seed + 1, writers=writers, n_objects=n_objects)
     cell_monitor = _make_monitor(monitor)
+    cell_tracer = _make_tracer(analyze)
     runner = ClusterRunner(sites, cluster_config, metrics=metrics,
-                           monitor=cell_monitor)
+                           monitor=cell_monitor, tracer=cell_tracer)
     start = time.perf_counter()
     with wall_timer(metrics, f"bench.cluster.chaos.{protocol}.wall_seconds"):
         result = runner.run(sessions, updates)
@@ -295,6 +329,7 @@ def _run_chaos_one(protocol: str, loss: float, config: BenchConfig, *,
     totals = result.totals
     return {
         **_monitor_fields(cell_monitor),
+        **_analyze_fields(cell_tracer),
         "scenario": "chaos-loss",
         "protocol": protocol,
         "n_sites": n_sites,
@@ -368,28 +403,29 @@ def _task_grid(config: BenchConfig) -> List[_BenchTask]:
     return tasks
 
 
-def _run_task(task_and_config: Tuple[_BenchTask, BenchConfig, bool]
+def _run_task(task_and_config: Tuple[_BenchTask, BenchConfig, bool, bool]
               ) -> Tuple[Dict[str, Any], MetricsRegistry]:
     """Execute one grid cell with a private registry (pool-picklable).
 
     Every cell derives its schedules from ``config.seed`` alone — no
     state is shared between cells — so the record is identical whether
-    the cell runs in the parent or in a pool worker.  ``monitor`` rides
-    along as a plain flag (not a ``BenchConfig`` field — the config is
-    embedded in the document, and monitoring must not move the default
-    fingerprint); monitored cells embed only the picklable digest.
+    the cell runs in the parent or in a pool worker.  ``monitor`` and
+    ``analyze`` ride along as plain flags (not ``BenchConfig`` fields —
+    the config is embedded in the document, and neither observation mode
+    may move the default fingerprint); opted-in cells embed only the
+    picklable digest.
     """
-    task, config, monitor = task_and_config
+    task, config, monitor, analyze = task_and_config
     metrics = MetricsRegistry()
     if task[0] == "gossip":
         record = _run_one(task[1], task[2], config, metrics=metrics,
-                          monitor=monitor)
+                          monitor=monitor, analyze=analyze)
     elif task[0] == "chaos":
         record = _run_chaos_one(task[1], task[2], config, metrics=metrics,
-                                monitor=monitor)
+                                monitor=monitor, analyze=analyze)
     else:
         record = _run_batched_one(task[1], config, metrics=metrics,
-                                  monitor=monitor)
+                                  monitor=monitor, analyze=analyze)
     return record, metrics
 
 
@@ -411,6 +447,7 @@ def run_cluster_bench(config: BenchConfig = BenchConfig(), *,
                       echo: Optional[Any] = None,
                       workers: int = 1,
                       monitor: bool = False,
+                      analyze: bool = False,
                       created_unix: Optional[float] = None) -> Dict[str, Any]:
     """Run the full sweep; returns the (already validated) document.
 
@@ -430,10 +467,16 @@ def run_cluster_bench(config: BenchConfig = BenchConfig(), *,
     deliberately a call parameter, not a ``BenchConfig`` field: the
     config is serialized into the document, so a config knob would move
     the default fingerprint.
+
+    ``analyze=True`` traces every cell and embeds the causal digest
+    (``critical_path_seconds`` / ``critical_path_hops`` /
+    ``critical_path_attribution`` from :mod:`repro.obs.causal`) in each
+    record — the trajectory :mod:`repro.perf.history` tracks.  Like
+    ``monitor`` it is a call parameter for the same fingerprint reason.
     """
     if workers < 1:
         raise ValueError(f"workers must be >= 1, got {workers}")
-    tasks = [(task, config, monitor) for task in _task_grid(config)]
+    tasks = [(task, config, monitor, analyze) for task in _task_grid(config)]
     if workers > 1 and len(tasks) > 1:
         with multiprocessing.Pool(min(workers, len(tasks))) as pool:
             outcomes = pool.map(_run_task, tasks)
@@ -509,6 +552,7 @@ def bench_main(argv: List[str]) -> int:
     workers = 1
     profile = False
     monitor = False
+    analyze = False
     profile_out = "bench.pstats"
     chaos_loss_rates: Tuple[float, ...] = BenchConfig().chaos_loss_rates
     chaos_seed = BenchConfig().chaos_seed
@@ -519,7 +563,7 @@ def bench_main(argv: List[str]) -> int:
               "[--protocols brv,crv,srv] [--rounds N] [--seed N] "
               "[--workers N] [--profile] [--profile-out bench.pstats] "
               "[--chaos-loss 0.01,0.1] [--chaos-seed N] [--no-chaos] "
-              "[--monitor] [--out BENCH_cluster.json]")
+              "[--monitor] [--analyze] [--out BENCH_cluster.json]")
         return 2
 
     index = 0
@@ -530,6 +574,9 @@ def bench_main(argv: List[str]) -> int:
             index += 1
         elif argument == "--monitor":
             monitor = True
+            index += 1
+        elif argument == "--analyze":
+            analyze = True
             index += 1
         elif argument == "--no-chaos":
             chaos_loss_rates = ()
@@ -612,13 +659,13 @@ def bench_main(argv: List[str]) -> int:
         profiler.enable()
         try:
             document = run_cluster_bench(config, echo=print,
-                                         monitor=monitor)
+                                         monitor=monitor, analyze=analyze)
         finally:
             profiler.disable()
         profiler.dump_stats(profile_out)
     else:
         document = run_cluster_bench(config, echo=print, workers=workers,
-                                     monitor=monitor)
+                                     monitor=monitor, analyze=analyze)
     path = write_bench(document, out)
     print()
     print(format_bench_table(document))

@@ -46,6 +46,13 @@ Document layout (version ``repro.bench.cluster/1``)::
           "timeouts": 6,                   # expired ARQ timers
           "resumes": 0,                    # session re-handshakes
           "goodput_overhead_pct": 6.05,    # retransmitted/goodput * 100
+          # Analyzed runs (``--analyze``) additionally carry the causal
+          # digest from ``repro.obs.causal``:
+          "critical_path_seconds": 4.21,   # convergence critical path
+          "critical_path_hops": 12,        # hops on that path
+          "critical_path_attribution": {   # category → simulated seconds
+            "latency": 0.04, "serialization": 0.002, ...
+          },
           # Monitored runs (``--monitor``) additionally carry:
           "invariant_violations": 0,       # inline-checker failures
           "health": {                      # ClusterMonitor.health_summary()
@@ -165,6 +172,24 @@ def _validate_run(errors: List[str], index: int,
                           f"got {run['loss_rate']!r}")
     if "goodput_overhead_pct" in run:
         _check_number(errors, where, run, "goodput_overhead_pct")
+    # Analyzed runs (``--analyze``) carry the causal digest; optional,
+    # but when present the attribution must be a category→seconds map.
+    if "critical_path_seconds" in run:
+        _check_number(errors, where, run, "critical_path_seconds")
+    if "critical_path_hops" in run:
+        _check_number(errors, where, run, "critical_path_hops",
+                      integer=True)
+    if "critical_path_attribution" in run:
+        attribution = run["critical_path_attribution"]
+        if not isinstance(attribution, dict):
+            errors.append(f"{where}: 'critical_path_attribution' must be "
+                          f"an object, got {type(attribution).__name__}")
+        else:
+            for name, value in attribution.items():
+                if not _is_number(value) or value < 0:
+                    errors.append(
+                        f"{where}.critical_path_attribution: field "
+                        f"{name!r} must be a number >= 0, got {value!r}")
     # Monitored runs carry the live-health digest; optional, but when
     # present the count must be sane and the summary well-formed.
     if "invariant_violations" in run:

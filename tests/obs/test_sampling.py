@@ -1,0 +1,157 @@
+"""Tests for trace sampling and subscriber-failure isolation."""
+
+import pytest
+
+from repro.obs.metrics import MetricsRegistry
+from repro.obs import trace as obs
+from repro.obs.trace import SamplingPolicy, Tracer
+
+
+def fill(tracer, n, session=0):
+    """Emit ``n`` droppable message events into one session."""
+    for index in range(n):
+        tracer.event(obs.MESSAGE, time=float(index), party="s",
+                     message="M", bits=8, session=session)
+
+
+class TestSamplingPolicy:
+    def test_validation(self):
+        with pytest.raises(ValueError, match="head"):
+            SamplingPolicy(head=-1)
+        with pytest.raises(ValueError, match="tail"):
+            SamplingPolicy(tail=-1)
+        with pytest.raises(ValueError, match="rate"):
+            SamplingPolicy(rate=1.5)
+
+    def test_keeps_is_deterministic_and_seeded(self):
+        policy = SamplingPolicy(rate=0.5, seed=1)
+        decisions = [policy.keeps("k", index) for index in range(64)]
+        assert decisions == [policy.keeps("k", index)
+                            for index in range(64)]
+        assert any(decisions) and not all(decisions)
+        other = SamplingPolicy(rate=0.5, seed=2)
+        assert decisions != [other.keeps("k", index) for index in range(64)]
+
+    def test_rate_extremes(self):
+        assert SamplingPolicy(rate=1.0).keeps("k", 5)
+        assert not SamplingPolicy(rate=0.0).keeps("k", 5)
+
+
+class TestTracerRetention:
+    def test_head_keeps_first_events(self):
+        tracer = Tracer(sampling=SamplingPolicy(head=3, tail=0))
+        fill(tracer, 10)
+        kept = [event for event in tracer.events
+                if event.kind == obs.MESSAGE]
+        assert [event.seq for event in kept] == [0, 1, 2]
+
+    def test_tail_ring_flushes_at_session_end_in_seq_order(self):
+        tracer = Tracer(sampling=SamplingPolicy(head=2, tail=2))
+        fill(tracer, 8)
+        tracer.event(obs.SESSION_END, time=9.0, party="d", session=0)
+        kept = [event.seq for event in tracer.events
+                if event.kind == obs.MESSAGE]
+        # Head 0,1; the last two withheld (6,7) recovered from the ring,
+        # re-inserted in seq order before the session_end.
+        assert kept == [0, 1, 6, 7]
+        kinds = [event.kind for event in tracer.events]
+        assert kinds.index(obs.SESSION_END) < kinds.index(obs.SAMPLING)
+        assert [event.seq for event in tracer.events] == \
+               sorted(event.seq for event in tracer.events)
+
+    def test_sampling_event_accounts_seen_and_kept(self):
+        tracer = Tracer(sampling=SamplingPolicy(head=2, tail=1))
+        fill(tracer, 10)
+        tracer.event(obs.SESSION_END, time=11.0, party="d", session=0)
+        accounting = tracer.select(obs.SAMPLING, session=0)
+        assert len(accounting) == 1
+        assert accounting[0].fields["seen"] == 10
+        assert accounting[0].fields["kept"] == 3
+
+    def test_non_droppable_kinds_always_kept(self):
+        tracer = Tracer(sampling=SamplingPolicy(head=0, tail=0))
+        fill(tracer, 5)
+        violation = tracer.event(obs.INVARIANT_VIOLATION, time=1.0,
+                                 party="s", check="frontier", session=0)
+        update = tracer.event(obs.UPDATE, time=1.0, party="s")
+        assert violation in tracer.events
+        assert update in tracer.events
+        assert tracer.count(obs.MESSAGE) == 0
+
+    def test_flush_sampling_closes_open_sessions(self):
+        tracer = Tracer(sampling=SamplingPolicy(head=1, tail=2))
+        fill(tracer, 6)
+        assert tracer.count(obs.MESSAGE) == 1
+        tracer.flush_sampling()
+        assert tracer.count(obs.MESSAGE) == 3
+        assert tracer.count(obs.SAMPLING) == 1
+        # Idempotent: a second flush adds nothing.
+        tracer.flush_sampling()
+        assert tracer.count(obs.SAMPLING) == 1
+
+    def test_sessions_sample_independently(self):
+        tracer = Tracer(sampling=SamplingPolicy(head=2, tail=0))
+        fill(tracer, 5, session="a")
+        fill(tracer, 5, session="b")
+        assert tracer.count(obs.MESSAGE, session="a") == 2
+        assert tracer.count(obs.MESSAGE, session="b") == 2
+
+    def test_subscribers_see_the_unsampled_stream(self):
+        seen = []
+        tracer = Tracer(sampling=SamplingPolicy(head=1, tail=0))
+        tracer.subscribe(seen.append)
+        fill(tracer, 10)
+        assert len([e for e in seen if e.kind == obs.MESSAGE]) == 10
+        assert tracer.count(obs.MESSAGE) == 1
+
+    def test_no_policy_is_byte_identical_plain_list(self):
+        tracer = Tracer()
+        fill(tracer, 4)
+        assert [event.seq for event in tracer.events] == [0, 1, 2, 3]
+
+
+class TestSubscriberHardening:
+    """ISSUE satellite: a failing subscriber must not abort the run."""
+
+    def test_failing_subscriber_does_not_starve_others(self):
+        tracer = Tracer()
+        seen = []
+
+        def bad(event):
+            raise RuntimeError("boom")
+
+        tracer.subscribe(bad)
+        tracer.subscribe(seen.append)
+        event = tracer.event("anything")
+        assert seen == [event]
+        assert tracer.subscriber_errors == 1
+        assert isinstance(tracer.last_subscriber_error, RuntimeError)
+
+    def test_errors_are_counted_per_failure(self):
+        tracer = Tracer()
+        tracer.subscribe(lambda event: (_ for _ in ()).throw(ValueError()))
+        tracer.event("one")
+        tracer.event("two")
+        assert tracer.subscriber_errors == 2
+
+    def test_metrics_counter_mirrors_the_count(self):
+        registry = MetricsRegistry()
+        tracer = Tracer(metrics=registry)
+        tracer.subscribe(lambda event: (_ for _ in ()).throw(ValueError()))
+        tracer.event("one")
+        assert registry.counter("tracer.subscriber_errors").value == 1
+
+    def test_strict_mode_re_raises_after_notifying_everyone(self):
+        tracer = Tracer(strict_subscribers=True)
+        seen = []
+
+        def bad(event):
+            raise RuntimeError("boom")
+
+        tracer.subscribe(bad)
+        tracer.subscribe(seen.append)
+        with pytest.raises(RuntimeError, match="boom"):
+            tracer.event("anything")
+        # The later subscriber still saw the event before the re-raise.
+        assert len(seen) == 1
+        assert tracer.subscriber_errors == 1

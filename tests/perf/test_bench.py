@@ -161,6 +161,41 @@ class TestParallelDriver:
             run_cluster_bench(TINY, workers=0)
 
 
+class TestAnalyzedBench:
+    def test_analyze_adds_critical_path_fields(self):
+        document = run_cluster_bench(TINY, analyze=True)
+        assert validate_bench(document) == []
+        for run in document["runs"]:
+            assert run["critical_path_seconds"] >= 0.0
+            assert run["critical_path_hops"] >= 0
+            total = sum(run["critical_path_attribution"].values())
+            assert total == pytest.approx(run["critical_path_seconds"])
+
+    def test_default_runs_stay_unanalyzed(self):
+        document = run_cluster_bench(TINY)
+        assert all("critical_path_seconds" not in run
+                   for run in document["runs"])
+
+    def test_observation_does_not_perturb_results(self):
+        plain = run_cluster_bench(TINY)
+        analyzed = run_cluster_bench(TINY, analyze=True)
+        assert bench_fingerprint(plain) != bench_fingerprint(analyzed)
+        for run_a, run_b in zip(plain["runs"], analyzed["runs"]):
+            for key in ("total_bits", "sessions", "traffic",
+                        "sim_completion_seconds", "bits_per_session"):
+                assert run_a[key] == run_b[key]
+
+    def test_cli_flag(self, tmp_path, capsys):
+        out = tmp_path / "bench.json"
+        assert bench_main(["--sites", "4", "--protocols", "srv",
+                           "--rounds", "2", "--no-chaos",
+                           "--analyze", "--out", str(out)]) == 0
+        capsys.readouterr()
+        document = json.loads(out.read_text(encoding="utf-8"))
+        assert all("critical_path_seconds" in run
+                   for run in document["runs"])
+
+
 class TestBenchFingerprint:
     def test_masks_exactly_the_nondeterministic_fields(self):
         document = run_cluster_bench(TINY)

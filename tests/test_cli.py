@@ -115,6 +115,136 @@ class TestMonitorCommand:
         assert "unknown protocol" in capsys.readouterr().out
 
 
+class TestTraceStats:
+    def test_stats_summarize_a_demo_trace(self, capsys):
+        assert main(["trace", "fuzz", "--stats"]) == 0
+        out = capsys.readouterr().out
+        assert "events across" in out
+        assert "events by kind:" in out
+        assert "longest spans:" in out
+        # The stats view replaces, not appends to, the timeline.
+        assert "message bits" not in out
+
+    def test_stats_on_an_exported_jsonl_file(self, tmp_path, capsys):
+        path = tmp_path / "trace.jsonl"
+        assert main(["trace", "fuzz", "--jsonl", str(path)]) == 0
+        capsys.readouterr()
+        assert main(["trace", str(path), "--stats"]) == 0
+        out = capsys.readouterr().out
+        assert "events across" in out
+        assert "span_start" in out
+
+    def test_file_mode_renders_timeline_without_stats(self, tmp_path,
+                                                      capsys):
+        path = tmp_path / "trace.jsonl"
+        assert main(["trace", "fuzz", "--jsonl", str(path)]) == 0
+        capsys.readouterr()
+        assert main(["trace", str(path)]) == 0
+        assert "span_start" in capsys.readouterr().out
+
+    def test_unreadable_file_exits_two(self, tmp_path, capsys):
+        path = tmp_path / "garbage.jsonl"
+        path.write_text("this is not json\n", encoding="utf-8")
+        assert main(["trace", str(path), "--stats"]) == 2
+        assert "cannot load trace" in capsys.readouterr().out
+
+    def test_non_demo_non_file_still_usage_error(self, capsys):
+        assert main(["trace", "bogus", "--stats"]) == 2
+        assert "usage:" in capsys.readouterr().out
+
+
+class TestAnalyzeCommand:
+    FLEET = ["analyze", "--fleet", "--protocol", "srv", "--sites", "3",
+             "--objects", "2", "--batch", "2", "--loss", "0",
+             "--rounds", "2"]
+
+    def test_needs_exactly_one_input(self, capsys):
+        assert main(["analyze"]) == 2
+        assert "exactly one input" in capsys.readouterr().out
+
+    def test_fleet_analysis_prints_all_sections(self, capsys):
+        assert main(self.FLEET) == 0
+        out = capsys.readouterr().out
+        assert "causal nodes" in out
+        assert "converged=yes" in out
+        assert "critical path" in out
+        assert "attribution" in out
+
+    def test_json_output_is_schema_valid(self, tmp_path, capsys):
+        import json
+        import pathlib
+
+        out_path = tmp_path / "analysis.json"
+        assert main(self.FLEET + ["--json", str(out_path)]) == 0
+        capsys.readouterr()
+        document = json.loads(out_path.read_text(encoding="utf-8"))
+        assert document["schema"] == "repro.obs.causal/1"
+        assert document["converged"] is True
+        # The checked-in schema file validates it via otlp-validate.
+        schema = (pathlib.Path(__file__).resolve().parents[1]
+                  / "schemas" / "repro.obs.causal.schema.json")
+        assert main(["otlp-validate", str(out_path),
+                     "--schema", str(schema)]) == 0
+        assert "OK" in capsys.readouterr().out
+
+    def test_html_waterfall_written(self, tmp_path, capsys):
+        html = tmp_path / "waterfall.html"
+        assert main(self.FLEET + ["--html", str(html)]) == 0
+        capsys.readouterr()
+        assert html.read_text(encoding="utf-8").startswith("<!DOCTYPE html>")
+
+    def test_file_mode_analyzes_an_exported_trace(self, tmp_path, capsys):
+        path = tmp_path / "trace.jsonl"
+        assert main(["trace", "chaos", "--jsonl", str(path)]) == 0
+        capsys.readouterr()
+        assert main(["analyze", str(path), "--critical-path"]) == 0
+        out = capsys.readouterr().out
+        assert "causal nodes" in out
+        assert "critical path" in out
+
+    def test_missing_file_exits_two(self, capsys):
+        assert main(["analyze", "no-such-trace.jsonl"]) == 2
+        assert "cannot load trace" in capsys.readouterr().out
+
+
+class TestHistoryCommand:
+    @staticmethod
+    def _doc(wall):
+        from repro.perf.schema import SCHEMA_ID
+
+        run = {"scenario": "single-writer-gossip", "protocol": "brv",
+               "n_sites": 8, "sessions": 8, "updates": 8,
+               "updates_deferred": 0, "reconciliations": 0,
+               "total_bits": 1000,
+               "traffic": {"forward_bits": 1000, "backward_bits": 0,
+                           "total_bits": 1000, "forward_messages": 8,
+                           "backward_messages": 0, "by_type": {}},
+               "bits_per_session": {"mean": 125.0, "p50": 125.0,
+                                    "p90": 125.0, "max": 125.0},
+               "sim_completion_seconds": 2.0, "wall_seconds": wall,
+               "max_queue_wait_seconds": 0.0, "consistent": True}
+        return {"schema": SCHEMA_ID, "created_unix": 1.0,
+                "config": {}, "runs": [run]}
+
+    def test_history_dispatches_through_main(self, tmp_path, capsys):
+        import json
+
+        old = tmp_path / "old.json"
+        new = tmp_path / "new.json"
+        old.write_text(json.dumps(self._doc(wall=0.1)), encoding="utf-8")
+        new.write_text(json.dumps(self._doc(wall=0.2)), encoding="utf-8")
+        assert main(["history", str(old), str(new), "--gate"]) == 1
+        assert "gate FAILED" in capsys.readouterr().out
+        assert main(["history", str(old), str(old), "--gate"]) == 0
+
+    def test_usage_mentions_the_new_subcommands(self, capsys):
+        main([])
+        out = capsys.readouterr().out
+        assert "analyze" in out
+        assert "history" in out
+        assert "--stats" in out
+
+
 class TestOtlpValidateCommand:
     def test_invalid_document_exits_1(self, tmp_path, capsys):
         import json
