@@ -215,6 +215,8 @@ def _usage() -> None:
           "[--stats] [--jsonl PATH] [--filter kind,...]\n"
           "       python -m repro bench [--sites 8,32,128] [--workers N] "
           "[--profile] [--out BENCH_cluster.json]\n"
+          "       python -m repro store [--demo] [--sites N] [--ops N] "
+          "[--loss F] [--seed N]\n"
           "       python -m repro monitor [--protocols brv,crv,srv] "
           "[--loss 0.1] [--strict-invariants] [--html report.html]\n"
           "       python -m repro analyze <trace.jsonl>|--fleet "
@@ -274,6 +276,9 @@ def main(argv: list[str] | None = None) -> int:
         # before the demo-oriented parsing below can reject it.
         from repro.perf.bench import bench_main
         return bench_main(arguments[1:])
+    if arguments and arguments[0] == "store":
+        from repro.store.cli import store_main
+        return store_main(arguments[1:])
     if arguments and arguments[0] == "monitor":
         from repro.obs.cli import monitor_main
         return monitor_main(arguments[1:])

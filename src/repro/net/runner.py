@@ -168,6 +168,15 @@ class SessionOptions:
             wire trace event as ``fields["session"]`` (the cluster
             runner passes its record index); ``None`` leaves standalone
             session events exactly as before.
+        on_abandon: fires (with the :class:`~repro.errors.SessionError`
+            describing the failure) when the session aborts
+            *permanently* — retry budget exhausted and no resume
+            possible — instead of raising out of the simulator.  The
+            handle's ``result`` stays ``None``.  Hosts that own shared
+            state (e.g. a replicated store's per-key tables) use this to
+            roll the receiver back to its pre-session snapshot and keep
+            the fleet running; leaving it ``None`` keeps the historical
+            raise-through-the-simulator behavior.
     """
 
     pairs: Tuple[SessionPair, ...] = ()
@@ -185,6 +194,7 @@ class SessionOptions:
     reliable: Optional[bool] = None
     fault_seed: Optional[int] = None
     session_id: Optional[int] = None
+    on_abandon: Optional[Callable[[SessionError], None]] = None
 
     def __post_init__(self) -> None:
         if bool(self.pairs) == (self.rebuild is not None):
@@ -733,7 +743,10 @@ def launch(sim: Simulator, options: SessionOptions) -> SessionHandle:
     ``max_session_attempts`` budget allows, resumes by rebuilding fresh
     coroutines from the endpoints' current state (the receiver's acked
     prefix is already applied).  A session that cannot resume raises
-    :class:`~repro.errors.SessionError` out of the simulator run.
+    :class:`~repro.errors.SessionError` out of the simulator run — unless
+    ``options.on_abandon`` is set, in which case the callback is invoked
+    with that error and the simulation continues (the handle stays
+    incomplete).
     """
     handle = SessionHandle(options=options)
     reliable = options.use_reliable
@@ -768,7 +781,7 @@ def launch(sim: Simulator, options: SessionOptions) -> SessionHandle:
                           and handle.attempts
                           < options.retry.max_session_attempts)
             if not can_resume:
-                raise SessionError(
+                error = SessionError(
                     f"session {options.party_names[0]}->"
                     f"{options.party_names[1]} aborted permanently after "
                     f"{handle.attempts} attempt(s): a message exhausted its "
@@ -778,6 +791,17 @@ def launch(sim: Simulator, options: SessionOptions) -> SessionHandle:
                        "and the resume budget "
                        f"({options.retry.max_session_attempts} attempts) "
                        f"is spent"))
+                if options.on_abandon is not None:
+                    if tracer is not None:
+                        tracer.event(
+                            obs.CONTROL, party=options.party_names[1],
+                            signal="session_abandon",
+                            attempts=handle.attempts,
+                            **({} if options.session_id is None
+                               else {"session": options.session_id}))
+                    options.on_abandon(error)
+                    return
+                raise error
             handle.stats.resumes += 1
             if tracer is not None:
                 tracer.event(obs.CONTROL, party=options.party_names[1],

@@ -16,6 +16,10 @@ Scenarios mirror the fleet regimes the paper distinguishes:
 * **multi-writer-gossip** (CRV/SYNCC, SRV/SYNCS) — updates land
   everywhere; gossip reconciles concurrent vectors, exercising conflict
   bits, segments, and SKIPs under realistic scheduling.
+* **store-workload** — zipfian client traffic against the replicated
+  key-value store (:mod:`repro.store`): per-key vectors, read-repair,
+  background anti-entropy, with client-felt latency and staleness
+  percentiles in the record's ``client`` object.
 
 Every run also asserts the harness's accounting invariant — concurrent
 scheduling must not change traffic — via
@@ -86,6 +90,18 @@ class BenchConfig:
     chaos_loss_rates: Tuple[float, ...] = (0.01, 0.1)
     chaos_seed: int = 11
     chaos_batch_size: int = 8
+    #: The store-workload scenario (E12): zipfian client traffic against
+    #: the replicated key-value store (:mod:`repro.store`) — per-key
+    #: rotating vectors, causal-context writes, read-repair, background
+    #: anti-entropy — reporting client-felt latency and staleness
+    #: percentiles alongside the wire totals.  ``store_ops=0`` skips the
+    #: scenario.
+    store_site_count: int = 8
+    store_keys: int = 32
+    store_clients: int = 64
+    store_ops: int = 2000
+    store_read_ratio: float = 0.9
+    store_zipf: float = 1.1
 
     def channel(self) -> ChannelSpec:
         """The link model every session runs over."""
@@ -366,6 +382,84 @@ def _run_chaos_one(protocol: str, loss: float, config: BenchConfig, *,
     }
 
 
+def _run_store_one(config: BenchConfig, *,
+                   metrics: Optional[MetricsRegistry] = None,
+                   monitor: bool = False,
+                   analyze: bool = False) -> Dict[str, Any]:
+    """One store-workload cell: client traffic against the KV store.
+
+    The record keeps the standard cluster shape (``updates`` counts
+    client writes, ``updates_deferred`` the ops parked behind a busy
+    site, ``consistent`` the per-key sibling-set convergence check) and
+    adds a ``client`` object with the client-felt numbers: op mix,
+    read-repair count, and exact latency/staleness percentiles.  The
+    ``monitor`` flag is accepted but inert — the live monitor's
+    ancestor-closure oracle assumes whole-state sessions, which per-key
+    store sessions are not — so monitored sweeps stay uniform without
+    mis-scoring the store cell.
+    """
+    from repro.workload.clients import StoreWorkloadConfig, run_store_workload
+
+    workload_config = StoreWorkloadConfig(
+        n_sites=config.store_site_count, n_keys=config.store_keys,
+        n_clients=config.store_clients, ops=config.store_ops,
+        read_ratio=config.store_read_ratio, zipf=config.store_zipf,
+        net_latency=config.latency, bandwidth=config.bandwidth,
+        seed=config.seed)
+    cell_tracer = _make_tracer(analyze)
+    start = time.perf_counter()
+    with wall_timer(metrics, "bench.cluster.store.wall_seconds"):
+        result = run_store_workload(workload_config, tracer=cell_tracer,
+                                    metrics=metrics)
+    wall_seconds = time.perf_counter() - start
+    store = result.store
+    per_session = [record.result.stats.total_bits
+                   for record in store.records if record.result is not None]
+    ranked = sorted(per_session)
+
+    def _percentiles(summary: Dict[str, float]) -> Dict[str, float]:
+        return {name: summary[name] for name in ("p50", "p90", "p99")}
+
+    return {
+        **_analyze_fields(cell_tracer),
+        "scenario": "store-workload",
+        "protocol": workload_config.protocol,
+        "n_sites": workload_config.n_sites,
+        "n_objects": workload_config.n_keys,
+        "batch_size": workload_config.batch_size,
+        "sessions": store.sessions,
+        "updates": result.writes + result.deletes,
+        "updates_deferred": store.ops_deferred,
+        "reconciliations": store.reconciliations,
+        "total_bits": store.total_bits,
+        "traffic": store.totals.summary(),
+        "bits_per_session": {
+            "mean": sum(per_session) / len(per_session) if per_session else 0,
+            "p50": ranked[len(ranked) // 2] if ranked else 0,
+            "p90": ranked[min(len(ranked) - 1, (9 * len(ranked)) // 10)]
+                   if ranked else 0,
+            "max": ranked[-1] if ranked else 0,
+        },
+        "sim_completion_seconds": store.completion_time,
+        "wall_seconds": wall_seconds,
+        "max_queue_wait_seconds": store.max_queue_wait,
+        "consistent": result.converged,
+        "client": {
+            "ops": result.ops,
+            "reads": result.reads,
+            "writes": result.writes,
+            "deletes": result.deletes,
+            "read_repairs": store.read_repairs,
+            "sessions_abandoned": store.sessions_abandoned,
+            "get_latency_seconds": _percentiles(
+                result.latency_summary("get")),
+            "put_latency_seconds": _percentiles(
+                result.latency_summary("put")),
+            "staleness_seconds": _percentiles(result.staleness_summary()),
+        },
+    }
+
+
 def _assert_scheduling_independent(sites: Sequence[str],
                                    cluster_config: ClusterConfig,
                                    result: ClusterResult) -> None:
@@ -385,7 +479,8 @@ def _assert_scheduling_independent(sites: Sequence[str],
 
 
 #: One grid cell: ``("gossip", protocol, n_sites)``,
-#: ``("batched", batch_size)``, or ``("chaos", protocol, loss_rate)``.
+#: ``("batched", batch_size)``, ``("chaos", protocol, loss_rate)``, or
+#: ``("store",)``.
 #: The grid order *is* the document's run order, whether cells run
 #: serially or fan out across workers.
 _BenchTask = Tuple[Any, ...]
@@ -400,6 +495,8 @@ def _task_grid(config: BenchConfig) -> List[_BenchTask]:
     tasks.extend(("chaos", protocol, loss)
                  for loss in config.chaos_loss_rates
                  for protocol in config.protocols)
+    if config.store_ops > 0:
+        tasks.append(("store",))
     return tasks
 
 
@@ -423,6 +520,9 @@ def _run_task(task_and_config: Tuple[_BenchTask, BenchConfig, bool, bool]
     elif task[0] == "chaos":
         record = _run_chaos_one(task[1], task[2], config, metrics=metrics,
                                 monitor=monitor, analyze=analyze)
+    elif task[0] == "store":
+        record = _run_store_one(config, metrics=metrics,
+                                monitor=monitor, analyze=analyze)
     else:
         record = _run_batched_one(task[1], config, metrics=metrics,
                                   monitor=monitor, analyze=analyze)
@@ -435,7 +535,11 @@ def _echo_record(echo: Any, record: Dict[str, Any]) -> None:
     chaos = (f" loss={record['loss_rate']:g} "
              f"retrans={record['retransmitted_bits']}b"
              if "loss_rate" in record else "")
-    echo(f"  {record['protocol']} n={record['n_sites']}{batch}{chaos}: "
+    client = (f" client-ops={record['client']['ops']} "
+              f"repairs={record['client']['read_repairs']}"
+              if "client" in record else "")
+    echo(f"  {record['protocol']} n={record['n_sites']}{batch}{chaos}"
+         f"{client}: "
          f"{record['sessions']} sessions, "
          f"{record['total_bits']} bits, "
          f"sim {record['sim_completion_seconds']:.2f}s, "
@@ -556,6 +660,7 @@ def bench_main(argv: List[str]) -> int:
     profile_out = "bench.pstats"
     chaos_loss_rates: Tuple[float, ...] = BenchConfig().chaos_loss_rates
     chaos_seed = BenchConfig().chaos_seed
+    store_ops = BenchConfig().store_ops
 
     def fail(message: str) -> int:
         print(message)
@@ -563,6 +668,7 @@ def bench_main(argv: List[str]) -> int:
               "[--protocols brv,crv,srv] [--rounds N] [--seed N] "
               "[--workers N] [--profile] [--profile-out bench.pstats] "
               "[--chaos-loss 0.01,0.1] [--chaos-seed N] [--no-chaos] "
+              "[--store-ops N] [--no-store] "
               "[--monitor] [--analyze] [--out BENCH_cluster.json]")
         return 2
 
@@ -581,9 +687,12 @@ def bench_main(argv: List[str]) -> int:
         elif argument == "--no-chaos":
             chaos_loss_rates = ()
             index += 1
+        elif argument == "--no-store":
+            store_ops = 0
+            index += 1
         elif argument in ("--sites", "--protocols", "--rounds", "--seed",
                           "--workers", "--profile-out", "--out",
-                          "--chaos-loss", "--chaos-seed"):
+                          "--chaos-loss", "--chaos-seed", "--store-ops"):
             if index + 1 >= len(argv):
                 return fail(f"{argument} requires a value")
             value = argv[index + 1]
@@ -635,6 +744,14 @@ def bench_main(argv: List[str]) -> int:
                 except ValueError:
                     return fail(f"--chaos-seed expects an integer, "
                                 f"got {value!r}")
+            elif argument == "--store-ops":
+                try:
+                    store_ops = int(value)
+                except ValueError:
+                    return fail(f"--store-ops expects an integer, "
+                                f"got {value!r}")
+                if store_ops < 0:
+                    return fail("--store-ops must be >= 0")
             else:
                 out = value
             index += 2
@@ -643,10 +760,10 @@ def bench_main(argv: List[str]) -> int:
     config = BenchConfig(site_counts=site_counts, protocols=protocols,
                          rounds=rounds, seed=seed,
                          chaos_loss_rates=chaos_loss_rates,
-                         chaos_seed=chaos_seed)
+                         chaos_seed=chaos_seed, store_ops=store_ops)
     print(f"cluster bench: n ∈ {list(site_counts)}, "
           f"protocols {list(protocols)}, {rounds} rounds, seed {seed}, "
-          f"chaos loss {list(chaos_loss_rates)}")
+          f"chaos loss {list(chaos_loss_rates)}, store ops {store_ops}")
     if profile:
         # Profiling a process pool attributes everything to pickling and
         # waiting; force the serial path so the numbers mean something.

@@ -46,6 +46,15 @@ Document layout (version ``repro.bench.cluster/1``)::
           "timeouts": 6,                   # expired ARQ timers
           "resumes": 0,                    # session re-handshakes
           "goodput_overhead_pct": 6.05,    # retransmitted/goodput * 100
+          # Store-workload runs (the repro.store client scenario)
+          # additionally carry the client-felt digest:
+          "client": {
+            "ops": 2000, "reads": 1802, "writes": 157, "deletes": 41,
+            "read_repairs": 310, "sessions_abandoned": 0,
+            "get_latency_seconds": {"p50": 0.01, "p90": ..., "p99": ...},
+            "put_latency_seconds": {"p50": 0.01, "p90": ..., "p99": ...},
+            "staleness_seconds":   {"p50": 0.08, "p90": ..., "p99": ...}
+          },
           # Analyzed runs (``--analyze``) additionally carry the causal
           # digest from ``repro.obs.causal``:
           "critical_path_seconds": 4.21,   # convergence critical path
@@ -172,6 +181,36 @@ def _validate_run(errors: List[str], index: int,
                           f"got {run['loss_rate']!r}")
     if "goodput_overhead_pct" in run:
         _check_number(errors, where, run, "goodput_overhead_pct")
+    # Store-workload runs carry the client-felt digest; optional, but
+    # when present the counts and percentile maps must be well-formed
+    # and the op mix must add up.
+    if "client" in run:
+        client = run["client"]
+        if not isinstance(client, dict):
+            errors.append(f"{where}: 'client' must be an object, "
+                          f"got {type(client).__name__}")
+        else:
+            for name in ("ops", "reads", "writes", "deletes",
+                         "read_repairs", "sessions_abandoned"):
+                _check_number(errors, f"{where}.client", client, name,
+                              integer=True)
+            if all(isinstance(client.get(name), int)
+                   for name in ("ops", "reads", "writes", "deletes")) \
+                    and client["reads"] + client["writes"] \
+                    + client["deletes"] != client["ops"]:
+                errors.append(
+                    f"{where}.client: reads ({client['reads']}) + writes "
+                    f"({client['writes']}) + deletes ({client['deletes']}) "
+                    f"must equal ops ({client['ops']})")
+            for name in ("get_latency_seconds", "put_latency_seconds",
+                         "staleness_seconds"):
+                summary = client.get(name)
+                if not isinstance(summary, dict):
+                    errors.append(f"{where}.client: missing {name!r} object")
+                    continue
+                for percentile in ("p50", "p90", "p99"):
+                    _check_number(errors, f"{where}.client.{name}",
+                                  summary, percentile)
     # Analyzed runs (``--analyze``) carry the causal digest; optional,
     # but when present the attribution must be a category→seconds map.
     if "critical_path_seconds" in run:

@@ -1,0 +1,34 @@
+"""The replicated key-value store served by rotating version vectors.
+
+``repro.store`` is the layer the paper's metadata exists to serve: every
+key carries its own rotating vector (any scheme from the protocol
+registry), client writes thread causal contexts, concurrent writes
+surface as siblings, divergent reads trigger read-repair, and background
+anti-entropy drives per-key SYNC* sessions over the fault-tolerant
+session transport.  See ``docs/STORE.md`` for the full semantics.
+"""
+
+from repro.store.cluster import (ClientOp, OpOutcome, StoreCluster,
+                                 StoreConfig, StoreRunResult,
+                                 StoreSessionRecord, gossip_peers)
+from repro.store.kv import (TOMBSTONE, CausalContext, KeyRecord, KeySnapshot,
+                            ReadResult, SiteStore, context_covers,
+                            merge_siblings)
+
+__all__ = [
+    "TOMBSTONE",
+    "CausalContext",
+    "ClientOp",
+    "KeyRecord",
+    "KeySnapshot",
+    "OpOutcome",
+    "ReadResult",
+    "SiteStore",
+    "StoreCluster",
+    "StoreConfig",
+    "StoreRunResult",
+    "StoreSessionRecord",
+    "context_covers",
+    "gossip_peers",
+    "merge_siblings",
+]

@@ -1,0 +1,125 @@
+"""``python -m repro store`` — the replicated-store workload CLI.
+
+Runs one seeded client workload (:mod:`repro.workload.clients`) against
+a store fleet and prints a deterministic report: op mix, session and
+read-repair counts, wire totals, client-felt latency and staleness
+percentiles, and the converged per-key state digest.  Every printed
+quantity is a pure function of the flags — no wall-clock numbers — so
+two runs of the same seed are byte-identical, which the CI smoke job
+checks by diffing them.
+
+Usage::
+
+    python -m repro store --demo
+    python -m repro store --sites 16 --ops 100000 --seed 7
+    python -m repro store --loss 0.1 --seed 3      # chaos faults on
+
+Exits 0 iff the fleet converged (identical per-key sibling sets and
+vectors on every site after the final sweep), 1 otherwise.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.errors import ReproError
+from repro.workload.clients import StoreWorkloadConfig, run_store_workload
+
+
+def _format_summary(summary: dict) -> str:
+    return (f"p50 {summary['p50'] * 1000:.3f} ms / "
+            f"p90 {summary['p90'] * 1000:.3f} ms / "
+            f"p99 {summary['p99'] * 1000:.3f} ms")
+
+
+def format_store_report(result) -> str:
+    """The deterministic report for one finished workload run."""
+    config = result.config
+    store = result.store
+    digest = result.digest()
+    sets = store.sibling_sets()
+    sizes = sorted(len(value) for value in sets.values()) or [0]
+    lines = [
+        f"store workload: {config.n_sites} sites × {config.n_keys} keys, "
+        f"{config.n_clients} clients, {result.ops} ops, "
+        f"protocol {config.protocol}, seed {config.seed}"
+        + (f", loss {config.loss_rate:g}" if config.loss_rate else ""),
+        f"  ops: {result.reads} reads / {result.writes} writes / "
+        f"{result.deletes} deletes ({store.ops_deferred} deferred behind "
+        f"busy sites)",
+        f"  sessions: {store.sessions} "
+        f"({store.sessions_abandoned} abandoned), "
+        f"{store.read_repairs} read repairs, "
+        f"{store.reconciliations} reconciliations",
+        f"  wire: {store.total_bits} bits; "
+        f"sim completion {store.completion_time:.3f} s",
+        f"  get latency: {_format_summary(result.latency_summary('get'))}",
+        f"  put latency: {_format_summary(result.latency_summary('put'))}",
+        f"  staleness:   {_format_summary(result.staleness_summary())}",
+        f"  siblings per key: min {sizes[0]} / "
+        f"mean {sum(sizes) / len(sizes):.2f} / max {sizes[-1]}",
+        f"  state sha256: {digest['state_sha256']}",
+        f"  converged: {result.converged}",
+    ]
+    return "\n".join(lines)
+
+
+#: ``--demo`` preset: an 8-site fleet sized to finish in a few seconds.
+DEMO_CONFIG = StoreWorkloadConfig(n_sites=8, n_keys=32, n_clients=64,
+                                  ops=20_000, op_interval=0.0005, seed=0)
+
+
+def store_main(argv: List[str]) -> int:
+    """``python -m repro store [--demo] [--sites N] ...``."""
+    demo = False
+    overrides: dict = {}
+
+    def fail(message: str) -> int:
+        print(message)
+        print("usage: python -m repro store [--demo] [--sites N] [--keys N] "
+              "[--clients N] [--ops N] [--read-ratio F] [--zipf F] "
+              "[--loss F] [--protocol brv|crv|srv] [--seed N]")
+        return 2
+
+    flags = {"--sites": ("n_sites", int), "--keys": ("n_keys", int),
+             "--clients": ("n_clients", int), "--ops": ("ops", int),
+             "--read-ratio": ("read_ratio", float),
+             "--zipf": ("zipf", float), "--loss": ("loss_rate", float),
+             "--protocol": ("protocol", str), "--seed": ("seed", int)}
+    index = 0
+    while index < len(argv):
+        argument = argv[index]
+        if argument == "--demo":
+            demo = True
+            index += 1
+        elif argument in flags:
+            if index + 1 >= len(argv):
+                return fail(f"{argument} requires a value")
+            name, parse = flags[argument]
+            try:
+                overrides[name] = parse(argv[index + 1])
+            except ValueError:
+                return fail(f"{argument} expects {parse.__name__}, "
+                            f"got {argv[index + 1]!r}")
+            index += 2
+        else:
+            return fail(f"unknown argument {argument!r}")
+
+    base = DEMO_CONFIG if demo else StoreWorkloadConfig()
+    try:
+        config = StoreWorkloadConfig(
+            **{**{name: getattr(base, name)
+                  for name in StoreWorkloadConfig.__dataclass_fields__},
+               **overrides})
+        result = run_store_workload(config)
+    except ReproError as error:
+        print(f"store workload failed: {error}")
+        return 2
+    print(format_store_report(result))
+    return 0 if result.converged else 1
+
+
+if __name__ == "__main__":
+    import sys
+
+    raise SystemExit(store_main(sys.argv[1:]))

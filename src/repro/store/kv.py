@@ -1,0 +1,265 @@
+"""Per-site key-value tables with one rotating vector per key.
+
+The paper's vectors exist to serve replicated *data*; this module is the
+data.  A :class:`SiteStore` maps each key to a :class:`KeyRecord` holding
+the key's own rotating vector (any class from the protocol registry) and
+its current *siblings* — the set of values written concurrently and not
+yet superseded.  The client semantics follow the Dotted-Version-Vector
+workload shape (Preguiça et al.; see also the ``SimDataStore`` design in
+SNIPPETS.md):
+
+* ``get`` returns every live sibling plus a *causal context* — a plain
+  ``{site: count}`` snapshot of the key's vector at read time.
+* ``put`` with a context that **covers** the key's current vector is a
+  causal overwrite: it supersedes every sibling the client has seen.  A
+  put with a stale (or absent) context is *concurrent* with the current
+  state and lands as an additional sibling — no write is ever silently
+  lost.
+* ``delete`` is a put of the :data:`TOMBSTONE` sentinel; a key whose
+  only sibling is the tombstone reads as absent (but its vector — and
+  therefore its causal history — remains).
+
+Every client write calls ``vector.record_update(site)``, so per-key
+vectors evolve exactly like the paper's per-replica vectors and the
+unmodified SYNC* protocols synchronize them key by key.  Sibling sets are
+kept in a canonical sort order and merged by set union, which is
+order-insensitive and idempotent — the convergence argument for
+anti-entropy (see :mod:`repro.store.cluster`) rests on it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterable, List, Optional, Tuple
+
+from repro.core.order import Ordering
+from repro.core.rotating import BasicRotatingVector
+
+
+class _Tombstone:
+    """Singleton delete marker; sorts after every real value."""
+
+    __slots__ = ()
+
+    def __repr__(self) -> str:
+        return "<deleted>"
+
+
+#: The delete marker stored as a sibling value.
+TOMBSTONE = _Tombstone()
+
+#: A causal context: a plain ``{site: count}`` vector snapshot.
+CausalContext = Dict[str, int]
+
+
+def _sort_key(value: Any) -> Tuple[int, str]:
+    # Tombstones last, everything else by its string form: a canonical
+    # order over arbitrary (possibly mixed-type) sibling values.
+    return (1 if value is TOMBSTONE else 0, str(value))
+
+
+def merge_siblings(*groups: Iterable[Any]) -> Tuple[Any, ...]:
+    """Set union of sibling groups, in canonical order.
+
+    Union is commutative, associative, and idempotent, so any two sites
+    that have exchanged the same writes end up with the identical tuple
+    regardless of delivery order — the CRDT-style property the store's
+    convergence check relies on.
+    """
+    merged: List[Any] = []
+    for group in groups:
+        for value in group:
+            if not any(value is other or value == other for other in merged):
+                merged.append(value)
+    merged.sort(key=_sort_key)
+    return tuple(merged)
+
+
+def context_covers(context: Optional[CausalContext],
+                   vector: BasicRotatingVector) -> bool:
+    """Whether ``context`` dominates every element of ``vector``.
+
+    A covering context proves the writer observed (a superset of) the
+    key's current causal history, so its put may supersede the siblings.
+    """
+    if context is None:
+        return False
+    return all(context.get(site, 0) >= count
+               for site, count in vector.elements())
+
+
+@dataclass
+class ReadResult:
+    """What one ``get`` observed.
+
+    ``values`` excludes tombstones; ``context`` is the causal context to
+    thread into the next ``put`` of this key; ``as_of`` is the newest
+    client-write time this replica has absorbed for the key (the
+    staleness reference), and ``exists`` is False for missing or fully
+    deleted keys.
+    """
+
+    key: str
+    values: Tuple[Any, ...]
+    context: CausalContext
+    as_of: float = 0.0
+
+    @property
+    def exists(self) -> bool:
+        return bool(self.values)
+
+
+@dataclass
+class KeyRecord:
+    """One key's replicated state at one site."""
+
+    vector: BasicRotatingVector
+    siblings: Tuple[Any, ...] = ()
+    #: Newest client-write simulated time reflected here (local writes
+    #: and writes absorbed via anti-entropy alike) — the staleness clock.
+    updated_at: float = 0.0
+
+    def live_values(self) -> Tuple[Any, ...]:
+        """The sibling values a client sees: tombstones filtered out."""
+        return tuple(v for v in self.siblings if v is not TOMBSTONE)
+
+
+@dataclass
+class KeySnapshot:
+    """A restorable copy of one key's record (transactional sessions)."""
+
+    vector: BasicRotatingVector
+    siblings: Tuple[Any, ...]
+    updated_at: float
+
+
+class SiteStore:
+    """One site's key→record table.
+
+    The store is deliberately passive: it validates and applies client
+    operations against local state only.  Cross-site movement — sibling
+    exchange, read-repair, anti-entropy — is the cluster scheduler's job
+    (:mod:`repro.store.cluster`), which synchronizes the records' vectors
+    with the stock SYNC* coroutines and merges siblings by verdict.
+    """
+
+    def __init__(self, site: str, vector_cls: type = BasicRotatingVector
+                 ) -> None:
+        self.site = site
+        self.vector_cls = vector_cls
+        self.table: Dict[str, KeyRecord] = {}
+
+    # -- local state -------------------------------------------------------
+
+    def keys(self) -> List[str]:
+        """Known keys, sorted (deterministic iteration everywhere)."""
+        return sorted(self.table)
+
+    def record(self, key: str) -> KeyRecord:
+        """The key's record, created empty on first touch."""
+        record = self.table.get(key)
+        if record is None:
+            record = self.table[key] = KeyRecord(vector=self.vector_cls())
+        return record
+
+    def context_of(self, key: str) -> CausalContext:
+        """The key's current causal context ({} for an absent key)."""
+        record = self.table.get(key)
+        if record is None:
+            return {}
+        return dict(record.vector.elements())
+
+    # -- client operations -------------------------------------------------
+
+    def get(self, key: str) -> ReadResult:
+        """Read every live sibling plus the key's causal context."""
+        record = self.table.get(key)
+        if record is None:
+            return ReadResult(key=key, values=(), context={})
+        return ReadResult(key=key, values=record.live_values(),
+                          context=dict(record.vector.elements()),
+                          as_of=record.updated_at)
+
+    def put(self, key: str, value: Any, *,
+            context: Optional[CausalContext] = None,
+            now: float = 0.0) -> ReadResult:
+        """Write ``value``; supersede siblings iff ``context`` covers.
+
+        Returns the post-write read (whose context lets a session-sticky
+        client chain causal writes without an intervening get).
+        """
+        record = self.record(key)
+        if context_covers(context, record.vector) or not record.siblings:
+            siblings: Tuple[Any, ...] = (value,)
+        else:
+            # Concurrent with state this writer has not seen: keep both.
+            siblings = merge_siblings(record.siblings, (value,))
+        record.vector.record_update(self.site)
+        record.siblings = siblings
+        record.updated_at = max(record.updated_at, now)
+        return ReadResult(key=key, values=record.live_values(),
+                          context=dict(record.vector.elements()),
+                          as_of=record.updated_at)
+
+    def delete(self, key: str, *,
+               context: Optional[CausalContext] = None,
+               now: float = 0.0) -> ReadResult:
+        """Write the tombstone; covered deletes empty the sibling set."""
+        return self.put(key, TOMBSTONE, context=context, now=now)
+
+    # -- anti-entropy ------------------------------------------------------
+
+    def absorb(self, key: str, verdict: Ordering,
+               src_siblings: Tuple[Any, ...], src_updated_at: float) -> bool:
+        """Fold a completed sync session's outcome into ``key``.
+
+        The session already synchronized the *vectors* (the receiver's
+        record vector was mutated in place by the SYNC* coroutines);
+        this applies the matching sibling rule, keyed on the pre-session
+        verdict:
+
+        * ``BEFORE`` — the sender strictly dominated: adopt its siblings.
+        * concurrent — the receiver merged the vectors: union the
+          sibling sets (no write from either side is dropped).
+        * ``AFTER``/``EQUAL`` — the receiver knew everything: no change.
+
+        Returns True when the sibling set (or staleness clock) moved.
+        """
+        record = self.record(key)
+        if verdict is Ordering.BEFORE:
+            changed = record.siblings != src_siblings
+            record.siblings = src_siblings
+        elif verdict.is_concurrent:
+            merged = merge_siblings(record.siblings, src_siblings)
+            changed = record.siblings != merged
+            record.siblings = merged
+        else:
+            return False
+        if src_updated_at > record.updated_at:
+            record.updated_at = src_updated_at
+            changed = True
+        return changed
+
+    # -- transactional snapshots -------------------------------------------
+
+    def snapshot(self, key: str) -> KeySnapshot:
+        """A restorable copy of the key's record (see :meth:`restore`)."""
+        record = self.record(key)
+        return KeySnapshot(vector=record.vector.copy(),
+                           siblings=record.siblings,
+                           updated_at=record.updated_at)
+
+    def restore(self, key: str, snapshot: KeySnapshot) -> None:
+        """Roll the key back to ``snapshot``, preserving vector identity.
+
+        The vector is restored *in place* (``BasicRotatingVector.restore``
+        and subclasses), so coroutines, result views, and per-key tables
+        that alias it stay valid — the same contract the cluster runner's
+        transactional resume relies on.  A mid-session abort therefore
+        can never leave a read observing a torn vector: the abort path
+        restores before the site is released to serve reads again.
+        """
+        record = self.record(key)
+        record.vector.restore(snapshot.vector)
+        record.siblings = snapshot.siblings
+        record.updated_at = snapshot.updated_at

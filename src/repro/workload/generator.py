@@ -13,8 +13,9 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass, field
-from typing import Any, Callable, List
+from typing import Any, Callable, List, Optional, Sequence
 
+from repro.errors import ValidationError
 from repro.workload.events import (CloneEvent, CreateEvent, SyncEvent,
                                    TraceEvent, UpdateEvent)
 from repro.workload.topology import RandomPairTopology, Topology
@@ -36,10 +37,18 @@ class WorkloadConfig:
         update_ratio: probability a step is a local update (vs. a sync).
         update_site_bias: exponent skewing update placement; 0 = uniform,
             larger values concentrate updates on few sites (lower conflict).
+            *Which* sites are hot is a seed-derived permutation (see
+            :func:`hot_site_order`), so bias placement varies per seed
+            while staying deterministic.
         topology: synchronization pairing strategy.
         bidirectional: emit anti-entropy exchanges instead of one-way pulls.
         seed: RNG seed; same config + seed ⇒ same trace, always.
         value_factory: values attached to update events.
+
+    Construction validates every numeric field and raises
+    :class:`~repro.errors.ValidationError` on nonsense — an out-of-range
+    ``update_ratio`` or a zero object count would silently generate a
+    trace that measures nothing (matching the ``ChannelSpec`` style).
     """
 
     n_sites: int = 8
@@ -51,6 +60,23 @@ class WorkloadConfig:
     bidirectional: bool = False
     seed: int = 0
     value_factory: Callable[[str, str, int], Any] = default_value_factory
+
+    def __post_init__(self) -> None:
+        if self.n_sites < 2:
+            raise ValidationError(
+                f"workloads need at least two sites, got {self.n_sites}")
+        if self.n_objects < 1:
+            raise ValidationError(
+                f"n_objects must be >= 1, got {self.n_objects}")
+        if self.steps < 0:
+            raise ValidationError(f"steps must be >= 0, got {self.steps}")
+        if not 0.0 <= self.update_ratio <= 1.0:
+            raise ValidationError(
+                f"update_ratio must be in [0, 1], got {self.update_ratio}")
+        if self.update_site_bias < 0:
+            raise ValidationError(
+                f"update_site_bias must be >= 0, "
+                f"got {self.update_site_bias}")
 
     def site_names(self) -> List[str]:
         """The generated site names, in id order."""
@@ -83,13 +109,29 @@ def high_conflict_config(n_sites: int = 8, steps: int = 200,
                           update_ratio=0.8)
 
 
-def _pick_update_site(rng: random.Random, sites: List[str],
-                      bias: float) -> str:
+def hot_site_order(sites: Sequence[str], seed: int) -> List[str]:
+    """The seed-derived hot-site permutation used by biased placement.
+
+    Historically the zipf weights were pinned to site-index order, so
+    ``S000`` was the hot site of *every* seeded workload — bias placement
+    carried no seed entropy at all.  The permutation is drawn from its
+    own derived stream (``hot-sites:<seed>``) so it never perturbs the
+    trace RNG: two configs differing only in ``update_site_bias`` still
+    draw identical step/object/topology sequences.
+    """
+    order = list(sites)
+    random.Random(f"hot-sites:{seed}").shuffle(order)
+    return order
+
+
+def _pick_update_site(rng: random.Random, sites: List[str], bias: float,
+                      hot_order: Optional[Sequence[str]] = None) -> str:
     if bias <= 0:
         return rng.choice(sites)
-    # Zipf-ish skew: weight site i by (i+1)^-bias.
-    weights = [(index + 1) ** -bias for index in range(len(sites))]
-    return rng.choices(sites, weights=weights, k=1)[0]
+    # Zipf-ish skew: weight the i-th *hottest* site by (i+1)^-bias.
+    ranked = list(hot_order) if hot_order is not None else sites
+    weights = [(index + 1) ** -bias for index in range(len(ranked))]
+    return rng.choices(ranked, weights=weights, k=1)[0]
 
 
 def generate_trace(config: WorkloadConfig) -> List[TraceEvent]:
@@ -99,11 +141,11 @@ def generate_trace(config: WorkloadConfig) -> List[TraceEvent]:
     all others (so every site participates from the start); the body mixes
     updates and syncs per ``update_ratio``.
     """
-    if config.n_sites < 2:
-        raise ValueError("workloads need at least two sites")
     rng = random.Random(config.seed)
     sites = config.site_names()
     objects = config.object_names()
+    hot_order = (hot_site_order(sites, config.seed)
+                 if config.update_site_bias > 0 else None)
 
     trace: List[TraceEvent] = []
     for object_id in objects:
@@ -117,7 +159,8 @@ def generate_trace(config: WorkloadConfig) -> List[TraceEvent]:
         object_id = rng.choice(objects)
         if rng.random() < config.update_ratio:
             sequence += 1
-            site = _pick_update_site(rng, sites, config.update_site_bias)
+            site = _pick_update_site(rng, sites, config.update_site_bias,
+                                     hot_order=hot_order)
             trace.append(UpdateEvent(
                 site, object_id,
                 config.value_factory(site, object_id, sequence)))

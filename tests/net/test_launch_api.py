@@ -6,9 +6,9 @@ import pytest
 
 from repro.core.rotating import BasicRotatingVector
 from repro.core.skip import SkipRotatingVector
-from repro.errors import ValidationError
+from repro.errors import SessionError, ValidationError
 from repro.net.channel import ChannelSpec
-from repro.net.faults import FaultSpec
+from repro.net.faults import FaultSpec, RetryPolicy
 from repro.net.runner import (SessionOptions, launch, launch_batch_session,
                               launch_session, run_timed, run_timed_session)
 from repro.net.simulator import Simulator
@@ -122,6 +122,49 @@ class TestLaunch:
                                           encoding=ENC))
         assert len(result.sender_result) == 3
         assert len(result.receiver_result) == 3
+
+
+class TestOnAbandon:
+    """Permanent aborts: the ``on_abandon`` hook replaces the raise."""
+
+    def _doomed_options(self, **extra):
+        a, b = srv_pair()
+        doomed = ChannelSpec(latency=0.01, bandwidth=1e6,
+                             faults=FaultSpec(drop=1.0, seed=3))
+        return SessionOptions.for_pair(
+            syncs_sender(b),
+            syncs_receiver(a, reconcile=a.compare(b).is_concurrent),
+            channel=doomed, encoding=ENC,
+            retry=RetryPolicy(max_retries=1, initial_rto=0.05),
+            **extra)
+
+    def test_default_permanent_abort_raises(self):
+        sim = Simulator()
+        launch(sim, self._doomed_options())
+        with pytest.raises(SessionError, match="aborted permanently"):
+            sim.run()
+
+    def test_on_abandon_is_called_instead_of_raising(self):
+        seen = []
+        completed = []
+        sim = Simulator()
+        launch(sim, self._doomed_options(on_abandon=seen.append,
+                                         on_complete=completed.append))
+        sim.run()  # must not raise
+        assert len(seen) == 1
+        assert isinstance(seen[0], SessionError)
+        assert "aborted permanently" in str(seen[0])
+        assert not completed  # an abandoned session never completes
+
+    def test_on_abandon_unused_on_success(self):
+        a, b = brv_pair()
+        seen = []
+        sim = Simulator()
+        launch(sim, SessionOptions.for_pair(
+            syncb_sender(b), syncb_receiver(a), channel=CHANNEL,
+            encoding=ENC, on_abandon=seen.append))
+        sim.run()
+        assert not seen
 
 
 class TestDeprecatedShims:

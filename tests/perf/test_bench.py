@@ -14,17 +14,23 @@ from repro.perf.schema import SCHEMA_ID, validate_bench, validate_file
 #: A deliberately tiny sweep so driver tests stay fast (no batched or
 #: chaos scenario; those have their own tests below).
 TINY = BenchConfig(site_counts=(4,), rounds=2, updates_per_site=1.0,
-                   batched_sizes=(), chaos_loss_rates=())
+                   batched_sizes=(), chaos_loss_rates=(), store_ops=0)
 #: The batched scenario alone, shrunk.
 TINY_BATCHED = BenchConfig(site_counts=(), protocols=(), rounds=2,
                            updates_per_site=1.0, batched_site_count=4,
                            batched_objects=6, batched_sizes=(1, 4),
-                           chaos_loss_rates=())
+                           chaos_loss_rates=(), store_ops=0)
 #: The chaos scenario alone, shrunk.
 TINY_CHAOS = BenchConfig(site_counts=(), protocols=("srv",), rounds=2,
                          updates_per_site=1.0, batched_site_count=4,
                          batched_objects=4, batched_sizes=(),
-                         chaos_batch_size=4, chaos_loss_rates=(0.05,))
+                         chaos_batch_size=4, chaos_loss_rates=(0.05,),
+                         store_ops=0)
+#: The store-workload scenario alone, shrunk.
+TINY_STORE = BenchConfig(site_counts=(), protocols=(), rounds=2,
+                         batched_sizes=(), chaos_loss_rates=(),
+                         store_site_count=4, store_keys=6,
+                         store_clients=8, store_ops=400)
 
 
 class TestRunClusterBench:
@@ -37,7 +43,7 @@ class TestRunClusterBench:
     def test_runs_cover_the_requested_grid(self):
         config = BenchConfig(site_counts=(4, 6), protocols=("srv",),
                              rounds=2, batched_sizes=(),
-                             chaos_loss_rates=())
+                             chaos_loss_rates=(), store_ops=0)
         document = run_cluster_bench(config)
         grid = [(r["protocol"], r["n_sites"]) for r in document["runs"]]
         assert grid == [("srv", 4), ("srv", 6)]
@@ -73,7 +79,7 @@ class TestRunClusterBench:
         metrics = MetricsRegistry()
         run_cluster_bench(BenchConfig(site_counts=(4,), protocols=("srv",),
                                       rounds=2, batched_sizes=(),
-                                      chaos_loss_rates=()),
+                                      chaos_loss_rates=(), store_ops=0),
                           metrics=metrics)
         snapshot = metrics.snapshot()
         assert snapshot["counters"]["cluster.srv.sessions"] == 8
@@ -126,10 +132,84 @@ class TestChaosScenario:
         out = str(tmp_path / "bench.json")
         assert bench_main(["--sites", "4", "--rounds", "2",
                            "--protocols", "srv", "--no-chaos",
-                           "--out", out]) == 0
+                           "--no-store", "--out", out]) == 0
         with open(out) as handle:
             document = json.load(handle)
         assert all(run["scenario"] != "chaos-loss"
+                   for run in document["runs"])
+        capsys.readouterr()
+
+
+class TestStoreScenario:
+    def test_store_run_carries_client_fields(self):
+        document = run_cluster_bench(TINY_STORE)
+        assert validate_bench(document) == []
+        (run,) = document["runs"]
+        assert run["scenario"] == "store-workload"
+        assert run["n_sites"] == TINY_STORE.store_site_count
+        assert run["n_objects"] == TINY_STORE.store_keys
+        assert run["consistent"] is True
+        client = run["client"]
+        assert client["ops"] == TINY_STORE.store_ops
+        assert (client["reads"] + client["writes"] + client["deletes"]
+                == client["ops"])
+        for summary in ("get_latency_seconds", "put_latency_seconds",
+                        "staleness_seconds"):
+            for percentile in ("p50", "p90", "p99"):
+                assert client[summary][percentile] >= 0.0
+
+    def test_store_cells_are_deterministic(self):
+        first = run_cluster_bench(TINY_STORE, created_unix=0.0)
+        second = run_cluster_bench(TINY_STORE, created_unix=0.0)
+        assert bench_fingerprint(first) == bench_fingerprint(second)
+
+    def test_zero_ops_skips_the_scenario(self):
+        document = run_cluster_bench(TINY)
+        assert all(run["scenario"] != "store-workload"
+                   for run in document["runs"])
+
+    def test_store_parallel_matches_serial(self):
+        config = BenchConfig(site_counts=(4,), protocols=("srv",),
+                             rounds=2, batched_sizes=(),
+                             chaos_loss_rates=(), store_site_count=4,
+                             store_keys=6, store_clients=8, store_ops=400)
+        serial = run_cluster_bench(config, created_unix=0.0)
+        parallel = run_cluster_bench(config, created_unix=0.0, workers=2)
+        assert bench_fingerprint(serial) == bench_fingerprint(parallel)
+
+    def test_analyzed_store_cell_has_critical_path(self):
+        document = run_cluster_bench(TINY_STORE, analyze=True)
+        assert validate_bench(document) == []
+        (run,) = document["runs"]
+        assert run["critical_path_seconds"] >= 0.0
+
+    def test_monitored_store_cell_stays_unmonitored(self):
+        # The live monitor's oracle assumes whole-state sessions; the
+        # per-key store cell deliberately opts out of health scoring.
+        document = run_cluster_bench(TINY_STORE, monitor=True)
+        (run,) = document["runs"]
+        assert "health" not in run
+
+    def test_store_ops_flag_sizes_the_cell(self, tmp_path, capsys):
+        out = str(tmp_path / "bench.json")
+        assert bench_main(["--sites", "4", "--rounds", "2",
+                           "--protocols", "srv", "--no-chaos",
+                           "--store-ops", "300", "--out", out]) == 0
+        with open(out) as handle:
+            document = json.load(handle)
+        (run,) = [r for r in document["runs"]
+                  if r["scenario"] == "store-workload"]
+        assert run["client"]["ops"] == 300
+        capsys.readouterr()
+
+    def test_no_store_flag_skips_the_scenario(self, tmp_path, capsys):
+        out = str(tmp_path / "bench.json")
+        assert bench_main(["--sites", "4", "--rounds", "2",
+                           "--protocols", "srv", "--no-chaos",
+                           "--no-store", "--out", out]) == 0
+        with open(out) as handle:
+            document = json.load(handle)
+        assert all(run["scenario"] != "store-workload"
                    for run in document["runs"])
         capsys.readouterr()
 
@@ -143,7 +223,7 @@ class TestParallelDriver:
 
     def test_parallel_metrics_merge_matches_serial(self):
         config = BenchConfig(site_counts=(4,), protocols=("crv", "srv"),
-                             rounds=2, batched_sizes=())
+                             rounds=2, batched_sizes=(), store_ops=0)
         serial_metrics = MetricsRegistry()
         run_cluster_bench(config, metrics=serial_metrics)
         parallel_metrics = MetricsRegistry()
@@ -188,7 +268,7 @@ class TestAnalyzedBench:
     def test_cli_flag(self, tmp_path, capsys):
         out = tmp_path / "bench.json"
         assert bench_main(["--sites", "4", "--protocols", "srv",
-                           "--rounds", "2", "--no-chaos",
+                           "--rounds", "2", "--no-chaos", "--no-store",
                            "--analyze", "--out", str(out)]) == 0
         capsys.readouterr()
         document = json.loads(out.read_text(encoding="utf-8"))
@@ -237,7 +317,7 @@ class TestBenchCli:
     def test_bench_writes_and_reports(self, tmp_path, capsys):
         out = str(tmp_path / "BENCH_cluster.json")
         assert bench_main(["--sites", "4", "--rounds", "2",
-                           "--out", out]) == 0
+                           "--store-ops", "300", "--out", out]) == 0
         assert validate_file(out) == []
         stdout = capsys.readouterr().out
         assert "wrote" in stdout and SCHEMA_ID in stdout
@@ -245,7 +325,8 @@ class TestBenchCli:
     def test_protocol_subset(self, tmp_path, capsys):
         out = str(tmp_path / "bench.json")
         assert bench_main(["--sites", "4", "--rounds", "2",
-                           "--protocols", "srv", "--out", out]) == 0
+                           "--protocols", "srv", "--no-store",
+                           "--out", out]) == 0
         with open(out) as handle:
             document = json.load(handle)
         gossip = [r["protocol"] for r in document["runs"]
@@ -259,14 +340,14 @@ class TestBenchCli:
         out = str(tmp_path / "bench.json")
         assert bench_main(["--sites", "4", "--rounds", "2",
                            "--protocols", "srv", "--workers", "2",
-                           "--out", out]) == 0
+                           "--no-store", "--out", out]) == 0
         assert validate_file(out) == []
 
     def test_profile_flag_dumps_stats(self, tmp_path, capsys):
         out = str(tmp_path / "bench.json")
         pstats_out = str(tmp_path / "bench.pstats")
         assert bench_main(["--sites", "4", "--rounds", "2",
-                           "--protocols", "srv", "--profile",
+                           "--protocols", "srv", "--no-store", "--profile",
                            "--profile-out", pstats_out, "--out", out]) == 0
         assert (tmp_path / "bench.pstats").exists()
         stdout = capsys.readouterr().out
@@ -289,7 +370,8 @@ class TestBenchCli:
     def test_dispatch_through_module_main(self, tmp_path, capsys,
                                           monkeypatch):
         monkeypatch.chdir(tmp_path)
-        assert repro_main(["bench", "--sites", "4", "--rounds", "2"]) == 0
+        assert repro_main(["bench", "--sites", "4", "--rounds", "2",
+                           "--no-store"]) == 0
         assert (tmp_path / "BENCH_cluster.json").exists()
         capsys.readouterr()
 
@@ -333,7 +415,7 @@ class TestMonitoredBench:
         out = str(tmp_path / "bench.json")
         assert bench_main(["--sites", "4", "--rounds", "2",
                            "--protocols", "srv", "--no-chaos",
-                           "--monitor", "--out", out]) == 0
+                           "--no-store", "--monitor", "--out", out]) == 0
         with open(out) as handle:
             document = json.load(handle)
         assert validate_bench(document) == []

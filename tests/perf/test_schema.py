@@ -139,6 +139,50 @@ HEALTH = {
 }
 
 
+CLIENT = {
+    "ops": 400, "reads": 360, "writes": 31, "deletes": 9,
+    "read_repairs": 12, "sessions_abandoned": 0,
+    "get_latency_seconds": {"p50": 0.01, "p90": 0.02, "p99": 0.05},
+    "put_latency_seconds": {"p50": 0.01, "p90": 0.03, "p99": 0.06},
+    "staleness_seconds": {"p50": 0.08, "p90": 0.2, "p99": 0.4},
+}
+
+
+class TestClientRunFields:
+    def test_valid_client_block(self):
+        doc = doc_with(scenario="store-workload",
+                       client=copy.deepcopy(CLIENT))
+        assert validate_bench(doc) == []
+
+    def test_client_must_be_an_object(self):
+        errors = validate_bench(doc_with(client=7))
+        assert any("'client' must be an object" in e for e in errors)
+
+    def test_non_integer_count_rejected(self):
+        client = dict(copy.deepcopy(CLIENT), read_repairs=1.5)
+        errors = validate_bench(doc_with(client=client))
+        assert any("read_repairs" in e and "an integer" in e
+                   for e in errors)
+
+    def test_op_mix_must_add_up(self):
+        client = dict(copy.deepcopy(CLIENT), reads=359)
+        errors = validate_bench(doc_with(client=client))
+        assert any("must equal ops" in e for e in errors)
+
+    def test_missing_percentile_map_rejected(self):
+        client = {k: v for k, v in copy.deepcopy(CLIENT).items()
+                  if k != "staleness_seconds"}
+        errors = validate_bench(doc_with(client=client))
+        assert any("staleness_seconds" in e for e in errors)
+
+    def test_percentiles_must_be_numbers(self):
+        client = copy.deepcopy(CLIENT)
+        client["get_latency_seconds"]["p99"] = "slow"
+        errors = validate_bench(doc_with(client=client))
+        assert any("get_latency_seconds" in e and "p99" in e
+                   for e in errors)
+
+
 class TestMonitoredRunFields:
     def test_valid_monitored_run(self):
         doc = doc_with(invariant_violations=0,

@@ -1,0 +1,55 @@
+"""The ``python -m repro store`` entry point."""
+
+import pytest
+
+from repro.__main__ import main as repro_main
+from repro.store.cli import DEMO_CONFIG, store_main
+
+#: A tiny flag set so CLI tests stay fast.
+FAST = ["--sites", "4", "--keys", "6", "--clients", "8", "--ops", "300",
+        "--seed", "3"]
+
+
+class TestStoreMain:
+    def test_fast_run_converges_and_reports(self, capsys):
+        assert store_main(FAST) == 0
+        out = capsys.readouterr().out
+        assert "4 sites × 6 keys" in out
+        assert "converged: True" in out
+        assert "state sha256:" in out
+
+    def test_output_is_byte_identical_per_seed(self, capsys):
+        store_main(FAST)
+        first = capsys.readouterr().out
+        store_main(FAST)
+        assert capsys.readouterr().out == first
+
+    def test_seed_changes_the_digest(self, capsys):
+        store_main(FAST)
+        first = capsys.readouterr().out
+        store_main(FAST[:-1] + ["4"])
+        assert capsys.readouterr().out != first
+
+    def test_chaos_flag_runs_faulted(self, capsys):
+        assert store_main(FAST + ["--loss", "0.1"]) == 0
+        assert "loss 0.1" in capsys.readouterr().out
+
+    def test_demo_preset_is_sized_for_the_acceptance_run(self):
+        assert DEMO_CONFIG.n_sites == 8
+        assert DEMO_CONFIG.ops >= 10_000
+
+    @pytest.mark.parametrize("argv", [
+        ["--sites"],                 # missing value
+        ["--sites", "many"],         # not an integer
+        ["--frobnicate"],            # unknown flag
+        ["--sites", "1"],            # rejected by config validation
+        ["--protocol", "nope"],      # unknown protocol
+    ])
+    def test_bad_arguments_exit_2(self, argv, capsys):
+        assert store_main(argv) == 2
+        out = capsys.readouterr().out
+        assert "usage" in out or "failed" in out
+
+    def test_dispatch_through_module_main(self, capsys):
+        assert repro_main(["store"] + FAST) == 0
+        assert "store workload" in capsys.readouterr().out

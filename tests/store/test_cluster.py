@@ -1,0 +1,234 @@
+"""The store cluster: sessions, read-repair, deferral, abort safety."""
+
+import pytest
+
+from repro.errors import SimulationError, ValidationError
+from repro.net.channel import ChannelSpec
+from repro.net.faults import FaultSpec, RetryPolicy
+from repro.obs.metrics import MetricsRegistry
+from repro.store.cluster import (ClientOp, StoreCluster, StoreConfig,
+                                 gossip_peers)
+
+CHANNEL = ChannelSpec(latency=0.01, bandwidth=1e6)
+
+
+def cluster(sites=("A", "B", "C"), **kwargs) -> StoreCluster:
+    kwargs.setdefault("channel", CHANNEL)
+    metrics = kwargs.pop("metrics", None)
+    return StoreCluster(list(sites), StoreConfig(**kwargs), metrics=metrics)
+
+
+def chaos_cluster(sites=("A", "B"), *, drop, attempts=2) -> StoreCluster:
+    channel = ChannelSpec(latency=0.01, bandwidth=1e6,
+                          faults=FaultSpec(drop=drop, seed=5))
+    retry = RetryPolicy(max_retries=1, initial_rto=0.05,
+                        max_session_attempts=attempts)
+    return StoreCluster(list(sites), StoreConfig(channel=channel,
+                                                 retry=retry))
+
+
+class TestConfigValidation:
+    def test_rejects_bad_values(self):
+        with pytest.raises(ValidationError, match="protocol"):
+            StoreConfig(protocol="nope")
+        with pytest.raises(ValidationError, match="batch_size"):
+            StoreConfig(batch_size=0)
+        with pytest.raises(ValidationError, match="client_latency"):
+            StoreConfig(client_latency=-1.0)
+        with pytest.raises(ValidationError, match="two sites"):
+            StoreCluster(["A"], StoreConfig())
+        with pytest.raises(ValidationError, match="duplicate"):
+            StoreCluster(["A", "A"], StoreConfig())
+
+    def test_op_and_sync_validation(self):
+        c = cluster()
+        with pytest.raises(ValidationError, match="kind"):
+            ClientOp(kind="scan", site="A", key="k")
+        with pytest.raises(ValidationError, match="unknown site"):
+            c.submit(ClientOp(kind="get", site="Z", key="k"))
+        with pytest.raises(ValidationError, match="itself"):
+            c.request_sync("A", "A")
+
+
+class TestSessionsMoveData:
+    def test_sync_propagates_a_write(self):
+        c = cluster()
+        c.submit(ClientOp(kind="put", site="A", key="k", value="v"))
+        c.request_sync("A", "B")
+        result = c.run()
+        assert c.stores["B"].get("k").values == ("v",)
+        assert result.sessions == 1 and not result.records[0].aborted
+
+    def test_concurrent_writes_become_siblings_everywhere(self):
+        c = cluster(sites=("A", "B"))
+        c.submit(ClientOp(kind="put", site="A", key="k", value="va"))
+        c.submit(ClientOp(kind="put", site="B", key="k", value="vb"))
+        result = c.run(converge_via="A")
+        assert result.converged()
+        assert result.sibling_sets()["k"] == ("va", "vb")
+
+    def test_converge_sweep_reaches_every_site(self):
+        c = cluster(sites=("A", "B", "C", "D"))
+        for index, site in enumerate(c.sites):
+            c.submit(ClientOp(kind="put", site=site, key=f"k{index}",
+                              value=f"v{index}"))
+        result = c.run(converge_via="A")
+        assert result.converged()
+        assert len(result.sibling_sets()) == 4
+
+    def test_clusters_are_one_shot(self):
+        c = cluster()
+        c.run()
+        with pytest.raises(SimulationError, match="one-shot"):
+            c.run()
+
+
+class TestDeferral:
+    def test_ops_defer_while_site_is_in_session(self):
+        c = cluster(sites=("A", "B"))
+        c.submit(ClientOp(kind="put", site="A", key="k", value="v1"))
+        c.request_sync("A", "B")  # starts immediately, occupies both
+        outcomes = []
+        c.submit(ClientOp(kind="put", site="B", key="k", value="v2"),
+                 on_done=outcomes.append)
+        assert not outcomes  # deferred behind the live session
+        result = c.run()
+        assert outcomes and outcomes[0].queue_wait > 0
+        assert result.ops_deferred == 1
+
+
+class TestCoordinatedWrites:
+    def test_blind_puts_supersede_at_the_coordinator(self):
+        c = cluster(sites=("A", "B"))
+        for value in ("v1", "v2", "v3"):
+            c.submit(ClientOp(kind="put", site="A", key="k", value=value))
+        assert c.stores["A"].get("k").values == ("v3",)
+
+    def test_uncoordinated_blind_puts_pile_up(self):
+        c = cluster(sites=("A", "B"), coordinated_writes=False)
+        stale = None
+        for value in ("v1", "v2", "v3"):
+            c.submit(ClientOp(kind="put", site="A", key="k", value=value,
+                              context=stale))
+            stale = stale or {"A": 1}
+        assert len(c.stores["A"].get("k").values) == 2
+
+
+class TestReadRepair:
+    def test_divergent_get_merges_both_replicas(self):
+        c = cluster(sites=("A", "B"))
+        c.submit(ClientOp(kind="put", site="A", key="k", value="va"))
+        c.submit(ClientOp(kind="put", site="B", key="k", value="vb"))
+        outcomes = []
+        c.submit(ClientOp(kind="get", site="A", key="k", repair_peer="B"),
+                 on_done=outcomes.append)
+        result = c.run()
+        assert outcomes[0].repaired
+        assert outcomes[0].result.values == ("va", "vb")
+        assert result.read_repairs == 1
+        # The scheduled repair session ran and converged the key.
+        assert c.stores["A"].get("k").values == ("va", "vb")
+
+    def test_busy_peer_is_not_consulted(self):
+        c = cluster(sites=("A", "B", "C"))
+        c.submit(ClientOp(kind="put", site="A", key="k", value="va"))
+        c.submit(ClientOp(kind="put", site="B", key="k", value="vb"))
+        # Park A and B in a session; gets at C may not consult either.
+        c.request_sync("A", "B")
+        for _ in range(5):
+            c.submit(ClientOp(kind="get", site="C", key="k",
+                              repair_peer="A"))
+        result = c.run()
+        assert result.read_repairs == 0
+
+    def test_read_repair_can_be_disabled(self):
+        c = cluster(sites=("A", "B"), read_repair=False)
+        c.submit(ClientOp(kind="put", site="A", key="k", value="va"))
+        c.submit(ClientOp(kind="put", site="B", key="k", value="vb"))
+        outcomes = []
+        c.submit(ClientOp(kind="get", site="A", key="k", repair_peer="B"),
+                 on_done=outcomes.append)
+        result = c.run()
+        assert not outcomes[0].repaired
+        assert result.read_repairs == 0
+
+
+class TestAbortSafety:
+    """Satellite: a mid-session abort must not leave torn state behind."""
+
+    def test_abandoned_session_restores_the_presession_snapshot(self):
+        c = chaos_cluster(drop=1.0)
+        c.submit(ClientOp(kind="put", site="A", key="k", value="va"))
+        c.submit(ClientOp(kind="put", site="B", key="k", value="vb"))
+        before = c.stores["B"].get("k")
+        before_vector = c.stores["B"].record("k").vector.copy()
+        c.request_sync("A", "B")
+        result = c.run()
+        assert result.sessions_abandoned == 1
+        assert result.records[0].aborted
+        after = c.stores["B"].get("k")
+        assert after.values == before.values
+        assert after.context == before.context
+        assert c.stores["B"].record("k").vector.same_values(before_vector)
+
+    def test_abandon_releases_the_sites_for_deferred_ops(self):
+        c = chaos_cluster(drop=1.0)
+        c.submit(ClientOp(kind="put", site="A", key="k", value="va"))
+        c.request_sync("A", "B")
+        outcomes = []
+        c.submit(ClientOp(kind="get", site="B", key="k"),
+                 on_done=outcomes.append)
+        c.run()
+        # The deferred get ran after the abandon — against restored state.
+        assert outcomes and outcomes[0].result.values == ()
+
+    def test_flushed_ops_stay_deferred_behind_a_fresh_session(self):
+        """A flushed get can start a repair session; the put queued
+        behind it must wait for that session too, or the session's
+        rollback snapshot would silently erase the put."""
+        c = chaos_cluster(drop=1.0)
+        c.submit(ClientOp(kind="put", site="A", key="k", value="va"))
+        c.submit(ClientOp(kind="put", site="B", key="k", value="vother"))
+        c.request_sync("A", "B")  # doomed session #1 occupies both
+        c.submit(ClientOp(kind="get", site="B", key="k", repair_peer="A"))
+        c.submit(ClientOp(kind="put", site="B", key="k", value="vb"))
+        result = c.run()
+        # Both the original sync and the repair the flushed get started
+        # were abandoned; the trailing put must have survived them.
+        assert result.sessions_abandoned == 2
+        assert "vb" in c.stores["B"].get("k").values
+
+    def test_resumable_chaos_still_converges(self):
+        c = chaos_cluster(drop=0.2, attempts=8)
+        c.submit(ClientOp(kind="put", site="A", key="k", value="va"))
+        c.request_sync("A", "B")
+        result = c.run()
+        assert result.sessions_abandoned == 0
+        assert c.stores["B"].get("k").values == ("va",)
+
+
+class TestMetrics:
+    def test_counters_and_histograms_land(self):
+        metrics = MetricsRegistry()
+        c = cluster(sites=("A", "B"), metrics=metrics)
+        c.submit(ClientOp(kind="put", site="A", key="k", value="v"))
+        c.request_sync("A", "B")
+        c.run()
+        assert metrics.counter("store.ops").value == 1
+        assert metrics.counter("store.ops_put").value == 1
+        assert metrics.counter("store.sessions").value == 1
+        assert metrics.histogram("store.queue_wait_seconds").count == 1
+
+
+class TestGossipPeers:
+    def test_every_site_pulls_once_per_round(self):
+        plan = gossip_peers(["A", "B", "C"], rounds=4, seed=2)
+        assert len(plan) == 12
+        for _, src, dst in plan:
+            assert src != dst
+
+    def test_deterministic_per_seed(self):
+        assert (gossip_peers(["A", "B", "C"], rounds=3, seed=1)
+                == gossip_peers(["A", "B", "C"], rounds=3, seed=1))
+        assert (gossip_peers(["A", "B", "C"], rounds=3, seed=1)
+                != gossip_peers(["A", "B", "C"], rounds=3, seed=2))

@@ -1,0 +1,118 @@
+"""The client-workload driver: planning, validation, and measurement."""
+
+import pytest
+
+from repro.errors import ReproError
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.trace import Tracer
+from repro.workload.clients import (StoreWorkloadConfig, generate_client_ops,
+                                    hot_key_order, run_store_workload)
+
+#: Small enough to stay fast, large enough to exercise every path.
+SMALL = StoreWorkloadConfig(n_sites=4, n_keys=8, n_clients=8, ops=400,
+                            op_interval=0.002, sync_period=0.2, seed=7)
+
+
+class TestConfigValidation:
+    @pytest.mark.parametrize("overrides", [
+        {"n_sites": 1},
+        {"n_keys": 0},
+        {"n_clients": 0},
+        {"ops": -1},
+        {"read_ratio": 1.5},
+        {"delete_ratio": -0.1},
+        {"read_ratio": 0.8, "delete_ratio": 0.3},
+        {"loss_rate": 2.0},
+        {"zipf": -1.0},
+        {"op_interval": 0.0},
+        {"sync_period": -1.0},
+    ])
+    def test_rejects_nonsense(self, overrides):
+        with pytest.raises(ReproError):
+            StoreWorkloadConfig(**overrides)
+
+    def test_boundaries_are_inclusive(self):
+        StoreWorkloadConfig(read_ratio=1.0, delete_ratio=0.0)
+        StoreWorkloadConfig(read_ratio=0.0, delete_ratio=1.0)
+        StoreWorkloadConfig(ops=0, zipf=0.0)
+
+
+class TestPlanning:
+    def test_plan_is_deterministic_per_seed(self):
+        assert generate_client_ops(SMALL) == generate_client_ops(SMALL)
+        other = StoreWorkloadConfig(**{
+            **{name: getattr(SMALL, name)
+               for name in StoreWorkloadConfig.__dataclass_fields__},
+            "seed": 8})
+        assert generate_client_ops(SMALL) != generate_client_ops(other)
+
+    def test_clients_are_sticky(self):
+        plan = generate_client_ops(SMALL)
+        sites_by_client = {}
+        for op in plan:
+            sites_by_client.setdefault(op.client, set()).add(op.site)
+        assert all(len(sites) == 1 for sites in sites_by_client.values())
+
+    def test_zipf_concentrates_on_seeded_hot_keys(self):
+        config = StoreWorkloadConfig(n_sites=4, n_keys=16, n_clients=8,
+                                     ops=4000, zipf=1.4, seed=3)
+        plan = generate_client_ops(config)
+        counts = {}
+        for op in plan:
+            counts[op.key] = counts.get(op.key, 0) + 1
+        hot, *_, cold = hot_key_order(config.key_names(), config.seed)
+        assert counts[hot] > counts.get(cold, 0) * 3
+
+    def test_hot_key_order_varies_across_seeds(self):
+        keys = StoreWorkloadConfig(n_keys=16).key_names()
+        orders = {tuple(hot_key_order(keys, seed)) for seed in range(16)}
+        assert len(orders) > 1
+
+    def test_op_mix_follows_the_ratios(self):
+        plan = generate_client_ops(StoreWorkloadConfig(
+            ops=4000, read_ratio=0.5, delete_ratio=0.25, seed=1))
+        kinds = [op.kind for op in plan]
+        assert 0.4 < kinds.count("get") / len(kinds) < 0.6
+        assert 0.18 < kinds.count("delete") / len(kinds) < 0.32
+
+    def test_only_gets_carry_a_repair_peer(self):
+        for op in generate_client_ops(SMALL):
+            if op.kind == "get":
+                assert op.repair_peer is not None
+                assert op.repair_peer != op.site
+            else:
+                assert op.repair_peer is None
+
+
+class TestRunWorkload:
+    def test_small_run_converges_and_measures(self):
+        result = run_store_workload(SMALL)
+        assert result.converged
+        assert result.ops == SMALL.ops
+        assert result.latency_summary("get")["count"] > 0
+        assert result.latency_summary("put")["count"] > 0
+        assert result.staleness_summary()["count"] > 0
+        assert result.store.sessions > 0
+
+    def test_digest_is_deterministic_and_wall_clock_free(self):
+        first = run_store_workload(SMALL).digest()
+        second = run_store_workload(SMALL).digest()
+        assert first == second
+        assert "wall" not in " ".join(first)
+
+    def test_chaos_faults_apply_to_store_sessions(self):
+        config = StoreWorkloadConfig(n_sites=4, n_keys=8, n_clients=8,
+                                     ops=400, loss_rate=0.2, chaos_seed=9,
+                                     sync_period=0.2, seed=7)
+        result = run_store_workload(config)
+        assert result.converged
+        assert result.store.totals.retries > 0
+
+    def test_external_metrics_and_tracer_are_used(self):
+        metrics = MetricsRegistry()
+        tracer = Tracer()
+        result = run_store_workload(SMALL, metrics=metrics, tracer=tracer)
+        assert result.metrics is metrics
+        assert metrics.counter("store.ops").value == SMALL.ops
+        kinds = {event.kind for event in tracer.events}
+        assert "store_op" in kinds and "session_start" in kinds

@@ -4,8 +4,9 @@ import pytest
 
 from repro.workload.events import (CloneEvent, CreateEvent, SyncEvent,
                                    UpdateEvent)
+from repro.errors import ReproError
 from repro.workload.generator import (WorkloadConfig, generate_trace,
-                                      high_conflict_config,
+                                      high_conflict_config, hot_site_order,
                                       low_conflict_config,
                                       medium_conflict_config)
 
@@ -57,11 +58,55 @@ class TestStructure:
     def test_site_bias_concentrates_updates(self):
         biased = WorkloadConfig(n_sites=6, steps=3000, update_ratio=1.0,
                                 update_site_bias=3.0, seed=3)
+        hot, *_, cold = hot_site_order(biased.site_names(), biased.seed)
         counts = {}
         for event in generate_trace(biased):
             if isinstance(event, UpdateEvent):
                 counts[event.site] = counts.get(event.site, 0) + 1
-        assert counts["S000"] > counts.get("S005", 0) * 3
+        assert counts[hot] > counts.get(cold, 0) * 3
+
+
+class TestHotSitePermutation:
+    def test_deterministic_per_seed(self):
+        sites = WorkloadConfig(n_sites=12).site_names()
+        assert hot_site_order(sites, 7) == hot_site_order(sites, 7)
+
+    def test_varies_across_seeds(self):
+        """The hot site must not be pinned to S000 for every seed."""
+        sites = WorkloadConfig(n_sites=12).site_names()
+        hot_sites = {hot_site_order(sites, seed)[0] for seed in range(16)}
+        assert len(hot_sites) > 1
+
+    def test_permutation_draws_from_a_private_stream(self):
+        """Deriving the permutation must not consume the trace RNG: two
+        biased traces of the same config are identical whether or not
+        the hot order was (re)computed in between."""
+        config = WorkloadConfig(n_sites=5, steps=200, seed=9,
+                                update_site_bias=2.0)
+        first = generate_trace(config)
+        hot_site_order(config.site_names(), config.seed)
+        assert generate_trace(config) == first
+
+
+class TestValidation:
+    @pytest.mark.parametrize("kwargs", [
+        {"update_ratio": 1.5},
+        {"update_ratio": -0.1},
+        {"steps": -1},
+        {"n_objects": 0},
+        {"update_site_bias": -0.5},
+        {"n_sites": 1},
+        {"n_sites": 0},
+    ])
+    def test_rejects_out_of_range_parameters(self, kwargs):
+        with pytest.raises(ReproError):
+            WorkloadConfig(**kwargs)
+
+    def test_boundaries_are_inclusive(self):
+        for ratio in (0.0, 1.0):
+            generate_trace(WorkloadConfig(n_sites=2, steps=10,
+                                          update_ratio=ratio))
+        generate_trace(WorkloadConfig(n_sites=2, steps=0))
 
 
 class TestStockConfigs:
