@@ -22,7 +22,7 @@ from repro.perf.bench import BenchConfig, run_cluster_bench
 #: propagating — making convergence a hard assertion, not a coin flip.
 CONFIG = BenchConfig(
     site_counts=(), batched_sizes=(), rounds=10, updates_per_site=1.0,
-    chaos_loss_rates=(0.01, 0.1), chaos_seed=11)
+    chaos_loss_rates=(0.01, 0.1), chaos_seed=11, store_ops=0)
 
 
 def run_grid():

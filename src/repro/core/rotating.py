@@ -39,10 +39,19 @@ class BasicRotatingVector:
     #: Human-readable tag used by wire accounting and reports.
     kind = "brv"
 
+    #: Storage backend tag; the array subclasses override it.
+    backend = "linked"
+
+    #: The element-order implementation this class instantiates.  Array
+    #: subclasses (:mod:`repro.core.arrayvec`) swap in the flat
+    #: :class:`~repro.core.arrayorder.ArrayElementOrder` while inheriting
+    #: every algorithm below unchanged.
+    order_cls = ElementOrder
+
     __slots__ = ("order",)
 
     def __init__(self) -> None:
-        self.order = ElementOrder()
+        self.order = self.order_cls()
 
     # -- construction ----------------------------------------------------------
 
@@ -133,6 +142,17 @@ class BasicRotatingVector:
         element.segment = False
         return element.value
 
+    def rotate_many(self, sites: List[str]) -> None:
+        """Batch ROTATE: each site moves to the front in turn.
+
+        After the call the last listed site is at the front (``⌊v⌋``),
+        matching a receiver replaying a sender's rotation sequence.  The
+        array backend overrides this with a single contiguous pass.
+        """
+        order = self.order
+        for site in sites:
+            order.rotate_front(site)
+
     # -- comparison ----------------------------------------------------------
 
     def compare(self, other: "BasicRotatingVector") -> Ordering:
@@ -185,8 +205,9 @@ class BasicRotatingVector:
             return NotImplemented
         return self.same_values(other)
 
-    def __hash__(self) -> int:  # pragma: no cover - vectors are mutable
-        raise TypeError("rotating vectors are mutable and unhashable")
+    # Vectors are mutable containers: explicitly unhashable, so identity
+    # bugs can't hide in sets or dict keys (``hash(v)`` raises TypeError).
+    __hash__ = None  # type: ignore[assignment]
 
     def __repr__(self) -> str:
         inner = ", ".join(repr(e) for e in self.order)

@@ -104,6 +104,11 @@ class ClusterConfig:
         retry: ARQ knobs (timeouts, backoff, retry and resume budgets)
             applied to every session when the channel's fault spec is
             enabled; inert on a perfect link.
+        backend: vector storage backend — ``array`` (flat parallel-array
+            representation, the default fast path) or ``linked`` (the
+            pointer-chasing oracle).  Both produce byte-identical wire
+            traffic and identical fingerprints; the choice is purely an
+            in-memory speed/verification trade-off.
     """
 
     protocol: str = "srv"
@@ -117,11 +122,14 @@ class ClusterConfig:
     n_objects: int = 1
     batch_size: int = 1
     retry: RetryPolicy = field(default_factory=RetryPolicy)
+    backend: str = "array"
 
     def __post_init__(self) -> None:
         if self.protocol not in PROTOCOLS:
             raise ValueError(f"unknown protocol {self.protocol!r}; "
                              f"expected one of {sorted(PROTOCOLS)}")
+        # Resolve eagerly so a typo'd backend fails at config time.
+        registry.get(self.protocol).vector_class(self.backend)
         if self.fanout < 1:
             raise ValueError(f"fanout must be >= 1, got {self.fanout}")
         if self.n_objects < 1:
@@ -244,7 +252,9 @@ class ClusterRunner:
         self.tracer = tracer
         self.metrics = metrics
         self.monitor = monitor
-        vector_cls, self._reconciles = PROTOCOLS[config.protocol]
+        spec = registry.get(config.protocol)
+        vector_cls = spec.vector_class(config.backend)
+        self._reconciles = spec.reconciles
         self.objects: Dict[str, List[BasicRotatingVector]] = {
             site: [vector_cls() for _ in range(config.n_objects)]
             for site in self.sites}
@@ -564,8 +574,9 @@ def replay_sequential(sites: Iterable[str], config: ClusterConfig,
     per-session results and every site's object-0 vector.
     """
     spec = registry.get(config.protocol)
+    vector_cls = spec.vector_class(config.backend)
     objects: Dict[str, List[BasicRotatingVector]] = {
-        site: [spec.vector_cls() for _ in range(config.n_objects)]
+        site: [vector_cls() for _ in range(config.n_objects)]
         for site in sites}
     results: List[TimedSessionResult] = []
     session_index = -1

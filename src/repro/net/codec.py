@@ -21,6 +21,7 @@ graph backward         ``0 node`` (skip-to) · ABORT ``1``
 COMPARE                ``site value`` then ``bit`` (verdict)
 full vector            ``count (site value)×count``
 full graph             ``count (node lp rp)×count``
+batch frame            ``(γ(index) γ(count) msg×count)×entries``
 ====================== =============================================
 
 Sites ride as registry ids; graph node ids must be integers (real systems
@@ -28,15 +29,25 @@ use integer or hash identifiers — the tuple ids of the simulation layer
 are a convenience above this layer).  Value fields honor the encoding's
 :meth:`~repro.net.wire.Encoding.value_field_bits` hook, so the adaptive
 Elias-γ extension serializes too.
+
+Two bit-I/O implementations coexist.  :class:`BitWriter`/:class:`BitReader`
+are the production fast path: an integer accumulator flushed bytes at a
+time, a table-driven γ writer, and an O(1) γ reader via ``bit_length`` —
+whole segments and batched frames encode in one pass instead of a Python
+loop per bit.  :class:`BitByBitWriter`/:class:`BitByBitReader` keep the
+original bit-at-a-time code as the equivalence oracle: both pairs must
+produce byte-identical streams on every message, which the codec test
+suite and the ``repro.perf.microbench`` E4/E11 cells enforce.
 """
 
 from __future__ import annotations
 
-from typing import Any, Generator, List, Optional, Tuple
+from typing import Any, Generator, List, Optional, Sequence, Tuple
 
 from repro.errors import ProtocolError
 from repro.extensions.varint import AdaptiveEncoding
 from repro.net.wire import Encoding
+from repro.protocols.batch import BatchFrame
 from repro.protocols.effects import Send
 from repro.protocols.messages import (AbortMsg, CompareLeast, ElementCMsg,
                                       ElementMsg, ElementSMsg, FullGraphMsg,
@@ -46,9 +57,176 @@ from repro.protocols.session import (ProtocolCoroutine, SessionResult,
                                      run_session)
 from repro.replication.membership import SiteRegistry
 
+#: γ(value + 1) widths for small values, precomputed once.  Element
+#: values, object indices, and per-entry message counts are almost
+#: always < 1024, so the table turns the common γ write into one lookup.
+_GAMMA_WIDTH = tuple(2 * (value + 1).bit_length() - 1
+                     for value in range(1024))
+
+#: Flush the writer's accumulator once it holds this many bits, keeping
+#: big-int shifts short while still batching ``to_bytes`` conversions.
+_FLUSH_BITS = 4096
+
 
 class BitWriter:
-    """Append-only big-endian bit buffer."""
+    """Append-only big-endian bit buffer (accumulator fast path).
+
+    Bits accumulate in one Python int — ``write`` is a shift and an OR —
+    and spill to a bytearray in whole-byte chunks whenever the
+    accumulator passes :data:`_FLUSH_BITS`, so the cost per field is
+    O(1) amortized instead of O(width) list appends.  Byte-identical to
+    :class:`BitByBitWriter` on every input.
+    """
+
+    __slots__ = ("_chunks", "_acc", "_nacc", "_emitted")
+
+    def __init__(self) -> None:
+        self._chunks = bytearray()
+        self._acc = 0
+        self._nacc = 0
+        self._emitted = 0
+
+    def write(self, value: int, width: int) -> None:
+        """Append ``value`` as a fixed ``width``-bit big-endian field."""
+        if value < 0 or (width < 64 and value >= (1 << width)):
+            raise ProtocolError(f"value {value} does not fit in {width} bits")
+        self._acc = (self._acc << width) | (value & ((1 << width) - 1))
+        self._nacc += width
+        if self._nacc >= _FLUSH_BITS:
+            self._spill()
+
+    def write_gamma(self, value: int) -> None:
+        """Append Elias-γ(value + 1): self-delimiting, 1 bit for zero."""
+        shifted = value + 1
+        width = (_GAMMA_WIDTH[value] if 0 <= value < 1024
+                 else 2 * shifted.bit_length() - 1)
+        # γ is `width//2` zeros then `shifted` (whose top bit is 1) in
+        # `width//2 + 1` bits — exactly `shifted` written `width` wide.
+        self._acc = (self._acc << width) | shifted
+        self._nacc += width
+        if self._nacc >= _FLUSH_BITS:
+            self._spill()
+
+    def _spill(self) -> None:
+        """Move the accumulator's whole bytes into the chunk buffer."""
+        keep = self._nacc & 7
+        nbytes = (self._nacc - keep) >> 3
+        self._chunks += (self._acc >> keep).to_bytes(nbytes, "big")
+        self._acc &= (1 << keep) - 1
+        self._nacc = keep
+        self._emitted += nbytes << 3
+
+    @property
+    def bit_length(self) -> int:
+        """Bits written so far."""
+        return self._emitted + self._nacc
+
+    def getvalue(self) -> bytes:
+        """The buffer as bytes, zero-padded to a byte boundary."""
+        pad = (-self._nacc) & 7
+        tail = ((self._acc << pad).to_bytes((self._nacc + pad) >> 3, "big")
+                if self._nacc else b"")
+        return bytes(self._chunks) + tail
+
+
+class BitReader:
+    """Sequential reader over a :class:`BitWriter`'s output.
+
+    Fields are served from a small int accumulator refilled eight bytes
+    at a time, so every read costs O(1) *in the stream length*: decoding
+    an n-element segment walk is O(n).  (Converting the whole buffer to
+    one big int up front looks elegant but makes every shift O(total
+    bits) and the walk quadratic.)  γ fields still decode without a
+    bit-at-a-time zero scan: the accumulator's ``int.bit_length`` finds
+    the marker inside the current window directly.
+    """
+
+    __slots__ = ("_data", "_bit_length", "_position", "_byte_pos",
+                 "_acc", "_nacc")
+
+    def __init__(self, data: bytes, bit_length: int) -> None:
+        self._data = data
+        self._bit_length = bit_length
+        self._position = 0
+        self._byte_pos = 0
+        #: Accumulator invariant: ``_acc`` holds exactly the next
+        #: ``_nacc`` unconsumed bits (no stale high bits).
+        self._acc = 0
+        self._nacc = 0
+
+    def _refill(self, need: int) -> None:
+        """Pull bytes into the accumulator until it holds ``need`` bits."""
+        acc, nacc = self._acc, self._nacc
+        data, pos = self._data, self._byte_pos
+        while nacc < need:
+            chunk = data[pos:pos + 8]
+            if not chunk:
+                raise ProtocolError("bitstream underrun")
+            bits = len(chunk) * 8
+            acc = (acc << bits) | int.from_bytes(chunk, "big")
+            nacc += bits
+            pos += len(chunk)
+        self._acc, self._nacc, self._byte_pos = acc, nacc, pos
+
+    def read(self, width: int) -> int:
+        """Read a fixed ``width``-bit big-endian field."""
+        position = self._position
+        if position + width > self._bit_length:
+            raise ProtocolError("bitstream underrun")
+        if self._nacc < width:
+            self._refill(width)
+        self._position = position + width
+        nacc = self._nacc - width
+        value = self._acc >> nacc
+        self._acc &= (1 << nacc) - 1
+        self._nacc = nacc
+        return value
+
+    def read_gamma(self) -> int:
+        """Read an Elias-γ field written by :meth:`BitWriter.write_gamma`."""
+        position = self._position
+        acc, nacc = self._acc, self._nacc
+        data, pos = self._data, self._byte_pos
+        zeros = 0
+        while acc == 0:
+            # The current window is all zeros: consume it and refill.
+            # Running out of bytes means the zero run crosses the end of
+            # the stream (padding is zero-filled) — an underrun.
+            zeros += nacc
+            chunk = data[pos:pos + 8]
+            if not chunk:
+                raise ProtocolError("bitstream underrun")
+            acc = int.from_bytes(chunk, "big")
+            nacc = len(chunk) * 8
+            pos += len(chunk)
+        zeros += nacc - acc.bit_length()
+        end = position + 2 * zeros + 1
+        if end > self._bit_length:
+            raise ProtocolError("bitstream underrun")
+        # Commit the zero-skip, then read marker + payload as one field.
+        self._acc, self._nacc, self._byte_pos = acc, acc.bit_length(), pos
+        need = zeros + 1
+        if self._nacc < need:
+            self._refill(need)
+        nacc = self._nacc - need
+        value = self._acc >> nacc
+        self._acc &= (1 << nacc) - 1
+        self._nacc = nacc
+        self._position = end
+        return value - 1
+
+    @property
+    def remaining(self) -> int:
+        """Unread bits."""
+        return self._bit_length - self._position
+
+
+class BitByBitWriter:
+    """The original one-bit-at-a-time writer, kept as the oracle.
+
+    :class:`BitWriter` must produce byte-identical output; the codec
+    tests and microbench cells drive both over the same streams.
+    """
 
     def __init__(self) -> None:
         self._bits: List[int] = []
@@ -85,8 +263,8 @@ class BitWriter:
         return bytes(out)
 
 
-class BitReader:
-    """Sequential reader over a :class:`BitWriter`'s output."""
+class BitByBitReader:
+    """The original one-bit-at-a-time reader, kept as the oracle."""
 
     def __init__(self, data: bytes, bit_length: int) -> None:
         self._data = data
@@ -106,7 +284,7 @@ class BitReader:
         return value
 
     def read_gamma(self) -> int:
-        """Read an Elias-γ field written by :meth:`BitWriter.write_gamma`."""
+        """Read an Elias-γ field written by ``write_gamma``."""
         length = 0
         while self.read(1) == 0:
             length += 1
@@ -190,41 +368,47 @@ class Codec:
             0 is reserved to announce an empty vector in COMPARE, so the
             wire id of site *k* is *k + 1* — which is why
             :func:`~repro.net.wire.bits_for` sizes fields for ``count + 1``.
+        interner: graph node-id mapping (defaults to integer ids).
+        bit_io: the ``(writer class, reader class)`` pair — the default
+            fast pair, or ``(BitByBitWriter, BitByBitReader)`` to run the
+            codec over the oracle implementation for equivalence checks.
     """
 
     def __init__(self, encoding: Encoding, registry: SiteRegistry,
-                 interner: Any = None) -> None:
+                 interner: Any = None,
+                 bit_io: Optional[Tuple[type, type]] = None) -> None:
         self.encoding = encoding
         self.registry = registry
         self.interner = interner if interner is not None else _IdentityInterner()
         self._adaptive = isinstance(encoding, AdaptiveEncoding)
+        self._writer_cls, self._reader_cls = bit_io or (BitWriter, BitReader)
 
     # -- field helpers -----------------------------------------------------------
 
-    def _write_site(self, writer: BitWriter, site: Optional[str]) -> None:
+    def _write_site(self, writer: Any, site: Optional[str]) -> None:
         code = 0 if site is None else self.registry.id_of(site) + 1
         writer.write(code, self.encoding.site_bits)
 
-    def _read_site(self, reader: BitReader) -> Optional[str]:
+    def _read_site(self, reader: Any) -> Optional[str]:
         code = reader.read(self.encoding.site_bits)
         return None if code == 0 else self.registry.name_of(code - 1)
 
-    def _write_value(self, writer: BitWriter, value: int) -> None:
+    def _write_value(self, writer: Any, value: int) -> None:
         if self._adaptive:
             writer.write_gamma(value)
         else:
             writer.write(value, self.encoding.value_bits)
 
-    def _read_value(self, reader: BitReader) -> int:
+    def _read_value(self, reader: Any) -> int:
         if self._adaptive:
             return reader.read_gamma()
         return reader.read(self.encoding.value_bits)
 
-    def _write_node(self, writer: BitWriter, node: Optional[Any]) -> None:
+    def _write_node(self, writer: Any, node: Optional[Any]) -> None:
         code = _NIL if node is None else self.interner.encode(node) + 1
         writer.write(code, self.encoding.node_id_bits)
 
-    def _read_node(self, reader: BitReader) -> Optional[Any]:
+    def _read_node(self, reader: Any) -> Optional[Any]:
         code = reader.read(self.encoding.node_id_bits)
         return None if code == _NIL else self.interner.decode(code - 1)
 
@@ -232,7 +416,100 @@ class Codec:
 
     def encode(self, message: Message, channel: str) -> Tuple[bytes, int]:
         """Serialize ``message`` for ``channel``; returns (bytes, bit length)."""
-        writer = BitWriter()
+        writer = self._writer_cls()
+        self._encode_one(writer, message, channel)
+        return writer.getvalue(), writer.bit_length
+
+    def encode_elements(self, messages: Sequence[Message],
+                        channel: str) -> Tuple[bytes, int]:
+        """Serialize a whole message stream for ``channel`` in one pass.
+
+        The segment-at-once fast path: one writer accumulates every
+        message (an entire SYNCS segment, a full element walk) without
+        the per-message buffer and byte-assembly overhead of calling
+        :meth:`encode` in a loop.  Sync-channel messages are
+        self-delimiting, so :meth:`decode_elements` recovers the stream
+        from the concatenated bits alone.  Not valid for ``compare``,
+        whose verdict bit is only delimited by the message boundary.
+        """
+        if channel == "compare":
+            raise ProtocolError(
+                "compare messages are not self-delimiting; "
+                "encode them individually")
+        writer = self._writer_cls()
+        if (type(writer) is BitWriter
+                and channel in ("brv_fwd", "crv_fwd", "srv_fwd")):
+            self._encode_element_stream(writer, messages, channel)
+        else:
+            encode_one = self._encode_one
+            for message in messages:
+                encode_one(writer, message, channel)
+        return writer.getvalue(), writer.bit_length
+
+    def decode_elements(self, data: bytes, bit_length: int,
+                        channel: str) -> List[Message]:
+        """Reconstruct the stream serialized by :meth:`encode_elements`."""
+        if channel == "compare":
+            raise ProtocolError(
+                "compare messages are not self-delimiting; "
+                "decode them individually")
+        reader = self._reader_cls(data, bit_length)
+        if (type(reader) is BitReader
+                and channel in ("brv_fwd", "crv_fwd", "srv_fwd")):
+            return self._decode_element_stream(reader, channel)
+        decode_one = self._decode_one
+        messages: List[Message] = []
+        while reader.remaining:
+            messages.append(decode_one(reader, channel))
+        return messages
+
+    def encode_batch(self, frame: BatchFrame,
+                     channel: str) -> Tuple[bytes, int]:
+        """Serialize a whole :class:`~repro.protocols.batch.BatchFrame`.
+
+        One pass over every entry: γ(object index), γ(message count),
+        then the entry's payload messages back to back — exactly the
+        layout :meth:`BatchFrame.bits` prices, so the serialized length
+        always equals the priced length.
+        """
+        if channel == "compare":
+            raise ProtocolError("compare messages never ride batch frames")
+        writer = self._writer_cls()
+        if (type(writer) is BitWriter
+                and channel in ("brv_fwd", "crv_fwd", "srv_fwd")):
+            self._encode_element_stream(writer, (), channel,
+                                        entries=frame.entries)
+            return writer.getvalue(), writer.bit_length
+        encode_one = self._encode_one
+        for index, messages in frame.entries:
+            writer.write_gamma(index)
+            writer.write_gamma(len(messages))
+            for message in messages:
+                encode_one(writer, message, channel)
+        return writer.getvalue(), writer.bit_length
+
+    def decode_batch(self, data: bytes, bit_length: int,
+                     channel: str) -> BatchFrame:
+        """Reconstruct the frame serialized by :meth:`encode_batch`."""
+        if channel == "compare":
+            raise ProtocolError("compare messages never ride batch frames")
+        reader = self._reader_cls(data, bit_length)
+        if (type(reader) is BitReader
+                and channel in ("brv_fwd", "crv_fwd", "srv_fwd")):
+            return BatchFrame(tuple(
+                self._decode_element_stream(reader, channel, frame=True)))
+        entries: List[Tuple[int, Tuple[Message, ...]]] = []
+        decode_one = self._decode_one
+        while reader.remaining:
+            index = reader.read_gamma()
+            count = reader.read_gamma()
+            entries.append((index, tuple(decode_one(reader, channel)
+                                         for _ in range(count))))
+        return BatchFrame(tuple(entries))
+
+    def _encode_one(self, writer: Any, message: Message,
+                    channel: str) -> None:
+        """Append one message's bits to ``writer`` (any bit-IO impl)."""
         if channel in ("brv_fwd", "crv_fwd", "srv_fwd"):
             self._encode_forward_element(writer, message, channel)
         elif channel in ("brv_bwd", "crv_bwd"):
@@ -290,9 +567,8 @@ class Codec:
                 self._write_node(writer, right)
         else:
             raise ProtocolError(f"unknown channel {channel!r}")
-        return writer.getvalue(), writer.bit_length
 
-    def _encode_forward_element(self, writer: BitWriter, message: Message,
+    def _encode_forward_element(self, writer: Any, message: Message,
                                 channel: str) -> None:
         if isinstance(message, Halt):
             if channel == "srv_fwd":
@@ -317,11 +593,131 @@ class Codec:
             writer.write(1 if message.conflict else 0, 1)
             writer.write(1 if message.segment else 0, 1)
 
+    def _encode_element_stream(self, writer: "BitWriter",
+                               messages: Sequence[Message],
+                               channel: str,
+                               entries: Optional[Sequence[
+                                   Tuple[int, Sequence[Message]]]] = None
+                               ) -> None:
+        """Append a forward-element stream straight into the accumulator.
+
+        The specialized hot path behind :meth:`encode_elements` and
+        :meth:`encode_batch` for the three element channels: field
+        widths, the site-id map, and the γ table are hoisted into locals
+        and each message folds into the writer's int accumulator with a
+        couple of shift-or operations instead of per-field method
+        dispatch.  Bit-for-bit identical to looping
+        :meth:`_encode_forward_element` — the oracle equivalence tests
+        check exactly that.
+
+        With ``entries`` this writes a whole :class:`BatchFrame` body —
+        each entry's γ(index) γ(count) header followed by its messages —
+        in the same single pass (``messages`` is ignored); one call per
+        frame keeps the hoisting prologue off the per-entry cost.
+        """
+        encoding = self.encoding
+        site_bits = encoding.site_bits
+        site_limit = (1 << site_bits) if site_bits < 64 else 0
+        adaptive = self._adaptive
+        value_bits = 0 if adaptive else encoding.value_bits
+        value_limit = ((1 << value_bits)
+                       if not adaptive and value_bits < 64 else 0)
+        id_of = self.registry.id_of
+        gamma_width = _GAMMA_WIDTH
+        srv = channel == "srv_fwd"
+        if srv:
+            element_cls: type = ElementSMsg
+        elif channel == "crv_fwd":
+            element_cls = ElementCMsg
+        else:
+            element_cls = ElementMsg
+        acc = writer._acc
+        nacc = writer._nacc
+        groups = (((-1, messages),) if entries is None else entries)
+        for group_index, group_messages in groups:
+            if group_index >= 0:
+                # Batch-entry header: γ(index) then γ(count).
+                for header in (group_index, len(group_messages)):
+                    shifted = header + 1
+                    width = (gamma_width[header] if 0 <= header < 1024
+                             else 2 * shifted.bit_length() - 1)
+                    acc = (acc << width) | shifted
+                    nacc += width
+                if nacc >= _FLUSH_BITS:
+                    writer._acc, writer._nacc = acc, nacc
+                    writer._spill()
+                    acc, nacc = writer._acc, writer._nacc
+            for message in group_messages:
+                if type(message) is element_cls:
+                    code = id_of(message.site) + 1
+                    if site_limit and code >= site_limit:
+                        writer._acc, writer._nacc = acc, nacc
+                        raise ProtocolError(
+                            f"value {code} does not fit in {site_bits} bits")
+                    value = message.value
+                    # Tag bit 0 and the site id land in one shift-or.
+                    acc = (acc << (1 + site_bits)) | code
+                    nacc += 1 + site_bits
+                    if adaptive:
+                        shifted = value + 1
+                        width = (gamma_width[value] if 0 <= value < 1024
+                                 else 2 * shifted.bit_length() - 1)
+                        acc = (acc << width) | shifted
+                        nacc += width
+                    else:
+                        if value < 0 or (value_limit
+                                         and value >= value_limit):
+                            writer._acc, writer._nacc = acc, nacc
+                            raise ProtocolError(
+                                f"value {value} does not fit in "
+                                f"{value_bits} bits")
+                        acc = ((acc << value_bits)
+                               | (value & ((1 << value_bits) - 1)))
+                        nacc += value_bits
+                    if srv:
+                        acc = ((acc << 2) | (2 if message.conflict else 0)
+                               | (1 if message.segment else 0))
+                        nacc += 2
+                    elif element_cls is ElementCMsg:
+                        acc = (acc << 1) | (1 if message.conflict else 0)
+                        nacc += 1
+                elif type(message) is Halt:
+                    if srv:
+                        acc = (acc << 1) | 1
+                        nacc += 1
+                    else:
+                        acc = (acc << 2) | 0b10
+                        nacc += 2
+                else:
+                    # Subclasses and wrong types take the generic path so
+                    # the historical isinstance semantics and errors
+                    # survive.
+                    writer._acc, writer._nacc = acc, nacc
+                    self._encode_forward_element(writer, message, channel)
+                    acc, nacc = writer._acc, writer._nacc
+                    continue
+                if nacc >= _FLUSH_BITS:
+                    writer._acc, writer._nacc = acc, nacc
+                    writer._spill()
+                    acc, nacc = writer._acc, writer._nacc
+        writer._acc, writer._nacc = acc, nacc
+
     # -- decoding --------------------------------------------------------------------
 
     def decode(self, data: bytes, bit_length: int, channel: str) -> Message:
         """Reconstruct the message serialized by :meth:`encode`."""
-        reader = BitReader(data, bit_length)
+        reader = self._reader_cls(data, bit_length)
+        if channel == "compare":
+            # COMPARE is the one channel whose messages are delimited by
+            # the message boundary itself, not self-describing bits.
+            if bit_length == 1:
+                return VerdictBit(bool(reader.read(1)))
+            site = self._read_site(reader)
+            return CompareLeast(site, self._read_value(reader))
+        return self._decode_one(reader, channel)
+
+    def _decode_one(self, reader: Any, channel: str) -> Message:
+        """Read one self-delimiting message off ``reader``."""
         if channel in ("brv_fwd", "crv_fwd", "srv_fwd"):
             if reader.read(1) == 1:
                 if channel != "srv_fwd":
@@ -357,11 +753,6 @@ class Codec:
             node = self._read_node(reader)
             assert node is not None
             return SkipToMsg(node)
-        if channel == "compare":
-            if bit_length == 1:
-                return VerdictBit(bool(reader.read(1)))
-            site = self._read_site(reader)
-            return CompareLeast(site, self._read_value(reader))
         if channel == "full_vector":
             count = reader.read(self.encoding.site_bits)
             pairs = []
@@ -379,12 +770,239 @@ class Codec:
                 rows.append((node, self._read_node(reader),
                              self._read_node(reader)))
             return FullGraphMsg(tuple(rows))
+        if channel == "compare":
+            raise ProtocolError(
+                "compare messages are not self-delimiting; "
+                "decode them individually")
         raise ProtocolError(f"unknown channel {channel!r}")
+
+    def _decode_element_stream(self, reader: "BitReader", channel: str,
+                               frame: bool = False) -> List[Any]:
+        """Read forward-element messages straight off the reader's buffer.
+
+        Specialized counterpart of :meth:`_encode_element_stream`:
+        decodes everything up to the declared bit length with hoisted
+        locals and inline shift/mask field extraction.  Equivalent to
+        looping :meth:`_decode_one`, including every underrun error.
+
+        With ``frame=True`` the stream is a :class:`BatchFrame` body —
+        γ(index) γ(count) headers followed by ``count`` messages, back
+        to back — and the return value is the entry list
+        ``[(index, (messages...)), ...]`` instead of a flat message
+        list.  Decoding the whole frame in one call keeps the per-entry
+        cost at the per-message level instead of paying the hoisting
+        prologue once per entry.
+        """
+        data = reader._data
+        bit_length = reader._bit_length
+        position = reader._position
+        byte_pos = reader._byte_pos
+        acc = reader._acc
+        nacc = reader._nacc
+        encoding = self.encoding
+        site_bits = encoding.site_bits
+        adaptive = self._adaptive
+        value_bits = 0 if adaptive else encoding.value_bits
+        name_of = self.registry.name_of
+        srv = channel == "srv_fwd"
+        crv = channel == "crv_fwd"
+        #: Bits a non-γ message prefix needs (tag + site + fixed value +
+        #: flags); one refill check per message covers every fixed field.
+        fixed_need = 1 + site_bits + value_bits + (2 if srv else
+                                                   1 if crv else 0)
+        out: List[Message] = []
+        append = out.append
+        entries: List[Tuple[int, Tuple[Message, ...]]] = []
+        group_index = -1
+        remaining_msgs: Optional[int] = 0 if frame else None
+        # Frozen-dataclass __init__ (one object.__setattr__ per field) is
+        # the single biggest per-message decode cost; the messages are
+        # plain non-slots dataclasses, so filling the instance dict
+        # directly halves it.  The oracle equivalence tests compare these
+        # against normally constructed messages, which keeps this honest.
+        if srv:
+            msg_cls: type = ElementSMsg
+        elif crv:
+            msg_cls = ElementCMsg
+        else:
+            msg_cls = ElementMsg
+        msg_new = msg_cls.__new__
+
+        def refill(need: int) -> None:
+            """Top up the local accumulator to ``need`` bits."""
+            nonlocal acc, nacc, byte_pos
+            while nacc < need:
+                chunk = data[byte_pos:byte_pos + 8]
+                if not chunk:
+                    raise ProtocolError("bitstream underrun")
+                bits = len(chunk) * 8
+                acc = (acc << bits) | int.from_bytes(chunk, "big")
+                nacc += bits
+                byte_pos += len(chunk)
+
+        while True:
+            if frame:
+                if remaining_msgs:
+                    remaining_msgs -= 1
+                else:
+                    # Between groups: flush the finished one, stop at the
+                    # end of the stream, or read the next γ(index)
+                    # γ(count) header pair inline.
+                    if group_index >= 0:
+                        entries.append((group_index, tuple(out)))
+                        out = []
+                        append = out.append
+                    if position >= bit_length:
+                        break
+                    for header_slot in (0, 1):
+                        zeros = 0
+                        while acc == 0:
+                            zeros += nacc
+                            chunk = data[byte_pos:byte_pos + 8]
+                            if not chunk:
+                                raise ProtocolError("bitstream underrun")
+                            acc = int.from_bytes(chunk, "big")
+                            nacc = len(chunk) * 8
+                            byte_pos += len(chunk)
+                        zeros += nacc - acc.bit_length()
+                        end = position + 2 * zeros + 1
+                        if end > bit_length:
+                            raise ProtocolError("bitstream underrun")
+                        nacc = acc.bit_length()
+                        need = zeros + 1
+                        if nacc < need:
+                            refill(need)
+                        nacc -= need
+                        header = (acc >> nacc) - 1
+                        acc &= (1 << nacc) - 1
+                        position = end
+                        if header_slot == 0:
+                            group_index = header
+                        else:
+                            remaining_msgs = header
+                    continue
+            elif position >= bit_length:
+                break
+            if position >= bit_length:
+                raise ProtocolError("bitstream underrun")
+            if nacc < fixed_need:
+                # Best-effort: near the stream tail fewer bits may exist
+                # than a full element needs (HALT is 1–2 bits).
+                try:
+                    refill(fixed_need)
+                except ProtocolError:
+                    refill(1)
+            nacc -= 1
+            if acc >> nacc:  # tag bit 1: HALT
+                acc &= (1 << nacc) - 1
+                if srv:
+                    append(Halt(1))
+                else:
+                    if position + 2 > bit_length:
+                        raise ProtocolError("bitstream underrun")
+                    if nacc < 1:
+                        refill(1)
+                    nacc -= 1
+                    acc &= (1 << nacc) - 1
+                    position += 2
+                    append(Halt(2))
+                    continue
+                position += 1
+                continue
+            if position + 1 + site_bits > bit_length:
+                raise ProtocolError("bitstream underrun")
+            if nacc < site_bits:
+                refill(site_bits)
+            nacc -= site_bits
+            code = acc >> nacc
+            acc &= (1 << nacc) - 1
+            position += 1 + site_bits
+            site = None if code == 0 else name_of(code - 1)
+            assert site is not None
+            if adaptive:
+                zeros = 0
+                while acc == 0:
+                    zeros += nacc
+                    chunk = data[byte_pos:byte_pos + 8]
+                    if not chunk:
+                        raise ProtocolError("bitstream underrun")
+                    acc = int.from_bytes(chunk, "big")
+                    nacc = len(chunk) * 8
+                    byte_pos += len(chunk)
+                zeros += nacc - acc.bit_length()
+                end = position + 2 * zeros + 1
+                if end > bit_length:
+                    raise ProtocolError("bitstream underrun")
+                nacc = acc.bit_length()
+                need = zeros + 1
+                if nacc < need:
+                    refill(need)
+                nacc -= need
+                value = (acc >> nacc) - 1
+                acc &= (1 << nacc) - 1
+                position = end
+            else:
+                if position + value_bits > bit_length:
+                    raise ProtocolError("bitstream underrun")
+                if nacc < value_bits:
+                    refill(value_bits)
+                nacc -= value_bits
+                value = acc >> nacc
+                acc &= (1 << nacc) - 1
+                position += value_bits
+            if srv:
+                if position + 2 > bit_length:
+                    raise ProtocolError("bitstream underrun")
+                if nacc < 2:
+                    refill(2)
+                nacc -= 2
+                two = acc >> nacc
+                acc &= (1 << nacc) - 1
+                position += 2
+                message = msg_new(msg_cls)
+                fields = message.__dict__
+                fields["site"] = site
+                fields["value"] = value
+                fields["conflict"] = two >= 2
+                fields["segment"] = (two & 1) == 1
+                append(message)
+            elif crv:
+                if position >= bit_length:
+                    raise ProtocolError("bitstream underrun")
+                if nacc < 1:
+                    refill(1)
+                nacc -= 1
+                bit = acc >> nacc
+                acc &= (1 << nacc) - 1
+                position += 1
+                message = msg_new(msg_cls)
+                fields = message.__dict__
+                fields["site"] = site
+                fields["value"] = value
+                fields["conflict"] = bit == 1
+                append(message)
+            else:
+                message = msg_new(msg_cls)
+                fields = message.__dict__
+                fields["site"] = site
+                fields["value"] = value
+                append(message)
+        reader._position = position
+        reader._byte_pos = byte_pos
+        reader._acc = acc
+        reader._nacc = nacc
+        return entries if frame else out
 
     def roundtrip(self, message: Message, channel: str) -> Tuple[Message, int]:
         """Encode then decode; returns (reconstructed message, bit length)."""
         data, bit_length = self.encode(message, channel)
         return self.decode(data, bit_length, channel), bit_length
+
+    def roundtrip_batch(self, frame: BatchFrame,
+                        channel: str) -> Tuple[BatchFrame, int]:
+        """Encode then decode a whole frame; (reconstructed, bit length)."""
+        data, bit_length = self.encode_batch(frame, channel)
+        return self.decode_batch(data, bit_length, channel), bit_length
 
 
 def _serializing(gen: ProtocolCoroutine, codec: Codec,
@@ -393,18 +1011,26 @@ def _serializing(gen: ProtocolCoroutine, codec: Codec,
 
     Also asserts the serialized bit length equals the message's priced
     ``bits()`` — the property that keeps every benchmark honest.
+    :class:`~repro.protocols.batch.BatchFrame` messages (framed batched
+    sessions) serialize through the one-pass batch codec, under the same
+    pricing assertion.
     """
     try:
         effect = next(gen)
         while True:
             if isinstance(effect, Send):
-                decoded, bit_length = codec.roundtrip(effect.message, channel)
-                priced = effect.message.bits(codec.encoding)
+                message = effect.message
+                if isinstance(message, BatchFrame):
+                    decoded, bit_length = codec.roundtrip_batch(
+                        message, channel)
+                else:
+                    decoded, bit_length = codec.roundtrip(message, channel)
+                priced = message.bits(codec.encoding)
                 if bit_length != priced:
                     raise ProtocolError(
                         f"pricing mismatch on {channel}: serialized "
                         f"{bit_length} bits, priced {priced} for "
-                        f"{effect.message!r}")
+                        f"{message!r}")
                 effect = Send(decoded)
             value = yield effect
             effect = gen.send(value)

@@ -9,7 +9,21 @@ provides the simulated clock: an event queue plus generator-based
 
 The kernel is deliberately tiny — deterministic, single-clock, no real
 concurrency — because the paper's experiments need nothing more, and a
-small kernel is easy to test exhaustively.
+small kernel is easy to test exhaustively.  It is also the hottest loop
+in every cluster benchmark, so the implementation is tuned:
+
+* every class is ``__slots__``-ed; no per-instance dicts on the kernel
+  path;
+* internal events that can never be cancelled (process wake-ups, signal
+  resumes) share one immortal :class:`Timer` sentinel instead of
+  allocating a handle per event;
+* :meth:`Simulator.run` dispatches in a tight loop that skips cancelled
+  entries inline and only consults the tracer when one is attached —
+  with tracing off the per-event cost is one heap pop and the callback;
+* cancelled timers are *compacted*: once they exceed half the heap (and
+  a small floor) the heap is rebuilt without them, so a long chaos run's
+  queue stays proportional to its live events instead of accumulating
+  every obsoleted retransmission timer forever.
 """
 
 from __future__ import annotations
@@ -24,24 +38,39 @@ from repro.obs.trace import Tracer
 
 ProcessGen = Generator[Union[float, int, "Signal"], Any, Any]
 
+#: Compaction floor: below this many cancelled entries the heap is left
+#: alone (rebuilding a tiny heap costs more than skipping its entries).
+_COMPACT_MIN_CANCELLED = 64
+
 
 class Timer:
     """Handle to one scheduled event; ``cancel()`` makes it a no-op.
 
-    The event stays in the queue (heap surgery would be O(n)); the
-    dispatch loop skips cancelled entries without advancing the clock.
-    The ARQ transport uses this for retransmission timers an arriving
-    acknowledgment obsoletes.
+    Cancelling does no O(n) heap surgery: the entry stays queued and the
+    dispatch loop skips it.  The owning simulator counts cancellations
+    and rebuilds the heap without them once they exceed half its length,
+    so cancel-heavy runs (the ARQ transport obsoletes a retransmission
+    timer for every acknowledged item) keep a bounded queue.
     """
 
-    __slots__ = ("cancelled",)
+    __slots__ = ("cancelled", "_sim")
 
-    def __init__(self) -> None:
+    def __init__(self, sim: Optional["Simulator"] = None) -> None:
         self.cancelled = False
+        self._sim = sim
 
     def cancel(self) -> None:
         """Prevent the scheduled callback from ever running."""
-        self.cancelled = True
+        if not self.cancelled:
+            self.cancelled = True
+            if self._sim is not None:
+                self._sim._note_cancelled()
+
+
+#: Shared sentinel for events the kernel schedules internally (process
+#: wake-ups, signal resumes).  No handle to them ever escapes, so they
+#: cannot be cancelled and do not need per-event Timer allocations.
+_INTERNAL_TIMER = Timer()
 
 
 class Signal:
@@ -61,8 +90,9 @@ class Signal:
     def fire(self) -> None:
         """Wake every waiter at the current simulation time."""
         waiters, self._waiters = self._waiters, []
+        sim = self._sim
         for resume in waiters:
-            self._sim.call_at(self._sim.now, resume)
+            sim._schedule(sim.now, resume)
 
     def _add_waiter(self, resume: Callable[[], None]) -> None:
         self._waiters.append(resume)
@@ -83,12 +113,19 @@ class Simulator:
     keeps the dispatch loop untouched.
     """
 
+    __slots__ = ("now", "_queue", "_sequence", "_active_processes",
+                 "_blocked_processes", "_cancelled", "tracer")
+
     def __init__(self, *, tracer: Optional[Tracer] = None) -> None:
         self.now = 0.0
         self._queue: List[Tuple[float, int, Callable[[], None], Timer]] = []
         self._sequence = itertools.count()
         self._active_processes = 0
         self._blocked_processes = 0
+        #: Cancelled entries believed to be in the heap.  May overcount
+        #: (cancelling an already-dispatched timer still bumps it) but
+        #: compaction resets it to truth, so drift is self-correcting.
+        self._cancelled = 0
         self.tracer = tracer
         if tracer is not None and tracer.clock is None:
             tracer.clock = lambda: self.now
@@ -104,7 +141,7 @@ class Simulator:
         if time < self.now:
             raise SimulationError(
                 f"cannot schedule at {time} before now={self.now}")
-        timer = Timer()
+        timer = Timer(self)
         heapq.heappush(self._queue, (time, next(self._sequence), fn, timer))
         return timer
 
@@ -114,10 +151,32 @@ class Simulator:
             raise SimulationError(f"negative delay {delay}")
         return self.call_at(self.now + delay, fn)
 
+    def _schedule(self, time: float, fn: Callable[[], None]) -> None:
+        """Internal non-cancellable scheduling (no Timer allocation)."""
+        heapq.heappush(self._queue,
+                       (time, next(self._sequence), fn, _INTERNAL_TIMER))
+
+    def _note_cancelled(self) -> None:
+        """Count one cancellation; compact when the dead fraction is high."""
+        self._cancelled = count = self._cancelled + 1
+        if (count >= _COMPACT_MIN_CANCELLED
+                and count * 2 > len(self._queue)):
+            self._compact()
+
+    def _compact(self) -> None:
+        """Rebuild the heap without cancelled entries (in place)."""
+        queue = self._queue
+        queue[:] = [entry for entry in queue if not entry[3].cancelled]
+        heapq.heapify(queue)
+        self._cancelled = 0
+
     def _prune_cancelled(self) -> None:
         """Discard cancelled events queued at the head (never advances time)."""
-        while self._queue and self._queue[0][3].cancelled:
-            heapq.heappop(self._queue)
+        queue = self._queue
+        while queue and queue[0][3].cancelled:
+            heapq.heappop(queue)
+            if self._cancelled:
+                self._cancelled -= 1
 
     def signal(self, name: str = "") -> Signal:
         """A fresh condition bound to this simulator's clock."""
@@ -134,16 +193,22 @@ class Simulator:
         ``on_exit`` receives the generator's return value.
         """
         self._active_processes += 1
+        send = process.send
 
         def step(send_value: Any = None) -> None:
             try:
-                yielded = process.send(send_value)
+                yielded = send(send_value)
             except StopIteration as stop:
                 self._active_processes -= 1
                 if on_exit is not None:
                     on_exit(stop.value)
                 return
-            if isinstance(yielded, Signal):
+            # Sleeps vastly outnumber signal waits on the hot path.
+            if type(yielded) is float or type(yielded) is int:
+                if yielded < 0:
+                    raise SimulationError(f"process slept {yielded} < 0")
+                self._schedule(self.now + yielded, step)
+            elif isinstance(yielded, Signal):
                 self._blocked_processes += 1
 
                 def resume() -> None:
@@ -152,14 +217,16 @@ class Simulator:
 
                 yielded._add_waiter(resume)
             elif isinstance(yielded, (int, float)):
+                # Number subclasses (bool, numpy scalars) take the slow
+                # branch but keep the historical contract.
                 if yielded < 0:
                     raise SimulationError(f"process slept {yielded} < 0")
-                self.call_after(float(yielded), step)
+                self._schedule(self.now + float(yielded), step)
             else:
                 raise SimulationError(
                     f"process yielded unsupported value {yielded!r}")
 
-        self.call_at(self.now, step)
+        self._schedule(self.now, step)
 
     # -- execution ---------------------------------------------------------------------
 
@@ -189,14 +256,30 @@ class Simulator:
         the remaining events may well wake the parked processes.
         Returns the final clock value.
         """
-        while True:
-            self._prune_cancelled()
-            if not self._queue:
-                break
-            if until is not None and self._queue[0][0] > until:
+        # The dispatch loop is the hottest code in every benchmark; it
+        # aliases the queue (compaction rewrites it in place, so the
+        # alias stays valid) and skips cancelled entries inline.  The
+        # tracer is re-read per event — dispatched callbacks may attach
+        # one mid-run — but with tracing off that is the only overhead.
+        queue = self._queue
+        pop = heapq.heappop
+        while queue:
+            entry = queue[0]
+            if entry[3].cancelled:
+                pop(queue)
+                if self._cancelled:
+                    self._cancelled -= 1
+                continue
+            time = entry[0]
+            if until is not None and time > until:
                 self.now = until
-                return self.now
-            self.step()
+                return until
+            pop(queue)
+            self.now = time
+            if self.tracer is not None:
+                self.tracer.event(obs.SIM_DISPATCH, time=time,
+                                  pending=len(queue))
+            entry[2]()
         if self._blocked_processes:
             raise SimulationError(
                 f"simulation deadlocked with {self._blocked_processes} "

@@ -111,12 +111,17 @@ class StoreConfig:
     read_repair: bool = True
     retry: RetryPolicy = field(default_factory=RetryPolicy)
     max_steps: int = 10_000_000
+    backend: str = "array"
 
     def __post_init__(self) -> None:
         if self.protocol not in registry.names():
             raise ValidationError(
                 f"unknown protocol {self.protocol!r}; "
                 f"expected one of {registry.names()}")
+        try:
+            registry.get(self.protocol).vector_class(self.backend)
+        except ValueError as exc:
+            raise ValidationError(str(exc)) from None
         if self.batch_size < 1:
             raise ValidationError(
                 f"batch_size must be >= 1, got {self.batch_size}")
@@ -273,8 +278,9 @@ class StoreCluster:
         self.metrics = metrics
         spec = registry.get(config.protocol)
         self._spec = spec
+        vector_cls = spec.vector_class(config.backend)
         self.stores: Dict[str, SiteStore] = {
-            site: SiteStore(site, spec.vector_cls) for site in self.sites}
+            site: SiteStore(site, vector_cls) for site in self.sites}
         self.sim = Simulator()
         self._usage: Dict[str, int] = {site: 0 for site in self.sites}
         self._deferred_ops: Dict[str, List[Tuple[ClientOp, float, Optional[

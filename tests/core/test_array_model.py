@@ -1,0 +1,150 @@
+"""Model-based testing of the array vector backend against the linked one.
+
+The flat array backend (:mod:`repro.core.arrayvec`) re-implements the
+element order over parallel lists; the linked backend is its semantic
+oracle.  Hypothesis drives random operation interleavings — updates,
+batched rotations, bit writes, snapshot/restore — against an SRV pair
+(the richest kind: values, conflict bits, segment bits) and demands full
+structural agreement after every step.  A second pass checks COMPARE
+verdicts between historical snapshots, and direct property tests cover
+``from_pairs``/``copy``/``restore`` identity preservation.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.stateful import RuleBasedStateMachine, invariant, rule
+
+from repro.core.arrayvec import (ArrayBasicRotatingVector,
+                                 ArraySkipRotatingVector)
+from repro.core.rotating import BasicRotatingVector
+from repro.core.skip import SkipRotatingVector
+
+SITES = [f"S{i}" for i in range(6)]
+site_indices = st.integers(0, len(SITES) - 1)
+
+
+class ArrayVsLinkedMachine(RuleBasedStateMachine):
+    """One SRV per backend; every rule mutates both, identically."""
+
+    def __init__(self):
+        super().__init__()
+        self.array = ArraySkipRotatingVector()
+        self.linked = SkipRotatingVector()
+        self.snapshots = []
+
+    @rule(index=site_indices)
+    def record_update(self, index):
+        site = SITES[index]
+        assert (self.array.record_update(site)
+                == self.linked.record_update(site))
+
+    @rule(indices=st.lists(site_indices, min_size=1, max_size=6))
+    def rotate_many(self, indices):
+        sites = [SITES[i] for i in indices]
+        self.array.rotate_many(sites)
+        self.linked.rotate_many(sites)
+
+    @rule(index=site_indices, flag=st.booleans())
+    def set_conflict_bit(self, index, flag):
+        site = SITES[index]
+        if site in self.linked:
+            self.array.set_conflict_bit(site, flag)
+            self.linked.set_conflict_bit(site, flag)
+
+    @rule(index=site_indices, flag=st.booleans())
+    def set_segment_bit(self, index, flag):
+        site = SITES[index]
+        if site in self.linked:
+            self.array.set_segment_bit(site, flag)
+            self.linked.set_segment_bit(site, flag)
+
+    @rule()
+    def snapshot(self):
+        self.snapshots.append((self.array.copy(), self.linked.copy()))
+
+    @rule(pick=st.integers(0, 7))
+    def restore(self, pick):
+        if not self.snapshots:
+            return
+        array_snap, linked_snap = self.snapshots[pick % len(self.snapshots)]
+        before_array, before_linked = self.array, self.linked
+        self.array.restore(array_snap)
+        self.linked.restore(linked_snap)
+        # Restore rolls state back *in place*: aliases stay valid.
+        assert self.array is before_array and self.linked is before_linked
+
+    @invariant()
+    def backends_agree(self):
+        assert self.array.order.as_tuples() == self.linked.order.as_tuples()
+        assert self.array.to_version_vector() == self.linked.to_version_vector()
+        assert self.array.segments() == self.linked.segments()
+        assert self.array.total_updates() == self.linked.total_updates()
+        first_a, first_l = self.array.first(), self.linked.first()
+        assert (first_a is None) == (first_l is None)
+        if first_a is not None:
+            assert (first_a.site, first_a.value) == (first_l.site,
+                                                     first_l.value)
+
+    @invariant()
+    def compare_matches_across_history(self):
+        for array_snap, linked_snap in self.snapshots[-3:]:
+            assert (self.array.compare(array_snap)
+                    == self.linked.compare(linked_snap))
+            assert (array_snap.compare(self.array)
+                    == linked_snap.compare(self.linked))
+
+
+TestArrayVsLinked = ArrayVsLinkedMachine.TestCase
+TestArrayVsLinked.settings = settings(max_examples=50,
+                                      stateful_step_count=30,
+                                      deadline=None)
+
+pair_lists = st.lists(
+    st.tuples(site_indices, st.integers(1, 50)),
+    max_size=len(SITES),
+    unique_by=lambda pair: pair[0])
+
+
+@given(pair_lists)
+@settings(max_examples=80, deadline=None)
+def test_from_pairs_equivalent(pairs):
+    """Bulk construction yields identical structure on both backends."""
+    named = [(SITES[i], value) for i, value in pairs]
+    array_vec = ArrayBasicRotatingVector.from_pairs(named)
+    linked_vec = BasicRotatingVector.from_pairs(named)
+    assert array_vec.order.as_tuples() == linked_vec.order.as_tuples()
+    assert array_vec.elements() == linked_vec.elements()
+
+
+@given(pair_lists, site_indices)
+@settings(max_examples=80, deadline=None)
+def test_copy_is_independent(pairs, index):
+    """Mutating a copy never leaks into the original, on either backend."""
+    named = [(SITES[i], value) for i, value in pairs]
+    for cls in (ArrayBasicRotatingVector, BasicRotatingVector):
+        original = cls.from_pairs(named)
+        before = original.order.as_tuples()
+        clone = original.copy()
+        clone.record_update(SITES[index])
+        assert original.order.as_tuples() == before
+        assert clone[SITES[index]] >= 1
+
+
+@given(pair_lists, st.lists(site_indices, min_size=1, max_size=5))
+@settings(max_examples=80, deadline=None)
+def test_restore_preserves_identity_and_state(pairs, updates):
+    """``restore`` adopts the snapshot's state without replacing the object."""
+    named = [(SITES[i], value) for i, value in pairs]
+    for cls in (ArraySkipRotatingVector, SkipRotatingVector):
+        vector = cls.from_pairs(named)
+        snapshot = vector.copy()
+        frozen = snapshot.order.as_tuples()
+        for i in updates:
+            vector.record_update(SITES[i])
+        alias = vector
+        vector.restore(snapshot)
+        assert vector is alias
+        assert vector.order.as_tuples() == frozen
+        # The snapshot stays live: restoring must not capture it.
+        snapshot.record_update(SITES[updates[0]])
+        assert vector.order.as_tuples() == frozen

@@ -3,7 +3,7 @@
 import pytest
 
 from repro.errors import SimulationError
-from repro.net.simulator import Simulator
+from repro.net.simulator import _COMPACT_MIN_CANCELLED, Simulator
 
 
 class TestEventQueue:
@@ -173,3 +173,77 @@ class TestProcesses:
         sim.run()
         assert trace == [("fast", 1.0), ("fast", 2.0), ("slow", 2.5),
                          ("fast", 3.0)]
+
+
+class TestTimerCompaction:
+    """Cancelled timers must not accumulate in the heap (the ARQ leak)."""
+
+    def test_cancel_suppresses_callback(self):
+        sim = Simulator()
+        fired = []
+        timer = sim.call_after(1.0, lambda: fired.append("no"))
+        sim.call_after(2.0, lambda: fired.append("yes"))
+        timer.cancel()
+        sim.run()
+        assert fired == ["yes"]
+
+    def test_cancel_is_idempotent(self):
+        sim = Simulator()
+        timer = sim.call_after(1.0, lambda: None)
+        timer.cancel()
+        timer.cancel()
+        assert sim._cancelled == 1
+        sim.run()
+
+    def test_heap_stays_bounded_under_cancel_heavy_load(self):
+        # The retransmission pattern: every delivered item obsoletes a
+        # pending timer.  Before compaction the heap grew by one dead
+        # entry per cancel, so a long chaos run held every obsoleted
+        # timer until its (far-future) deadline.  Now the dead fraction
+        # is capped, so pending_events stays proportional to live work.
+        sim = Simulator()
+        high_water = 0
+        live = 50
+        timers = [sim.call_at(1000.0 + i, lambda: None)
+                  for i in range(live)]
+        for round_number in range(200):
+            for i in range(live):
+                timers[i].cancel()
+                timers[i] = sim.call_at(
+                    1000.0 + round_number + i, lambda: None)
+            high_water = max(high_water, sim.pending_events)
+        # 10_000 cancellations happened; an unbounded heap would hold
+        # them all.  Compaction keeps at most ~half the heap dead.
+        assert high_water <= 2 * live + _COMPACT_MIN_CANCELLED
+        sim.run()
+
+    def test_compaction_keeps_live_events_and_order(self):
+        sim = Simulator()
+        fired = []
+        keep = [sim.call_after(float(i), lambda i=i: fired.append(i))
+                for i in range(1, 6)]
+        drop = [sim.call_after(0.5, lambda: fired.append("dead"))
+                for _ in range(300)]
+        for timer in drop:
+            timer.cancel()
+        assert sim.pending_events < 300  # compaction already ran
+        sim.run()
+        assert fired == [1, 2, 3, 4, 5]
+        assert keep[0].cancelled is False
+
+    def test_compaction_during_run_keeps_queue_alias_valid(self):
+        # run() holds a local alias to the heap; in-place compaction
+        # (triggered by a callback cancelling en masse) must stay visible.
+        sim = Simulator()
+        fired = []
+        victims = [sim.call_at(50.0 + i, lambda: fired.append("dead"))
+                   for i in range(200)]
+
+        def massacre():
+            for timer in victims:
+                timer.cancel()
+
+        sim.call_after(1.0, massacre)
+        sim.call_after(2.0, lambda: fired.append("after"))
+        sim.run()
+        assert fired == ["after"]

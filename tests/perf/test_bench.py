@@ -163,6 +163,23 @@ class TestStoreScenario:
         second = run_cluster_bench(TINY_STORE, created_unix=0.0)
         assert bench_fingerprint(first) == bench_fingerprint(second)
 
+    def test_backends_fingerprint_identically(self):
+        # The storage backend is an in-memory representation choice: the
+        # two documents must carry identical bits, sim times, and — with
+        # config.backend masked — identical fingerprints.
+        import dataclasses
+        array_doc = run_cluster_bench(TINY, created_unix=0.0)
+        linked_doc = run_cluster_bench(
+            dataclasses.replace(TINY, backend="linked"), created_unix=0.0)
+        assert array_doc["config"]["backend"] == "array"
+        assert linked_doc["config"]["backend"] == "linked"
+        for array_run, linked_run in zip(array_doc["runs"],
+                                         linked_doc["runs"]):
+            assert array_run["total_bits"] == linked_run["total_bits"]
+            assert (array_run["sim_completion_seconds"]
+                    == linked_run["sim_completion_seconds"])
+        assert bench_fingerprint(array_doc) == bench_fingerprint(linked_doc)
+
     def test_zero_ops_skips_the_scenario(self):
         document = run_cluster_bench(TINY)
         assert all(run["scenario"] != "store-workload"

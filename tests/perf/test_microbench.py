@@ -1,14 +1,19 @@
-"""Tests for the cache timing tripwire (`repro.perf.microbench`).
+"""Tests for the fast-path timing tripwire (`repro.perf.microbench`).
 
 Correctness-only here: the probes must build valid workloads and agree
-with their oracles.  The actual timing verdict (cached ≤ oracle) is CI's
-job via ``python -m repro.perf.microbench`` — asserting wall-clock
-ratios inside the unit suite would make it flaky on loaded machines.
+with their oracles.  The actual timing verdict (fast path clears its
+``min_speedup`` floor) is CI's job via ``python -m repro.perf.microbench``
+— asserting wall-clock ratios inside the unit suite would make it flaky
+on loaded machines.
 """
 
 from repro.perf.microbench import (MicrobenchResult, _grown_crg,
-                                   bench_crg_pi_sweep, bench_srv_segments,
-                                   format_results, run_microbench)
+                                   bench_crg_pi_sweep,
+                                   bench_e4_segment_stream,
+                                   bench_e11_batch_frame,
+                                   bench_srv_segments, bench_vector_copy,
+                                   bench_vector_rotate, format_results,
+                                   run_microbench)
 
 
 class TestMicrobenchResult:
@@ -23,6 +28,20 @@ class TestMicrobenchResult:
                                 uncached_seconds=1.0)
         assert free.speedup == float("inf") and not free.regressed
 
+    def test_min_speedup_floor(self):
+        # 2x measured against a 5x floor is a regression even though the
+        # fast path "won"; the same timing against a 1x floor is fine.
+        gated = MicrobenchResult("x", cached_seconds=1.0,
+                                 uncached_seconds=2.0, min_speedup=5.0)
+        assert gated.speedup == 2.0 and gated.regressed
+        lenient = MicrobenchResult("x", cached_seconds=1.0,
+                                   uncached_seconds=2.0)
+        assert not lenient.regressed
+        # Parity cells use a sub-1.0 floor: slightly slower is tolerated.
+        parity = MicrobenchResult("x", cached_seconds=1.1,
+                                  uncached_seconds=1.0, min_speedup=0.8)
+        assert not parity.regressed
+
 
 class TestWorkloads:
     def test_grown_crg_is_deterministic_and_nontrivial(self):
@@ -36,11 +55,24 @@ class TestWorkloads:
             assert first.pi_set(node_id) == second.pi_set_uncached(node_id)
 
     def test_probes_return_positive_timings(self):
-        srv = bench_srv_segments(n_segments=20, segment_len=2, repeats=5)
-        crg = bench_crg_pi_sweep(steps=40, seed=7)
-        for result in (srv, crg):
+        probes = [
+            bench_srv_segments(n_segments=20, segment_len=2, repeats=5),
+            bench_crg_pi_sweep(steps=40, seed=7),
+            bench_vector_copy(n_segments=20, segment_len=2, repeats=3),
+            bench_vector_rotate(n_segments=20, segment_len=2,
+                                rotations=50, repeats=2),
+            bench_e4_segment_stream(n_segments=20, segment_len=2, repeats=2),
+            bench_e11_batch_frame(n_objects=4, msgs_per_object=3, repeats=2),
+        ]
+        for result in probes:
             assert result.cached_seconds > 0
             assert result.uncached_seconds > 0
+
+    def test_pipeline_cells_carry_five_x_floor(self):
+        e4 = bench_e4_segment_stream(n_segments=10, segment_len=2, repeats=1)
+        e11 = bench_e11_batch_frame(n_objects=2, msgs_per_object=2, repeats=1)
+        assert e4.min_speedup == 5.0
+        assert e11.min_speedup == 5.0
 
 
 class TestReporting:
@@ -51,6 +83,13 @@ class TestReporting:
         assert "a.one" in text and "b.two" in text
         assert "ok" in text and "REGRESS" in text
 
-    def test_run_microbench_covers_both_caches(self):
+    def test_format_shows_floor_column(self):
+        text = format_results([MicrobenchResult("gated", 0.001, 0.003,
+                                                min_speedup=5.0)])
+        assert "5.0x" in text and "REGRESS" in text
+
+    def test_run_microbench_covers_every_fast_path(self):
         names = [result.name for result in run_microbench()]
-        assert names == ["srv.segments", "crg.pi_sweep"]
+        assert names == ["srv.segments", "crg.pi_sweep", "vector.copy",
+                         "vector.rotate", "e4.segment_stream",
+                         "e11.batch_frame"]
