@@ -80,7 +80,8 @@ def test_bench_document_regression(benchmark, report_writer):
                   "Cluster benchmark regression (n=8 smoke of the "
                   "8/32/128 sweep)", body)
     benchmark(lambda: run_cluster_bench(
-        BenchConfig(site_counts=(8,), protocols=("srv",), paired=False)))
+        BenchConfig(site_counts=(8,), protocols=("srv",), paired=False,
+                    topology=None)))
 
 
 def test_batched_sweep_reduces_wire_bits_per_object(benchmark,
@@ -120,7 +121,8 @@ def test_batched_sweep_reduces_wire_bits_per_object(benchmark,
                   "batch size", body)
     benchmark(lambda: run_cluster_bench(
         BenchConfig(site_counts=(), protocols=(), paired=False,
-                    batched_sizes=(64,)), created_unix=0.0))
+                    batched_sizes=(64,), topology=None),
+        created_unix=0.0))
 
 
 def test_parallel_sweep_is_byte_identical_to_serial(benchmark,
@@ -153,4 +155,5 @@ def test_parallel_sweep_is_byte_identical_to_serial(benchmark,
                   body)
     benchmark(lambda: run_cluster_bench(
         BenchConfig(site_counts=(8,), protocols=("srv",), paired=False,
-                    batched_sizes=()), created_unix=0.0, workers=2))
+                    batched_sizes=(), topology=None),
+        created_unix=0.0, workers=2))

@@ -8,11 +8,23 @@
   measure completion time (pipelined vs stop-and-wait) and the β excess.
 * :mod:`repro.net.codec` — real bit-level serialization of every message;
   the serialized session driver proves priced bits == wire bits.
+* :mod:`repro.net.topology` — declarative multi-region fleet shapes
+  (:class:`TopologySpec`) with per-region-pair link profiles.
+* :mod:`repro.net.sharding` — consistent-hash object→site-group
+  assignment for fleets too large to replicate everything everywhere.
+* :func:`repro.net.cluster.launch_cluster` — the unified keyword-only
+  entry point turning one :class:`TopologySpec` into a ready
+  :class:`~repro.net.cluster.ClusterRunner`.
 """
 
 from repro.net.codec import (BitReader, BitWriter, Codec, NodeInterner,
                              run_session_serialized)
+from repro.net.cluster import launch_cluster
+from repro.net.sharding import HashRing, ShardMap, build_shard_map
 from repro.net.stats import DirectionStats, TransferStats
+from repro.net.topology import (GossipSpec, LinkProfile, RegionLink,
+                                RegionSpec, TopologySpec, select_peer,
+                                uniform_peer_rounds)
 from repro.net.wire import DEFAULT_ENCODING, Encoding, bits_for
 
 __all__ = [
@@ -23,7 +35,18 @@ __all__ = [
     "DirectionStats",
     "NodeInterner",
     "Encoding",
+    "GossipSpec",
+    "HashRing",
+    "LinkProfile",
+    "RegionLink",
+    "RegionSpec",
+    "ShardMap",
+    "TopologySpec",
     "TransferStats",
+    "build_shard_map",
+    "launch_cluster",
     "run_session_serialized",
+    "select_peer",
+    "uniform_peer_rounds",
     "bits_for",
 ]

@@ -32,6 +32,7 @@ Tracing and metrics reuse the PR 1 instruments: pass a
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, Iterable, List, Optional, Tuple
 
@@ -42,8 +43,10 @@ from repro.net.channel import ChannelSpec
 from repro.net.faults import RetryPolicy, derive_seed
 from repro.net.runner import (SessionOptions, TimedSessionResult, launch,
                               run_timed)
+from repro.net.sharding import ShardMap, build_shard_map
 from repro.net.simulator import Simulator
 from repro.net.stats import TransferStats
+from repro.net.topology import LinkProfile, TopologySpec
 from repro.net.wire import DEFAULT_ENCODING, Encoding
 from repro.obs.metrics import MetricsRegistry, observe_session
 from repro.obs.trace import Tracer
@@ -109,6 +112,12 @@ class ClusterConfig:
             pointer-chasing oracle).  Both produce byte-identical wire
             traffic and identical fingerprints; the choice is purely an
             in-memory speed/verification trade-off.
+        topology: optional :class:`~repro.net.topology.TopologySpec`.
+            When set, every session prices its wire hop over the channel
+            of its endpoints' region pair (``topology.channel_for``)
+            instead of the single shared ``channel``; ``None`` — the
+            default — keeps the historical one-channel fleet
+            byte-identical.
     """
 
     protocol: str = "srv"
@@ -123,6 +132,7 @@ class ClusterConfig:
     batch_size: int = 1
     retry: RetryPolicy = field(default_factory=RetryPolicy)
     backend: str = "array"
+    topology: Optional[TopologySpec] = None
 
     def __post_init__(self) -> None:
         if self.protocol not in PROTOCOLS:
@@ -137,7 +147,9 @@ class ClusterConfig:
         if self.batch_size < 1:
             raise ValueError(f"batch_size must be >= 1, "
                              f"got {self.batch_size}")
-        if self.channel.faults.enabled and self.fanout > 1:
+        faulted = self.channel.faults.enabled if self.topology is None \
+            else self.topology.has_faults
+        if faulted and self.fanout > 1:
             raise ValueError(
                 "faulted channels require fanout=1: session resume "
                 "restores the receiver's pre-session snapshot, which is "
@@ -164,6 +176,10 @@ class ClusterSessionRecord:
     result: Optional[TimedSessionResult] = None
     verdicts: Tuple[Ordering, ...] = ()
     reconciled_objects: Tuple[bool, ...] = ()
+    #: Object ids this session synchronized, aligned with ``verdicts``/
+    #: ``reconciled_objects``.  ``(0, …, n_objects-1)`` on the historical
+    #: unsharded path; the pair's shared-shard subset otherwise.
+    objects: Tuple[int, ...] = ()
 
     @property
     def queue_wait(self) -> float:
@@ -172,11 +188,12 @@ class ClusterSessionRecord:
 
 
 #: Execution-log entries: ``("update", site)`` (object 0),
-#: ``("update", site, obj)`` for a non-zero object index, or
-#: ``("session", src, dst)``, in realized execution order.  Reconciliation
-#: self-increments are *not* logged — they are derived deterministically
-#: from each session's verdicts, by the runner and by
-#: :func:`replay_sequential` alike.
+#: ``("update", site, obj)`` for a non-zero object index,
+#: ``("session", src, dst)``, or — on sharded fleets only —
+#: ``("session", src, dst, objs)`` carrying the synchronized object ids,
+#: in realized execution order.  Reconciliation self-increments are *not*
+#: logged — they are derived deterministically from each session's
+#: verdicts, by the runner and by :func:`replay_sequential` alike.
 LogEntry = Tuple[Any, ...]
 
 
@@ -197,8 +214,13 @@ class ClusterResult:
     updates_deferred: int
     reconciliations: int
     vectors: Dict[str, BasicRotatingVector]
-    objects: Dict[str, List[BasicRotatingVector]] = field(
-        default_factory=dict)
+    objects: Dict[str, Any] = field(default_factory=dict)
+    #: Set on sharded runs: the object→replica-group assignment, which
+    #: scopes :meth:`consistent` to each object's own replica group
+    #: (``objects[site]`` is then a dict keyed by hosted object id).
+    shards: Optional[ShardMap] = None
+    #: Sessions dropped before start because the pair shared no objects.
+    skipped_sessions: int = 0
 
     @property
     def sessions(self) -> int:
@@ -213,7 +235,19 @@ class ClusterResult:
         return max((r.queue_wait for r in self.records), default=0.0)
 
     def consistent(self) -> bool:
-        """True iff every site agrees on the values of every object."""
+        """True iff every replica agrees on the values of every object.
+
+        Unsharded fleets compare all sites; sharded fleets compare each
+        object across its own replica group — the only sites that hold
+        it.
+        """
+        if self.shards is not None:
+            for obj, group in enumerate(self.shards.replicas):
+                reference = self.objects[group[0]][obj]
+                if not all(self.objects[site][obj].same_values(reference)
+                           for site in group[1:]):
+                    return False
+            return True
         if self.objects:
             site_lists = list(self.objects.values())
             first = site_lists[0]
@@ -239,7 +273,8 @@ class ClusterRunner:
     def __init__(self, sites: Iterable[str], config: ClusterConfig, *,
                  tracer: Optional[Tracer] = None,
                  metrics: Optional[MetricsRegistry] = None,
-                 monitor: Optional[Any] = None) -> None:
+                 monitor: Optional[Any] = None,
+                 shards: Optional[ShardMap] = None) -> None:
         self.sites = list(sites)
         if len(set(self.sites)) != len(self.sites):
             raise ValueError("duplicate site names in cluster")
@@ -252,20 +287,48 @@ class ClusterRunner:
         self.tracer = tracer
         self.metrics = metrics
         self.monitor = monitor
+        self.shards = shards
+        self.topology = config.topology
         spec = registry.get(config.protocol)
         vector_cls = spec.vector_class(config.backend)
         self._reconciles = spec.reconciles
-        self.objects: Dict[str, List[BasicRotatingVector]] = {
-            site: [vector_cls() for _ in range(config.n_objects)]
-            for site in self.sites}
-        #: Object-0 view, the whole state for single-object clusters.
-        self.vectors: Dict[str, BasicRotatingVector] = {
-            site: self.objects[site][0] for site in self.sites}
+        self._site_set = set(self.sites)
+        if shards is not None:
+            if shards.n_objects != config.n_objects:
+                raise ValueError(
+                    f"shard map covers {shards.n_objects} objects but the "
+                    f"config declares {config.n_objects}")
+            unknown = set(shards.hosted) - self._site_set
+            if unknown:
+                raise ValueError(
+                    f"shard map names sites outside the cluster: "
+                    f"{sorted(unknown)}")
+            # Sharded fleets host only their assigned objects, keyed by
+            # object id (site→dict); the unsharded list layout below
+            # stays untouched — position is the id there.
+            self.objects = {
+                site: {obj: vector_cls()
+                       for obj in shards.hosted.get(site, ())}
+                for site in self.sites}
+            self.vectors = {}
+        else:
+            self.objects = {
+                site: [vector_cls() for _ in range(config.n_objects)]
+                for site in self.sites}
+            #: Object-0 view, the whole state for single-object clusters.
+            self.vectors = {
+                site: self.objects[site][0] for site in self.sites}
         self._sim: Optional[Simulator] = None
         self._usage: Dict[str, int] = {site: 0 for site in self.sites}
         self._deferred: Dict[str, List[UpdateRequest]] = {
             site: [] for site in self.sites}
-        self._pending: List[SessionRequest] = []
+        # Pending sessions keyed by arrival sequence (insertion-ordered),
+        # with a per-site index of waiting sequence numbers so a finish
+        # only rescans requests touching the freed endpoints.
+        self._pending: Dict[int, SessionRequest] = {}
+        self._pending_by_site: Dict[str, List[int]] = {
+            site: [] for site in self.sites}
+        self._next_seq = 0
         self._requested_at: Dict[int, float] = {}
         self._records: List[ClusterSessionRecord] = []
         self._log: List[LogEntry] = []
@@ -273,7 +336,21 @@ class ClusterRunner:
         self._updates_applied = 0
         self._updates_deferred = 0
         self._reconciliations = 0
+        self._skipped_sessions = 0
         self._finished = False
+
+    def hosted_objects(self, site: str) -> Tuple[int, ...]:
+        """Object ids ``site`` replicates (all of them when unsharded)."""
+        if self.shards is None:
+            return tuple(range(self.config.n_objects))
+        return self.shards.hosted.get(site, ())
+
+    def _channel_for(self, src: str, dst: str) -> ChannelSpec:
+        """The channel one session uses — region-pair aware when a
+        topology is set, the single shared channel otherwise."""
+        if self.topology is None:
+            return self.config.channel
+        return self.topology.channel_for(src, dst)
 
     # -- scheduling ------------------------------------------------------------
 
@@ -315,6 +392,11 @@ class ClusterRunner:
                     raise ValueError(
                         f"update {update} names object {obj}, but the "
                         f"cluster has {self.config.n_objects}")
+                if self.shards is not None \
+                        and not self.shards.hosts(update.site, obj):
+                    raise ValueError(
+                        f"update {update} lands on {update.site}, which "
+                        f"does not replicate object {obj}")
                 sim.call_at(update.at,
                             lambda u=update: self._on_update_request(u))
             sim.run()
@@ -339,11 +421,13 @@ class ClusterRunner:
             reconciliations=self._reconciliations,
             vectors=self.vectors,
             objects=self.objects,
+            shards=self.shards,
+            skipped_sessions=self._skipped_sessions,
         )
 
     def _check_sites(self, *names: str) -> None:
         for name in names:
-            if name not in self.vectors:
+            if name not in self._site_set:
                 raise ValueError(f"unknown site {name!r} in schedule")
 
     # -- updates ---------------------------------------------------------------
@@ -376,6 +460,13 @@ class ClusterRunner:
     # -- sessions --------------------------------------------------------------
 
     def _on_session_request(self, request: SessionRequest) -> None:
+        if self.shards is not None \
+                and not self._session_objects(request):
+            # The pair replicates no common object: nothing to sync.
+            # Epidemic schedules draw peers from shard-peer sets and
+            # never produce these; hand-written schedules may.
+            self._skipped_sessions += 1
+            return
         self._requested_at[id(request)] = self._sim.now
         if self.tracer is not None:
             # The session index is unknown until the session starts;
@@ -383,36 +474,73 @@ class ClusterRunner:
             # dst) pair — exactly the order _dispatch starts them.
             self.tracer.event("session_request", party=request.dst,
                               peer=request.src)
-        self._pending.append(request)
-        self._dispatch()
+        # Dispatch invariant: every already-pending request has at least
+        # one endpoint at capacity (established by the freed-site scan
+        # below), and nothing has freed since — so the only request that
+        # can start right now is this one.
+        fanout = self.config.fanout
+        if (self._usage[request.src] < fanout
+                and self._usage[request.dst] < fanout):
+            self._start(request)
+            return
+        seq = self._next_seq
+        self._next_seq += 1
+        self._pending[seq] = request
+        self._pending_by_site[request.src].append(seq)
+        self._pending_by_site[request.dst].append(seq)
 
-    def _dispatch(self) -> None:
-        """Start every queued session whose endpoints have capacity.
+    def _dispatch(self, freed: Tuple[str, ...]) -> None:
+        """Start queued sessions startable now that ``freed`` has capacity.
 
-        A single oldest-first pass suffices: starting a session only
-        consumes capacity, so a request skipped here cannot become
-        startable until something finishes (which dispatches again).
+        Only requests touching a freed endpoint can have become
+        startable (everything else kept its saturated endpoint), so the
+        scan covers just those two sites' queues — in global arrival
+        order, consuming capacity exactly as the historical full
+        oldest-first pass over all pending requests did.  Entries
+        consumed by an earlier scan are pruned lazily here.
         """
         fanout = self.config.fanout
-        still_pending: List[SessionRequest] = []
-        for request in self._pending:
+        pending = self._pending
+        by_site = self._pending_by_site
+        candidates = set()
+        for site in freed:
+            live = [seq for seq in by_site[site] if seq in pending]
+            by_site[site] = live
+            candidates.update(live)
+        for seq in sorted(candidates):
+            request = pending.get(seq)
+            if request is None:
+                continue  # started earlier in this very scan
             if (self._usage[request.src] < fanout
                     and self._usage[request.dst] < fanout):
+                del pending[seq]
                 self._start(request)
-            else:
-                still_pending.append(request)
-        self._pending = still_pending
 
-    def _build_pairs(self, src: str, dst: str
+    def _session_objects(self, request: SessionRequest
+                         ) -> Tuple[int, ...]:
+        """The object ids a session between the request's pair syncs."""
+        if self.shards is None:
+            return tuple(range(self.config.n_objects))
+        objs = getattr(request, "objs", None)
+        shared = self.shards.shared_objects(request.src, request.dst)
+        if objs is None:
+            return shared
+        extra = set(objs) - set(shared)
+        if extra:
+            raise ValueError(
+                f"session {request.src}->{request.dst} names objects "
+                f"{sorted(extra)} the pair does not share")
+        return tuple(objs)
+
+    def _build_pairs(self, src: str, dst: str, objs: Tuple[int, ...]
                      ) -> Tuple[List[Ordering], List[bool],
                                 Tuple[Tuple[Any, Any], ...]]:
         """Fresh coroutine pairs over the endpoints' *current* state."""
-        config = self.config
-        spec = registry.get(config.protocol)
+        spec = registry.get(self.config.protocol)
         verdicts: List[Ordering] = []
         reconciled_flags: List[bool] = []
         pairs: List[Tuple[Any, Any]] = []
-        for obj in range(config.n_objects):
+        for obj in objs:
             verdict = self.objects[dst][obj].compare(self.objects[src][obj])
             sender, receiver, reconciled = spec.build(
                 self.objects[src][obj], self.objects[dst][obj], verdict,
@@ -426,15 +554,21 @@ class ClusterRunner:
         sim = self._sim
         config = self.config
         src, dst = request.src, request.dst
-        verdicts, reconciled_flags, pairs = self._build_pairs(src, dst)
+        objs = self._session_objects(request)
+        channel = self._channel_for(src, dst)
+        verdicts, reconciled_flags, pairs = self._build_pairs(src, dst, objs)
         record = ClusterSessionRecord(
             index=len(self._records), src=src, dst=dst,
             requested_at=self._requested_at.pop(id(request), sim.now),
             started_at=sim.now, verdict=verdicts[0],
             reconciled=reconciled_flags[0], verdicts=tuple(verdicts),
-            reconciled_objects=tuple(reconciled_flags))
+            reconciled_objects=tuple(reconciled_flags), objects=objs)
         self._records.append(record)
-        self._log.append(("session", src, dst))
+        # Sharded logs carry the synchronized object subset so replay
+        # rebuilds the identical per-session pairing; unsharded entries
+        # keep the historical three-tuple shape.
+        self._log.append(("session", src, dst) if self.shards is None
+                         else ("session", src, dst, objs))
         self._usage[src] += 1
         self._usage[dst] += 1
         self._reconciliations += sum(reconciled_flags)
@@ -447,16 +581,16 @@ class ClusterRunner:
             # its post-session ancestor-closure oracle has the pre-state.
             self.monitor.on_session_start(record)
         common = dict(
-            # A single-object cluster runs the historical per-object
+            # A single-object session runs the historical per-object
             # path regardless of batch_size, as it always has.
-            batch_size=config.batch_size if config.n_objects > 1 else 1,
-            channel=config.channel, encoding=config.encoding,
+            batch_size=config.batch_size if len(pairs) > 1 else 1,
+            channel=channel, encoding=config.encoding,
             stop_and_wait=config.stop_and_wait, proc_time=config.proc_time,
             max_steps=config.max_steps, tracer=self.tracer,
             party_names=(src, dst), retry=config.retry,
             session_id=record.index,
             on_complete=lambda result: self._finish(record, result))
-        if not config.channel.faults.enabled:
+        if not channel.faults.enabled:
             launch(sim, SessionOptions(pairs=pairs, **common))
             return
 
@@ -469,17 +603,17 @@ class ClusterRunner:
         # resume restores them and re-handshakes from this state.  Safe
         # because updates to a busy site are deferred and fanout capacity
         # means no other session writes ``dst`` meanwhile.
-        snapshots = tuple(self.objects[dst][obj].copy()
-                          for obj in range(config.n_objects))
+        snapshots = tuple(self.objects[dst][obj].copy() for obj in objs)
 
         def rebuild() -> Tuple[Tuple[Any, Any], ...]:
             if first_pairs:
                 return first_pairs.pop()
-            for obj, snapshot in enumerate(snapshots):
+            for obj, snapshot in zip(objs, snapshots):
                 # In place: result views and the site table alias these
                 # objects, so identity must survive the rollback.
                 self.objects[dst][obj].restore(snapshot)
-            new_verdicts, new_flags, new_pairs = self._build_pairs(src, dst)
+            new_verdicts, new_flags, new_pairs = self._build_pairs(
+                src, dst, objs)
             merged = tuple(old or new for old, new
                            in zip(record.reconciled_objects, new_flags))
             self._reconciliations += sum(
@@ -493,7 +627,7 @@ class ClusterRunner:
 
         launch(sim, SessionOptions(
             rebuild=rebuild,
-            fault_seed=derive_seed(config.channel.faults.seed, record.index),
+            fault_seed=derive_seed(channel.faults.seed, record.index),
             **common))
 
     def _finish(self, record: ClusterSessionRecord,
@@ -511,7 +645,8 @@ class ClusterRunner:
             # §2.2: the pulling site increments its own element after an
             # automatic merge, per reconciled object.  Not logged — replay
             # derives it from the session verdicts, exactly as here.
-            for obj, reconciled in enumerate(record.reconciled_objects):
+            for obj, reconciled in zip(record.objects,
+                                       record.reconciled_objects):
                 if reconciled:
                     self.objects[dst][obj].record_update(dst)
                     if self.tracer is not None:
@@ -536,7 +671,7 @@ class ClusterRunner:
                 deferred, self._deferred[site] = self._deferred[site], []
                 for update in deferred:
                     self._apply_update(site, getattr(update, "obj", 0))
-        self._dispatch()
+        self._dispatch((src, dst))
 
 
 def build_session_coroutines(protocol: str, b: BasicRotatingVector,
@@ -555,7 +690,8 @@ def build_session_coroutines(protocol: str, b: BasicRotatingVector,
 
 
 def replay_sequential(sites: Iterable[str], config: ClusterConfig,
-                      log: Iterable[LogEntry]
+                      log: Iterable[LogEntry], *,
+                      shards: Optional[ShardMap] = None
                       ) -> Tuple[List[TimedSessionResult],
                                  Dict[str, BasicRotatingVector]]:
     """Re-execute a cluster run's log one session at a time.
@@ -575,9 +711,15 @@ def replay_sequential(sites: Iterable[str], config: ClusterConfig,
     """
     spec = registry.get(config.protocol)
     vector_cls = spec.vector_class(config.backend)
-    objects: Dict[str, List[BasicRotatingVector]] = {
-        site: [vector_cls() for _ in range(config.n_objects)]
-        for site in sites}
+    if shards is not None:
+        objects: Dict[str, Any] = {
+            site: {obj: vector_cls()
+                   for obj in shards.hosted.get(site, ())}
+            for site in sites}
+    else:
+        objects = {
+            site: [vector_cls() for _ in range(config.n_objects)]
+            for site in sites}
     results: List[TimedSessionResult] = []
     session_index = -1
     for entry in log:
@@ -587,25 +729,30 @@ def replay_sequential(sites: Iterable[str], config: ClusterConfig,
             continue
         if entry[0] != "session":  # pragma: no cover - defensive
             raise ValueError(f"unknown log entry {entry!r}")
-        _, src, dst = entry
+        src, dst = entry[1], entry[2]
+        # Sharded logs carry each session's object subset; unsharded
+        # three-tuples cover the whole object range, as always.
+        objs = tuple(entry[3]) if len(entry) > 3 \
+            else tuple(range(config.n_objects))
+        channel = config.channel if config.topology is None \
+            else config.topology.channel_for(src, dst)
         session_index += 1
-        reconciled_any = [False] * config.n_objects
+        reconciled_any = {obj: False for obj in objs}
         # Mirrors the concurrent runner's transactional attempts: the
         # first build snapshots the receiver's objects, every resume
         # restores them before re-handshaking (see ClusterRunner._start).
         snapshots: List[Tuple[Any, ...]] = []
 
         def build() -> Tuple[Tuple[Any, Any], ...]:
-            if config.channel.faults.enabled:
+            if channel.faults.enabled:
                 if not snapshots:
                     snapshots.append(
-                        tuple(objects[dst][obj].copy()
-                              for obj in range(config.n_objects)))
+                        tuple(objects[dst][obj].copy() for obj in objs))
                 else:
-                    for obj, snapshot in enumerate(snapshots[0]):
+                    for obj, snapshot in zip(objs, snapshots[0]):
                         objects[dst][obj].restore(snapshot)
             pairs = []
-            for obj in range(config.n_objects):
+            for obj in objs:
                 verdict = objects[dst][obj].compare(objects[src][obj])
                 sender, receiver, reconciled = spec.build(
                     objects[src][obj], objects[dst][obj], verdict)
@@ -614,21 +761,104 @@ def replay_sequential(sites: Iterable[str], config: ClusterConfig,
             return tuple(pairs)
 
         common = dict(
-            batch_size=config.batch_size if config.n_objects > 1 else 1,
-            channel=config.channel, encoding=config.encoding,
+            batch_size=config.batch_size if len(objs) > 1 else 1,
+            channel=channel, encoding=config.encoding,
             stop_and_wait=config.stop_and_wait, proc_time=config.proc_time,
             max_steps=config.max_steps, retry=config.retry)
-        if config.channel.faults.enabled:
+        if channel.faults.enabled:
             options = SessionOptions(
                 rebuild=build,
-                fault_seed=derive_seed(config.channel.faults.seed,
+                fault_seed=derive_seed(channel.faults.seed,
                                        session_index),
                 **common)
         else:
             options = SessionOptions(pairs=build(), **common)
         results.append(run_timed(options))
         if config.increment_on_merge:
-            for obj, reconciled in enumerate(reconciled_any):
+            for obj, reconciled in reconciled_any.items():
                 if reconciled:
                     objects[dst][obj].record_update(dst)
+    if shards is not None:
+        return results, {site: objs[0] for site, objs in objects.items()
+                         if 0 in objs}
     return results, {site: objs[0] for site, objs in objects.items()}
+
+
+#: Legacy ``launch_cluster`` keyword arguments that now live on the
+#: :class:`~repro.net.topology.TopologySpec`; accepted behind a
+#: DeprecationWarning, forbidden for in-repo callers by the CI grep lint.
+_DEPRECATED_LAUNCH_KWARGS = ("fanout", "channel", "chaos_loss")
+
+
+def launch_cluster(spec: TopologySpec, *, protocol: str = "srv",
+                   n_objects: int = 1, batch_size: int = 1,
+                   encoding: Encoding = DEFAULT_ENCODING,
+                   stop_and_wait: bool = False, proc_time: float = 0.0,
+                   increment_on_merge: bool = True,
+                   max_steps: int = 10_000_000,
+                   retry: Optional[RetryPolicy] = None,
+                   backend: str = "array",
+                   shard: Optional[bool] = None,
+                   tracer: Optional[Tracer] = None,
+                   metrics: Optional[MetricsRegistry] = None,
+                   monitor: Optional[Any] = None,
+                   **deprecated: Any) -> ClusterRunner:
+    """The unified cluster entry point: one ``TopologySpec``, one runner.
+
+    Follows the ``launch(sim, SessionOptions)`` precedent: every fleet-
+    shape knob — regions, links, loss, gossip fanout, replication —
+    lives on the spec; everything else is keyword-only here.  Returns a
+    ready-to-:meth:`~ClusterRunner.run` runner whose sites are
+    ``spec.site_names()``, sharded via the consistent-hash ring whenever
+    the spec carries a replication factor (``shard=`` forces it either
+    way).
+
+    The legacy per-config knobs ``fanout=``, ``channel=``, and
+    ``chaos_loss=`` are still accepted as shims, each raising a
+    ``DeprecationWarning`` — new code expresses them through the spec
+    (``gossip.fanout``, link profiles, per-link ``loss``), and the CI
+    grep lint keeps in-repo callers off the shims.
+    """
+    unknown = set(deprecated) - set(_DEPRECATED_LAUNCH_KWARGS)
+    if unknown:
+        raise TypeError(
+            f"launch_cluster() got unexpected keyword arguments "
+            f"{sorted(unknown)}")
+    fanout = spec.gossip.fanout if spec.replication is None else 1
+    channel: Optional[ChannelSpec] = None
+    topology: Optional[TopologySpec] = spec
+    if "fanout" in deprecated:
+        warnings.warn(
+            "launch_cluster(fanout=...) is deprecated; set "
+            "TopologySpec.gossip.fanout instead",
+            DeprecationWarning, stacklevel=2)
+        fanout = deprecated["fanout"]
+    if "chaos_loss" in deprecated:
+        warnings.warn(
+            "launch_cluster(chaos_loss=...) is deprecated; set the loss "
+            "on the spec's LinkProfiles instead",
+            DeprecationWarning, stacklevel=2)
+        loss = deprecated["chaos_loss"]
+        profile = LinkProfile(latency=spec.inter.latency,
+                              bandwidth=spec.inter.bandwidth, loss=loss)
+        channel = profile.channel(seed=spec.chaos_seed)
+        topology = None
+    if "channel" in deprecated:
+        warnings.warn(
+            "launch_cluster(channel=...) is deprecated; describe the "
+            "links on the TopologySpec instead",
+            DeprecationWarning, stacklevel=2)
+        channel = deprecated["channel"]
+        topology = None
+    config = ClusterConfig(
+        protocol=protocol, encoding=encoding, fanout=fanout,
+        stop_and_wait=stop_and_wait, proc_time=proc_time,
+        increment_on_merge=increment_on_merge, max_steps=max_steps,
+        n_objects=n_objects, batch_size=batch_size,
+        retry=retry if retry is not None else RetryPolicy(),
+        backend=backend, topology=topology,
+        **({"channel": channel} if channel is not None else {}))
+    do_shard = shard if shard is not None else spec.replication is not None
+    shards = build_shard_map(spec, n_objects) if do_shard else None
+    return ClusterRunner(spec.site_names(), config, tracer=tracer,
+                         metrics=metrics, monitor=monitor, shards=shards)

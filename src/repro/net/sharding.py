@@ -1,0 +1,214 @@
+"""Consistent-hash sharding: objects onto site groups.
+
+A 1000-site fleet hosting 10k objects cannot afford the historical
+layout where every site replicates every object — state, update
+traffic, and anti-entropy cost all scale as sites × objects.  This
+module maps each object onto a small *shard* (replica group) of sites
+via a consistent-hash ring:
+
+* :class:`HashRing` — SHA-256 positions, ``vnodes`` virtual nodes per
+  site for load smoothing, replica groups read clockwise (next ``r``
+  *distinct* sites).  Rings are immutable; :meth:`HashRing.with_site` /
+  :meth:`HashRing.without_site` return new rings, and the consistent-
+  hashing contract — a single join/leave moves only the keys adjacent
+  to the changed site's points — is a tested property, not a hope.
+* :class:`ShardMap` — the materialized object→group assignment for one
+  fleet: per-site hosted-object lists, per-site shard-peer sets (who
+  shares at least one object with me), and the shared-object
+  intersection any session between two sites should synchronize.
+
+Determinism: positions depend only on site names, ``vnodes``, and the
+ring ``salt`` — no RNG anywhere — so every process of a paired bench
+run rebuilds the identical assignment.
+"""
+
+from __future__ import annotations
+
+import bisect
+import hashlib
+from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Tuple
+
+from repro.errors import ValidationError
+from repro.net.topology import TopologySpec
+
+
+def _position(salt: str, label: str) -> int:
+    """The ring position of one label: the first 8 bytes of SHA-256."""
+    digest = hashlib.sha256(f"{salt}:{label}".encode("utf-8")).digest()
+    return int.from_bytes(digest[:8], "big")
+
+
+class HashRing:
+    """An immutable consistent-hash ring over named sites.
+
+    Each site contributes ``vnodes`` points at
+    ``sha256(f"{salt}:{site}#{v}")``; a key hashes to a position and its
+    replica group is the next ``replication`` *distinct* sites read
+    clockwise from there.  Point collisions (astronomically unlikely at
+    64-bit positions) tie-break on site name so the ring is a pure
+    function of its inputs.
+    """
+
+    def __init__(self, sites: Sequence[str], *, replication: int = 3,
+                 vnodes: int = 64, salt: str = "ring") -> None:
+        names = list(sites)
+        if len(set(names)) != len(names):
+            raise ValidationError("ring sites must be unique")
+        if not names:
+            raise ValidationError("a ring needs >= 1 site")
+        if not 1 <= replication <= len(names):
+            raise ValidationError(
+                f"replication must be in [1, {len(names)}], "
+                f"got {replication}")
+        if vnodes < 1:
+            raise ValidationError(f"vnodes must be >= 1, got {vnodes}")
+        self.sites: Tuple[str, ...] = tuple(names)
+        self.replication = replication
+        self.vnodes = vnodes
+        self.salt = salt
+        points = [(_position(salt, f"{site}#{vnode}"), site)
+                  for site in names for vnode in range(vnodes)]
+        points.sort()
+        self._positions: List[int] = [position for position, _ in points]
+        self._owners: List[str] = [site for _, site in points]
+
+    def replicas_for(self, key: str) -> Tuple[str, ...]:
+        """The key's replica group: next ``replication`` distinct sites."""
+        start = bisect.bisect_right(self._positions, _position(self.salt,
+                                                               key))
+        group: List[str] = []
+        seen = set()
+        n_points = len(self._owners)
+        for step in range(n_points):
+            site = self._owners[(start + step) % n_points]
+            if site not in seen:
+                seen.add(site)
+                group.append(site)
+                if len(group) == self.replication:
+                    break
+        return tuple(group)
+
+    def primary_for(self, key: str) -> str:
+        """The first replica — the shard's deterministic leader."""
+        return self.replicas_for(key)[0]
+
+    def with_site(self, site: str) -> "HashRing":
+        """A new ring with ``site`` joined."""
+        if site in self.sites:
+            raise ValidationError(f"site {site!r} already on the ring")
+        return HashRing(self.sites + (site,), replication=self.replication,
+                        vnodes=self.vnodes, salt=self.salt)
+
+    def without_site(self, site: str) -> "HashRing":
+        """A new ring with ``site`` departed."""
+        if site not in self.sites:
+            raise ValidationError(f"site {site!r} not on the ring")
+        return HashRing([s for s in self.sites if s != site],
+                        replication=self.replication, vnodes=self.vnodes,
+                        salt=self.salt)
+
+    def load(self, keys: Iterable[str]) -> Dict[str, int]:
+        """Assignments per site (counting every replica) over ``keys``."""
+        counts = {site: 0 for site in self.sites}
+        for key in keys:
+            for site in self.replicas_for(key):
+                counts[site] += 1
+        return counts
+
+
+def object_key(obj: int) -> str:
+    """The ring key of object ``obj`` — one canonical spelling."""
+    return f"obj:{obj}"
+
+
+class ShardMap:
+    """The materialized object→replica-group assignment for one fleet.
+
+    Attributes:
+        n_objects: how many objects the fleet shards.
+        replicas: per object id, its replica group in ring order (the
+            first member is the shard's leader).
+        hosted: per site, the sorted tuple of object ids it hosts.
+    """
+
+    def __init__(self, replicas: Sequence[Tuple[str, ...]]) -> None:
+        if not replicas:
+            raise ValidationError("a ShardMap needs >= 1 object")
+        self.replicas: Tuple[Tuple[str, ...], ...] = tuple(
+            tuple(group) for group in replicas)
+        self.n_objects = len(self.replicas)
+        hosted: Dict[str, List[int]] = {}
+        for obj, group in enumerate(self.replicas):
+            if not group:
+                raise ValidationError(f"object {obj} has an empty group")
+            if len(set(group)) != len(group):
+                raise ValidationError(
+                    f"object {obj} repeats a replica: {group}")
+            for site in group:
+                hosted.setdefault(site, []).append(obj)
+        self.hosted: Dict[str, Tuple[int, ...]] = {
+            site: tuple(objs) for site, objs in hosted.items()}
+        self._hosted_sets: Dict[str, FrozenSet[int]] = {
+            site: frozenset(objs) for site, objs in self.hosted.items()}
+        peers: Dict[str, set] = {site: set() for site in self.hosted}
+        for group in set(self.replicas):
+            for site in group:
+                peers[site].update(other for other in group
+                                   if other != site)
+        self.shard_peers: Dict[str, Tuple[str, ...]] = {
+            site: tuple(sorted(names)) for site, names in peers.items()}
+
+    @property
+    def sites(self) -> Tuple[str, ...]:
+        """Every site hosting at least one object, sorted."""
+        return tuple(sorted(self.hosted))
+
+    def hosts(self, site: str, obj: int) -> bool:
+        """Whether ``site`` is a replica of object ``obj``."""
+        return obj in self._hosted_sets.get(site, frozenset())
+
+    def shared_objects(self, a: str, b: str) -> Tuple[int, ...]:
+        """Object ids both sites replicate — what a session syncs."""
+        shared = self._hosted_sets.get(a, frozenset()) \
+            & self._hosted_sets.get(b, frozenset())
+        return tuple(sorted(shared))
+
+    def groups(self) -> List[Tuple[str, ...]]:
+        """The distinct replica groups, in first-object order."""
+        seen = set()
+        ordered: List[Tuple[str, ...]] = []
+        for group in self.replicas:
+            if group not in seen:
+                seen.add(group)
+                ordered.append(group)
+        return ordered
+
+    def load_summary(self) -> Dict[str, float]:
+        """Balance statistics over hosted-object counts per site."""
+        counts = [len(objs) for objs in self.hosted.values()]
+        return {"max": float(max(counts)), "min": float(min(counts)),
+                "mean": sum(counts) / len(counts)}
+
+
+def build_shard_map(spec: TopologySpec, n_objects: int, *,
+                    replication: Optional[int] = None,
+                    sites: Optional[Sequence[str]] = None) -> ShardMap:
+    """The fleet's shard map: ring the spec's sites, assign every object.
+
+    ``replication`` defaults to the spec's own; the ring is salted with
+    the spec's seed so two specs differing only in seed shard
+    differently (and two identical specs shard identically — the
+    determinism the paired bench runs rely on).
+    """
+    factor = replication if replication is not None else spec.replication
+    if factor is None:
+        raise ValidationError(
+            "sharding needs a replication factor (set TopologySpec."
+            "replication or pass replication=)")
+    if n_objects < 1:
+        raise ValidationError(f"n_objects must be >= 1, got {n_objects}")
+    ring = HashRing(sites if sites is not None else spec.site_names(),
+                    replication=factor, vnodes=spec.vnodes,
+                    salt=f"ring:{spec.seed}")
+    return ShardMap([ring.replicas_for(object_key(obj))
+                     for obj in range(n_objects)])

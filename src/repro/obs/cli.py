@@ -18,7 +18,8 @@ from typing import Any, Dict, List, Optional, Tuple
 
 from repro.errors import InvariantViolationError
 from repro.net.channel import ChannelSpec
-from repro.net.cluster import ClusterConfig, ClusterRunner
+from repro.net.cluster import ClusterConfig, ClusterRunner, launch_cluster
+from repro.net.topology import LinkProfile, TopologySpec
 from repro.net.wire import Encoding
 from repro.obs.dashboard import render_dashboard, write_html_report
 from repro.obs.exporters import to_otlp, to_prometheus
@@ -29,6 +30,8 @@ from repro.obs.trace import SamplingPolicy, Tracer
 from repro.workload.cluster import (SessionRequest, chaos_faults,
                                     gossip_schedule, site_names,
                                     update_schedule)
+from repro.workload.epidemic import (closing_sweep, epidemic_schedule,
+                                     sharded_update_schedule)
 
 
 def run_monitored_fleet(protocol: str, *, n_sites: int = 8,
@@ -105,6 +108,53 @@ def run_monitored_fleet(protocol: str, *, n_sites: int = 8,
     return monitor, runner, result
 
 
+def run_monitored_region_fleet(protocol: str, *, regions: int = 3,
+                               sites_per_region: int = 8,
+                               n_objects: int = 64, replication: int = 3,
+                               batch_size: int = 8, loss: float = 0.01,
+                               rounds: int = 3, seed: int = 0,
+                               chaos_seed: int = 11,
+                               monitor_config: MonitorConfig
+                               = MonitorConfig(),
+                               metrics: Optional[MetricsRegistry] = None,
+                               tracer: Optional[Tracer] = None
+                               ) -> Tuple[ClusterMonitor, ClusterRunner,
+                                          Any]:
+    """One monitored *sharded multi-region* run via :func:`launch_cluster`.
+
+    The multi-region analogue of :func:`run_monitored_fleet`: a
+    ``TopologySpec.grid`` fleet (slow lossy WAN between regions, fast
+    clean LAN inside them), consistent-hash sharding at the given
+    replication factor, epidemic push/pull dissemination among shard
+    peers, and the deterministic two-phase closing sweep — so the run
+    provably ends with every replica group converged, which the
+    dashboard's per-region scores make visible.
+    """
+    spec = TopologySpec.grid(
+        regions, sites_per_region,
+        intra=LinkProfile(latency=0.002, bandwidth=1_000_000.0),
+        inter=LinkProfile(latency=0.04, bandwidth=250_000.0, loss=loss),
+        replication=replication, seed=seed, chaos_seed=chaos_seed)
+    n_sites = spec.n_sites
+    n_updates = max(1, round(n_sites * 2.0))
+    monitor = ClusterMonitor(monitor_config, metrics=metrics)
+    runner = launch_cluster(
+        spec, protocol=protocol, n_objects=n_objects,
+        batch_size=batch_size,
+        encoding=Encoding.for_system(n_sites, max(16, n_updates)),
+        monitor=monitor, metrics=metrics, tracer=tracer)
+    shards = runner.shards
+    sessions = epidemic_schedule(spec, shards, rounds=rounds)
+    updates = sharded_update_schedule(
+        spec, shards, n_updates=n_updates, interval=0.25,
+        leader_only=protocol == "brv", seed=seed + 1)
+    last = max([request.at for request in sessions]
+               + [update.at for update in updates], default=0.0)
+    sessions = list(sessions) + closing_sweep(shards, start=last + 500.0)
+    result = runner.run(sessions, updates)
+    return monitor, runner, result
+
+
 def monitor_main(argv: Optional[List[str]] = None) -> int:
     """``python -m repro monitor [--protocols ...] [--strict-invariants]``."""
     parser = argparse.ArgumentParser(
@@ -115,11 +165,20 @@ def monitor_main(argv: Optional[List[str]] = None) -> int:
                         help="comma-separated protocol list "
                              "(default: brv,crv,srv)")
     parser.add_argument("--sites", type=int, default=8,
-                        help="fleet size (default: 8)")
+                        help="fleet size (default: 8); with --regions this "
+                             "is the per-region site count")
     parser.add_argument("--objects", type=int, default=32,
                         help="replicated objects per site (default: 32)")
     parser.add_argument("--batch", type=int, default=8,
                         help="objects per wire frame (default: 8)")
+    parser.add_argument("--regions", type=int, default=0,
+                        help="run a sharded multi-region fleet with this "
+                             "many regions instead of the classic "
+                             "single-region chaos cell (default: 0 = "
+                             "classic)")
+    parser.add_argument("--replication", type=int, default=3,
+                        help="replicas per object in multi-region mode "
+                             "(default: 3)")
     parser.add_argument("--loss", type=float, default=0.1,
                         help="nominal loss rate of the chaos mix "
                              "(default: 0.1; 0 disables faults)")
@@ -157,21 +216,36 @@ def monitor_main(argv: Optional[List[str]] = None) -> int:
     last_runner: Optional[ClusterRunner] = None
     total_violations = 0
     for protocol in protocols:
-        print(f"=== monitor {protocol}: {args.sites} sites × "
-              f"{args.objects} objects, loss {args.loss:g} ===")
         try:
-            monitor, runner, result = run_monitored_fleet(
-                protocol, n_sites=args.sites, n_objects=args.objects,
-                batch_size=args.batch, loss=args.loss, rounds=args.rounds,
-                seed=args.seed, chaos_seed=args.chaos_seed,
-                monitor_config=monitor_config, metrics=metrics)
+            if args.regions > 0:
+                print(f"=== monitor {protocol}: {args.regions} regions × "
+                      f"{args.sites} sites × {args.objects} objects, "
+                      f"replication {args.replication}, "
+                      f"loss {args.loss:g} ===")
+                monitor, runner, result = run_monitored_region_fleet(
+                    protocol, regions=args.regions,
+                    sites_per_region=args.sites, n_objects=args.objects,
+                    replication=args.replication, batch_size=args.batch,
+                    loss=args.loss, rounds=args.rounds, seed=args.seed,
+                    chaos_seed=args.chaos_seed,
+                    monitor_config=monitor_config, metrics=metrics)
+            else:
+                print(f"=== monitor {protocol}: {args.sites} sites × "
+                      f"{args.objects} objects, loss {args.loss:g} ===")
+                monitor, runner, result = run_monitored_fleet(
+                    protocol, n_sites=args.sites, n_objects=args.objects,
+                    batch_size=args.batch, loss=args.loss,
+                    rounds=args.rounds, seed=args.seed,
+                    chaos_seed=args.chaos_seed,
+                    monitor_config=monitor_config, metrics=metrics)
         except InvariantViolationError as error:
             print(f"ABORTED: {error}")
             return 1
         monitors[protocol] = monitor
         last_runner = runner
         total_violations += monitor.violation_count
-        print(render_dashboard(monitor))
+        print(render_dashboard(
+            monitor, max_sites=24 if len(monitor.sites) > 32 else None))
         print(f"{result.sessions} sessions, {result.total_bits} bits, "
               f"consistent={result.consistent()}, "
               f"sim {result.completion_time:.2f}s")

@@ -60,18 +60,52 @@ def sparkline(values: Sequence[float], width: int = 16) -> str:
 
 
 def render_dashboard(monitor: ClusterMonitor, *, width: int = 16,
-                     offenders: int = 5) -> str:
-    """The terminal dashboard: sparkline table + ranking + verdict."""
+                     offenders: int = 5,
+                     max_sites: Optional[int] = None) -> str:
+    """The terminal dashboard: sparkline table + ranking + verdict.
+
+    ``max_sites`` truncates the per-site sparkline table (worst offenders
+    and the rollups below still cover the whole fleet) — pass it when
+    rendering a 1000-site fleet to a terminal.  Multi-region monitors
+    additionally get a per-region health table and, when sharded, a
+    one-line shard-load summary.
+    """
     lines: List[str] = []
     site_width = max([len(site) for site in monitor.sites] + [4])
     header = "  ".join([_HEADERS[name].center(width) for name in GAUGE_NAMES])
     lines.append(f"{'site'.ljust(site_width)}  {header}")
-    for site in monitor.sites:
+    shown = (monitor.sites if max_sites is None
+             else monitor.sites[:max_sites])
+    for site in shown:
         cells = []
         for name in GAUGE_NAMES:
             cells.append(sparkline(
                 [value for _, value in monitor.series(site, name)], width))
         lines.append(f"{site.ljust(site_width)}  " + "  ".join(cells))
+    if len(shown) < len(monitor.sites):
+        lines.append(f"{'…'.ljust(site_width)}  "
+                     f"({len(monitor.sites) - len(shown)} more sites)")
+    summary = monitor.health_summary()
+    per_region = summary.get("per_region")
+    if per_region:
+        lines.append("")
+        name_width = max([len(name) for name in per_region] + [6])
+        lines.append(f"{'region'.ljust(name_width)}  sites  min score  "
+                     f"mean score")
+        for name, stats in per_region.items():
+            lines.append(
+                f"{name.ljust(name_width)}  {stats['sites']:>5}  "
+                f"{stats['min_final_score']:>9.3f}  "
+                f"{stats['mean_final_score']:>10.3f}")
+    shard_stats = summary.get("shards")
+    if shard_stats:
+        load = shard_stats["load"]
+        lines.append("")
+        lines.append(
+            f"shards: {shard_stats['groups']} groups over "
+            f"{shard_stats['objects']} objects · per-site load "
+            f"min={load['min']:.0f} mean={load['mean']:.1f} "
+            f"max={load['max']:.0f}")
     lines.append("")
     lines.append(f"worst offenders (of {len(monitor.sites)} sites, "
                  f"lowest convergence first):")

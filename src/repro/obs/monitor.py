@@ -249,10 +249,11 @@ class ClusterMonitor:
         runner = self._runner
         fanout_one = runner.config.fanout == 1
         if self.config.check_ancestor_closure and fanout_one:
-            src_snap = [vector.to_version_vector().as_dict()
-                        for vector in runner.objects[record.src]]
-            dst_snap = [vector.to_version_vector().as_dict()
-                        for vector in runner.objects[record.dst]]
+            objs = self._session_objs(record)
+            src_snap = [runner.objects[record.src][obj]
+                        .to_version_vector().as_dict() for obj in objs]
+            dst_snap = [runner.objects[record.dst][obj]
+                        .to_version_vector().as_dict() for obj in objs]
             self._session_snapshots[record.index] = (src_snap, dst_snap)
         period = self.config.spot_check_period
         if period and fanout_one and record.index % period == 0:
@@ -304,6 +305,20 @@ class ClusterMonitor:
         sim = getattr(self._runner, "_sim", None)
         return sim.now if sim is not None else 0.0
 
+    def _session_objs(self, record: Any) -> Tuple[int, ...]:
+        """The object ids one session synchronizes (all, when unsharded)."""
+        objs = getattr(record, "objects", None)
+        if objs:
+            return tuple(objs)
+        return tuple(range(self._runner.config.n_objects))
+
+    def _hosted(self, site: str) -> Tuple[int, ...]:
+        """The object ids one site replicates (all, when unsharded)."""
+        hosted = getattr(self._runner, "hosted_objects", None)
+        if hosted is not None:
+            return hosted(site)
+        return tuple(range(self._runner.config.n_objects))
+
     def _maybe_sample(self, now: float) -> None:
         if self._next_sample is None or now < self._next_sample:
             return
@@ -315,26 +330,38 @@ class ClusterMonitor:
         self._next_sample += periods * cadence
 
     def _sample(self, now: float) -> None:
-        """Record one health sample for every site at simulated ``now``."""
+        """Record one health sample for every site at simulated ``now``.
+
+        The frontier for an object is the element-wise max over the sites
+        *hosting* it (all sites, when unsharded).  A sharded site's
+        convergence score is measured against the frontiers of its own
+        hosted objects only — a site cannot be behind on objects it does
+        not replicate.
+        """
         runner = self._runner
         n_objects = runner.config.n_objects
-        # The global frontier: per object, the element-wise max over sites.
-        frontiers: List[Dict[str, int]] = []
-        for obj in range(n_objects):
-            frontier: Dict[str, int] = {}
-            for site in self.sites:
+        sharded = getattr(runner, "shards", None) is not None
+        # The global frontier: per object, the element-wise max over its
+        # hosting sites.
+        frontiers: Dict[int, Dict[str, int]] = {
+            obj: {} for obj in range(n_objects)}
+        for site in self.sites:
+            for obj in self._hosted(site):
+                frontier = frontiers[obj]
                 for element in runner.objects[site][obj].order:
                     if element.value > frontier.get(element.site, 0):
                         frontier[element.site] = element.value
-            frontiers.append(frontier)
-        frontier_total = sum(sum(f.values()) for f in frontiers)
+        frontier_sums = {obj: sum(f.values())
+                         for obj, f in frontiers.items()}
+        frontier_total = sum(frontier_sums.values())
         for site in self.sites:
+            hosted = self._hosted(site)
             distance = 0
             backlog = 0
             conflicted = 0
             elements = 0
             segments = 0
-            for obj in range(n_objects):
+            for obj in hosted:
                 vector = runner.objects[site][obj]
                 known: Dict[str, int] = {}
                 open_segment = False
@@ -358,8 +385,10 @@ class ClusterMonitor:
             pressure = self._pressure[site]
             pressure_total = (pressure["retries"] + pressure["timeouts"]
                               + pressure["resumes"])
-            score = (1.0 if frontier_total == 0
-                     else (frontier_total - backlog) / frontier_total)
+            site_frontier = (sum(frontier_sums[obj] for obj in hosted)
+                             if sharded else frontier_total)
+            score = (1.0 if site_frontier == 0
+                     else (site_frontier - backlog) / site_frontier)
             series = self._series[site]
             series["frontier_distance"].append(now, float(distance))
             series["delta_backlog"].append(now, float(backlog))
@@ -444,9 +473,10 @@ class ClusterMonitor:
         """
         src_snap, dst_snap = snapshot
         runner = self._runner
-        for obj in range(runner.config.n_objects):
-            expected = dict(dst_snap[obj])
-            for site_name, value in src_snap[obj].items():
+        for obj, src_state, dst_state in zip(self._session_objs(record),
+                                             src_snap, dst_snap):
+            expected = dict(dst_state)
+            for site_name, value in src_state.items():
                 if value > expected.get(site_name, 0):
                     expected[site_name] = value
             actual = (runner.objects[record.dst][obj]
@@ -462,7 +492,8 @@ class ClusterMonitor:
     def _spot_check(self, record: Any, now: float) -> None:
         """Algorithm 1's O(1) verdict vs the element-wise oracle."""
         runner = self._runner
-        obj = self._spot_rng.randrange(runner.config.n_objects)
+        objs = self._session_objs(record)
+        obj = objs[self._spot_rng.randrange(len(objs))]
         dst_vector = runner.objects[record.dst][obj]
         src_vector = runner.objects[record.src][obj]
         fast = dst_vector.compare(src_vector)
@@ -506,12 +537,19 @@ class ClusterMonitor:
         return sorted(self.sites, key=sort_key)[:limit]
 
     def health_summary(self) -> Dict[str, Any]:
-        """A JSON-ready digest for benchmark documents and reports."""
+        """A JSON-ready digest for benchmark documents and reports.
+
+        When the watched runner carries a :class:`TopologySpec` the digest
+        additionally rolls scores up per region; when it shards, a shard
+        summary (group count and per-site load spread) is included.  Both
+        keys are simply absent on classic single-region runs, so existing
+        documents are unchanged.
+        """
         final_scores = {site: self.latest(site, "convergence_score")
                         for site in self.sites}
         known = [score for score in final_scores.values()
                  if score is not None]
-        return {
+        summary: Dict[str, Any] = {
             "samples": self.samples,
             "sites": len(self.sites),
             "invariant_violations": self.violation_count,
@@ -521,3 +559,25 @@ class ClusterMonitor:
             "mean_final_score": (sum(known) / len(known)
                                  if known else 1.0),
         }
+        topology = getattr(self._runner, "topology", None)
+        if topology is not None:
+            per_region: Dict[str, Any] = {}
+            for region in topology.regions:
+                scores = [final_scores[site]
+                          for site in topology.region_sites(region.name)
+                          if final_scores.get(site) is not None]
+                per_region[region.name] = {
+                    "sites": region.sites,
+                    "min_final_score": min(scores) if scores else 1.0,
+                    "mean_final_score": (sum(scores) / len(scores)
+                                         if scores else 1.0),
+                }
+            summary["per_region"] = per_region
+        shards = getattr(self._runner, "shards", None)
+        if shards is not None:
+            summary["shards"] = {
+                "groups": len(shards.groups()),
+                "objects": shards.n_objects,
+                "load": shards.load_summary(),
+            }
+        return summary

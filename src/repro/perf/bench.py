@@ -38,7 +38,9 @@ from typing import Any, Dict, List, Optional, Sequence, Tuple
 from repro.errors import ReproError
 from repro.net.channel import ChannelSpec
 from repro.net.cluster import (ClusterConfig, ClusterResult, ClusterRunner,
-                               replay_sequential)
+                               launch_cluster, replay_sequential)
+from repro.net.sharding import ShardMap
+from repro.net.topology import LinkProfile, TopologySpec
 from repro.net.wire import Encoding
 from repro.obs.causal import analyze_tracer
 from repro.obs.metrics import MetricsRegistry, wall_timer
@@ -47,10 +49,22 @@ from repro.obs.trace import Tracer
 from repro.perf.schema import SCHEMA_ID, validate_bench
 from repro.workload.cluster import (chaos_faults, gossip_schedule,
                                     site_names, update_schedule)
+from repro.workload.epidemic import (closing_sweep, epidemic_schedule,
+                                     sharded_update_schedule)
 
 #: Fleet sizes of the standing regression trajectory.
 DEFAULT_SITE_COUNTS = (8, 32, 128)
 DEFAULT_OUTPUT = "BENCH_cluster.json"
+
+#: The standing multi-region fleet of the E13 bench cell: three regions
+#: of 16 sites on fast clean LANs, joined by a slow WAN carrying the
+#: standard chaos mix at 1% nominal loss, objects sharded 3-way on the
+#: consistent-hash ring.
+DEFAULT_BENCH_TOPOLOGY = TopologySpec.grid(
+    3, 16,
+    intra=LinkProfile(latency=0.002, bandwidth=1_000_000.0),
+    inter=LinkProfile(latency=0.04, bandwidth=250_000.0, loss=0.01),
+    replication=3, chaos_seed=11)
 
 
 @dataclass(frozen=True)
@@ -108,6 +122,18 @@ class BenchConfig:
     store_ops: int = 2000
     store_read_ratio: float = 0.9
     store_zipf: float = 1.1
+    #: The multi-region sharded scenario (E13): the ``topology`` fleet —
+    #: regions, link profiles, loss, replication factor, gossip shape —
+    #: replicating ``mr_objects`` objects over the consistent-hash ring,
+    #: disseminated by ``mr_rounds`` epidemic push/pull rounds and closed
+    #: by the deterministic two-phase sweep.  The record always embeds
+    #: the ClusterMonitor health digest (per-region scores, shard load)
+    #: — that visibility is the scenario's point.  ``topology=None``
+    #: skips the scenario (the pre-E13 document shape).
+    topology: Optional[TopologySpec] = DEFAULT_BENCH_TOPOLOGY
+    mr_objects: int = 512
+    mr_rounds: int = 4
+    mr_batch_size: int = 8
 
     def channel(self) -> ChannelSpec:
         """The link model every session runs over."""
@@ -469,11 +495,110 @@ def _run_store_one(config: BenchConfig, *,
     }
 
 
+def _run_multiregion_one(config: BenchConfig, *,
+                         metrics: Optional[MetricsRegistry] = None,
+                         monitor: bool = False,
+                         analyze: bool = False) -> Dict[str, Any]:
+    """One multi-region sharded cell (always SRV, always monitored).
+
+    The fleet comes straight from ``config.topology`` via
+    :func:`~repro.net.cluster.launch_cluster`: consistent-hash sharding
+    at the spec's replication factor, epidemic push/pull dissemination
+    among shard peers, chaos-faulted WAN links, and the deterministic
+    two-phase closing sweep — so ``consistent`` asserts that every
+    replica group converged under loss, not that it probably did.  The
+    monitor rides along unconditionally (ignoring the ``monitor`` flag,
+    which other cells use as an opt-in): the per-region scores and
+    shard-load spread in ``health`` are the scenario's deliverable, and
+    attaching it is deterministic, so the record is identical either
+    way.
+    """
+    spec = config.topology
+    if spec is None:  # pragma: no cover - the grid gates on the spec
+        raise ReproError("multi-region cell needs a BenchConfig.topology")
+    n_sites = spec.n_sites
+    n_objects = config.mr_objects
+    n_updates = max(1, round(n_sites * config.updates_per_site))
+    cell_monitor = _make_monitor(True)
+    cell_tracer = _make_tracer(analyze)
+    runner = launch_cluster(
+        spec, protocol="srv", n_objects=n_objects,
+        batch_size=config.mr_batch_size,
+        encoding=Encoding.for_system(n_sites, max(16, n_updates)),
+        backend=config.backend, metrics=metrics, monitor=cell_monitor,
+        tracer=cell_tracer)
+    shards = runner.shards
+    sessions = epidemic_schedule(
+        spec, shards, rounds=config.mr_rounds, period=config.gossip_period,
+        jitter=config.gossip_jitter, seed=config.seed)
+    updates = sharded_update_schedule(
+        spec, shards, n_updates=n_updates, interval=config.update_interval,
+        seed=config.seed + 1)
+    last = max([request.at for request in sessions]
+               + [update.at for update in updates], default=0.0)
+    sessions = list(sessions) + closing_sweep(shards, start=last + 500.0)
+    start = time.perf_counter()
+    with wall_timer(metrics, "bench.cluster.multiregion.wall_seconds"):
+        result = runner.run(sessions, updates)
+    wall_seconds = time.perf_counter() - start
+    if config.paired:
+        _assert_scheduling_independent(runner.sites, runner.config, result,
+                                       shards=shards)
+    per_session = result.per_session_bits()
+    ranked = sorted(per_session)
+    totals = result.totals
+    return {
+        **_monitor_fields(cell_monitor),
+        **_analyze_fields(cell_tracer),
+        "scenario": "multi-region-sharded",
+        "protocol": "srv",
+        "n_sites": n_sites,
+        "n_objects": n_objects,
+        "batch_size": config.mr_batch_size,
+        "regions": len(spec.regions),
+        "replication": spec.replication,
+        "shard_groups": len(shards.groups()),
+        "shard_load": shards.load_summary(),
+        "loss_rate": spec.inter.loss,
+        "chaos_seed": spec.chaos_seed,
+        "sessions": result.sessions,
+        "skipped_sessions": result.skipped_sessions,
+        "updates": result.updates_applied,
+        "updates_deferred": result.updates_deferred,
+        "reconciliations": result.reconciliations,
+        "total_bits": result.total_bits,
+        "goodput_bits": totals.total_goodput_bits,
+        "retransmitted_bits": totals.total_retransmitted_bits,
+        "retries": totals.retries,
+        "timeouts": totals.timeouts,
+        "resumes": totals.resumes,
+        "goodput_overhead_pct": (
+            (result.total_bits - totals.total_goodput_bits)
+            / totals.total_goodput_bits * 100
+            if totals.total_goodput_bits else 0.0),
+        "traffic": totals.summary(),
+        "bits_per_session": {
+            "mean": sum(per_session) / len(per_session) if per_session else 0,
+            "p50": ranked[len(ranked) // 2] if ranked else 0,
+            "p90": ranked[min(len(ranked) - 1, (9 * len(ranked)) // 10)]
+                   if ranked else 0,
+            "max": ranked[-1] if ranked else 0,
+        },
+        "sim_completion_seconds": result.completion_time,
+        "wall_seconds": wall_seconds,
+        "max_queue_wait_seconds": result.max_queue_wait,
+        "consistent": result.consistent(),
+    }
+
+
 def _assert_scheduling_independent(sites: Sequence[str],
                                    cluster_config: ClusterConfig,
-                                   result: ClusterResult) -> None:
+                                   result: ClusterResult, *,
+                                   shards: Optional[ShardMap] = None
+                                   ) -> None:
     """Concurrent and sequential execution must move identical bits."""
-    sequential, _ = replay_sequential(sites, cluster_config, result.log)
+    sequential, _ = replay_sequential(sites, cluster_config, result.log,
+                                      shards=shards)
     concurrent_bits = result.per_session_bits()
     sequential_bits = [r.stats.total_bits for r in sequential]
     if concurrent_bits != sequential_bits:
@@ -488,8 +613,8 @@ def _assert_scheduling_independent(sites: Sequence[str],
 
 
 #: One grid cell: ``("gossip", protocol, n_sites)``,
-#: ``("batched", batch_size)``, ``("chaos", protocol, loss_rate)``, or
-#: ``("store",)``.
+#: ``("batched", batch_size)``, ``("chaos", protocol, loss_rate)``,
+#: ``("store",)``, or ``("multiregion",)``.
 #: The grid order *is* the document's run order, whether cells run
 #: serially or fan out across workers.
 _BenchTask = Tuple[Any, ...]
@@ -506,6 +631,8 @@ def _task_grid(config: BenchConfig) -> List[_BenchTask]:
                  for protocol in config.protocols)
     if config.store_ops > 0:
         tasks.append(("store",))
+    if config.topology is not None and config.mr_objects > 0:
+        tasks.append(("multiregion",))
     return tasks
 
 
@@ -532,6 +659,9 @@ def _run_task(task_and_config: Tuple[_BenchTask, BenchConfig, bool, bool]
     elif task[0] == "store":
         record = _run_store_one(config, metrics=metrics,
                                 monitor=monitor, analyze=analyze)
+    elif task[0] == "multiregion":
+        record = _run_multiregion_one(config, metrics=metrics,
+                                      monitor=monitor, analyze=analyze)
     else:
         record = _run_batched_one(task[1], config, metrics=metrics,
                                   monitor=monitor, analyze=analyze)
@@ -539,6 +669,8 @@ def _run_task(task_and_config: Tuple[_BenchTask, BenchConfig, bool, bool]
 
 
 def _echo_record(echo: Any, record: Dict[str, Any]) -> None:
+    regions = (f" regions={record['regions']} repl={record['replication']}"
+               if "regions" in record else "")
     batch = (f" batch={record['batch_size']}×{record['n_objects']}obj"
              if "batch_size" in record else "")
     chaos = (f" loss={record['loss_rate']:g} "
@@ -547,8 +679,8 @@ def _echo_record(echo: Any, record: Dict[str, Any]) -> None:
     client = (f" client-ops={record['client']['ops']} "
               f"repairs={record['client']['read_repairs']}"
               if "client" in record else "")
-    echo(f"  {record['protocol']} n={record['n_sites']}{batch}{chaos}"
-         f"{client}: "
+    echo(f"  {record['protocol']} n={record['n_sites']}{regions}"
+         f"{batch}{chaos}{client}: "
          f"{record['sessions']} sessions, "
          f"{record['total_bits']} bits, "
          f"sim {record['sim_completion_seconds']:.2f}s, "
@@ -679,6 +811,7 @@ def bench_main(argv: List[str]) -> int:
     chaos_seed = BenchConfig().chaos_seed
     store_ops = BenchConfig().store_ops
     backend = BenchConfig().backend
+    topology: Optional[TopologySpec] = BenchConfig().topology
 
     def fail(message: str) -> int:
         print(message)
@@ -687,7 +820,7 @@ def bench_main(argv: List[str]) -> int:
               "[--rounds N] [--seed N] "
               "[--workers N] [--profile] [--profile-out bench.pstats] "
               "[--chaos-loss 0.01,0.1] [--chaos-seed N] [--no-chaos] "
-              "[--store-ops N] [--no-store] "
+              "[--store-ops N] [--no-store] [--no-multiregion] "
               "[--monitor] [--analyze] [--out BENCH_cluster.json]")
         return 2
 
@@ -708,6 +841,9 @@ def bench_main(argv: List[str]) -> int:
             index += 1
         elif argument == "--no-store":
             store_ops = 0
+            index += 1
+        elif argument == "--no-multiregion":
+            topology = None
             index += 1
         elif argument in ("--sites", "--protocols", "--backend", "--rounds",
                           "--seed", "--workers", "--profile-out", "--out",
@@ -784,11 +920,16 @@ def bench_main(argv: List[str]) -> int:
     config = BenchConfig(site_counts=site_counts, protocols=protocols,
                          backend=backend, rounds=rounds, seed=seed,
                          chaos_loss_rates=chaos_loss_rates,
-                         chaos_seed=chaos_seed, store_ops=store_ops)
+                         chaos_seed=chaos_seed, store_ops=store_ops,
+                         topology=topology)
+    multiregion = ("off" if topology is None
+                   else f"{len(topology.regions)}×"
+                        f"{topology.regions[0].sites} sites")
     print(f"cluster bench: n ∈ {list(site_counts)}, "
           f"protocols {list(protocols)}, backend {backend}, "
           f"{rounds} rounds, seed {seed}, "
-          f"chaos loss {list(chaos_loss_rates)}, store ops {store_ops}")
+          f"chaos loss {list(chaos_loss_rates)}, store ops {store_ops}, "
+          f"multi-region {multiregion}")
     if profile:
         # Profiling a process pool attributes everything to pickling and
         # waiting; force the serial path so the numbers mean something.

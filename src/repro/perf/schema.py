@@ -55,6 +55,13 @@ Document layout (version ``repro.bench.cluster/1``)::
             "put_latency_seconds": {"p50": 0.01, "p90": ..., "p99": ...},
             "staleness_seconds":   {"p50": 0.08, "p90": ..., "p99": ...}
           },
+          # Multi-region sharded runs (the E13 scenario) additionally
+          # carry the fleet shape and shard accounting:
+          "regions": 3,                    # regions in the TopologySpec
+          "replication": 3,                # replicas per object
+          "shard_groups": 61,              # distinct replica groups
+          "shard_load": {"min": 24.0, "mean": 32.0, "max": 41.0},
+          "skipped_sessions": 0,           # gossip pairs sharing no object
           # Analyzed runs (``--analyze``) additionally carry the causal
           # digest from ``repro.obs.causal``:
           "critical_path_seconds": 4.21,   # convergence critical path
@@ -181,6 +188,20 @@ def _validate_run(errors: List[str], index: int,
                           f"got {run['loss_rate']!r}")
     if "goodput_overhead_pct" in run:
         _check_number(errors, where, run, "goodput_overhead_pct")
+    # Multi-region sharded runs carry the fleet shape and shard
+    # accounting; optional, but when present they must be well-formed.
+    for name in ("regions", "replication", "shard_groups",
+                 "skipped_sessions"):
+        if name in run:
+            _check_number(errors, where, run, name, integer=True)
+    if "shard_load" in run:
+        load = run["shard_load"]
+        if not isinstance(load, dict):
+            errors.append(f"{where}: 'shard_load' must be an object, "
+                          f"got {type(load).__name__}")
+        else:
+            for name in ("min", "mean", "max"):
+                _check_number(errors, f"{where}.shard_load", load, name)
     # Store-workload runs carry the client-felt digest; optional, but
     # when present the counts and percentile maps must be well-formed
     # and the op mix must add up.
@@ -249,6 +270,43 @@ def _validate_run(errors: List[str], index: int,
             if not isinstance(health.get("final_scores"), dict):
                 errors.append(f"{where}.health: missing 'final_scores' "
                               f"object")
+            # Multi-region monitors roll scores up per region and, when
+            # sharded, report the shard-load spread; optional, but when
+            # present each rollup must be well-formed.
+            if "per_region" in health:
+                per_region = health["per_region"]
+                if not isinstance(per_region, dict):
+                    errors.append(f"{where}.health: 'per_region' must be "
+                                  f"an object, "
+                                  f"got {type(per_region).__name__}")
+                else:
+                    for region, stats in per_region.items():
+                        region_where = f"{where}.health.per_region" \
+                                       f"[{region!r}]"
+                        if not isinstance(stats, dict):
+                            errors.append(f"{region_where}: must be an "
+                                          f"object, "
+                                          f"got {type(stats).__name__}")
+                            continue
+                        _check_number(errors, region_where, stats, "sites",
+                                      integer=True)
+                        for name in ("min_final_score",
+                                     "mean_final_score"):
+                            _check_number(errors, region_where, stats,
+                                          name)
+            if "shards" in health:
+                shard_info = health["shards"]
+                if not isinstance(shard_info, dict):
+                    errors.append(f"{where}.health: 'shards' must be an "
+                                  f"object, "
+                                  f"got {type(shard_info).__name__}")
+                else:
+                    for name in ("groups", "objects"):
+                        _check_number(errors, f"{where}.health.shards",
+                                      shard_info, name, integer=True)
+                    if not isinstance(shard_info.get("load"), dict):
+                        errors.append(f"{where}.health.shards: missing "
+                                      f"'load' object")
             if ("invariant_violations" in run
                     and isinstance(run["invariant_violations"], int)
                     and isinstance(health.get("invariant_violations"), int)

@@ -47,7 +47,6 @@ uses for its fleet score.
 
 from __future__ import annotations
 
-import random
 from dataclasses import dataclass, field
 from typing import (Any, Callable, Dict, Iterable, List, Optional, Sequence,
                     Tuple)
@@ -59,6 +58,7 @@ from repro.net.faults import RetryPolicy, derive_seed
 from repro.net.runner import SessionOptions, TimedSessionResult, launch
 from repro.net.simulator import Simulator
 from repro.net.stats import TransferStats
+from repro.net.topology import TopologySpec, uniform_peer_rounds
 from repro.net.wire import DEFAULT_ENCODING, Encoding
 from repro.obs.metrics import MetricsRegistry, observe_session
 from repro.obs.trace import Tracer
@@ -98,6 +98,11 @@ class StoreConfig:
             per-key repair session when the replicas diverge.
         retry: ARQ knobs for faulted channels (inert on perfect links).
         max_steps: per-session effect budget (livelock guard).
+        topology: optional :class:`~repro.net.topology.TopologySpec`;
+            when set, each anti-entropy session prices its hop over the
+            channel of its endpoints' region pair instead of the single
+            shared ``channel`` (``None`` keeps the historical
+            one-channel store byte-identical).
     """
 
     protocol: str = "srv"
@@ -112,6 +117,7 @@ class StoreConfig:
     retry: RetryPolicy = field(default_factory=RetryPolicy)
     max_steps: int = 10_000_000
     backend: str = "array"
+    topology: Optional[TopologySpec] = None
 
     def __post_init__(self) -> None:
         if self.protocol not in registry.names():
@@ -265,9 +271,15 @@ class StoreCluster:
     sound — no other writer can touch a key mid-rollback.
     """
 
-    def __init__(self, sites: Iterable[str], config: StoreConfig, *,
-                 tracer: Optional[Tracer] = None,
+    def __init__(self, sites: Optional[Iterable[str]], config: StoreConfig,
+                 *, tracer: Optional[Tracer] = None,
                  metrics: Optional[MetricsRegistry] = None) -> None:
+        if sites is None:
+            if config.topology is None:
+                raise ValidationError(
+                    "sites=None requires a StoreConfig.topology to name "
+                    "the fleet")
+            sites = config.topology.site_names()
         self.sites = list(sites)
         if len(self.sites) < 2:
             raise ValidationError("a store cluster needs at least two sites")
@@ -478,6 +490,13 @@ class StoreCluster:
             pairs.append((sender, receiver))
         return tuple(pairs)
 
+    def _channel_for(self, src: str, dst: str) -> ChannelSpec:
+        """The channel one session uses — region-pair aware when the
+        config carries a topology, the single shared channel otherwise."""
+        if self.config.topology is None:
+            return self.config.channel
+        return self.config.topology.channel_for(src, dst)
+
     def _start(self, request: _SyncRequest) -> None:
         config = self.config
         src, dst = request.src, request.dst
@@ -498,15 +517,16 @@ class StoreCluster:
         if self.tracer is not None:
             self.tracer.event("session_start", party=dst, peer=src,
                               session=record.index, keys=len(keys))
+        channel = self._channel_for(src, dst)
         common = dict(
             batch_size=config.batch_size if len(keys) > 1 else 1,
-            channel=config.channel, encoding=config.encoding,
+            channel=channel, encoding=config.encoding,
             proc_time=config.proc_time, max_steps=config.max_steps,
             tracer=self.tracer, party_names=(src, dst), retry=config.retry,
             session_id=record.index,
             on_complete=lambda result: self._finish(record, result))
         pairs = self._build_pairs(src, dst, keys, record)
-        if not config.channel.faults.enabled:
+        if not channel.faults.enabled:
             launch(self.sim, SessionOptions(pairs=pairs, **common))
             return
 
@@ -537,7 +557,7 @@ class StoreCluster:
 
         launch(self.sim, SessionOptions(
             rebuild=rebuild, on_abandon=abandon,
-            fault_seed=derive_seed(config.channel.faults.seed, record.index),
+            fault_seed=derive_seed(channel.faults.seed, record.index),
             **common))
 
     def _finish(self, record: StoreSessionRecord,
@@ -670,11 +690,12 @@ def gossip_peers(sites: Sequence[str], *, rounds: int, seed: int = 0
                  ) -> List[Tuple[float, str, str]]:
     """A deterministic anti-entropy pairing: per round, each site pulls
     from a seeded-random peer.  Returns ``(round_index, src, dst)``-style
-    tuples with the round index as a float for direct scheduling."""
-    rng = random.Random(f"store-gossip:{seed}")
-    plan: List[Tuple[float, str, str]] = []
-    for round_no in range(rounds):
-        for dst in sites:
-            src = rng.choice([s for s in sites if s != dst])
-            plan.append((float(round_no), src, dst))
-    return plan
+    tuples with the round index as a float for direct scheduling.
+
+    Delegates to :func:`repro.net.topology.uniform_peer_rounds` — the
+    shared seeded sampler behind both store anti-entropy and cluster
+    gossip — with the historical ``store-gossip`` stream label, so the
+    plan (and every committed store digest built on it) stays
+    byte-identical to the pre-topology implementation.
+    """
+    return uniform_peer_rounds(sites, rounds=rounds, seed=seed)

@@ -17,7 +17,7 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass
-from typing import List, Optional, Sequence
+from typing import List, Optional, Sequence, Tuple
 
 from repro.net.faults import FaultSpec
 from repro.workload.topology import RandomPairTopology, Topology
@@ -29,11 +29,17 @@ class SessionRequest:
 
     ``at`` is the earliest simulated start time; a runner with per-site
     session queues may start the session later if either endpoint is busy.
+    ``objs`` optionally restricts a *sharded* session to a subset of the
+    pair's shared objects (the deterministic closing sweep uses this to
+    scope each session to the replica groups it closes); ``None`` — the
+    default — syncs everything the pair shares, and unsharded runners
+    ignore the field entirely.
     """
 
     at: float
     src: str
     dst: str
+    objs: Optional[Tuple[int, ...]] = None
 
 
 @dataclass(frozen=True)

@@ -1,0 +1,196 @@
+"""Tests for consistent-hash sharding (`repro.net.sharding`).
+
+The hypothesis properties here are the contract the topology API
+advertises: ring assignment is *balanced* (vnodes smooth per-site load)
+and *stable* (a single join/leave moves only a bounded fraction of the
+keys) — the two facts that make consistent hashing worth the SHA-256s.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+import pytest
+
+from repro.errors import ValidationError
+from repro.net.sharding import (HashRing, ShardMap, build_shard_map,
+                                object_key)
+from repro.net.topology import TopologySpec
+from repro.workload.cluster import site_names
+
+
+def ring(n_sites=8, **kwargs):
+    kwargs.setdefault("replication", 3)
+    return HashRing(site_names(n_sites), **kwargs)
+
+
+KEYS = [object_key(obj) for obj in range(400)]
+
+
+class TestHashRingBasics:
+    def test_replica_groups_are_distinct_sites_of_the_right_size(self):
+        r = ring()
+        for key in KEYS[:50]:
+            group = r.replicas_for(key)
+            assert len(group) == 3
+            assert len(set(group)) == 3
+            assert set(group) <= set(r.sites)
+
+    def test_assignment_is_a_pure_function_of_inputs(self):
+        a, b = ring(salt="ring:0"), ring(salt="ring:0")
+        assert [a.replicas_for(k) for k in KEYS] \
+            == [b.replicas_for(k) for k in KEYS]
+
+    def test_salt_changes_the_assignment(self):
+        a, b = ring(salt="ring:0"), ring(salt="ring:1")
+        assert [a.replicas_for(k) for k in KEYS] \
+            != [b.replicas_for(k) for k in KEYS]
+
+    def test_primary_is_the_first_replica(self):
+        r = ring()
+        for key in KEYS[:20]:
+            assert r.primary_for(key) == r.replicas_for(key)[0]
+
+    def test_replication_one_is_a_plain_partition(self):
+        r = ring(replication=1)
+        counts = r.load(KEYS)
+        assert sum(counts.values()) == len(KEYS)
+
+    def test_validation(self):
+        with pytest.raises(ValidationError):
+            HashRing([])
+        with pytest.raises(ValidationError):
+            HashRing(["S000", "S000"])
+        with pytest.raises(ValidationError):
+            HashRing(site_names(2), replication=3)
+        with pytest.raises(ValidationError):
+            HashRing(site_names(2), replication=1, vnodes=0)
+        with pytest.raises(ValidationError):
+            ring().with_site("S000")
+        with pytest.raises(ValidationError):
+            ring().without_site("S999")
+
+
+class TestRingProperties:
+    @settings(max_examples=25, deadline=None)
+    @given(n_sites=st.integers(4, 20), seed=st.integers(0, 1_000))
+    def test_load_is_balanced(self, n_sites, seed):
+        # With 64 vnodes/site the per-site share of 400 keys × 3
+        # replicas stays within 3× of the fair share, and nobody
+        # starves.  (The bound is deliberately loose — the point is "no
+        # site owns half the ring", not a tail estimate.)
+        r = HashRing(site_names(n_sites), replication=3,
+                     salt=f"ring:{seed}")
+        counts = r.load(KEYS)
+        fair = len(KEYS) * 3 / n_sites
+        assert all(count > 0 for count in counts.values())
+        assert max(counts.values()) < 3 * fair
+
+    @settings(max_examples=25, deadline=None)
+    @given(n_sites=st.integers(5, 16), seed=st.integers(0, 1_000),
+           leaver=st.integers(0, 4))
+    def test_single_leave_moves_bounded_keys(self, n_sites, seed, leaver):
+        # The consistent-hashing contract: removing one site only
+        # reassigns keys whose group contained it — every other key's
+        # replica group is untouched.
+        before = HashRing(site_names(n_sites), replication=3,
+                          salt=f"ring:{seed}")
+        gone = before.sites[leaver]
+        after = before.without_site(gone)
+        moved = 0
+        for key in KEYS:
+            old = before.replicas_for(key)
+            new = after.replicas_for(key)
+            if gone not in old:
+                assert new == old
+            else:
+                moved += 1
+                # The survivors keep their relative order; exactly one
+                # replacement site is spliced in.
+                survivors = [site for site in old if site != gone]
+                assert [site for site in new if site in survivors] \
+                    == survivors
+                assert len(set(new) - set(old)) == 1
+        # Expected share of groups containing one given site is
+        # replication/n_sites; assert a loose multiple of it.
+        assert moved < len(KEYS) * 3 * 3 / n_sites
+
+    @settings(max_examples=25, deadline=None)
+    @given(n_sites=st.integers(4, 15), seed=st.integers(0, 1_000))
+    def test_single_join_moves_bounded_keys(self, n_sites, seed):
+        before = HashRing(site_names(n_sites), replication=3,
+                          salt=f"ring:{seed}")
+        joined = f"S{n_sites:03d}"
+        after = before.with_site(joined)
+        moved = 0
+        for key in KEYS:
+            old = before.replicas_for(key)
+            new = after.replicas_for(key)
+            if new == old:
+                continue
+            moved += 1
+            # The only change a join can make: the new site displaces
+            # one old replica; the survivors keep their order.
+            assert joined in new
+            assert [site for site in new if site != joined] \
+                == [site for site in old if site in new]
+        assert moved < len(KEYS) * 3 * 3 / (n_sites + 1)
+
+    def test_join_then_leave_round_trips(self):
+        before = ring()
+        assert [before.replicas_for(k) for k in KEYS] \
+            == [before.with_site("S999").without_site("S999")
+                .replicas_for(k) for k in KEYS]
+
+
+class TestShardMap:
+    def test_hosted_and_peers_mirror_the_groups(self):
+        shards = ShardMap([("S000", "S001"), ("S001", "S002"),
+                           ("S000", "S002")])
+        assert shards.hosted["S001"] == (0, 1)
+        assert shards.hosts("S002", 1) and not shards.hosts("S002", 0)
+        assert shards.shard_peers["S000"] == ("S001", "S002")
+        assert shards.shared_objects("S000", "S001") == (0,)
+        assert shards.shared_objects("S001", "S000") == (0,)
+        assert shards.sites == ("S000", "S001", "S002")
+
+    def test_groups_deduplicate_in_first_object_order(self):
+        shards = ShardMap([("S000", "S001"), ("S002",),
+                           ("S000", "S001")])
+        assert shards.groups() == [("S000", "S001"), ("S002",)]
+
+    def test_load_summary(self):
+        shards = ShardMap([("S000", "S001"), ("S000",)])
+        assert shards.load_summary() == {"max": 2.0, "min": 1.0,
+                                         "mean": 1.5}
+
+    def test_validation(self):
+        with pytest.raises(ValidationError):
+            ShardMap([])
+        with pytest.raises(ValidationError):
+            ShardMap([()])
+        with pytest.raises(ValidationError):
+            ShardMap([("S000", "S000")])
+
+
+class TestBuildShardMap:
+    def test_spec_seed_salts_the_ring(self):
+        spec_a = TopologySpec.grid(2, 4, replication=2, seed=0)
+        spec_b = TopologySpec.grid(2, 4, replication=2, seed=1)
+        map_a = build_shard_map(spec_a, 64)
+        assert map_a.replicas != build_shard_map(spec_b, 64).replicas
+        assert map_a.replicas == build_shard_map(spec_a, 64).replicas
+
+    def test_replication_defaults_to_the_spec(self):
+        spec = TopologySpec.grid(2, 4, replication=3)
+        shards = build_shard_map(spec, 32)
+        assert all(len(group) == 3 for group in shards.replicas)
+        override = build_shard_map(spec, 32, replication=2)
+        assert all(len(group) == 2 for group in override.replicas)
+
+    def test_unsharded_spec_needs_an_explicit_factor(self):
+        spec = TopologySpec.grid(2, 4)
+        with pytest.raises(ValidationError):
+            build_shard_map(spec, 32)
+        assert build_shard_map(spec, 32, replication=1).n_objects == 32
+        with pytest.raises(ValidationError):
+            build_shard_map(spec, 0, replication=1)

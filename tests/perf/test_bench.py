@@ -6,31 +6,44 @@ import pytest
 
 from repro.__main__ import main as repro_main
 from repro.obs.metrics import MetricsRegistry
+from repro.net.topology import LinkProfile, TopologySpec
 from repro.perf.bench import (BenchConfig, bench_fingerprint, bench_main,
                               format_bench_table, run_cluster_bench,
                               write_bench)
 from repro.perf.schema import SCHEMA_ID, validate_bench, validate_file
 
-#: A deliberately tiny sweep so driver tests stay fast (no batched or
-#: chaos scenario; those have their own tests below).
+#: A deliberately tiny sweep so driver tests stay fast (no batched,
+#: chaos, or multi-region scenario; those have their own tests below).
 TINY = BenchConfig(site_counts=(4,), rounds=2, updates_per_site=1.0,
-                   batched_sizes=(), chaos_loss_rates=(), store_ops=0)
+                   batched_sizes=(), chaos_loss_rates=(), store_ops=0,
+                   topology=None)
 #: The batched scenario alone, shrunk.
 TINY_BATCHED = BenchConfig(site_counts=(), protocols=(), rounds=2,
                            updates_per_site=1.0, batched_site_count=4,
                            batched_objects=6, batched_sizes=(1, 4),
-                           chaos_loss_rates=(), store_ops=0)
+                           chaos_loss_rates=(), store_ops=0,
+                           topology=None)
 #: The chaos scenario alone, shrunk.
 TINY_CHAOS = BenchConfig(site_counts=(), protocols=("srv",), rounds=2,
                          updates_per_site=1.0, batched_site_count=4,
                          batched_objects=4, batched_sizes=(),
                          chaos_batch_size=4, chaos_loss_rates=(0.05,),
-                         store_ops=0)
+                         store_ops=0, topology=None)
 #: The store-workload scenario alone, shrunk.
 TINY_STORE = BenchConfig(site_counts=(), protocols=(), rounds=2,
                          batched_sizes=(), chaos_loss_rates=(),
                          store_site_count=4, store_keys=6,
-                         store_clients=8, store_ops=400)
+                         store_clients=8, store_ops=400, topology=None)
+#: The multi-region sharded scenario alone, shrunk: 2 regions × 4 sites,
+#: 12 objects replicated 2-way, 2% WAN loss.
+TINY_MULTIREGION = BenchConfig(
+    site_counts=(), protocols=(), rounds=2, updates_per_site=1.0,
+    batched_sizes=(), chaos_loss_rates=(), store_ops=0,
+    topology=TopologySpec.grid(
+        2, 4,
+        inter=LinkProfile(latency=0.01, bandwidth=500_000.0, loss=0.02),
+        replication=2, chaos_seed=11),
+    mr_objects=12, mr_rounds=2, mr_batch_size=4)
 
 
 class TestRunClusterBench:
@@ -43,7 +56,8 @@ class TestRunClusterBench:
     def test_runs_cover_the_requested_grid(self):
         config = BenchConfig(site_counts=(4, 6), protocols=("srv",),
                              rounds=2, batched_sizes=(),
-                             chaos_loss_rates=(), store_ops=0)
+                             chaos_loss_rates=(), store_ops=0,
+                             topology=None)
         document = run_cluster_bench(config)
         grid = [(r["protocol"], r["n_sites"]) for r in document["runs"]]
         assert grid == [("srv", 4), ("srv", 6)]
@@ -79,7 +93,8 @@ class TestRunClusterBench:
         metrics = MetricsRegistry()
         run_cluster_bench(BenchConfig(site_counts=(4,), protocols=("srv",),
                                       rounds=2, batched_sizes=(),
-                                      chaos_loss_rates=(), store_ops=0),
+                                      chaos_loss_rates=(), store_ops=0,
+                                      topology=None),
                           metrics=metrics)
         snapshot = metrics.snapshot()
         assert snapshot["counters"]["cluster.srv.sessions"] == 8
@@ -132,7 +147,7 @@ class TestChaosScenario:
         out = str(tmp_path / "bench.json")
         assert bench_main(["--sites", "4", "--rounds", "2",
                            "--protocols", "srv", "--no-chaos",
-                           "--no-store", "--out", out]) == 0
+                           "--no-store", "--no-multiregion", "--out", out]) == 0
         with open(out) as handle:
             document = json.load(handle)
         assert all(run["scenario"] != "chaos-loss"
@@ -189,7 +204,8 @@ class TestStoreScenario:
         config = BenchConfig(site_counts=(4,), protocols=("srv",),
                              rounds=2, batched_sizes=(),
                              chaos_loss_rates=(), store_site_count=4,
-                             store_keys=6, store_clients=8, store_ops=400)
+                             store_keys=6, store_clients=8, store_ops=400,
+                             topology=None)
         serial = run_cluster_bench(config, created_unix=0.0)
         parallel = run_cluster_bench(config, created_unix=0.0, workers=2)
         assert bench_fingerprint(serial) == bench_fingerprint(parallel)
@@ -211,7 +227,8 @@ class TestStoreScenario:
         out = str(tmp_path / "bench.json")
         assert bench_main(["--sites", "4", "--rounds", "2",
                            "--protocols", "srv", "--no-chaos",
-                           "--store-ops", "300", "--out", out]) == 0
+                           "--store-ops", "300", "--no-multiregion",
+                           "--out", out]) == 0
         with open(out) as handle:
             document = json.load(handle)
         (run,) = [r for r in document["runs"]
@@ -223,11 +240,97 @@ class TestStoreScenario:
         out = str(tmp_path / "bench.json")
         assert bench_main(["--sites", "4", "--rounds", "2",
                            "--protocols", "srv", "--no-chaos",
-                           "--no-store", "--out", out]) == 0
+                           "--no-store", "--no-multiregion", "--out", out]) == 0
         with open(out) as handle:
             document = json.load(handle)
         assert all(run["scenario"] != "store-workload"
                    for run in document["runs"])
+        capsys.readouterr()
+
+
+class TestMultiRegionScenario:
+    def test_record_carries_fleet_and_shard_fields(self):
+        document = run_cluster_bench(TINY_MULTIREGION)
+        assert validate_bench(document) == []
+        (run,) = document["runs"]
+        assert run["scenario"] == "multi-region-sharded"
+        assert run["protocol"] == "srv"
+        assert run["n_sites"] == 8
+        assert run["n_objects"] == TINY_MULTIREGION.mr_objects
+        assert run["regions"] == 2
+        assert run["replication"] == 2
+        assert run["shard_groups"] >= 1
+        assert run["shard_load"]["max"] >= run["shard_load"]["min"]
+        assert run["loss_rate"] == 0.02
+        assert run["goodput_bits"] + run["retransmitted_bits"] \
+            == run["total_bits"]
+
+    def test_cell_converges_and_is_always_monitored(self):
+        # The closing sweep makes convergence structural, and the health
+        # digest (per-region scores, shard load) rides along even
+        # without the --monitor opt-in — it is the scenario's point.
+        document = run_cluster_bench(TINY_MULTIREGION)
+        (run,) = document["runs"]
+        assert run["consistent"] is True
+        assert run["invariant_violations"] == 0
+        health = run["health"]
+        assert health["min_final_score"] == 1.0
+        assert set(health["per_region"]) == {"r0", "r1"}
+        for stats in health["per_region"].values():
+            assert stats["sites"] == 4
+            assert stats["min_final_score"] == 1.0
+        assert health["shards"]["objects"] == TINY_MULTIREGION.mr_objects
+
+    def test_cells_are_deterministic(self):
+        first = run_cluster_bench(TINY_MULTIREGION, created_unix=0.0)
+        second = run_cluster_bench(TINY_MULTIREGION, created_unix=0.0)
+        assert bench_fingerprint(first) == bench_fingerprint(second)
+        assert first["runs"][0]["health"] == second["runs"][0]["health"]
+
+    def test_no_topology_skips_the_scenario(self):
+        document = run_cluster_bench(TINY)
+        assert all(run["scenario"] != "multi-region-sharded"
+                   for run in document["runs"])
+
+    def test_parallel_matches_serial(self):
+        serial = run_cluster_bench(TINY_MULTIREGION, created_unix=0.0)
+        parallel = run_cluster_bench(TINY_MULTIREGION, created_unix=0.0,
+                                     workers=2)
+        assert bench_fingerprint(serial) == bench_fingerprint(parallel)
+
+    def test_topology_is_embedded_in_the_document(self):
+        document = run_cluster_bench(TINY_MULTIREGION)
+        embedded = document["config"]["topology"]
+        assert [region["name"] for region in embedded["regions"]] \
+            == ["r0", "r1"]
+        assert embedded["replication"] == 2
+        assert embedded["inter"]["loss"] == 0.02
+
+    def test_no_multiregion_flag_skips_the_scenario(self, tmp_path,
+                                                    capsys):
+        out = str(tmp_path / "bench.json")
+        assert bench_main(["--sites", "4", "--rounds", "2",
+                           "--protocols", "srv", "--no-chaos",
+                           "--no-store", "--no-multiregion",
+                           "--out", out]) == 0
+        with open(out) as handle:
+            document = json.load(handle)
+        assert document["config"]["topology"] is None
+        assert all(run["scenario"] != "multi-region-sharded"
+                   for run in document["runs"])
+        capsys.readouterr()
+
+    def test_default_cli_includes_the_scenario(self, tmp_path, capsys):
+        out = str(tmp_path / "bench.json")
+        assert bench_main(["--sites", "4", "--rounds", "2",
+                           "--protocols", "srv", "--no-chaos",
+                           "--no-store", "--out", out]) == 0
+        with open(out) as handle:
+            document = json.load(handle)
+        (run,) = [r for r in document["runs"]
+                  if r["scenario"] == "multi-region-sharded"]
+        assert run["n_sites"] == 48
+        assert run["consistent"] is True
         capsys.readouterr()
 
 
@@ -240,7 +343,8 @@ class TestParallelDriver:
 
     def test_parallel_metrics_merge_matches_serial(self):
         config = BenchConfig(site_counts=(4,), protocols=("crv", "srv"),
-                             rounds=2, batched_sizes=(), store_ops=0)
+                             rounds=2, batched_sizes=(), store_ops=0,
+                             topology=None)
         serial_metrics = MetricsRegistry()
         run_cluster_bench(config, metrics=serial_metrics)
         parallel_metrics = MetricsRegistry()
@@ -285,7 +389,7 @@ class TestAnalyzedBench:
     def test_cli_flag(self, tmp_path, capsys):
         out = tmp_path / "bench.json"
         assert bench_main(["--sites", "4", "--protocols", "srv",
-                           "--rounds", "2", "--no-chaos", "--no-store",
+                           "--rounds", "2", "--no-chaos", "--no-store", "--no-multiregion",
                            "--analyze", "--out", str(out)]) == 0
         capsys.readouterr()
         document = json.loads(out.read_text(encoding="utf-8"))
@@ -334,7 +438,8 @@ class TestBenchCli:
     def test_bench_writes_and_reports(self, tmp_path, capsys):
         out = str(tmp_path / "BENCH_cluster.json")
         assert bench_main(["--sites", "4", "--rounds", "2",
-                           "--store-ops", "300", "--out", out]) == 0
+                           "--store-ops", "300", "--no-multiregion",
+                           "--out", out]) == 0
         assert validate_file(out) == []
         stdout = capsys.readouterr().out
         assert "wrote" in stdout and SCHEMA_ID in stdout
@@ -343,7 +448,7 @@ class TestBenchCli:
         out = str(tmp_path / "bench.json")
         assert bench_main(["--sites", "4", "--rounds", "2",
                            "--protocols", "srv", "--no-store",
-                           "--out", out]) == 0
+                           "--no-multiregion", "--out", out]) == 0
         with open(out) as handle:
             document = json.load(handle)
         gossip = [r["protocol"] for r in document["runs"]
@@ -357,14 +462,15 @@ class TestBenchCli:
         out = str(tmp_path / "bench.json")
         assert bench_main(["--sites", "4", "--rounds", "2",
                            "--protocols", "srv", "--workers", "2",
-                           "--no-store", "--out", out]) == 0
+                           "--no-store", "--no-multiregion", "--out", out]) == 0
         assert validate_file(out) == []
 
     def test_profile_flag_dumps_stats(self, tmp_path, capsys):
         out = str(tmp_path / "bench.json")
         pstats_out = str(tmp_path / "bench.pstats")
         assert bench_main(["--sites", "4", "--rounds", "2",
-                           "--protocols", "srv", "--no-store", "--profile",
+                           "--protocols", "srv", "--no-store",
+                           "--no-multiregion", "--profile",
                            "--profile-out", pstats_out, "--out", out]) == 0
         assert (tmp_path / "bench.pstats").exists()
         stdout = capsys.readouterr().out
@@ -388,7 +494,7 @@ class TestBenchCli:
                                           monkeypatch):
         monkeypatch.chdir(tmp_path)
         assert repro_main(["bench", "--sites", "4", "--rounds", "2",
-                           "--no-store"]) == 0
+                           "--no-store", "--no-multiregion"]) == 0
         assert (tmp_path / "BENCH_cluster.json").exists()
         capsys.readouterr()
 
@@ -432,7 +538,8 @@ class TestMonitoredBench:
         out = str(tmp_path / "bench.json")
         assert bench_main(["--sites", "4", "--rounds", "2",
                            "--protocols", "srv", "--no-chaos",
-                           "--no-store", "--monitor", "--out", out]) == 0
+                           "--no-store", "--no-multiregion",
+                           "--monitor", "--out", out]) == 0
         with open(out) as handle:
             document = json.load(handle)
         assert validate_bench(document) == []

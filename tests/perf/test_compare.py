@@ -12,7 +12,7 @@ from repro.perf.compare import (compare_documents, format_comparison,
 #: One tiny gossip cell plus nothing else — fast and fully paired.
 TINY = BenchConfig(site_counts=(4,), protocols=("srv",), rounds=2,
                    updates_per_site=1.0, batched_sizes=(),
-                   chaos_loss_rates=(), store_ops=0)
+                   chaos_loss_rates=(), store_ops=0, topology=None)
 
 
 @pytest.fixture(scope="module")
