@@ -216,14 +216,17 @@ def _usage() -> None:
           "       python -m repro bench [--sites 8,32,128] [--workers N] "
           "[--profile] [--out BENCH_cluster.json]\n"
           "       python -m repro store [--demo] [--sites N] [--ops N] "
-          "[--loss F] [--seed N]\n"
+          "[--loss F] [--seed N] [--monitor] [--strict-consistency] "
+          "[--prom PATH] [--otlp PATH] [--html PATH] [--consistency PATH] "
+          "[--trace PATH]\n"
           "       python -m repro monitor [--protocols brv,crv,srv] "
           "[--loss 0.1] [--strict-invariants] [--html report.html]\n"
           "       python -m repro analyze <trace.jsonl>|--fleet "
           "[--critical-path] [--attribute] [--waterfall] [--json PATH]\n"
           "       python -m repro history BENCH1.json BENCH2.json ... "
           "[--gate]\n"
-          "       python -m repro otlp-validate <export.json>\n\n"
+          "       python -m repro otlp-validate <export.json> "
+          "[--schema schema.json]\n\n"
           "demos:")
     for name, fn in DEMOS.items():
         print(f"  {name:12} {fn.__doc__.splitlines()[0]}")

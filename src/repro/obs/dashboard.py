@@ -6,6 +6,12 @@ ranking (lowest convergence score first) and the invariant-checker
 verdict.  The HTML report is fully self-contained (inline CSS, inline
 SVG polylines, zero external assets), so CI can archive it as a single
 artifact and a browser anywhere can open it.
+
+The same shapes exist for the store's
+:class:`~repro.obs.consistency.ConsistencyMonitor` —
+:func:`render_consistency_dashboard` (per-site divergence sparklines,
+the per-key worst-offender panel, the session-guarantee verdict) and
+:func:`render_consistency_html_report`.
 """
 
 from __future__ import annotations
@@ -13,6 +19,7 @@ from __future__ import annotations
 import html
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
+from repro.obs.consistency import CONSISTENCY_GAUGE_NAMES, ConsistencyMonitor
 from repro.obs.monitor import GAUGE_NAMES, ClusterMonitor
 
 #: Eight-level block ramp, lowest to highest.
@@ -26,6 +33,14 @@ _HEADERS = {
     "segment_count": "segments",
     "pressure": "pressure",
     "convergence_score": "converge",
+}
+
+#: Consistency gauge -> short column header for the terminal table.
+_CONSISTENCY_HEADERS = {
+    "sibling_population": "siblings",
+    "frontier_distance": "frontier",
+    "anti_entropy_lag": "ae lag",
+    "replication_lag": "repl lag",
 }
 
 
@@ -254,3 +269,169 @@ def write_html_report(path: str, monitors: Dict[str, ClusterMonitor],
     """Render and write the report to ``path`` (UTF-8)."""
     with open(path, "w", encoding="utf-8") as handle:
         handle.write(render_html_report(monitors, **kwargs))
+
+
+# -- consistency observatory views -------------------------------------------------
+
+
+def render_consistency_dashboard(monitor: ConsistencyMonitor, *,
+                                 width: int = 16, offenders: int = 5,
+                                 max_sites: Optional[int] = None) -> str:
+    """The store consistency dashboard: divergence sparklines per site,
+    visibility percentiles, the per-key worst-offender panel, and the
+    session-guarantee verdict."""
+    lines: List[str] = []
+    site_width = max([len(site) for site in monitor.sites] + [4])
+    header = "  ".join(_CONSISTENCY_HEADERS[name].center(width)
+                       for name in CONSISTENCY_GAUGE_NAMES)
+    lines.append(f"{'site'.ljust(site_width)}  {header}")
+    shown = (monitor.sites if max_sites is None
+             else monitor.sites[:max_sites])
+    for site in shown:
+        cells = [sparkline([value for _, value in monitor.series(site, name)],
+                           width)
+                 for name in CONSISTENCY_GAUGE_NAMES]
+        lines.append(f"{site.ljust(site_width)}  " + "  ".join(cells))
+    if len(shown) < len(monitor.sites):
+        lines.append(f"{'…'.ljust(site_width)}  "
+                     f"({len(monitor.sites) - len(shown)} more sites)")
+    summary = monitor.summary()
+    w_k = summary["w_k_seconds"]
+    w_all = summary["w_all_seconds"]
+    lines.append("")
+    lines.append(
+        f"write visibility (k={summary['visibility_k']}, "
+        f"{summary['writes_tracked']} writes, "
+        f"{summary['writes_pending']} pending):")
+    for label, quantiles in (("w_k", w_k), ("w_all", w_all)):
+        lines.append(
+            f"  {label:<6} p50={quantiles['p50'] * 1000:8.3f}ms  "
+            f"p90={quantiles['p90'] * 1000:8.3f}ms  "
+            f"p99={quantiles['p99'] * 1000:8.3f}ms  "
+            f"p999={quantiles['p999'] * 1000:8.3f}ms")
+    lines.append(
+        f"replication lag: max "
+        f"{summary['max_replication_lag_seconds'] * 1000:.3f}ms")
+    per_region = summary.get("per_region")
+    if per_region:
+        lines.append("")
+        name_width = max([len(name) for name in per_region] + [6])
+        lines.append(f"{'region'.ljust(name_width)}  sites  "
+                     f"max lag ms  mean lag ms")
+        for name, stats in per_region.items():
+            lines.append(
+                f"{name.ljust(name_width)}  {stats['sites']:>5}  "
+                f"{stats['max_replication_lag_seconds'] * 1000:>10.3f}  "
+                f"{stats['mean_replication_lag_seconds'] * 1000:>11.3f}")
+    lines.append("")
+    lines.append("worst keys (violations, max siblings, spread):")
+    for rank, entry in enumerate(monitor.worst_keys(offenders), 1):
+        lines.append(
+            f"  {rank}. {entry['key']:<12} "
+            f"violations={entry['violations']:>4} "
+            f"siblings={entry['max_siblings']:>3} "
+            f"spread={entry['staleness_spread_seconds'] * 1000:.3f}ms")
+    lines.append("")
+    audit = summary["audit"]
+    if monitor.violation_count:
+        lines.append(
+            f"CONSISTENCY VIOLATIONS: {monitor.violation_count} "
+            f"(ryw={audit['read_your_writes']} "
+            f"monotonic={audit['monotonic_reads']} "
+            f"resurrection={audit['resurrections']}) over "
+            f"{audit['ops_audited']} audited ops, "
+            f"{audit['clients_affected']} clients affected")
+        for violation in monitor.violations[:10]:
+            stamp = (f"t={violation.time:.3f}" if violation.time is not None
+                     else "t=?")
+            lines.append(f"  [{violation.check}] {stamp} "
+                         f"{violation.message}")
+    else:
+        lines.append(f"session guarantees: all checks passed "
+                     f"({audit['ops_audited']} ops audited, "
+                     f"{monitor.samples} samples)")
+    return "\n".join(lines)
+
+
+def render_consistency_html_report(
+        monitors: Dict[str, ConsistencyMonitor], *,
+        title: str = "repro store consistency observatory") -> str:
+    """A self-contained static HTML report over one consistency monitor
+    per label: replication-lag series per site, visibility percentiles,
+    the per-key worst-offender panel, and the audit verdict."""
+    parts: List[str] = [
+        "<!DOCTYPE html>",
+        '<html lang="en"><head><meta charset="utf-8">',
+        f"<title>{html.escape(title)}</title>",
+        f"<style>{_HTML_STYLE}</style></head><body>",
+        f"<h1>{html.escape(title)}</h1>",
+    ]
+    for label, monitor in monitors.items():
+        summary = monitor.summary()
+        audit = summary["audit"]
+        verdict = ("all session guarantees held"
+                   if not monitor.violation_count
+                   else f"{monitor.violation_count} consistency "
+                        f"violation(s)")
+        verdict_class = "ok" if not monitor.violation_count else "bad"
+        w_all = summary["w_all_seconds"]
+        parts.append(f"<h2>{html.escape(label)}</h2>")
+        parts.append(
+            f'<p class="meta">{summary["sites"]} sites · '
+            f'{summary["samples"]} samples · '
+            f'{summary["writes_tracked"]} writes tracked · '
+            f'w_all p99 {w_all["p99"] * 1000:.3f}ms / '
+            f'p999 {w_all["p999"] * 1000:.3f}ms · '
+            f'{audit["ops_audited"]} ops audited · '
+            f'<span class="{verdict_class}">{verdict}</span></p>')
+        parts.append("<table><tr><th>site</th>"
+                     "<th>replication lag</th>"
+                     "<th class=num>final lag s</th>"
+                     "<th class=num>ae lag s</th>"
+                     "<th class=num>siblings</th>"
+                     "<th class=num>frontier</th></tr>")
+        for site in monitor.sites:
+            lag_series = monitor.series(site, "replication_lag")
+            lag = monitor.latest(site, "replication_lag") or 0.0
+            ae_lag = monitor.latest(site, "anti_entropy_lag") or 0.0
+            siblings = monitor.latest(site, "sibling_population") or 0
+            frontier = monitor.latest(site, "frontier_distance") or 0
+            lag_class = "ok" if lag == 0.0 else "bad"
+            parts.append(
+                f"<tr><td>{html.escape(site)}</td>"
+                f"<td>{_svg_series(lag_series, color='#b45309')}</td>"
+                f'<td class="num {lag_class}">{lag:.6f}</td>'
+                f'<td class="num">{ae_lag:.6f}</td>'
+                f'<td class="num">{int(siblings)}</td>'
+                f'<td class="num">{int(frontier)}</td></tr>')
+        parts.append("</table>")
+        parts.append("<h3>worst keys</h3>")
+        parts.append("<table><tr><th>key</th>"
+                     "<th class=num>violations</th>"
+                     "<th class=num>max siblings</th>"
+                     "<th class=num>staleness spread s</th></tr>")
+        for entry in summary["worst_keys"]:
+            parts.append(
+                f"<tr><td>{html.escape(entry['key'])}</td>"
+                f'<td class="num">{entry["violations"]}</td>'
+                f'<td class="num">{entry["max_siblings"]}</td>'
+                f'<td class="num">'
+                f'{entry["staleness_spread_seconds"]:.6f}</td></tr>')
+        parts.append("</table>")
+        if monitor.violation_count:
+            parts.append("<h3>violations</h3><ul>")
+            for violation in monitor.violations[:50]:
+                parts.append(f"<li><code>{html.escape(violation.check)}"
+                             f"</code> {html.escape(violation.message)}"
+                             f"</li>")
+            parts.append("</ul>")
+    parts.append("</body></html>")
+    return "\n".join(parts)
+
+
+def write_consistency_html_report(path: str,
+                                  monitors: Dict[str, ConsistencyMonitor],
+                                  **kwargs: Any) -> None:
+    """Render and write the consistency report to ``path`` (UTF-8)."""
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(render_consistency_html_report(monitors, **kwargs))

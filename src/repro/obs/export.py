@@ -25,14 +25,25 @@ TIMELINE_GLYPHS: Dict[str, str] = {
     _trace.TIMEOUT: "⏱",
     _trace.SESSION_ABORT: "⊘",
     _trace.INVARIANT_VIOLATION: "‼",
+    _trace.READ_REPAIR: "⇄",
+    _trace.CONSISTENCY_VIOLATION: "⚠",
 }
 
 #: Glyph for a ``control`` event carrying ``signal="session_resume"``.
 RESUME_GLYPH = "⟲"
 
+#: Per-op glyphs for ``store_op`` events, keyed on ``fields["op"]``.
+STORE_OP_GLYPHS: Dict[str, str] = {
+    "put": "⊕",
+    "get": "⊙",
+    "delete": "⊖",
+}
+
 
 def _kind_cell(event: TraceEvent) -> str:
     glyph = TIMELINE_GLYPHS.get(event.kind)
+    if glyph is None and event.kind == _trace.STORE_OP:
+        glyph = STORE_OP_GLYPHS.get(str(event.fields.get("op")))
     if (glyph is None and event.kind == _trace.CONTROL
             and event.fields.get("signal") == "session_resume"):
         glyph = RESUME_GLYPH
@@ -108,11 +119,14 @@ def render_timeline(events: Iterable[TraceEvent], *,
     Columns: sequence, simulated time (blank under the instant driver),
     party, kind (indented by span nesting depth; reliability events get
     distinct glyphs — ``✗`` fault, ``↻`` retry, ``⏱`` timeout, ``⊘``
-    abort, ``⟲`` resume, ``‼`` invariant violation), message type, bits,
-    and the event's extra fields as ``key=value`` pairs.  ``kinds``
-    keeps only the named event kinds (``"session_resume"`` selects the
-    ``control`` events carrying that signal); ``max_events`` truncates
-    long traces with an elision line.
+    abort, ``⟲`` resume, ``‼`` invariant violation, ``⇄`` read repair,
+    ``⚠`` consistency violation, and ``⊕``/``⊙``/``⊖`` for store
+    put/get/delete), message type, bits, and the event's extra fields as
+    ``key=value`` pairs.  ``kinds`` keeps only the named event kinds
+    (``"session_resume"`` selects the ``control`` events carrying that
+    signal; ``"put"``/``"get"``/``"delete"`` select the ``store_op``
+    events with that ``op``); ``max_events`` truncates long traces with
+    an elision line.
     """
     materialized = list(events)
     if kinds is not None:
@@ -121,7 +135,9 @@ def render_timeline(events: Iterable[TraceEvent], *,
             event for event in materialized
             if event.kind in wanted
             or (event.kind == _trace.CONTROL
-                and event.fields.get("signal") in wanted)]
+                and event.fields.get("signal") in wanted)
+            or (event.kind == _trace.STORE_OP
+                and event.fields.get("op") in wanted)]
     elided = 0
     if max_events is not None and len(materialized) > max_events:
         elided = len(materialized) - max_events

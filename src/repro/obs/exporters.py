@@ -26,6 +26,8 @@ import re
 from typing import Any, Dict, List, Optional
 
 from repro.obs import trace as obs
+from repro.obs.consistency import (CONSISTENCY_GAUGE_NAMES,
+                                   ConsistencyMonitor)
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.monitor import GAUGE_NAMES, ClusterMonitor
 from repro.obs.trace import Tracer
@@ -33,12 +35,21 @@ from repro.obs.trace import Tracer
 _NAME_RE = re.compile(r"[^a-zA-Z0-9_:]")
 _LABEL_RE = re.compile(r"[^a-zA-Z0-9_]")
 
+#: Quantiles a histogram summary exports, in label order.
+_SUMMARY_QUANTILES = ("p50", "p90", "p95", "p99", "p999")
+
 #: Trace kinds worth re-publishing as OTLP span events (the reliability
 #: and correctness signals; routine wire chatter stays out of the export).
 _SPAN_EVENT_KINDS = frozenset({
     obs.FAULT, obs.RETRY, obs.TIMEOUT, obs.SESSION_ABORT,
-    obs.INVARIANT_VIOLATION,
+    obs.INVARIANT_VIOLATION, obs.CONSISTENCY_VIOLATION,
 })
+
+
+def _quantile_label(quantile: str) -> str:
+    # "p50" -> "0.50"-style labels: insert the decimal point after the
+    # leading digit fraction ("p999" -> "0.999").
+    return f"0.{quantile[1:]}"
 
 
 def _prom_name(name: str, prefix: str) -> str:
@@ -55,14 +66,18 @@ def _prom_value(value: float) -> str:
 
 def to_prometheus(metrics: Optional[MetricsRegistry] = None,
                   monitor: Optional[ClusterMonitor] = None, *,
+                  consistency: Optional[ConsistencyMonitor] = None,
                   prefix: str = "repro") -> str:
     """Render instruments in the Prometheus text exposition format.
 
     Counters become ``<prefix>_<name>_total`` counter samples, gauges
-    become gauges, histograms become summaries (p50/p90/p95/p99 quantile
-    labels plus ``_sum``/``_count``).  A monitor contributes one gauge
-    family per health series, labeled ``{site="..."}`` with each site's
-    latest sample, plus violation and pressure counters.
+    become gauges, histograms become summaries (p50/p90/p95/p99/p999
+    quantile labels plus ``_sum``/``_count``).  A monitor contributes one
+    gauge family per health series, labeled ``{site="..."}`` with each
+    site's latest sample, plus violation and pressure counters.  A
+    consistency monitor contributes its divergence gauge families the
+    same way, the w_k/w_all visibility summaries, and the
+    session-guarantee violation counters.
     """
     lines: List[str] = []
 
@@ -85,9 +100,9 @@ def to_prometheus(metrics: Optional[MetricsRegistry] = None,
         for name, summary in snapshot["histograms"].items():
             prom = _prom_name(name, prefix)
             family(prom, "summary", f"repro histogram {name}")
-            for quantile in ("p50", "p90", "p95", "p99"):
+            for quantile in _SUMMARY_QUANTILES:
                 lines.append(
-                    f'{prom}{{quantile="0.{quantile[1:]}"}} '
+                    f'{prom}{{quantile="{_quantile_label(quantile)}"}} '
                     f'{_prom_value(float(summary[quantile]))}')
             lines.append(f"{prom}_sum {_prom_value(float(summary['total']))}")
             lines.append(f"{prom}_count {int(summary['count'])}")
@@ -116,6 +131,39 @@ def to_prometheus(metrics: Optional[MetricsRegistry] = None,
             for event_kind, count in sorted(monitor.pressure(site).items()):
                 lines.append(
                     f'{prom}{{site="{label}",kind="{event_kind}"}} {count}')
+    if consistency is not None:
+        for gauge_name in CONSISTENCY_GAUGE_NAMES:
+            prom = f"{prefix}_consistency_{gauge_name}"
+            family(prom, "gauge", f"store consistency gauge {gauge_name}")
+            for site in consistency.sites:
+                value = consistency.latest(site, gauge_name)
+                if value is None:
+                    continue
+                label = _LABEL_RE.sub("_", site)
+                lines.append(f'{prom}{{site="{label}"}} '
+                             f'{_prom_value(value)}')
+        for hist_name, histogram, help_text in (
+                ("visibility_wk_seconds", consistency.w_k,
+                 "write visibility latency at k replicas"),
+                ("visibility_wall_seconds", consistency.w_all,
+                 "write visibility latency at all sites")):
+            prom = f"{prefix}_consistency_{hist_name}"
+            family(prom, "summary", help_text)
+            summary = histogram.summary()
+            for quantile in _SUMMARY_QUANTILES:
+                lines.append(
+                    f'{prom}{{quantile="{_quantile_label(quantile)}"}} '
+                    f'{_prom_value(float(summary[quantile]))}')
+            lines.append(f"{prom}_sum {_prom_value(float(summary['total']))}")
+            lines.append(f"{prom}_count {int(summary['count'])}")
+        prom = f"{prefix}_consistency_violations_total"
+        family(prom, "counter", "session-guarantee audit violations")
+        lines.append(f"{prom} {consistency.violation_count}")
+        for check, count in sorted(consistency.audit_counts().items()):
+            lines.append(f'{prom}{{check="{check}"}} {count}')
+        prom = f"{prefix}_consistency_samples_total"
+        family(prom, "counter", "consistency samples taken")
+        lines.append(f"{prom} {consistency.samples}")
     return "\n".join(lines) + "\n" if lines else ""
 
 
@@ -173,8 +221,24 @@ def _build_spans(tracer: Tracer) -> List[Dict[str, Any]]:
     return [spans[span_id] for span_id in sorted(spans)]
 
 
+def _summary_point(summary: Dict[str, float]) -> Dict[str, Any]:
+    return {
+        "count": str(int(summary["count"])),
+        "sum": float(summary["total"]),
+        "timeUnixNano": "0",
+        "quantileValues": [
+            {"quantile": 0.5, "value": float(summary["p50"])},
+            {"quantile": 0.9, "value": float(summary["p90"])},
+            {"quantile": 0.95, "value": float(summary["p95"])},
+            {"quantile": 0.99, "value": float(summary["p99"])},
+            {"quantile": 0.999, "value": float(summary["p999"])},
+        ],
+    }
+
+
 def _metric_entries(metrics: Optional[MetricsRegistry],
                     monitor: Optional[ClusterMonitor],
+                    consistency: Optional[ConsistencyMonitor],
                     prefix: str) -> List[Dict[str, Any]]:
     entries: List[Dict[str, Any]] = []
     if metrics is not None:
@@ -200,17 +264,7 @@ def _metric_entries(metrics: Optional[MetricsRegistry],
         for name, summary in snapshot["histograms"].items():
             entries.append({
                 "name": f"{prefix}.{name}",
-                "summary": {"dataPoints": [{
-                    "count": str(int(summary["count"])),
-                    "sum": float(summary["total"]),
-                    "timeUnixNano": "0",
-                    "quantileValues": [
-                        {"quantile": 0.5, "value": float(summary["p50"])},
-                        {"quantile": 0.9, "value": float(summary["p90"])},
-                        {"quantile": 0.95, "value": float(summary["p95"])},
-                        {"quantile": 0.99, "value": float(summary["p99"])},
-                    ],
-                }]},
+                "summary": {"dataPoints": [_summary_point(summary)]},
             })
     if monitor is not None:
         for gauge_name in GAUGE_NAMES:
@@ -236,12 +290,46 @@ def _metric_entries(metrics: Optional[MetricsRegistry],
                                 "timeUnixNano": "0"}],
             },
         })
+    if consistency is not None:
+        for gauge_name in CONSISTENCY_GAUGE_NAMES:
+            points: List[Dict[str, Any]] = []
+            for site in consistency.sites:
+                site_attrs = _attrs({"site": site})
+                for time, value in consistency.series(site, gauge_name):
+                    points.append({
+                        "asDouble": float(value),
+                        "timeUnixNano": str(_nanos(time)),
+                        "attributes": site_attrs,
+                    })
+            entries.append({
+                "name": f"{prefix}.consistency.{gauge_name}",
+                "gauge": {"dataPoints": points},
+            })
+        for hist_name, histogram in (
+                ("visibility_wk_seconds", consistency.w_k),
+                ("visibility_wall_seconds", consistency.w_all)):
+            entries.append({
+                "name": f"{prefix}.consistency.{hist_name}",
+                "summary": {
+                    "dataPoints": [_summary_point(histogram.summary())]},
+            })
+        entries.append({
+            "name": f"{prefix}.consistency.violations",
+            "sum": {
+                "aggregationTemporality": 2,
+                "isMonotonic": True,
+                "dataPoints": [
+                    {"asInt": str(consistency.violation_count),
+                     "timeUnixNano": "0"}],
+            },
+        })
     return entries
 
 
 def to_otlp(tracer: Optional[Tracer] = None,
             metrics: Optional[MetricsRegistry] = None,
             monitor: Optional[ClusterMonitor] = None, *,
+            consistency: Optional[ConsistencyMonitor] = None,
             service_name: str = "repro",
             prefix: str = "repro") -> Dict[str, Any]:
     """An OTLP-style JSON document over collected spans and metrics.
@@ -265,7 +353,8 @@ def to_otlp(tracer: Optional[Tracer] = None,
             "resource": resource,
             "scopeMetrics": [{
                 "scope": scope,
-                "metrics": _metric_entries(metrics, monitor, prefix),
+                "metrics": _metric_entries(metrics, monitor, consistency,
+                                           prefix),
             }],
         }],
     }

@@ -93,11 +93,11 @@ class Histogram:
         return ordered[rank]
 
     def summary(self) -> Dict[str, float]:
-        """count/total/min/max/mean plus p50/p90/p95/p99."""
+        """count/total/min/max/mean plus p50/p90/p95/p99/p999."""
         if not self.observations:
             return {"count": 0, "total": 0.0, "min": 0.0, "max": 0.0,
                     "mean": 0.0, "p50": 0.0, "p90": 0.0, "p95": 0.0,
-                    "p99": 0.0}
+                    "p99": 0.0, "p999": 0.0}
         return {
             "count": self.count,
             "total": self.total,
@@ -108,6 +108,7 @@ class Histogram:
             "p90": self.percentile(90),
             "p95": self.percentile(95),
             "p99": self.percentile(99),
+            "p999": self.percentile(99.9),
         }
 
 

@@ -103,12 +103,23 @@ RECONCILE = "reconcile"
 #: Synthetic retention accounting emitted by a sampling tracer:
 #: ``fields["seen"]``/``fields["kept"]`` per session key.
 SAMPLING = "sampling"
+#: A store client operation executed at its coordinating site;
+#: ``fields["op"]`` is ``"put"``, ``"get"``, or ``"delete"``.
+STORE_OP = "store_op"
+#: A divergent read scheduled a per-key repair session (store runs).
+READ_REPAIR = "read_repair"
+#: The consistency observatory caught a session-guarantee breach;
+#: ``fields["check"]`` names the guarantee (``read_your_writes``,
+#: ``monotonic_reads``, ``resurrection``, ``visibility_watermark``) and
+#: the remaining fields carry the evidence (see
+#: :mod:`repro.obs.consistency`).
+CONSISTENCY_VIOLATION = "consistency_violation"
 
 #: High-volume kinds a :class:`SamplingPolicy` may decline to retain.
 #: Everything else — lifecycle, incidents, accounting — is always kept.
 DROPPABLE_KINDS = frozenset({
     MESSAGE, DELIVER, DELTA_ELEMENT, GAMMA_RETRANSMIT, GAMMA_SKIP,
-    CONFLICT_BIT, SIM_DISPATCH, FAULT, RETRY, TIMEOUT,
+    CONFLICT_BIT, SIM_DISPATCH, FAULT, RETRY, TIMEOUT, STORE_OP,
 })
 
 

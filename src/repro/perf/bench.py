@@ -427,11 +427,13 @@ def _run_store_one(config: BenchConfig, *,
     client writes, ``updates_deferred`` the ops parked behind a busy
     site, ``consistent`` the per-key sibling-set convergence check) and
     adds a ``client`` object with the client-felt numbers: op mix,
-    read-repair count, and exact latency/staleness percentiles.  The
-    ``monitor`` flag is accepted but inert — the live monitor's
-    ancestor-closure oracle assumes whole-state sessions, which per-key
-    store sessions are not — so monitored sweeps stay uniform without
-    mis-scoring the store cell.
+    read-repair count, and exact latency/staleness percentiles.  A
+    monitored sweep attaches the *consistency* observatory
+    (:mod:`repro.obs.consistency`) rather than the cluster health
+    monitor — the health monitor's ancestor-closure oracle assumes
+    whole-state sessions, which per-key store sessions are not — and
+    embeds its digest as the record's ``consistency`` object
+    (schema-validated alongside the rest of the document).
     """
     from repro.workload.clients import StoreWorkloadConfig, run_store_workload
 
@@ -441,11 +443,16 @@ def _run_store_one(config: BenchConfig, *,
         read_ratio=config.store_read_ratio, zipf=config.store_zipf,
         net_latency=config.latency, bandwidth=config.bandwidth,
         seed=config.seed, backend=config.backend)
+    cell_monitor = None
+    if monitor:
+        from repro.obs.consistency import (ConsistencyConfig,
+                                           ConsistencyMonitor)
+        cell_monitor = ConsistencyMonitor(ConsistencyConfig())
     cell_tracer = _make_tracer(analyze)
     start = time.perf_counter()
     with wall_timer(metrics, "bench.cluster.store.wall_seconds"):
         result = run_store_workload(workload_config, tracer=cell_tracer,
-                                    metrics=metrics)
+                                    metrics=metrics, monitor=cell_monitor)
     wall_seconds = time.perf_counter() - start
     store = result.store
     per_session = [record.result.stats.total_bits
@@ -492,6 +499,8 @@ def _run_store_one(config: BenchConfig, *,
                 result.latency_summary("put")),
             "staleness_seconds": _percentiles(result.staleness_summary()),
         },
+        **({"consistency": result.consistency}
+           if result.consistency is not None else {}),
     }
 
 

@@ -59,6 +59,23 @@ def _bits_per_object(run: Dict[str, Any]) -> Optional[float]:
     return run["total_bits"] / n_objects
 
 
+def _consistency_metric(*path: str) -> Callable[[Dict[str, Any]],
+                                                Optional[float]]:
+    """An extractor into the run's embedded consistency digest.
+
+    Returns ``None`` whenever the block (or any step of the path) is
+    absent, so unmonitored documents trend exactly as before.
+    """
+    def extract(run: Dict[str, Any]) -> Optional[float]:
+        node: Any = run.get("consistency")
+        for name in path:
+            if not isinstance(node, dict):
+                return None
+            node = node.get(name)
+        return node if isinstance(node, (int, float)) else None
+    return extract
+
+
 METRICS: Tuple[MetricSpec, ...] = (
     MetricSpec("total_bits", lambda run: run.get("total_bits"),
                exact=True),
@@ -73,6 +90,24 @@ METRICS: Tuple[MetricSpec, ...] = (
                exact=False),
     MetricSpec("critical_path_seconds",
                lambda run: run.get("critical_path_seconds"), exact=True),
+    # Consistency-observatory trends (monitored store cells only; all
+    # simulated-clock quantities, so exact across identical code):
+    MetricSpec("w_all_p99_seconds",
+               _consistency_metric("w_all_seconds", "p99"), exact=True),
+    MetricSpec("w_k_p99_seconds",
+               _consistency_metric("w_k_seconds", "p99"), exact=True),
+    MetricSpec("consistency_violations",
+               _consistency_metric("audit", "violations"), exact=True),
+    MetricSpec("max_replication_lag_seconds",
+               _consistency_metric("max_replication_lag_seconds"),
+               exact=True),
+    # Cluster health rides along for monitored gossip cells: a drop in
+    # the worst per-site health score is the regression direction.
+    MetricSpec("min_final_score",
+               lambda run: (run.get("health", {}).get("min_final_score")
+                            if isinstance(run.get("health"), dict)
+                            else None),
+               exact=True, higher_is_worse=False),
 )
 
 

@@ -51,9 +51,18 @@ Document layout (version ``repro.bench.cluster/1``)::
           "client": {
             "ops": 2000, "reads": 1802, "writes": 157, "deletes": 41,
             "read_repairs": 310, "sessions_abandoned": 0,
+            # p999 is validated when present (newer cells carry it):
             "get_latency_seconds": {"p50": 0.01, "p90": ..., "p99": ...},
             "put_latency_seconds": {"p50": 0.01, "p90": ..., "p99": ...},
             "staleness_seconds":   {"p50": 0.08, "p90": ..., "p99": ...}
+          },
+          # Monitored store runs additionally embed the consistency
+          # observatory digest, validated against its own schema
+          # (repro.obs.consistency/1 — see schemas/ for the JSON copy):
+          "consistency": {
+            "schema": "repro.obs.consistency/1",
+            "w_k_seconds": {...}, "w_all_seconds": {...},
+            "audit": {...}, "worst_keys": [...], ...
           },
           # Multi-region sharded runs (the E13 scenario) additionally
           # carry the fleet shape and shard accounting:
@@ -122,6 +131,24 @@ def _check_number(errors: List[str], where: str, record: Dict[str, Any],
                       f"got {value!r}")
     elif value < 0:
         errors.append(f"{where}: field {name!r} must be >= 0, got {value!r}")
+
+
+def _validate_consistency_block(errors: List[str], where: str,
+                                digest: Any) -> None:
+    """Validate an embedded consistency-observatory digest.
+
+    Delegates to the digest's own schema
+    (:func:`repro.obs.consistency.validate_consistency`) so the bench
+    document and the standalone ``--consistency`` export can never
+    drift apart; the returned paths are re-rooted under ``where``.
+    """
+    from repro.obs.consistency import validate_consistency
+    if not isinstance(digest, dict):
+        errors.append(f"{where}: 'consistency' must be an object, "
+                      f"got {type(digest).__name__}")
+        return
+    for error in validate_consistency(digest):
+        errors.append(f"{where}.consistency: {error}")
 
 
 def _validate_run(errors: List[str], index: int,
@@ -232,6 +259,16 @@ def _validate_run(errors: List[str], index: int,
                 for percentile in ("p50", "p90", "p99"):
                     _check_number(errors, f"{where}.client.{name}",
                                   summary, percentile)
+                # The tail percentile is newer than the committed
+                # baselines: validated when present, never required.
+                if "p999" in summary:
+                    _check_number(errors, f"{where}.client.{name}",
+                                  summary, "p999")
+    # Monitored store runs carry the consistency-observatory digest
+    # (``repro.obs.consistency``); optional, but when present the
+    # visibility summaries and audit counts must be well-formed.
+    if "consistency" in run:
+        _validate_consistency_block(errors, where, run["consistency"])
     # Analyzed runs (``--analyze``) carry the causal digest; optional,
     # but when present the attribution must be a category→seconds map.
     if "critical_path_seconds" in run:

@@ -60,6 +60,8 @@ from repro.net.simulator import Simulator
 from repro.net.stats import TransferStats
 from repro.net.topology import TopologySpec, uniform_peer_rounds
 from repro.net.wire import DEFAULT_ENCODING, Encoding
+from repro.obs import trace as obs
+from repro.obs.consistency import ConsistencyMonitor
 from repro.obs.metrics import MetricsRegistry, observe_session
 from repro.obs.trace import Tracer
 from repro.protocols import registry
@@ -273,7 +275,8 @@ class StoreCluster:
 
     def __init__(self, sites: Optional[Iterable[str]], config: StoreConfig,
                  *, tracer: Optional[Tracer] = None,
-                 metrics: Optional[MetricsRegistry] = None) -> None:
+                 metrics: Optional[MetricsRegistry] = None,
+                 monitor: Optional[ConsistencyMonitor] = None) -> None:
         if sites is None:
             if config.topology is None:
                 raise ValidationError(
@@ -286,8 +289,14 @@ class StoreCluster:
         if len(set(self.sites)) != len(self.sites):
             raise ValidationError("duplicate site names in store cluster")
         self.config = config
+        if monitor is not None and tracer is None:
+            # Same adoption contract as ClusterRunner/ClusterMonitor: a
+            # cluster built without a tracer uses the monitor's private
+            # one, so store events exist for the observatory to observe.
+            tracer = monitor.tracer
         self.tracer = tracer
         self.metrics = metrics
+        self.monitor = monitor
         spec = registry.get(config.protocol)
         self._spec = spec
         vector_cls = spec.vector_class(config.backend)
@@ -359,8 +368,10 @@ class StoreCluster:
             self.metrics.histogram("store.op_queue_wait_seconds").observe(
                 now - submitted_at)
         if self.tracer is not None:
-            self.tracer.event("store_op", party=op.site, op=op.kind,
+            self.tracer.event(obs.STORE_OP, party=op.site, op=op.kind,
                               key=op.key)
+        if self.monitor is not None:
+            self.monitor.on_client_op(op.kind, op.site, op.key, now)
         if on_done is not None:
             on_done(OpOutcome(op=op, result=result,
                               submitted_at=submitted_at, executed_at=now,
@@ -418,7 +429,7 @@ class StoreCluster:
             if self.metrics is not None:
                 self.metrics.counter("store.read_repairs").inc()
             if self.tracer is not None:
-                self.tracer.event("read_repair", party=op.site,
+                self.tracer.event(obs.READ_REPAIR, party=op.site,
                                   peer=op.repair_peer, key=op.key,
                                   verdict=verdict.name.lower())
         if verdict is Ordering.AFTER:
@@ -452,7 +463,7 @@ class StoreCluster:
                                keys=tuple(keys) if keys is not None else None,
                                requested_at=self.sim.now)
         if self.tracer is not None:
-            self.tracer.event("session_request", party=dst, peer=src)
+            self.tracer.event(obs.SESSION_REQUEST, party=dst, peer=src)
         self._pending.append(request)
         self._dispatch()
 
@@ -515,7 +526,7 @@ class StoreCluster:
         self._usage[src] += 1
         self._usage[dst] += 1
         if self.tracer is not None:
-            self.tracer.event("session_start", party=dst, peer=src,
+            self.tracer.event(obs.SESSION_START, party=dst, peer=src,
                               session=record.index, keys=len(keys))
         channel = self._channel_for(src, dst)
         common = dict(
@@ -570,13 +581,17 @@ class StoreCluster:
             src_record = self.stores[src].record(key)
             dst_store.absorb(key, record.verdicts[key], src_record.siblings,
                              src_record.updated_at)
+            if self.monitor is not None:
+                self.monitor.on_absorb(dst, key,
+                                       dst_store.record(key).updated_at,
+                                       self.sim.now)
             if self.config.increment_on_merge and record.reconciled[key]:
                 # §2.2: the pulling site increments its own element after
                 # an automatic merge, per reconciled key.
                 dst_store.record(key).vector.record_update(dst)
                 self._reconciliations += 1
                 if self.tracer is not None:
-                    self.tracer.event("reconcile", party=dst, key=key,
+                    self.tracer.event(obs.RECONCILE, party=dst, key=key,
                                       session=record.index)
         if self.metrics is not None:
             observe_session(self.metrics, result.stats,
@@ -591,7 +606,7 @@ class StoreCluster:
         self._usage[src] -= 1
         self._usage[dst] -= 1
         if self.tracer is not None:
-            self.tracer.event("session_end", party=dst, peer=src,
+            self.tracer.event(obs.SESSION_END, party=dst, peer=src,
                               session=record.index,
                               bits=stats.total_bits if stats else 0,
                               aborted=record.aborted)
@@ -599,17 +614,14 @@ class StoreCluster:
             self.metrics.counter("store.sessions").inc()
             self.metrics.histogram("store.queue_wait_seconds").observe(
                 record.queue_wait)
+        if self.monitor is not None:
+            self.monitor.on_session_end(self.sim.now)
         for site in (src, dst):
             # Flush FIFO, but re-check before every op: a flushed get can
             # start a read-repair session that re-occupies the site, and
             # the ops behind it must stay deferred — executing them would
             # mutate vectors the fresh session's coroutines (and its
             # transactional snapshot) already captured.
-            # Flush FIFO, but re-check before every op: a flushed get
-            # can start a read-repair session that re-occupies the site,
-            # and the ops behind it must stay deferred — executing them
-            # would mutate vectors the fresh session's coroutines (and
-            # its transactional snapshot) already captured.
             while self._usage[site] == 0 and self._deferred_ops[site]:
                 op, submitted_at, on_done = self._deferred_ops[site].pop(0)
                 self._execute_op(op, submitted_at, on_done)
@@ -649,6 +661,8 @@ class StoreCluster:
         if self._finished:
             raise SimulationError("StoreCluster instances are one-shot")
         self._finished = True
+        if self.monitor is not None:
+            self.monitor.attach(self)
         tracer = self.tracer
         previous_clock = tracer.clock if tracer is not None else None
         span = None
@@ -670,6 +684,8 @@ class StoreCluster:
             if tracer is not None:
                 tracer.flush_sampling()
                 tracer.clock = previous_clock
+        if self.monitor is not None:
+            self.monitor.finalize()
         if self._pending or any(self._usage.values()):
             raise SimulationError(  # pragma: no cover - defensive
                 "store cluster drained with sessions still queued or active")

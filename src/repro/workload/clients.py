@@ -33,6 +33,7 @@ from typing import Any, Dict, List, Optional, Tuple
 from repro.errors import ValidationError
 from repro.net.channel import ChannelSpec
 from repro.net.faults import RetryPolicy
+from repro.obs.consistency import ConsistencyMonitor
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.trace import Tracer
 from repro.store.cluster import (ClientOp, StoreCluster, StoreConfig,
@@ -173,6 +174,10 @@ class StoreWorkloadResult:
     writes: int
     deletes: int
     converged: bool
+    #: The consistency observatory's schema-validated digest
+    #: (:meth:`~repro.obs.consistency.ConsistencyMonitor.summary`);
+    #: ``None`` on unmonitored runs.
+    consistency: Optional[Dict[str, Any]] = None
 
     @property
     def ops(self) -> int:
@@ -196,6 +201,7 @@ class StoreWorkloadResult:
         """
         get_summary = self.latency_summary("get")
         put_summary = self.latency_summary("put")
+        staleness_summary = self.staleness_summary()
         sets = self.store.sibling_sets()
         state = hashlib.sha256(
             repr(sorted((key, tuple(map(str, value)))
@@ -219,14 +225,15 @@ class StoreWorkloadResult:
             "get_latency_p99": round(get_summary["p99"], 9),
             "put_latency_p50": round(put_summary["p50"], 9),
             "put_latency_p99": round(put_summary["p99"], 9),
-            "staleness_p50": round(self.staleness_summary()["p50"], 9),
-            "staleness_p99": round(self.staleness_summary()["p99"], 9),
+            "staleness_p50": round(staleness_summary["p50"], 9),
+            "staleness_p99": round(staleness_summary["p99"], 9),
         }
 
 
 def build_store_cluster(config: StoreWorkloadConfig, *,
                         tracer: Optional[Tracer] = None,
-                        metrics: Optional[MetricsRegistry] = None
+                        metrics: Optional[MetricsRegistry] = None,
+                        monitor: Optional[ConsistencyMonitor] = None
                         ) -> StoreCluster:
     """The cluster a workload runs against (exposed for tests/benches)."""
     faults = (chaos_faults(config.loss_rate, latency=config.net_latency,
@@ -243,12 +250,13 @@ def build_store_cluster(config: StoreWorkloadConfig, *,
         read_repair=config.read_repair,
         retry=RetryPolicy(seed=config.chaos_seed))
     return StoreCluster(site_names(config.n_sites), store_config,
-                        tracer=tracer, metrics=metrics)
+                        tracer=tracer, metrics=metrics, monitor=monitor)
 
 
 def run_store_workload(config: StoreWorkloadConfig, *,
                        tracer: Optional[Tracer] = None,
-                       metrics: Optional[MetricsRegistry] = None
+                       metrics: Optional[MetricsRegistry] = None,
+                       monitor: Optional[ConsistencyMonitor] = None
                        ) -> StoreWorkloadResult:
     """Run the full client workload to convergence; returns the result.
 
@@ -256,9 +264,17 @@ def run_store_workload(config: StoreWorkloadConfig, *,
     rounds; once every op has landed, a deterministic star sweep closes
     convergence (identical per-key sibling sets on every site, asserted
     by ``result.converged``).
+
+    With a :class:`~repro.obs.consistency.ConsistencyMonitor` the run is
+    additionally observed — divergence gauges, visibility watermarks,
+    and the session-guarantee audit fed from each client's completion
+    stream — and ``result.consistency`` carries the digest.  The
+    simulated schedule is untouched either way: a ``monitor=None`` run
+    is byte-identical to the unmonitored path.
     """
     metrics = metrics if metrics is not None else MetricsRegistry()
-    cluster = build_store_cluster(config, tracer=tracer, metrics=metrics)
+    cluster = build_store_cluster(config, tracer=tracer, metrics=metrics,
+                                  monitor=monitor)
     sites = cluster.sites
     plan = generate_client_ops(config)
     horizon = plan[-1].at if plan else 0.0
@@ -280,6 +296,9 @@ def run_store_workload(config: StoreWorkloadConfig, *,
                    + 2 * config.client_latency)
         counts[planned.kind] += 1
         contexts[(planned.client, planned.key)] = outcome.result.context
+        if monitor is not None:
+            monitor.audit_op(planned.client, planned.kind, planned.key,
+                             outcome.result, outcome.executed_at)
         if planned.kind == "get":
             metrics.histogram("store.get_latency_seconds").observe(latency)
             metrics.histogram("store.staleness_seconds").observe(
@@ -305,4 +324,5 @@ def run_store_workload(config: StoreWorkloadConfig, *,
     return StoreWorkloadResult(
         config=config, store=store_result, metrics=metrics,
         reads=counts["get"], writes=counts["put"], deletes=counts["delete"],
-        converged=store_result.converged())
+        converged=store_result.converged(),
+        consistency=monitor.summary() if monitor is not None else None)

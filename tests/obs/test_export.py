@@ -123,6 +123,20 @@ class TestTimelineGlyphs:
         tracer.event("control", signal="halt")
         assert "⟲" not in render_timeline(tracer.events)
 
+    def test_store_events_get_glyphs(self):
+        tracer = Tracer()
+        tracer.event("store_op", op="put", key="k")
+        tracer.event("store_op", op="get", key="k")
+        tracer.event("store_op", op="delete", key="k")
+        tracer.event("read_repair", key="k", peer="S1")
+        tracer.event("consistency_violation", check="resurrection")
+        text = render_timeline(tracer.events)
+        assert "⊕ store_op" in text
+        assert "⊙ store_op" in text
+        assert "⊖ store_op" in text
+        assert "⇄ read_repair" in text
+        assert "⚠ consistency_violation" in text
+
 
 class TestTimelineFilter:
     def test_kinds_keeps_only_named(self):
@@ -147,6 +161,18 @@ class TestTimelineFilter:
         text = render_timeline(events, kinds=["invariant_violation"],
                                max_events=1)
         assert "‼ invariant_violation" in text
+
+    def test_store_op_subkinds_select_by_op(self):
+        tracer = Tracer()
+        tracer.event("store_op", op="put", key="a")
+        tracer.event("store_op", op="get", key="a")
+        tracer.event("store_op", op="delete", key="a")
+        tracer.event("read_repair", key="a", peer="S1")
+        text = render_timeline(tracer.events, kinds=["put", "delete"])
+        assert "⊕ store_op" in text
+        assert "⊖ store_op" in text
+        assert "⊙" not in text
+        assert "read_repair" not in text
 
     def test_no_filter_keeps_everything(self):
         events = reliability_tracer().events

@@ -6,8 +6,12 @@ import pathlib
 from repro.net.channel import ChannelSpec
 from repro.net.cluster import ClusterConfig, ClusterRunner
 from repro.net.wire import Encoding
-from repro.obs.dashboard import (render_dashboard, render_html_report,
-                                 sparkline, write_html_report)
+from repro.obs.consistency import ConsistencyConfig, ConsistencyMonitor
+from repro.obs.dashboard import (render_consistency_dashboard,
+                                 render_consistency_html_report,
+                                 render_dashboard, render_html_report,
+                                 sparkline, write_consistency_html_report,
+                                 write_html_report)
 from repro.obs.exporters import to_otlp, to_prometheus
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.monitor import ClusterMonitor, MonitorConfig
@@ -15,6 +19,7 @@ from repro.obs.otlp_schema import OTLP_SCHEMA, validate, validate_otlp
 from repro.obs.trace import Tracer
 from repro.workload.cluster import (gossip_schedule, site_names,
                                     update_schedule)
+from repro.workload.clients import StoreWorkloadConfig, run_store_workload
 
 REPO_ROOT = pathlib.Path(__file__).resolve().parents[2]
 ENC = Encoding(site_bits=8, value_bits=16)
@@ -32,6 +37,16 @@ def monitored_fixture(protocol="srv", n_sites=3):
     updates = update_schedule(sites, n_updates=4, interval=0.1, seed=2)
     runner.run(sessions, updates)
     return monitor, runner, registry
+
+
+def consistency_fixture():
+    """One small consistency-monitored store workload run."""
+    monitor = ConsistencyMonitor(ConsistencyConfig())
+    result = run_store_workload(
+        StoreWorkloadConfig(n_sites=4, n_keys=8, n_clients=8, ops=400,
+                            op_interval=0.002, sync_period=0.2, seed=7),
+        monitor=monitor)
+    return monitor, result
 
 
 class TestPrometheus:
@@ -70,6 +85,29 @@ class TestPrometheus:
         assert f"repro_monitor_samples_total {monitor.samples}" in text
         assert ('repro_monitor_pressure_events_total'
                 '{site="S000",kind="retries"} 0') in text
+
+    def test_summary_carries_the_p999_quantile(self):
+        registry = MetricsRegistry()
+        registry.histogram("bits").observe(10.0)
+        text = to_prometheus(registry)
+        assert 'repro_bits{quantile="0.999"} 10' in text
+
+    def test_consistency_families(self):
+        monitor, _ = consistency_fixture()
+        text = to_prometheus(consistency=monitor)
+        assert "# TYPE repro_consistency_replication_lag gauge" in text
+        assert "# TYPE repro_consistency_sibling_population gauge" in text
+        assert 'repro_consistency_replication_lag{site="S000"} ' in text
+        assert ("# TYPE repro_consistency_visibility_wall_seconds summary"
+                in text)
+        assert 'repro_consistency_visibility_wall_seconds{quantile="0.999"}' \
+            in text
+        assert (f"repro_consistency_samples_total {monitor.samples}"
+                in text)
+        assert (f"repro_consistency_violations_total "
+                f"{monitor.violation_count}" in text)
+        assert 'repro_consistency_violations_total{check="resurrection"}' \
+            in text
 
     def test_empty_export_is_empty(self):
         assert to_prometheus() == ""
@@ -115,6 +153,23 @@ class TestOtlp:
         assert sites == set(monitor.sites)
         violations = by_name["repro.monitor.invariant_violations"]
         assert violations["sum"]["isMonotonic"] is True
+
+    def test_consistency_export_validates(self):
+        monitor, result = consistency_fixture()
+        document = to_otlp(monitor.tracer, result.metrics,
+                           consistency=monitor)
+        assert validate_otlp(document) == []
+        metrics = (document["resourceMetrics"][0]
+                   ["scopeMetrics"][0]["metrics"])
+        by_name = {entry["name"]: entry for entry in metrics}
+        lag = by_name["repro.consistency.replication_lag"]
+        points = lag["gauge"]["dataPoints"]
+        assert len(points) == monitor.samples * len(monitor.sites)
+        w_all = by_name["repro.consistency.visibility_wall_seconds"]
+        point = w_all["summary"]["dataPoints"][0]
+        quantiles = {entry["quantile"]
+                     for entry in point["quantileValues"]}
+        assert 0.999 in quantiles
 
     def test_empty_export_still_validates(self):
         assert validate_otlp(to_otlp(tracer=Tracer())) == []
@@ -201,4 +256,26 @@ class TestDashboard:
         assert "http://" not in html and "https://" not in html
         path = tmp_path / "report.html"
         write_html_report(path, {"srv": monitor})
+        assert path.read_text(encoding="utf-8") == html
+
+
+class TestConsistencyDashboard:
+    def test_renders_sites_gauges_and_audit(self):
+        monitor, _ = consistency_fixture()
+        text = render_consistency_dashboard(monitor)
+        for site in monitor.sites:
+            assert site in text
+        assert "repl lag" in text
+        assert "write visibility" in text
+        assert "worst keys" in text
+
+    def test_html_report_is_self_contained(self, tmp_path):
+        monitor, _ = consistency_fixture()
+        html = render_consistency_html_report({"store:srv": monitor})
+        assert html.startswith("<!DOCTYPE html>")
+        assert "<svg" in html
+        assert "store:srv" in html
+        assert "http://" not in html and "https://" not in html
+        path = tmp_path / "consistency.html"
+        write_consistency_html_report(path, {"store:srv": monitor})
         assert path.read_text(encoding="utf-8") == html

@@ -39,11 +39,22 @@ class TestInstruments:
         assert summary["max"] == 10
         assert summary["p50"] == 3
         assert summary["p95"] == 10
+        assert summary["p999"] == 10
+
+    def test_p999_separates_the_extreme_tail(self):
+        histogram = Histogram()
+        for _ in range(999):
+            histogram.observe(1.0)
+        histogram.observe(100.0)
+        summary = histogram.summary()
+        assert summary["p99"] == 1.0
+        assert summary["p999"] == 100.0
 
     def test_empty_histogram_summary_is_zeroed(self):
         summary = Histogram().summary()
         assert summary["count"] == 0
         assert summary["p95"] == 0.0
+        assert summary["p999"] == 0.0
 
     def test_percentile_of_empty_histogram_raises(self):
         with pytest.raises(ReproError):

@@ -216,12 +216,43 @@ class TestStoreScenario:
         (run,) = document["runs"]
         assert run["critical_path_seconds"] >= 0.0
 
-    def test_monitored_store_cell_stays_unmonitored(self):
-        # The live monitor's oracle assumes whole-state sessions; the
-        # per-key store cell deliberately opts out of health scoring.
+    def test_monitored_store_cell_carries_the_consistency_digest(self):
+        # The live health monitor's oracle assumes whole-state sessions,
+        # so the per-key store cell opts out of health scoring — but a
+        # monitored sweep attaches the consistency observatory instead.
         document = run_cluster_bench(TINY_STORE, monitor=True)
+        assert validate_bench(document) == []
         (run,) = document["runs"]
         assert "health" not in run
+        consistency = run["consistency"]
+        assert consistency["schema"] == "repro.obs.consistency/1"
+        assert (consistency["writes_tracked"]
+                == run["client"]["writes"] + run["client"]["deletes"])
+        assert consistency["audit"]["ops_audited"] == run["client"]["ops"]
+
+    def test_unmonitored_store_cell_has_no_consistency_block(self):
+        document = run_cluster_bench(TINY_STORE)
+        (run,) = document["runs"]
+        assert "consistency" not in run
+
+    def test_monitored_store_cells_are_deterministic(self):
+        first = run_cluster_bench(TINY_STORE, created_unix=0.0,
+                                  monitor=True)
+        second = run_cluster_bench(TINY_STORE, created_unix=0.0,
+                                   monitor=True)
+        assert bench_fingerprint(first) == bench_fingerprint(second)
+
+    def test_monitor_does_not_perturb_the_store_fingerprint(self):
+        # The observatory observes; the default document's bits must be
+        # reproducible with the monitor attached once its own fields
+        # are masked out.
+        baseline = run_cluster_bench(TINY_STORE, created_unix=0.0)
+        monitored = run_cluster_bench(TINY_STORE, created_unix=0.0,
+                                      monitor=True)
+        stripped = json.loads(json.dumps(monitored))
+        for run in stripped["runs"]:
+            run.pop("consistency", None)
+        assert bench_fingerprint(stripped) == bench_fingerprint(baseline)
 
     def test_store_ops_flag_sizes_the_cell(self, tmp_path, capsys):
         out = str(tmp_path / "bench.json")

@@ -113,6 +113,39 @@ class TestDetection:
         cells = extract_trajectories([make_doc(), make_doc()])
         assert detect_flags(cells) == []
 
+    def test_consistency_drift_flags_exactly(self):
+        def with_consistency(w_all_p99, violations):
+            doc = make_doc()
+            doc["runs"][0]["consistency"] = {
+                "w_all_seconds": {"p99": w_all_p99},
+                "w_k_seconds": {"p99": w_all_p99 / 2},
+                "audit": {"violations": violations},
+                "max_replication_lag_seconds": 0.0,
+            }
+            return doc
+        quiet = extract_trajectories([with_consistency(0.5, 3),
+                                      with_consistency(0.5, 3)])
+        assert detect_flags(quiet) == []
+        cells = extract_trajectories([with_consistency(0.5, 3),
+                                      with_consistency(0.9, 7)])
+        metrics = {flag.metric for flag in detect_flags(cells)}
+        assert "w_all_p99_seconds" in metrics
+        assert "consistency_violations" in metrics
+
+    def test_health_score_drop_is_the_bad_direction(self):
+        def with_health(score):
+            doc = make_doc()
+            doc["runs"][0]["health"] = {"min_final_score": score}
+            return doc
+        flags = detect_flags(extract_trajectories([with_health(1.0),
+                                                   with_health(0.8)]))
+        assert "min_final_score" in {flag.metric for flag in flags}
+
+    def test_unmonitored_documents_have_no_consistency_series(self):
+        series = next(iter(extract_trajectories([make_doc()]).values()))
+        assert series["w_all_p99_seconds"] == [None]
+        assert series["consistency_violations"] == [None]
+
 
 class TestFormatting:
     def test_report_shows_sparklines_and_flags(self):

@@ -207,3 +207,47 @@ class TestMonitoredRunFields:
         errors = validate_bench(doc_with(invariant_violations=0,
                                          health=health))
         assert any("disagrees with" in e for e in errors)
+
+
+def _consistency_block():
+    """A minimal valid consistency digest, matching the live shape."""
+    from repro.obs.consistency import ConsistencyMonitor
+    from repro.workload.clients import (StoreWorkloadConfig,
+                                        run_store_workload)
+    monitor = ConsistencyMonitor()
+    result = run_store_workload(
+        StoreWorkloadConfig(n_sites=3, n_keys=4, n_clients=4, ops=120,
+                            seed=5),
+        monitor=monitor)
+    return result.consistency
+
+
+class TestConsistencyRunFields:
+    def test_p999_validated_when_present(self):
+        client = copy.deepcopy(CLIENT)
+        client["get_latency_seconds"]["p999"] = 0.09
+        assert validate_bench(doc_with(client=client)) == []
+        client["get_latency_seconds"]["p999"] = "slow"
+        errors = validate_bench(doc_with(client=client))
+        assert any("p999" in e for e in errors)
+
+    def test_p999_not_required(self):
+        # Committed baselines predate p999; they must stay valid.
+        assert validate_bench(doc_with(client=copy.deepcopy(CLIENT))) == []
+
+    def test_live_consistency_block_passes(self):
+        doc = doc_with(scenario="store-workload",
+                       client=copy.deepcopy(CLIENT),
+                       consistency=_consistency_block())
+        assert validate_bench(doc) == []
+
+    def test_consistency_must_be_an_object(self):
+        errors = validate_bench(doc_with(consistency=7))
+        assert any("'consistency' must be an object" in e for e in errors)
+
+    def test_broken_consistency_block_is_rerooted(self):
+        block = _consistency_block()
+        block.pop("w_all_seconds")
+        errors = validate_bench(doc_with(consistency=block))
+        assert any(e.startswith("runs[0].consistency:")
+                   and "w_all_seconds" in e for e in errors)

@@ -44,6 +44,8 @@ class TestStoreMain:
         ["--frobnicate"],            # unknown flag
         ["--sites", "1"],            # rejected by config validation
         ["--protocol", "nope"],      # unknown protocol
+        ["--visibility-k", "0"],     # rejected by monitor config
+        ["--prom"],                  # missing export path
     ])
     def test_bad_arguments_exit_2(self, argv, capsys):
         assert store_main(argv) == 2
@@ -53,3 +55,59 @@ class TestStoreMain:
     def test_dispatch_through_module_main(self, capsys):
         assert repro_main(["store"] + FAST) == 0
         assert "store workload" in capsys.readouterr().out
+
+
+class TestMonitorFlag:
+    def test_monitor_report_section(self, capsys):
+        assert store_main(FAST + ["--monitor"]) == 0
+        out = capsys.readouterr().out
+        assert "consistency observatory" in out
+        assert "w_k visibility:" in out
+        assert "w_all visibility:" in out
+        assert "p999" in out
+        assert "session audit:" in out
+        assert "replication lag:" in out
+
+    def test_monitor_does_not_change_the_store_report(self, capsys):
+        store_main(FAST)
+        baseline = capsys.readouterr().out
+        store_main(FAST + ["--monitor"])
+        monitored = capsys.readouterr().out
+        assert monitored.startswith(baseline.rstrip("\n"))
+
+    def test_export_flags_imply_monitoring(self, tmp_path, capsys):
+        prom = tmp_path / "store.prom"
+        otlp = tmp_path / "store.json"
+        html = tmp_path / "store.html"
+        digest = tmp_path / "consistency.json"
+        trace = tmp_path / "trace.jsonl"
+        assert store_main(FAST + ["--prom", str(prom),
+                                  "--otlp", str(otlp),
+                                  "--html", str(html),
+                                  "--consistency", str(digest),
+                                  "--trace", str(trace)]) == 0
+        out = capsys.readouterr().out
+        assert "consistency observatory" in out
+        assert "repro_consistency_replication_lag" in prom.read_text()
+        assert '"resourceMetrics"' in otlp.read_text()
+        assert html.read_text().startswith("<!DOCTYPE html>")
+        assert '"schema": "repro.obs.consistency/1"' in digest.read_text()
+        assert '"kind": "store_op"' in trace.read_text()
+
+    def test_consistency_export_validates_against_the_schema(
+            self, tmp_path):
+        import json
+
+        from repro.obs.consistency import validate_consistency
+        digest = tmp_path / "consistency.json"
+        assert store_main(FAST + ["--consistency", str(digest)]) == 0
+        with open(digest, "r", encoding="utf-8") as handle:
+            assert validate_consistency(json.load(handle)) == []
+
+    def test_strict_flag_aborts_on_violation(self, capsys):
+        # Seed 0 at this shape trips the documented union-resurrection
+        # case, so strict mode must abort with the ABORTED banner.
+        argv = ["--sites", "4", "--keys", "8", "--clients", "16",
+                "--ops", "1500", "--seed", "0", "--strict-consistency"]
+        assert store_main(argv) == 1
+        assert "ABORTED" in capsys.readouterr().out

@@ -116,3 +116,40 @@ class TestRunWorkload:
         assert metrics.counter("store.ops").value == SMALL.ops
         kinds = {event.kind for event in tracer.events}
         assert "store_op" in kinds and "session_start" in kinds
+
+    def test_zero_op_run_digests_cleanly(self):
+        result = run_store_workload(StoreWorkloadConfig(ops=0))
+        digest = result.digest()
+        assert result.converged
+        assert digest["ops"] == 0
+        assert result.staleness_summary()["count"] == 0
+        assert result.latency_summary("get")["count"] == 0
+        assert digest["get_latency_p99"] == 0.0
+        assert digest["staleness_p99"] == 0.0
+
+    def test_read_only_run_digests_cleanly(self):
+        result = run_store_workload(StoreWorkloadConfig(
+            n_sites=4, n_keys=8, n_clients=8, ops=200, read_ratio=1.0,
+            delete_ratio=0.0, seed=7))
+        digest = result.digest()
+        assert result.writes == 0 and result.deletes == 0
+        assert result.latency_summary("put")["count"] == 0
+        assert digest["put_latency_p99"] == 0.0
+        assert result.staleness_summary()["count"] == result.reads
+
+    def test_digest_staleness_agrees_with_the_summary(self):
+        # digest() computes the staleness summary once and reuses it for
+        # both percentile fields; they must agree with a fresh summary.
+        result = run_store_workload(SMALL)
+        digest = result.digest()
+        summary = result.staleness_summary()
+        assert digest["staleness_p50"] == round(summary["p50"], 9)
+        assert digest["staleness_p99"] == round(summary["p99"], 9)
+
+    def test_consistency_digest_rides_along_when_monitored(self):
+        from repro.obs.consistency import ConsistencyMonitor
+        monitor = ConsistencyMonitor()
+        result = run_store_workload(SMALL, monitor=monitor)
+        assert result.consistency is not None
+        assert result.consistency["audit"]["ops_audited"] == SMALL.ops
+        assert run_store_workload(SMALL).consistency is None
